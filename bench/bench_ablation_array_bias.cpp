@@ -1,0 +1,94 @@
+// Ablation A2 — amortized array sampling vs whole-array logging (paper
+// Section II.B.3).
+//
+// Scenario from the paper: T1 and T2 share a small array while T2 and T3
+// share a large array (accessing different element ranges).  Logging the
+// full array size makes the (T2, T3) correlation dominate; the amortized
+// scheme keeps the estimate proportional to what is actually shared.
+#include <iostream>
+
+#include "harness.hpp"
+
+using namespace djvm;
+using namespace djvm::bench;
+
+int main() {
+  std::cout << "=== Ablation A2: amortized vs whole-array sample sizes ===\n\n";
+
+  Config cfg;
+  cfg.nodes = 4;
+  cfg.threads = 3;
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+
+  auto& reg = djvm.registry();
+  const ClassId arr = reg.register_array_class("double[]", 8);
+  djvm.plan().set_nominal_gap(arr, 31);
+
+  // Small shared array (T1, T2) and large shared array (T2, T3).
+  const ObjectId small = djvm.gos().alloc_array(arr, 0, 64);     // 512 B
+  const ObjectId big = djvm.gos().alloc_array(arr, 1, 16384);    // 128 KB
+  djvm.plan().resample_all();
+
+  for (int round = 0; round < 3; ++round) {
+    djvm.read(0, small);
+    djvm.read(1, small);
+    djvm.read(1, big);
+    djvm.read(2, big);
+    djvm.barrier_all();
+  }
+  djvm.pump_daemon();
+
+  // Amortized (the paper's scheme): entry bytes = sampled elements x size,
+  // HT-weighted back to the true array sizes.
+  const SquareMatrix amortized = djvm.daemon().build_full(/*weighted=*/true);
+
+  // Naive whole-array logging: replay the same records but substitute each
+  // array's FULL size as the logged bytes, unweighted (what a scheme without
+  // amortization would accrue).
+  std::vector<IntervalRecord> naive_records;
+  for (const IntervalRecord& r : djvm.daemon().history()) {
+    IntervalRecord n = r;
+    for (OalEntry& e : n.entries) {
+      e.bytes = djvm.heap().meta(e.obj).size_bytes;
+      e.gap = 1;
+    }
+    naive_records.push_back(std::move(n));
+  }
+  const SquareMatrix naive = TcmBuilder::build(naive_records, cfg.threads, false);
+
+  TextTable t({"Scheme", "TCM(T1,T2)", "TCM(T2,T3)", "(T2,T3)/(T1,T2) ratio"});
+  auto ratio = [](const SquareMatrix& m) {
+    return m.at(0, 1) > 0 ? m.at(1, 2) / m.at(0, 1) : 0.0;
+  };
+  t.add_row({"Amortized (paper)", TextTable::cell(amortized.at(0, 1), 0),
+             TextTable::cell(amortized.at(1, 2), 0),
+             TextTable::cell(ratio(amortized), 1)});
+  t.add_row({"Whole-array (naive)", TextTable::cell(naive.at(0, 1), 0),
+             TextTable::cell(naive.at(1, 2), 0),
+             TextTable::cell(ratio(naive), 1)});
+  t.print(std::cout);
+
+  std::cout << "\nTrue size ratio big/small = " << (16384.0 / 64.0) << ".\n"
+            << "Both schemes see the size difference, but only the amortized\n"
+               "one remains faithful under gap changes and bounded per-entry\n"
+               "cost; the naive scheme is also what makes page-size-crossing\n"
+               "arrays vulnerable to false sharing (Section II.B.3).\n";
+
+  // Second scenario: gap robustness.  Under amortization the estimate of the
+  // big array's contribution stays ~stable across gaps.
+  TextTable t2({"Gap", "Amortized estimate of big array (bytes)"});
+  for (std::uint32_t gap : {17u, 31u, 67u, 127u}) {
+    djvm.plan().set_nominal_gap(arr, gap);
+    djvm.plan().resample_all();
+    t2.add_row({std::to_string(djvm.plan().real_gap(arr)),
+                TextTable::cell(static_cast<double>(
+                                    djvm.plan().estimated_full_bytes(big)),
+                                0)});
+  }
+  std::cout << '\n';
+  t2.print(std::cout);
+  std::cout << "\nExpected: estimates hover near the true 131072 bytes at every gap.\n";
+  return 0;
+}

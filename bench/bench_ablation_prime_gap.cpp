@@ -1,0 +1,100 @@
+// Ablation A1 — why sampling gaps must be prime (paper Section II.B.1).
+//
+// Adversary: object allocation striped across threads with a power-of-two
+// period.  With a power-of-two gap, gcd(gap, period) > 1 and the sampled set
+// collapses onto a few threads' residue classes, skewing the TCM; the
+// nearest-prime gap keeps selection uniform.  We compare TCM accuracy under
+// both choices at equal sampling effort.
+#include <iostream>
+
+#include "harness.hpp"
+
+using namespace djvm;
+using namespace djvm::bench;
+
+namespace {
+
+SquareMatrix run_cyclic_tcm(std::uint32_t gap_override, bool use_prime) {
+  Config cfg;
+  cfg.nodes = 4;
+  cfg.threads = 8;
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SyntheticParams p;
+  p.pattern = SharingPattern::kCyclic;
+  p.objects = 32768;
+  p.cyclic_period = 32;  // allocation stripes align with gap 32
+  p.rounds = 3;
+  p.accesses_per_round = 8192;
+  SyntheticWorkload w(p);
+  w.build(djvm);
+
+  // Override the gap AFTER build: either the raw power of two or the
+  // nearest prime the paper mandates.
+  auto& plan = djvm.plan();
+  const ClassId cls = w.object_class();
+  if (use_prime) {
+    plan.set_nominal_gap(cls, gap_override);  // derives the nearest prime
+  } else {
+    // Force the literal power-of-two gap by bypassing the prime rule: pick
+    // a nominal whose nearest prime IS itself impossible, so instead we
+    // assign the raw gap through two steps (set then verify).
+    plan.set_nominal_gap(cls, gap_override);
+    auto& k = djvm.registry().at(cls);
+    k.sampling.real_gap = gap_override;  // the ablation: no prime correction
+  }
+  plan.resample_all();
+
+  w.run(djvm);
+  djvm.pump_daemon();
+  return djvm.daemon().build_full(/*weighted=*/true);
+}
+
+SquareMatrix run_cyclic_ground_truth() {
+  Config cfg;
+  cfg.nodes = 4;
+  cfg.threads = 8;
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SyntheticParams p;
+  p.pattern = SharingPattern::kCyclic;
+  p.objects = 32768;
+  p.cyclic_period = 32;
+  p.rounds = 3;
+  p.accesses_per_round = 8192;
+  SyntheticWorkload w(p);
+  w.build(djvm);
+  w.run(djvm);
+  djvm.pump_daemon();
+  return djvm.daemon().build_full(/*weighted=*/true);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation A1: prime vs power-of-two sampling gaps ===\n";
+  std::cout << "(cyclic allocation, stripe period 32, 8 threads)\n\n";
+
+  const SquareMatrix truth = run_cyclic_ground_truth();
+
+  TextTable t({"Gap choice", "Real gap", "ABS accuracy vs full", "EUC accuracy"});
+  for (std::uint32_t nominal : {32u, 64u}) {
+    const SquareMatrix pow2 = run_cyclic_tcm(nominal, /*use_prime=*/false);
+    const SquareMatrix prime = run_cyclic_tcm(nominal, /*use_prime=*/true);
+    t.add_row({"power-of-two " + std::to_string(nominal), std::to_string(nominal),
+               TextTable::cell_pct(accuracy_from_error(absolute_error(pow2, truth))),
+               TextTable::cell_pct(accuracy_from_error(euclidean_error(pow2, truth)))});
+    t.add_row({"nearest prime of " + std::to_string(nominal),
+               std::to_string(nominal == 32 ? 31 : 67),
+               TextTable::cell_pct(accuracy_from_error(absolute_error(prime, truth))),
+               TextTable::cell_pct(accuracy_from_error(euclidean_error(prime, truth)))});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: the prime gap's accuracy is far higher — the\n"
+               "power-of-two gap aliases with the allocation stripes and samples\n"
+               "a thread-biased subset of the heap.\n";
+  return 0;
+}

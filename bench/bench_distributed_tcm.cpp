@@ -1,0 +1,90 @@
+// Ablation A7 — distributed TCM reduction vs the centralized coordinator
+// (the paper's future work, Section VI: "distributed algorithms for deducing
+// correlation maps in a more scalable way").
+//
+// Compares (a) build time of the centralized O(MN^2) accrual vs the
+// tree-reduced + sharded pipeline, and (b) the OAL bytes a coordinator-based
+// scheme ships vs the deduplicated partials moving up the reduction tree.
+#include <chrono>
+#include <iostream>
+
+#include "harness.hpp"
+#include "profiling/accuracy.hpp"
+#include "profiling/distributed_tcm.hpp"
+
+using namespace djvm;
+using namespace djvm::bench;
+
+namespace {
+
+double time_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation A7: distributed vs centralized TCM reduction ===\n";
+  std::cout << "(Barnes-Hut, 32 threads on 8 nodes, full sampling)\n\n";
+
+  Config cfg;
+  cfg.nodes = 8;
+  cfg.threads = 32;
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  RunOutput out = run_once(cfg, barnes_hut_spec(4096, 3).make);
+  out.djvm->pump_daemon();
+  const auto& records = [&]() -> const std::vector<IntervalRecord>& {
+    out.djvm->daemon().build_full();  // folds pending into history
+    return out.djvm->daemon().history();
+  }();
+
+  std::uint64_t raw_oal_bytes = 0;
+  std::size_t entries = 0;
+  for (const IntervalRecord& r : records) {
+    raw_oal_bytes += r.wire_bytes();
+    entries += r.entries.size();
+  }
+  std::cout << records.size() << " interval records, " << entries << " entries ("
+            << raw_oal_bytes / 1024 << " KB raw OAL wire volume)\n\n";
+
+  SquareMatrix central, dist;
+  const double t_central =
+      time_seconds([&] { central = TcmBuilder::build(records, cfg.threads, true); });
+
+  TextTable t({"Scheme", "Coordinator time (ms)", "Reduction traffic (KB)",
+               "ABS distance to centralized"});
+  t.add_row({"Centralized (coordinator)", TextTable::cell(t_central * 1e3, 2),
+             TextTable::cell(raw_oal_bytes / 1024.0, 0), "0"});
+
+  // Phase 1 runs AT the worker nodes in the real system, so only the merge +
+  // accrual phases land on the coordinator.
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    Network net(cfg.costs);
+    auto partials = DistributedTcmReducer::local_reduce(records, true);
+    NodePartial merged;
+    const double dt = time_seconds([&] {
+      merged = DistributedTcmReducer::tree_reduce(std::move(partials), &net);
+      dist = DistributedTcmReducer::accrue_parallel(merged.summaries, cfg.threads,
+                                                    workers);
+    });
+    t.add_row({"Tree-reduce, " + std::to_string(workers) + " shard(s)",
+               TextTable::cell(dt * 1e3, 2),
+               TextTable::cell(
+                   static_cast<double>(net.stats().bytes_of(MsgCategory::kOal)) /
+                       1024.0,
+                   0),
+               TextTable::cell(absolute_error(dist, central), 9)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nExpected shape: identical maps (distance ~0).  The reduction\n"
+               "tree ships fewer bytes than raw per-interval OALs — the saving\n"
+               "grows with intervals per node, since local deduplication folds\n"
+               "re-logged objects (see test_distributed_tcm's 4x case).  The\n"
+               "coordinator sheds the whole O(entries) reorganize phase to the\n"
+               "worker nodes; what remains is the merge + accrual, whose cost\n"
+               "is bounded by unique (object, thread) pairs, not raw entries.\n";
+  return 0;
+}

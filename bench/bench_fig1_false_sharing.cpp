@@ -1,0 +1,80 @@
+// Fig. 1 — false-sharing effect on correlation tracking preciseness.
+//
+// Barnes-Hut with 32 threads: the *inherent* pattern (object-grain tracking)
+// shows two bright same-galaxy blocks; the *induced* pattern (page-grain
+// tracking, as a D-CVM-style system would observe) loses most of that
+// structure because unrelated sub-100-byte bodies share 4 KB pages.
+#include <iostream>
+
+#include "harness.hpp"
+#include "baseline/page_dsm.hpp"
+
+using namespace djvm;
+using namespace djvm::bench;
+
+namespace {
+
+/// Mean same-galaxy cell over mean cross-galaxy cell.
+double galaxy_contrast(const SquareMatrix& m) {
+  const std::size_t n = m.size();
+  const std::size_t half = n / 2;
+  double same = 0.0, cross = 0.0;
+  std::size_t sn = 0, cn = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if ((i < half) == (j < half)) {
+        same += m.at(i, j);
+        ++sn;
+      } else {
+        cross += m.at(i, j);
+        ++cn;
+      }
+    }
+  }
+  const double cross_mean = cn ? cross / static_cast<double>(cn) : 0.0;
+  const double same_mean = sn ? same / static_cast<double>(sn) : 0.0;
+  return cross_mean > 0 ? same_mean / cross_mean : same_mean;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 1: Inherent vs induced sharing pattern (Barnes-Hut) ===\n";
+  std::cout << "(32 threads, 4K bodies; heat maps normalized per matrix)\n\n";
+
+  Config cfg;
+  cfg.nodes = 8;
+  cfg.threads = 32;
+  cfg.oal_transfer = OalTransfer::kLocalOnly;  // full object-grain tracking
+
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  PageCorrelationTracker pages(djvm.heap(), cfg.threads);
+  djvm.add_access_observer(
+      [&](ThreadId t, ObjectId o, bool) { pages.on_access(t, o); });
+  djvm.add_interval_observer([&](ThreadId t) { pages.on_interval_close(t); });
+
+  BarnesHutParams p;
+  p.bodies = 4096;
+  p.rounds = 2;
+  BarnesHutWorkload w(p);
+  execute_workload(djvm, w);
+  djvm.pump_daemon();
+
+  const SquareMatrix inherent = djvm.daemon().build_full(/*weighted=*/true);
+  const SquareMatrix induced = pages.build_tcm();
+
+  print_heatmap(std::cout, inherent, "(a) Inherent pattern — object-grain TCM");
+  std::cout << '\n';
+  print_heatmap(std::cout, induced, "(b) Induced pattern — page-grain TCM");
+
+  TextTable t({"Pattern", "Same-galaxy / cross-galaxy contrast"});
+  t.add_row({"Inherent (object-grain)", TextTable::cell(galaxy_contrast(inherent), 2)});
+  t.add_row({"Induced (page-grain)", TextTable::cell(galaxy_contrast(induced), 2)});
+  std::cout << '\n';
+  t.print(std::cout);
+  std::cout << "\nPaper reference: the induced map \"contains very little hint of\n"
+               "locality between threads of the same galaxy\" — the inherent map's\n"
+               "contrast must be much higher than the induced map's.\n";
+  return 0;
+}

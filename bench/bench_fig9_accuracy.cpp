@@ -1,0 +1,56 @@
+// Fig. 9 — accuracy of correlation tracking with adaptive object sampling.
+//
+// Methodology per the paper: 16 threads per application; starting from the
+// maximum per-class rate and halving it each step (512X ... 1X), compute
+//   * absolute accuracy — sampled TCM vs the full-sampling TCM,
+//   * relative accuracy — sampled TCM vs the next-higher rate's TCM,
+// under both the absolute-distance (eq. 2) and Euclidean (eq. 1) metrics.
+// The paper's findings to reproduce: ABS is more stable than EUC, relative
+// tracks absolute closely, and almost all rates stay >= 95% accurate.
+#include <iostream>
+
+#include "harness.hpp"
+
+using namespace djvm;
+using namespace djvm::bench;
+
+int main() {
+  std::cout << "=== Fig. 9: Accuracy of correlation tracking ===\n";
+  std::cout << "(16 threads; weighted TCMs; accuracy = 1 - distance)\n\n";
+
+  const std::uint32_t rates[] = {512, 256, 128, 64, 32, 16, 8, 4, 2, 1};
+
+  for (const AppSpec& app : sweep_apps()) {
+    Config cfg;
+    cfg.nodes = 8;
+    cfg.threads = 16;
+    cfg.oal_transfer = OalTransfer::kLocalOnly;
+
+    Config full_cfg = cfg;
+    full_cfg.sampling_rate_x = 0;
+    const SquareMatrix full = run_tcm(full_cfg, app.make);
+
+    TextTable t({"Rate", "Absolute/ABS", "Relative/ABS", "Absolute/EUC",
+                 "Relative/EUC"});
+    SquareMatrix prev = full;  // the next-higher rate of 512X is full sampling
+    for (std::uint32_t rate : rates) {
+      Config rcfg = cfg;
+      rcfg.sampling_rate_x = rate;
+      const SquareMatrix tcm = run_tcm(rcfg, app.make);
+      t.add_row({std::to_string(rate) + "X",
+                 TextTable::cell_pct(accuracy_from_error(absolute_error(tcm, full))),
+                 TextTable::cell_pct(accuracy_from_error(absolute_error(tcm, prev))),
+                 TextTable::cell_pct(accuracy_from_error(euclidean_error(tcm, full))),
+                 TextTable::cell_pct(accuracy_from_error(euclidean_error(tcm, prev)))});
+      prev = tcm;
+    }
+    std::cout << "--- " << app.name << " ---\n";
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Paper reference: almost all rates show >= 95% accuracy; the\n"
+               "ABS metric is more stable and consistently above EUC; relative\n"
+               "accuracy is a usable online proxy for absolute accuracy.\n";
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Ablation A6 — google-benchmark micro-costs of the hot paths the overhead
+// tables aggregate: the inlined access check (fast path), the correlation
+// fault (OAL logging), sampling-state queries, and stack-sample primitives.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/primes.hpp"
+#include "dsm/gos.hpp"
+#include "stackprof/stack_sampler.hpp"
+
+namespace djvm {
+namespace {
+
+struct Fixture {
+  Config cfg;
+  KlassRegistry reg;
+  std::unique_ptr<Heap> heap;
+  std::unique_ptr<SamplingPlan> plan;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<Gos> gos;
+  ClassId klass = kInvalidClass;
+  std::vector<ObjectId> objs;
+
+  explicit Fixture(OalTransfer tracking, std::uint32_t rate = 0) {
+    cfg.nodes = 2;
+    cfg.threads = 2;
+    cfg.oal_transfer = tracking;
+    heap = std::make_unique<Heap>(reg, cfg.nodes);
+    plan = std::make_unique<SamplingPlan>(*heap);
+    net = std::make_unique<Network>(cfg.costs);
+    gos = std::make_unique<Gos>(*heap, *net, *plan, cfg);
+    gos->spawn_thread(0);
+    gos->spawn_thread(1);
+    klass = reg.register_class("X", 64);
+    plan->set_rate(klass, rate);
+    for (int i = 0; i < 4096; ++i) objs.push_back(gos->alloc(klass, 0));
+    // Warm the cache of thread 0 (home accesses) so reads are pure fast path.
+    for (ObjectId o : objs) gos->read(0, o);
+  }
+};
+
+void BM_AccessFastPath_NoTracking(benchmark::State& state) {
+  Fixture f(OalTransfer::kDisabled);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    f.gos->read(0, f.objs[i++ & 4095]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AccessFastPath_NoTracking);
+
+void BM_AccessFastPath_TrackingArmed(benchmark::State& state) {
+  // Tracking on, but each object already logged this interval: the check is
+  // the at-most-once stamp comparison.
+  Fixture f(OalTransfer::kLocalOnly);
+  for (ObjectId o : f.objs) f.gos->read(0, o);  // log everything once
+  std::size_t i = 0;
+  for (auto _ : state) {
+    f.gos->read(0, f.objs[i++ & 4095]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AccessFastPath_TrackingArmed);
+
+void BM_CorrelationFault_LogService(benchmark::State& state) {
+  // Fresh interval per batch so every access takes the logging slow path.
+  Fixture f(OalTransfer::kLocalOnly);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if ((i & 4095) == 0) {
+      state.PauseTiming();
+      f.gos->barrier_all();  // opens a new interval, re-arming the overlay
+      state.ResumeTiming();
+    }
+    f.gos->read(0, f.objs[i++ & 4095]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CorrelationFault_LogService);
+
+void BM_SamplingQuery(benchmark::State& state) {
+  Fixture f(OalTransfer::kDisabled, 4);
+  std::size_t i = 0;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += f.plan->is_sampled(f.objs[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_SamplingQuery);
+
+void BM_ResamplePass(benchmark::State& state) {
+  Fixture f(OalTransfer::kDisabled, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.plan->resample_all());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_ResamplePass);
+
+void BM_NearestPrime(benchmark::State& state) {
+  std::uint64_t n = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nearest_prime(n));
+    n = (n * 2) % 100000 + 2;
+  }
+}
+BENCHMARK(BM_NearestPrime);
+
+void BM_StackSample_LazyDeepStack(benchmark::State& state) {
+  KlassRegistry reg;
+  Heap heap(reg, 1);
+  const ClassId klass = reg.register_class("X", 16);
+  std::vector<ObjectId> objs;
+  for (int i = 0; i < 64; ++i) objs.push_back(heap.alloc(klass, 0));
+  StackSampler sampler(heap, ExtractionMode::kLazy, 2);
+  JavaStack stack;
+  for (int d = 0; d < 32; ++d) {
+    stack.push(static_cast<MethodId>(d), 8);
+    stack.top().set_ref(0, objs[static_cast<std::size_t>(d)]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(stack));
+  }
+}
+BENCHMARK(BM_StackSample_LazyDeepStack);
+
+void BM_StackSample_ImmediateDeepStack(benchmark::State& state) {
+  KlassRegistry reg;
+  Heap heap(reg, 1);
+  const ClassId klass = reg.register_class("X", 16);
+  std::vector<ObjectId> objs;
+  for (int i = 0; i < 64; ++i) objs.push_back(heap.alloc(klass, 0));
+  StackSampler sampler(heap, ExtractionMode::kImmediate, 2);
+  JavaStack stack;
+  for (int d = 0; d < 32; ++d) {
+    stack.push(static_cast<MethodId>(d), 8);
+    stack.top().set_ref(0, objs[static_cast<std::size_t>(d)]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(stack));
+  }
+}
+BENCHMARK(BM_StackSample_ImmediateDeepStack);
+
+}  // namespace
+}  // namespace djvm
+
+BENCHMARK_MAIN();

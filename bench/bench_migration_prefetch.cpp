@@ -1,0 +1,131 @@
+// Ablation A4 — thread migration with vs without sticky-set prefetch, and
+// validation of the cost model's fault prediction against the oracle.
+//
+// The paper's motivation (Section III): the indirect cost of a migration —
+// remote object faults on the sticky set — dominates the direct context
+// transfer, and prefetching the resolved sticky set absorbs it into one bulk
+// message.
+#include <iostream>
+#include <unordered_set>
+
+#include "harness.hpp"
+#include "migration/cost_model.hpp"
+
+using namespace djvm;
+using namespace djvm::bench;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t post_faults = 0;
+  std::uint64_t post_fault_bytes = 0;
+  std::uint64_t prefetched = 0;
+  SimTime sim_cost = 0;
+  double predicted_faults = 0.0;
+  std::uint64_t oracle_sticky = 0;
+};
+
+Outcome run(bool prefetch) {
+  Config cfg;
+  cfg.nodes = 2;
+  cfg.threads = 2;
+  cfg.footprinting = true;
+  cfg.footprint_timer = FootprintTimerMode::kNonstop;
+  cfg.footprint_rearm = sim_us(500);
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+
+  SorParams p;
+  p.rows = 256;
+  p.cols = 2048;
+  p.rounds = 2;
+  SorWorkload w(p);
+  w.build(djvm);
+
+  // Oracle: record thread 0's accesses to detect the true sticky set of the
+  // replayed window (accessed before AND after the migration point).
+  std::unordered_set<ObjectId> before, after;
+  bool migrated = false;
+  djvm.add_access_observer([&](ThreadId t, ObjectId o, bool) {
+    if (t != 0) return;
+    (migrated ? after : before).insert(o);
+  });
+
+  w.run(djvm);
+
+  Outcome out;
+  const ClassFootprint fp = djvm.footprints().footprint(0);
+  const MigrationCostModel model = djvm.cost_model();
+  JavaStack& stack = djvm.stack(0);
+  stack.push(1, 2);
+  out.predicted_faults =
+      static_cast<double>(model.estimate(stack.context_bytes(), fp).predicted_fault_count);
+
+  // Migrate thread 0 mid-"interval" and replay its row block (the accesses a
+  // migrant performs after moving).
+  migrated = true;
+  const auto& stats = djvm.gos().stats();
+  if (prefetch) {
+    // The matrix root is SOR's stack invariant: resolution walks root -> rows.
+    std::vector<ObjectId> roots{w.matrix_root()};
+    const MigrationOutcome mo = djvm.migration().migrate_with_resolution(
+        0, 1, stack, roots, fp, cfg.landmark_tolerance);
+    out.prefetched = mo.prefetched_objects;
+    out.sim_cost = mo.sim_cost;
+  } else {
+    const MigrationOutcome mo = djvm.migration().migrate(0, 1, stack);
+    out.sim_cost = mo.sim_cost;
+  }
+  const std::uint64_t faults0 = stats.object_faults;
+  const std::uint64_t bytes0 = stats.fault_bytes;
+  const SimTime clock0 = djvm.gos().clock(0).now();
+  for (std::uint32_t r = 1; r <= 128; ++r) djvm.gos().read(0, w.row_object(r));
+  out.post_faults = stats.object_faults - faults0;
+  out.post_fault_bytes = stats.fault_bytes - bytes0;
+  out.sim_cost += djvm.gos().clock(0).now() - clock0;
+  stack.pop();
+
+  for (ObjectId o : after) {
+    if (before.contains(o)) ++out.oracle_sticky;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation A4: migration cost with vs without SS prefetch ===\n";
+  std::cout << "(SOR 256x2K, thread 0 migrates node 0 -> 1, replays its block)\n\n";
+
+  const Outcome without = run(false);
+  const Outcome with = run(true);
+
+  TextTable t({"Variant", "Post-mig faults", "Fault bytes", "Prefetched objs",
+               "Sim cost (ms)"});
+  t.add_row({"No prefetch", TextTable::cell(without.post_faults),
+             TextTable::cell(without.post_fault_bytes),
+             TextTable::cell(std::uint64_t{0}),
+             TextTable::cell(static_cast<double>(without.sim_cost) / 1e6, 2)});
+  t.add_row({"Sticky-set prefetch", TextTable::cell(with.post_faults),
+             TextTable::cell(with.post_fault_bytes),
+             TextTable::cell(with.prefetched),
+             TextTable::cell(static_cast<double>(with.sim_cost) / 1e6, 2)});
+  t.print(std::cout);
+
+  std::cout << "\nCost-model validation:\n";
+  TextTable v({"Quantity", "Value"});
+  v.add_row({"Predicted post-migration faults",
+             TextTable::cell(without.predicted_faults, 0)});
+  v.add_row({"Measured faults (no prefetch)", TextTable::cell(without.post_faults)});
+  v.add_row({"Oracle sticky-set size (before & after)",
+             TextTable::cell(without.oracle_sticky)});
+  v.print(std::cout);
+
+  std::cout << "\nExpected shape: prefetch absorbs the resolved sticky set (faults\n"
+               "drop by about the prefetched count) and lowers total simulated\n"
+               "cost; the prediction lands within ~2x of the measured faults and\n"
+               "is bounded by the oracle sticky-set size.  The residual gap is\n"
+               "the footprint's conservatism: it only counts objects re-touched\n"
+               "at distinct re-arm ticks, the paper's accuracy/cost trade-off.\n";
+  return 0;
+}

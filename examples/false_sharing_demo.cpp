@@ -1,0 +1,75 @@
+// Why fine-grained tracking matters: the same workload profiled at object
+// grain (this system) and at page grain (a D-CVM-style page-based DSM).
+//
+// Threads share 64-byte counters in a strict pairwise pattern, but the
+// counters of *different* pairs sit on the same 4 KB pages — a page-grain
+// profiler reports heavy correlation between unrelated threads (false
+// sharing), while the object-grain profile recovers the true structure.
+//
+// Build & run:  ./examples/false_sharing_demo
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/page_dsm.hpp"
+#include "core/djvm.hpp"
+
+using namespace djvm;
+
+namespace {
+
+void print_map(const char* title, const SquareMatrix& m) {
+  std::cout << title << '\n';
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    std::cout << "  ";
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      printf("%7.0f", m.at(i, j));
+    }
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
+
+int main() {
+  Config cfg;
+  cfg.nodes = 2;
+  cfg.threads = 6;
+  cfg.oal_transfer = OalTransfer::kLocalOnly;  // full object-grain tracking
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+
+  PageCorrelationTracker pages(djvm.heap(), cfg.threads);
+  djvm.add_access_observer(
+      [&](ThreadId t, ObjectId o, bool) { pages.on_access(t, o); });
+  djvm.add_interval_observer([&](ThreadId t) { pages.on_interval_close(t); });
+
+  // 64-byte counters, all allocated back-to-back on node 0: counters of all
+  // three pairs interleave within each page.
+  const ClassId counter = djvm.registry().register_class("Counter", 64);
+  std::vector<std::vector<ObjectId>> pool(cfg.threads / 2);
+  for (int i = 0; i < 64; ++i) {
+    for (std::size_t pair = 0; pair < pool.size(); ++pair) {
+      pool[pair].push_back(djvm.gos().alloc(counter, 0));
+    }
+  }
+
+  for (int round = 0; round < 3; ++round) {
+    for (ThreadId t = 0; t < cfg.threads; ++t) {
+      for (ObjectId obj : pool[t / 2]) djvm.read(t, obj);
+    }
+    djvm.barrier_all();
+  }
+  djvm.pump_daemon();
+
+  print_map("Object-grain (inherent) TCM — bytes shared per pair:",
+            djvm.daemon().build_full());
+  std::cout << '\n';
+  print_map("Page-grain (induced) TCM — what a page-based DSM sees:",
+            pages.build_tcm());
+
+  std::cout << "\nThe object-grain map is block-diagonal: pairs (0,1), (2,3), "
+               "(4,5).\nThe page-grain map is nearly uniform: every page mixes "
+               "all pairs'\ncounters, so unrelated threads appear correlated — "
+               "exactly the\ndistortion of the paper's Fig. 1(b).\n";
+  return 0;
+}

@@ -1,0 +1,363 @@
+#include "apps/barnes_hut.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace djvm {
+
+namespace {
+constexpr MethodId kMethodMain = 10;
+constexpr MethodId kMethodForcePhase = 11;
+constexpr MethodId kMethodTraverse = 12;
+constexpr MethodId kMethodUpdate = 13;
+
+double dist2(const std::array<double, 3>& a, const std::array<double, 3>& b) {
+  double s = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    const double d = a[k] - b[k];
+    s += d * d;
+  }
+  return s;
+}
+}  // namespace
+
+WorkloadInfo BarnesHutWorkload::info() const {
+  return WorkloadInfo{
+      .name = "Barnes-Hut",
+      .dataset = std::to_string(p_.bodies / 1024) + "K bodies",
+      .rounds = p_.rounds,
+      .granularity = "Fine",
+      .object_size_desc = "each body less than 100 bytes",
+  };
+}
+
+std::pair<std::uint32_t, std::uint32_t> BarnesHutWorkload::chunk(
+    std::uint32_t t, std::uint32_t threads) const {
+  const std::uint32_t per = p_.bodies / threads;
+  const std::uint32_t extra = p_.bodies % threads;
+  const std::uint32_t lo = t * per + std::min(t, extra);
+  return {lo, lo + per + (t < extra ? 1 : 0)};
+}
+
+void BarnesHutWorkload::build(Djvm& djvm) {
+  auto& reg = djvm.registry();
+  auto get_or = [&](const char* name, auto&& make) {
+    if (auto id = reg.find(name)) return *id;
+    return make();
+  };
+  body_class_ = get_or("Body", [&] { return reg.register_class("Body", 88, 2); });
+  vect_class_ = get_or("Vect3", [&] { return reg.register_class("Vect3", 24, 0); });
+  cell_class_ = get_or("Cell", [&] { return reg.register_class("Cell", 80, 8); });
+  leaf_class_ = get_or("Leaf", [&] { return reg.register_class("Leaf", 64, 1); });
+  body_array_class_ = get_or("Body[]", [&] {
+    return reg.register_array_class("Body[]", 8, /*elements_are_refs=*/true);
+  });
+
+  const std::uint32_t threads = djvm.thread_count();
+  assert(threads > 0);
+  data_.resize(p_.bodies);
+  body_objs_.resize(p_.bodies);
+  pos_objs_.resize(p_.bodies);
+  vel_objs_.resize(p_.bodies);
+
+  // Two galaxies: bodies [0, N/2) around centre A, [N/2, N) around centre B,
+  // each galaxy's bodies sorted along x so adjacent threads own adjacent
+  // regions (costzone-like locality).
+  SplitMix64 rng(djvm.config().seed ^ 0xB0D1E5ULL);
+  const double sep = p_.galaxy_separation / 2.0;
+  for (std::uint32_t i = 0; i < p_.bodies; ++i) {
+    const int g = galaxy_of(i);
+    const double cx = g == 0 ? -sep : sep;
+    BodyData& b = data_[i];
+    for (int k = 0; k < 3; ++k) {
+      b.pos[k] = rng.uniform(-p_.galaxy_radius, p_.galaxy_radius);
+    }
+    b.pos[0] += cx;
+    // Mild rotation about the galaxy centre.
+    b.vel[0] = -0.05 * (b.pos[1] - 0.0);
+    b.vel[1] = 0.05 * (b.pos[0] - cx);
+    b.vel[2] = rng.uniform(-0.01, 0.01);
+    b.mass = 1.0 + rng.next_double();
+  }
+  const std::uint32_t half = p_.bodies / 2;
+  auto by_x = [&](std::uint32_t a, std::uint32_t b) {
+    return data_[a].pos[0] < data_[b].pos[0];
+  };
+  std::vector<std::uint32_t> order(p_.bodies);
+  for (std::uint32_t i = 0; i < p_.bodies; ++i) order[i] = i;
+  std::sort(order.begin(), order.begin() + half, by_x);
+  std::sort(order.begin() + half, order.end(), by_x);
+  std::vector<BodyData> sorted(p_.bodies);
+  for (std::uint32_t i = 0; i < p_.bodies; ++i) sorted[i] = data_[order[i]];
+  data_ = std::move(sorted);
+
+  // Allocate Body + Vect3 objects homed at the owning thread's node.
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const auto [lo, hi] = chunk(t, threads);
+    const NodeId home = djvm.gos().thread_node(static_cast<ThreadId>(t));
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      body_objs_[i] = djvm.gos().alloc(body_class_, home);
+      pos_objs_[i] = djvm.gos().alloc(vect_class_, home);
+      vel_objs_[i] = djvm.gos().alloc(vect_class_, home);
+      djvm.heap().set_ref(body_objs_[i], 0, pos_objs_[i]);
+      djvm.heap().set_ref(body_objs_[i], 1, vel_objs_[i]);
+    }
+  }
+}
+
+std::int32_t BarnesHutWorkload::make_node(const std::array<double, 3>& center,
+                                          double half) {
+  TreeNode n;
+  n.center = center;
+  n.half = half;
+  n.child.fill(-1);
+  tree_.push_back(std::move(n));
+  return static_cast<std::int32_t>(tree_.size() - 1);
+}
+
+void BarnesHutWorkload::insert_body(std::uint32_t b, std::int32_t node) {
+  TreeNode* n = &tree_[static_cast<std::size_t>(node)];
+  if (n->leaf) {
+    n->bodies.push_back(b);
+    if (n->bodies.size() <= p_.leaf_capacity || n->half < 1e-6) return;
+    // Split: redistribute into octants.
+    std::vector<std::uint32_t> moved = std::move(n->bodies);
+    n->bodies.clear();
+    n->leaf = false;
+    for (std::uint32_t m : moved) {
+      TreeNode& cur = tree_[static_cast<std::size_t>(node)];
+      int oct = 0;
+      for (int k = 0; k < 3; ++k) {
+        if (data_[m].pos[k] >= cur.center[k]) oct |= 1 << k;
+      }
+      if (cur.child[oct] < 0) {
+        std::array<double, 3> c = cur.center;
+        const double h = cur.half / 2.0;
+        for (int k = 0; k < 3; ++k) c[k] += (oct & (1 << k)) ? h : -h;
+        const std::int32_t fresh = make_node(c, h);
+        tree_[static_cast<std::size_t>(node)].child[oct] = fresh;
+      }
+      insert_body(m, tree_[static_cast<std::size_t>(node)].child[oct]);
+    }
+    return;
+  }
+  int oct = 0;
+  for (int k = 0; k < 3; ++k) {
+    if (data_[b].pos[k] >= n->center[k]) oct |= 1 << k;
+  }
+  if (n->child[oct] < 0) {
+    std::array<double, 3> c = n->center;
+    const double h = n->half / 2.0;
+    for (int k = 0; k < 3; ++k) c[k] += (oct & (1 << k)) ? h : -h;
+    const std::int32_t fresh = make_node(c, h);
+    tree_[static_cast<std::size_t>(node)].child[oct] = fresh;
+    n = &tree_[static_cast<std::size_t>(node)];
+  }
+  insert_body(b, tree_[static_cast<std::size_t>(node)].child[oct]);
+}
+
+void BarnesHutWorkload::compute_mass(std::int32_t node) {
+  TreeNode& n = tree_[static_cast<std::size_t>(node)];
+  n.mass = 0.0;
+  n.com = {0.0, 0.0, 0.0};
+  if (n.leaf) {
+    for (std::uint32_t b : n.bodies) {
+      n.mass += data_[b].mass;
+      for (int k = 0; k < 3; ++k) n.com[k] += data_[b].mass * data_[b].pos[k];
+    }
+  } else {
+    for (std::int32_t c : n.child) {
+      if (c < 0) continue;
+      compute_mass(c);
+      const TreeNode& ch = tree_[static_cast<std::size_t>(c)];
+      n.mass += ch.mass;
+      for (int k = 0; k < 3; ++k) n.com[k] += ch.mass * ch.com[k];
+    }
+  }
+  if (n.mass > 0.0) {
+    for (int k = 0; k < 3; ++k) n.com[k] /= n.mass;
+  }
+}
+
+void BarnesHutWorkload::materialize_tree(Djvm& djvm, ThreadId builder) {
+  // Allocate fresh Cell/Leaf GOS objects for this round's tree (tree nodes
+  // are rebuilt every round, churning sequence numbers as a real run would).
+  Gos& gos = djvm.gos();
+  for (TreeNode& n : tree_) {
+    if (n.leaf) {
+      n.cell_obj = gos.alloc_for_thread(builder, leaf_class_);
+      if (!n.bodies.empty()) {
+        n.body_arr = gos.alloc_array_for_thread(
+            builder, body_array_class_, static_cast<std::uint32_t>(n.bodies.size()));
+        djvm.heap().set_ref(n.cell_obj, 0, n.body_arr);
+        for (std::uint32_t b : n.bodies) {
+          djvm.heap().add_ref(n.body_arr, body_objs_[b]);
+        }
+      }
+    } else {
+      n.cell_obj = gos.alloc_for_thread(builder, cell_class_);
+    }
+    gos.write(builder, n.cell_obj);
+  }
+  // Wire child references after every node has an object.
+  for (TreeNode& n : tree_) {
+    if (n.leaf) continue;
+    for (int i = 0; i < 8; ++i) {
+      if (n.child[i] >= 0) {
+        djvm.heap().set_ref(n.cell_obj, static_cast<std::size_t>(i),
+                            tree_[static_cast<std::size_t>(n.child[i])].cell_obj);
+      }
+    }
+  }
+}
+
+void BarnesHutWorkload::build_tree(Djvm& djvm, ThreadId builder) {
+  tree_.clear();
+  // Bounding cube.
+  double lo = data_[0].pos[0];
+  double hi = lo;
+  for (const BodyData& b : data_) {
+    for (int k = 0; k < 3; ++k) {
+      lo = std::min(lo, b.pos[k]);
+      hi = std::max(hi, b.pos[k]);
+    }
+  }
+  const double half = (hi - lo) / 2.0 + 1e-3;
+  const std::array<double, 3> center = {(hi + lo) / 2.0, (hi + lo) / 2.0,
+                                        (hi + lo) / 2.0};
+  root_ = make_node(center, half);
+  for (std::uint32_t b = 0; b < p_.bodies; ++b) {
+    djvm.gos().read(builder, body_objs_[b]);
+    insert_body(b, root_);
+  }
+  compute_mass(root_);
+  materialize_tree(djvm, builder);
+  djvm.gos().clock(builder).advance(
+      static_cast<SimTime>(p_.bodies) * 40 * djvm.config().costs.compute_per_flop);
+}
+
+void BarnesHutWorkload::force_on_body(Djvm& djvm, ThreadId t, std::uint32_t b,
+                                      std::int32_t node,
+                                      std::uint64_t& interactions) {
+  const TreeNode& n = tree_[static_cast<std::size_t>(node)];
+  Gos& gos = djvm.gos();
+  gos.read(t, n.cell_obj);
+
+  BodyData& body = data_[b];
+  const double d2 = dist2(body.pos, n.com) + 1e-9;
+
+  auto interact = [&](const std::array<double, 3>& pos, double mass) {
+    const double r2 = dist2(body.pos, pos) + 0.05;  // softening
+    const double inv = 1.0 / std::sqrt(r2);
+    const double f = mass * inv * inv * inv;
+    for (int k = 0; k < 3; ++k) body.acc[k] += f * (pos[k] - body.pos[k]);
+    ++interactions;
+  };
+
+  if (n.leaf) {
+    if (n.body_arr != kInvalidObject) gos.read(t, n.body_arr);
+    for (std::uint32_t ob : n.bodies) {
+      if (ob == b) continue;
+      gos.read(t, body_objs_[ob]);
+      gos.read(t, pos_objs_[ob]);
+      interact(data_[ob].pos, data_[ob].mass);
+    }
+    return;
+  }
+  const double size = 2.0 * n.half;
+  if (size * size < p_.theta * p_.theta * d2) {
+    interact(n.com, n.mass);  // far enough: use the cell's centre of mass
+    return;
+  }
+  FrameGuard rec(djvm.stack(t), kMethodTraverse, 3);
+  rec.set_ref(0, n.cell_obj);
+  rec.set_ref(1, body_objs_[b]);
+  for (std::int32_t c : n.child) {
+    if (c >= 0) force_on_body(djvm, t, b, c, interactions);
+  }
+}
+
+void BarnesHutWorkload::run(Djvm& djvm) {
+  const std::uint32_t threads = djvm.thread_count();
+  Gos& gos = djvm.gos();
+  const SimTime per_interaction =
+      static_cast<SimTime>(p_.flops_per_interaction) * djvm.config().costs.compute_per_flop;
+
+  std::vector<std::size_t> root_frames(threads);
+  for (ThreadId t = 0; t < threads; ++t) {
+    root_frames[t] = djvm.stack(t).push(kMethodMain, 3);
+  }
+
+  for (std::uint32_t round = 0; round < p_.rounds; ++round) {
+    // Phase 0: thread 0 rebuilds the octree.
+    gos.set_phase(0, round * 3);
+    build_tree(djvm, 0);
+    gos.barrier_all();
+
+    // The per-thread main frame holds invariant refs: this round's root cell
+    // and the thread's first body.
+    for (ThreadId t = 0; t < threads; ++t) {
+      const auto [lo, hi] = chunk(t, threads);
+      Frame& f = djvm.stack(t).frame(root_frames[t]);
+      f.set_ref(0, tree_[static_cast<std::size_t>(root_)].cell_obj);
+      f.set_ref(1, body_objs_[lo]);
+      f.set_prim(2, hi - lo);
+    }
+
+    // Phase 1: force computation.
+    for (ThreadId t = 0; t < threads; ++t) {
+      gos.set_phase(t, round * 3 + 1);
+      const auto [lo, hi] = chunk(t, threads);
+      FrameGuard phase(djvm.stack(t), kMethodForcePhase, 2);
+      phase.set_ref(0, tree_[static_cast<std::size_t>(root_)].cell_obj);
+      std::uint64_t interactions = 0;
+      for (std::uint32_t b = lo; b < hi; ++b) {
+        phase.set_ref(1, body_objs_[b]);
+        gos.read(t, body_objs_[b]);
+        gos.read(t, pos_objs_[b]);
+        data_[b].acc = {0.0, 0.0, 0.0};
+        force_on_body(djvm, t, b, root_, interactions);
+        gos.clock(t).advance(per_interaction *
+                             std::max<std::uint64_t>(1, interactions));
+        total_interactions_ += interactions;
+        interactions = 0;
+      }
+    }
+    gos.barrier_all();
+
+    // Phase 2: position/velocity update (leapfrog).
+    for (ThreadId t = 0; t < threads; ++t) {
+      gos.set_phase(t, round * 3 + 2);
+      const auto [lo, hi] = chunk(t, threads);
+      FrameGuard phase(djvm.stack(t), kMethodUpdate, 1);
+      for (std::uint32_t b = lo; b < hi; ++b) {
+        phase.set_ref(0, body_objs_[b]);
+        gos.write(t, body_objs_[b]);
+        gos.write(t, pos_objs_[b]);
+        gos.write(t, vel_objs_[b]);
+        BodyData& bd = data_[b];
+        for (int k = 0; k < 3; ++k) {
+          bd.vel[k] += bd.acc[k] * p_.dt;
+          bd.pos[k] += bd.vel[k] * p_.dt;
+        }
+        gos.clock(t).advance(12 * djvm.config().costs.compute_per_flop);
+      }
+    }
+    gos.barrier_all();
+  }
+
+  for (ThreadId t = 0; t < threads; ++t) djvm.stack(t).pop();
+}
+
+double BarnesHutWorkload::checksum() const {
+  double s = 0.0;
+  for (const BodyData& b : data_) {
+    for (int k = 0; k < 3; ++k) s += b.pos[k] + b.vel[k];
+  }
+  return s;
+}
+
+}  // namespace djvm

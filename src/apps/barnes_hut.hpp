@@ -1,0 +1,94 @@
+// Barnes-Hut: hierarchical N-body simulation (paper Section IV, benchmark 2).
+//
+// 4K bodies in *two galaxies*; each thread simulates a continuous chunk of
+// bodies.  Sharing is irregular and fine-grained (each Body is < 100 bytes),
+// with strong locality between threads of the same galaxy — the structure
+// page-based trackers cannot see (Fig. 1).  The octree is rebuilt every
+// round; force computation recursively traverses it with a theta opening
+// criterion, mirroring the recursion onto the Java stack (the paper notes
+// the stack-sampling cost of BH's "recursive method calls during octree
+// traversal").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace djvm {
+
+struct BarnesHutParams {
+  std::uint32_t bodies = 4096;
+  std::uint32_t rounds = 5;
+  double theta = 0.7;           ///< opening criterion
+  double dt = 0.025;            ///< leapfrog step
+  std::uint32_t leaf_capacity = 8;
+  std::uint32_t flops_per_interaction = 60;
+  double galaxy_separation = 40.0;
+  double galaxy_radius = 10.0;
+};
+
+class BarnesHutWorkload final : public Workload {
+ public:
+  explicit BarnesHutWorkload(BarnesHutParams p = {}) : p_(p) {}
+
+  [[nodiscard]] WorkloadInfo info() const override;
+  void build(Djvm& djvm) override;
+  void run(Djvm& djvm) override;
+  [[nodiscard]] double checksum() const override;
+
+  [[nodiscard]] const BarnesHutParams& params() const noexcept { return p_; }
+  [[nodiscard]] ObjectId body_object(std::uint32_t i) const { return body_objs_[i]; }
+  /// Ground-truth galaxy of body i (0 or 1), for locality tests.
+  [[nodiscard]] int galaxy_of(std::uint32_t i) const {
+    return i < p_.bodies / 2 ? 0 : 1;
+  }
+
+ private:
+  struct BodyData {
+    std::array<double, 3> pos{};
+    std::array<double, 3> vel{};
+    std::array<double, 3> acc{};
+    double mass = 1.0;
+  };
+  /// Octree node (native mirror of the Cell/Leaf GOS objects).
+  struct TreeNode {
+    bool leaf = true;
+    std::array<double, 3> center{};
+    double half = 0.0;
+    std::array<double, 3> com{};
+    double mass = 0.0;
+    std::array<std::int32_t, 8> child{};
+    std::vector<std::uint32_t> bodies;
+    ObjectId cell_obj = kInvalidObject;  ///< Cell or Leaf GOS object
+    ObjectId body_arr = kInvalidObject;  ///< Body[] for leaves
+  };
+
+  void build_tree(Djvm& djvm, ThreadId builder);
+  void insert_body(std::uint32_t b, std::int32_t node);
+  std::int32_t make_node(const std::array<double, 3>& center, double half);
+  void compute_mass(std::int32_t node);
+  void materialize_tree(Djvm& djvm, ThreadId builder);
+  void force_on_body(Djvm& djvm, ThreadId t, std::uint32_t b, std::int32_t node,
+                     std::uint64_t& interactions);
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> chunk(std::uint32_t t,
+                                                              std::uint32_t threads) const;
+
+  BarnesHutParams p_;
+  ClassId body_class_ = kInvalidClass;
+  ClassId vect_class_ = kInvalidClass;
+  ClassId cell_class_ = kInvalidClass;
+  ClassId leaf_class_ = kInvalidClass;
+  ClassId body_array_class_ = kInvalidClass;
+
+  std::vector<BodyData> data_;
+  std::vector<ObjectId> body_objs_;
+  std::vector<ObjectId> pos_objs_;  ///< Vect3 per body
+  std::vector<ObjectId> vel_objs_;  ///< Vect3 per body
+  std::vector<TreeNode> tree_;
+  std::int32_t root_ = -1;
+  std::uint64_t total_interactions_ = 0;
+};
+
+}  // namespace djvm

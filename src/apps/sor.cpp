@@ -1,0 +1,137 @@
+#include "apps/sor.hpp"
+
+#include <cassert>
+
+#include "common/rng.hpp"
+
+namespace djvm {
+
+namespace {
+constexpr MethodId kMethodSorRun = 1;
+constexpr MethodId kMethodSorPhase = 2;
+}  // namespace
+
+WorkloadInfo SorWorkload::info() const {
+  return WorkloadInfo{
+      .name = "SOR",
+      .dataset = std::to_string(p_.rows / 1024) + "K x " + std::to_string(p_.cols / 1024) + "K",
+      .rounds = p_.rounds,
+      .granularity = "Coarse",
+      .object_size_desc = "each row at least several KB",
+  };
+}
+
+std::pair<std::uint32_t, std::uint32_t> SorWorkload::block(std::uint32_t t,
+                                                           std::uint32_t threads) const {
+  const std::uint32_t per = p_.rows / threads;
+  const std::uint32_t extra = p_.rows % threads;
+  const std::uint32_t lo = 1 + t * per + std::min(t, extra);
+  const std::uint32_t hi = lo + per + (t < extra ? 1 : 0);
+  return {lo, hi};
+}
+
+void SorWorkload::build(Djvm& djvm) {
+  auto& reg = djvm.registry();
+  double_array_ = reg.find("double[]").value_or(kInvalidClass);
+  if (double_array_ == kInvalidClass) {
+    double_array_ = reg.register_array_class("double[]", 8);
+  }
+  matrix_class_ = reg.find("SorMatrix").value_or(kInvalidClass);
+  if (matrix_class_ == kInvalidClass) {
+    matrix_class_ = reg.register_class("SorMatrix", 32, 1);
+  }
+
+  const std::uint32_t threads = djvm.thread_count();
+  assert(threads > 0);
+  const std::uint32_t total_rows = p_.rows + 2;
+  row_objs_.resize(total_rows);
+  grid_.assign(total_rows, std::vector<double>(p_.cols + 2, 0.0));
+
+  // The matrix root lives at node 0; rows are homed where their owning
+  // thread runs ("home copies reside in the nodes which are the first to
+  // create them").
+  matrix_root_ = djvm.gos().alloc(matrix_class_, 0);
+  SplitMix64 rng(djvm.config().seed);
+  for (std::uint32_t r = 0; r < total_rows; ++r) {
+    // Owner of interior row r is the thread whose block contains it; border
+    // rows go with their adjacent block.
+    std::uint32_t owner = 0;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const auto [lo, hi] = block(t, threads);
+      if ((r >= lo && r < hi) || (t == 0 && r < lo) ||
+          (t == threads - 1 && r >= hi)) {
+        owner = t;
+        if (r >= lo && r < hi) break;
+      }
+    }
+    const NodeId home = djvm.gos().thread_node(static_cast<ThreadId>(owner));
+    row_objs_[r] = djvm.gos().alloc_array(double_array_, home, p_.cols + 2);
+    djvm.heap().add_ref(matrix_root_, row_objs_[r]);
+    for (double& v : grid_[r]) v = rng.uniform(0.0, 1.0);
+  }
+}
+
+void SorWorkload::relax_row(std::uint32_t r) {
+  auto& row = grid_[r];
+  const auto& up = grid_[r - 1];
+  const auto& down = grid_[r + 1];
+  const double omega = p_.omega;
+  const double rest = 1.0 - omega;
+  for (std::size_t c = 1; c + 1 < row.size(); ++c) {
+    row[c] = omega * 0.25 * (up[c] + down[c] + row[c - 1] + row[c + 1]) +
+             rest * row[c];
+  }
+}
+
+void SorWorkload::run(Djvm& djvm) {
+  const std::uint32_t threads = djvm.thread_count();
+  Gos& gos = djvm.gos();
+  const SimTime flop_cost =
+      static_cast<SimTime>(p_.flops_per_point) * djvm.config().costs.compute_per_flop;
+
+  // One long-lived bottom frame per thread holding the invariant matrix-root
+  // reference (stack invariants in SOR point at the matrix descriptor).
+  std::vector<std::size_t> root_frames(threads);
+  for (ThreadId t = 0; t < threads; ++t) {
+    root_frames[t] = djvm.stack(t).push(kMethodSorRun, 4);
+    djvm.stack(t).frame(root_frames[t]).set_ref(0, matrix_root_);
+  }
+
+  for (std::uint32_t iter = 0; iter < p_.rounds; ++iter) {
+    for (std::uint32_t color = 0; color < 2; ++color) {
+      for (ThreadId t = 0; t < threads; ++t) {
+        gos.set_phase(t, iter * 2 + color);
+        const auto [lo, hi] = block(t, threads);
+        FrameGuard phase(djvm.stack(t), kMethodSorPhase, 4);
+        phase.set_ref(0, matrix_root_);
+        for (std::uint32_t r = lo; r < hi; ++r) {
+          if ((r & 1u) != color) continue;
+          // Temporary slot updates mirror what the JIT'ed loop would keep in
+          // its frame: the current row and its neighbours.
+          phase.set_ref(1, row_objs_[r]);
+          phase.set_ref(2, row_objs_[r - 1]);
+          phase.set_ref(3, row_objs_[r + 1]);
+          gos.read(t, row_objs_[r - 1]);
+          gos.read(t, row_objs_[r + 1]);
+          gos.read(t, row_objs_[r]);
+          gos.write(t, row_objs_[r]);
+          relax_row(r);
+          gos.clock(t).advance(flop_cost * p_.cols);
+        }
+      }
+      gos.barrier_all();
+    }
+  }
+
+  for (ThreadId t = 0; t < threads; ++t) djvm.stack(t).pop();
+}
+
+double SorWorkload::checksum() const {
+  double s = 0.0;
+  for (const auto& row : grid_) {
+    for (double v : row) s += v;
+  }
+  return s;
+}
+
+}  // namespace djvm

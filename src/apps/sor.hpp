@@ -1,0 +1,57 @@
+// SOR: red-black successive over-relaxation (paper Section IV, benchmark 1).
+//
+// An iterative linear-algebra kernel on an (n+2) x (m+2) grid whose interior
+// rows are updated in two half-sweeps (red rows, then black rows) per round.
+// Sharing is near-neighbour and coarse-grained: each row is one double[]
+// object of at least several KB, owned by the thread holding its block;
+// only block-boundary rows are shared, with the two adjacent threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace djvm {
+
+struct SorParams {
+  std::uint32_t rows = 2048;  ///< interior rows (paper: 2K x 2K, Table IV: 1K x 1K)
+  std::uint32_t cols = 2048;
+  std::uint32_t rounds = 10;
+  double omega = 1.25;
+  /// Simulated flops charged per updated grid point.
+  std::uint32_t flops_per_point = 6;
+};
+
+class SorWorkload final : public Workload {
+ public:
+  explicit SorWorkload(SorParams p = {}) : p_(p) {}
+
+  [[nodiscard]] WorkloadInfo info() const override;
+  void build(Djvm& djvm) override;
+  void run(Djvm& djvm) override;
+  [[nodiscard]] double checksum() const override;
+
+  /// Object id of row `r` (for tests).
+  [[nodiscard]] ObjectId row_object(std::uint32_t r) const { return row_objs_[r]; }
+  /// The matrix descriptor object referencing every row — the natural stack
+  /// invariant of SOR and the entry point sticky-set resolution starts from.
+  [[nodiscard]] ObjectId matrix_root() const { return matrix_root_; }
+  [[nodiscard]] ClassId row_class() const noexcept { return double_array_; }
+  [[nodiscard]] const SorParams& params() const noexcept { return p_; }
+
+ private:
+  void relax_row(std::uint32_t r);
+  /// [lo, hi) interior row block owned by thread `t`.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> block(std::uint32_t t,
+                                                              std::uint32_t threads) const;
+
+  SorParams p_;
+  ClassId double_array_ = kInvalidClass;
+  ClassId matrix_class_ = kInvalidClass;
+  ObjectId matrix_root_ = kInvalidObject;
+  std::vector<ObjectId> row_objs_;       ///< (rows + 2) row objects
+  std::vector<std::vector<double>> grid_;  ///< native data, (rows+2) x (cols+2)
+};
+
+}  // namespace djvm

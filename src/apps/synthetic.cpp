@@ -1,0 +1,118 @@
+#include "apps/synthetic.hpp"
+
+#include <cassert>
+
+#include "common/rng.hpp"
+
+namespace djvm {
+
+namespace {
+constexpr MethodId kMethodSynthetic = 30;
+}
+
+WorkloadInfo SyntheticWorkload::info() const {
+  return WorkloadInfo{
+      .name = "Synthetic",
+      .dataset = std::to_string(p_.objects) + " objects",
+      .rounds = p_.rounds,
+      .granularity = "Configurable",
+      .object_size_desc = std::to_string(p_.object_size) + " bytes each",
+  };
+}
+
+void SyntheticWorkload::build(Djvm& djvm) {
+  auto& reg = djvm.registry();
+  obj_class_ = reg.find("SynObject").value_or(kInvalidClass);
+  if (obj_class_ == kInvalidClass) {
+    obj_class_ = reg.register_class("SynObject", p_.object_size, 0);
+  }
+  if (p_.arrays > 0) {
+    arr_class_ = reg.find("SynArray[]").value_or(kInvalidClass);
+    if (arr_class_ == kInvalidClass) {
+      arr_class_ = reg.register_array_class("SynArray[]", p_.array_elem_size);
+    }
+  }
+
+  const std::uint32_t threads = djvm.thread_count();
+  assert(threads > 0);
+  pools_.assign(threads, {});
+
+  auto pool_index = [&](std::uint32_t i) -> std::uint32_t {
+    switch (p_.pattern) {
+      case SharingPattern::kPartitioned:
+        return (i * threads) / p_.objects;  // contiguous blocks
+      case SharingPattern::kPairShared:
+        // Pool per thread pair; both threads of the pair use it.
+        return ((i * threads) / p_.objects) & ~1u;
+      case SharingPattern::kAllShared:
+        return 0;
+      case SharingPattern::kCyclic:
+        // Allocation striped with a fixed period: object i belongs to
+        // thread (i % period) % threads, so all of a thread's objects share
+        // a residue class modulo the period.
+        return (i % p_.cyclic_period) % threads;
+    }
+    return 0;
+  };
+
+  for (std::uint32_t i = 0; i < p_.objects; ++i) {
+    const std::uint32_t owner = std::min(pool_index(i), threads - 1);
+    const NodeId home = djvm.gos().thread_node(static_cast<ThreadId>(owner));
+    const ObjectId obj = djvm.gos().alloc(obj_class_, home);
+    if (p_.pattern == SharingPattern::kPairShared) {
+      pools_[owner].push_back(obj);
+      if (owner + 1 < threads) pools_[owner + 1].push_back(obj);
+    } else if (p_.pattern == SharingPattern::kAllShared) {
+      for (auto& pool : pools_) pool.push_back(obj);
+    } else if (p_.pattern == SharingPattern::kCyclic) {
+      // Cyclic allocation WITH pair sharing: thread pairs (0,1), (2,3), ...
+      // share each striped object, so the ground-truth TCM is block-diagonal
+      // while a gap that divides the stripe period samples only one
+      // residue class of owners (the aliasing pathology).
+      pools_[owner].push_back(obj);
+      const std::uint32_t partner = owner ^ 1u;
+      if (partner < threads) pools_[partner].push_back(obj);
+    } else {
+      pools_[owner].push_back(obj);
+    }
+  }
+  for (std::uint32_t a = 0; a < p_.arrays; ++a) {
+    const std::uint32_t owner = a % threads;
+    const NodeId home = djvm.gos().thread_node(static_cast<ThreadId>(owner));
+    const ObjectId arr = djvm.gos().alloc_array(arr_class_, home, p_.array_len);
+    pools_[owner].push_back(arr);
+    if (p_.pattern == SharingPattern::kPairShared && owner + 1 < threads) {
+      pools_[owner + 1].push_back(arr);
+    }
+  }
+}
+
+void SyntheticWorkload::run(Djvm& djvm) {
+  const std::uint32_t threads = djvm.thread_count();
+  Gos& gos = djvm.gos();
+  SplitMix64 rng(djvm.config().seed ^ 0x5F37ULL);
+
+  for (std::uint32_t round = 0; round < p_.rounds; ++round) {
+    for (ThreadId t = 0; t < threads; ++t) {
+      gos.set_phase(t, round);
+      const auto& pool = pools_[t];
+      if (pool.empty()) continue;
+      FrameGuard phase(djvm.stack(t), kMethodSynthetic, 2);
+      phase.set_ref(0, pool.front());
+      for (std::uint32_t a = 0; a < p_.accesses_per_round; ++a) {
+        const ObjectId obj = pool[a % pool.size()];
+        phase.set_ref(1, obj);
+        if ((a & 7u) == 0) {
+          gos.write(t, obj);
+        } else {
+          gos.read(t, obj);
+        }
+        checksum_ += static_cast<double>(rng.next() & 0xFF);
+        gos.clock(t).advance(20 * djvm.config().costs.compute_per_flop);
+      }
+    }
+    gos.barrier_all();
+  }
+}
+
+}  // namespace djvm

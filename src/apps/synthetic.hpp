@@ -1,0 +1,67 @@
+// Synthetic sharing-pattern generator.
+//
+// Drives the GOS with precisely controlled access patterns so tests can
+// assert exact correlation structure and the ablation benches can stress
+// specific design choices:
+//   * kPartitioned — each thread touches only its own pool (TCM ~ zero);
+//   * kPairShared  — threads (2i, 2i+1) share a pool (block-diagonal TCM);
+//   * kAllShared   — everyone touches one pool (uniform TCM);
+//   * kCyclic      — allocation striped across threads with a fixed period:
+//                    the adversary that breaks power-of-two sampling gaps and
+//                    motivates the paper's prime-gap rule (Section II.B.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace djvm {
+
+enum class SharingPattern : std::uint8_t {
+  kPartitioned,
+  kPairShared,
+  kAllShared,
+  kCyclic,
+};
+
+struct SyntheticParams {
+  SharingPattern pattern = SharingPattern::kPairShared;
+  std::uint32_t objects = 4096;         ///< total objects in the shared pool(s)
+  std::uint32_t object_size = 64;       ///< bytes per scalar object
+  std::uint32_t rounds = 4;
+  std::uint32_t accesses_per_round = 4096;  ///< per thread
+  /// kCyclic: allocation stripe period (set equal to a power-of-two nominal
+  /// gap to demonstrate the aliasing pathology).
+  std::uint32_t cyclic_period = 32;
+  /// Also allocate this many arrays of `array_len` elements into the pool.
+  std::uint32_t arrays = 0;
+  std::uint32_t array_len = 256;
+  std::uint32_t array_elem_size = 8;
+};
+
+class SyntheticWorkload final : public Workload {
+ public:
+  explicit SyntheticWorkload(SyntheticParams p = {}) : p_(p) {}
+
+  [[nodiscard]] WorkloadInfo info() const override;
+  void build(Djvm& djvm) override;
+  void run(Djvm& djvm) override;
+  [[nodiscard]] double checksum() const override { return checksum_; }
+
+  [[nodiscard]] ClassId object_class() const noexcept { return obj_class_; }
+  [[nodiscard]] ClassId array_class() const noexcept { return arr_class_; }
+  /// Objects assigned to thread `t`'s pool (pattern-dependent).
+  [[nodiscard]] const std::vector<ObjectId>& pool_of(std::uint32_t t) const {
+    return pools_[t];
+  }
+
+ private:
+  SyntheticParams p_;
+  ClassId obj_class_ = kInvalidClass;
+  ClassId arr_class_ = kInvalidClass;
+  std::vector<std::vector<ObjectId>> pools_;
+  double checksum_ = 0.0;
+};
+
+}  // namespace djvm

@@ -1,0 +1,236 @@
+#include "apps/water_spatial.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace djvm {
+
+namespace {
+constexpr MethodId kMethodMain = 20;
+constexpr MethodId kMethodInter = 21;
+constexpr MethodId kMethodIntra = 22;
+constexpr MethodId kMethodUpdate = 23;
+}  // namespace
+
+WorkloadInfo WaterSpatialWorkload::info() const {
+  return WorkloadInfo{
+      .name = "Water-Spatial",
+      .dataset = std::to_string(p_.molecules) + " molecules",
+      .rounds = p_.rounds,
+      .granularity = "Medium",
+      .object_size_desc = "each molecule about 512 bytes",
+  };
+}
+
+std::uint32_t WaterSpatialWorkload::box_of(const std::array<double, 3>& pos) const {
+  const std::uint32_t n = p_.boxes_per_side;
+  const double extent = p_.box_size * n;
+  std::uint32_t idx[3];
+  for (int k = 0; k < 3; ++k) {
+    double x = std::fmod(pos[k], extent);
+    if (x < 0) x += extent;
+    idx[k] = std::min(n - 1, static_cast<std::uint32_t>(x / p_.box_size));
+  }
+  return (idx[2] * n + idx[1]) * n + idx[0];
+}
+
+std::pair<std::uint32_t, std::uint32_t> WaterSpatialWorkload::slab(
+    std::uint32_t t, std::uint32_t threads) const {
+  const std::uint32_t boxes = p_.boxes_per_side * p_.boxes_per_side * p_.boxes_per_side;
+  const std::uint32_t per = boxes / threads;
+  const std::uint32_t extra = boxes % threads;
+  const std::uint32_t lo = t * per + std::min(t, extra);
+  return {lo, lo + per + (t < extra ? 1 : 0)};
+}
+
+void WaterSpatialWorkload::build(Djvm& djvm) {
+  auto& reg = djvm.registry();
+  mol_array_class_ = reg.find("double[]").value_or(kInvalidClass);
+  if (mol_array_class_ == kInvalidClass) {
+    mol_array_class_ = reg.register_array_class("double[]", 8);
+  }
+  box_class_ = reg.find("Box").value_or(kInvalidClass);
+  if (box_class_ == kInvalidClass) {
+    box_class_ = reg.register_class("Box", 48, 0);
+  }
+
+  const std::uint32_t threads = djvm.thread_count();
+  assert(threads > 0);
+  const std::uint32_t boxes = p_.boxes_per_side * p_.boxes_per_side * p_.boxes_per_side;
+  box_objs_.resize(boxes);
+  box_members_.assign(boxes, {});
+  data_.resize(p_.molecules);
+  mol_objs_.resize(p_.molecules);
+  box_of_mol_.resize(p_.molecules);
+
+  // Boxes homed at the thread owning their slab.
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const auto [lo, hi] = slab(t, threads);
+    const NodeId home = djvm.gos().thread_node(static_cast<ThreadId>(t));
+    for (std::uint32_t b = lo; b < hi; ++b) {
+      box_objs_[b] = djvm.gos().alloc(box_class_, home);
+    }
+  }
+
+  // Molecules: uniform positions; each is a 64-element double[] (512 bytes).
+  SplitMix64 rng(djvm.config().seed ^ 0x0A7E4ULL);
+  const double extent = p_.box_size * p_.boxes_per_side;
+  for (std::uint32_t m = 0; m < p_.molecules; ++m) {
+    for (int k = 0; k < 3; ++k) data_[m].pos[k] = rng.uniform(0.0, extent);
+    for (int k = 0; k < 3; ++k) data_[m].vel[k] = rng.uniform(-0.05, 0.05);
+    const std::uint32_t b = box_of(data_[m].pos);
+    box_of_mol_[m] = b;
+    box_members_[b].push_back(m);
+    // Molecule homed with its box's owner.
+    const NodeId home = djvm.heap().meta(box_objs_[b]).home;
+    mol_objs_[m] = djvm.gos().alloc_array(mol_array_class_, home, 64);
+    djvm.heap().add_ref(box_objs_[b], mol_objs_[m]);
+  }
+}
+
+void WaterSpatialWorkload::rebin(Djvm& djvm, ThreadId t, std::uint32_t m) {
+  const std::uint32_t nb = box_of(data_[m].pos);
+  const std::uint32_t ob = box_of_mol_[m];
+  if (nb == ob) return;
+  // Box membership changes are protected by a per-box lock pair (molecule
+  // migration between spatial cells).
+  const LockId lock_old = static_cast<LockId>(ob);
+  const LockId lock_new = static_cast<LockId>(nb);
+  djvm.acquire(t, std::min(lock_old, lock_new));
+  djvm.gos().write(t, box_objs_[ob]);
+  djvm.gos().write(t, box_objs_[nb]);
+  auto& old_list = box_members_[ob];
+  old_list.erase(std::remove(old_list.begin(), old_list.end(), m), old_list.end());
+  box_members_[nb].push_back(m);
+  box_of_mol_[m] = nb;
+  djvm.release(t, std::min(lock_old, lock_new));
+}
+
+void WaterSpatialWorkload::run(Djvm& djvm) {
+  const std::uint32_t threads = djvm.thread_count();
+  Gos& gos = djvm.gos();
+  const std::uint32_t n = p_.boxes_per_side;
+  const double cutoff2 = p_.cutoff * p_.cutoff;
+  const SimTime pair_cost =
+      static_cast<SimTime>(p_.flops_per_pair) * djvm.config().costs.compute_per_flop;
+
+  std::vector<std::size_t> root_frames(threads);
+  for (ThreadId t = 0; t < threads; ++t) {
+    const auto [lo, hi] = slab(t, threads);
+    root_frames[t] = djvm.stack(t).push(kMethodMain, 2);
+    djvm.stack(t).frame(root_frames[t]).set_ref(0, box_objs_[lo]);
+    djvm.stack(t).frame(root_frames[t]).set_prim(1, hi - lo);
+  }
+
+  for (std::uint32_t round = 0; round < p_.rounds; ++round) {
+    // Phase 0: intra-molecular forces (own molecules only).
+    for (ThreadId t = 0; t < threads; ++t) {
+      gos.set_phase(t, round * 3);
+      const auto [lo, hi] = slab(t, threads);
+      FrameGuard phase(djvm.stack(t), kMethodIntra, 2);
+      for (std::uint32_t b = lo; b < hi; ++b) {
+        phase.set_ref(0, box_objs_[b]);
+        gos.read(t, box_objs_[b]);
+        for (std::uint32_t m : box_members_[b]) {
+          phase.set_ref(1, mol_objs_[m]);
+          gos.read(t, mol_objs_[m]);
+          gos.write(t, mol_objs_[m]);
+          MoleculeData& md = data_[m];
+          md.force = {0.0, 0.0, 0.0};
+          // Bond-angle style local computation.
+          double e = 0.0;
+          for (int k = 0; k < 3; ++k) e += std::sin(md.pos[k]) * std::cos(md.vel[k]);
+          md.force[0] += 1e-3 * e;
+          gos.clock(t).advance(80 * djvm.config().costs.compute_per_flop);
+        }
+      }
+    }
+    gos.barrier_all();
+
+    // Phase 1: inter-molecular forces with the 27 neighbouring boxes.
+    for (ThreadId t = 0; t < threads; ++t) {
+      gos.set_phase(t, round * 3 + 1);
+      const auto [lo, hi] = slab(t, threads);
+      FrameGuard phase(djvm.stack(t), kMethodInter, 3);
+      for (std::uint32_t b = lo; b < hi; ++b) {
+        phase.set_ref(0, box_objs_[b]);
+        const std::uint32_t bx = b % n;
+        const std::uint32_t by = (b / n) % n;
+        const std::uint32_t bz = b / (n * n);
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const std::uint32_t ox = (bx + n + static_cast<std::uint32_t>(dx + static_cast<int>(n))) % n;
+              const std::uint32_t oy = (by + n + static_cast<std::uint32_t>(dy + static_cast<int>(n))) % n;
+              const std::uint32_t oz = (bz + n + static_cast<std::uint32_t>(dz + static_cast<int>(n))) % n;
+              const std::uint32_t nb = (oz * n + oy) * n + ox;
+              gos.read(t, box_objs_[nb]);
+              for (std::uint32_t mi : box_members_[b]) {
+                phase.set_ref(1, mol_objs_[mi]);
+                MoleculeData& a = data_[mi];
+                for (std::uint32_t mj : box_members_[nb]) {
+                  if (mj == mi) continue;
+                  double d2 = 0.0;
+                  for (int k = 0; k < 3; ++k) {
+                    const double d = a.pos[k] - data_[mj].pos[k];
+                    d2 += d * d;
+                  }
+                  if (d2 > cutoff2) continue;
+                  phase.set_ref(2, mol_objs_[mj]);
+                  gos.read(t, mol_objs_[mj]);
+                  // Lennard-Jones-ish pair force on the owning molecule.
+                  const double inv2 = 1.0 / (d2 + 0.25);
+                  const double inv6 = inv2 * inv2 * inv2;
+                  const double f = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2;
+                  for (int k = 0; k < 3; ++k) {
+                    a.force[k] += f * (a.pos[k] - data_[mj].pos[k]);
+                  }
+                  gos.clock(t).advance(pair_cost);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    gos.barrier_all();
+
+    // Phase 2: integrate + rebin molecules that crossed box borders.
+    for (ThreadId t = 0; t < threads; ++t) {
+      gos.set_phase(t, round * 3 + 2);
+      const auto [lo, hi] = slab(t, threads);
+      FrameGuard phase(djvm.stack(t), kMethodUpdate, 1);
+      std::vector<std::uint32_t> owned;
+      for (std::uint32_t b = lo; b < hi; ++b) {
+        for (std::uint32_t m : box_members_[b]) owned.push_back(m);
+      }
+      for (std::uint32_t m : owned) {
+        phase.set_ref(0, mol_objs_[m]);
+        gos.write(t, mol_objs_[m]);
+        MoleculeData& md = data_[m];
+        for (int k = 0; k < 3; ++k) {
+          md.vel[k] += md.force[k] * p_.dt;
+          md.pos[k] += md.vel[k] * p_.dt;
+        }
+        gos.clock(t).advance(18 * djvm.config().costs.compute_per_flop);
+        rebin(djvm, t, m);
+      }
+    }
+    gos.barrier_all();
+  }
+
+  for (ThreadId t = 0; t < threads; ++t) djvm.stack(t).pop();
+}
+
+double WaterSpatialWorkload::checksum() const {
+  double s = 0.0;
+  for (const MoleculeData& m : data_) {
+    for (int k = 0; k < 3; ++k) s += m.pos[k] + m.vel[k];
+  }
+  return s;
+}
+
+}  // namespace djvm

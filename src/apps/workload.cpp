@@ -1,0 +1,30 @@
+#include "apps/workload.hpp"
+
+#include <chrono>
+
+namespace djvm {
+
+RunMetrics execute_workload(Djvm& djvm, Workload& w) {
+  RunMetrics m;
+  const auto b0 = std::chrono::steady_clock::now();
+  w.build(djvm);
+  m.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - b0).count();
+
+  djvm.gos().reset_stats();
+  djvm.net().reset_stats();
+
+  const auto r0 = std::chrono::steady_clock::now();
+  w.run(djvm);
+  m.run_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - r0).count();
+
+  m.protocol = djvm.gos().stats();
+  m.traffic = djvm.net().stats();
+  for (ThreadId t = 0; t < djvm.thread_count(); ++t) {
+    m.max_sim_time = std::max(m.max_sim_time, djvm.gos().clock(t).now());
+  }
+  return m;
+}
+
+}  // namespace djvm

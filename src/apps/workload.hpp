@@ -1,0 +1,60 @@
+// Common interface of the benchmark applications (paper Section IV, Table I).
+//
+// Workloads are C++ re-implementations of the paper's SPLASH-2 Java ports.
+// They do *real* numeric work (so wall-clock overhead percentages are
+// meaningful) while issuing every shared-object access through the GOS and
+// mirroring their call structure onto the per-thread Java stacks (so the
+// stack sampler sees realistic frames).  Execution is deterministic: threads
+// run round-robin within BSP phases separated by GOS barriers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/djvm.hpp"
+#include "dsm/protocol_stats.hpp"
+#include "net/network.hpp"
+
+namespace djvm {
+
+/// Row of the paper's Table I.
+struct WorkloadInfo {
+  std::string name;
+  std::string dataset;           ///< problem size, e.g. "2K x 2K"
+  std::uint32_t rounds = 0;
+  std::string granularity;       ///< "Coarse" / "Fine" / "Medium"
+  std::string object_size_desc;  ///< e.g. "each row at least several KB"
+};
+
+/// A runnable benchmark application.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual WorkloadInfo info() const = 0;
+
+  /// Allocates the shared data structures (threads must already be spawned).
+  virtual void build(Djvm& djvm) = 0;
+
+  /// Executes all rounds to completion.
+  virtual void run(Djvm& djvm) = 0;
+
+  /// Deterministic numeric digest of the computed result; tests use it to
+  /// assert that profiling does not perturb the computation.
+  [[nodiscard]] virtual double checksum() const = 0;
+};
+
+/// Measurements around one build+run.
+struct RunMetrics {
+  double build_seconds = 0.0;   ///< real wall time of build()
+  double run_seconds = 0.0;     ///< real wall time of run()
+  SimTime max_sim_time = 0;     ///< latest thread clock at completion
+  ProtocolStats protocol{};     ///< GOS counters for the run
+  TrafficStats traffic{};       ///< per-category network bytes for the run
+};
+
+/// Builds and runs `w` on `djvm`, measuring wall time and collecting
+/// protocol/traffic deltas for the run() portion.
+RunMetrics execute_workload(Djvm& djvm, Workload& w);
+
+}  // namespace djvm

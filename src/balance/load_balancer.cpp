@@ -1,0 +1,262 @@
+#include "balance/load_balancer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <numeric>
+
+namespace djvm {
+
+std::vector<std::uint32_t> Placement::loads(std::uint32_t nodes) const {
+  std::vector<std::uint32_t> l(nodes, 0);
+  for (NodeId n : node_of_thread) {
+    if (n < nodes) ++l[n];
+  }
+  return l;
+}
+
+Placement round_robin_placement(std::uint32_t threads, std::uint32_t nodes) {
+  Placement p;
+  p.node_of_thread.resize(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    p.node_of_thread[t] = static_cast<NodeId>(t % nodes);
+  }
+  return p;
+}
+
+double remote_shared_bytes(const SquareMatrix& tcm, const Placement& p) {
+  double remote = 0.0;
+  const std::size_t n = tcm.size();
+  assert(p.node_of_thread.size() >= n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (p.node_of_thread[i] != p.node_of_thread[j]) remote += tcm.at(i, j);
+    }
+  }
+  return remote;
+}
+
+double local_shared_bytes(const SquareMatrix& tcm, const Placement& p) {
+  double local = 0.0;
+  const std::size_t n = tcm.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (p.node_of_thread[i] == p.node_of_thread[j]) local += tcm.at(i, j);
+    }
+  }
+  return local;
+}
+
+Placement correlation_placement(const SquareMatrix& tcm, std::uint32_t nodes,
+                                std::uint32_t slack) {
+  const std::uint32_t threads = static_cast<std::uint32_t>(tcm.size());
+  const std::uint32_t capacity =
+      nodes == 0 ? threads : (threads + nodes - 1) / nodes + slack;
+
+  // Union-find clustering, merging heaviest TCM edges first.
+  std::vector<std::uint32_t> parent(threads);
+  std::vector<std::uint32_t> size(threads, 1);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<std::uint32_t(std::uint32_t)> find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  struct Edge {
+    double w;
+    std::uint32_t i, j;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(threads * (threads - 1) / 2);
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    for (std::uint32_t j = i + 1; j < threads; ++j) {
+      const double w = tcm.at(i, j);
+      if (w > 0.0) edges.push_back({w, i, j});
+    }
+  }
+  std::stable_sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.w != b.w) return a.w > b.w;
+    if (a.i != b.i) return a.i < b.i;
+    return a.j < b.j;
+  });
+  for (const Edge& e : edges) {
+    const std::uint32_t ri = find(e.i);
+    const std::uint32_t rj = find(e.j);
+    if (ri == rj) continue;
+    if (size[ri] + size[rj] > capacity) continue;
+    parent[rj] = ri;
+    size[ri] += size[rj];
+  }
+
+  // Gather clusters; assign first-fit decreasing onto nodes.
+  std::vector<std::vector<std::uint32_t>> clusters;
+  std::vector<std::int32_t> cluster_of(threads, -1);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const std::uint32_t r = find(t);
+    if (cluster_of[r] < 0) {
+      cluster_of[r] = static_cast<std::int32_t>(clusters.size());
+      clusters.emplace_back();
+    }
+    clusters[static_cast<std::size_t>(cluster_of[r])].push_back(t);
+  }
+  std::stable_sort(clusters.begin(), clusters.end(),
+                   [](const auto& a, const auto& b) { return a.size() > b.size(); });
+
+  Placement p;
+  p.node_of_thread.assign(threads, 0);
+  std::vector<std::uint32_t> load(std::max<std::uint32_t>(nodes, 1), 0);
+  for (const auto& cluster : clusters) {
+    // Pick the least-loaded node that can take the whole cluster; fall back
+    // to the least-loaded node.
+    std::uint32_t best = 0;
+    bool found = false;
+    for (std::uint32_t n = 0; n < load.size(); ++n) {
+      if (load[n] + cluster.size() <= capacity &&
+          (!found || load[n] < load[best])) {
+        best = n;
+        found = true;
+      }
+    }
+    if (!found) {
+      best = static_cast<std::uint32_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    for (std::uint32_t t : cluster) p.node_of_thread[t] = static_cast<NodeId>(best);
+    load[best] += static_cast<std::uint32_t>(cluster.size());
+  }
+  return p;
+}
+
+namespace {
+
+/// Shared core of the two planners: `node_value(t, n)` scores a node for a
+/// thread; a move is suggested when the score delta beats the modeled cost.
+template <typename NodeValue>
+std::vector<MigrationSuggestion> plan_with_value(
+    std::uint32_t threads, const Placement& current,
+    std::span<const ClassFootprint> footprints,
+    std::span<const std::uint64_t> context_bytes, const MigrationCostModel& model,
+    std::uint32_t nodes, double bytes_per_ns, std::uint32_t slack,
+    NodeValue&& node_value) {
+  const std::uint32_t capacity =
+      nodes == 0 ? threads : (threads + nodes - 1) / nodes + slack;
+  std::vector<std::uint32_t> load = current.loads(nodes);
+
+  std::vector<MigrationSuggestion> out;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const NodeId cur = current.node_of_thread[t];
+    NodeId best = cur;
+    double best_value = node_value(t, cur);
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      if (n == cur) continue;
+      if (load[n] + 1 > capacity) continue;
+      const double v = node_value(t, static_cast<NodeId>(n));
+      if (v > best_value) {
+        best = static_cast<NodeId>(n);
+        best_value = v;
+      }
+    }
+    if (best == cur) continue;
+
+    const double gain = best_value - node_value(t, cur);
+    const ClassFootprint fp =
+        t < footprints.size() ? footprints[t] : ClassFootprint{};
+    const std::uint64_t ctx = t < context_bytes.size() ? context_bytes[t] : 1024;
+    const MigrationCostEstimate est = model.estimate(ctx, fp);
+    const double cost_bytes =
+        static_cast<double>(est.total_with_prefetch()) * bytes_per_ns;
+    if (gain <= cost_bytes) continue;
+
+    MigrationSuggestion s;
+    s.thread = t;
+    s.from = cur;
+    s.to = best;
+    s.gain_bytes = gain;
+    s.cost = est.total_with_prefetch();
+    s.score = cost_bytes > 0.0 ? gain / cost_bytes : gain;
+    out.push_back(s);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.score > b.score;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<MigrationSuggestion> plan_migrations_home_aware(
+    const SquareMatrix& tcm, const ThreadHomeAffinity& home,
+    const Placement& current, std::span<const ClassFootprint> footprints,
+    std::span<const std::uint64_t> context_bytes, const MigrationCostModel& model,
+    std::uint32_t nodes, double bytes_per_ns, std::uint32_t slack,
+    double home_weight) {
+  const std::uint32_t threads = static_cast<std::uint32_t>(tcm.size());
+  auto node_value = [&](std::uint32_t t, NodeId n) {
+    double pair_affinity = 0.0;
+    for (std::uint32_t u = 0; u < threads; ++u) {
+      if (u == t) continue;
+      if (current.node_of_thread[u] == n) pair_affinity += tcm.at(t, u);
+    }
+    return pair_affinity + home_weight * home.at(t, n);
+  };
+  return plan_with_value(threads, current, footprints, context_bytes, model,
+                         nodes, bytes_per_ns, slack, node_value);
+}
+
+std::vector<MigrationSuggestion> plan_migrations(
+    const SquareMatrix& tcm, const Placement& current,
+    std::span<const ClassFootprint> footprints,
+    std::span<const std::uint64_t> context_bytes, const MigrationCostModel& model,
+    std::uint32_t nodes, double bytes_per_ns, std::uint32_t slack) {
+  const std::uint32_t threads = static_cast<std::uint32_t>(tcm.size());
+  const std::uint32_t capacity =
+      nodes == 0 ? threads : (threads + nodes - 1) / nodes + slack;
+  std::vector<std::uint32_t> load = current.loads(nodes);
+
+  std::vector<MigrationSuggestion> out;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    // Affinity of t to each node = sum of TCM cells with threads there.
+    std::vector<double> affinity(nodes, 0.0);
+    for (std::uint32_t u = 0; u < threads; ++u) {
+      if (u == t) continue;
+      affinity[current.node_of_thread[u]] += tcm.at(t, u);
+    }
+    const NodeId cur = current.node_of_thread[t];
+    NodeId best = cur;
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      if (n == cur) continue;
+      if (load[n] + 1 > capacity) continue;
+      if (affinity[n] > affinity[best]) best = static_cast<NodeId>(n);
+    }
+    if (best == cur) continue;
+
+    const double gain = affinity[best] - affinity[cur];
+    const ClassFootprint fp =
+        t < footprints.size() ? footprints[t] : ClassFootprint{};
+    const std::uint64_t ctx = t < context_bytes.size() ? context_bytes[t] : 1024;
+    const MigrationCostEstimate est = model.estimate(ctx, fp);
+    // Convert modeled time into "bytes of communication it could have
+    // carried" so gain and cost share a unit.
+    const double cost_bytes =
+        static_cast<double>(est.total_with_prefetch()) * bytes_per_ns;
+    if (gain <= cost_bytes) continue;
+
+    MigrationSuggestion s;
+    s.thread = t;
+    s.from = cur;
+    s.to = best;
+    s.gain_bytes = gain;
+    s.cost = est.total_with_prefetch();
+    s.score = cost_bytes > 0.0 ? gain / cost_bytes : gain;
+    out.push_back(s);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.score > b.score;
+  });
+  return out;
+}
+
+}  // namespace djvm

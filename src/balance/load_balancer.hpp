@@ -1,0 +1,85 @@
+// Correlation-driven thread placement and migration planning.
+//
+// This module implements the paper's *intended use* of the profiles (its
+// stated future work and the "Global Load Balancer" box of Fig. 2): consume
+// the thread correlation map and the sticky-set footprints to (a) compute a
+// locality-aware thread-to-node placement and (b) propose profitable
+// migrations whose locality gain outweighs the modeled migration cost.
+// It is an extension beyond the paper's measured claims and is flagged as
+// such in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "balance/home_affinity.hpp"
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+#include "migration/cost_model.hpp"
+
+namespace djvm {
+
+/// A thread-to-node assignment.
+struct Placement {
+  std::vector<NodeId> node_of_thread;
+
+  [[nodiscard]] std::uint32_t threads() const noexcept {
+    return static_cast<std::uint32_t>(node_of_thread.size());
+  }
+  [[nodiscard]] std::vector<std::uint32_t> loads(std::uint32_t nodes) const;
+};
+
+/// Baseline: thread i -> node i % nodes.
+[[nodiscard]] Placement round_robin_placement(std::uint32_t threads, std::uint32_t nodes);
+
+/// Bytes of pairwise shared data (TCM cells) crossing node boundaries under
+/// `p` — the communication-cost objective the balancer minimizes.
+[[nodiscard]] double remote_shared_bytes(const SquareMatrix& tcm, const Placement& p);
+
+/// Bytes of pairwise shared data kept node-local under `p`.
+[[nodiscard]] double local_shared_bytes(const SquareMatrix& tcm, const Placement& p);
+
+/// Greedy correlation clustering: repeatedly merge the thread pair/cluster
+/// with the largest shared volume subject to a per-node capacity of
+/// ceil(threads / nodes) (+ `slack`), then assign clusters to nodes by
+/// first-fit decreasing.  Deterministic.
+[[nodiscard]] Placement correlation_placement(const SquareMatrix& tcm,
+                                              std::uint32_t nodes,
+                                              std::uint32_t slack = 0);
+
+/// One proposed migration.
+struct MigrationSuggestion {
+  ThreadId thread = kInvalidThread;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double gain_bytes = 0.0;   ///< cross-node shared bytes converted to local
+  SimTime cost = 0;          ///< modeled migration cost (with prefetch)
+  double score = 0.0;        ///< gain normalized by cost
+};
+
+/// Proposes migrations that move each thread toward its highest-affinity
+/// node when the locality gain (in bytes, per the TCM) beats the modeled
+/// migration cost converted to bytes via the network byte rate.  Respects
+/// node capacity ceil(threads/nodes) + slack.  Suggestions are ordered by
+/// descending score.
+[[nodiscard]] std::vector<MigrationSuggestion> plan_migrations(
+    const SquareMatrix& tcm, const Placement& current,
+    std::span<const ClassFootprint> footprints,
+    std::span<const std::uint64_t> context_bytes, const MigrationCostModel& model,
+    std::uint32_t nodes, double bytes_per_ns, std::uint32_t slack = 0);
+
+/// Home-effect-aware variant (paper future work): a candidate node's value is
+/// the pairwise TCM affinity *plus* `home_weight` times the thread's access
+/// volume to objects homed there.  This catches the paper's tricky case of
+/// thread pairs whose shared objects live at a third node — the plain planner
+/// would bounce one thread to the other's node; this one sends both toward
+/// the data's home.
+[[nodiscard]] std::vector<MigrationSuggestion> plan_migrations_home_aware(
+    const SquareMatrix& tcm, const ThreadHomeAffinity& home,
+    const Placement& current, std::span<const ClassFootprint> footprints,
+    std::span<const std::uint64_t> context_bytes, const MigrationCostModel& model,
+    std::uint32_t nodes, double bytes_per_ns, std::uint32_t slack = 0,
+    double home_weight = 1.0);
+
+}  // namespace djvm

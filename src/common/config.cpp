@@ -1,0 +1,32 @@
+#include "common/config.hpp"
+
+#include <sstream>
+
+namespace djvm {
+
+std::string Config::summary() const {
+  std::ostringstream os;
+  os << "nodes=" << nodes << " threads=" << threads << " seed=" << seed;
+  os << " oal=";
+  switch (oal_transfer) {
+    case OalTransfer::kDisabled: os << "off"; break;
+    case OalTransfer::kLocalOnly: os << "local"; break;
+    case OalTransfer::kSend: os << "send"; break;
+  }
+  if (sampling_rate_x == 0) {
+    os << " rate=full";
+  } else {
+    os << " rate=" << sampling_rate_x << "X";
+  }
+  if (stack_sampling) {
+    os << " stack_gap=" << stack_sampling_gap / 1000000 << "ms"
+       << (extraction == ExtractionMode::kLazy ? "/lazy" : "/immediate");
+  }
+  if (footprinting) {
+    os << " footprint="
+       << (footprint_timer == FootprintTimerMode::kNonstop ? "nonstop" : "timer");
+  }
+  return os.str();
+}
+
+}  // namespace djvm

@@ -1,0 +1,83 @@
+// Central configuration for a DJVM simulation instance.
+//
+// Every experiment in the paper varies a handful of knobs: number of nodes
+// and threads, per-class sampling rates (nX), whether OALs are shipped to the
+// coordinator, stack-sampling gap, footprinting timer, etc.  Config gathers
+// them so bench harnesses can express each table cell as a Config delta.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_clock.hpp"
+#include "common/types.hpp"
+
+namespace djvm {
+
+/// How the access profiler treats OALs at interval close.
+enum class OalTransfer : std::uint8_t {
+  kDisabled,   ///< no OAL collection at all (baseline runs)
+  kLocalOnly,  ///< collect OALs but never ship them (isolates CPU cost O1)
+  kSend,       ///< ship OALs to the coordinator (adds network cost O2 + O3)
+};
+
+/// Stack-sample frame-content extraction strategy (paper Section III.B.3).
+enum class ExtractionMode : std::uint8_t {
+  kImmediate,  ///< extract slot contents on first visit
+  kLazy,       ///< keep raw snapshot; extract on second visit only
+};
+
+/// Sticky-set footprinting scheduling (paper Section III.A.1).
+enum class FootprintTimerMode : std::uint8_t {
+  kNonstop,     ///< track during the whole interval
+  kTimerBased,  ///< alternate on/off phases of `footprint_phase` length
+};
+
+struct Config {
+  // --- cluster shape -------------------------------------------------------
+  std::uint32_t nodes = 8;
+  std::uint32_t threads = 8;
+  std::uint64_t seed = 42;
+
+  // --- correlation tracking ------------------------------------------------
+  OalTransfer oal_transfer = OalTransfer::kDisabled;
+  /// Sampling rate expressed as the paper's nX notation: objects per page.
+  /// 0 means "full sampling" (gap 1).  The per-class gap is derived as
+  /// nearest_prime(page / (instance_size * rate)).
+  std::uint32_t sampling_rate_x = 0;
+  /// TCM accrual period: rebuild after this many collected intervals.
+  std::uint32_t tcm_epoch_intervals = 64;
+  /// Convergence threshold on relative ABS distance for the adaptive
+  /// rate controller.
+  double adapt_threshold = 0.05;
+  /// Piggyback OAL messages on lock/barrier traffic when destinations match.
+  bool piggyback_oals = true;
+
+  // --- stack sampling ------------------------------------------------------
+  bool stack_sampling = false;
+  SimTime stack_sampling_gap = sim_ms(16);
+  ExtractionMode extraction = ExtractionMode::kLazy;
+  /// Minimum consecutive surviving comparisons before a slot counts as a
+  /// stack-invariant reference.
+  std::uint32_t invariant_min_rounds = 2;
+
+  // --- sticky-set footprinting --------------------------------------------
+  bool footprinting = false;
+  FootprintTimerMode footprint_timer = FootprintTimerMode::kTimerBased;
+  SimTime footprint_phase = sim_ms(100);
+  /// Re-arm period for repeated in-interval tracking of sampled objects.
+  SimTime footprint_rearm = sim_ms(10);
+  /// Lower bound on the footprinting sampling gap (the paper bounds it to
+  /// keep repeated tracking cheap).
+  std::uint32_t footprint_min_gap = 1;
+  /// Landmark tolerance `t` for sticky-set resolution (paper: t > 1).
+  double landmark_tolerance = 2.0;
+
+  // --- simulated machine ---------------------------------------------------
+  SimCosts costs{};
+
+  /// Human-readable one-line summary for logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace djvm

@@ -1,0 +1,65 @@
+// Dense square matrix used for thread correlation maps (TCMs).
+//
+// A TCM is an N x N histogram where cell (i, j) accumulates the bytes of
+// shared objects accessed in common by thread i and thread j within the
+// profiled window (paper Section II).  The matrix is symmetric with an unused
+// diagonal by construction, but this container is a plain dense matrix so it
+// can also serve page-grain induced maps and test fixtures.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace djvm {
+
+/// Row-major dense square matrix of doubles.
+class SquareMatrix {
+ public:
+  SquareMatrix() = default;
+  explicit SquareMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  double& at(std::size_t i, std::size_t j) {
+    assert(i < n_ && j < n_);
+    return data_[i * n_ + j];
+  }
+  double at(std::size_t i, std::size_t j) const {
+    assert(i < n_ && j < n_);
+    return data_[i * n_ + j];
+  }
+
+  /// Adds `v` symmetrically to cells (i, j) and (j, i).
+  void add_symmetric(std::size_t i, std::size_t j, double v) {
+    at(i, j) += v;
+    if (i != j) at(j, i) += v;
+  }
+
+  /// Sum of all cells.
+  [[nodiscard]] double total() const noexcept {
+    double s = 0.0;
+    for (double v : data_) s += v;
+    return s;
+  }
+
+  /// Multiplies every cell by `factor` (used for Horvitz-Thompson scaling).
+  void scale(double factor) noexcept {
+    for (double& v : data_) v *= factor;
+  }
+
+  void fill(double v) noexcept {
+    for (double& c : data_) c = v;
+  }
+
+  [[nodiscard]] const std::vector<double>& raw() const noexcept { return data_; }
+  [[nodiscard]] std::vector<double>& raw() noexcept { return data_; }
+
+  bool operator==(const SquareMatrix& other) const = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace djvm

@@ -1,0 +1,82 @@
+#include "common/primes.hpp"
+
+#include <initializer_list>
+
+namespace djvm {
+namespace {
+
+// Deterministic Miller-Rabin witness set covering all 64-bit integers.
+constexpr std::uint64_t kWitnesses[] = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37};
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept {
+  return static_cast<std::uint64_t>((static_cast<__uint128_t>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) noexcept {
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : kWitnesses) {
+    std::uint64_t x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::uint64_t prime_at_most(std::uint64_t n) noexcept {
+  if (n < 2) return 2;
+  for (std::uint64_t c = n;; --c) {
+    if (is_prime(c)) return c;
+    if (c == 2) return 2;
+  }
+}
+
+std::uint64_t prime_at_least(std::uint64_t n) noexcept {
+  if (n <= 2) return 2;
+  for (std::uint64_t c = n;; ++c) {
+    if (is_prime(c)) return c;
+  }
+}
+
+std::uint64_t nearest_prime(std::uint64_t n) noexcept {
+  if (n <= 2) return 2;
+  const std::uint64_t lo = prime_at_most(n);
+  const std::uint64_t hi = prime_at_least(n);
+  const std::uint64_t dlo = n - lo;
+  const std::uint64_t dhi = hi - n;
+  // Ties break toward the larger prime: the paper maps nominal 64 -> 67
+  // (61 and 67 are equidistant from 64).
+  return (dhi <= dlo) ? hi : lo;
+}
+
+}  // namespace djvm

@@ -1,0 +1,32 @@
+// Prime-number helpers for sampling-gap selection.
+//
+// The paper (Section II.B.1) assigns each class a *nominal* sampling gap that
+// is a power of two and then uses the nearest prime as the *real* gap:
+// "31, 67 and 127 would be chosen as the real sampling gaps for nominal
+// sampling gaps of 32, 64 and 128 respectively."  Prime gaps avoid
+// non-uniform sampling under cyclic allocation behaviours (an allocator that
+// hands out objects in a repeating pattern of period p would otherwise sample
+// a biased residue class whenever gcd(gap, p) > 1).
+#pragma once
+
+#include <cstdint>
+
+namespace djvm {
+
+/// Deterministic primality test valid for all 64-bit inputs.
+[[nodiscard]] bool is_prime(std::uint64_t n) noexcept;
+
+/// Returns the prime nearest to `n` (ties broken toward the smaller prime, so
+/// nearest_prime(32) == 31, nearest_prime(64) == 67... wait 61 and 67 are both
+/// distance 3; the paper picks 67, so ties break toward the *larger* prime).
+/// For n <= 2 returns 2.  nearest_prime(1) == 2 by convention; a gap of 1
+/// (full sampling) is handled by callers before consulting this function.
+[[nodiscard]] std::uint64_t nearest_prime(std::uint64_t n) noexcept;
+
+/// Largest prime <= n (returns 2 for n < 2).
+[[nodiscard]] std::uint64_t prime_at_most(std::uint64_t n) noexcept;
+
+/// Smallest prime >= n.
+[[nodiscard]] std::uint64_t prime_at_least(std::uint64_t n) noexcept;
+
+}  // namespace djvm

@@ -1,0 +1,42 @@
+// Plain-text table printer used by the bench harnesses to emit rows in the
+// shape of the paper's tables (aligned columns, "N/A" cells, percent deltas).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace djvm {
+
+/// Column-aligned text table.  Cells are strings; helpers format the common
+/// cell shapes that appear in the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column padding and a separator line under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  // --- cell formatting helpers --------------------------------------------
+  /// "1234" style integer cell.
+  static std::string cell(std::uint64_t v);
+  /// Fixed-point double with `digits` decimals.
+  static std::string cell(double v, int digits = 2);
+  /// "12345 (3.21%)" — a measurement plus its delta vs a baseline.
+  static std::string cell_with_pct(double value, double baseline, int digits = 0);
+  /// "97.42%" percentage cell.
+  static std::string cell_pct(double fraction, int digits = 2);
+  /// The literal "N/A" used where a configuration does not apply.
+  static std::string na();
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace djvm

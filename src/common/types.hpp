@@ -1,0 +1,51 @@
+// Strong identifier types shared by every subsystem of the distributed JVM.
+//
+// The simulator models a cluster of worker JVMs ("nodes"), each hosting Java
+// threads that allocate objects into a Global Object Space.  Identifiers are
+// plain integral types wrapped in distinct aliases; invalid sentinels are the
+// all-ones value of the underlying type.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace djvm {
+
+/// Index of a worker JVM in the cluster (the master/coordinator is node 0 in
+/// most experiment setups, matching the "master JVM" of JESSICA2's Fig. 2).
+using NodeId = std::uint16_t;
+
+/// Cluster-unique Java thread identifier.
+using ThreadId = std::uint32_t;
+
+/// Identifier of a loaded class (index into the KlassRegistry).
+using ClassId = std::uint32_t;
+
+/// Cluster-unique identifier of a heap object (scalar or array).
+using ObjectId = std::uint64_t;
+
+/// Identifier of an HLRC interval (monotonic per thread).
+using IntervalId = std::uint64_t;
+
+/// Identifier of a distributed lock.
+using LockId = std::uint32_t;
+
+/// Monotonic identifier of a stack frame instance (never reused, so popped
+/// frames can be distinguished from fresh frames at the same depth).
+using FrameId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr ThreadId kInvalidThread = std::numeric_limits<ThreadId>::max();
+inline constexpr ClassId kInvalidClass = std::numeric_limits<ClassId>::max();
+inline constexpr ObjectId kInvalidObject = std::numeric_limits<ObjectId>::max();
+inline constexpr FrameId kInvalidFrame = std::numeric_limits<FrameId>::max();
+
+/// Size of a virtual-memory page; the paper expresses sampling rates as
+/// "nX" = n sampled objects per page of this size.
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Machine word size assumed by the paper's "1024X = full sampling for the
+/// smallest possible object" argument (4-byte words on the Gideon cluster).
+inline constexpr std::size_t kWordSize = 4;
+
+}  // namespace djvm

@@ -1,0 +1,102 @@
+#include "core/djvm.hpp"
+
+namespace djvm {
+
+namespace {
+/// Converts stack-sample work counters into simulated time (nanoseconds).
+SimTime stack_work_cost(const StackSampleWork& w) {
+  return 200                                  // sampler entry / stack walk setup
+         + 2ULL * w.raw_slots_copied          // native memcpy of raw frames
+         + 6ULL * w.slots_extracted           // GC-interface pointer checks
+         + 2ULL * w.slots_probed              // compare-by-probing
+         + 30ULL * w.frames_walked;
+}
+}  // namespace
+
+Djvm::Djvm(Config cfg)
+    : cfg_(cfg),
+      heap_(registry_, cfg.nodes),
+      net_(cfg.costs),
+      plan_(heap_),
+      gos_(std::make_unique<Gos>(heap_, net_, plan_, cfg_)),
+      stackman_(heap_, cfg.extraction, cfg.invariant_min_rounds),
+      fptracker_(heap_, plan_),
+      daemon_(plan_, cfg.threads),
+      migration_(*gos_) {
+  gos_->set_hooks(this);
+  apply_profiling_config();
+}
+
+Djvm::~Djvm() { gos_->set_hooks(nullptr); }
+
+ThreadId Djvm::spawn_thread(NodeId node) {
+  const ThreadId t = gos_->spawn_thread(node);
+  if (stacks_.size() <= t) stacks_.resize(static_cast<std::size_t>(t) + 1);
+  stackman_.ensure_threads(stacks_.size());
+  return t;
+}
+
+void Djvm::spawn_threads_round_robin(std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    spawn_thread(static_cast<NodeId>(i % cfg_.nodes));
+  }
+}
+
+void Djvm::apply_profiling_config() {
+  gos_->set_tracking(cfg_.oal_transfer);
+  plan_.set_rate_all(cfg_.sampling_rate_x);
+  if (cfg_.stack_sampling) {
+    gos_->enable_stack_sampling(cfg_.stack_sampling_gap);
+  } else {
+    gos_->disable_stack_sampling();
+  }
+  if (cfg_.footprinting) {
+    gos_->enable_footprinting(cfg_.footprint_timer, cfg_.footprint_phase,
+                              cfg_.footprint_rearm);
+  } else {
+    gos_->disable_footprinting();
+  }
+}
+
+void Djvm::pump_daemon() { daemon_.submit(gos_->drain_records()); }
+
+void Djvm::add_access_observer(AccessObserver obs) {
+  access_observers_.push_back(std::move(obs));
+  gos_->set_observe_accesses(true);
+}
+
+void Djvm::add_interval_observer(IntervalObserver obs) {
+  interval_observers_.push_back(std::move(obs));
+}
+
+void Djvm::clear_observers() {
+  access_observers_.clear();
+  interval_observers_.clear();
+  gos_->set_observe_accesses(false);
+}
+
+void Djvm::on_stack_sample(ThreadId t) {
+  if (t >= stacks_.size()) return;
+  const StackSampleWork work = stackman_.sample(t, stacks_[t]);
+  const SimTime cost = stack_work_cost(work);
+  gos_->clock(t).advance(cost);
+  stack_sampling_sim_cost_ += cost;
+}
+
+void Djvm::on_interval_close(ThreadId t) {
+  fptracker_.on_interval_close(t, gos_->footprint_touches(t));
+  if (cfg_.stack_sampling && t < stacks_.size() && !stacks_[t].empty()) {
+    if (last_invariants_.size() <= t) {
+      last_invariants_.resize(static_cast<std::size_t>(t) + 1);
+    }
+    auto inv = stackman_.invariant_refs(t, stacks_[t]);
+    if (!inv.empty()) last_invariants_[t] = std::move(inv);
+  }
+  for (const auto& obs : interval_observers_) obs(t);
+}
+
+void Djvm::on_access(ThreadId t, ObjectId obj, bool write) {
+  for (const auto& obs : access_observers_) obs(t, obj, write);
+}
+
+}  // namespace djvm

@@ -1,0 +1,137 @@
+// The distributed JVM facade: wires every subsystem together and is the
+// public entry point used by examples, tests, and the bench harnesses.
+//
+//   Djvm djvm(cfg);
+//   djvm.spawn_threads_round_robin(cfg.threads);
+//   ... allocate via djvm.gos().alloc*, access via read()/write(),
+//       synchronize via barrier_all()/acquire()/release() ...
+//   djvm.pump_daemon();
+//   SquareMatrix tcm = djvm.daemon().build_full();
+//
+// Djvm implements Gos::Hooks: stack-sampling timer crossings run the per-
+// thread stack sampler, interval closes feed the sticky-set footprint
+// tracker, and the raw access stream fans out to registered observers (the
+// page-grain baseline, oracle recorders in benches).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "dsm/gos.hpp"
+#include "migration/cost_model.hpp"
+#include "migration/migration.hpp"
+#include "net/network.hpp"
+#include "profiling/correlation_daemon.hpp"
+#include "profiling/sampling.hpp"
+#include "runtime/heap.hpp"
+#include "runtime/klass.hpp"
+#include "stack/javastack.hpp"
+#include "stackprof/stack_sampler.hpp"
+#include "sticky/footprint.hpp"
+
+namespace djvm {
+
+/// Observer of the raw access stream (enabled on demand).
+using AccessObserver = std::function<void(ThreadId, ObjectId, bool /*write*/)>;
+/// Observer of interval closes.
+using IntervalObserver = std::function<void(ThreadId)>;
+
+/// The whole distributed JVM.
+class Djvm final : public Gos::Hooks {
+ public:
+  explicit Djvm(Config cfg);
+  ~Djvm() override;
+  Djvm(const Djvm&) = delete;
+  Djvm& operator=(const Djvm&) = delete;
+
+  // --- subsystem access -------------------------------------------------------
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] KlassRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] Heap& heap() noexcept { return heap_; }
+  [[nodiscard]] Network& net() noexcept { return net_; }
+  [[nodiscard]] SamplingPlan& plan() noexcept { return plan_; }
+  [[nodiscard]] Gos& gos() noexcept { return *gos_; }
+  [[nodiscard]] CorrelationDaemon& daemon() noexcept { return daemon_; }
+  [[nodiscard]] StackSamplerManager& stack_samplers() noexcept { return stackman_; }
+  [[nodiscard]] FootprintTracker& footprints() noexcept { return fptracker_; }
+  [[nodiscard]] MigrationEngine& migration() noexcept { return migration_; }
+  [[nodiscard]] MigrationCostModel cost_model() const {
+    return MigrationCostModel(heap_, cfg_.costs);
+  }
+
+  // --- threads -----------------------------------------------------------------
+  ThreadId spawn_thread(NodeId node);
+  /// Spawns `count` threads, thread i on node i % nodes.
+  void spawn_threads_round_robin(std::uint32_t count);
+  [[nodiscard]] std::uint32_t thread_count() const noexcept {
+    return gos_->thread_count();
+  }
+  [[nodiscard]] JavaStack& stack(ThreadId t) { return stacks_[t]; }
+
+  // --- convenience passthroughs (the "bytecode" API workloads program to) ------
+  void read(ThreadId t, ObjectId obj) { gos_->read(t, obj); }
+  void write(ThreadId t, ObjectId obj) { gos_->write(t, obj); }
+  void barrier_all() { gos_->barrier_all(); }
+  void acquire(ThreadId t, LockId l) { gos_->acquire(t, l); }
+  void release(ThreadId t, LockId l) { gos_->release(t, l); }
+
+  // --- profiling control ---------------------------------------------------------
+  /// Applies the Config's profiling switches (sampling rate, tracking mode,
+  /// stack sampling, footprinting) to the live system.
+  void apply_profiling_config();
+
+  /// Drains interval records from the GOS into the correlation daemon.
+  void pump_daemon();
+
+  /// Stack-invariant refs of `t` right now (topmost first).
+  [[nodiscard]] std::vector<ObjectId> invariants(ThreadId t) const {
+    return stackman_.invariant_refs(t, stacks_[t]);
+  }
+
+  /// Invariants snapshotted at `t`'s most recent interval close while stack
+  /// sampling was on.  Migration normally happens mid-execution; callers
+  /// inspecting a finished run (whose frames are already popped) use this.
+  [[nodiscard]] const std::vector<ObjectId>& last_invariants(ThreadId t) const {
+    static const std::vector<ObjectId> kEmpty;
+    return t < last_invariants_.size() ? last_invariants_[t] : kEmpty;
+  }
+
+  // --- observers (baseline, oracles) ---------------------------------------------
+  /// Registers a raw-access observer and enables access observation.
+  void add_access_observer(AccessObserver obs);
+  void add_interval_observer(IntervalObserver obs);
+  void clear_observers();
+
+  // --- Gos::Hooks -----------------------------------------------------------------
+  void on_stack_sample(ThreadId t) override;
+  void on_interval_close(ThreadId t) override;
+  void on_access(ThreadId t, ObjectId obj, bool write) override;
+
+  /// Total simulated work done by the stack samplers, converted to SimTime
+  /// and already charged to thread clocks.
+  [[nodiscard]] SimTime stack_sampling_sim_cost() const noexcept {
+    return stack_sampling_sim_cost_;
+  }
+
+ private:
+  Config cfg_;
+  KlassRegistry registry_;
+  Heap heap_;
+  Network net_;
+  SamplingPlan plan_;
+  std::unique_ptr<Gos> gos_;
+  std::vector<JavaStack> stacks_;
+  StackSamplerManager stackman_;
+  FootprintTracker fptracker_;
+  CorrelationDaemon daemon_;
+  MigrationEngine migration_;
+
+  std::vector<AccessObserver> access_observers_;
+  std::vector<IntervalObserver> interval_observers_;
+  std::vector<std::vector<ObjectId>> last_invariants_;
+  SimTime stack_sampling_sim_cost_ = 0;
+};
+
+}  // namespace djvm

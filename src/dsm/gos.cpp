@@ -1,0 +1,438 @@
+#include "dsm/gos.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "runtime/object.hpp"
+
+namespace djvm {
+
+namespace {
+/// Simulated cost of the GOS service routine handling a correlation-fault
+/// (log + cancel false-invalid), with no network involved.
+constexpr SimTime kLogServiceCost = 120;
+/// Simulated cost of a footprinting re-arm touch (service entry only).
+constexpr SimTime kFootprintServiceCost = 80;
+/// Allocation bookkeeping cost.
+constexpr SimTime kAllocCost = 60;
+/// Per-request fixed bytes of a fetch request / control message payload.
+constexpr std::uint64_t kRequestBytes = 32;
+}  // namespace
+
+Gos::Gos(Heap& heap, Network& net, SamplingPlan& plan, const Config& cfg)
+    : heap_(heap), net_(net), plan_(plan), cfg_(cfg), costs_(cfg.costs),
+      nodes_(cfg.nodes), locks_(cfg.nodes), tracking_(cfg.oal_transfer) {
+  last_write_epoch_.reserve(1024);
+}
+
+ThreadId Gos::spawn_thread(NodeId node) {
+  assert(node < nodes_.size());
+  ThreadState ts;
+  ts.node = node;
+  threads_.push_back(std::move(ts));
+  return static_cast<ThreadId>(threads_.size() - 1);
+}
+
+void Gos::grow_node(NodeState& ns) const {
+  const std::size_t n = heap_.object_count();
+  if (ns.state.size() < n) {
+    ns.state.resize(n, static_cast<std::uint8_t>(CopyState::kInvalid));
+    ns.fetch_epoch.resize(n, 0);
+  }
+}
+
+ObjectId Gos::alloc(ClassId klass, NodeId home) {
+  const ObjectId id = heap_.alloc(klass, home);
+  plan_.on_alloc(id);
+  NodeState& ns = nodes_[home];
+  grow_node(ns);
+  ns.state[static_cast<std::size_t>(id)] = static_cast<std::uint8_t>(CopyState::kHome);
+  grow_to(last_write_epoch_, heap_.object_count(), 0u);
+  return id;
+}
+
+ObjectId Gos::alloc_array(ClassId klass, NodeId home, std::uint32_t length) {
+  const ObjectId id = heap_.alloc_array(klass, home, length);
+  plan_.on_alloc(id);
+  NodeState& ns = nodes_[home];
+  grow_node(ns);
+  ns.state[static_cast<std::size_t>(id)] = static_cast<std::uint8_t>(CopyState::kHome);
+  grow_to(last_write_epoch_, heap_.object_count(), 0u);
+  return id;
+}
+
+ObjectId Gos::alloc_for_thread(ThreadId t, ClassId klass) {
+  threads_[t].clock.advance(kAllocCost);
+  return alloc(klass, threads_[t].node);
+}
+
+ObjectId Gos::alloc_array_for_thread(ThreadId t, ClassId klass, std::uint32_t length) {
+  threads_[t].clock.advance(kAllocCost);
+  return alloc_array(klass, threads_[t].node, length);
+}
+
+bool Gos::node_has_copy(NodeId node, ObjectId obj) const {
+  const NodeState& ns = nodes_[node];
+  const auto oi = static_cast<std::size_t>(obj);
+  if (oi >= ns.state.size()) return heap_.meta(obj).home == node;
+  const auto st = static_cast<CopyState>(ns.state[oi]);
+  if (st == CopyState::kHome) return true;
+  if (st == CopyState::kInvalid) return false;
+  const std::uint32_t we =
+      oi < last_write_epoch_.size() ? last_write_epoch_[oi] : 0;
+  return !(we > ns.fetch_epoch[oi] && we <= ns.view_epoch);
+}
+
+void Gos::access(ThreadId t, ObjectId obj, bool is_write) {
+  ThreadState& ts = threads_[t];
+  ts.clock.advance(costs_.access_fast_path);
+  ++stats_.accesses;
+
+  NodeState& ns = nodes_[ts.node];
+  const auto oi = static_cast<std::size_t>(obj);
+  if (oi >= ns.state.size()) [[unlikely]] {
+    grow_node(ns);
+    grow_to(last_write_epoch_, heap_.object_count(), 0u);
+  }
+
+  // --- consistency check (the inlined 2-bit state test) ---------------------
+  const auto st = static_cast<CopyState>(ns.state[oi]);
+  bool valid;
+  if (st == CopyState::kHome) {
+    valid = true;
+  } else if (st == CopyState::kInvalid) {
+    valid = false;
+  } else {
+    // Lazy invalidation: stale only if a newer release exists that this node
+    // has synchronized past (HLRC write-notice semantics).
+    const std::uint32_t we = last_write_epoch_[oi];
+    valid = !(we > ns.fetch_epoch[oi] && we <= ns.view_epoch);
+  }
+  if (!valid) [[unlikely]] {
+    object_fault(ts, ns, obj);
+  }
+
+  // --- correlation tracking (false-invalid overlay) --------------------------
+  // The interval stamp gates first: the false-invalid overlay traps the
+  // FIRST access to each object per interval into the service routine, which
+  // cancels the overlay and logs iff the object is sampled.  Re-accesses take
+  // a single well-predicted branch.
+  if (tracking_ != OalTransfer::kDisabled) {
+    if (oi >= ts.oal_stamp.size()) [[unlikely]] {
+      grow_to(ts.oal_stamp, heap_.object_count(), 0u);
+    }
+    if (ts.oal_stamp[oi] != ts.interval_stamp) [[unlikely]] {
+      ts.oal_stamp[oi] = ts.interval_stamp;
+      if (plan_.is_sampled(obj)) log_access(ts, obj);
+    }
+  }
+
+  // --- sticky-set footprinting (repeated re-armed tracking) ------------------
+  if (footprinting_) {
+    if (ts.clock.now() >= ts.fp_next_boundary) [[unlikely]] {
+      refresh_footprint_state(ts);
+    }
+    if (ts.fp_on_phase && plan_.is_sampled(obj)) {
+      footprint_touch(ts, obj);
+    }
+  }
+
+  // --- dirty tracking for writes ---------------------------------------------
+  if (is_write) {
+    grow_to(ts.dirty_stamp, heap_.object_count(), 0u);
+    if (ts.dirty_stamp[oi] != ts.release_stamp) {
+      ts.dirty_stamp[oi] = ts.release_stamp;
+      ts.dirty.push_back(obj);
+      if (static_cast<CopyState>(ns.state[oi]) == CopyState::kValid) {
+        ns.state[oi] = static_cast<std::uint8_t>(CopyState::kDirty);
+      }
+    }
+  }
+
+  // --- raw access observation (baseline / oracle) ----------------------------
+  if (observe_ && hooks_) [[unlikely]] {
+    hooks_->on_access(t, obj, is_write);
+  }
+
+  // --- stack-sampling timer ---------------------------------------------------
+  if (stack_sampling_) {
+    if (ts.clock.now() >= ts.next_stack_sample) [[unlikely]] {
+      ts.next_stack_sample = ts.clock.now() + stack_gap_;
+      ++stats_.stack_samples;
+      if (hooks_) hooks_->on_stack_sample(t);
+    }
+  }
+}
+
+void Gos::object_fault(ThreadState& ts, NodeState& ns, ObjectId obj) {
+  ts.clock.advance(costs_.access_fault_fixed);
+  const ObjectMeta& m = heap_.meta(obj);
+  const SimTime dt = net_.round_trip(ts.node, m.home, MsgCategory::kObjectData,
+                                     kRequestBytes, m.size_bytes + kRequestBytes);
+  ts.clock.advance(dt);
+  const auto oi = static_cast<std::size_t>(obj);
+  ns.state[oi] = static_cast<std::uint8_t>(CopyState::kValid);
+  ns.fetch_epoch[oi] = global_epoch_;
+  ++stats_.object_faults;
+  stats_.fault_bytes += m.size_bytes;
+}
+
+void Gos::log_access(ThreadState& ts, ObjectId obj) {
+  ts.clock.advance(kLogServiceCost);
+  ts.oal.push_back(OalEntry{obj, heap_.meta(obj).klass, plan_.sample_bytes(obj),
+                            plan_.gap_of(obj)});
+  ++stats_.oal_entries;
+}
+
+void Gos::refresh_footprint_state(ThreadState& ts) {
+  const SimTime now = ts.clock.now();
+  ts.fp_tick = static_cast<std::uint32_t>(now / fp_rearm_) + 1;
+  ts.fp_on_phase = fp_mode_ == FootprintTimerMode::kNonstop ||
+                   ((now / fp_phase_) & 1) == 0;
+  const SimTime next_tick = static_cast<SimTime>(ts.fp_tick) * fp_rearm_;
+  const SimTime next_phase = (now / fp_phase_ + 1) * fp_phase_;
+  ts.fp_next_boundary = std::min(next_tick, next_phase);
+}
+
+void Gos::footprint_touch(ThreadState& ts, ObjectId obj) {
+  const std::uint32_t tick = ts.fp_tick;
+  const auto oi = static_cast<std::size_t>(obj);
+  if (oi >= ts.fp_stamp.size()) [[unlikely]] {
+    grow_to(ts.fp_stamp, heap_.object_count(), 0u);
+    grow_to(ts.fp_count, heap_.object_count(), 0u);
+  }
+  if (ts.fp_stamp[oi] == tick) return;
+  ts.fp_stamp[oi] = tick;
+  ts.clock.advance(kFootprintServiceCost);
+  if (ts.fp_count[oi] == 0) ts.fp_objects.push_back(obj);
+  ++ts.fp_count[oi];
+  ++stats_.footprint_touches;
+}
+
+std::vector<FootprintTouch> Gos::footprint_touches(ThreadId t) const {
+  const ThreadState& ts = threads_[t];
+  std::vector<FootprintTouch> out;
+  out.reserve(ts.fp_objects.size());
+  for (ObjectId obj : ts.fp_objects) {
+    out.push_back(FootprintTouch{obj, ts.fp_count[static_cast<std::size_t>(obj)]});
+  }
+  return out;
+}
+
+void Gos::flush_dirty(ThreadId t) {
+  ThreadState& ts = threads_[t];
+  if (ts.dirty.empty()) {
+    ++ts.release_stamp;
+    return;
+  }
+  ++global_epoch_;
+  NodeState& ns = nodes_[ts.node];
+  grow_node(ns);
+  for (ObjectId obj : ts.dirty) {
+    const ObjectMeta& m = heap_.meta(obj);
+    const auto oi = static_cast<std::size_t>(obj);
+    grow_to(last_write_epoch_, heap_.object_count(), 0u);
+    last_write_epoch_[oi] = global_epoch_;
+    if (m.home != ts.node) {
+      // Diff propagation to home (simplified: whole-object diff payload).
+      const SimTime dt = net_.send(
+          {ts.node, m.home, MsgCategory::kObjectData, m.size_bytes / 2 + kRequestBytes, false});
+      ts.clock.advance(dt);
+      ++stats_.diffs_sent;
+      stats_.diff_bytes += m.size_bytes / 2;
+      // Our copy holds the latest content.
+      ns.state[oi] = static_cast<std::uint8_t>(CopyState::kValid);
+      ns.fetch_epoch[oi] = global_epoch_;
+    }
+  }
+  ts.dirty.clear();
+  ++ts.release_stamp;
+}
+
+void Gos::close_interval(ThreadId t, NodeId sync_dest) {
+  ThreadState& ts = threads_[t];
+  if (hooks_) hooks_->on_interval_close(t);
+  for (ObjectId obj : ts.fp_objects) {
+    ts.fp_count[static_cast<std::size_t>(obj)] = 0;
+  }
+  ts.fp_objects.clear();
+  if (tracking_ != OalTransfer::kDisabled && !ts.oal.empty()) {
+    IntervalRecord rec;
+    rec.thread = t;
+    rec.interval = ts.interval_id;
+    rec.node = ts.node;
+    rec.start_pc = ts.interval_start_pc;
+    rec.end_pc = ts.phase_pc;
+    rec.entries.swap(ts.oal);
+    // Keep the working buffer's capacity in the hot path's favour.
+    ts.oal.reserve(rec.entries.size());
+    if (tracking_ == OalTransfer::kSend) {
+      const bool piggy = cfg_.piggyback_oals && sync_dest == coordinator_;
+      const SimTime dt = net_.send(
+          {ts.node, coordinator_, MsgCategory::kOal, rec.wire_bytes(), piggy});
+      ts.clock.advance(dt);
+      ++stats_.oal_messages;
+    }
+    records_.push_back(std::move(rec));
+  } else {
+    ts.oal.clear();
+  }
+  ts.interval_start_pc = ts.phase_pc;
+  ++ts.interval_stamp;  // re-arms at-most-once tracking (false-invalid reset)
+  ++ts.interval_id;
+  ++stats_.intervals_closed;
+}
+
+void Gos::acquire(ThreadId t, LockId lock) {
+  ThreadState& ts = threads_[t];
+  LockState& ls = locks_.state(lock);
+  close_interval(t, ls.home);
+  const SimTime dt =
+      net_.round_trip(ts.node, ls.home, MsgCategory::kControl, kRequestBytes, kRequestBytes);
+  ts.clock.advance(dt);
+  // Serialize behind the previous holder.
+  ts.clock.align_to(ls.last_release);
+  ++ls.acquisitions;
+  // Acquire semantics: this thread (and its node's cache) now sees all
+  // released writes.
+  ts.view_epoch = global_epoch_;
+  nodes_[ts.node].view_epoch = global_epoch_;
+  ++stats_.lock_acquires;
+}
+
+void Gos::release(ThreadId t, LockId lock) {
+  ThreadState& ts = threads_[t];
+  LockState& ls = locks_.state(lock);
+  flush_dirty(t);
+  close_interval(t, ls.home);
+  const SimTime dt =
+      net_.send({ts.node, ls.home, MsgCategory::kControl, kRequestBytes, false});
+  ts.clock.advance(dt);
+  ls.last_release = std::max(ls.last_release, ts.clock.now());
+}
+
+void Gos::barrier_all() {
+  std::vector<ThreadId> all(threads_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<ThreadId>(i);
+  barrier(all);
+}
+
+void Gos::barrier(std::span<const ThreadId> group) {
+  // Release phase: every thread flushes its writes and reports arrival to the
+  // master (node 0); OALs piggyback on the arrival message when the
+  // coordinator lives there.
+  const NodeId master = 0;
+  SimTime latest = 0;
+  for (ThreadId t : group) {
+    ThreadState& ts = threads_[t];
+    flush_dirty(t);
+    close_interval(t, master);
+    const SimTime dt =
+        net_.send({ts.node, master, MsgCategory::kControl, kRequestBytes, false});
+    ts.clock.advance(dt);
+    latest = std::max(latest, ts.clock.now());
+  }
+  // Master broadcasts the go signal; everyone leaves at the same instant
+  // (the slowest broadcast leg defines the release time, keeping the BSP
+  // execution deterministic).
+  SimTime slowest_leg = 0;
+  for (ThreadId t : group) {
+    ThreadState& ts = threads_[t];
+    const SimTime dt =
+        net_.send({master, ts.node, MsgCategory::kControl, kRequestBytes, false});
+    slowest_leg = std::max(slowest_leg, dt);
+  }
+  for (ThreadId t : group) {
+    ThreadState& ts = threads_[t];
+    ts.clock.align_to(latest + slowest_leg);
+    ts.view_epoch = global_epoch_;
+    nodes_[ts.node].view_epoch = global_epoch_;
+  }
+  ++stats_.barriers;
+}
+
+void Gos::move_thread(ThreadId t, NodeId to) {
+  assert(to < nodes_.size());
+  ThreadState& ts = threads_[t];
+  ts.node = to;
+  // The migrant carries its happens-before knowledge: merge it into the
+  // destination's view so copies staler than the writes this thread has
+  // synchronized with are (lazily) invalidated.  Without this, migrating to
+  // a node that sat out recent barriers would read stale data.
+  NodeState& dst = nodes_[to];
+  dst.view_epoch = std::max(dst.view_epoch, ts.view_epoch);
+}
+
+void Gos::prefetch(ThreadId t, std::span<const ObjectId> objs, MsgCategory category) {
+  if (objs.empty()) return;
+  ThreadState& ts = threads_[t];
+  NodeState& ns = nodes_[ts.node];
+  grow_node(ns);
+  std::uint64_t bytes = 0;
+  for (ObjectId obj : objs) {
+    const auto oi = static_cast<std::size_t>(obj);
+    if (node_has_copy(ts.node, obj)) continue;
+    const ObjectMeta& m = heap_.meta(obj);
+    bytes += m.size_bytes;
+    ns.state[oi] = static_cast<std::uint8_t>(CopyState::kValid);
+    ns.fetch_epoch[oi] = global_epoch_;
+    ++stats_.prefetched_objects;
+  }
+  if (bytes == 0) return;
+  stats_.prefetched_bytes += bytes;
+  // One aggregated request/reply pair (the point of prefetching: one round
+  // trip instead of many).
+  const SimTime dt = net_.round_trip(
+      ts.node, heap_.meta(objs.front()).home, category,
+      kRequestBytes + 8 * objs.size(), bytes + kRequestBytes);
+  ts.clock.advance(dt);
+}
+
+void Gos::migrate_home(ObjectId obj, NodeId to) {
+  ObjectMeta& m = heap_.meta(obj);
+  if (m.home == to) return;
+  const NodeId from = m.home;
+  net_.send({from, to, MsgCategory::kObjectData,
+             m.size_bytes + kRequestBytes, false});
+  NodeState& dst = nodes_[to];
+  NodeState& src = nodes_[from];
+  grow_node(dst);
+  grow_node(src);
+  const auto oi = static_cast<std::size_t>(obj);
+  dst.state[oi] = static_cast<std::uint8_t>(CopyState::kHome);
+  dst.fetch_epoch[oi] = global_epoch_;
+  src.state[oi] = static_cast<std::uint8_t>(CopyState::kValid);
+  src.fetch_epoch[oi] = global_epoch_;
+  heap_.set_home(obj, to);
+  ++stats_.home_migrations;
+}
+
+void Gos::enable_stack_sampling(SimTime gap) {
+  stack_sampling_ = true;
+  stack_gap_ = std::max<SimTime>(1, gap);
+  for (ThreadState& ts : threads_) {
+    ts.next_stack_sample = ts.clock.now() + stack_gap_;
+  }
+}
+
+void Gos::disable_stack_sampling() { stack_sampling_ = false; }
+
+void Gos::enable_footprinting(FootprintTimerMode mode, SimTime phase, SimTime rearm) {
+  footprinting_ = true;
+  fp_mode_ = mode;
+  fp_phase_ = std::max<SimTime>(1, phase);
+  fp_rearm_ = std::max<SimTime>(1, rearm);
+  for (ThreadState& ts : threads_) {
+    ts.fp_next_boundary = 0;  // force a refresh on the next access
+  }
+}
+
+void Gos::disable_footprinting() { footprinting_ = false; }
+
+std::vector<IntervalRecord> Gos::drain_records() {
+  std::vector<IntervalRecord> out;
+  out.swap(records_);
+  return out;
+}
+
+}  // namespace djvm

@@ -1,0 +1,219 @@
+// Global Object Space: the home-based lazy-release-consistency (HLRC) object
+// sharing layer of the distributed JVM (paper Section II.A, Fig. 2).
+//
+// Every shared object has a *home node* (its creator).  Other nodes hold
+// cache copies, fetched on access fault and lazily invalidated: a copy
+// becomes stale only when (a) some thread released a newer version and
+// (b) the caching node has synchronized (acquire/barrier) past that release.
+// Writes are flushed home as diffs at release time.
+//
+// The profiling subsystems hang off this class:
+//  * correlation tracking — the false-invalid overlay forces the first access
+//    to each sampled object per interval through the service routine, which
+//    appends an OAL entry (at-most-once logging);
+//  * sticky-set footprinting — a timer re-arms tracking on sampled objects
+//    every `footprint_rearm`, recording repeated in-interval touches;
+//  * stack sampling — a per-thread simulated-time timer fires the sampler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/sim_clock.hpp"
+#include "common/types.hpp"
+#include "dsm/locks.hpp"
+#include "dsm/protocol_stats.hpp"
+#include "net/network.hpp"
+#include "profiling/oal.hpp"
+#include "profiling/sampling.hpp"
+#include "runtime/heap.hpp"
+
+namespace djvm {
+
+/// Repeated-tracking observation for one object within one interval: how
+/// many distinct re-arm ticks (ticks advance every Config::footprint_rearm
+/// of simulated time) the thread touched it at.  Objects touched at >= 2
+/// ticks are sticky candidates (Fig. 4).
+struct FootprintTouch {
+  ObjectId obj = kInvalidObject;
+  std::uint32_t ticks = 0;
+};
+
+/// The Global Object Space.
+class Gos {
+ public:
+  /// Observer interface for the subsystems layered on the GOS.  Callbacks
+  /// fire outside the hot path (timer crossings, interval boundaries) except
+  /// `on_access`, which fires per access only when observation is enabled.
+  class Hooks {
+   public:
+    virtual ~Hooks() = default;
+    /// Stack-sampling timer crossed for `thread`.
+    virtual void on_stack_sample(ThreadId thread) { (void)thread; }
+    /// `thread` is about to close its current interval (footprint touches
+    /// for the interval are still readable at this point).
+    virtual void on_interval_close(ThreadId thread) { (void)thread; }
+    /// Raw access trace (enabled via set_observe_accesses; used by the
+    /// page-based baseline and by oracle recorders in benches).
+    virtual void on_access(ThreadId thread, ObjectId obj, bool write) {
+      (void)thread;
+      (void)obj;
+      (void)write;
+    }
+  };
+
+  Gos(Heap& heap, Network& net, SamplingPlan& plan, const Config& cfg);
+
+  // --- threads --------------------------------------------------------------
+  ThreadId spawn_thread(NodeId node);
+  [[nodiscard]] std::uint32_t thread_count() const noexcept {
+    return static_cast<std::uint32_t>(threads_.size());
+  }
+  [[nodiscard]] NodeId thread_node(ThreadId t) const { return threads_[t].node; }
+  [[nodiscard]] SimClock& clock(ThreadId t) { return threads_[t].clock; }
+  [[nodiscard]] IntervalId interval_of(ThreadId t) const { return threads_[t].interval_id; }
+  /// Labels the running phase (the paper's interval context start/end PC).
+  void set_phase(ThreadId t, std::uint32_t pc) { threads_[t].phase_pc = pc; }
+
+  // --- allocation (via GOS so sampling tags stay fresh) -----------------------
+  ObjectId alloc(ClassId klass, NodeId home);
+  ObjectId alloc_array(ClassId klass, NodeId home, std::uint32_t length);
+  ObjectId alloc_for_thread(ThreadId t, ClassId klass);
+  ObjectId alloc_array_for_thread(ThreadId t, ClassId klass, std::uint32_t length);
+
+  // --- the access hot path ---------------------------------------------------
+  void read(ThreadId t, ObjectId obj) { access(t, obj, false); }
+  void write(ThreadId t, ObjectId obj) { access(t, obj, true); }
+
+  // --- synchronisation -------------------------------------------------------
+  void acquire(ThreadId t, LockId lock);
+  void release(ThreadId t, LockId lock);
+  /// Barrier across every spawned thread.
+  void barrier_all();
+  /// Barrier across a subset (all threads of a workload phase).
+  void barrier(std::span<const ThreadId> group);
+
+  // --- migration & locality mechanisms ---------------------------------------
+  /// Reassigns the thread's node.  Its current interval continues (the
+  /// at-most-once log survives migration, as in Fig. 4's analysis).
+  void move_thread(ThreadId t, NodeId to);
+  /// Bulk-fetches `objs` into `t`'s node cache (one aggregated message).
+  void prefetch(ThreadId t, std::span<const ObjectId> objs,
+                MsgCategory category = MsgCategory::kObjectData);
+  /// Moves an object's home to `to`, transferring its payload.
+  void migrate_home(ObjectId obj, NodeId to);
+
+  // --- profiling configuration ------------------------------------------------
+  void set_tracking(OalTransfer mode) { tracking_ = mode; }
+  [[nodiscard]] OalTransfer tracking() const noexcept { return tracking_; }
+  void set_coordinator(NodeId n) { coordinator_ = n; }
+  [[nodiscard]] NodeId coordinator() const noexcept { return coordinator_; }
+  void set_hooks(Hooks* hooks) { hooks_ = hooks; }
+  void enable_stack_sampling(SimTime gap);
+  void disable_stack_sampling();
+  void enable_footprinting(FootprintTimerMode mode, SimTime phase, SimTime rearm);
+  void disable_footprinting();
+  void set_observe_accesses(bool on) { observe_ = on; }
+
+  // --- profiling outputs -------------------------------------------------------
+  /// Interval records delivered to the coordinator so far (moves them out).
+  std::vector<IntervalRecord> drain_records();
+  [[nodiscard]] std::size_t pending_records() const noexcept { return records_.size(); }
+  /// Per-object distinct-tick counts for `t`'s current interval (built on
+  /// demand from the internal counters).
+  [[nodiscard]] std::vector<FootprintTouch> footprint_touches(ThreadId t) const;
+
+  [[nodiscard]] const ProtocolStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  [[nodiscard]] Heap& heap() noexcept { return heap_; }
+  [[nodiscard]] Network& net() noexcept { return net_; }
+  [[nodiscard]] SamplingPlan& plan() noexcept { return plan_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// True when `node` holds a valid (or home) copy of `obj` right now.
+  [[nodiscard]] bool node_has_copy(NodeId node, ObjectId obj) const;
+
+ private:
+  struct NodeState {
+    std::vector<std::uint8_t> state;        ///< CopyState per object
+    std::vector<std::uint32_t> fetch_epoch; ///< release epoch of cached copy
+    std::uint32_t view_epoch = 0;           ///< last sync'ed global epoch
+  };
+
+  struct ThreadState {
+    NodeId node = 0;
+    SimClock clock;
+    /// Latest global release epoch this thread has synchronized past; when
+    /// the thread migrates, this is merged into the destination node's view
+    /// so the migrant cannot read copies staler than its happens-before
+    /// knowledge (a node left idle across barriers keeps an old view).
+    std::uint32_t view_epoch = 0;
+    IntervalId interval_id = 0;
+    std::uint32_t interval_stamp = 1;  ///< at-most-once epoch for OAL logging
+    std::uint32_t phase_pc = 0;
+    std::uint32_t interval_start_pc = 0;
+    std::vector<OalEntry> oal;
+    std::vector<std::uint32_t> oal_stamp;   ///< per-object logging epoch
+    std::vector<ObjectId> dirty;            ///< written since last release
+    std::vector<std::uint32_t> dirty_stamp; ///< per-object dirty epoch
+    std::uint32_t release_stamp = 1;
+    // footprinting
+    std::vector<std::uint32_t> fp_stamp;    ///< per-object last re-arm tick tag
+    std::vector<std::uint32_t> fp_count;    ///< per-object distinct ticks this interval
+    std::vector<ObjectId> fp_objects;       ///< objects touched this interval
+    std::uint32_t fp_tick = 0;              ///< cached current re-arm tick
+    bool fp_on_phase = true;                ///< cached on/off phase flag
+    SimTime fp_next_boundary = 0;           ///< when tick/phase must be recomputed
+    // stack sampling
+    SimTime next_stack_sample = 0;
+  };
+
+  void access(ThreadId t, ObjectId obj, bool is_write);
+  void object_fault(ThreadState& ts, NodeState& ns, ObjectId obj);
+  void log_access(ThreadState& ts, ObjectId obj);
+  void footprint_touch(ThreadState& ts, ObjectId obj);
+  void refresh_footprint_state(ThreadState& ts);
+  void flush_dirty(ThreadId t);
+  void close_interval(ThreadId t, NodeId sync_dest);
+  void grow_node(NodeState& ns) const;
+  template <typename T>
+  static void grow_to(std::vector<T>& v, std::size_t n, T fill) {
+    if (v.size() < n) v.resize(n, fill);
+  }
+
+  Heap& heap_;
+  Network& net_;
+  SamplingPlan& plan_;
+  Config cfg_;
+  SimCosts costs_;
+
+  std::vector<NodeState> nodes_;
+  std::vector<ThreadState> threads_;
+  LockTable locks_;
+  std::uint32_t global_epoch_ = 1;
+  std::vector<std::uint32_t> last_write_epoch_;
+
+  OalTransfer tracking_ = OalTransfer::kDisabled;
+  NodeId coordinator_ = 0;
+  Hooks* hooks_ = nullptr;
+  bool observe_ = false;
+
+  // stack sampling timer
+  bool stack_sampling_ = false;
+  SimTime stack_gap_ = 0;
+
+  // footprinting timer
+  bool footprinting_ = false;
+  FootprintTimerMode fp_mode_ = FootprintTimerMode::kNonstop;
+  SimTime fp_phase_ = 1;
+  SimTime fp_rearm_ = 1;
+
+  std::vector<IntervalRecord> records_;
+  ProtocolStats stats_;
+};
+
+}  // namespace djvm

@@ -1,0 +1,5 @@
+#include "dsm/locks.hpp"
+
+// LockTable is header-only today; this translation unit anchors the module.
+
+namespace djvm {}  // namespace djvm

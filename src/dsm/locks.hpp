@@ -1,0 +1,47 @@
+// Distributed lock bookkeeping for the GOS.
+//
+// Locks are homed round-robin across nodes (a common DSM design); acquiring
+// a lock costs a control round trip to its home and serializes behind the
+// previous holder's release time in simulated time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+#include "common/types.hpp"
+
+namespace djvm {
+
+/// State of one distributed lock.
+struct LockState {
+  NodeId home = 0;
+  SimTime last_release = 0;  ///< simulated instant of the latest release
+  std::uint64_t acquisitions = 0;
+};
+
+/// Table of distributed locks, created on first use.
+class LockTable {
+ public:
+  explicit LockTable(std::uint32_t nodes) : nodes_(nodes) {}
+
+  /// Lock home assignment: round-robin by id.
+  [[nodiscard]] LockState& state(LockId id) {
+    if (id >= locks_.size()) {
+      const std::size_t old = locks_.size();
+      locks_.resize(id + 1);
+      for (std::size_t i = old; i < locks_.size(); ++i) {
+        locks_[i].home = static_cast<NodeId>(i % nodes_);
+      }
+    }
+    return locks_[id];
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return locks_.size(); }
+
+ private:
+  std::uint32_t nodes_;
+  std::vector<LockState> locks_;
+};
+
+}  // namespace djvm

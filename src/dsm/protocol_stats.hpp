@@ -1,0 +1,31 @@
+// Counters describing GOS protocol activity; benches read deltas of these.
+#pragma once
+
+#include <cstdint>
+
+namespace djvm {
+
+struct ProtocolStats {
+  // consistency protocol
+  std::uint64_t accesses = 0;          ///< read/write calls (fast + slow path)
+  std::uint64_t object_faults = 0;     ///< remote fetches from home
+  std::uint64_t fault_bytes = 0;       ///< payload bytes faulted in
+  std::uint64_t diffs_sent = 0;        ///< dirty objects flushed at release
+  std::uint64_t diff_bytes = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t intervals_closed = 0;
+  std::uint64_t home_migrations = 0;
+  std::uint64_t prefetched_objects = 0;
+  std::uint64_t prefetched_bytes = 0;
+
+  // profiling activity
+  std::uint64_t oal_entries = 0;       ///< access-log events (O1 cost driver)
+  std::uint64_t oal_messages = 0;      ///< interval records shipped
+  std::uint64_t footprint_touches = 0; ///< repeated-tracking service entries
+  std::uint64_t stack_samples = 0;     ///< stack sampler invocations
+
+  void reset() { *this = ProtocolStats{}; }
+};
+
+}  // namespace djvm

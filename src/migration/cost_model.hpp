@@ -1,0 +1,82 @@
+// Thread migration cost model (paper Section III).
+//
+// The *direct* cost of a migration is shipping the thread context (portable
+// Java frames).  The *indirect* cost — usually dominant — is the chain of
+// remote object faults the migrant suffers for its sticky set.  The model
+// predicts both so the load balancer can weigh a migration's locality gain
+// against what it really costs; prefetching the resolved sticky set along
+// with the context converts the per-object fault round-trips into one bulk
+// transfer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_clock.hpp"
+#include "runtime/heap.hpp"
+#include "sticky/footprint.hpp"
+
+namespace djvm {
+
+/// Prediction for one candidate migration.
+struct MigrationCostEstimate {
+  SimTime direct = 0;            ///< thread context transfer
+  SimTime indirect_faults = 0;   ///< predicted post-migration fault cost
+  SimTime prefetch_bulk = 0;     ///< cost of shipping the sticky set eagerly
+  std::uint64_t predicted_fault_count = 0;
+  std::uint64_t sticky_bytes = 0;
+
+  [[nodiscard]] SimTime total_without_prefetch() const noexcept {
+    return direct + indirect_faults;
+  }
+  [[nodiscard]] SimTime total_with_prefetch() const noexcept {
+    return direct + prefetch_bulk;
+  }
+  /// Simulated time saved by prefetching the sticky set.
+  [[nodiscard]] SimTime prefetch_benefit() const noexcept {
+    return total_without_prefetch() > total_with_prefetch()
+               ? total_without_prefetch() - total_with_prefetch()
+               : 0;
+  }
+};
+
+/// Cost model parameterized by the simulated machine.
+class MigrationCostModel {
+ public:
+  MigrationCostModel(const Heap& heap, SimCosts costs) : heap_(heap), costs_(costs) {}
+
+  /// Predicts migration cost from the thread's context size and its
+  /// estimated sticky-set footprint.
+  [[nodiscard]] MigrationCostEstimate estimate(std::uint64_t context_bytes,
+                                               const ClassFootprint& footprint) const {
+    MigrationCostEstimate e;
+    e.direct = costs_.message_latency + costs_.transfer_time(context_bytes);
+    e.sticky_bytes = static_cast<std::uint64_t>(footprint.total());
+    // Predicted fault count: footprint bytes / mean instance size per class
+    // (one remote fault fetches one whole object; arrays use their measured
+    // mean allocated size, not a guess).
+    for (const auto& [cid, bytes] : footprint.bytes) {
+      const Klass& k = heap_.registry().at(cid);
+      const double mean_size =
+          k.instances > 0
+              ? static_cast<double>(k.bytes_allocated) /
+                    static_cast<double>(k.instances)
+              : static_cast<double>(k.instance_size);
+      if (mean_size <= 0.0) continue;
+      e.predicted_fault_count +=
+          static_cast<std::uint64_t>(bytes / mean_size + 0.5);
+    }
+    // Each fault is a request/reply round trip plus the service entry.
+    e.indirect_faults =
+        e.predicted_fault_count * (2 * costs_.message_latency + costs_.access_fault_fixed) +
+        costs_.transfer_time(e.sticky_bytes);
+    // Prefetching ships the same bytes in one round trip.
+    e.prefetch_bulk = 2 * costs_.message_latency + costs_.transfer_time(e.sticky_bytes);
+    return e;
+  }
+
+ private:
+  const Heap& heap_;
+  SimCosts costs_;
+};
+
+}  // namespace djvm

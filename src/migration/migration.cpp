@@ -1,0 +1,50 @@
+#include "migration/migration.hpp"
+
+namespace djvm {
+
+MigrationOutcome MigrationEngine::migrate(ThreadId t, NodeId to,
+                                          const JavaStack& stack,
+                                          std::span<const ObjectId> sticky) {
+  MigrationOutcome out;
+  out.thread = t;
+  out.from = gos_.thread_node(t);
+  out.to = to;
+  out.context_bytes = stack.context_bytes();
+
+  SimClock& clock = gos_.clock(t);
+  const SimTime t0 = clock.now();
+
+  // Ship the portable Java frames.
+  const SimTime dt = gos_.net().send(
+      {out.from, to, MsgCategory::kMigration, out.context_bytes, false});
+  clock.advance(dt);
+
+  gos_.move_thread(t, to);
+
+  if (!sticky.empty()) {
+    const auto& stats_before = gos_.stats();
+    const std::uint64_t objs_before = stats_before.prefetched_objects;
+    const std::uint64_t bytes_before = stats_before.prefetched_bytes;
+    gos_.prefetch(t, sticky, MsgCategory::kMigration);
+    out.prefetched_objects = gos_.stats().prefetched_objects - objs_before;
+    out.prefetched_bytes = gos_.stats().prefetched_bytes - bytes_before;
+  }
+
+  out.sim_cost = clock.now() - t0;
+  ++count_;
+  return out;
+}
+
+MigrationOutcome MigrationEngine::migrate_with_resolution(
+    ThreadId t, NodeId to, const JavaStack& stack,
+    std::span<const ObjectId> invariants, const ClassFootprint& footprint,
+    double tolerance) {
+  // Resolution is lazy: it runs only now, at migration time.
+  ResolutionResult res = resolve_sticky_set(gos_.heap(), gos_.plan(), invariants,
+                                            footprint, tolerance);
+  MigrationOutcome out = migrate(t, to, stack, res.prefetch);
+  out.resolution = res.stats;
+  return out;
+}
+
+}  // namespace djvm

@@ -1,0 +1,52 @@
+// Message model for the simulated cluster interconnect.
+//
+// The paper's Table III accounts protocol traffic by category: GOS object
+// data, OAL (profiling) traffic, and control messages (locks, barriers,
+// write notices).  Each simulated message carries its category so the
+// Network can keep byte-exact per-category counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace djvm {
+
+/// Traffic category for accounting (mirrors the paper's breakdown).
+enum class MsgCategory : std::uint8_t {
+  kObjectData,    ///< object fetches/replies, diffs (GOS data traffic)
+  kOal,           ///< object-access-list "jumbo" messages to the coordinator
+  kControl,       ///< lock grants, barrier arrivals, write notices
+  kMigration,     ///< thread context + prefetch bundles
+  kCount,
+};
+
+[[nodiscard]] constexpr const char* to_string(MsgCategory c) noexcept {
+  switch (c) {
+    case MsgCategory::kObjectData: return "object-data";
+    case MsgCategory::kOal: return "oal";
+    case MsgCategory::kControl: return "control";
+    case MsgCategory::kMigration: return "migration";
+    default: return "?";
+  }
+}
+
+/// One simulated message.  Payloads are modelled by size only; the simulator
+/// moves actual data through direct function calls, which keeps the model
+/// deterministic while the byte accounting stays exact.
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MsgCategory category = MsgCategory::kControl;
+  std::uint64_t payload_bytes = 0;
+  /// True when this message rode on another one (the paper piggybacks OALs
+  /// on lock/barrier requests going to the same destination); piggybacked
+  /// messages pay no extra latency, only payload transfer time.
+  bool piggybacked = false;
+};
+
+/// Fixed protocol header cost added to every non-piggybacked message.
+inline constexpr std::uint64_t kMessageHeaderBytes = 64;
+
+}  // namespace djvm

@@ -1,0 +1,28 @@
+#include "net/network.hpp"
+
+namespace djvm {
+
+SimTime Network::send(const Message& msg) noexcept {
+  const auto idx = static_cast<std::size_t>(msg.category);
+  const std::uint64_t wire_bytes =
+      msg.payload_bytes + (msg.piggybacked ? 0 : kMessageHeaderBytes);
+  stats_.bytes[idx] += wire_bytes;
+  stats_.messages[idx] += 1;
+  if (msg.src == msg.dst) {
+    // Local delivery: no wire cost, tiny copy cost.
+    return costs_.transfer_time(msg.payload_bytes) / 64;
+  }
+  SimTime t = costs_.transfer_time(wire_bytes);
+  if (!msg.piggybacked) t += costs_.message_latency;
+  return t;
+}
+
+SimTime Network::round_trip(NodeId a, NodeId b, MsgCategory category,
+                            std::uint64_t request_bytes,
+                            std::uint64_t reply_bytes) noexcept {
+  SimTime t = send({a, b, category, request_bytes, false});
+  t += send({b, a, category, reply_bytes, false});
+  return t;
+}
+
+}  // namespace djvm

@@ -1,0 +1,63 @@
+// Simulated cluster interconnect with per-category traffic accounting.
+//
+// Models a Fast-Ethernet-class switched network (the HKU Gideon 300 testbed):
+// each message pays a fixed one-way latency plus payload / bandwidth.  The
+// profilers and the GOS report every transfer here; the bench harnesses read
+// back byte counts per category to reproduce Table III's volume columns.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/sim_clock.hpp"
+#include "net/message.hpp"
+
+namespace djvm {
+
+/// Per-category traffic counters.
+struct TrafficStats {
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> bytes{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> messages{};
+
+  [[nodiscard]] std::uint64_t bytes_of(MsgCategory c) const noexcept {
+    return bytes[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t messages_of(MsgCategory c) const noexcept {
+    return messages[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    std::uint64_t s = 0;
+    for (auto b : bytes) s += b;
+    return s;
+  }
+  void reset() noexcept {
+    bytes.fill(0);
+    messages.fill(0);
+  }
+};
+
+/// The interconnect.  `send` accounts the message and returns the simulated
+/// time the transfer takes from the sender's perspective; callers advance
+/// their thread's SimClock with it (round trips call send twice).
+class Network {
+ public:
+  explicit Network(SimCosts costs) : costs_(costs) {}
+
+  /// Accounts one message and returns its simulated one-way duration.
+  SimTime send(const Message& msg) noexcept;
+
+  /// Convenience: request/reply round trip; returns total simulated time.
+  SimTime round_trip(NodeId a, NodeId b, MsgCategory category,
+                     std::uint64_t request_bytes, std::uint64_t reply_bytes) noexcept;
+
+  [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+  [[nodiscard]] const SimCosts& costs() const noexcept { return costs_; }
+
+ private:
+  SimCosts costs_;
+  TrafficStats stats_;
+};
+
+}  // namespace djvm

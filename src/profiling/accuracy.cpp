@@ -1,0 +1,42 @@
+#include "profiling/accuracy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace djvm {
+
+double euclidean_error(const SquareMatrix& a, const SquareMatrix& b) {
+  assert(a.size() == b.size());
+  double num = 0.0;
+  double den = 0.0;
+  const auto& av = a.raw();
+  const auto& bv = b.raw();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    const double d = av[i] - bv[i];
+    num += d * d;
+    den += bv[i] * bv[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : 1.0;
+  return std::sqrt(num) / std::sqrt(den);
+}
+
+double absolute_error(const SquareMatrix& a, const SquareMatrix& b) {
+  assert(a.size() == b.size());
+  double num = 0.0;
+  double den = 0.0;
+  const auto& av = a.raw();
+  const auto& bv = b.raw();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    num += std::abs(av[i] - bv[i]);
+    den += bv[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : 1.0;
+  return num / den;
+}
+
+double accuracy_from_error(double error) {
+  return std::clamp(1.0 - error, 0.0, 1.0);
+}
+
+}  // namespace djvm

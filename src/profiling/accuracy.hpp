@@ -1,0 +1,24 @@
+// Correlation-map accuracy metrics (paper Section II.B.2, formulae 1 and 2).
+//
+// Given two TCMs A and B, the distance is
+//   E_EUC = sqrt(sum (a_ij - b_ij)^2) / sqrt(sum b_ij^2)      (eq. 1)
+//   E_ABS = sum |a_ij - b_ij| / sum b_ij                      (eq. 2)
+// and accuracy = 1 - E.  When B is the full-sampling map, this is *absolute*
+// accuracy; when both are sampled and A samples less frequently than B, it is
+// *relative* accuracy (the only kind the online controller can observe).
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace djvm {
+
+/// Euclidean (Frobenius) relative distance, eq. (1).
+[[nodiscard]] double euclidean_error(const SquareMatrix& a, const SquareMatrix& b);
+
+/// Absolute relative distance, eq. (2).
+[[nodiscard]] double absolute_error(const SquareMatrix& a, const SquareMatrix& b);
+
+/// 1 - E, clamped to [0, 1].
+[[nodiscard]] double accuracy_from_error(double error);
+
+}  // namespace djvm

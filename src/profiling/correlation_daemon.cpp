@@ -1,0 +1,92 @@
+#include "profiling/correlation_daemon.hpp"
+
+#include <chrono>
+
+#include "profiling/accuracy.hpp"
+
+namespace djvm {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+CorrelationDaemon::CorrelationDaemon(SamplingPlan& plan, std::uint32_t threads)
+    : plan_(plan), threads_(threads), latest_(threads) {}
+
+void CorrelationDaemon::submit(std::vector<IntervalRecord> records) {
+  for (IntervalRecord& r : records) {
+    total_entries_ += r.entries.size();
+    pending_.push_back(std::move(r));
+  }
+}
+
+EpochResult CorrelationDaemon::run_epoch() {
+  EpochResult out;
+  out.intervals = pending_.size();
+  for (const IntervalRecord& r : pending_) out.entries += r.entries.size();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  out.tcm = TcmBuilder::build(pending_, threads_, /*weighted=*/true);
+  out.build_seconds = seconds_since(t0);
+  build_seconds_ += out.build_seconds;
+  ++epochs_;
+
+  if (have_latest_) {
+    out.rel_distance = absolute_error(out.tcm, latest_);
+  }
+
+  if (adaptation_ && !converged_ && out.rel_distance.has_value()) {
+    if (*out.rel_distance > threshold_) {
+      // Tighten: halve every class's nominal gap (classes already at full
+      // sampling stay there).
+      bool any = false;
+      for (Klass& k : plan_.heap().registry().all()) {
+        if (k.sampling.nominal_gap > 1) {
+          plan_.halve_gap(k.id);
+          any = true;
+        }
+      }
+      if (any) {
+        out.resampled_objects = plan_.resample_all();
+        out.rate_changed = true;
+      } else {
+        converged_ = true;  // everything already at full sampling
+      }
+    } else {
+      converged_ = true;
+    }
+  }
+
+  latest_ = out.tcm;
+  have_latest_ = true;
+  for (IntervalRecord& r : pending_) history_.push_back(std::move(r));
+  pending_.clear();
+  return out;
+}
+
+SquareMatrix CorrelationDaemon::build_full(bool weighted) {
+  // Fold any pending records into history first.
+  for (IntervalRecord& r : pending_) history_.push_back(std::move(r));
+  pending_.clear();
+  const auto t0 = std::chrono::steady_clock::now();
+  SquareMatrix tcm = TcmBuilder::build(history_, threads_, weighted);
+  build_seconds_ += seconds_since(t0);
+  latest_ = tcm;
+  have_latest_ = true;
+  return tcm;
+}
+
+void CorrelationDaemon::clear() {
+  pending_.clear();
+  history_.clear();
+  latest_ = SquareMatrix(threads_);
+  have_latest_ = false;
+  converged_ = false;
+  build_seconds_ = 0.0;
+  total_entries_ = 0;
+  epochs_ = 0;
+}
+
+}  // namespace djvm

@@ -1,0 +1,99 @@
+// The central correlation-computing daemon (the master JVM of Fig. 2).
+//
+// Collects OAL interval records from worker nodes, periodically rebuilds the
+// thread correlation map, and — when adaptation is enabled — runs the
+// rate-convergence loop of Section II.B.2: start coarse, tighten the gap
+// stepwise, and stop once successive TCMs agree within a threshold under the
+// absolute-distance metric (which the paper found more stable than the
+// Euclidean one).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "profiling/oal.hpp"
+#include "profiling/sampling.hpp"
+#include "profiling/tcm.hpp"
+
+namespace djvm {
+
+/// Outcome of one daemon epoch (a TCM rebuild over newly collected records).
+struct EpochResult {
+  SquareMatrix tcm;
+  std::size_t intervals = 0;
+  std::size_t entries = 0;
+  double build_seconds = 0.0;      ///< real CPU time of the O(MN^2) build
+  /// Relative ABS distance vs the previous epoch's TCM (nullopt on the
+  /// first epoch).
+  std::optional<double> rel_distance;
+  bool rate_changed = false;       ///< adaptation tightened the gaps
+  std::size_t resampled_objects = 0;
+};
+
+class CorrelationDaemon {
+ public:
+  CorrelationDaemon(SamplingPlan& plan, std::uint32_t threads);
+
+  /// Delivers records (the facade drains the GOS into here).
+  void submit(std::vector<IntervalRecord> records);
+
+  /// Records waiting for the next epoch.
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+
+  /// Builds a TCM over the pending records, compares with the previous
+  /// epoch's map, optionally adapts the sampling rate, and clears the
+  /// pending buffer (records are kept in `history` for offline analysis).
+  EpochResult run_epoch();
+
+  /// Turns on the convergence controller: while not converged, every epoch
+  /// whose relative ABS distance exceeds `threshold` halves every sampled
+  /// class's nominal gap (raising the rate) and triggers resampling.
+  void enable_adaptation(double threshold) {
+    adaptation_ = true;
+    threshold_ = threshold;
+    converged_ = false;
+  }
+  void disable_adaptation() { adaptation_ = false; }
+  [[nodiscard]] bool converged() const noexcept { return converged_; }
+
+  /// Latest epoch's TCM (empty matrix before the first epoch).
+  [[nodiscard]] const SquareMatrix& latest() const noexcept { return latest_; }
+
+  /// Builds one TCM over *all* records ever submitted (used by benches that
+  /// want a whole-run map); also accumulates build-time statistics.
+  SquareMatrix build_full(bool weighted = true);
+
+  /// Total real seconds spent in TCM construction (Table III's rightmost
+  /// column; the paper runs this on a dedicated machine so it does not add
+  /// to execution time).
+  [[nodiscard]] double total_build_seconds() const noexcept { return build_seconds_; }
+  [[nodiscard]] std::size_t total_entries() const noexcept { return total_entries_; }
+  [[nodiscard]] std::size_t total_intervals() const noexcept { return history_.size(); }
+  [[nodiscard]] std::size_t epochs_run() const noexcept { return epochs_; }
+
+  [[nodiscard]] const std::vector<IntervalRecord>& history() const noexcept {
+    return history_;
+  }
+  void clear();
+
+ private:
+  SamplingPlan& plan_;
+  std::uint32_t threads_;
+  std::vector<IntervalRecord> pending_;
+  std::vector<IntervalRecord> history_;
+  SquareMatrix latest_;
+  bool have_latest_ = false;
+
+  bool adaptation_ = false;
+  bool converged_ = false;
+  double threshold_ = 0.05;
+
+  double build_seconds_ = 0.0;
+  std::size_t total_entries_ = 0;
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace djvm

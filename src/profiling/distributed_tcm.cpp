@@ -1,0 +1,162 @@
+#include "profiling/distributed_tcm.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+
+namespace djvm {
+
+std::uint64_t NodePartial::wire_bytes() const noexcept {
+  std::uint64_t bytes = 16;  // header
+  for (const ObjectAccessSummary& s : summaries) {
+    bytes += 8 + s.readers.size() * 12;  // object id + (thread, bytes) pairs
+  }
+  return bytes;
+}
+
+std::vector<NodePartial> DistributedTcmReducer::local_reduce(
+    std::span<const IntervalRecord> records, bool weighted) {
+  // One pass over the records, maintaining a per-node object index — no
+  // record copies (each worker node reduces only what it produced).
+  struct NodeState {
+    std::size_t partial_index;
+    std::unordered_map<ObjectId, std::size_t> index;
+  };
+  std::unordered_map<NodeId, NodeState> by_node;
+  std::vector<NodePartial> out;
+
+  for (const IntervalRecord& r : records) {
+    auto [nit, fresh] = by_node.try_emplace(r.node, NodeState{out.size(), {}});
+    if (fresh) {
+      NodePartial p;
+      p.node = r.node;
+      out.push_back(std::move(p));
+    }
+    NodeState& ns = nit->second;
+    auto& summaries = out[ns.partial_index].summaries;
+    for (const OalEntry& e : r.entries) {
+      const double bytes = weighted
+                               ? static_cast<double>(e.bytes) * e.gap
+                               : static_cast<double>(e.bytes);
+      auto [oit, inserted] = ns.index.try_emplace(e.obj, summaries.size());
+      if (inserted) {
+        summaries.push_back(ObjectAccessSummary{e.obj, {}});
+      }
+      auto& readers = summaries[oit->second].readers;
+      auto rit = std::find_if(readers.begin(), readers.end(),
+                              [&](const auto& p) { return p.first == r.thread; });
+      if (rit == readers.end()) {
+        readers.emplace_back(r.thread, bytes);
+      } else {
+        rit->second = std::max(rit->second, bytes);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NodePartial& a, const NodePartial& b) { return a.node < b.node; });
+  return out;
+}
+
+namespace {
+
+using ObjectIndex = std::unordered_map<ObjectId, std::size_t>;
+
+void merge_indexed(NodePartial& a, ObjectIndex& index, NodePartial& b) {
+  // The child partial is consumed: fresh objects move their reader lists
+  // over instead of reallocating them (the merge is allocation-bound).
+  for (ObjectAccessSummary& s : b.summaries) {
+    auto [it, inserted] = index.try_emplace(s.obj, a.summaries.size());
+    if (inserted) {
+      a.summaries.push_back(std::move(s));
+      continue;
+    }
+    auto& readers = a.summaries[it->second].readers;
+    for (const auto& [tid, bytes] : s.readers) {
+      auto rit = std::find_if(readers.begin(), readers.end(),
+                              [&](const auto& p) { return p.first == tid; });
+      if (rit == readers.end()) {
+        readers.emplace_back(tid, bytes);
+      } else {
+        rit->second = std::max(rit->second, bytes);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void DistributedTcmReducer::merge(NodePartial& a, const NodePartial& b) {
+  ObjectIndex index;
+  index.reserve(a.summaries.size());
+  for (std::size_t i = 0; i < a.summaries.size(); ++i) {
+    index.emplace(a.summaries[i].obj, i);
+  }
+  NodePartial copy = b;  // public API keeps b intact; tree_reduce moves
+  merge_indexed(a, index, copy);
+}
+
+NodePartial DistributedTcmReducer::tree_reduce(std::vector<NodePartial> partials,
+                                               Network* net) {
+  if (partials.empty()) return NodePartial{};
+  // Binary tree: in each round, partial i+stride merges into partial i.
+  // Destination indices persist across rounds so each surviving partial's
+  // object index is built exactly once.
+  std::vector<ObjectIndex> indices(partials.size());
+  for (std::size_t stride = 1; stride < partials.size(); stride *= 2) {
+    for (std::size_t i = 0; i + stride < partials.size(); i += 2 * stride) {
+      NodePartial& child = partials[i + stride];
+      if (net != nullptr) {
+        net->send({child.node, partials[i].node, MsgCategory::kOal,
+                   child.wire_bytes(), false});
+      }
+      if (indices[i].empty() && !partials[i].summaries.empty()) {
+        indices[i].reserve(partials[i].summaries.size());
+        for (std::size_t k = 0; k < partials[i].summaries.size(); ++k) {
+          indices[i].emplace(partials[i].summaries[k].obj, k);
+        }
+      }
+      merge_indexed(partials[i], indices[i], child);
+    }
+  }
+  return std::move(partials.front());
+}
+
+SquareMatrix DistributedTcmReducer::accrue_parallel(
+    std::span<const ObjectAccessSummary> summaries, std::uint32_t threads,
+    unsigned threads_hw) {
+  if (threads_hw <= 1 || summaries.size() < 1024) {
+    return TcmBuilder::accrue(summaries, threads);
+  }
+  const unsigned workers = std::min<unsigned>(
+      threads_hw, std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<SquareMatrix> partials(workers, SquareMatrix(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (summaries.size() + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      const std::size_t lo = w * chunk;
+      const std::size_t hi = std::min(summaries.size(), lo + chunk);
+      if (lo >= hi) return;
+      partials[w] = TcmBuilder::accrue(summaries.subspan(lo, hi - lo), threads);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  SquareMatrix result(threads);
+  for (const SquareMatrix& p : partials) {
+    for (std::size_t i = 0; i < result.raw().size(); ++i) {
+      result.raw()[i] += p.raw()[i];
+    }
+  }
+  return result;
+}
+
+SquareMatrix DistributedTcmReducer::build(std::span<const IntervalRecord> records,
+                                          std::uint32_t threads, bool weighted,
+                                          unsigned threads_hw, Network* net) {
+  std::vector<NodePartial> partials = local_reduce(records, weighted);
+  NodePartial merged = tree_reduce(std::move(partials), net);
+  return accrue_parallel(merged.summaries, threads, threads_hw);
+}
+
+}  // namespace djvm

@@ -1,0 +1,72 @@
+// Distributed / parallel TCM reduction (the paper's future work: "it is
+// desirable to have distributed algorithms for deducing correlation maps in
+// a more scalable way", Section VI).
+//
+// Instead of shipping every OAL to one coordinator that does the whole
+// O(MN^2) accrual, each node reduces its *local* interval records into
+// per-object partial summaries; the summaries are then merged pairwise up a
+// reduction tree (like an MPI_Reduce over a custom monoid) and the pair
+// accrual runs once over the merged summaries — optionally sharded across
+// worker threads, since distinct objects contribute independent updates.
+//
+// The result is bit-identical to the centralized TcmBuilder (tests assert
+// this); what changes is where the work happens and how it scales.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "net/network.hpp"
+#include "profiling/tcm.hpp"
+
+namespace djvm {
+
+/// Per-node partial reduction state: per-object (thread, bytes) summaries
+/// built from that node's interval records only.
+struct NodePartial {
+  NodeId node = kInvalidNode;
+  std::vector<ObjectAccessSummary> summaries;
+
+  /// Wire size when shipped up the reduction tree: object id + per-reader
+  /// (thread id, bytes) entries.
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept;
+};
+
+/// Distributed TCM reduction.
+class DistributedTcmReducer {
+ public:
+  /// Phase 1: each node reduces its own records.  `records` may contain
+  /// records from many nodes; they are grouped by IntervalRecord::node.
+  [[nodiscard]] static std::vector<NodePartial> local_reduce(
+      std::span<const IntervalRecord> records, bool weighted);
+
+  /// Merges `b` into `a` (the reduction monoid: per-object reader lists
+  /// union, byte values combined by max — the same rule reorganize() uses
+  /// across intervals).
+  static void merge(NodePartial& a, const NodePartial& b);
+
+  /// Phase 2: binary reduction tree over the partials.  When `net` is given,
+  /// each merge step accounts one message carrying the child partial (so the
+  /// traffic of the distributed scheme can be compared against centralized
+  /// OAL shipping).  Returns the fully merged partial.
+  [[nodiscard]] static NodePartial tree_reduce(std::vector<NodePartial> partials,
+                                               Network* net = nullptr);
+
+  /// Phase 3: pair accrual over merged summaries, sharded over `threads_hw`
+  /// worker threads (1 = sequential).  Distinct objects touch disjoint
+  /// summary entries, so shards accumulate into private matrices that are
+  /// summed at the end — a classic reduction pattern.
+  [[nodiscard]] static SquareMatrix accrue_parallel(
+      std::span<const ObjectAccessSummary> summaries, std::uint32_t threads,
+      unsigned threads_hw);
+
+  /// Full pipeline: local reduce -> tree reduce -> (parallel) accrual.
+  [[nodiscard]] static SquareMatrix build(std::span<const IntervalRecord> records,
+                                          std::uint32_t threads, bool weighted,
+                                          unsigned threads_hw = 1,
+                                          Network* net = nullptr);
+};
+
+}  // namespace djvm

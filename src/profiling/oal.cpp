@@ -1,0 +1,6 @@
+#include "profiling/oal.hpp"
+
+// IntervalRecord is a plain data carrier; this translation unit exists to
+// anchor the module and host future serialization helpers.
+
+namespace djvm {}  // namespace djvm

@@ -1,0 +1,49 @@
+// Object access lists (OALs) and per-interval records (paper Section II.A).
+//
+// By the at-most-once property of HLRC, a thread logs each sampled shared
+// object at most once per interval.  On interval close the OAL — accessed
+// object id and (amortized) size — is packed with the interval context into a
+// jumbo message for the central coordinator, piggybacked on lock/barrier
+// traffic when possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace djvm {
+
+/// One OAL entry.  `bytes` is the amortized sample size at logging time;
+/// `gap` is the class's real sampling gap at logging time so the TCM builder
+/// can apply Horvitz-Thompson scaling even after later rate changes.
+struct OalEntry {
+  ObjectId obj = kInvalidObject;
+  ClassId klass = kInvalidClass;
+  std::uint32_t bytes = 0;
+  std::uint32_t gap = 1;
+};
+
+/// Wire size of one OAL entry: the paper ships "accessed object id and size"
+/// (8-byte id + 4-byte size).
+inline constexpr std::uint64_t kOalEntryWireBytes = 12;
+/// Interval context header: thread id, interval id, start/end bytecode PC.
+inline constexpr std::uint64_t kIntervalHeaderWireBytes = 24;
+
+/// A closed interval's access log, as shipped to the coordinator.
+struct IntervalRecord {
+  ThreadId thread = kInvalidThread;
+  IntervalId interval = 0;
+  NodeId node = kInvalidNode;
+  /// Interval context: the paper delimits intervals by start/end bytecode
+  /// PCs; workloads label phases with small integers serving that role.
+  std::uint32_t start_pc = 0;
+  std::uint32_t end_pc = 0;
+  std::vector<OalEntry> entries;
+
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept {
+    return kIntervalHeaderWireBytes + entries.size() * kOalEntryWireBytes;
+  }
+};
+
+}  // namespace djvm

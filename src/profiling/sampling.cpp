@@ -1,0 +1,145 @@
+#include "profiling/sampling.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/primes.hpp"
+
+namespace djvm {
+
+SamplingPlan::SamplingPlan(Heap& heap) : heap_(heap) {
+  sampled_.reserve(1024);
+  sample_bytes_.reserve(1024);
+  // Tag anything allocated before the plan was attached.
+  for (ObjectId o = 0; o < heap_.object_count(); ++o) on_alloc(o);
+}
+
+std::uint32_t SamplingPlan::nominal_gap_for_rate(std::uint32_t instance_size,
+                                                 std::uint32_t rate_x) {
+  if (rate_x == 0) return 1;  // full sampling
+  const std::uint64_t denom = static_cast<std::uint64_t>(instance_size) * rate_x;
+  if (denom == 0) return 1;
+  const std::uint64_t gap = kPageSize / denom;
+  return static_cast<std::uint32_t>(std::max<std::uint64_t>(1, gap));
+}
+
+void SamplingPlan::set_nominal_gap(ClassId id, std::uint32_t nominal) {
+  Klass& k = heap_.registry().at(id);
+  k.sampling.nominal_gap = std::max<std::uint32_t>(1, nominal);
+  k.sampling.real_gap =
+      (k.sampling.nominal_gap <= 1)
+          ? 1
+          : static_cast<std::uint32_t>(nearest_prime(k.sampling.nominal_gap));
+  k.sampling.initialized = true;
+}
+
+void SamplingPlan::set_rate(ClassId id, std::uint32_t rate_x) {
+  const Klass& k = heap_.registry().at(id);
+  set_nominal_gap(id, nominal_gap_for_rate(k.instance_size, rate_x));
+}
+
+void SamplingPlan::set_rate_all(std::uint32_t rate_x) {
+  default_rate_x_ = rate_x;
+  for (Klass& k : heap_.registry().all()) set_rate(k.id, rate_x);
+  resample_all();
+}
+
+std::uint32_t SamplingPlan::halve_gap(ClassId id) {
+  Klass& k = heap_.registry().at(id);
+  const std::uint32_t next = std::max<std::uint32_t>(1, k.sampling.nominal_gap / 2);
+  set_nominal_gap(id, next);
+  return next;
+}
+
+std::uint32_t SamplingPlan::double_gap(ClassId id) {
+  Klass& k = heap_.registry().at(id);
+  set_nominal_gap(id, k.sampling.nominal_gap * 2);
+  return k.sampling.nominal_gap;
+}
+
+std::uint32_t SamplingPlan::real_gap(ClassId id) const {
+  return heap_.registry().at(id).sampling.real_gap;
+}
+
+std::uint32_t SamplingPlan::nominal_gap(ClassId id) const {
+  return heap_.registry().at(id).sampling.nominal_gap;
+}
+
+std::uint32_t SamplingPlan::sampled_elements(std::uint32_t start_seq,
+                                             std::uint32_t length,
+                                             std::uint32_t gap) {
+  if (gap <= 1) return length;
+  // Multiples of gap in [start_seq, start_seq + length - 1].
+  const std::uint64_t hi = static_cast<std::uint64_t>(start_seq) + length - 1;
+  const std::uint64_t lo = start_seq;
+  return static_cast<std::uint32_t>(hi / gap - (lo - 1) / gap);
+}
+
+void SamplingPlan::recompute(ObjectId obj) {
+  const ObjectMeta& m = heap_.meta(obj);
+  const Klass& k = heap_.registry().at(m.klass);
+  const std::uint32_t gap = k.sampling.real_gap;
+  const auto idx = static_cast<std::size_t>(obj);
+  sample_gap_[idx] = gap;
+  if (k.is_array) {
+    const std::uint32_t n = sampled_elements(m.start_seq, m.length, gap);
+    sampled_[idx] = n > 0 ? 1 : 0;
+    sample_bytes_[idx] = n * k.instance_size;
+  } else {
+    const bool s = (gap <= 1) || (m.start_seq % gap == 0);
+    sampled_[idx] = s ? 1 : 0;
+    sample_bytes_[idx] = s ? m.size_bytes : 0;
+  }
+}
+
+void SamplingPlan::on_alloc(ObjectId obj) {
+  const auto idx = static_cast<std::size_t>(obj);
+  if (idx >= sampled_.size()) {
+    sampled_.resize(idx + 1, 0);
+    sample_bytes_.resize(idx + 1, 0);
+    sample_gap_.resize(idx + 1, 1);
+  }
+  // Classes loaded after the cluster-wide rate was chosen inherit it on
+  // their first allocation (class loading is lazy in a JVM).
+  Klass& k = heap_.registry().at(heap_.meta(obj).klass);
+  if (!k.sampling.initialized) set_rate(k.id, default_rate_x_);
+  recompute(obj);
+}
+
+std::size_t SamplingPlan::resample_class(ClassId id) {
+  std::size_t visited = 0;
+  for (ObjectId o = 0; o < heap_.object_count(); ++o) {
+    if (heap_.meta(o).klass == id) {
+      recompute(o);
+      ++visited;
+    }
+  }
+  return visited;
+}
+
+std::size_t SamplingPlan::resample_all() {
+  const std::size_t n = heap_.object_count();
+  if (sampled_.size() < n) {
+    sampled_.resize(n, 0);
+    sample_bytes_.resize(n, 0);
+    sample_gap_.resize(n, 1);
+  }
+  for (ObjectId o = 0; o < n; ++o) recompute(o);
+  return n;
+}
+
+std::uint64_t SamplingPlan::estimated_full_bytes(ObjectId obj) const {
+  const auto idx = static_cast<std::size_t>(obj);
+  if (idx >= sampled_.size() || sampled_[idx] == 0) return 0;
+  const ObjectMeta& m = heap_.meta(obj);
+  const std::uint32_t gap = heap_.registry().at(m.klass).sampling.real_gap;
+  return static_cast<std::uint64_t>(sample_bytes_[idx]) * gap;
+}
+
+std::uint64_t SamplingPlan::sampled_count() const {
+  std::uint64_t n = 0;
+  for (std::uint8_t b : sampled_) n += b;
+  return n;
+}
+
+}  // namespace djvm

@@ -1,0 +1,109 @@
+// Adaptive per-class object sampling (paper Section II.B).
+//
+// Each class carries a *nominal* sampling gap (a power of two) and a *real*
+// gap (the nearest prime, to defeat cyclic allocation patterns).  An object
+// is sampled iff one of its sequence numbers is divisible by the real gap;
+// arrays own one sequence number per element, and a sampled array logs an
+// *amortized* sample size of (sampled elements x element size) instead of its
+// full length, which keeps correlation estimates unbiased across array sizes.
+//
+// Rates use the paper's nX notation: "nX" = n sampled objects per 4 KB page,
+// i.e. nominal gap = page_size / (instance_size * n), clamped to >= 1 (full).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/heap.hpp"
+
+namespace djvm {
+
+/// Cluster-wide sampling state: per-class gaps plus per-object cached
+/// sampled bits and amortized sample sizes (recomputed on rate changes, the
+/// paper's "resampling" pass).
+class SamplingPlan {
+ public:
+  explicit SamplingPlan(Heap& heap);
+
+  // --- rate configuration --------------------------------------------------
+  /// Applies rate `rate_x` (nX) to every registered class and makes it the
+  /// default inherited by classes registered later; 0 = full sampling.
+  void set_rate_all(std::uint32_t rate_x);
+
+  /// Applies rate `rate_x` to one class; 0 = full sampling.
+  void set_rate(ClassId id, std::uint32_t rate_x);
+
+  /// Sets a class's nominal gap directly (real gap = nearest prime; a
+  /// nominal gap of 1 means full sampling, real gap 1).
+  void set_nominal_gap(ClassId id, std::uint32_t nominal);
+
+  /// Halves the class's nominal gap (doubles its sampling rate); saturates
+  /// at full sampling.  Returns the new nominal gap.
+  std::uint32_t halve_gap(ClassId id);
+
+  /// Doubles the class's nominal gap (halves its rate).
+  std::uint32_t double_gap(ClassId id);
+
+  [[nodiscard]] std::uint32_t real_gap(ClassId id) const;
+  [[nodiscard]] std::uint32_t nominal_gap(ClassId id) const;
+
+  /// The nX rate implied by `rate_x` for a class of instance size `s`:
+  /// nominal gap = max(1, page / (s * n)).  Exposed for tests.
+  [[nodiscard]] static std::uint32_t nominal_gap_for_rate(std::uint32_t instance_size,
+                                                          std::uint32_t rate_x);
+
+  // --- per-object queries (hot path) ---------------------------------------
+  [[nodiscard]] bool is_sampled(ObjectId obj) const {
+    return obj < sampled_.size() && sampled_[static_cast<std::size_t>(obj)] != 0;
+  }
+  /// Amortized sample size in bytes (0 when unsampled): full object size for
+  /// scalars, sampled_elements x element_size for arrays.
+  [[nodiscard]] std::uint32_t sample_bytes(ObjectId obj) const {
+    return obj < sample_bytes_.size() ? sample_bytes_[static_cast<std::size_t>(obj)] : 0;
+  }
+  /// Class gap cached per object at the last (re)sample, so the logging hot
+  /// path avoids a registry lookup.
+  [[nodiscard]] std::uint32_t gap_of(ObjectId obj) const {
+    return obj < sample_gap_.size() ? sample_gap_[static_cast<std::size_t>(obj)] : 1;
+  }
+  /// Horvitz-Thompson estimate of the object's full byte contribution:
+  /// sample_bytes x gap.  For arrays this reconstructs ~ length x elem size;
+  /// for scalars, size x gap compensates the 1/gap selection probability.
+  [[nodiscard]] std::uint64_t estimated_full_bytes(ObjectId obj) const;
+
+  // --- maintenance ----------------------------------------------------------
+  /// Tags a freshly allocated object (called from the GOS allocation path).
+  void on_alloc(ObjectId obj);
+
+  /// Recomputes sampled bits for every object of class `id` ("Upon receiving
+  /// a change notice for a specific class, every thread will iterate through
+  /// all objects of that class it caches...").  Returns objects visited.
+  std::size_t resample_class(ClassId id);
+
+  /// Full resampling pass over the heap; returns objects visited.
+  std::size_t resample_all();
+
+  /// Count of sampled elements in an array [start_seq, start_seq+len) under
+  /// gap `g` (number of multiples of g in that range).  Exposed for tests.
+  [[nodiscard]] static std::uint32_t sampled_elements(std::uint32_t start_seq,
+                                                      std::uint32_t length,
+                                                      std::uint32_t gap);
+
+  /// Total number of currently sampled objects (for tests/benches).
+  [[nodiscard]] std::uint64_t sampled_count() const;
+
+  [[nodiscard]] const Heap& heap() const noexcept { return heap_; }
+  [[nodiscard]] Heap& heap() noexcept { return heap_; }
+
+ private:
+  void recompute(ObjectId obj);
+
+  Heap& heap_;
+  std::uint32_t default_rate_x_ = 0;
+  std::vector<std::uint8_t> sampled_;
+  std::vector<std::uint32_t> sample_bytes_;
+  std::vector<std::uint32_t> sample_gap_;
+};
+
+}  // namespace djvm

@@ -1,0 +1,59 @@
+#include "profiling/tcm.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace djvm {
+
+std::vector<ObjectAccessSummary> TcmBuilder::reorganize(
+    std::span<const IntervalRecord> records, bool weighted) {
+  // obj -> dense summary index.
+  std::unordered_map<ObjectId, std::size_t> index;
+  std::vector<ObjectAccessSummary> summaries;
+  index.reserve(1024);
+
+  for (const IntervalRecord& rec : records) {
+    for (const OalEntry& e : rec.entries) {
+      const double bytes = weighted
+                               ? static_cast<double>(e.bytes) * e.gap
+                               : static_cast<double>(e.bytes);
+      auto [it, inserted] = index.try_emplace(e.obj, summaries.size());
+      if (inserted) {
+        summaries.push_back(ObjectAccessSummary{e.obj, {}});
+      }
+      auto& readers = summaries[it->second].readers;
+      auto rit = std::find_if(readers.begin(), readers.end(),
+                              [&](const auto& p) { return p.first == rec.thread; });
+      if (rit == readers.end()) {
+        readers.emplace_back(rec.thread, bytes);
+      } else {
+        rit->second = std::max(rit->second, bytes);
+      }
+    }
+  }
+  return summaries;
+}
+
+SquareMatrix TcmBuilder::accrue(std::span<const ObjectAccessSummary> summaries,
+                                std::uint32_t threads) {
+  SquareMatrix tcm(threads);
+  for (const ObjectAccessSummary& s : summaries) {
+    const auto& r = s.readers;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      for (std::size_t j = i + 1; j < r.size(); ++j) {
+        const double shared = std::min(r[i].second, r[j].second);
+        if (r[i].first < threads && r[j].first < threads) {
+          tcm.add_symmetric(r[i].first, r[j].first, shared);
+        }
+      }
+    }
+  }
+  return tcm;
+}
+
+SquareMatrix TcmBuilder::build(std::span<const IntervalRecord> records,
+                               std::uint32_t threads, bool weighted) {
+  return accrue(reorganize(records, weighted), threads);
+}
+
+}  // namespace djvm

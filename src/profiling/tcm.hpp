@@ -1,0 +1,50 @@
+// Thread correlation map (TCM) construction (paper Section II.A).
+//
+// The coordinator reorganizes per-thread OALs into per-object lists of
+// (thread, bytes) — O(MN) — and then accrues, for every pair of threads that
+// touched an object in the profiled window, the object's byte contribution —
+// O(MN^2).  With sampling, each logged entry carries its class gap at logging
+// time; multiplying by the gap (Horvitz-Thompson weighting) makes the sampled
+// TCM an unbiased estimate of the full-sampling map, so the paper's error
+// metrics compare like with like.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+#include "profiling/oal.hpp"
+
+namespace djvm {
+
+/// Per-object access summary produced by OAL reorganization.
+struct ObjectAccessSummary {
+  ObjectId obj = kInvalidObject;
+  /// (thread, weighted bytes) — byte value is the maximum over the window's
+  /// intervals, Horvitz-Thompson scaled when `weighted` was requested.
+  std::vector<std::pair<ThreadId, double>> readers;
+};
+
+/// Builds TCMs out of interval records.
+class TcmBuilder {
+ public:
+  /// Step 1: reorganize per-thread interval records into per-object lists.
+  /// O(M N) in objects M and threads N.
+  [[nodiscard]] static std::vector<ObjectAccessSummary> reorganize(
+      std::span<const IntervalRecord> records, bool weighted);
+
+  /// Step 2: accrue shared bytes per thread pair.  O(M N^2).
+  /// Cell (i, j) accumulates min(bytes_i, bytes_j) per object shared by
+  /// threads i and j.
+  [[nodiscard]] static SquareMatrix accrue(
+      std::span<const ObjectAccessSummary> summaries, std::uint32_t threads);
+
+  /// Convenience: reorganize + accrue.
+  [[nodiscard]] static SquareMatrix build(std::span<const IntervalRecord> records,
+                                          std::uint32_t threads,
+                                          bool weighted = true);
+};
+
+}  // namespace djvm

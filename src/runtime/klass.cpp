@@ -1,0 +1,61 @@
+#include "runtime/klass.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace djvm {
+
+ClassId KlassRegistry::register_class(std::string_view name,
+                                      std::uint32_t payload_bytes,
+                                      std::uint32_t ref_fields) {
+  assert(!find(name).has_value() && "class names must be unique");
+  Klass k;
+  k.id = static_cast<ClassId>(klasses_.size());
+  k.name = std::string(name);
+  k.instance_size = payload_bytes;
+  k.is_array = false;
+  k.ref_fields = ref_fields;
+  klasses_.push_back(std::move(k));
+  return klasses_.back().id;
+}
+
+ClassId KlassRegistry::register_array_class(std::string_view name,
+                                            std::uint32_t element_bytes,
+                                            bool elements_are_refs) {
+  assert(!find(name).has_value() && "class names must be unique");
+  Klass k;
+  k.id = static_cast<ClassId>(klasses_.size());
+  k.name = std::string(name);
+  k.instance_size = element_bytes;
+  k.is_array = true;
+  k.elements_are_refs = elements_are_refs;
+  klasses_.push_back(std::move(k));
+  return klasses_.back().id;
+}
+
+Klass& KlassRegistry::at(ClassId id) {
+  if (id >= klasses_.size()) throw std::out_of_range("KlassRegistry::at");
+  return klasses_[id];
+}
+
+const Klass& KlassRegistry::at(ClassId id) const {
+  if (id >= klasses_.size()) throw std::out_of_range("KlassRegistry::at");
+  return klasses_[id];
+}
+
+std::optional<ClassId> KlassRegistry::find(std::string_view name) const {
+  for (const Klass& k : klasses_) {
+    if (k.name == name) return k.id;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t KlassRegistry::take_sequence(ClassId id, std::uint32_t count) {
+  Klass& k = at(id);
+  const std::uint32_t first = k.next_seq;
+  k.next_seq += count;
+  k.instances += 1;
+  return first;
+}
+
+}  // namespace djvm

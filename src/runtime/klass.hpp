@@ -1,0 +1,89 @@
+// Class metadata for the mini-JVM object model.
+//
+// The paper differentiates sampling behaviour *per class* ("we store the
+// sampling-specific metadata like sampling gap as close to subclasses as
+// possible", Section II.B) and allocates each object a half-word sequence
+// number unique within its class.  Array classes hand out one sequence
+// number per *element* (Section II.B.3's amortization scheme), so an array
+// allocation consumes `length` consecutive numbers and stores only the first.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace djvm {
+
+/// Per-class sampling state, mutated at runtime by the adaptive sampler.
+/// `real_gap == 1` means full sampling.  The nominal gap is kept so rate
+/// changes can halve/double it and re-derive the prime real gap.
+struct SamplingInfo {
+  std::uint32_t nominal_gap = 1;
+  std::uint32_t real_gap = 1;
+  /// False until a rate has been assigned; classes registered after the
+  /// cluster-wide rate was chosen inherit the plan's default on first
+  /// allocation.
+  bool initialized = false;
+};
+
+/// A loaded class.  For array classes `instance_size` is the *element* size
+/// and objects carry their own length; for scalar classes it is the full
+/// instance payload size.
+struct Klass {
+  ClassId id = kInvalidClass;
+  std::string name;
+  std::uint32_t instance_size = 0;  ///< bytes: scalar payload, or array element
+  bool is_array = false;
+  /// Indices of reference-typed fields within a scalar instance (slot layout
+  /// used to build the object graph); for ref-array classes every element is
+  /// a reference and this is empty.
+  std::uint32_t ref_fields = 0;
+  /// True when array elements are themselves references (e.g. Body[]).
+  bool elements_are_refs = false;
+
+  SamplingInfo sampling{};
+
+  /// Next sequence number to hand out (starts at 1; Fig. 3 numbers from 1).
+  std::uint32_t next_seq = 1;
+  /// Objects allocated so far (arrays count once).
+  std::uint64_t instances = 0;
+  /// Total payload bytes allocated for this class (mean instance size =
+  /// bytes_allocated / instances; the migration cost model uses it to turn
+  /// footprint bytes into a fault-count prediction).
+  std::uint64_t bytes_allocated = 0;
+};
+
+/// Registry of all classes loaded in the cluster.  Class loading in a DJVM
+/// is globally coordinated, so a single registry with stable ids suffices.
+class KlassRegistry {
+ public:
+  /// Registers a scalar class of `payload_bytes` with `ref_fields` reference
+  /// slots.  Returns its id.  Names must be unique.
+  ClassId register_class(std::string_view name, std::uint32_t payload_bytes,
+                         std::uint32_t ref_fields = 0);
+
+  /// Registers an array class ("double[]", "Body[]") of per-element size.
+  ClassId register_array_class(std::string_view name, std::uint32_t element_bytes,
+                               bool elements_are_refs = false);
+
+  [[nodiscard]] Klass& at(ClassId id);
+  [[nodiscard]] const Klass& at(ClassId id) const;
+  [[nodiscard]] std::optional<ClassId> find(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return klasses_.size(); }
+
+  /// Allocates `count` consecutive sequence numbers for class `id` and
+  /// returns the first.  Scalars pass 1; arrays pass their length.
+  std::uint32_t take_sequence(ClassId id, std::uint32_t count);
+
+  [[nodiscard]] std::vector<Klass>& all() noexcept { return klasses_; }
+  [[nodiscard]] const std::vector<Klass>& all() const noexcept { return klasses_; }
+
+ private:
+  std::vector<Klass> klasses_;
+};
+
+}  // namespace djvm

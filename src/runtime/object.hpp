@@ -1,0 +1,46 @@
+// Object headers for the Global Object Space.
+//
+// Mirrors the fields the paper's techniques rely on: class id, home node,
+// per-class sequence number (half-word in the paper; 32-bit here for
+// simulation convenience), and length for arrays.  Reference fields are kept
+// as explicit edges so sticky-set resolution can walk the object graph the
+// way a prefetcher walks real heap references.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace djvm {
+
+/// Header + graph edges of one heap object (scalar or array).
+struct ObjectMeta {
+  ClassId klass = kInvalidClass;
+  NodeId home = kInvalidNode;
+  /// First sequence number (scalars own exactly this one; an array of
+  /// `length` elements owns [start_seq, start_seq + length)).
+  std::uint32_t start_seq = 0;
+  /// Element count; 1 for scalar instances.
+  std::uint32_t length = 1;
+  /// Payload size in bytes (what a remote fetch must move).
+  std::uint32_t size_bytes = 0;
+  /// Virtual address in the home node's address space; the page-based
+  /// baseline derives page numbers from this.
+  std::uint64_t vaddr = 0;
+  /// Outgoing reference edges (object graph).
+  std::vector<ObjectId> refs;
+};
+
+/// Per-(node, object) cache-copy consistency state, two "bits" of protocol
+/// state plus the false-invalid tracking overlay described in Section II.A:
+/// the *real* state lives in `real`, while `tracked` marks the false-invalid
+/// overlay that forces the next access through the GOS service routine.
+enum class CopyState : std::uint8_t {
+  kInvalid = 0,   ///< no valid cached copy; access must fault to home
+  kValid = 1,     ///< clean cached copy
+  kDirty = 2,     ///< locally written since last release (diff pending)
+  kHome = 3,      ///< this node is the object's home
+};
+
+}  // namespace djvm

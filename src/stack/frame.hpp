@@ -1,0 +1,56 @@
+// Java stack frames.
+//
+// The JVM is a stack machine: every bytecode reaches its operands through the
+// current frame's slots.  Kaffe (the base JVM of JESSICA2) lays Java frames
+// out 1:1 over native frames, which is what lets the paper's profiler extract
+// slot contents directly.  We model a frame as a flat slot array of 64-bit
+// values; reference slots carry a tag so the "GC interface" can tell object
+// pointers from primitive bit patterns, as a precise JVM would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace djvm {
+
+/// Tag marking a slot value as an object reference.  Real JVMs distinguish
+/// pointers via GC maps; the tag plays that role here.
+inline constexpr std::uint64_t kRefTag = 0x4A56'0000'0000'0000ULL;  // "JV"
+inline constexpr std::uint64_t kRefTagMask = 0xFFFF'0000'0000'0000ULL;
+
+[[nodiscard]] constexpr std::uint64_t encode_ref(ObjectId id) noexcept {
+  return kRefTag | id;
+}
+[[nodiscard]] constexpr bool looks_like_ref(std::uint64_t raw) noexcept {
+  return (raw & kRefTagMask) == kRefTag;
+}
+[[nodiscard]] constexpr ObjectId decode_ref(std::uint64_t raw) noexcept {
+  return raw & ~kRefTagMask;
+}
+
+/// Identifier of a Java method (index into a method table kept by the app).
+using MethodId = std::uint32_t;
+
+/// One Java frame.  `visited` is the flag the paper's two-phase scanning
+/// relies on; the JIT clears it in every method prologue, which here means
+/// every freshly pushed frame starts unvisited.
+struct Frame {
+  FrameId id = kInvalidFrame;
+  MethodId method = 0;
+  bool visited = false;
+  std::vector<std::uint64_t> slots;
+
+  void set_ref(std::size_t slot, ObjectId obj) { slots.at(slot) = encode_ref(obj); }
+  void set_prim(std::size_t slot, std::uint64_t v) { slots.at(slot) = v & ~kRefTagMask; }
+  [[nodiscard]] std::uint64_t slot(std::size_t i) const { return slots.at(i); }
+  [[nodiscard]] std::size_t slot_count() const noexcept { return slots.size(); }
+
+  /// Bytes this frame contributes to a migrated thread context.
+  [[nodiscard]] std::uint64_t context_bytes() const noexcept {
+    return 32 + slots.size() * 8;  // saved %EBP/%EIP/method info + slots
+  }
+};
+
+}  // namespace djvm

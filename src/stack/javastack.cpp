@@ -1,0 +1,28 @@
+#include "stack/javastack.hpp"
+
+#include <cassert>
+
+namespace djvm {
+
+std::size_t JavaStack::push(MethodId method, std::size_t nslots) {
+  Frame f;
+  f.id = next_id_++;
+  f.method = method;
+  f.visited = false;  // method prologue clears the visited flag
+  f.slots.assign(nslots, 0);
+  frames_.push_back(std::move(f));
+  return frames_.size() - 1;
+}
+
+void JavaStack::pop() {
+  assert(!frames_.empty());
+  frames_.pop_back();
+}
+
+std::uint64_t JavaStack::context_bytes() const noexcept {
+  std::uint64_t total = 64;  // thread control block
+  for (const Frame& f : frames_) total += f.context_bytes();
+  return total;
+}
+
+}  // namespace djvm

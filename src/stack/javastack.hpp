@@ -1,0 +1,70 @@
+// Per-thread Java stack and the RAII frame guard workloads use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stack/frame.hpp"
+
+namespace djvm {
+
+/// A thread's Java stack.  Index 0 is the bottom (main) frame; the top is the
+/// most recently pushed frame.  Frame ids are monotonic and never reused, so
+/// the stack sampler can tell a popped-and-repushed frame from a surviving
+/// one even at equal depth.
+class JavaStack {
+ public:
+  /// Pushes a frame for `method` with `nslots` zeroed slots; returns its
+  /// depth index.  The visited flag starts cleared (method prologue).
+  std::size_t push(MethodId method, std::size_t nslots);
+
+  /// Pops the top frame.
+  void pop();
+
+  [[nodiscard]] bool empty() const noexcept { return frames_.empty(); }
+  [[nodiscard]] std::size_t depth() const noexcept { return frames_.size(); }
+
+  [[nodiscard]] Frame& frame(std::size_t depth_index) { return frames_.at(depth_index); }
+  [[nodiscard]] const Frame& frame(std::size_t depth_index) const {
+    return frames_.at(depth_index);
+  }
+  [[nodiscard]] Frame& top() { return frames_.back(); }
+  [[nodiscard]] const Frame& top() const { return frames_.back(); }
+
+  [[nodiscard]] std::span<const Frame> frames() const noexcept { return frames_; }
+  [[nodiscard]] std::span<Frame> frames() noexcept { return frames_; }
+
+  /// Total context bytes for thread migration (all frames).
+  [[nodiscard]] std::uint64_t context_bytes() const noexcept;
+
+  /// Lifetime count of pushes (frames created).
+  [[nodiscard]] std::uint64_t frames_created() const noexcept { return next_id_ - 1; }
+
+ private:
+  std::vector<Frame> frames_;
+  FrameId next_id_ = 1;
+};
+
+/// RAII helper: pushes a frame on construction, pops it on destruction.
+/// Workload code uses it to mirror its own call structure onto the Java
+/// stack, e.g. during octree recursion.
+class FrameGuard {
+ public:
+  FrameGuard(JavaStack& stack, MethodId method, std::size_t nslots)
+      : stack_(stack), index_(stack.push(method, nslots)) {}
+  ~FrameGuard() { stack_.pop(); }
+  FrameGuard(const FrameGuard&) = delete;
+  FrameGuard& operator=(const FrameGuard&) = delete;
+
+  [[nodiscard]] Frame& frame() { return stack_.frame(index_); }
+  void set_ref(std::size_t slot, ObjectId obj) { frame().set_ref(slot, obj); }
+  void set_prim(std::size_t slot, std::uint64_t v) { frame().set_prim(slot, v); }
+
+ private:
+  JavaStack& stack_;
+  std::size_t index_;
+};
+
+}  // namespace djvm

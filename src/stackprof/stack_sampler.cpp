@@ -1,0 +1,162 @@
+#include "stackprof/stack_sampler.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace djvm {
+
+void StackSampler::extract(FrameSampleRec& rec, StackSampleWork& work) {
+  rec.slots.clear();
+  for (std::size_t i = 0; i < rec.raw_slots.size(); ++i) {
+    ++work.slots_extracted;
+    const std::uint64_t v = rec.raw_slots[i];
+    if (valid_ref(v)) {
+      rec.slots.emplace_back(static_cast<std::uint16_t>(i), v);
+    }
+  }
+  rec.raw_slots.clear();
+  rec.raw_slots.shrink_to_fit();
+  rec.raw = false;
+  ++work.extractions;
+  ++stats_.extractions;
+}
+
+void StackSampler::capture(const Frame& frame, StackSampleWork& work) {
+  FrameSampleRec rec;
+  if (mode_ == ExtractionMode::kLazy) {
+    // Raw native-format snapshot; content extraction deferred to the second
+    // visit (most temporary frames never get one and are discarded cheaply).
+    rec.raw = true;
+    rec.raw_slots = frame.slots;
+    work.raw_slots_copied += static_cast<std::uint32_t>(frame.slots.size());
+  } else {
+    rec.raw = true;
+    rec.raw_slots = frame.slots;
+    work.raw_slots_copied += static_cast<std::uint32_t>(frame.slots.size());
+    extract(rec, work);
+  }
+  ++work.raw_captures;
+  ++stats_.raw_captures;
+  samples_[frame.id] = std::move(rec);
+}
+
+void StackSampler::compare_by_probing(FrameSampleRec& rec, const Frame& frame,
+                                      StackSampleWork& work) {
+  // The old sample probes the new frame: only slots still present in the old
+  // sample are compared, so repeated comparisons shrink the work.
+  auto& slots = rec.slots;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    ++work.slots_probed;
+    ++stats_.slots_probed;
+    const auto [idx, old_val] = slots[i];
+    const std::uint64_t cur =
+        idx < frame.slot_count() ? frame.slot(idx) : ~std::uint64_t{0};
+    if (cur == old_val) {
+      slots[kept++] = slots[i];
+    } else {
+      ++work.slots_removed;
+      ++stats_.slots_removed;
+    }
+  }
+  slots.resize(kept);
+  ++rec.comparisons;
+  ++work.comparisons;
+  ++stats_.comparisons;
+}
+
+StackSampleWork StackSampler::sample(JavaStack& stack) {
+  StackSampleWork work;
+  ++stats_.samples;
+  if (stack.empty()) {
+    samples_.clear();
+    return work;
+  }
+
+  // Lazily discard samples of frames that are gone ("if it is not visited for
+  // the second time, it will be discarded on the next stack sampling").
+  std::unordered_set<FrameId> live;
+  live.reserve(stack.depth());
+  for (const Frame& f : stack.frames()) live.insert(f.id);
+  for (auto it = samples_.begin(); it != samples_.end();) {
+    if (!live.contains(it->first)) {
+      ++work.samples_purged;
+      it = samples_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // --- top-down phase: find the first visited frame -------------------------
+  auto frames = stack.frames();
+  std::ptrdiff_t first_visited = static_cast<std::ptrdiff_t>(frames.size()) - 1;
+  while (first_visited >= 0 && !frames[static_cast<std::size_t>(first_visited)].visited) {
+    --first_visited;
+    ++work.frames_walked;
+  }
+
+  // --- process the first visited frame --------------------------------------
+  if (first_visited >= 0) {
+    Frame& frame = frames[static_cast<std::size_t>(first_visited)];
+    auto it = samples_.find(frame.id);
+    if (it != samples_.end()) {
+      FrameSampleRec& rec = it->second;
+      if (rec.raw) extract(rec, work);  // CONVERT-RAW-SAMPLE
+      compare_by_probing(rec, frame, work);
+    } else {
+      // A visited frame without a retained sample can only appear after an
+      // external reset; re-capture it.
+      capture(frame, work);
+    }
+    // Frames *below* stay untouched: they were compared when they were the
+    // first visited frame, and nothing above them has changed since.
+  }
+
+  // --- bottom-up phase: raw-capture the unvisited frames above --------------
+  for (std::size_t j = static_cast<std::size_t>(first_visited + 1); j < frames.size();
+       ++j) {
+    Frame& frame = frames[j];
+    frame.visited = true;  // SET-VISITED
+    capture(frame, work);
+    ++work.frames_walked;
+  }
+  return work;
+}
+
+std::vector<ObjectId> StackSampler::invariant_refs(const JavaStack& stack) const {
+  std::vector<ObjectId> out;
+  std::unordered_set<ObjectId> seen;
+  auto frames = stack.frames();
+  // Topmost-first: the resolution heuristic prefers recent invariants.
+  for (std::size_t i = frames.size(); i-- > 0;) {
+    auto it = samples_.find(frames[i].id);
+    if (it == samples_.end()) continue;
+    const FrameSampleRec& rec = it->second;
+    if (rec.raw || rec.comparisons < min_rounds_) continue;
+    for (const auto& [idx, val] : rec.slots) {
+      if (!valid_ref(val)) continue;
+      const ObjectId obj = decode_ref(val);
+      if (seen.insert(obj).second) out.push_back(obj);
+    }
+  }
+  return out;
+}
+
+void StackSamplerManager::ensure_threads(std::size_t count) {
+  while (samplers_.size() < count) {
+    samplers_.emplace_back(heap_, mode_, min_rounds_);
+  }
+}
+
+StackSampleWork StackSamplerManager::sample(ThreadId t, JavaStack& stack) {
+  ensure_threads(static_cast<std::size_t>(t) + 1);
+  return samplers_[t].sample(stack);
+}
+
+std::vector<ObjectId> StackSamplerManager::invariant_refs(ThreadId t,
+                                                          const JavaStack& stack) const {
+  if (t >= samplers_.size()) return {};
+  return samplers_[t].invariant_refs(stack);
+}
+
+}  // namespace djvm

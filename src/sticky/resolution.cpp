@@ -1,0 +1,86 @@
+#include "sticky/resolution.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+namespace djvm {
+
+ResolutionResult resolve_sticky_set(const Heap& heap, const SamplingPlan& plan,
+                                    std::span<const ObjectId> roots,
+                                    const ClassFootprint& budget,
+                                    double tolerance) {
+  ResolutionResult out;
+  const double budget_total = budget.total();
+  if (budget_total <= 0.0 || roots.empty()) return out;
+
+  std::vector<std::uint8_t> visited(heap.object_count(), 0);
+  std::unordered_map<ClassId, double> added;
+  std::unordered_map<ClassId, double> since_landmark;
+  double added_total = 0.0;
+
+  auto class_gap = [&](ClassId c) {
+    return heap.registry().at(c).sampling.real_gap;
+  };
+
+  // Process roots in order (topmost stack-invariants first); each root seeds
+  // a BFS wave.  If one root's wave cannot find enough objects, the next
+  // root continues the search.
+  for (ObjectId root : roots) {
+    if (added_total >= budget_total) break;
+    if (root >= heap.object_count()) continue;
+    if (visited[static_cast<std::size_t>(root)]) continue;
+    ++out.stats.roots_used;
+
+    std::deque<ObjectId> frontier;
+    frontier.push_back(root);
+    visited[static_cast<std::size_t>(root)] = 1;
+
+    while (!frontier.empty() && added_total < budget_total) {
+      const ObjectId obj = frontier.front();
+      frontier.pop_front();
+      ++out.stats.objects_visited;
+
+      const ObjectMeta& m = heap.meta(obj);
+      const ClassId c = m.klass;
+      const double class_budget = budget.of(c);
+
+      // Landmark accounting: sampled objects are uniformly scattered over
+      // the true sticky set; going too long without one means we are tracing
+      // in a wrong direction.
+      bool prune = false;
+      if (plan.is_sampled(obj)) {
+        since_landmark[c] = 0.0;
+        ++out.stats.landmarks_met;
+      } else {
+        const double limit = tolerance * static_cast<double>(class_gap(c));
+        if ((since_landmark[c] += 1.0) > limit) {
+          prune = true;
+          ++out.stats.paths_pruned;
+        }
+      }
+
+      // Select the object if its class still has budget (resolution is
+      // per-class: "prefetch each type of sticky objects until the per-class
+      // estimated footprint is hit").  Classes outside the footprint are
+      // traversed through but not prefetched.
+      if (class_budget > 0.0 && added[c] < class_budget) {
+        out.prefetch.push_back(obj);
+        added[c] += static_cast<double>(m.size_bytes);
+        added_total += static_cast<double>(m.size_bytes);
+        out.bytes += m.size_bytes;
+      }
+
+      if (prune) continue;  // stop expanding this direction
+      for (ObjectId next : m.refs) {
+        if (next == kInvalidObject || next >= heap.object_count()) continue;
+        if (!visited[static_cast<std::size_t>(next)]) {
+          visited[static_cast<std::size_t>(next)] = 1;
+          frontier.push_back(next);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace djvm

@@ -1,0 +1,297 @@
+// Workloads: determinism, sharing topology, Table I metadata, and that
+// profiling does not perturb the computation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/barnes_hut.hpp"
+#include "apps/sor.hpp"
+#include "apps/synthetic.hpp"
+#include "apps/water_spatial.hpp"
+
+namespace djvm {
+namespace {
+
+Config small_cfg(std::uint32_t nodes = 4, std::uint32_t threads = 4) {
+  Config cfg;
+  cfg.nodes = nodes;
+  cfg.threads = threads;
+  return cfg;
+}
+
+SorParams small_sor() {
+  SorParams p;
+  p.rows = 64;
+  p.cols = 64;
+  p.rounds = 3;
+  return p;
+}
+
+BarnesHutParams small_bh() {
+  BarnesHutParams p;
+  p.bodies = 256;
+  p.rounds = 2;
+  return p;
+}
+
+WaterParams small_water() {
+  WaterParams p;
+  p.molecules = 64;
+  p.rounds = 2;
+  return p;
+}
+
+TEST(SorApp, InfoMatchesTableOne) {
+  SorWorkload w(SorParams{});
+  const WorkloadInfo info = w.info();
+  EXPECT_EQ(info.name, "SOR");
+  EXPECT_EQ(info.dataset, "2K x 2K");
+  EXPECT_EQ(info.rounds, 10u);
+  EXPECT_EQ(info.granularity, "Coarse");
+}
+
+TEST(SorApp, RunsAndConverges) {
+  Config cfg = small_cfg();
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SorWorkload w(small_sor());
+  const RunMetrics m = execute_workload(djvm, w);
+  EXPECT_GT(m.protocol.accesses, 0u);
+  EXPECT_GT(m.protocol.barriers, 0u);
+  EXPECT_TRUE(std::isfinite(w.checksum()));
+}
+
+TEST(SorApp, DeterministicAcrossRuns) {
+  double sums[2];
+  for (int i = 0; i < 2; ++i) {
+    Config cfg = small_cfg();
+    Djvm djvm(cfg);
+    djvm.spawn_threads_round_robin(cfg.threads);
+    SorWorkload w(small_sor());
+    execute_workload(djvm, w);
+    sums[i] = w.checksum();
+  }
+  EXPECT_DOUBLE_EQ(sums[0], sums[1]);
+}
+
+TEST(SorApp, ProfilingDoesNotPerturbResult) {
+  double plain, profiled;
+  {
+    Config cfg = small_cfg();
+    Djvm djvm(cfg);
+    djvm.spawn_threads_round_robin(cfg.threads);
+    SorWorkload w(small_sor());
+    execute_workload(djvm, w);
+    plain = w.checksum();
+  }
+  {
+    Config cfg = small_cfg();
+    cfg.oal_transfer = OalTransfer::kSend;
+    cfg.stack_sampling = true;
+    cfg.footprinting = true;
+    Djvm djvm(cfg);
+    djvm.spawn_threads_round_robin(cfg.threads);
+    SorWorkload w(small_sor());
+    execute_workload(djvm, w);
+    profiled = w.checksum();
+  }
+  EXPECT_DOUBLE_EQ(plain, profiled);
+}
+
+TEST(SorApp, RowObjectsAreKbScale) {
+  Config cfg = small_cfg();
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SorWorkload w(SorParams{.rows = 32, .cols = 2048, .rounds = 1});
+  w.build(djvm);
+  EXPECT_GE(djvm.heap().meta(w.row_object(1)).size_bytes, 16000u);
+}
+
+TEST(SorApp, NeighborSharingOnly) {
+  // With tracking at full sampling, the TCM must be (block) tri-diagonal:
+  // only adjacent thread blocks share boundary rows.
+  Config cfg = small_cfg(4, 4);
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SorWorkload w(small_sor());
+  execute_workload(djvm, w);
+  djvm.pump_daemon();
+  const SquareMatrix tcm = djvm.daemon().build_full();
+  EXPECT_GT(tcm.at(0, 1), 0.0);
+  EXPECT_GT(tcm.at(1, 2), 0.0);
+  EXPECT_GT(tcm.at(2, 3), 0.0);
+  EXPECT_DOUBLE_EQ(tcm.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(tcm.at(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(tcm.at(1, 3), 0.0);
+}
+
+TEST(BarnesHutApp, InfoMatchesTableOne) {
+  BarnesHutWorkload w;
+  EXPECT_EQ(w.info().name, "Barnes-Hut");
+  EXPECT_EQ(w.info().granularity, "Fine");
+  EXPECT_EQ(w.info().rounds, 5u);
+}
+
+TEST(BarnesHutApp, RunsAndMovesBodies) {
+  Config cfg = small_cfg();
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  BarnesHutWorkload w(small_bh());
+  const RunMetrics m = execute_workload(djvm, w);
+  EXPECT_GT(m.protocol.accesses, 1000u);
+  EXPECT_TRUE(std::isfinite(w.checksum()));
+  EXPECT_NE(w.checksum(), 0.0);
+}
+
+TEST(BarnesHutApp, Deterministic) {
+  double sums[2];
+  for (int i = 0; i < 2; ++i) {
+    Config cfg = small_cfg();
+    Djvm djvm(cfg);
+    djvm.spawn_threads_round_robin(cfg.threads);
+    BarnesHutWorkload w(small_bh());
+    execute_workload(djvm, w);
+    sums[i] = w.checksum();
+  }
+  EXPECT_DOUBLE_EQ(sums[0], sums[1]);
+}
+
+TEST(BarnesHutApp, BodyObjectsAreFineGrained) {
+  Config cfg = small_cfg();
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  BarnesHutWorkload w(small_bh());
+  w.build(djvm);
+  EXPECT_LT(djvm.heap().meta(w.body_object(0)).size_bytes, 100u);
+}
+
+TEST(BarnesHutApp, SameGalaxyThreadsCorrelateMore) {
+  // The inherent pattern: threads simulating the same galaxy share far more
+  // than threads across galaxies (Fig. 1(a)).
+  Config cfg = small_cfg(4, 8);
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  BarnesHutWorkload w(small_bh());
+  execute_workload(djvm, w);
+  djvm.pump_daemon();
+  const SquareMatrix tcm = djvm.daemon().build_full();
+  // Threads 0..3 simulate galaxy 0; threads 4..7 galaxy 1.
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      const bool same_gal = (i < 4) == (j < 4);
+      (same_gal ? same : cross) += tcm.at(i, j);
+      (same_gal ? same_n : cross_n) += 1;
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST(WaterApp, InfoMatchesTableOne) {
+  WaterSpatialWorkload w;
+  EXPECT_EQ(w.info().name, "Water-Spatial");
+  EXPECT_EQ(w.info().dataset, "512 molecules");
+  EXPECT_EQ(w.info().granularity, "Medium");
+}
+
+TEST(WaterApp, RunsWithLocksAndBarriers) {
+  Config cfg = small_cfg();
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  WaterSpatialWorkload w(small_water());
+  const RunMetrics m = execute_workload(djvm, w);
+  EXPECT_GT(m.protocol.barriers, 0u);
+  EXPECT_TRUE(std::isfinite(w.checksum()));
+}
+
+TEST(WaterApp, MoleculesAreMediumGrained) {
+  Config cfg = small_cfg();
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  WaterSpatialWorkload w(small_water());
+  w.build(djvm);
+  EXPECT_EQ(djvm.heap().meta(w.molecule_object(0)).size_bytes, 512u);
+}
+
+TEST(WaterApp, Deterministic) {
+  double sums[2];
+  for (int i = 0; i < 2; ++i) {
+    Config cfg = small_cfg();
+    Djvm djvm(cfg);
+    djvm.spawn_threads_round_robin(cfg.threads);
+    WaterSpatialWorkload w(small_water());
+    execute_workload(djvm, w);
+    sums[i] = w.checksum();
+  }
+  EXPECT_DOUBLE_EQ(sums[0], sums[1]);
+}
+
+TEST(SyntheticApp, PartitionedHasNoSharing) {
+  Config cfg = small_cfg();
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SyntheticParams p;
+  p.pattern = SharingPattern::kPartitioned;
+  p.objects = 512;
+  p.rounds = 2;
+  p.accesses_per_round = 512;
+  SyntheticWorkload w(p);
+  execute_workload(djvm, w);
+  djvm.pump_daemon();
+  EXPECT_DOUBLE_EQ(djvm.daemon().build_full().total(), 0.0);
+}
+
+TEST(SyntheticApp, PairSharedIsBlockDiagonal) {
+  Config cfg = small_cfg(4, 4);
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SyntheticParams p;
+  p.pattern = SharingPattern::kPairShared;
+  p.objects = 512;
+  p.rounds = 2;
+  p.accesses_per_round = 1024;
+  SyntheticWorkload w(p);
+  execute_workload(djvm, w);
+  djvm.pump_daemon();
+  const SquareMatrix tcm = djvm.daemon().build_full();
+  EXPECT_GT(tcm.at(0, 1), 0.0);
+  EXPECT_GT(tcm.at(2, 3), 0.0);
+  EXPECT_DOUBLE_EQ(tcm.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(tcm.at(1, 3), 0.0);
+}
+
+TEST(SyntheticApp, AllSharedIsDense) {
+  Config cfg = small_cfg(4, 4);
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SyntheticParams p;
+  p.pattern = SharingPattern::kAllShared;
+  p.objects = 256;
+  p.rounds = 2;
+  p.accesses_per_round = 512;
+  SyntheticWorkload w(p);
+  execute_workload(djvm, w);
+  djvm.pump_daemon();
+  const SquareMatrix tcm = djvm.daemon().build_full();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) EXPECT_GT(tcm.at(i, j), 0.0);
+  }
+}
+
+TEST(SyntheticApp, SimTimeAdvances) {
+  Config cfg = small_cfg();
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SyntheticWorkload w;
+  const RunMetrics m = execute_workload(djvm, w);
+  EXPECT_GT(m.max_sim_time, 0u);
+}
+
+}  // namespace
+}  // namespace djvm

@@ -1,0 +1,185 @@
+// Common substrate: RNG determinism, matrices, stats, table formatting,
+// simulated clock and config summaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace djvm {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  SplitMix64 r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, RoughlyUniformBuckets) {
+  SplitMix64 r(11);
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100000; ++i) h.add(r.next_double());
+  EXPECT_LT(h.uniformity_cv(), 0.05);
+}
+
+TEST(Matrix, SymmetricAdd) {
+  SquareMatrix m(4);
+  m.add_symmetric(1, 2, 10.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 10.0);
+  EXPECT_DOUBLE_EQ(m.total(), 20.0);
+}
+
+TEST(Matrix, DiagonalAddIsSingle) {
+  SquareMatrix m(3);
+  m.add_symmetric(1, 1, 5.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.total(), 5.0);
+}
+
+TEST(Matrix, Scale) {
+  SquareMatrix m(2);
+  m.at(0, 1) = 3.0;
+  m.scale(4.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 12.0);
+}
+
+TEST(Matrix, EqualityAndFill) {
+  SquareMatrix a(3), b(3);
+  a.fill(1.5);
+  b.fill(1.5);
+  EXPECT_EQ(a, b);
+  b.at(2, 2) = 0.0;
+  EXPECT_NE(a, b);
+}
+
+TEST(Stats, MeanStddevMedian) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.1180, 1e-3);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, RelativeDiff) {
+  EXPECT_DOUBLE_EQ(relative_diff(1.0, 1.0), 0.0);
+  EXPECT_NEAR(relative_diff(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_diff(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(relative_diff(1.0, 0.0)));
+}
+
+TEST(Stats, RunningStats) {
+  RunningStats s;
+  s.add(2.0);
+  s.add(8.0);
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(SimClock, AdvanceAndAlign) {
+  SimClock c;
+  c.advance(100);
+  EXPECT_EQ(c.now(), 100u);
+  c.align_to(50);  // never backwards
+  EXPECT_EQ(c.now(), 100u);
+  c.align_to(250);
+  EXPECT_EQ(c.now(), 250u);
+}
+
+TEST(SimCosts, TransferTimeMatchesBandwidth) {
+  SimCosts costs;
+  // 12.5 MB/s -> 0.0125 bytes/ns -> 80 ns per byte.
+  EXPECT_EQ(costs.transfer_time(125), 10000u);
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(sim_us(3), 3000u);
+  EXPECT_EQ(sim_ms(2), 2000000u);
+}
+
+TEST(Config, SummaryMentionsKeyKnobs) {
+  Config cfg;
+  cfg.sampling_rate_x = 4;
+  cfg.oal_transfer = OalTransfer::kSend;
+  cfg.stack_sampling = true;
+  const std::string s = cfg.summary();
+  EXPECT_NE(s.find("rate=4X"), std::string::npos);
+  EXPECT_NE(s.find("oal=send"), std::string::npos);
+  EXPECT_NE(s.find("stack_gap=16ms"), std::string::npos);
+}
+
+TEST(Table, FormatsCells) {
+  EXPECT_EQ(TextTable::cell(std::uint64_t{42}), "42");
+  EXPECT_EQ(TextTable::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::na(), "N/A");
+  EXPECT_EQ(TextTable::cell_pct(0.9542), "95.42%");
+  const std::string c = TextTable::cell_with_pct(103.0, 100.0);
+  EXPECT_NE(c.find("103"), std::string::npos);
+  EXPECT_NE(c.find("+3.00%"), std::string::npos);
+}
+
+TEST(Table, PrintAligns) {
+  TextTable t({"A", "LongHeader"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("LongHeader"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace djvm

@@ -1,0 +1,241 @@
+// End-to-end pipelines: sampled TCM accuracy vs full-sampling ground truth,
+// adaptive convergence on a live workload, stack-invariant mining inside a
+// running application, sticky-set prefetch cutting post-migration faults,
+// and the page-grain baseline's induced distortion.
+#include <gtest/gtest.h>
+
+#include "apps/barnes_hut.hpp"
+#include "apps/sor.hpp"
+#include "apps/synthetic.hpp"
+#include "baseline/page_dsm.hpp"
+#include "profiling/accuracy.hpp"
+
+namespace djvm {
+namespace {
+
+SquareMatrix run_bh_tcm(std::uint32_t rate_x, std::uint32_t threads = 8) {
+  Config cfg;
+  cfg.nodes = 4;
+  cfg.threads = threads;
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  cfg.sampling_rate_x = rate_x;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  BarnesHutParams p;
+  p.bodies = 512;
+  p.rounds = 2;
+  BarnesHutWorkload w(p);
+  execute_workload(djvm, w);
+  djvm.pump_daemon();
+  return djvm.daemon().build_full(/*weighted=*/true);
+}
+
+TEST(Integration, SampledTcmApproximatesFullSampling) {
+  const SquareMatrix full = run_bh_tcm(0);
+  ASSERT_GT(full.total(), 0.0);
+  // Moderate sampling (16X on fine-grained objects) must stay close in the
+  // ABS metric — the paper reports >= 95% at most rates; small heaps are
+  // noisier, so require 80% here.
+  const SquareMatrix sampled = run_bh_tcm(16);
+  const double acc = accuracy_from_error(absolute_error(sampled, full));
+  EXPECT_GT(acc, 0.80) << "accuracy=" << acc;
+}
+
+TEST(Integration, AccuracyImprovesWithRate) {
+  const SquareMatrix full = run_bh_tcm(0);
+  const double acc_coarse =
+      accuracy_from_error(absolute_error(run_bh_tcm(1), full));
+  const double acc_fine =
+      accuracy_from_error(absolute_error(run_bh_tcm(32), full));
+  EXPECT_GE(acc_fine, acc_coarse - 0.05);  // monotone modulo small noise
+}
+
+TEST(Integration, SorEffectivelyFullSamplingAtAnyRate) {
+  // SOR's rows are larger than a page, so every array is sampled at any
+  // rate (the paper's explanation of its N/A cells and perfect footprints).
+  Config cfg;
+  cfg.nodes = 4;
+  cfg.threads = 4;
+  cfg.sampling_rate_x = 1;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SorWorkload w(SorParams{.rows = 32, .cols = 1024, .rounds = 1});
+  w.build(djvm);
+  djvm.plan().set_rate_all(1);
+  std::size_t sampled = 0, rows = 0;
+  for (std::uint32_t r = 0; r < 34; ++r) {
+    ++rows;
+    sampled += djvm.plan().is_sampled(w.row_object(r));
+  }
+  EXPECT_EQ(sampled, rows);
+}
+
+TEST(Integration, AdaptiveDaemonConvergesOnStableWorkload) {
+  Config cfg;
+  cfg.nodes = 4;
+  cfg.threads = 4;
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  cfg.sampling_rate_x = 1;  // start coarse
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  djvm.daemon().enable_adaptation(0.10);
+
+  SyntheticParams p;
+  p.pattern = SharingPattern::kPairShared;
+  p.objects = 2048;
+  p.rounds = 8;
+  p.accesses_per_round = 2048;
+  SyntheticWorkload w(p);
+  w.build(djvm);
+  w.run(djvm);
+  djvm.pump_daemon();
+  djvm.daemon().run_epoch();
+  // Re-run the same stable pattern; the next epoch's map must match and the
+  // controller either converges or tightens toward convergence.
+  w.run(djvm);
+  djvm.pump_daemon();
+  const EpochResult e = djvm.daemon().run_epoch();
+  EXPECT_TRUE(djvm.daemon().converged() || e.rate_changed);
+}
+
+TEST(Integration, StackInvariantsFoundInRunningSor) {
+  Config cfg;
+  cfg.nodes = 2;
+  cfg.threads = 2;
+  cfg.stack_sampling = true;
+  cfg.stack_sampling_gap = sim_ms(4);
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SorWorkload w(SorParams{.rows = 64, .cols = 512, .rounds = 4});
+  execute_workload(djvm, w);
+  EXPECT_GT(djvm.gos().stats().stack_samples, 0u);
+  EXPECT_GT(djvm.stack_samplers().stats(0).comparisons, 0u);
+}
+
+TEST(Integration, FootprintingFindsStickyRowsInSor) {
+  Config cfg;
+  cfg.nodes = 2;
+  cfg.threads = 2;
+  cfg.footprinting = true;
+  cfg.footprint_timer = FootprintTimerMode::kNonstop;
+  cfg.footprint_rearm = sim_ms(1);
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SorWorkload w(SorParams{.rows = 64, .cols = 2048, .rounds = 4});
+  execute_workload(djvm, w);
+  // Interior rows are read as neighbours of two updated rows per phase, so
+  // sticky candidates must appear.
+  EXPECT_GT(djvm.gos().stats().footprint_touches, 0u);
+  const ClassFootprint fp0 = djvm.footprints().footprint(0);
+  EXPECT_GT(fp0.total(), 0.0);
+}
+
+TEST(Integration, MigrationWithResolutionCutsFaults) {
+  auto run = [](bool prefetch) -> std::uint64_t {
+    Config cfg;
+    cfg.nodes = 2;
+    cfg.threads = 2;
+    cfg.footprinting = true;
+    cfg.footprint_timer = FootprintTimerMode::kNonstop;
+    cfg.footprint_rearm = sim_ms(1);
+    cfg.stack_sampling = true;
+    cfg.stack_sampling_gap = sim_ms(2);
+    Djvm djvm(cfg);
+    djvm.spawn_threads_round_robin(cfg.threads);
+    SorWorkload w(SorParams{.rows = 64, .cols = 2048, .rounds = 2});
+    execute_workload(djvm, w);
+
+    // Migrate thread 0 to node 1 and replay its block once.
+    const std::uint64_t faults_before = djvm.gos().stats().object_faults;
+    const ClassFootprint fp = djvm.footprints().footprint(0);
+    JavaStack& stack = djvm.stack(0);
+    stack.push(1, 2);
+    stack.top().set_ref(0, w.row_object(1));
+    if (prefetch) {
+      // Roots: the first rows of the thread's block (standing in for the
+      // mined invariants, which the popped workload frames no longer hold).
+      std::vector<ObjectId> roots{w.row_object(1)};
+      djvm.migration().migrate_with_resolution(0, 1, stack, roots, fp, 4.0);
+    } else {
+      djvm.migration().migrate(0, 1, stack);
+    }
+    for (std::uint32_t r = 1; r <= 32; ++r) {
+      djvm.gos().read(0, w.row_object(r));
+    }
+    stack.pop();
+    return djvm.gos().stats().object_faults - faults_before;
+  };
+  const std::uint64_t without = run(false);
+  const std::uint64_t with = run(true);
+  EXPECT_GT(without, 0u);
+  EXPECT_LT(with, without);
+}
+
+TEST(Integration, PageBaselineInflatesBarnesHutCorrelation) {
+  // Fig. 1: the induced (page-grain) map shows correlation mass where the
+  // inherent (object-grain) map has none, because small bodies share pages.
+  Config cfg;
+  cfg.nodes = 2;
+  cfg.threads = 8;
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  PageCorrelationTracker pages(djvm.heap(), cfg.threads);
+  djvm.add_access_observer(
+      [&](ThreadId t, ObjectId o, bool) { pages.on_access(t, o); });
+  djvm.add_interval_observer([&](ThreadId t) { pages.on_interval_close(t); });
+
+  BarnesHutParams p;
+  p.bodies = 512;
+  p.rounds = 2;
+  BarnesHutWorkload w(p);
+  execute_workload(djvm, w);
+  djvm.pump_daemon();
+  const SquareMatrix inherent = djvm.daemon().build_full();
+  const SquareMatrix induced = pages.build_tcm();
+
+  // Contrast = mean same-galaxy cell / mean cross-galaxy cell; the inherent
+  // map must separate the galaxies far better than the induced one.
+  auto contrast = [&](const SquareMatrix& m) {
+    double same = 0.0, cross = 0.0;
+    int sn = 0, cn = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t j = i + 1; j < 8; ++j) {
+        if ((i < 4) == (j < 4)) {
+          same += m.at(i, j);
+          ++sn;
+        } else {
+          cross += m.at(i, j);
+          ++cn;
+        }
+      }
+    }
+    return (same / sn) / std::max(1.0, cross / cn);
+  };
+  EXPECT_GT(contrast(inherent), contrast(induced));
+}
+
+TEST(Integration, OalTrafficSmallShareOfGosTraffic) {
+  // Table III: OAL volume is a few percent of GOS data volume below 16X.
+  Config cfg;
+  cfg.nodes = 8;
+  cfg.threads = 8;
+  cfg.oal_transfer = OalTransfer::kSend;
+  cfg.sampling_rate_x = 4;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  BarnesHutParams p;
+  p.bodies = 512;
+  p.rounds = 2;
+  BarnesHutWorkload w(p);
+  const RunMetrics m = execute_workload(djvm, w);
+  const double oal = static_cast<double>(m.traffic.bytes_of(MsgCategory::kOal));
+  const double gos = static_cast<double>(m.traffic.bytes_of(MsgCategory::kObjectData) +
+                                         m.traffic.bytes_of(MsgCategory::kControl));
+  ASSERT_GT(gos, 0.0);
+  EXPECT_LT(oal / gos, 0.25);
+  EXPECT_GT(oal, 0.0);
+}
+
+}  // namespace
+}  // namespace djvm

@@ -1,0 +1,143 @@
+// Thread migration: context shipping, sticky-set prefetch, cost model.
+#include <gtest/gtest.h>
+
+#include "dsm/gos.hpp"
+#include "migration/cost_model.hpp"
+#include "migration/migration.hpp"
+#include "stack/javastack.hpp"
+
+namespace djvm {
+namespace {
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest() {
+    cfg.nodes = 4;
+    cfg.threads = 2;
+    heap = std::make_unique<Heap>(reg, cfg.nodes);
+    plan = std::make_unique<SamplingPlan>(*heap);
+    net = std::make_unique<Network>(cfg.costs);
+    gos = std::make_unique<Gos>(*heap, *net, *plan, cfg);
+    gos->spawn_thread(0);
+    gos->spawn_thread(1);
+    klass = reg.register_class("Node", 256, 2);
+  }
+
+  ObjectId make(NodeId home = 0) { return gos->alloc(klass, home); }
+
+  Config cfg;
+  KlassRegistry reg;
+  std::unique_ptr<Heap> heap;
+  std::unique_ptr<SamplingPlan> plan;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<Gos> gos;
+  ClassId klass = kInvalidClass;
+};
+
+TEST_F(MigrationTest, MigrateMovesThreadAndShipsContext) {
+  MigrationEngine engine(*gos);
+  JavaStack stack;
+  stack.push(1, 8);
+  const MigrationOutcome out = engine.migrate(0, 2, stack);
+  EXPECT_EQ(gos->thread_node(0), 2);
+  EXPECT_EQ(out.from, 0);
+  EXPECT_EQ(out.to, 2);
+  EXPECT_EQ(out.context_bytes, stack.context_bytes());
+  EXPECT_GT(out.sim_cost, 0u);
+  EXPECT_GT(net->stats().bytes_of(MsgCategory::kMigration), 0u);
+  EXPECT_EQ(engine.migrations_done(), 1u);
+}
+
+TEST_F(MigrationTest, WithoutPrefetchMigrantRefaults) {
+  std::vector<ObjectId> objs;
+  for (int i = 0; i < 10; ++i) objs.push_back(make(0));
+  for (ObjectId o : objs) gos->read(0, o);  // home accesses: no faults
+  ASSERT_EQ(gos->stats().object_faults, 0u);
+
+  MigrationEngine engine(*gos);
+  JavaStack stack;
+  stack.push(1, 2);
+  engine.migrate(0, 2, stack);
+  for (ObjectId o : objs) gos->read(0, o);  // all remote now
+  EXPECT_EQ(gos->stats().object_faults, 10u);
+}
+
+TEST_F(MigrationTest, PrefetchAbsorbsPostMigrationFaults) {
+  std::vector<ObjectId> objs;
+  for (int i = 0; i < 10; ++i) objs.push_back(make(0));
+  for (ObjectId o : objs) gos->read(0, o);
+
+  MigrationEngine engine(*gos);
+  JavaStack stack;
+  stack.push(1, 2);
+  const MigrationOutcome out = engine.migrate(0, 2, stack, objs);
+  EXPECT_EQ(out.prefetched_objects, 10u);
+  EXPECT_EQ(out.prefetched_bytes, 10u * 256u);
+  for (ObjectId o : objs) gos->read(0, o);
+  EXPECT_EQ(gos->stats().object_faults, 0u);
+}
+
+TEST_F(MigrationTest, MigrateWithResolutionPrefetchesGraph) {
+  // root -> a -> b chain; footprint budget covers all three.
+  const ObjectId root = make(0);
+  const ObjectId a = make(0);
+  const ObjectId b = make(0);
+  heap->add_ref(root, a);
+  heap->add_ref(a, b);
+  ClassFootprint fp;
+  fp.bytes[klass] = 3 * 256.0;
+  MigrationEngine engine(*gos);
+  JavaStack stack;
+  stack.push(1, 1);
+  const MigrationOutcome out = engine.migrate_with_resolution(
+      0, 3, stack, std::vector<ObjectId>{root}, fp, 4.0);
+  EXPECT_EQ(out.prefetched_objects, 3u);
+  gos->read(0, root);
+  gos->read(0, a);
+  gos->read(0, b);
+  EXPECT_EQ(gos->stats().object_faults, 0u);
+}
+
+TEST_F(MigrationTest, CostModelDirectScalesWithContext) {
+  MigrationCostModel model(*heap, cfg.costs);
+  ClassFootprint none;
+  const auto small = model.estimate(1024, none);
+  const auto big = model.estimate(1024 * 1024, none);
+  EXPECT_GT(big.direct, small.direct);
+  EXPECT_EQ(small.predicted_fault_count, 0u);
+}
+
+TEST_F(MigrationTest, CostModelPredictsFaultsFromFootprint) {
+  MigrationCostModel model(*heap, cfg.costs);
+  ClassFootprint fp;
+  fp.bytes[klass] = 256.0 * 20;  // ~20 objects of 256 B
+  const auto est = model.estimate(1024, fp);
+  EXPECT_NEAR(static_cast<double>(est.predicted_fault_count), 20.0, 1.0);
+  EXPECT_GT(est.indirect_faults, est.prefetch_bulk);
+  EXPECT_GT(est.prefetch_benefit(), 0u);
+}
+
+TEST_F(MigrationTest, PrefetchBenefitGrowsWithStickySetSize) {
+  MigrationCostModel model(*heap, cfg.costs);
+  ClassFootprint small_fp, big_fp;
+  small_fp.bytes[klass] = 256.0 * 4;
+  big_fp.bytes[klass] = 256.0 * 400;
+  EXPECT_GT(model.estimate(1024, big_fp).prefetch_benefit(),
+            model.estimate(1024, small_fp).prefetch_benefit());
+}
+
+TEST_F(MigrationTest, OutcomeResolutionStatsPropagated) {
+  const ObjectId root = make(0);
+  ClassFootprint fp;
+  fp.bytes[klass] = 256.0;
+  MigrationEngine engine(*gos);
+  JavaStack stack;
+  stack.push(1, 1);
+  const MigrationOutcome out = engine.migrate_with_resolution(
+      0, 1, stack, std::vector<ObjectId>{root}, fp, 2.0);
+  EXPECT_GE(out.resolution.objects_visited, 1u);
+  EXPECT_EQ(out.resolution.roots_used, 1u);
+}
+
+}  // namespace
+}  // namespace djvm

@@ -1,0 +1,90 @@
+// Simulated interconnect: cost model and per-category byte accounting.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace djvm {
+namespace {
+
+SimCosts costs() { return SimCosts{}; }
+
+TEST(Network, LatencyPlusBandwidth) {
+  Network net(costs());
+  const SimTime t = net.send({0, 1, MsgCategory::kControl, 0, false});
+  // 64-byte header at 0.0125 B/ns = 5120 ns + 100 us latency.
+  EXPECT_EQ(t, sim_us(100) + 5120);
+}
+
+TEST(Network, PiggybackedSkipsLatencyAndHeader) {
+  Network net(costs());
+  const SimTime t = net.send({0, 1, MsgCategory::kOal, 1000, true});
+  EXPECT_EQ(t, net.costs().transfer_time(1000));
+  EXPECT_EQ(net.stats().bytes_of(MsgCategory::kOal), 1000u);
+}
+
+TEST(Network, NonPiggybackedAddsHeaderBytes) {
+  Network net(costs());
+  net.send({0, 1, MsgCategory::kOal, 1000, false});
+  EXPECT_EQ(net.stats().bytes_of(MsgCategory::kOal), 1000u + kMessageHeaderBytes);
+}
+
+TEST(Network, LocalDeliveryIsCheap) {
+  Network net(costs());
+  const SimTime local = net.send({2, 2, MsgCategory::kObjectData, 4096, false});
+  const SimTime remote = net.send({0, 1, MsgCategory::kObjectData, 4096, false});
+  EXPECT_LT(local, remote / 10);
+}
+
+TEST(Network, CategoriesAccountedSeparately) {
+  Network net(costs());
+  net.send({0, 1, MsgCategory::kObjectData, 100, true});
+  net.send({0, 1, MsgCategory::kOal, 200, true});
+  net.send({0, 1, MsgCategory::kControl, 300, true});
+  net.send({0, 1, MsgCategory::kMigration, 400, true});
+  EXPECT_EQ(net.stats().bytes_of(MsgCategory::kObjectData), 100u);
+  EXPECT_EQ(net.stats().bytes_of(MsgCategory::kOal), 200u);
+  EXPECT_EQ(net.stats().bytes_of(MsgCategory::kControl), 300u);
+  EXPECT_EQ(net.stats().bytes_of(MsgCategory::kMigration), 400u);
+  EXPECT_EQ(net.stats().total_bytes(), 1000u);
+}
+
+TEST(Network, MessageCounts) {
+  Network net(costs());
+  for (int i = 0; i < 7; ++i) net.send({0, 1, MsgCategory::kControl, 10, false});
+  EXPECT_EQ(net.stats().messages_of(MsgCategory::kControl), 7u);
+}
+
+TEST(Network, RoundTripIsTwoSends) {
+  Network net(costs());
+  const SimTime rt = net.round_trip(0, 1, MsgCategory::kObjectData, 32, 4096);
+  Network net2(costs());
+  const SimTime a = net2.send({0, 1, MsgCategory::kObjectData, 32, false});
+  const SimTime b = net2.send({1, 0, MsgCategory::kObjectData, 4096, false});
+  EXPECT_EQ(rt, a + b);
+  EXPECT_EQ(net.stats().messages_of(MsgCategory::kObjectData), 2u);
+}
+
+TEST(Network, ResetStats) {
+  Network net(costs());
+  net.send({0, 1, MsgCategory::kControl, 10, false});
+  net.reset_stats();
+  EXPECT_EQ(net.stats().total_bytes(), 0u);
+  EXPECT_EQ(net.stats().messages_of(MsgCategory::kControl), 0u);
+}
+
+TEST(Network, BiggerPayloadTakesLonger) {
+  Network net(costs());
+  const SimTime small = net.send({0, 1, MsgCategory::kObjectData, 100, false});
+  const SimTime big = net.send({0, 1, MsgCategory::kObjectData, 100000, false});
+  EXPECT_GT(big, small);
+}
+
+TEST(MsgCategory, Names) {
+  EXPECT_STREQ(to_string(MsgCategory::kObjectData), "object-data");
+  EXPECT_STREQ(to_string(MsgCategory::kOal), "oal");
+  EXPECT_STREQ(to_string(MsgCategory::kControl), "control");
+  EXPECT_STREQ(to_string(MsgCategory::kMigration), "migration");
+}
+
+}  // namespace
+}  // namespace djvm

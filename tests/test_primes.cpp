@@ -1,0 +1,97 @@
+// Prime utilities underpin the sampling-gap selection rule (Section II.B.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/primes.hpp"
+
+namespace djvm {
+namespace {
+
+TEST(Primes, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(31));
+  EXPECT_FALSE(is_prime(33));
+}
+
+TEST(Primes, KnownComposites) {
+  EXPECT_FALSE(is_prime(561));    // Carmichael number
+  EXPECT_FALSE(is_prime(41041));  // Carmichael number
+  EXPECT_FALSE(is_prime(1ULL << 32));
+  EXPECT_FALSE(is_prime(100000000000ULL));
+}
+
+TEST(Primes, LargePrimes) {
+  EXPECT_TRUE(is_prime(2147483647ULL));          // 2^31 - 1 (Mersenne)
+  EXPECT_TRUE(is_prime(18446744073709551557ULL));  // largest 64-bit prime
+}
+
+TEST(Primes, PaperGapExamples) {
+  // "31, 67 and 127 would be chosen as the real sampling gaps for nominal
+  // sampling gaps of 32, 64 and 128 respectively."
+  EXPECT_EQ(nearest_prime(32), 31u);
+  EXPECT_EQ(nearest_prime(64), 67u);
+  EXPECT_EQ(nearest_prime(128), 127u);
+}
+
+TEST(Primes, NearestPrimeOfPrimeIsItself) {
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 31ULL, 127ULL, 8191ULL}) {
+    EXPECT_EQ(nearest_prime(p), p);
+  }
+}
+
+TEST(Primes, BoundsFunctions) {
+  EXPECT_EQ(prime_at_most(10), 7u);
+  EXPECT_EQ(prime_at_least(10), 11u);
+  EXPECT_EQ(prime_at_most(2), 2u);
+  EXPECT_EQ(prime_at_least(2), 2u);
+  EXPECT_EQ(prime_at_most(0), 2u);  // convention for degenerate input
+}
+
+TEST(Primes, NearestPrimeDegenerateInputs) {
+  EXPECT_EQ(nearest_prime(0), 2u);
+  EXPECT_EQ(nearest_prime(1), 2u);
+  EXPECT_EQ(nearest_prime(2), 2u);
+}
+
+// Property sweep: for every power-of-two nominal gap in the paper's range
+// (2 .. 4096) the real gap must be prime and close to the nominal (within
+// 10%, or off by one for the tiny gaps where no closer prime exists).
+class PrimeGapSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrimeGapSweep, RealGapIsPrimeAndClose) {
+  const std::uint64_t nominal = GetParam();
+  const std::uint64_t real = nearest_prime(nominal);
+  EXPECT_TRUE(is_prime(real)) << "nominal=" << nominal;
+  const double dist =
+      std::abs(static_cast<double>(real) - static_cast<double>(nominal));
+  EXPECT_LE(dist, std::max(1.0, 0.10 * static_cast<double>(nominal)))
+      << "nominal=" << nominal << " real=" << real;
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, PrimeGapSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                           1024, 2048, 4096));
+
+// Exhaustive cross-check against trial division for a small range.
+TEST(Primes, MatchesTrialDivisionUpTo2000) {
+  auto trial = [](std::uint64_t n) {
+    if (n < 2) return false;
+    for (std::uint64_t d = 2; d * d <= n; ++d) {
+      if (n % d == 0) return false;
+    }
+    return true;
+  };
+  for (std::uint64_t n = 0; n < 2000; ++n) {
+    EXPECT_EQ(is_prime(n), trial(n)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace djvm

@@ -1,0 +1,248 @@
+// Property/fuzz tests of the HLRC protocol: random access/synchronisation
+// schedules are replayed against an independent reference oracle that
+// implements the same lazy-release-consistency validity rule with naive data
+// structures.  Fault counts, at-most-once logging, and cache-copy visibility
+// must agree exactly for every seed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "dsm/gos.hpp"
+
+namespace djvm {
+namespace {
+
+/// Clean-room reference model of the consistency layer: per-node cache
+/// epochs, a global release epoch, lazy invalidation at acquire/barrier.
+class ReferenceOracle {
+ public:
+  ReferenceOracle(std::uint32_t nodes, std::uint32_t threads)
+      : node_view_(nodes, 0), thread_view_(threads, 0), thread_node_(threads) {
+    for (std::uint32_t t = 0; t < threads; ++t) thread_node_[t] = t % nodes;
+  }
+
+  void on_alloc(ObjectId obj, NodeId home) { home_[obj] = home; }
+
+  /// Returns true when this access faults (fetch from home).
+  bool access(ThreadId t, ObjectId obj, bool write) {
+    const NodeId node = thread_node_[t];
+    bool fault = false;
+    if (home_[obj] != node) {
+      auto it = fetch_epoch_.find({node, obj});
+      if (it == fetch_epoch_.end()) {
+        fault = true;
+      } else {
+        const std::uint32_t we = write_epoch_.count(obj) ? write_epoch_[obj] : 0;
+        // Stale iff a newer release exists AND this node synchronized past it.
+        if (we > it->second && we <= node_view_[node]) fault = true;
+      }
+      if (fault) fetch_epoch_[{node, obj}] = global_epoch_;
+    }
+    if (write) dirty_[t].insert(obj);
+    return fault;
+  }
+
+  void release(ThreadId t) {
+    if (!dirty_[t].empty()) {
+      ++global_epoch_;
+      const NodeId node = thread_node_[t];
+      for (ObjectId obj : dirty_[t]) {
+        write_epoch_[obj] = global_epoch_;
+        if (home_[obj] != node) fetch_epoch_[{node, obj}] = global_epoch_;
+      }
+      dirty_[t].clear();
+    }
+  }
+
+  void acquire(ThreadId t) {
+    thread_view_[t] = global_epoch_;
+    node_view_[thread_node_[t]] = global_epoch_;
+  }
+
+  void barrier() {
+    for (std::size_t t = 0; t < thread_node_.size(); ++t) {
+      release(static_cast<ThreadId>(t));
+    }
+    for (auto& v : node_view_) v = global_epoch_;
+    for (auto& v : thread_view_) v = global_epoch_;
+  }
+
+  /// Migrants carry their happens-before knowledge to the destination node
+  /// (the LRC property the fuzzer originally caught a violation of).
+  void move_thread(ThreadId t, NodeId to) {
+    thread_node_[t] = to;
+    node_view_[to] = std::max(node_view_[to], thread_view_[t]);
+  }
+
+ private:
+  std::map<ObjectId, NodeId> home_;
+  std::map<std::pair<NodeId, ObjectId>, std::uint32_t> fetch_epoch_;
+  std::map<ObjectId, std::uint32_t> write_epoch_;
+  std::vector<std::uint32_t> node_view_;
+  std::vector<std::uint32_t> thread_view_;
+  std::vector<NodeId> thread_node_;
+  std::map<ThreadId, std::set<ObjectId>> dirty_;
+  std::uint32_t global_epoch_ = 1;
+};
+
+class ProtocolFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolFuzz, FaultCountsMatchReferenceOracle) {
+  const std::uint64_t seed = GetParam();
+  Config cfg;
+  cfg.nodes = 4;
+  cfg.threads = 6;
+  KlassRegistry reg;
+  Heap heap(reg, cfg.nodes);
+  SamplingPlan plan(heap);
+  Network net(cfg.costs);
+  Gos gos(heap, net, plan, cfg);
+  for (std::uint32_t t = 0; t < cfg.threads; ++t) {
+    gos.spawn_thread(static_cast<NodeId>(t % cfg.nodes));
+  }
+  const ClassId klass = reg.register_class("F", 64);
+
+  ReferenceOracle oracle(cfg.nodes, cfg.threads);
+  SplitMix64 rng(seed);
+
+  std::vector<ObjectId> objs;
+  for (int i = 0; i < 64; ++i) {
+    const NodeId home = static_cast<NodeId>(rng.next_below(cfg.nodes));
+    const ObjectId o = gos.alloc(klass, home);
+    oracle.on_alloc(o, home);
+    objs.push_back(o);
+  }
+
+  std::uint64_t oracle_faults = 0;
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t action = rng.next_below(100);
+    const auto t = static_cast<ThreadId>(rng.next_below(cfg.threads));
+    if (action < 70) {
+      const ObjectId obj = objs[rng.next_below(objs.size())];
+      const bool write = rng.next_below(4) == 0;
+      oracle_faults += oracle.access(t, obj, write);
+      if (write) {
+        gos.write(t, obj);
+      } else {
+        gos.read(t, obj);
+      }
+    } else if (action < 80) {
+      const LockId lock = static_cast<LockId>(rng.next_below(4));
+      oracle.acquire(t);
+      gos.acquire(t, lock);
+    } else if (action < 90) {
+      const LockId lock = static_cast<LockId>(rng.next_below(4));
+      oracle.release(t);
+      gos.release(t, lock);
+    } else if (action < 95) {
+      oracle.barrier();
+      gos.barrier_all();
+    } else {
+      const NodeId to = static_cast<NodeId>(rng.next_below(cfg.nodes));
+      oracle.move_thread(t, to);
+      gos.move_thread(t, to);
+    }
+    ASSERT_EQ(gos.stats().object_faults, oracle_faults)
+        << "diverged at step " << step << " (seed " << seed << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
+                         ::testing::Values(1, 7, 42, 99, 1234, 5678, 424242));
+
+class AtMostOnceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AtMostOnceFuzz, LoggingNeverExceedsSampledObjectsPerInterval) {
+  const std::uint64_t seed = GetParam();
+  Config cfg;
+  cfg.nodes = 2;
+  cfg.threads = 3;
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  KlassRegistry reg;
+  Heap heap(reg, cfg.nodes);
+  SamplingPlan plan(heap);
+  Network net(cfg.costs);
+  Gos gos(heap, net, plan, cfg);
+  for (std::uint32_t t = 0; t < cfg.threads; ++t) {
+    gos.spawn_thread(static_cast<NodeId>(t % cfg.nodes));
+  }
+  const ClassId klass = reg.register_class("F", 32);
+  plan.set_nominal_gap(klass, 3);
+
+  std::vector<ObjectId> objs;
+  for (int i = 0; i < 90; ++i) objs.push_back(gos.alloc(klass, 0));
+
+  SplitMix64 rng(seed);
+  for (int round = 0; round < 20; ++round) {
+    for (int a = 0; a < 500; ++a) {
+      const auto t = static_cast<ThreadId>(rng.next_below(cfg.threads));
+      gos.read(t, objs[rng.next_below(objs.size())]);
+    }
+    gos.barrier_all();
+  }
+
+  // Every interval record must contain only sampled objects, each at most
+  // once, with correct amortized bytes and gap.
+  for (const IntervalRecord& rec : gos.drain_records()) {
+    std::set<ObjectId> seen;
+    for (const OalEntry& e : rec.entries) {
+      EXPECT_TRUE(seen.insert(e.obj).second)
+          << "object logged twice in one interval";
+      EXPECT_TRUE(plan.is_sampled(e.obj));
+      EXPECT_EQ(e.bytes, plan.sample_bytes(e.obj));
+      EXPECT_EQ(e.gap, plan.real_gap(klass));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtMostOnceFuzz, ::testing::Values(3, 17, 2026));
+
+class VisibilityFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VisibilityFuzz, NodeHasCopyAgreesWithFaultBehaviour) {
+  const std::uint64_t seed = GetParam();
+  Config cfg;
+  cfg.nodes = 3;
+  cfg.threads = 3;
+  KlassRegistry reg;
+  Heap heap(reg, cfg.nodes);
+  SamplingPlan plan(heap);
+  Network net(cfg.costs);
+  Gos gos(heap, net, plan, cfg);
+  for (std::uint32_t t = 0; t < cfg.threads; ++t) {
+    gos.spawn_thread(static_cast<NodeId>(t));
+  }
+  const ClassId klass = reg.register_class("F", 16);
+  std::vector<ObjectId> objs;
+  for (int i = 0; i < 16; ++i) {
+    objs.push_back(gos.alloc(klass, static_cast<NodeId>(i % cfg.nodes)));
+  }
+
+  SplitMix64 rng(seed);
+  for (int step = 0; step < 2000; ++step) {
+    const auto t = static_cast<ThreadId>(rng.next_below(cfg.threads));
+    const ObjectId obj = objs[rng.next_below(objs.size())];
+    const std::uint64_t action = rng.next_below(10);
+    if (action < 6) {
+      // node_has_copy() is the protocol's own validity predicate: an access
+      // must fault exactly when it says there is no valid copy.
+      const bool had_copy = gos.node_has_copy(gos.thread_node(t), obj);
+      const std::uint64_t faults_before = gos.stats().object_faults;
+      gos.read(t, obj);
+      EXPECT_EQ(gos.stats().object_faults, faults_before + (had_copy ? 0 : 1));
+    } else if (action < 8) {
+      gos.write(t, obj);
+    } else if (action < 9) {
+      gos.release(t, LockId{1});
+    } else {
+      gos.barrier_all();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VisibilityFuzz, ::testing::Values(11, 29, 3141));
+
+}  // namespace
+}  // namespace djvm

@@ -1,0 +1,163 @@
+// Property/fuzz tests of the stack sampler: random push/pop/mutate schedules
+// must never corrupt sampler state, and the lazy and immediate extraction
+// modes must mine the SAME invariant sets (laziness is a pure optimization).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "runtime/heap.hpp"
+#include "stackprof/stack_sampler.hpp"
+
+namespace djvm {
+namespace {
+
+struct FuzzWorld {
+  KlassRegistry reg;
+  Heap heap{reg, 1};
+  ClassId klass;
+  std::vector<ObjectId> objs;
+
+  FuzzWorld() {
+    klass = reg.register_class("X", 16);
+    for (int i = 0; i < 128; ++i) objs.push_back(heap.alloc(klass, 0));
+  }
+};
+
+/// One random mutation/sample schedule applied to two stacks in lockstep.
+class LazyImmediateEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LazyImmediateEquivalence, SameInvariantsUnderAnySchedule) {
+  FuzzWorld world;
+  StackSampler lazy(world.heap, ExtractionMode::kLazy, 2);
+  StackSampler immediate(world.heap, ExtractionMode::kImmediate, 2);
+  JavaStack sl, si;
+
+  SplitMix64 rng(GetParam());
+  auto mutate_both = [&](auto&& fn) {
+    fn(sl);
+    fn(si);
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const std::uint64_t action = rng.next_below(10);
+    if (action < 3 && sl.depth() < 24) {
+      const auto method = static_cast<MethodId>(rng.next_below(8));
+      const std::size_t nslots = 1 + rng.next_below(6);
+      const ObjectId ref = world.objs[rng.next_below(world.objs.size())];
+      mutate_both([&](JavaStack& s) {
+        s.push(method, nslots);
+        s.top().set_ref(0, ref);
+      });
+    } else if (action < 5 && sl.depth() > 1) {
+      mutate_both([&](JavaStack& s) { s.pop(); });
+    } else if (action < 7 && !sl.empty()) {
+      const std::size_t depth = rng.next_below(sl.depth());
+      const std::size_t slot = rng.next_below(std::max<std::size_t>(
+          1, sl.frame(depth).slot_count()));
+      const ObjectId ref = world.objs[rng.next_below(world.objs.size())];
+      if (slot < sl.frame(depth).slot_count()) {
+        mutate_both([&](JavaStack& s) { s.frame(depth).set_ref(slot, ref); });
+      }
+    } else {
+      lazy.sample(sl);
+      immediate.sample(si);
+      const auto li = lazy.invariant_refs(sl);
+      const auto ii = immediate.invariant_refs(si);
+      EXPECT_EQ(li, ii) << "modes diverged at step " << step << " (seed "
+                        << GetParam() << ")";
+    }
+    if (sl.empty()) {
+      mutate_both([&](JavaStack& s) { s.push(0, 2); });
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyImmediateEquivalence,
+                         ::testing::Values(1, 5, 23, 99, 777, 80186));
+
+class SamplerInvariantProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SamplerInvariantProperties, MinedRefsAreActuallyOnStackAndStable) {
+  FuzzWorld world;
+  StackSampler sampler(world.heap, ExtractionMode::kLazy, 2);
+  JavaStack stack;
+  SplitMix64 rng(GetParam());
+
+  // Bottom frame with a never-touched reference: must eventually be mined
+  // once the bottom frame becomes the first visited frame at least twice.
+  stack.push(0, 2);
+  const ObjectId anchor = world.objs[0];
+  stack.top().set_ref(0, anchor);
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t action = rng.next_below(10);
+    if (action < 4 && stack.depth() < 12) {
+      stack.push(static_cast<MethodId>(1 + rng.next_below(4)),
+                 1 + rng.next_below(4));
+      stack.top().set_ref(0, world.objs[rng.next_below(world.objs.size())]);
+    } else if (action < 7 && stack.depth() > 1) {
+      stack.pop();
+      continue;  // properties hold after a sample, not mid-mutation
+    } else {
+      sampler.sample(stack);
+      // Property: stale samples purged — retained never exceeds live frames.
+      EXPECT_LE(sampler.retained_samples(), stack.depth());
+    }
+
+    // Property: every mined invariant decodes to a live heap object whose
+    // tagged value is present in some frame of the CURRENT stack (a slot
+    // surviving compare-by-probing is by definition still there).
+    for (ObjectId inv : sampler.invariant_refs(stack)) {
+      ASSERT_TRUE(world.heap.is_valid_object(inv));
+      bool found = false;
+      for (const Frame& f : stack.frames()) {
+        for (std::size_t i = 0; i < f.slot_count(); ++i) {
+          if (looks_like_ref(f.slot(i)) && decode_ref(f.slot(i)) == inv) {
+            found = true;
+          }
+        }
+      }
+      EXPECT_TRUE(found) << "invariant not on the live stack";
+    }
+  }
+
+  // Drain to just the bottom frame and sample repeatedly: the anchor must be
+  // mined as invariant.
+  while (stack.depth() > 1) stack.pop();
+  for (int i = 0; i < 4; ++i) sampler.sample(stack);
+  const auto inv = sampler.invariant_refs(stack);
+  EXPECT_NE(std::find(inv.begin(), inv.end(), anchor), inv.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerInvariantProperties,
+                         ::testing::Values(2, 13, 47, 1001));
+
+TEST(SamplerProperties, SampleWorkIsBoundedByStackSize) {
+  FuzzWorld world;
+  StackSampler sampler(world.heap, ExtractionMode::kLazy, 2);
+  JavaStack stack;
+  for (int d = 0; d < 16; ++d) stack.push(static_cast<MethodId>(d), 4);
+  const StackSampleWork w1 = sampler.sample(stack);
+  EXPECT_EQ(w1.raw_captures, 16u);
+  EXPECT_LE(w1.raw_slots_copied, 16u * 4u);
+  // A second sample of an unchanged stack touches only the top frame.
+  const StackSampleWork w2 = sampler.sample(stack);
+  EXPECT_EQ(w2.raw_captures, 0u);
+  EXPECT_LE(w2.comparisons + w2.extractions, 2u);
+}
+
+TEST(SamplerProperties, VisitedFlagsMonotoneWithinFrameLifetime) {
+  FuzzWorld world;
+  StackSampler sampler(world.heap, ExtractionMode::kLazy, 1);
+  JavaStack stack;
+  stack.push(0, 1);
+  stack.push(1, 1);
+  sampler.sample(stack);
+  for (const Frame& f : stack.frames()) EXPECT_TRUE(f.visited);
+  sampler.sample(stack);
+  for (const Frame& f : stack.frames()) EXPECT_TRUE(f.visited);
+}
+
+}  // namespace
+}  // namespace djvm

@@ -1,0 +1,217 @@
+// Adaptive object sampling: gap derivation, nX rates, array amortization,
+// resampling, Horvitz-Thompson estimates, and statistical uniformity.
+#include <gtest/gtest.h>
+
+#include "common/primes.hpp"
+#include "profiling/sampling.hpp"
+
+namespace djvm {
+namespace {
+
+class SamplingTest : public ::testing::Test {
+ protected:
+  KlassRegistry reg;
+  Heap heap{reg, 2};
+  SamplingPlan plan{heap};
+};
+
+TEST_F(SamplingTest, RateZeroMeansFullSampling) {
+  const ClassId c = reg.register_class("X", 64);
+  plan.set_rate(c, 0);
+  EXPECT_EQ(plan.real_gap(c), 1u);
+  const ObjectId o = heap.alloc(c, 0);
+  plan.on_alloc(o);
+  EXPECT_TRUE(plan.is_sampled(o));
+}
+
+TEST_F(SamplingTest, NominalGapForRateFormula) {
+  // gap = page / (size * n): 64-byte class at 1X -> 4096/64 = 64.
+  EXPECT_EQ(SamplingPlan::nominal_gap_for_rate(64, 1), 64u);
+  EXPECT_EQ(SamplingPlan::nominal_gap_for_rate(64, 4), 16u);
+  EXPECT_EQ(SamplingPlan::nominal_gap_for_rate(64, 64), 1u);
+  // Objects larger than a page: gap clamps to 1 (every object sampled) —
+  // the reason SOR's KB-sized rows always run at effectively full sampling.
+  EXPECT_EQ(SamplingPlan::nominal_gap_for_rate(8192, 1), 1u);
+}
+
+TEST_F(SamplingTest, RealGapIsNearestPrime) {
+  const ClassId c = reg.register_class("X", 64);
+  plan.set_rate(c, 1);  // nominal 64
+  EXPECT_EQ(plan.nominal_gap(c), 64u);
+  EXPECT_EQ(plan.real_gap(c), 67u);  // paper's example: 64 -> 67
+  plan.set_rate(c, 2);  // nominal 32
+  EXPECT_EQ(plan.real_gap(c), 31u);
+}
+
+TEST_F(SamplingTest, HalveAndDoubleGap) {
+  const ClassId c = reg.register_class("X", 8);
+  plan.set_nominal_gap(c, 128);
+  EXPECT_EQ(plan.real_gap(c), 127u);
+  plan.halve_gap(c);
+  EXPECT_EQ(plan.nominal_gap(c), 64u);
+  EXPECT_EQ(plan.real_gap(c), 67u);
+  plan.double_gap(c);
+  EXPECT_EQ(plan.nominal_gap(c), 128u);
+  // Halving saturates at full sampling.
+  for (int i = 0; i < 10; ++i) plan.halve_gap(c);
+  EXPECT_EQ(plan.real_gap(c), 1u);
+}
+
+TEST_F(SamplingTest, ScalarSampledIffSeqDivisible) {
+  const ClassId c = reg.register_class("X", 8);
+  plan.set_nominal_gap(c, 3);  // real gap 3
+  ASSERT_EQ(plan.real_gap(c), 3u);
+  int sampled = 0;
+  for (int i = 0; i < 30; ++i) {
+    const ObjectId o = heap.alloc(c, 0);
+    plan.on_alloc(o);
+    const bool expect = heap.meta(o).start_seq % 3 == 0;
+    EXPECT_EQ(plan.is_sampled(o), expect);
+    sampled += plan.is_sampled(o);
+  }
+  EXPECT_EQ(sampled, 10);
+}
+
+TEST_F(SamplingTest, SampledElementsCountsMultiplesInRange) {
+  // Fig. 3(b): arrays starting at arbitrary sequence numbers.
+  EXPECT_EQ(SamplingPlan::sampled_elements(1, 4, 3), 1u);    // {3}
+  EXPECT_EQ(SamplingPlan::sampled_elements(5, 5, 3), 2u);    // {6, 9}
+  EXPECT_EQ(SamplingPlan::sampled_elements(10, 3, 3), 1u);   // {12}
+  EXPECT_EQ(SamplingPlan::sampled_elements(1, 4, 7), 0u);    // none in 1..4
+  EXPECT_EQ(SamplingPlan::sampled_elements(1, 12, 1), 12u);  // full sampling
+}
+
+TEST_F(SamplingTest, ArraySampledIffAnyElementSampled) {
+  const ClassId c = reg.register_array_class("A[]", 4);
+  plan.set_nominal_gap(c, 7);  // real gap 7
+  ASSERT_EQ(plan.real_gap(c), 7u);
+  // First array: seqs 1..4 -> no multiple of 7 -> unsampled.
+  const ObjectId a = heap.alloc_array(c, 0, 4);
+  plan.on_alloc(a);
+  EXPECT_FALSE(plan.is_sampled(a));
+  EXPECT_EQ(plan.sample_bytes(a), 0u);
+  // Second array: seqs 5..14 -> {7, 14} -> sampled, amortized 2 elements.
+  const ObjectId b = heap.alloc_array(c, 0, 10);
+  plan.on_alloc(b);
+  EXPECT_TRUE(plan.is_sampled(b));
+  EXPECT_EQ(plan.sample_bytes(b), 2u * 4u);
+}
+
+TEST_F(SamplingTest, AmortizedBytesNotWholeArray) {
+  // The array-bias fix: a sampled large array logs only its sampled
+  // elements' bytes, not its full size.
+  const ClassId c = reg.register_array_class("A[]", 8);
+  plan.set_nominal_gap(c, 31);
+  const ObjectId big = heap.alloc_array(c, 0, 3100);
+  plan.on_alloc(big);
+  ASSERT_TRUE(plan.is_sampled(big));
+  EXPECT_EQ(plan.sample_bytes(big), 100u * 8u);
+  EXPECT_LT(plan.sample_bytes(big), heap.meta(big).size_bytes);
+}
+
+TEST_F(SamplingTest, EstimatedFullBytesReconstructsArraySize) {
+  const ClassId c = reg.register_array_class("A[]", 8);
+  plan.set_nominal_gap(c, 31);
+  const ObjectId a = heap.alloc_array(c, 0, 3100);
+  plan.on_alloc(a);
+  const double est = static_cast<double>(plan.estimated_full_bytes(a));
+  const double real = static_cast<double>(heap.meta(a).size_bytes);
+  EXPECT_NEAR(est / real, 1.0, 0.05);
+}
+
+TEST_F(SamplingTest, EstimatedFullBytesScalarHtWeight) {
+  const ClassId c = reg.register_class("X", 40);
+  plan.set_nominal_gap(c, 5);
+  ASSERT_EQ(plan.real_gap(c), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const ObjectId o = heap.alloc(c, 0);
+    plan.on_alloc(o);
+    if (plan.is_sampled(o)) {
+      EXPECT_EQ(plan.estimated_full_bytes(o), 40u * 5u);
+    } else {
+      EXPECT_EQ(plan.estimated_full_bytes(o), 0u);
+    }
+  }
+}
+
+TEST_F(SamplingTest, ResampleAfterGapChange) {
+  const ClassId c = reg.register_class("X", 8);
+  plan.set_nominal_gap(c, 4);
+  std::vector<ObjectId> objs;
+  for (int i = 0; i < 100; ++i) {
+    objs.push_back(heap.alloc(c, 0));
+    plan.on_alloc(objs.back());
+  }
+  const std::uint64_t before = plan.sampled_count();
+  plan.set_nominal_gap(c, 2);
+  plan.resample_class(c);
+  const std::uint64_t after = plan.sampled_count();
+  EXPECT_GT(after, before);  // tighter gap samples more objects
+}
+
+TEST_F(SamplingTest, ResampleClassTouchesOnlyThatClass) {
+  const ClassId x = reg.register_class("X", 8);
+  const ClassId y = reg.register_class("Y", 8);
+  for (int i = 0; i < 10; ++i) {
+    plan.on_alloc(heap.alloc(x, 0));
+    plan.on_alloc(heap.alloc(y, 0));
+  }
+  EXPECT_EQ(plan.resample_class(x), 10u);
+  EXPECT_EQ(plan.resample_all(), 20u);
+}
+
+TEST_F(SamplingTest, PlanTagsPreexistingObjectsAtConstruction) {
+  KlassRegistry reg2;
+  Heap heap2(reg2, 1);
+  const ClassId c = reg2.register_class("X", 8);
+  const ObjectId o = heap2.alloc(c, 0);
+  SamplingPlan plan2(heap2);  // object allocated before the plan existed
+  EXPECT_TRUE(plan2.is_sampled(o));
+}
+
+// --- statistical properties -------------------------------------------------
+
+// HT-estimated total bytes over a large scalar population should match the
+// true total within a few percent at any prime gap.
+class HtEstimateSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HtEstimateSweep, UnbiasedTotalEstimate) {
+  KlassRegistry reg;
+  Heap heap(reg, 1);
+  SamplingPlan plan(heap);
+  const ClassId c = reg.register_class("X", 64);
+  plan.set_nominal_gap(c, GetParam());
+  const int n = 200000;
+  double est = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const ObjectId o = heap.alloc(c, 0);
+    plan.on_alloc(o);
+    est += static_cast<double>(plan.estimated_full_bytes(o));
+  }
+  const double real = 64.0 * n;
+  EXPECT_NEAR(est / real, 1.0, 0.02) << "gap=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, HtEstimateSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 512));
+
+// Sampled sequence numbers must spread uniformly over the allocation order —
+// the property the prime gap protects under cyclic allocation.
+TEST(SamplingUniformity, SampledObjectsSpreadOverAllocationOrder) {
+  KlassRegistry reg;
+  Heap heap(reg, 1);
+  SamplingPlan plan(heap);
+  const ClassId c = reg.register_class("X", 64);
+  plan.set_nominal_gap(c, 64);  // real 67
+  const int n = 67 * 300;
+  std::vector<int> deciles(10, 0);
+  for (int i = 0; i < n; ++i) {
+    const ObjectId o = heap.alloc(c, 0);
+    plan.on_alloc(o);
+    if (plan.is_sampled(o)) ++deciles[static_cast<std::size_t>(i * 10LL / n)];
+  }
+  for (int d = 0; d < 10; ++d) EXPECT_NEAR(deciles[d], 30, 2) << "decile " << d;
+}
+
+}  // namespace
+}  // namespace djvm

@@ -1,0 +1,122 @@
+// Java stacks: ref tagging, frame lifecycle, visited flags, context bytes.
+#include <gtest/gtest.h>
+
+#include "stack/javastack.hpp"
+
+namespace djvm {
+namespace {
+
+TEST(RefTag, EncodeDecodeRoundTrip) {
+  for (ObjectId id : {ObjectId{0}, ObjectId{1}, ObjectId{123456}, ObjectId{1} << 40}) {
+    const std::uint64_t raw = encode_ref(id);
+    EXPECT_TRUE(looks_like_ref(raw));
+    EXPECT_EQ(decode_ref(raw), id);
+  }
+}
+
+TEST(RefTag, PrimitivesDoNotLookLikeRefs) {
+  EXPECT_FALSE(looks_like_ref(0));
+  EXPECT_FALSE(looks_like_ref(42));
+  EXPECT_FALSE(looks_like_ref(0xFFFFFFFFULL));
+  // A double's bit pattern.
+  const double d = 3.14159;
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  EXPECT_FALSE(looks_like_ref(bits));
+}
+
+TEST(JavaStack, PushPopDepth) {
+  JavaStack s;
+  EXPECT_TRUE(s.empty());
+  s.push(1, 4);
+  s.push(2, 2);
+  EXPECT_EQ(s.depth(), 2u);
+  EXPECT_EQ(s.top().method, 2u);
+  s.pop();
+  EXPECT_EQ(s.top().method, 1u);
+  s.pop();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(JavaStack, FrameIdsMonotonicNeverReused) {
+  JavaStack s;
+  s.push(1, 1);
+  const FrameId first = s.top().id;
+  s.pop();
+  s.push(1, 1);
+  EXPECT_GT(s.top().id, first);
+}
+
+TEST(JavaStack, PrologueClearsVisited) {
+  JavaStack s;
+  s.push(1, 1);
+  s.top().visited = true;
+  s.pop();
+  s.push(1, 1);
+  EXPECT_FALSE(s.top().visited);  // fresh frame, fresh flag
+}
+
+TEST(JavaStack, SlotsZeroInitialized) {
+  JavaStack s;
+  s.push(1, 8);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(s.top().slot(i), 0u);
+}
+
+TEST(JavaStack, SetRefAndPrim) {
+  JavaStack s;
+  s.push(1, 3);
+  s.top().set_ref(0, 77);
+  s.top().set_prim(1, 0xDEAD);
+  EXPECT_TRUE(looks_like_ref(s.top().slot(0)));
+  EXPECT_EQ(decode_ref(s.top().slot(0)), 77u);
+  EXPECT_FALSE(looks_like_ref(s.top().slot(1)));
+}
+
+TEST(JavaStack, ContextBytesGrowWithFrames) {
+  JavaStack s;
+  const std::uint64_t empty = s.context_bytes();
+  s.push(1, 10);
+  const std::uint64_t one = s.context_bytes();
+  EXPECT_EQ(one - empty, 32u + 80u);
+  s.push(2, 0);
+  EXPECT_EQ(s.context_bytes() - one, 32u);
+}
+
+TEST(JavaStack, FrameGuardIsRaii) {
+  JavaStack s;
+  {
+    FrameGuard g(s, 5, 2);
+    g.set_ref(0, 9);
+    EXPECT_EQ(s.depth(), 1u);
+    EXPECT_EQ(decode_ref(s.top().slot(0)), 9u);
+  }
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(JavaStack, FrameGuardSurvivesReallocation) {
+  JavaStack s;
+  FrameGuard outer(s, 1, 1);
+  // Push enough frames to force vector reallocation, then write through the
+  // guard (it must index, not hold a dangling reference).
+  std::vector<std::unique_ptr<FrameGuard>> guards;
+  for (int i = 0; i < 100; ++i) {
+    guards.push_back(std::make_unique<FrameGuard>(s, 2, 1));
+  }
+  outer.set_ref(0, 3);
+  EXPECT_EQ(decode_ref(s.frame(0).slot(0)), 3u);
+  guards.clear();
+  EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(JavaStack, FramesCreatedCounter) {
+  JavaStack s;
+  for (int i = 0; i < 5; ++i) {
+    s.push(1, 0);
+    s.pop();
+  }
+  EXPECT_EQ(s.frames_created(), 5u);
+}
+
+}  // namespace
+}  // namespace djvm

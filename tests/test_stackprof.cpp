@@ -1,0 +1,289 @@
+// Stack sampling: two-phase scanning, lazy extraction, compare-by-probing,
+// invariant mining, sample purging — the behaviours of Fig. 7/8.
+#include <gtest/gtest.h>
+
+#include "runtime/heap.hpp"
+#include "stackprof/stack_sampler.hpp"
+
+namespace djvm {
+namespace {
+
+class StackProfTest : public ::testing::Test {
+ protected:
+  StackProfTest() : heap(reg, 1) {
+    klass = reg.register_class("X", 16);
+    for (int i = 0; i < 32; ++i) objs.push_back(heap.alloc(klass, 0));
+  }
+
+  KlassRegistry reg;
+  Heap heap;
+  ClassId klass;
+  std::vector<ObjectId> objs;
+};
+
+TEST_F(StackProfTest, FirstSampleVisitsAllFramesRaw) {
+  StackSampler sampler(heap, ExtractionMode::kLazy, 2);
+  JavaStack s;
+  s.push(1, 4);
+  s.push(2, 4);
+  s.push(3, 4);
+  const StackSampleWork w = sampler.sample(s);
+  EXPECT_EQ(w.raw_captures, 3u);
+  EXPECT_EQ(w.extractions, 0u);  // lazy: nothing extracted on first visit
+  for (const Frame& f : s.frames()) EXPECT_TRUE(f.visited);
+}
+
+TEST_F(StackProfTest, SecondSampleExtractsAndCompares) {
+  StackSampler sampler(heap, ExtractionMode::kLazy, 2);
+  JavaStack s;
+  s.push(1, 4);
+  s.top().set_ref(0, objs[0]);
+  sampler.sample(s);
+  const StackSampleWork w = sampler.sample(s);
+  EXPECT_EQ(w.extractions, 1u);   // raw -> extracted on second visit
+  EXPECT_EQ(w.comparisons, 1u);
+  EXPECT_EQ(w.raw_captures, 0u);  // nothing new on the stack
+}
+
+TEST_F(StackProfTest, ImmediateModeExtractsOnFirstVisit) {
+  StackSampler sampler(heap, ExtractionMode::kImmediate, 2);
+  JavaStack s;
+  s.push(1, 4);
+  s.top().set_ref(0, objs[0]);
+  const StackSampleWork w = sampler.sample(s);
+  EXPECT_EQ(w.extractions, 1u);
+  EXPECT_EQ(w.slots_extracted, 4u);
+}
+
+TEST_F(StackProfTest, TopDownStopsAtFirstVisitedFrame) {
+  StackSampler sampler(heap, ExtractionMode::kLazy, 2);
+  JavaStack s;
+  s.push(1, 2);  // bottom
+  s.push(2, 2);
+  sampler.sample(s);   // both visited now
+  s.push(3, 2);        // new top frame
+  const StackSampleWork w = sampler.sample(s);
+  // Only the new frame is captured; frame 2 is compared; frame 1 untouched.
+  EXPECT_EQ(w.raw_captures, 1u);
+  EXPECT_EQ(w.comparisons, 1u);
+}
+
+TEST_F(StackProfTest, TemporaryFramesNeverExtractedUnderLazyMode) {
+  StackSampler sampler(heap, ExtractionMode::kLazy, 2);
+  JavaStack s;
+  s.push(1, 4);  // long-lived bottom frame
+  std::uint32_t total_extractions = 0;
+  for (int round = 0; round < 20; ++round) {
+    s.push(100 + round, 8);  // short-lived top frame, popped before next sample
+    s.top().set_ref(0, objs[static_cast<std::size_t>(round) % objs.size()]);
+    const StackSampleWork w = sampler.sample(s);
+    total_extractions += w.extractions;
+    s.pop();
+  }
+  // Only the bottom frame is ever extracted (once, on its second visit);
+  // the 20 temporary frames cost raw captures only.
+  EXPECT_EQ(total_extractions, 1u);
+}
+
+TEST_F(StackProfTest, ProbingRemovesChangedSlots) {
+  StackSampler sampler(heap, ExtractionMode::kImmediate, 1);
+  JavaStack s;
+  s.push(1, 3);
+  s.top().set_ref(0, objs[0]);  // will stay
+  s.top().set_ref(1, objs[1]);  // will change
+  sampler.sample(s);
+  s.top().set_ref(1, objs[2]);
+  const StackSampleWork w = sampler.sample(s);
+  EXPECT_EQ(w.slots_removed, 1u);
+  const auto inv = sampler.invariant_refs(s);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0], objs[0]);
+}
+
+TEST_F(StackProfTest, ProbingShrinksWorkOverTime) {
+  StackSampler sampler(heap, ExtractionMode::kImmediate, 1);
+  JavaStack s;
+  s.push(1, 8);
+  for (int i = 0; i < 8; ++i) s.top().set_ref(static_cast<std::size_t>(i), objs[static_cast<std::size_t>(i)]);
+  sampler.sample(s);
+  // Change all but one slot; after the next comparison only 1 slot remains,
+  // so subsequent probes touch 1 slot instead of 8.
+  for (int i = 1; i < 8; ++i) s.top().set_ref(static_cast<std::size_t>(i), objs[static_cast<std::size_t>(8 + i)]);
+  const StackSampleWork w1 = sampler.sample(s);
+  EXPECT_EQ(w1.slots_probed, 8u);
+  const StackSampleWork w2 = sampler.sample(s);
+  EXPECT_EQ(w2.slots_probed, 1u);
+}
+
+TEST_F(StackProfTest, InvariantsRequireMinRounds) {
+  StackSampler sampler(heap, ExtractionMode::kLazy, 2);
+  JavaStack s;
+  s.push(1, 2);
+  s.top().set_ref(0, objs[5]);
+  sampler.sample(s);  // raw capture
+  sampler.sample(s);  // extract + compare #1
+  EXPECT_TRUE(sampler.invariant_refs(s).empty());  // 1 < min_rounds
+  sampler.sample(s);  // compare #2
+  const auto inv = sampler.invariant_refs(s);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0], objs[5]);
+}
+
+TEST_F(StackProfTest, PrimitiveSlotsNeverBecomeInvariants) {
+  StackSampler sampler(heap, ExtractionMode::kImmediate, 1);
+  JavaStack s;
+  s.push(1, 2);
+  s.top().set_prim(0, 42);   // constant primitive: survives comparisons
+  s.top().set_ref(1, objs[0]);
+  sampler.sample(s);
+  sampler.sample(s);
+  const auto inv = sampler.invariant_refs(s);
+  ASSERT_EQ(inv.size(), 1u);  // only the reference qualifies
+  EXPECT_EQ(inv[0], objs[0]);
+}
+
+TEST_F(StackProfTest, DanglingRefValuesRejectedByGcInterface) {
+  StackSampler sampler(heap, ExtractionMode::kImmediate, 1);
+  JavaStack s;
+  s.push(1, 1);
+  // A ref-tagged value beyond the heap: must fail the validity check.
+  s.top().slots[0] = encode_ref(ObjectId{999999});
+  sampler.sample(s);
+  sampler.sample(s);
+  EXPECT_TRUE(sampler.invariant_refs(s).empty());
+}
+
+TEST_F(StackProfTest, BottomFrameOnlyComparedWhenItBecomesFirstVisited) {
+  // The two-phase scan compares only the first visited frame from the top;
+  // lower frames keep their previous samples untouched (Fig. 7 state 5).
+  StackSampler sampler(heap, ExtractionMode::kImmediate, 1);
+  JavaStack s;
+  s.push(1, 1);
+  s.top().set_ref(0, objs[1]);  // bottom frame
+  s.push(2, 1);
+  s.top().set_ref(0, objs[2]);  // top frame
+  sampler.sample(s);
+  sampler.sample(s);  // compares the top frame only
+  const auto inv = sampler.invariant_refs(s);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0], objs[2]);  // bottom never compared yet -> not invariant
+}
+
+TEST_F(StackProfTest, InvariantsOrderedTopmostFirst) {
+  StackSampler sampler(heap, ExtractionMode::kImmediate, 1);
+  JavaStack s;
+  s.push(1, 1);
+  s.top().set_ref(0, objs[1]);  // bottom frame invariant
+  s.push(2, 1);
+  s.top().set_ref(0, objs[2]);
+  sampler.sample(s);
+  sampler.sample(s);  // top compared
+  s.pop();
+  sampler.sample(s);  // bottom becomes first visited -> compared
+  s.push(3, 1);
+  s.top().set_ref(0, objs[2]);  // fresh top frame
+  sampler.sample(s);  // new top raw-captured, bottom compared again
+  sampler.sample(s);  // new top compared -> invariant
+  const auto inv = sampler.invariant_refs(s);
+  ASSERT_EQ(inv.size(), 2u);
+  EXPECT_EQ(inv[0], objs[2]);  // topmost first
+  EXPECT_EQ(inv[1], objs[1]);
+}
+
+TEST_F(StackProfTest, DuplicateRefsAcrossFramesDeduplicated) {
+  StackSampler sampler(heap, ExtractionMode::kImmediate, 1);
+  JavaStack s;
+  s.push(1, 1);
+  s.top().set_ref(0, objs[3]);
+  s.push(2, 1);
+  s.top().set_ref(0, objs[3]);
+  sampler.sample(s);
+  sampler.sample(s);
+  EXPECT_EQ(sampler.invariant_refs(s).size(), 1u);
+}
+
+TEST_F(StackProfTest, PoppedFrameSamplesPurged) {
+  StackSampler sampler(heap, ExtractionMode::kLazy, 2);
+  JavaStack s;
+  s.push(1, 2);
+  s.push(2, 2);
+  sampler.sample(s);
+  EXPECT_EQ(sampler.retained_samples(), 2u);
+  s.pop();
+  const StackSampleWork w = sampler.sample(s);
+  EXPECT_EQ(w.samples_purged, 1u);
+  EXPECT_EQ(sampler.retained_samples(), 1u);
+}
+
+TEST_F(StackProfTest, EmptyStackClearsSamples) {
+  StackSampler sampler(heap, ExtractionMode::kLazy, 2);
+  JavaStack s;
+  s.push(1, 2);
+  sampler.sample(s);
+  s.pop();
+  sampler.sample(s);
+  EXPECT_EQ(sampler.retained_samples(), 0u);
+}
+
+TEST_F(StackProfTest, Fig7Scenario) {
+  // Reproduces the five-state walkthrough of Fig. 7.
+  StackSampler sampler(heap, ExtractionMode::kLazy, 1);
+  JavaStack s;
+  // State 1: frames A, B, C (bottom to top) — all raw.
+  s.push(1, 2);  // A
+  s.frame(0).set_ref(0, objs[10]);
+  s.push(2, 2);  // B
+  s.frame(1).set_ref(0, objs[11]);
+  s.push(3, 2);  // C
+  StackSampleWork w = sampler.sample(s);
+  EXPECT_EQ(w.raw_captures, 3u);
+  // State 2: C gone, D on top; B is the first visited frame -> extracted
+  // and compared; A untouched (still raw).
+  s.pop();       // C
+  s.push(4, 2);  // D
+  w = sampler.sample(s);
+  EXPECT_EQ(w.extractions, 1u);   // B only
+  EXPECT_EQ(w.comparisons, 1u);
+  EXPECT_EQ(w.raw_captures, 1u);  // D
+  // State 3: B and D gone, E and F on top; now A is first visited ->
+  // its raw sample is processed and compared.
+  s.pop();       // D
+  s.pop();       // B
+  s.push(5, 2);  // E
+  s.push(6, 2);  // F
+  w = sampler.sample(s);
+  EXPECT_EQ(w.extractions, 1u);  // A
+  EXPECT_EQ(w.comparisons, 1u);
+  EXPECT_EQ(w.raw_captures, 2u);  // E, F
+  // State 4: E and F gone, G pushed; A compared again.
+  s.pop();
+  s.pop();
+  s.push(7, 2);  // G
+  w = sampler.sample(s);
+  EXPECT_EQ(w.comparisons, 1u);  // A again
+  EXPECT_EQ(w.extractions, 0u);  // A already extracted
+  // State 5: G survives; G is now the first visited frame -> processed;
+  // A left untouched.
+  w = sampler.sample(s);
+  EXPECT_EQ(w.extractions, 1u);   // G's raw sample processed
+  EXPECT_EQ(w.comparisons, 1u);   // G compared, A untouched
+  EXPECT_EQ(w.raw_captures, 0u);
+  // A's invariant ref survived throughout.
+  const auto inv = sampler.invariant_refs(s);
+  EXPECT_NE(std::find(inv.begin(), inv.end(), objs[10]), inv.end());
+}
+
+TEST_F(StackProfTest, ManagerGrowsPerThread) {
+  StackSamplerManager mgr(heap, ExtractionMode::kLazy, 2);
+  JavaStack s0, s1;
+  s0.push(1, 1);
+  s1.push(1, 1);
+  mgr.sample(0, s0);
+  mgr.sample(5, s1);
+  EXPECT_GE(mgr.thread_count(), 6u);
+  EXPECT_EQ(mgr.stats(0).samples, 1u);
+  EXPECT_EQ(mgr.stats(5).samples, 1u);
+}
+
+}  // namespace
+}  // namespace djvm

@@ -1,0 +1,191 @@
+// Parameterized sweeps: every workload must behave across cluster shapes —
+// clean completion, symmetric zero-diagonal TCMs, no remote faults on a
+// single node, HT-estimate sanity at every rate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/barnes_hut.hpp"
+#include "apps/sor.hpp"
+#include "apps/synthetic.hpp"
+#include "apps/water_spatial.hpp"
+#include "profiling/accuracy.hpp"
+
+namespace djvm {
+namespace {
+
+using Shape = std::tuple<std::uint32_t /*nodes*/, std::uint32_t /*threads*/>;
+
+std::unique_ptr<Workload> make_app(int which) {
+  switch (which) {
+    case 0: {
+      SorParams p;
+      p.rows = 48;
+      p.cols = 64;
+      p.rounds = 2;
+      return std::make_unique<SorWorkload>(p);
+    }
+    case 1: {
+      BarnesHutParams p;
+      p.bodies = 192;
+      p.rounds = 2;
+      return std::make_unique<BarnesHutWorkload>(p);
+    }
+    default: {
+      WaterParams p;
+      p.molecules = 48;
+      p.rounds = 2;
+      return std::make_unique<WaterSpatialWorkload>(p);
+    }
+  }
+}
+
+class ShapeSweep : public ::testing::TestWithParam<std::tuple<int, Shape>> {};
+
+TEST_P(ShapeSweep, RunsCleanlyAndTcmIsWellFormed) {
+  const auto [which, shape] = GetParam();
+  const auto [nodes, threads] = shape;
+  Config cfg;
+  cfg.nodes = nodes;
+  cfg.threads = threads;
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  auto w = make_app(which);
+  const RunMetrics m = execute_workload(djvm, *w);
+
+  EXPECT_TRUE(std::isfinite(w->checksum()));
+  EXPECT_GT(m.protocol.accesses, 0u);
+  EXPECT_GT(m.max_sim_time, 0u);
+
+  djvm.pump_daemon();
+  const SquareMatrix tcm = djvm.daemon().build_full();
+  ASSERT_EQ(tcm.size(), threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    EXPECT_DOUBLE_EQ(tcm.at(i, i), 0.0) << "self-correlation must be zero";
+    for (std::size_t j = 0; j < threads; ++j) {
+      EXPECT_DOUBLE_EQ(tcm.at(i, j), tcm.at(j, i)) << "TCM must be symmetric";
+      EXPECT_GE(tcm.at(i, j), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndShapes, ShapeSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(Shape{1, 1}, Shape{1, 4}, Shape{2, 4},
+                                         Shape{4, 4}, Shape{4, 8}, Shape{8, 16})));
+
+class SingleNodeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleNodeSweep, NoRemoteTrafficOnOneNode) {
+  Config cfg;
+  cfg.nodes = 1;
+  cfg.threads = 4;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  auto w = make_app(GetParam());
+  const RunMetrics m = execute_workload(djvm, *w);
+  // Everything is home: no object faults, no diffs over the wire.
+  EXPECT_EQ(m.protocol.object_faults, 0u);
+  EXPECT_EQ(m.protocol.fault_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, SingleNodeSweep, ::testing::Values(0, 1, 2));
+
+class RateSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RateSweep, SampledTcmTotalTracksFullSamplingTotal) {
+  // HT weighting must keep the sampled map's total volume within a factor of
+  // the inherent volume at every rate (unbiased up to sampling noise).
+  const std::uint32_t rate = GetParam();
+  auto run = [&](std::uint32_t r) {
+    Config cfg;
+    cfg.nodes = 4;
+    cfg.threads = 8;
+    cfg.oal_transfer = OalTransfer::kLocalOnly;
+    cfg.sampling_rate_x = r;
+    Djvm djvm(cfg);
+    djvm.spawn_threads_round_robin(cfg.threads);
+    BarnesHutParams p;
+    p.bodies = 1024;
+    p.rounds = 2;
+    BarnesHutWorkload w(p);
+    execute_workload(djvm, w);
+    djvm.pump_daemon();
+    return djvm.daemon().build_full().total();
+  };
+  const double full = run(0);
+  const double sampled = run(rate);
+  ASSERT_GT(full, 0.0);
+  EXPECT_GT(sampled, full * 0.4) << "rate " << rate;
+  EXPECT_LT(sampled, full * 2.5) << "rate " << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateSweep, ::testing::Values(1, 2, 4, 8, 16, 32));
+
+class DeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismSweep, ProtocolCountersIdenticalAcrossRuns) {
+  auto run = [&] {
+    Config cfg;
+    cfg.nodes = 4;
+    cfg.threads = 8;
+    cfg.oal_transfer = OalTransfer::kSend;
+    cfg.sampling_rate_x = 4;
+    Djvm djvm(cfg);
+    djvm.spawn_threads_round_robin(cfg.threads);
+    auto w = make_app(GetParam());
+    const RunMetrics m = execute_workload(djvm, *w);
+    return std::tuple{m.protocol.accesses, m.protocol.object_faults,
+                      m.protocol.oal_entries, m.traffic.total_bytes(),
+                      m.max_sim_time, w->checksum()};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, DeterminismSweep, ::testing::Values(0, 1, 2));
+
+class SyntheticPatternSweep : public ::testing::TestWithParam<SharingPattern> {};
+
+TEST_P(SyntheticPatternSweep, RunsAndRespectsPattern) {
+  Config cfg;
+  cfg.nodes = 4;
+  cfg.threads = 8;
+  cfg.oal_transfer = OalTransfer::kLocalOnly;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  SyntheticParams p;
+  p.pattern = GetParam();
+  p.objects = 512;
+  p.rounds = 2;
+  p.accesses_per_round = 1024;
+  SyntheticWorkload w(p);
+  execute_workload(djvm, w);
+  djvm.pump_daemon();
+  const SquareMatrix tcm = djvm.daemon().build_full();
+  switch (GetParam()) {
+    case SharingPattern::kPartitioned:
+      EXPECT_DOUBLE_EQ(tcm.total(), 0.0);
+      break;
+    case SharingPattern::kPairShared:
+    case SharingPattern::kCyclic:
+      EXPECT_GT(tcm.at(0, 1), 0.0);
+      EXPECT_DOUBLE_EQ(tcm.at(0, 2), 0.0);
+      break;
+    case SharingPattern::kAllShared:
+      EXPECT_GT(tcm.at(0, 7), 0.0);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, SyntheticPatternSweep,
+                         ::testing::Values(SharingPattern::kPartitioned,
+                                           SharingPattern::kPairShared,
+                                           SharingPattern::kAllShared,
+                                           SharingPattern::kCyclic));
+
+}  // namespace
+}  // namespace djvm
