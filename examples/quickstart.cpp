@@ -1,6 +1,7 @@
 // Quickstart: a 60-line tour of the distributed JVM profiling API.
 //
-//   1. Stand up a 4-node cluster with correlation tracking at rate 4X.
+//   1. Stand up a 4-node cluster with correlation tracking at rate 4X,
+//      governed by the closed-loop profiling controller.
 //   2. Allocate shared objects and drive accesses from 8 threads.
 //   3. Pull the thread correlation map out of the coordinator daemon.
 //
@@ -19,6 +20,11 @@ int main() {
   cfg.threads = 8;
   cfg.oal_transfer = OalTransfer::kSend;  // ship OALs to the coordinator
   cfg.sampling_rate_x = 4;                // "4 sampled objects per page"
+  // The three-line governor setup: keep profiling under 2% of app time,
+  // treat a 5% TCM movement as "still converging", adapt both directions.
+  cfg.governor_enabled = true;
+  cfg.governor_budget = 0.02;
+  cfg.adapt_threshold = 0.05;
   Djvm djvm(cfg);
   djvm.spawn_threads_round_robin(cfg.threads);
 
@@ -44,6 +50,9 @@ int main() {
       }
     }
     djvm.barrier_all();  // closes every thread's interval, shipping OALs
+    // One governed epoch per round: the daemon rebuilds the TCM and the
+    // governor adapts the sampling rates against its overhead budget.
+    djvm.run_governed_epoch();
   }
 
   // --- 3. the thread correlation map -----------------------------------------
@@ -65,6 +74,11 @@ int main() {
             << " object faults, " << djvm.gos().stats().oal_entries
             << " OAL entries, "
             << djvm.net().stats().bytes_of(MsgCategory::kOal) << " OAL bytes\n";
+  std::cout << "Governor: profiling overhead "
+            << djvm.governor().meter().rolling_fraction() * 100.0
+            << "% of app time (budget "
+            << djvm.governor().config().overhead_budget * 100.0 << "%), "
+            << (djvm.governor().converged() ? "converged" : "adapting") << "\n";
   std::cout << "Expected: strong diagonal pairs (T0,T1), (T2,T3), ... and ~zero "
                "elsewhere.\n";
   return 0;

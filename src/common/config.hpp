@@ -53,6 +53,14 @@ struct Config {
   /// Piggyback OAL messages on lock/barrier traffic when destinations match.
   bool piggyback_oals = true;
 
+  // --- profiling governor --------------------------------------------------
+  /// Arm the closed-loop governor (budgeted bidirectional rate control with
+  /// phase detection) when the profiling config is applied.  Off by default:
+  /// legacy one-way adaptation stays opt-in via enable_adaptation.
+  bool governor_enabled = false;
+  /// Overhead budget as a fraction of application time (0.02 = 2%).
+  double governor_budget = 0.02;
+
   // --- stack sampling ------------------------------------------------------
   bool stack_sampling = false;
   SimTime stack_sampling_gap = sim_ms(16);

@@ -1,7 +1,5 @@
 #include "common/primes.hpp"
 
-#include <initializer_list>
-
 namespace djvm {
 namespace {
 
@@ -27,7 +25,7 @@ std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) noe
 
 bool is_prime(std::uint64_t n) noexcept {
   if (n < 2) return false;
-  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+  for (std::uint64_t p : kWitnesses) {
     if (n == p) return true;
     if (n % p == 0) return false;
   }

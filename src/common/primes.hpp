@@ -16,9 +16,9 @@ namespace djvm {
 /// Deterministic primality test valid for all 64-bit inputs.
 [[nodiscard]] bool is_prime(std::uint64_t n) noexcept;
 
-/// Returns the prime nearest to `n` (ties broken toward the smaller prime, so
-/// nearest_prime(32) == 31, nearest_prime(64) == 67... wait 61 and 67 are both
-/// distance 3; the paper picks 67, so ties break toward the *larger* prime).
+/// Returns the prime nearest to `n`; equidistant ties break toward the
+/// *larger* prime (61 and 67 are both distance 3 from 64; the paper picks
+/// 67).  So nearest_prime(32) == 31 and nearest_prime(64) == 67.
 /// For n <= 2 returns 2.  nearest_prime(1) == 2 by convention; a gap of 1
 /// (full sampling) is handled by callers before consulting this function.
 [[nodiscard]] std::uint64_t nearest_prime(std::uint64_t n) noexcept;

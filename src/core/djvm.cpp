@@ -1,5 +1,7 @@
 #include "core/djvm.hpp"
 
+#include <algorithm>
+
 namespace djvm {
 
 namespace {
@@ -56,9 +58,72 @@ void Djvm::apply_profiling_config() {
   } else {
     gos_->disable_footprinting();
   }
+  if (cfg_.governor_enabled) {
+    GovernorConfig gcfg;
+    gcfg.overhead_budget = cfg_.governor_budget;
+    gcfg.distance_threshold = cfg_.adapt_threshold;
+    daemon_.governor().arm(gcfg);
+  }
+  // No disarm branch: Config is immutable after construction, so
+  // governor_enabled can never transition to false here — a governor armed
+  // directly via governor().arm()/enable_adaptation is the caller's to
+  // tear down with disarm().
 }
 
 void Djvm::pump_daemon() { daemon_.submit(gos_->drain_records()); }
+
+EpochResult Djvm::run_governed_epoch() {
+  pump_daemon();
+
+  const ProtocolStats& ps = gos_->stats();
+  SimTime sim_total = 0;
+  for (ThreadId t = 0; t < thread_count(); ++t) sim_total += gos_->clock(t).now();
+
+  // A Gos::reset_stats() between pumps restarts the counters below the
+  // snapshot; treat the restarted value as the whole delta instead of
+  // letting the unsigned subtraction wrap.
+  const auto delta = [](std::uint64_t now, std::uint64_t then) {
+    return now >= then ? now - then : now;
+  };
+
+  OverheadSample s;
+  s.measured = true;
+  // Worker CPU the GOS charged to thread clocks for profiling this epoch:
+  // rate-dependent (OAL log service, footprint re-arm touches) vs
+  // rate-independent (stack-sampler timers).
+  s.access_check_seconds =
+      (static_cast<double>(delta(ps.oal_entries, pump_snapshot_.oal_entries)) *
+           static_cast<double>(kLogServiceCost) +
+       static_cast<double>(
+           delta(ps.footprint_touches, pump_snapshot_.footprint_touches)) *
+           static_cast<double>(kFootprintServiceCost)) *
+      1e-9;
+  s.fixed_seconds =
+      static_cast<double>(stack_sampling_sim_cost_ - pump_snapshot_.stack_cost) *
+      1e-9;
+  // OAL wire cost as Network::send actually charged it to thread clocks
+  // (latency, piggybacking, and local delivery make a flat bytes/s model
+  // wrong in both directions); fold the measured time into the
+  // rate-dependent CPU bucket rather than re-pricing bytes in the meter.
+  s.access_check_seconds +=
+      static_cast<double>(delta(ps.oal_send_ns, pump_snapshot_.oal_send_ns)) *
+      1e-9;
+  // The thread-clock delta includes the profiling time charged above;
+  // subtract it so the fraction denominator is application seconds, not
+  // app + profiling.
+  const double clock_delta =
+      static_cast<double>(sim_total - pump_snapshot_.thread_sim_total) * 1e-9;
+  s.app_seconds =
+      std::max(0.0, clock_delta - s.access_check_seconds - s.fixed_seconds);
+
+  pump_snapshot_.oal_entries = ps.oal_entries;
+  pump_snapshot_.footprint_touches = ps.footprint_touches;
+  pump_snapshot_.oal_send_ns = ps.oal_send_ns;
+  pump_snapshot_.thread_sim_total = sim_total;
+  pump_snapshot_.stack_cost = stack_sampling_sim_cost_;
+
+  return daemon_.run_epoch(s);
+}
 
 void Djvm::add_access_observer(AccessObserver obs) {
   access_observers_.push_back(std::move(obs));

@@ -54,6 +54,7 @@ class Djvm final : public Gos::Hooks {
   [[nodiscard]] SamplingPlan& plan() noexcept { return plan_; }
   [[nodiscard]] Gos& gos() noexcept { return *gos_; }
   [[nodiscard]] CorrelationDaemon& daemon() noexcept { return daemon_; }
+  [[nodiscard]] Governor& governor() noexcept { return daemon_.governor(); }
   [[nodiscard]] StackSamplerManager& stack_samplers() noexcept { return stackman_; }
   [[nodiscard]] FootprintTracker& footprints() noexcept { return fptracker_; }
   [[nodiscard]] MigrationEngine& migration() noexcept { return migration_; }
@@ -84,6 +85,12 @@ class Djvm final : public Gos::Hooks {
 
   /// Drains interval records from the GOS into the correlation daemon.
   void pump_daemon();
+
+  /// The per-epoch governor pump: drains records, assembles the epoch's
+  /// overhead sample from GOS/network/clock deltas since the previous pump,
+  /// and runs one daemon epoch under the governor.  Call once per epoch
+  /// (e.g. after each barrier round).
+  EpochResult run_governed_epoch();
 
   /// Stack-invariant refs of `t` right now (topmost first).
   [[nodiscard]] std::vector<ObjectId> invariants(ThreadId t) const {
@@ -132,6 +139,15 @@ class Djvm final : public Gos::Hooks {
   std::vector<IntervalObserver> interval_observers_;
   std::vector<std::vector<ObjectId>> last_invariants_;
   SimTime stack_sampling_sim_cost_ = 0;
+
+  /// Counters at the previous run_governed_epoch, for per-epoch deltas.
+  struct PumpSnapshot {
+    std::uint64_t oal_entries = 0;
+    std::uint64_t footprint_touches = 0;
+    std::uint64_t oal_send_ns = 0;
+    SimTime thread_sim_total = 0;
+    SimTime stack_cost = 0;
+  } pump_snapshot_;
 };
 
 }  // namespace djvm

@@ -8,11 +8,6 @@
 namespace djvm {
 
 namespace {
-/// Simulated cost of the GOS service routine handling a correlation-fault
-/// (log + cancel false-invalid), with no network involved.
-constexpr SimTime kLogServiceCost = 120;
-/// Simulated cost of a footprinting re-arm touch (service entry only).
-constexpr SimTime kFootprintServiceCost = 80;
 /// Allocation bookkeeping cost.
 constexpr SimTime kAllocCost = 60;
 /// Per-request fixed bytes of a fetch request / control message payload.
@@ -272,6 +267,7 @@ void Gos::close_interval(ThreadId t, NodeId sync_dest) {
           {ts.node, coordinator_, MsgCategory::kOal, rec.wire_bytes(), piggy});
       ts.clock.advance(dt);
       ++stats_.oal_messages;
+      stats_.oal_send_ns += dt;
     }
     records_.push_back(std::move(rec));
   } else {

@@ -33,6 +33,14 @@
 
 namespace djvm {
 
+/// Simulated cost of the GOS service routine handling a correlation-fault
+/// (log + cancel false-invalid), with no network involved.  Public so the
+/// governor's pump hook can convert `ProtocolStats::oal_entries` deltas
+/// back into the CPU time the GOS charged for them.
+inline constexpr SimTime kLogServiceCost = 120;
+/// Simulated cost of a footprinting re-arm touch (service entry only).
+inline constexpr SimTime kFootprintServiceCost = 80;
+
 /// Repeated-tracking observation for one object within one interval: how
 /// many distinct re-arm ticks (ticks advance every Config::footprint_rearm
 /// of simulated time) the thread touched it at.  Objects touched at >= 2

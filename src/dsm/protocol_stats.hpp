@@ -22,6 +22,10 @@ struct ProtocolStats {
   // profiling activity
   std::uint64_t oal_entries = 0;       ///< access-log events (O1 cost driver)
   std::uint64_t oal_messages = 0;      ///< interval records shipped
+  /// Simulated nanoseconds Network::send actually charged to thread clocks
+  /// for shipping OALs (includes latency/piggyback/local-delivery effects a
+  /// flat bytes-per-second model misses; the governor's pump hook uses it).
+  std::uint64_t oal_send_ns = 0;
   std::uint64_t footprint_touches = 0; ///< repeated-tracking service entries
   std::uint64_t stack_samples = 0;     ///< stack sampler invocations
 

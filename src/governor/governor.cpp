@@ -1,0 +1,287 @@
+#include "governor/governor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/klass.hpp"
+
+namespace djvm {
+
+Governor::Governor(SamplingPlan& plan, GovernorConfig cfg)
+    : plan_(plan), cfg_(cfg), meter_(cfg.costs, cfg.meter_window) {}
+
+void Governor::reset_controller_state(GovernorState state) {
+  meter_ = OverheadMeter(cfg_.costs, cfg_.meter_window);
+  state_ = state;
+  epochs_ = 0;
+  rearms_ = 0;
+  grace_ = 0;
+  converged_gaps_.clear();
+}
+
+void Governor::arm(GovernorConfig cfg) {
+  // Keep the runtime within the same bounds the snapshot decoder enforces
+  // (a shift >= 64 would be UB in enter_sentinel; 32..63 would produce
+  // snapshots the same build then refuses to load).
+  cfg.sentinel_coarsen_shifts = std::min<std::uint32_t>(cfg.sentinel_coarsen_shifts, 31);
+  cfg.max_nominal_gap = std::max<std::uint32_t>(cfg.max_nominal_gap, 1);
+  cfg_ = cfg;
+  mode_ = GovernorMode::kClosedLoop;
+  reset_controller_state(GovernorState::kAdapting);
+}
+
+void Governor::arm_legacy(double threshold) {
+  cfg_.distance_threshold = threshold;
+  mode_ = GovernorMode::kLegacyOneWay;
+  reset_controller_state(GovernorState::kAdapting);
+}
+
+void Governor::disarm() {
+  // Keeps the terminal state: the seed API reported converged() == true
+  // even after adaptation was switched off, and callers freeze-then-poll.
+  mode_ = GovernorMode::kDisarmed;
+}
+
+void Governor::reset() {
+  switch (mode_) {
+    case GovernorMode::kDisarmed:
+      // Unlike disarm() (freeze: terminal state stays pollable), a reset
+      // discards convergence progress and measurements even when nothing
+      // is armed — symmetric with the armed branches re-arming below.
+      reset_controller_state(GovernorState::kIdle);
+      break;
+    case GovernorMode::kLegacyOneWay:
+      arm_legacy(cfg_.distance_threshold);
+      break;
+    case GovernorMode::kClosedLoop:
+      arm(cfg_);
+      break;
+  }
+}
+
+Governor::EpochOutcome Governor::on_epoch(std::optional<double> rel_distance,
+                                          const OverheadSample& sample) {
+  meter_.record(sample);
+  ++epochs_;
+  switch (mode_) {
+    case GovernorMode::kDisarmed: {
+      EpochOutcome out;
+      out.overhead_fraction = meter_.rolling_fraction();
+      return out;
+    }
+    case GovernorMode::kLegacyOneWay:
+      return legacy_step(rel_distance);
+    case GovernorMode::kClosedLoop:
+      // An unmeasured sample (standalone daemon, no pump hook) carries no
+      // app time: the overhead fraction is meaningless, so budget
+      // enforcement is suspended and only distance-driven decisions run.
+      return closed_loop_step(rel_distance, sample.measured);
+  }
+  return {};
+}
+
+Governor::EpochOutcome Governor::legacy_step(std::optional<double> rel_distance) {
+  EpochOutcome out;
+  out.overhead_fraction = meter_.rolling_fraction();
+  if (state_ != GovernorState::kAdapting || !rel_distance.has_value()) return out;
+  if (*rel_distance > cfg_.distance_threshold) {
+    bool any = false;
+    out.resampled_objects = tighten(any);
+    if (any) {
+      out.rate_changed = true;
+      out.action = GovernorAction::kTighten;
+    } else {
+      state_ = GovernorState::kConverged;  // everything already at full sampling
+      out.action = GovernorAction::kConverge;
+    }
+  } else {
+    state_ = GovernorState::kConverged;
+    out.action = GovernorAction::kConverge;
+  }
+  return out;
+}
+
+Governor::EpochOutcome Governor::closed_loop_step(std::optional<double> rel_distance,
+                                                  bool budget_known) {
+  EpochOutcome out;
+  const double frac = meter_.rolling_fraction();
+  out.overhead_fraction = frac;
+  const double hi = cfg_.overhead_budget * (1.0 + cfg_.hysteresis);
+  const double lo = cfg_.overhead_budget * (1.0 - cfg_.hysteresis);
+
+  // Phase detection: a distance spike while watching the sentinel means the
+  // workload's sharing structure changed — restore the converged rates and
+  // re-enter full adaptation.  The grace epoch skips the spurious spike the
+  // sentinel's own rate change induces right after convergence.
+  if (state_ == GovernorState::kSentinel && rel_distance.has_value()) {
+    if (grace_ > 0) {
+      --grace_;
+    } else if (*rel_distance >
+               cfg_.phase_spike_factor * cfg_.distance_threshold) {
+      out.resampled_objects = restore_converged_gaps();
+      state_ = GovernorState::kAdapting;
+      ++rearms_;
+      out.rate_changed = out.resampled_objects > 0;
+      out.action = GovernorAction::kRearm;
+      return out;
+    }
+  }
+
+  // Budget enforcement wins over accuracy chasing — except against a phase
+  // spike, which returned above: a stale map misdirects the balancer, so
+  // re-arming is worth one more expensive epoch before the budget reins the
+  // restored rates back in.  The latest epoch must also be over the bound:
+  // the rolling window lags, and
+  // repeating the back-off while only a past spike keeps the window high
+  // would over-coarsen well past the budget.  Coarsening can only shrink
+  // the *reducible* share (entry CPU, wire, resampling) — if the overshoot
+  // comes from rate-independent costs (stack-sampling timers), backing off
+  // further would destroy the correlation map without restoring the
+  // budget, so the back-off stops once the reducible share is negligible.
+  const double reducible = meter_.rolling_reducible_fraction();
+  if (budget_known && frac > hi && meter_.epoch_fraction() > hi &&
+      reducible > 0.1 * cfg_.overhead_budget) {
+    const double fixed_share = std::isfinite(frac) ? frac - reducible : 0.0;
+    const double headroom = std::max(0.0, cfg_.overhead_budget - fixed_share);
+    const double shrink = std::isfinite(reducible) && reducible > 0.0
+                              ? headroom / reducible
+                              : 0.0;
+    out.resampled_objects = back_off(shrink);
+    if (out.resampled_objects > 0) {
+      // The rate change itself moves the next map; in sentinel that must
+      // not read as a phase change (same reason enter_sentinel sets grace).
+      if (state_ == GovernorState::kSentinel) grace_ = 1;
+      out.rate_changed = true;
+      out.action = GovernorAction::kBackOff;
+      return out;
+    }
+  }
+
+  if (state_ == GovernorState::kAdapting && rel_distance.has_value()) {
+    if (*rel_distance <= cfg_.distance_threshold) {
+      capture_converged_gaps();
+      out.resampled_objects = enter_sentinel();
+      out.rate_changed = out.resampled_objects > 0;
+      out.action = GovernorAction::kConverge;
+    } else if (!budget_known || frac < lo) {
+      bool any = false;
+      out.resampled_objects = tighten(any);
+      if (any) {
+        out.rate_changed = true;
+        out.action = GovernorAction::kTighten;
+      } else {
+        // Full sampling everywhere and the map still moves: the workload is
+        // inherently noisy at this rate; settle into the sentinel watch.
+        capture_converged_gaps();
+        out.resampled_objects = enter_sentinel();
+        out.rate_changed = out.resampled_objects > 0;
+        out.action = GovernorAction::kConverge;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t Governor::back_off(double shrink_to) {
+  struct Candidate {
+    ClassId id;
+    double score;  ///< estimated shared bytes per logged entry (benefit/cost)
+    std::uint64_t entries;
+  };
+  const std::vector<ClassEpochStats>& stats = plan_.epoch_stats();
+  std::vector<Candidate> candidates;
+  double total_entries = 0.0;
+  for (const Klass& k : plan_.heap().registry().all()) {
+    const std::size_t idx = static_cast<std::size_t>(k.id);
+    if (idx >= stats.size() || stats[idx].entries == 0) continue;
+    total_entries += static_cast<double>(stats[idx].entries);
+    if (k.sampling.nominal_gap >= cfg_.max_nominal_gap) continue;
+    candidates.push_back({k.id,
+                          static_cast<double>(stats[idx].estimated_bytes) /
+                              static_cast<double>(stats[idx].entries),
+                          stats[idx].entries});
+  }
+  if (candidates.empty() || total_entries <= 0.0) return 0;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score != b.score ? a.score < b.score : a.id < b.id;
+            });
+  // Doubling a class's gap roughly halves its future entry cost.  Coarsen
+  // worst-scored classes (at most one doubling each per epoch, to keep the
+  // loop stable) until the projected cost fits the budget.
+  const double target = std::clamp(shrink_to, 0.0, 1.0) * total_entries;
+  double projected = total_entries;
+  std::vector<ClassId> changed;
+  for (const Candidate& c : candidates) {
+    if (projected <= target) break;
+    const std::uint64_t doubled =
+        2ull * plan_.heap().registry().at(c.id).sampling.nominal_gap;
+    plan_.set_nominal_gap(c.id, static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                                    doubled, cfg_.max_nominal_gap)));
+    changed.push_back(c.id);
+    projected -= static_cast<double>(c.entries) / 2.0;
+  }
+  return plan_.resample_classes(changed);
+}
+
+std::size_t Governor::tighten(bool& any) {
+  std::vector<ClassId> changed;
+  for (Klass& k : plan_.heap().registry().all()) {
+    if (k.sampling.nominal_gap > 1) {
+      plan_.halve_gap(k.id);
+      changed.push_back(k.id);
+    }
+  }
+  any = !changed.empty();
+  return plan_.resample_classes(changed);
+}
+
+void Governor::capture_converged_gaps() {
+  const std::vector<Klass>& all = plan_.heap().registry().all();
+  converged_gaps_.assign(all.size(), 0);  // 0 = not captured
+  for (const Klass& k : all) {
+    // A class with no rate assigned yet (registered, nothing allocated)
+    // has a placeholder gap, not a converged one.
+    if (!k.sampling.initialized) continue;
+    converged_gaps_[static_cast<std::size_t>(k.id)] = k.sampling.nominal_gap;
+  }
+}
+
+std::size_t Governor::enter_sentinel() {
+  state_ = GovernorState::kSentinel;
+  grace_ = 1;
+  std::vector<ClassId> changed;
+  for (const Klass& k : plan_.heap().registry().all()) {
+    // Never-rated classes must stay uninitialized so their first allocation
+    // still inherits the cluster default rate (set_nominal_gap would mark
+    // them initialized and pin the placeholder gap).
+    if (!k.sampling.initialized) continue;
+    const std::uint64_t coarse = static_cast<std::uint64_t>(k.sampling.nominal_gap)
+                                 << cfg_.sentinel_coarsen_shifts;
+    const auto next = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(coarse, cfg_.max_nominal_gap));
+    if (next != k.sampling.nominal_gap) {
+      plan_.set_nominal_gap(k.id, next);
+      changed.push_back(k.id);
+    }
+  }
+  return plan_.resample_classes(changed);
+}
+
+std::size_t Governor::restore_converged_gaps() {
+  std::vector<ClassId> changed;
+  for (const Klass& k : plan_.heap().registry().all()) {
+    const std::size_t idx = static_cast<std::size_t>(k.id);
+    // 0 = never captured (class registered after convergence, or absent
+    // from a decoded snapshot): leave its current gap alone rather than
+    // clamping it to full sampling.
+    if (idx >= converged_gaps_.size() || converged_gaps_[idx] == 0) continue;
+    if (k.sampling.nominal_gap != converged_gaps_[idx]) {
+      plan_.set_nominal_gap(k.id, converged_gaps_[idx]);
+      changed.push_back(k.id);
+    }
+  }
+  return plan_.resample_classes(changed);
+}
+
+}  // namespace djvm

@@ -1,0 +1,174 @@
+// Closed-loop profiling governor (the feedback controller the paper's
+// Section II.B.2 convergence loop grows into).
+//
+// The seed's CorrelationDaemon only ratchets rates *up* — halve gaps until
+// successive TCMs agree — and then freezes forever, so a workload phase
+// change after convergence silently profiles the wrong correlation map at
+// the wrong cost.  The governor replaces that with a hysteresis controller
+// supervising the whole profiling stack:
+//
+//  * over budget   -> double gaps on the classes with the worst
+//                     benefit/cost score (fewest estimated shared bytes per
+//                     logged entry) until the projected entry cost fits;
+//  * under budget  -> while the TCM is still moving (relative ABS distance
+//                     above threshold), halve every class's gap — the
+//                     paper's convergence loop, now budget-gated;
+//  * converged     -> instead of freezing, coarsen to a cheap *sentinel*
+//                     rate and keep watching: a TCM-distance spike
+//                     (phase change) restores the converged gaps and
+//                     re-arms full adaptation.
+//
+// A legacy mode reproduces the seed daemon's one-way rate decisions
+// (halve-all-until-agreement, then freeze), so
+// CorrelationDaemon::enable_adaptation stays a thin forwarding shim.  One
+// deliberate accounting difference: resampled-object counts now report only
+// objects of classes whose gap actually moved, where the seed revisited the
+// whole heap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "governor/overhead_meter.hpp"
+#include "profiling/sampling.hpp"
+
+namespace djvm {
+
+/// How the governor is driving the sampling plan.
+enum class GovernorMode : std::uint8_t {
+  kDisarmed,    ///< passive: epochs are observed but rates never change
+  kLegacyOneWay,///< seed behaviour: tighten-only, freeze on convergence
+  kClosedLoop,  ///< budgeted bidirectional control with phase detection
+};
+
+/// Controller state (kConverged is terminal only in legacy mode).
+enum class GovernorState : std::uint8_t {
+  kIdle,       ///< disarmed / before the first epoch
+  kAdapting,   ///< chasing convergence under the budget
+  kConverged,  ///< legacy terminal state
+  kSentinel,   ///< converged; watching a cheap sentinel rate for phase change
+};
+
+/// What the governor did this epoch (one action per epoch keeps the loop
+/// stable; the hysteresis dead-band prevents tighten/back-off oscillation).
+enum class GovernorAction : std::uint8_t {
+  kNone,
+  kTighten,   ///< halved gaps (rate up)
+  kBackOff,   ///< doubled gaps on worst benefit/cost classes (rate down)
+  kConverge,  ///< distance under threshold; entered sentinel (or froze, legacy)
+  kRearm,     ///< phase change detected; restored converged gaps, re-adapting
+};
+
+struct GovernorConfig {
+  /// Overhead budget as a fraction of application time (0.02 = 2%).
+  double overhead_budget = 0.02;
+  /// Convergence threshold on relative ABS distance between epoch TCMs.
+  double distance_threshold = 0.05;
+  /// Dead-band half-width around the budget: tighten only below
+  /// budget*(1-hysteresis), back off only above budget*(1+hysteresis).
+  double hysteresis = 0.25;
+  /// A relative distance above phase_spike_factor * distance_threshold
+  /// while in sentinel re-arms full adaptation.
+  double phase_spike_factor = 3.0;
+  /// Gap doublings applied when entering sentinel (2 -> 4x coarser watch).
+  std::uint32_t sentinel_coarsen_shifts = 2;
+  /// Nominal gaps never exceed this (keeps the sentinel observable).
+  std::uint32_t max_nominal_gap = 1u << 16;
+  /// Rolling window (epochs) of the overhead meter.
+  std::size_t meter_window = 4;
+  OverheadCosts costs{};
+};
+
+class Governor {
+ public:
+  explicit Governor(SamplingPlan& plan, GovernorConfig cfg = {});
+
+  // --- arming ---------------------------------------------------------------
+  /// Closed-loop control under `cfg`.  Re-arming resets controller state
+  /// and restarts the overhead meter (the new config may change its cost
+  /// model or window).
+  void arm(GovernorConfig cfg);
+  /// Seed-compatible one-way convergence at `threshold` (the
+  /// CorrelationDaemon::enable_adaptation shim lands here).
+  void arm_legacy(double threshold);
+  void disarm();
+  /// Re-arms in the current mode with the current config, discarding
+  /// convergence progress (the daemon's clear() path); no-op when disarmed.
+  void reset();
+
+  [[nodiscard]] GovernorMode mode() const noexcept { return mode_; }
+  [[nodiscard]] GovernorState state() const noexcept { return state_; }
+  [[nodiscard]] bool armed() const noexcept { return mode_ != GovernorMode::kDisarmed; }
+  /// True once the TCM has settled (legacy kConverged or sentinel watch).
+  [[nodiscard]] bool converged() const noexcept {
+    return state_ == GovernorState::kConverged || state_ == GovernorState::kSentinel;
+  }
+
+  // --- the per-epoch control step -------------------------------------------
+  struct EpochOutcome {
+    GovernorAction action = GovernorAction::kNone;
+    bool rate_changed = false;
+    std::size_t resampled_objects = 0;
+    /// Rolling overhead fraction after folding in this epoch's sample.
+    double overhead_fraction = 0.0;
+  };
+
+  /// Called once per daemon epoch with the TCM movement (nullopt on the
+  /// first epoch) and the epoch's measured costs.  Per-class benefit/cost
+  /// inputs are read from the plan's epoch stats (see
+  /// SamplingPlan::epoch_stats), which the daemon refreshes before calling.
+  EpochOutcome on_epoch(std::optional<double> rel_distance,
+                        const OverheadSample& sample);
+
+  // --- observability ---------------------------------------------------------
+  [[nodiscard]] OverheadMeter& meter() noexcept { return meter_; }
+  [[nodiscard]] const OverheadMeter& meter() const noexcept { return meter_; }
+  [[nodiscard]] const GovernorConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t epochs_seen() const noexcept { return epochs_; }
+  [[nodiscard]] std::size_t rearms() const noexcept { return rearms_; }
+  /// Nominal gaps captured at the moment of convergence, indexed by
+  /// ClassId (empty before first convergence; 0 marks a class that was not
+  /// registered when the capture ran).
+  [[nodiscard]] const std::vector<std::uint32_t>& converged_gaps() const noexcept {
+    return converged_gaps_;
+  }
+
+  [[nodiscard]] SamplingPlan& plan() noexcept { return plan_; }
+  [[nodiscard]] const SamplingPlan& plan() const noexcept { return plan_; }
+
+ private:
+  friend struct SnapshotAccess;  // snapshot.cpp (de)serializes private state
+
+  /// Restarts the meter and wipes convergence progress; every (re)arm path
+  /// and the disarmed reset() branch funnel through here.
+  void reset_controller_state(GovernorState state);
+  EpochOutcome legacy_step(std::optional<double> rel_distance);
+  EpochOutcome closed_loop_step(std::optional<double> rel_distance,
+                                bool budget_known);
+
+  /// Doubles gaps on the worst benefit/cost classes until the projected
+  /// per-entry cost fits `shrink_to` (fraction of current cost to keep).
+  std::size_t back_off(double shrink_to);
+  /// Halves every class's gap (clamped at full sampling).  Returns objects
+  /// resampled; sets `any` when at least one gap moved.
+  std::size_t tighten(bool& any);
+  void capture_converged_gaps();
+  std::size_t enter_sentinel();
+  std::size_t restore_converged_gaps();
+
+  SamplingPlan& plan_;
+  GovernorConfig cfg_;
+  OverheadMeter meter_;
+  GovernorMode mode_ = GovernorMode::kDisarmed;
+  GovernorState state_ = GovernorState::kIdle;
+  std::size_t epochs_ = 0;
+  std::size_t rearms_ = 0;
+  /// Spike checks skipped after a sentinel-entry rate change (the coarser
+  /// rate itself moves the map once; that is not a phase change).
+  std::size_t grace_ = 0;
+  std::vector<std::uint32_t> converged_gaps_;
+};
+
+}  // namespace djvm

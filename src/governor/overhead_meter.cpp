@@ -1,0 +1,79 @@
+#include "governor/overhead_meter.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace djvm {
+
+OverheadMeter::OverheadMeter(OverheadCosts costs, std::size_t window)
+    : costs_(costs), window_(std::max<std::size_t>(1, window)) {
+  ring_.resize(window_);
+}
+
+namespace {
+double reducible_seconds(const OverheadSample& sample, const OverheadCosts& costs) {
+  return sample.access_check_seconds +
+         static_cast<double>(sample.wire_bytes) * costs.seconds_per_wire_byte +
+         static_cast<double>(sample.resampled_objects) *
+             costs.seconds_per_resampled_object +
+         costs.coordinator_weight * sample.build_seconds;
+}
+}  // namespace
+
+double OverheadMeter::profiling_seconds(const OverheadSample& sample) const {
+  return reducible_seconds(sample, costs_) + sample.fixed_seconds;
+}
+
+void OverheadMeter::record(const OverheadSample& sample) {
+  Entry& e = ring_[next_];
+  e.app_seconds = sample.app_seconds;
+  e.reducible_seconds = reducible_seconds(sample, costs_);
+  e.fixed_seconds = sample.fixed_seconds;
+  e.build_seconds = sample.build_seconds;
+  next_ = (next_ + 1) % window_;
+  filled_ = std::min(filled_ + 1, window_);
+  ++epochs_;
+}
+
+namespace {
+double fraction(double prof, double app) {
+  if (app > 0.0) return prof / app;
+  if (prof > 0.0) return std::numeric_limits<double>::infinity();
+  return 0.0;
+}
+}  // namespace
+
+double OverheadMeter::epoch_fraction() const {
+  if (filled_ == 0) return 0.0;
+  const Entry& e = ring_[(next_ + window_ - 1) % window_];
+  return fraction(e.reducible_seconds + e.fixed_seconds, e.app_seconds);
+}
+
+double OverheadMeter::rolling_fraction() const {
+  double prof = 0.0, app = 0.0;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    prof += ring_[i].reducible_seconds + ring_[i].fixed_seconds;
+    app += ring_[i].app_seconds;
+  }
+  return fraction(prof, app);
+}
+
+double OverheadMeter::rolling_reducible_fraction() const {
+  double prof = 0.0, app = 0.0;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    prof += ring_[i].reducible_seconds;
+    app += ring_[i].app_seconds;
+  }
+  return fraction(prof, app);
+}
+
+double OverheadMeter::coordinator_fraction() const {
+  double build = 0.0, app = 0.0;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    build += ring_[i].build_seconds;
+    app += ring_[i].app_seconds;
+  }
+  return fraction(build, app);
+}
+
+}  // namespace djvm

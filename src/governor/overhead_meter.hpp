@@ -1,0 +1,114 @@
+// Rolling profiling-overhead meter for the closed-loop governor.
+//
+// The profiling stack's costs are scattered across subsystems: the GOS
+// charges access-check and OAL log-service time to thread clocks, the
+// network bills OAL wire bytes (kOalEntryWireBytes per entry plus the
+// interval header), the daemon measures real TCM build seconds, and every
+// rate change pays a heap-wide resampling pass.  The meter folds one
+// `OverheadSample` per daemon epoch into a rolling window and reports the
+// overhead *fraction* — profiling seconds per application second — that the
+// governor compares against its operator-set budget.
+//
+// Worker-side costs (access checks, wire transfer, resampling) execute on
+// the nodes running application threads and count fully.  Coordinator-side
+// TCM build time runs on a dedicated machine in the paper's setup, so it is
+// reported separately and folded in under a configurable weight
+// (default 0: the paper's "does not add to execution time" assumption).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace djvm {
+
+/// Per-epoch cost observations, assembled by the Djvm pump hook (or by the
+/// daemon itself from the records when running standalone).
+struct OverheadSample {
+  /// True when a pump hook measured worker-side costs directly.  When false
+  /// (standalone daemon use) wire bytes are derived from the epoch's
+  /// records; such samples are observational only — with no measured app
+  /// time the governor suspends budget enforcement on them.
+  bool measured = false;
+  /// Application progress this epoch: summed per-thread simulated seconds,
+  /// with the profiling costs charged to thread clocks subtracted back out
+  /// (so the fraction is profiling per *application* second, not
+  /// profiling/(app+profiling)).
+  double app_seconds = 0.0;
+  /// Worker CPU in *rate-dependent* profiling paths this epoch (OAL log
+  /// service, footprint re-arm touches) — reducible by coarsening gaps.
+  double access_check_seconds = 0.0;
+  /// Worker CPU in *rate-independent* profiling this epoch (stack-sampling
+  /// timers): part of the budgeted fraction, but coarsening sampling gaps
+  /// cannot reduce it, so the back-off controller must not chase it.
+  double fixed_seconds = 0.0;
+  /// Coordinator CPU spent building the TCM this epoch (real seconds).
+  double build_seconds = 0.0;
+  /// OAL payload shipped to the coordinator this epoch.
+  std::uint64_t wire_bytes = 0;
+  /// Objects visited by resampling passes triggered last epoch.
+  std::uint64_t resampled_objects = 0;
+};
+
+/// Conversion constants from event counts to seconds, calibrated to the
+/// simulated testbed (see SimCosts: Fast Ethernet, 120 ns log service).
+struct OverheadCosts {
+  /// Wire seconds per OAL payload byte (12.5 MB/s Fast Ethernet).
+  double seconds_per_wire_byte = 80e-9;
+  /// Seconds per object visited in a resampling pass (sampled-bit
+  /// recompute: one registry lookup + modulo).
+  double seconds_per_resampled_object = 15e-9;
+  /// Weight of coordinator build seconds in the budgeted fraction (0 = the
+  /// paper's dedicated-machine assumption).
+  double coordinator_weight = 0.0;
+};
+
+/// Rolling window of per-epoch overhead samples.
+class OverheadMeter {
+ public:
+  explicit OverheadMeter(OverheadCosts costs = {}, std::size_t window = 4);
+
+  void record(const OverheadSample& sample);
+
+  /// Budgeted profiling seconds implied by one sample under the cost model.
+  [[nodiscard]] double profiling_seconds(const OverheadSample& sample) const;
+
+  /// Overhead fraction of the most recent epoch alone.
+  [[nodiscard]] double epoch_fraction() const;
+
+  /// Overhead fraction over the rolling window:
+  /// sum(profiling seconds) / sum(app seconds).  Returns +inf when
+  /// profiling cost was observed but no application progress was (an epoch
+  /// pumped with no app work is by definition all overhead).
+  [[nodiscard]] double rolling_fraction() const;
+
+  /// The rate-dependent share of rolling_fraction(): what gap coarsening
+  /// can actually reduce (entry CPU + wire + resampling + weighted build);
+  /// excludes OverheadSample::fixed_seconds.
+  [[nodiscard]] double rolling_reducible_fraction() const;
+
+  /// Coordinator-side fraction over the window (reported, not budgeted
+  /// unless coordinator_weight > 0).
+  [[nodiscard]] double coordinator_fraction() const;
+
+  [[nodiscard]] std::size_t epochs() const noexcept { return epochs_; }
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+  [[nodiscard]] const OverheadCosts& costs() const noexcept { return costs_; }
+
+ private:
+  struct Entry {
+    double app_seconds = 0.0;
+    double reducible_seconds = 0.0;  ///< shrinks when gaps coarsen
+    double fixed_seconds = 0.0;      ///< rate-independent profiling CPU
+    double build_seconds = 0.0;
+  };
+
+  OverheadCosts costs_;
+  std::size_t window_;
+  std::vector<Entry> ring_;
+  std::size_t next_ = 0;
+  std::size_t filled_ = 0;
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace djvm

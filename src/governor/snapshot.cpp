@@ -1,0 +1,224 @@
+#include "governor/snapshot.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "runtime/klass.hpp"
+
+namespace djvm {
+
+namespace {
+
+void put_bytes(std::vector<std::uint8_t>& out, const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  out.insert(out.end(), b, b + n);
+}
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_bytes(out, &v, sizeof(T));
+}
+
+/// Bounds-checked sequential reader.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool get(T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > bytes_.size()) return false;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+/// Friend of Governor: the only place private controller state crosses the
+/// serialization boundary.
+struct SnapshotAccess {
+  static void encode(const Governor& gov, const SquareMatrix& tcm,
+                     std::vector<std::uint8_t>& out) {
+    put<std::uint32_t>(out, kSnapshotMagic);
+    put<std::uint32_t>(out, kSnapshotVersion);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(gov.mode_));
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(gov.state_));
+    put<std::uint16_t>(out, 0);
+    put<double>(out, gov.cfg_.overhead_budget);
+    put<double>(out, gov.cfg_.distance_threshold);
+    put<double>(out, gov.cfg_.hysteresis);
+    put<double>(out, gov.cfg_.phase_spike_factor);
+    put<std::uint32_t>(out, gov.cfg_.sentinel_coarsen_shifts);
+    put<std::uint32_t>(out, gov.cfg_.max_nominal_gap);
+    put<std::uint64_t>(out, gov.epochs_);
+    put<std::uint64_t>(out, gov.rearms_);
+
+    const std::vector<Klass>& all = gov.plan_.heap().registry().all();
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(all.size()));
+    for (const Klass& k : all) {
+      put<std::uint32_t>(out, k.id);
+      put<std::uint32_t>(out, k.sampling.nominal_gap);
+      put<std::uint32_t>(out, k.sampling.real_gap);
+      const std::size_t idx = static_cast<std::size_t>(k.id);
+      put<std::uint32_t>(out, idx < gov.converged_gaps_.size()
+                                  ? gov.converged_gaps_[idx]
+                                  : 0u);
+      put<std::uint32_t>(out, k.sampling.initialized ? 1u : 0u);
+    }
+
+    put<std::uint64_t>(out, tcm.size());
+    for (double v : tcm.raw()) put<double>(out, v);
+  }
+
+  static bool decode(const std::vector<std::uint8_t>& bytes, Governor& gov,
+                     SquareMatrix& tcm) {
+    Reader r(bytes);
+    std::uint32_t magic = 0, version = 0;
+    if (!r.get(magic) || magic != kSnapshotMagic) return false;
+    if (!r.get(version) || version != kSnapshotVersion) return false;
+
+    std::uint8_t mode = 0, state = 0;
+    std::uint16_t reserved = 0;
+    GovernorConfig cfg = gov.cfg_;  // meter costs/window stay machine-local
+    std::uint64_t epochs = 0, rearms = 0;
+    if (!r.get(mode) || !r.get(state) || !r.get(reserved)) return false;
+    if (!r.get(cfg.overhead_budget) || !r.get(cfg.distance_threshold) ||
+        !r.get(cfg.hysteresis) || !r.get(cfg.phase_spike_factor) ||
+        !r.get(cfg.sentinel_coarsen_shifts) || !r.get(cfg.max_nominal_gap) ||
+        !r.get(epochs) || !r.get(rearms)) {
+      return false;
+    }
+    if (mode > static_cast<std::uint8_t>(GovernorMode::kClosedLoop) ||
+        state > static_cast<std::uint8_t>(GovernorState::kSentinel)) {
+      return false;
+    }
+    // Armed modes only ever produce specific states; an inconsistent pair
+    // (e.g. closed loop + kConverged, which closed_loop_step never leaves)
+    // would wedge the restored controller.  Disarmed governors may carry
+    // any terminal state for reporting.
+    const auto gm = static_cast<GovernorMode>(mode);
+    const auto gs = static_cast<GovernorState>(state);
+    if (gm == GovernorMode::kLegacyOneWay && gs != GovernorState::kAdapting &&
+        gs != GovernorState::kConverged) {
+      return false;
+    }
+    if (gm == GovernorMode::kClosedLoop && gs != GovernorState::kAdapting &&
+        gs != GovernorState::kSentinel) {
+      return false;
+    }
+    // Config corruption that survives the structural checks would wedge the
+    // controller (NaN budget disables every comparison; max gap 0 inverts
+    // the sentinel): reject anything outside sane ranges.
+    const auto sane = [](double v) { return std::isfinite(v) && v >= 0.0; };
+    if (!sane(cfg.overhead_budget) || !sane(cfg.distance_threshold) ||
+        !sane(cfg.hysteresis) || !sane(cfg.phase_spike_factor) ||
+        cfg.max_nominal_gap == 0 || cfg.sentinel_coarsen_shifts > 31) {
+      return false;
+    }
+
+    std::uint32_t class_count = 0;
+    if (!r.get(class_count)) return false;
+    struct ClassGap {
+      ClassId id;
+      std::uint32_t nominal, real, converged, flags;
+    };
+    // A corrupt count must be rejected before it sizes an allocation.
+    if (static_cast<std::uint64_t>(class_count) * (5 * sizeof(std::uint32_t)) >
+        r.remaining()) {
+      return false;
+    }
+    std::vector<ClassGap> gaps(class_count);
+    const KlassRegistry& reg = gov.plan_.heap().registry();
+    for (ClassGap& g : gaps) {
+      if (!r.get(g.id) || !r.get(g.nominal) || !r.get(g.real) ||
+          !r.get(g.converged) || !r.get(g.flags)) {
+        return false;
+      }
+      if (static_cast<std::size_t>(g.id) >= reg.size()) return false;
+      // A rated class with a zero gap field would silently flip to full
+      // sampling on load (gap 0 clamps/behaves as 1): corruption, reject.
+      if ((g.flags & 1u) != 0 && (g.nominal == 0 || g.real == 0)) return false;
+    }
+
+    std::uint64_t n = 0;
+    if (!r.get(n)) return false;
+    if (n != 0 && (n > r.remaining() / sizeof(double) / n)) return false;
+    SquareMatrix m(static_cast<std::size_t>(n));
+    for (double& v : m.raw()) {
+      if (!r.get(v)) return false;
+    }
+    if (!r.exhausted()) return false;
+
+    // All validation passed: apply.
+    gov.cfg_ = cfg;
+    gov.mode_ = static_cast<GovernorMode>(mode);
+    gov.state_ = static_cast<GovernorState>(state);
+    gov.epochs_ = static_cast<std::size_t>(epochs);
+    gov.rearms_ = static_cast<std::size_t>(rearms);
+    // A restored sentinel gets a grace epoch: the warm-started workload's
+    // first map will differ from the stored one without that being a phase
+    // change.
+    gov.grace_ = gov.state_ == GovernorState::kSentinel ? 1 : 0;
+    gov.converged_gaps_.assign(reg.size(), 0);  // 0 = not captured
+    for (const ClassGap& g : gaps) {
+      // A class that never had a rate assigned keeps its placeholder gaps
+      // and, crucially, its uninitialized flag, so its first allocation in
+      // the warm-started run still inherits the cluster default rate.
+      if ((g.flags & 1u) != 0) {
+        gov.plan_.set_nominal_gap(g.id, g.nominal);
+        // Apply the *stored* real gap rather than trusting the recompute:
+        // bit-exactness must survive a future change to the nominal->prime
+        // mapping (tie-breaking, say) between writer and reader builds.
+        gov.plan_.heap().registry().at(g.id).sampling.real_gap = g.real;
+      }
+      gov.converged_gaps_[static_cast<std::size_t>(g.id)] = g.converged;
+    }
+    gov.plan_.resample_all();
+    tcm = std::move(m);
+    return true;
+  }
+};
+
+std::vector<std::uint8_t> encode_snapshot(const Governor& gov,
+                                          const SquareMatrix& tcm) {
+  std::vector<std::uint8_t> out;
+  SnapshotAccess::encode(gov, tcm, out);
+  return out;
+}
+
+bool decode_snapshot(const std::vector<std::uint8_t>& bytes, Governor& gov,
+                     SquareMatrix& tcm) {
+  return SnapshotAccess::decode(bytes, gov, tcm);
+}
+
+bool save_snapshot(const std::string& path, const Governor& gov,
+                   const SquareMatrix& tcm) {
+  const std::vector<std::uint8_t> bytes = encode_snapshot(gov, tcm);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(f);
+}
+
+bool load_snapshot(const std::string& path, Governor& gov, SquareMatrix& tcm) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  return decode_snapshot(bytes, gov, tcm);
+}
+
+}  // namespace djvm

@@ -1,0 +1,60 @@
+// Binary profile snapshots: governor state + converged TCM + per-class gaps.
+//
+// A restarted run pays the full convergence ramp again — epochs of
+// over-sampling (wasted overhead) or under-sampling (wrong correlation map)
+// until the controller settles.  A snapshot taken after convergence lets the
+// next run warm-start at the converged rates and seed the daemon with the
+// converged TCM, the distributed analog of a single-process profiler's
+// `sample.prof` dump.
+//
+// Format v1, host-endian, fixed-width fields (round-trips bit-exactly on
+// the writing host; a foreign-endian reader rejects the file at the magic
+// check and cold-starts rather than misreading it):
+//   u32 magic 'DJGV'   u32 version
+//   u8 mode            u8 state        u16 reserved
+//   f64 overhead_budget   f64 distance_threshold
+//   f64 hysteresis        f64 phase_spike_factor
+//   u32 sentinel_coarsen_shifts   u32 max_nominal_gap
+//   u64 epochs_seen       u64 rearms
+//   u32 class_count
+//     class_count x { u32 class_id, u32 nominal_gap, u32 real_gap,
+//                     u32 converged_nominal (0 = not captured),
+//                     u32 flags (bit 0: rate was ever assigned; unset =
+//                     placeholder gaps, left untouched on load so the
+//                     class still inherits the cluster default rate) }
+//   u64 tcm_dimension
+//     dimension^2 x f64 (row-major)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "governor/governor.hpp"
+
+namespace djvm {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x56474A44;  // "DJGV"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Serializes the governor's state, the plan's per-class gaps, and `tcm`
+/// (pass the daemon's latest converged map).
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(const Governor& gov,
+                                                        const SquareMatrix& tcm);
+
+/// Restores governor state and per-class gaps into `gov` (and its plan) and
+/// writes the stored map into `tcm`.  The class registry must already hold
+/// the snapshot's classes (warm starts re-register classes
+/// deterministically).  Returns false on bad magic/version/truncation or
+/// unknown class ids; the governor is unchanged on failure.
+[[nodiscard]] bool decode_snapshot(const std::vector<std::uint8_t>& bytes,
+                                   Governor& gov, SquareMatrix& tcm);
+
+/// File convenience wrappers.
+[[nodiscard]] bool save_snapshot(const std::string& path, const Governor& gov,
+                                 const SquareMatrix& tcm);
+[[nodiscard]] bool load_snapshot(const std::string& path, Governor& gov,
+                                 SquareMatrix& tcm);
+
+}  // namespace djvm

@@ -13,7 +13,10 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 CorrelationDaemon::CorrelationDaemon(SamplingPlan& plan, std::uint32_t threads)
-    : plan_(plan), threads_(threads), latest_(threads) {}
+    : plan_(plan),
+      threads_(threads),
+      governor_(plan),
+      latest_(threads) {}
 
 void CorrelationDaemon::submit(std::vector<IntervalRecord> records) {
   for (IntervalRecord& r : records) {
@@ -22,10 +25,23 @@ void CorrelationDaemon::submit(std::vector<IntervalRecord> records) {
   }
 }
 
-EpochResult CorrelationDaemon::run_epoch() {
+EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   EpochResult out;
   out.intervals = pending_.size();
-  for (const IntervalRecord& r : pending_) out.entries += r.entries.size();
+  std::uint64_t wire_bytes = 0;
+  // Per-class benefit/cost stats feed only the closed-loop back-off; the
+  // legacy and disarmed paths skip the per-entry pass.
+  const bool class_stats = governor_.mode() == GovernorMode::kClosedLoop;
+  if (class_stats) plan_.begin_epoch_stats();
+  for (const IntervalRecord& r : pending_) {
+    out.entries += r.entries.size();
+    wire_bytes += r.wire_bytes();
+    if (class_stats) {
+      for (const OalEntry& e : r.entries) {
+        plan_.note_epoch_entry(e.klass, e.bytes, e.gap);
+      }
+    }
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   out.tcm = TcmBuilder::build(pending_, threads_, /*weighted=*/true);
@@ -37,27 +53,17 @@ EpochResult CorrelationDaemon::run_epoch() {
     out.rel_distance = absolute_error(out.tcm, latest_);
   }
 
-  if (adaptation_ && !converged_ && out.rel_distance.has_value()) {
-    if (*out.rel_distance > threshold_) {
-      // Tighten: halve every class's nominal gap (classes already at full
-      // sampling stay there).
-      bool any = false;
-      for (Klass& k : plan_.heap().registry().all()) {
-        if (k.sampling.nominal_gap > 1) {
-          plan_.halve_gap(k.id);
-          any = true;
-        }
-      }
-      if (any) {
-        out.resampled_objects = plan_.resample_all();
-        out.rate_changed = true;
-      } else {
-        converged_ = true;  // everything already at full sampling
-      }
-    } else {
-      converged_ = true;
-    }
-  }
+  // Fill in what the caller did not measure, then let the governor decide.
+  sample.build_seconds = out.build_seconds;
+  if (!sample.measured) sample.wire_bytes = wire_bytes;
+  sample.resampled_objects += carryover_resampled_;
+  const Governor::EpochOutcome decision =
+      governor_.on_epoch(out.rel_distance, sample);
+  out.rate_changed = decision.rate_changed;
+  out.resampled_objects = decision.resampled_objects;
+  out.action = decision.action;
+  out.overhead_fraction = decision.overhead_fraction;
+  carryover_resampled_ = decision.resampled_objects;
 
   latest_ = out.tcm;
   have_latest_ = true;
@@ -83,10 +89,11 @@ void CorrelationDaemon::clear() {
   history_.clear();
   latest_ = SquareMatrix(threads_);
   have_latest_ = false;
-  converged_ = false;
+  governor_.reset();  // clearing discards convergence progress too
   build_seconds_ = 0.0;
   total_entries_ = 0;
   epochs_ = 0;
+  carryover_resampled_ = 0;
 }
 
 }  // namespace djvm

@@ -1,11 +1,11 @@
 // The central correlation-computing daemon (the master JVM of Fig. 2).
 //
 // Collects OAL interval records from worker nodes, periodically rebuilds the
-// thread correlation map, and — when adaptation is enabled — runs the
-// rate-convergence loop of Section II.B.2: start coarse, tighten the gap
-// stepwise, and stop once successive TCMs agree within a threshold under the
-// absolute-distance metric (which the paper found more stable than the
-// Euclidean one).
+// thread correlation map, and hands each epoch's TCM movement plus measured
+// costs to the profiling governor, which owns all rate decisions: the
+// paper's Section II.B.2 convergence loop in legacy mode, or the budgeted
+// bidirectional controller with phase detection in closed-loop mode (see
+// governor/governor.hpp).
 #pragma once
 
 #include <chrono>
@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "governor/governor.hpp"
 #include "profiling/oal.hpp"
 #include "profiling/sampling.hpp"
 #include "profiling/tcm.hpp"
@@ -29,8 +30,12 @@ struct EpochResult {
   /// Relative ABS distance vs the previous epoch's TCM (nullopt on the
   /// first epoch).
   std::optional<double> rel_distance;
-  bool rate_changed = false;       ///< adaptation tightened the gaps
+  bool rate_changed = false;       ///< the governor moved at least one gap
   std::size_t resampled_objects = 0;
+  GovernorAction action = GovernorAction::kNone;
+  /// Rolling overhead fraction after folding in this epoch's sample (the
+  /// meter keeps recording even while the governor is disarmed).
+  double overhead_fraction = 0.0;
 };
 
 class CorrelationDaemon {
@@ -44,20 +49,34 @@ class CorrelationDaemon {
   [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
 
   /// Builds a TCM over the pending records, compares with the previous
-  /// epoch's map, optionally adapts the sampling rate, and clears the
-  /// pending buffer (records are kept in `history` for offline analysis).
-  EpochResult run_epoch();
+  /// epoch's map, refreshes the plan's per-class epoch stats, and delegates
+  /// the rate decision to the governor.  `sample` carries the epoch's
+  /// measured costs (the Djvm pump hook assembles it from GOS/network
+  /// deltas); fields left zero are filled in from the records themselves
+  /// (entries, wire bytes) and the build timer.  Clears the pending buffer
+  /// (records are kept in `history` for offline analysis).
+  EpochResult run_epoch(OverheadSample sample = {});
 
-  /// Turns on the convergence controller: while not converged, every epoch
-  /// whose relative ABS distance exceeds `threshold` halves every sampled
-  /// class's nominal gap (raising the rate) and triggers resampling.
-  void enable_adaptation(double threshold) {
-    adaptation_ = true;
-    threshold_ = threshold;
-    converged_ = false;
+  /// The governor owning all rate decisions for this daemon.
+  [[nodiscard]] Governor& governor() noexcept { return governor_; }
+  [[nodiscard]] const Governor& governor() const noexcept { return governor_; }
+
+  /// Thin forwarding shim kept for the seed API: arms the governor's
+  /// legacy one-way convergence loop at `threshold`.
+  void enable_adaptation(double threshold) { governor_.arm_legacy(threshold); }
+  void disable_adaptation() { governor_.disarm(); }
+  [[nodiscard]] bool converged() const noexcept { return governor_.converged(); }
+
+  /// Seeds the previous-epoch map (snapshot warm start): the next epoch's
+  /// distance is computed against `tcm` instead of starting cold.  Returns
+  /// false (daemon stays cold) when the map's dimension does not match this
+  /// daemon's thread count — e.g. a snapshot from a differently-sized run.
+  bool seed_latest(SquareMatrix tcm) {
+    if (tcm.size() != threads_) return false;
+    latest_ = std::move(tcm);
+    have_latest_ = true;
+    return true;
   }
-  void disable_adaptation() { adaptation_ = false; }
-  [[nodiscard]] bool converged() const noexcept { return converged_; }
 
   /// Latest epoch's TCM (empty matrix before the first epoch).
   [[nodiscard]] const SquareMatrix& latest() const noexcept { return latest_; }
@@ -82,18 +101,18 @@ class CorrelationDaemon {
  private:
   SamplingPlan& plan_;
   std::uint32_t threads_;
+  Governor governor_;
   std::vector<IntervalRecord> pending_;
   std::vector<IntervalRecord> history_;
   SquareMatrix latest_;
   bool have_latest_ = false;
 
-  bool adaptation_ = false;
-  bool converged_ = false;
-  double threshold_ = 0.05;
-
   double build_seconds_ = 0.0;
   std::size_t total_entries_ = 0;
   std::size_t epochs_ = 0;
+  /// Resampling triggered by last epoch's decision; its cost is metered in
+  /// the following epoch's sample (the pass runs after the decision).
+  std::uint64_t carryover_resampled_ = 0;
 };
 
 }  // namespace djvm

@@ -107,9 +107,22 @@ void SamplingPlan::on_alloc(ObjectId obj) {
 }
 
 std::size_t SamplingPlan::resample_class(ClassId id) {
+  return resample_classes({id});
+}
+
+std::size_t SamplingPlan::resample_classes(const std::vector<ClassId>& ids) {
+  if (ids.empty()) return 0;
+  std::vector<std::uint8_t> wanted(heap_.registry().size(), 0);
+  for (ClassId id : ids) {
+    if (static_cast<std::size_t>(id) < wanted.size()) {
+      wanted[static_cast<std::size_t>(id)] = 1;
+    }
+  }
   std::size_t visited = 0;
   for (ObjectId o = 0; o < heap_.object_count(); ++o) {
-    if (heap_.meta(o).klass == id) {
+    const ClassId k = heap_.meta(o).klass;
+    if (static_cast<std::size_t>(k) < wanted.size() &&
+        wanted[static_cast<std::size_t>(k)] != 0) {
       recompute(o);
       ++visited;
     }
@@ -134,6 +147,22 @@ std::uint64_t SamplingPlan::estimated_full_bytes(ObjectId obj) const {
   const ObjectMeta& m = heap_.meta(obj);
   const std::uint32_t gap = heap_.registry().at(m.klass).sampling.real_gap;
   return static_cast<std::uint64_t>(sample_bytes_[idx]) * gap;
+}
+
+void SamplingPlan::begin_epoch_stats() {
+  epoch_stats_.assign(heap_.registry().size(), ClassEpochStats{});
+}
+
+void SamplingPlan::note_epoch_entry(ClassId id, std::uint32_t bytes,
+                                    std::uint32_t gap) {
+  const auto idx = static_cast<std::size_t>(id);
+  // Entries come from externally submitted records: an unknown class id
+  // (e.g. a default-initialized kInvalidClass) must not size the vector.
+  if (idx >= heap_.registry().size()) return;
+  if (idx >= epoch_stats_.size()) epoch_stats_.resize(idx + 1);
+  ClassEpochStats& s = epoch_stats_[idx];
+  ++s.entries;
+  s.estimated_bytes += static_cast<std::uint64_t>(bytes) * std::max<std::uint32_t>(1, gap);
 }
 
 std::uint64_t SamplingPlan::sampled_count() const {

@@ -19,6 +19,15 @@
 
 namespace djvm {
 
+/// Per-class activity accumulated over one daemon epoch, the governor's
+/// benefit/cost input: `entries` drives the cost side (each OAL entry pays
+/// fixed CPU + wire bytes), `estimated_bytes` (Horvitz-Thompson scaled) the
+/// benefit side (correlation information contributed to the TCM).
+struct ClassEpochStats {
+  std::uint64_t entries = 0;
+  std::uint64_t estimated_bytes = 0;  ///< logged bytes x gap (HT estimate)
+};
+
 /// Cluster-wide sampling state: per-class gaps plus per-object cached
 /// sampled bits and amortized sample sizes (recomputed on rate changes, the
 /// paper's "resampling" pass).
@@ -81,6 +90,11 @@ class SamplingPlan {
   /// all objects of that class it caches...").  Returns objects visited.
   std::size_t resample_class(ClassId id);
 
+  /// Recomputes sampled bits for every object of the listed classes in a
+  /// single heap pass (rate changes touching several classes would
+  /// otherwise pay one full scan per class).  Returns objects visited.
+  std::size_t resample_classes(const std::vector<ClassId>& ids);
+
   /// Full resampling pass over the heap; returns objects visited.
   std::size_t resample_all();
 
@@ -93,6 +107,17 @@ class SamplingPlan {
   /// Total number of currently sampled objects (for tests/benches).
   [[nodiscard]] std::uint64_t sampled_count() const;
 
+  // --- per-epoch class stats (governor benefit/cost inputs) -----------------
+  /// Resets the per-class accumulators at the start of a daemon epoch.
+  void begin_epoch_stats();
+  /// Accumulates one OAL entry of class `id` (`gap` = real gap at logging).
+  void note_epoch_entry(ClassId id, std::uint32_t bytes, std::uint32_t gap);
+  /// Per-class stats of the current epoch, indexed by ClassId (may be
+  /// shorter than the registry if trailing classes logged nothing).
+  [[nodiscard]] const std::vector<ClassEpochStats>& epoch_stats() const noexcept {
+    return epoch_stats_;
+  }
+
   [[nodiscard]] const Heap& heap() const noexcept { return heap_; }
   [[nodiscard]] Heap& heap() noexcept { return heap_; }
 
@@ -104,6 +129,7 @@ class SamplingPlan {
   std::vector<std::uint8_t> sampled_;
   std::vector<std::uint32_t> sample_bytes_;
   std::vector<std::uint32_t> sample_gap_;
+  std::vector<ClassEpochStats> epoch_stats_;
 };
 
 }  // namespace djvm

@@ -1,0 +1,450 @@
+// Closed-loop profiling governor: overhead metering, budget-exceeded
+// backoff, under-budget tightening, sentinel phase detection, snapshot
+// round-trips, and plan resampling when gaps flip between full and coarse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "governor/governor.hpp"
+#include "governor/snapshot.hpp"
+#include "profiling/correlation_daemon.hpp"
+
+namespace djvm {
+namespace {
+
+class GovernorTest : public ::testing::Test {
+ protected:
+  GovernorTest() : heap(reg, 1), plan(heap) {
+    // Two classes: `hot` logs many small entries (poor benefit/cost),
+    // `bulky` logs few large ones (good benefit/cost).
+    hot = reg.register_class("Hot", 16);
+    bulky = reg.register_class("Bulky", 1024);
+    for (int i = 0; i < 128; ++i) plan.on_alloc(heap.alloc(hot, 0));
+    for (int i = 0; i < 128; ++i) plan.on_alloc(heap.alloc(bulky, 0));
+  }
+
+  /// Epoch stats: `hot` contributes many cheap entries, `bulky` few rich
+  /// ones, matching what the daemon would accumulate from OAL records.
+  void fill_epoch_stats() {
+    plan.begin_epoch_stats();
+    for (int i = 0; i < 100; ++i) {
+      plan.note_epoch_entry(hot, 16, plan.real_gap(hot));
+    }
+    for (int i = 0; i < 10; ++i) {
+      plan.note_epoch_entry(bulky, 1024, plan.real_gap(bulky));
+    }
+  }
+
+  static OverheadSample sample_with_fraction(double fraction) {
+    OverheadSample s;
+    s.measured = true;
+    s.app_seconds = 1.0;
+    s.access_check_seconds = fraction;  // pure CPU cost: fraction == overhead
+    return s;
+  }
+
+  static GovernorConfig config() {
+    GovernorConfig cfg;
+    cfg.overhead_budget = 0.02;
+    cfg.distance_threshold = 0.05;
+    cfg.meter_window = 1;  // react to the current epoch alone in unit tests
+    return cfg;
+  }
+
+  KlassRegistry reg;
+  Heap heap;
+  SamplingPlan plan;
+  ClassId hot = kInvalidClass;
+  ClassId bulky = kInvalidClass;
+};
+
+TEST(OverheadMeter, RollingFractionAveragesWindow) {
+  OverheadMeter meter({}, 2);
+  OverheadSample a;
+  a.app_seconds = 1.0;
+  a.access_check_seconds = 0.01;
+  OverheadSample b;
+  b.app_seconds = 1.0;
+  b.access_check_seconds = 0.03;
+  meter.record(a);
+  EXPECT_DOUBLE_EQ(meter.rolling_fraction(), 0.01);
+  meter.record(b);
+  EXPECT_DOUBLE_EQ(meter.rolling_fraction(), 0.02);
+  EXPECT_DOUBLE_EQ(meter.epoch_fraction(), 0.03);
+  // Window of 2: a third sample evicts the first.
+  meter.record(b);
+  EXPECT_DOUBLE_EQ(meter.rolling_fraction(), 0.03);
+}
+
+TEST(OverheadMeter, CostModelConvertsCountsToSeconds) {
+  OverheadCosts costs;
+  costs.seconds_per_wire_byte = 1e-6;
+  costs.seconds_per_resampled_object = 1e-6;
+  costs.coordinator_weight = 1.0;
+  OverheadMeter meter(costs, 4);
+  OverheadSample s;
+  s.wire_bytes = 1000;
+  s.resampled_objects = 500;
+  s.build_seconds = 0.25;
+  EXPECT_DOUBLE_EQ(meter.profiling_seconds(s), 0.001 + 0.0005 + 0.25);
+}
+
+TEST(OverheadMeter, NoAppProgressIsAllOverhead) {
+  OverheadMeter meter({}, 4);
+  OverheadSample s;
+  s.access_check_seconds = 0.5;
+  meter.record(s);
+  EXPECT_TRUE(std::isinf(meter.rolling_fraction()));
+}
+
+TEST_F(GovernorTest, BudgetExceededBacksOffWorstBenefitCostClass) {
+  plan.set_nominal_gap(hot, 8);
+  plan.set_nominal_gap(bulky, 8);
+  Governor gov(plan);
+  gov.arm(config());
+  fill_epoch_stats();
+
+  // 10% measured overhead against a 2% budget: shrink to ~1/5 of the entry
+  // cost.  `hot` (16 B/entry) coarsens before `bulky` (1 KB/entry).
+  const auto out = gov.on_epoch(std::nullopt, sample_with_fraction(0.10));
+  EXPECT_EQ(out.action, GovernorAction::kBackOff);
+  EXPECT_TRUE(out.rate_changed);
+  EXPECT_GT(out.resampled_objects, 0u);
+  EXPECT_EQ(plan.nominal_gap(hot), 16u);
+  // hot alone halves 100 of 110 entries -> 60 > 110/5 = 22, so bulky
+  // doubles too; what matters is the ordering by score held.
+  EXPECT_LE(plan.nominal_gap(bulky), 16u);
+}
+
+TEST_F(GovernorTest, BackoffPrefersLowInformationEntries) {
+  plan.set_nominal_gap(hot, 8);
+  plan.set_nominal_gap(bulky, 8);
+  Governor gov(plan);
+  gov.arm(config());
+  fill_epoch_stats();
+
+  // Mild overshoot: only ~27% of entry cost must go; hot's doubling alone
+  // (projected -50 of 110 entries) covers it, bulky stays untouched.
+  const auto out = gov.on_epoch(std::nullopt, sample_with_fraction(0.0275));
+  EXPECT_EQ(out.action, GovernorAction::kBackOff);
+  EXPECT_EQ(plan.nominal_gap(hot), 16u);
+  EXPECT_EQ(plan.nominal_gap(bulky), 8u);
+}
+
+TEST_F(GovernorTest, FixedCostsDoNotDriveRunawayBackoff) {
+  plan.set_nominal_gap(hot, 8);
+  plan.set_nominal_gap(bulky, 8);
+  Governor gov(plan);
+  gov.arm(config());
+  fill_epoch_stats();
+
+  // 10% overhead, but almost all of it rate-independent (stack-sampling
+  // timers): coarsening cannot restore the budget, so the governor must
+  // not chase it by destroying the sampling rates.
+  OverheadSample s;
+  s.measured = true;
+  s.app_seconds = 1.0;
+  s.fixed_seconds = 0.10;
+  s.access_check_seconds = 0.001;  // reducible share under the 10%-of-budget floor
+  const auto out = gov.on_epoch(std::nullopt, s);
+  EXPECT_NE(out.action, GovernorAction::kBackOff);
+  EXPECT_EQ(plan.nominal_gap(hot), 8u);
+  EXPECT_EQ(plan.nominal_gap(bulky), 8u);
+}
+
+TEST_F(GovernorTest, UnderBudgetAndMovingMapTightens) {
+  plan.set_nominal_gap(hot, 64);
+  plan.set_nominal_gap(bulky, 64);
+  Governor gov(plan);
+  gov.arm(config());
+  fill_epoch_stats();
+
+  const auto out = gov.on_epoch(0.50, sample_with_fraction(0.001));
+  EXPECT_EQ(out.action, GovernorAction::kTighten);
+  EXPECT_TRUE(out.rate_changed);
+  EXPECT_EQ(plan.nominal_gap(hot), 32u);
+  EXPECT_EQ(plan.nominal_gap(bulky), 32u);
+  EXPECT_FALSE(gov.converged());
+}
+
+TEST_F(GovernorTest, InsideDeadBandHoldsRates) {
+  plan.set_nominal_gap(hot, 64);
+  Governor gov(plan);
+  gov.arm(config());  // budget 2%, hysteresis 25% -> dead band [1.5%, 2.5%]
+  fill_epoch_stats();
+
+  const auto out = gov.on_epoch(0.50, sample_with_fraction(0.02));
+  EXPECT_EQ(out.action, GovernorAction::kNone);
+  EXPECT_EQ(plan.nominal_gap(hot), 64u);
+}
+
+TEST_F(GovernorTest, UnmeasuredSampleSuspendsBudgetEnforcement) {
+  plan.set_nominal_gap(hot, 64);
+  plan.set_nominal_gap(bulky, 64);
+  Governor gov(plan);
+  gov.arm(config());
+  fill_epoch_stats();
+
+  // Standalone daemon use: no pump hook measured app time.  The meter
+  // reads +inf, but the budget must not drive a runaway back-off; the
+  // distance-driven loop proceeds as if under budget.
+  OverheadSample s;  // measured = false
+  const auto out = gov.on_epoch(0.50, s);
+  EXPECT_EQ(out.action, GovernorAction::kTighten);
+  EXPECT_EQ(plan.nominal_gap(hot), 32u);
+}
+
+TEST_F(GovernorTest, TransientSpikeBacksOffOnlyOnce) {
+  plan.set_nominal_gap(hot, 8);
+  plan.set_nominal_gap(bulky, 8);
+  Governor gov(plan);
+  GovernorConfig cfg = config();
+  cfg.meter_window = 4;  // rolling window lags the spike by 3 epochs
+  gov.arm(cfg);
+
+  fill_epoch_stats();
+  auto out = gov.on_epoch(0.50, sample_with_fraction(1.0));  // the spike
+  EXPECT_EQ(out.action, GovernorAction::kBackOff);
+  const std::uint32_t hot_after_spike = plan.nominal_gap(hot);
+
+  // Cheap epochs that keep the *rolling* fraction above the bound because
+  // the spike is still in the window: no repeated back-off.
+  for (int i = 0; i < 3; ++i) {
+    fill_epoch_stats();
+    out = gov.on_epoch(0.50, sample_with_fraction(0.001));
+    EXPECT_NE(out.action, GovernorAction::kBackOff) << "epoch " << i;
+  }
+  EXPECT_EQ(plan.nominal_gap(hot), hot_after_spike);
+}
+
+TEST_F(GovernorTest, ConvergenceEntersSentinelAtCoarserRate) {
+  plan.set_nominal_gap(hot, 16);
+  plan.set_nominal_gap(bulky, 16);
+  Governor gov(plan);
+  gov.arm(config());
+  fill_epoch_stats();
+
+  // A class registered but never rated/allocated must be left alone: its
+  // first allocation still inherits the cluster default rate.
+  const ClassId lazy = reg.register_class("Lazy", 32);
+
+  const auto out = gov.on_epoch(0.01, sample_with_fraction(0.001));
+  EXPECT_EQ(out.action, GovernorAction::kConverge);
+  EXPECT_EQ(gov.state(), GovernorState::kSentinel);
+  EXPECT_TRUE(gov.converged());
+  // Sentinel coarsens by 2 doublings (4x) but remembers the converged gaps.
+  EXPECT_EQ(plan.nominal_gap(hot), 64u);
+  EXPECT_EQ(gov.converged_gaps()[hot], 16u);
+  EXPECT_FALSE(reg.at(lazy).sampling.initialized);
+  EXPECT_EQ(gov.converged_gaps()[lazy], 0u);  // 0 = not captured
+}
+
+TEST_F(GovernorTest, PhaseChangeSpikeRearmsAfterConvergence) {
+  plan.set_nominal_gap(hot, 16);
+  plan.set_nominal_gap(bulky, 16);
+  Governor gov(plan);
+  gov.arm(config());
+  fill_epoch_stats();
+
+  gov.on_epoch(0.01, sample_with_fraction(0.001));  // converge -> sentinel
+  ASSERT_EQ(gov.state(), GovernorState::kSentinel);
+
+  // Grace epoch: the sentinel's own rate change moves the map once; that
+  // must not read as a phase change.
+  auto out = gov.on_epoch(1.0, sample_with_fraction(0.001));
+  EXPECT_EQ(out.action, GovernorAction::kNone);
+  EXPECT_EQ(gov.state(), GovernorState::kSentinel);
+
+  // Small drift stays in sentinel (spike threshold is 3 x 0.05).
+  out = gov.on_epoch(0.10, sample_with_fraction(0.001));
+  EXPECT_EQ(out.action, GovernorAction::kNone);
+
+  // A real spike restores the converged gaps and re-arms adaptation.
+  out = gov.on_epoch(0.60, sample_with_fraction(0.001));
+  EXPECT_EQ(out.action, GovernorAction::kRearm);
+  EXPECT_EQ(gov.state(), GovernorState::kAdapting);
+  EXPECT_FALSE(gov.converged());
+  EXPECT_EQ(gov.rearms(), 1u);
+  EXPECT_EQ(plan.nominal_gap(hot), 16u);
+  EXPECT_EQ(plan.nominal_gap(bulky), 16u);
+}
+
+TEST_F(GovernorTest, LegacyModeMatchesSeedOneWayLoop) {
+  plan.set_nominal_gap(hot, 64);
+  plan.set_nominal_gap(bulky, 64);
+  Governor gov(plan);
+  gov.arm_legacy(0.05);
+
+  // Above threshold: tighten everything, regardless of overhead.
+  auto out = gov.on_epoch(0.50, sample_with_fraction(10.0));
+  EXPECT_EQ(out.action, GovernorAction::kTighten);
+  EXPECT_EQ(plan.nominal_gap(hot), 32u);
+  EXPECT_FALSE(gov.converged());
+
+  // Below threshold: freeze forever (the bug the closed loop fixes).
+  out = gov.on_epoch(0.01, sample_with_fraction(10.0));
+  EXPECT_EQ(out.action, GovernorAction::kConverge);
+  EXPECT_EQ(gov.state(), GovernorState::kConverged);
+  out = gov.on_epoch(0.90, sample_with_fraction(10.0));  // phase change...
+  EXPECT_EQ(out.action, GovernorAction::kNone);          // ...ignored
+  EXPECT_EQ(plan.nominal_gap(hot), 32u);
+}
+
+TEST_F(GovernorTest, SamplingPlanResamplesOnFullToCoarseFlip) {
+  plan.set_nominal_gap(hot, 1);
+  plan.resample_all();
+  const std::uint64_t full_count = plan.sampled_count();
+
+  // Flip hot from full sampling to a coarse gap, as a backoff would.
+  plan.set_nominal_gap(hot, 32);
+  const std::size_t visited = plan.resample_class(hot);
+  EXPECT_EQ(visited, 128u);  // every hot object re-evaluated
+  const std::uint64_t coarse_count = plan.sampled_count();
+  EXPECT_LT(coarse_count, full_count);
+
+  // And back to full sampling: every object sampled again.
+  plan.set_nominal_gap(hot, 1);
+  plan.resample_class(hot);
+  EXPECT_EQ(plan.sampled_count(), full_count);
+}
+
+TEST_F(GovernorTest, SnapshotRoundTripsBitExactly) {
+  plan.set_nominal_gap(hot, 16);
+  plan.set_nominal_gap(bulky, 128);
+  Governor gov(plan);
+  gov.arm(config());
+  fill_epoch_stats();
+  gov.on_epoch(0.01, sample_with_fraction(0.001));  // converge -> sentinel
+  ASSERT_TRUE(gov.converged());
+
+  SquareMatrix tcm(4);
+  tcm.at(0, 1) = 123.456;
+  tcm.at(1, 0) = 123.456;
+  tcm.at(2, 3) = 0.125;
+  const std::vector<std::uint8_t> bytes = encode_snapshot(gov, tcm);
+
+  // Fresh world: same registry shape, cold gaps, cold governor.
+  KlassRegistry reg2;
+  Heap heap2(reg2, 1);
+  const ClassId hot2 = reg2.register_class("Hot", 16);
+  const ClassId bulky2 = reg2.register_class("Bulky", 1024);
+  SamplingPlan plan2(heap2);
+  Governor gov2(plan2);
+  SquareMatrix tcm2;
+  ASSERT_TRUE(decode_snapshot(bytes, gov2, tcm2));
+
+  EXPECT_EQ(plan2.nominal_gap(hot2), plan.nominal_gap(hot));
+  EXPECT_EQ(plan2.nominal_gap(bulky2), plan.nominal_gap(bulky));
+  EXPECT_EQ(plan2.real_gap(hot2), plan.real_gap(hot));
+  EXPECT_EQ(plan2.real_gap(bulky2), plan.real_gap(bulky));
+  EXPECT_EQ(gov2.state(), gov.state());
+  EXPECT_EQ(gov2.converged(), gov.converged());
+  EXPECT_EQ(gov2.converged_gaps(), gov.converged_gaps());
+  EXPECT_EQ(tcm2, tcm);
+
+  // Bit-exact: re-encoding the restored state reproduces the same bytes.
+  EXPECT_EQ(encode_snapshot(gov2, tcm2), bytes);
+}
+
+TEST_F(GovernorTest, SnapshotRejectsCorruptInput) {
+  Governor gov(plan);
+  gov.arm(config());  // mode kClosedLoop, state kAdapting
+  SquareMatrix tcm(2);
+  std::vector<std::uint8_t> bytes = encode_snapshot(gov, tcm);
+
+  Governor gov2(plan);
+  SquareMatrix out;
+  std::vector<std::uint8_t> bad = bytes;
+  bad[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(decode_snapshot(bad, gov2, out));
+  bad = bytes;
+  bad.resize(bytes.size() - 1);  // truncation
+  EXPECT_FALSE(decode_snapshot(bad, gov2, out));
+  bad = bytes;
+  bad.push_back(0);  // trailing garbage
+  EXPECT_FALSE(decode_snapshot(bad, gov2, out));
+  bad = bytes;
+  // Corrupt class_count (offset 68: magic+version+mode/state/pad+4 doubles
+  // +2 u32 counters+2 u64 counters) to a huge value: must be rejected
+  // before it sizes an allocation.
+  for (std::size_t i = 68; i < 72; ++i) bad[i] = 0xFF;
+  EXPECT_FALSE(decode_snapshot(bad, gov2, out));
+  bad = bytes;
+  // Corrupt the overhead budget (offset 12, first config double) into a
+  // NaN: config corruption must be rejected, not installed.
+  for (std::size_t i = 12; i < 20; ++i) bad[i] = 0xFF;
+  EXPECT_FALSE(decode_snapshot(bad, gov2, out));
+  bad = bytes;
+  // Inconsistent mode/state pair: closed loop never produces kConverged
+  // (state byte is offset 9, after magic+version+mode).
+  bad[9] = static_cast<std::uint8_t>(GovernorState::kConverged);
+  EXPECT_FALSE(decode_snapshot(bad, gov2, out));
+  EXPECT_TRUE(decode_snapshot(bytes, gov2, out));
+}
+
+TEST_F(GovernorTest, SnapshotFileRoundTrip) {
+  plan.set_nominal_gap(hot, 16);
+  Governor gov(plan);
+  gov.arm(config());
+  SquareMatrix tcm(2);
+  tcm.at(0, 1) = 42.0;
+
+  const std::string path = ::testing::TempDir() + "governor_snapshot.bin";
+  ASSERT_TRUE(save_snapshot(path, gov, tcm));
+  Governor gov2(plan);
+  SquareMatrix tcm2;
+  ASSERT_TRUE(load_snapshot(path, gov2, tcm2));
+  EXPECT_EQ(tcm2, tcm);
+  EXPECT_EQ(gov2.state(), gov.state());
+  std::remove(path.c_str());
+}
+
+TEST_F(GovernorTest, DaemonDelegatesToGovernorAndWarmStarts) {
+  plan.set_nominal_gap(hot, 16);
+  plan.set_nominal_gap(bulky, 16);
+  CorrelationDaemon daemon(plan, 2);
+  GovernorConfig cfg = config();
+  daemon.governor().arm(cfg);
+
+  auto rec = [&](ThreadId t, ObjectId o) {
+    IntervalRecord r;
+    r.thread = t;
+    r.entries.push_back({o, hot, 16, plan.real_gap(hot)});
+    return r;
+  };
+  // Two identical epochs with app progress: distance 0 -> converge.
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    std::vector<IntervalRecord> rs;
+    rs.push_back(rec(0, 1));
+    rs.push_back(rec(1, 1));
+    daemon.submit(std::move(rs));
+    OverheadSample s;
+    s.measured = true;
+    s.app_seconds = 1.0;
+    const EpochResult e = daemon.run_epoch(s);
+    EXPECT_DOUBLE_EQ(e.overhead_fraction,
+                     daemon.governor().meter().rolling_fraction());
+  }
+  EXPECT_TRUE(daemon.converged());
+  EXPECT_EQ(daemon.governor().state(), GovernorState::kSentinel);
+
+  // Snapshot, then warm-start a fresh daemon: it resumes in sentinel with
+  // the converged map seeded, skipping the convergence ramp entirely.
+  const std::vector<std::uint8_t> bytes =
+      encode_snapshot(daemon.governor(), daemon.latest());
+  CorrelationDaemon daemon2(plan, 2);
+  SquareMatrix warm_tcm;
+  ASSERT_TRUE(decode_snapshot(bytes, daemon2.governor(), warm_tcm));
+  ASSERT_TRUE(daemon2.seed_latest(warm_tcm));
+  EXPECT_TRUE(daemon2.converged());
+  EXPECT_EQ(daemon2.latest(), daemon.latest());
+
+  // A daemon of a different cluster size must reject the warm-start map
+  // instead of comparing against a mismatched matrix later.
+  CorrelationDaemon daemon3(plan, 4);
+  EXPECT_FALSE(daemon3.seed_latest(warm_tcm));
+}
+
+}  // namespace
+}  // namespace djvm

@@ -79,6 +79,24 @@ INSTANTIATE_TEST_SUITE_P(PowersOfTwo, PrimeGapSweep,
                          ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 512,
                                            1024, 2048, 4096));
 
+// Gap boundaries the adaptive controller actually visits: halving saturates
+// at nominal gap 1 (full sampling, callers never consult nearest_prime),
+// doubling starts from 2, and values just above a prime must not round down
+// past it.
+TEST(Primes, NearestPrimeAtGapBoundaries) {
+  EXPECT_EQ(nearest_prime(1), 2u);  // saturated halve_gap convention
+  EXPECT_EQ(nearest_prime(2), 2u);  // smallest non-trivial gap
+  // Just above a prime: must round back down, not jump to the next prime.
+  EXPECT_EQ(nearest_prime(31), 31u);
+  EXPECT_EQ(nearest_prime(33), 31u);
+  EXPECT_EQ(nearest_prime(128), 127u);
+  EXPECT_EQ(nearest_prime(132), 131u);
+  // Equidistant ties break toward the larger prime (64 -> 67, not 61).
+  EXPECT_EQ(nearest_prime(64), 67u);
+  EXPECT_EQ(nearest_prime(129), 131u);  // |129-127| == |131-129| -> larger
+  EXPECT_EQ(nearest_prime(9), 11u);     // |9-7| == |11-9| -> larger
+}
+
 // Exhaustive cross-check against trial division for a small range.
 TEST(Primes, MatchesTrialDivisionUpTo2000) {
   auto trial = [](std::uint64_t n) {
