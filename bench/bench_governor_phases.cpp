@@ -182,13 +182,6 @@ double mean_tail_distance(const RunLog& log, std::size_t tail) {
   return n ? sum / static_cast<double>(n) : 0.0;
 }
 
-int failures = 0;
-
-void check(bool ok, const std::string& what) {
-  std::cout << (ok ? "[PASS] " : "[FAIL] ") << what << "\n";
-  if (!ok) ++failures;
-}
-
 }  // namespace
 
 int main() {
@@ -239,17 +232,29 @@ int main() {
             << " (converged flag stayed "
             << (legacy.converged_flag ? "true" : "false") << ")\n\n";
 
-  check(max_overhead <= 1.5 * kBudget,
-        "governed overhead stays within 1.5x of budget across both phases");
-  check(governed.rearms == 1, "governor detected the phase change (1 re-arm)");
-  check(governed.final_state == GovernorState::kSentinel &&
-            gov_tail <= 1.5 * kThreshold,
-        "governor re-converged after the flip (sentinel state, settled map)");
-  check(legacy.converged_flag &&
-            legacy.hot_gap_final == legacy.hot_gap_at_flip &&
-            leg_tail > 1.5 * kThreshold,
-        "legacy one-way path froze at phase-A rates and did not re-converge");
-  check(gov_err < leg_err,
-        "governed final map is closer to the full-sampling oracle than legacy");
-  return failures;  // nonzero fails the CI acceptance step
+  BenchReport report("governor_phases");
+  report.metric("max_rolling_overhead", max_overhead, "min", 0.30);
+  report.metric("budget", kBudget);
+  report.metric("rearms", static_cast<double>(governed.rearms));
+  report.metric("governed_tail_distance", gov_tail, "min", 0.35);
+  report.metric("legacy_tail_distance", leg_tail);
+  report.metric("governed_oracle_error", gov_err, "min", 0.35);
+  report.metric("legacy_oracle_error", leg_err);
+
+  report.check("governed overhead stays within 1.5x of budget across both phases",
+               max_overhead <= 1.5 * kBudget, max_overhead, 1.5 * kBudget, "<=");
+  report.check("governor detected the phase change (1 re-arm)",
+               governed.rearms == 1, static_cast<double>(governed.rearms), 1, "==");
+  report.check("governor re-converged after the flip (sentinel state, settled map)",
+               governed.final_state == GovernorState::kSentinel &&
+                   gov_tail <= 1.5 * kThreshold,
+               gov_tail, 1.5 * kThreshold, "<=");
+  report.check("legacy one-way path froze at phase-A rates and did not re-converge",
+               legacy.converged_flag &&
+                   legacy.hot_gap_final == legacy.hot_gap_at_flip &&
+                   leg_tail > 1.5 * kThreshold,
+               leg_tail, 1.5 * kThreshold, ">");
+  report.check("governed final map is closer to the full-sampling oracle than legacy",
+               gov_err < leg_err, gov_err, leg_err, "<");
+  return report.finish();  // nonzero fails the CI acceptance step
 }

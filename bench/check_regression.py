@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Gate a bench run against its checked-in baseline.
+
+Usage: check_regression.py BASELINE.json CURRENT.json
+
+Both files are `BENCH_<name>.json` artifacts emitted by bench/harness.hpp's
+BenchReport.  The gate fails (exit 1) when:
+
+  * any acceptance check in CURRENT has "pass": false, or
+  * a metric whose baseline carries a regression goal moved the wrong way:
+      goal "min": current > baseline * (1 + slack) + abs_slack
+      goal "max": current < baseline * (1 - slack) - abs_slack
+    (goal "none" metrics are informational), or
+  * a goal-carrying baseline metric is missing from CURRENT (a silently
+    dropped metric must not read as "no regression").
+
+Tolerances (goal/slack/abs_slack) are read from the BASELINE file, so the
+checked-in baseline is the single source of truth for what gates.  To
+regenerate a baseline intentionally (after a change that legitimately moves
+the numbers), copy the fresh artifact over bench/baselines/BENCH_<name>.json
+and explain the shift in the commit message.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"[REGRESSION] {msg}")
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+
+    if baseline.get("bench") != current.get("bench"):
+        fail(f"bench name mismatch: baseline {baseline.get('bench')!r} "
+             f"vs current {current.get('bench')!r}")
+        return 1
+
+    failures = 0
+
+    for check in current.get("checks", []):
+        if check.get("pass") is not True:
+            fail(f"acceptance check failed: {check.get('name')} "
+                 f"(value {check.get('value')} {check.get('op')} "
+                 f"{check.get('threshold')} does not hold)")
+            failures += 1
+
+    cur_metrics = current.get("metrics", {})
+    for key, base in baseline.get("metrics", {}).items():
+        goal = base.get("goal", "none")
+        if goal == "none":
+            continue
+        if key not in cur_metrics:
+            fail(f"gated metric {key!r} missing from current run")
+            failures += 1
+            continue
+        base_v = base.get("value")
+        cur_v = cur_metrics[key].get("value")
+        if base_v is None or cur_v is None:
+            fail(f"metric {key!r} is non-finite (baseline {base_v}, "
+                 f"current {cur_v})")
+            failures += 1
+            continue
+        slack = base.get("slack", 0.0) or 0.0
+        abs_slack = base.get("abs_slack", 0.0) or 0.0
+        if goal == "min":
+            bound = base_v * (1.0 + slack) + abs_slack
+            ok = cur_v <= bound
+            direction = "above"
+        elif goal == "max":
+            bound = base_v * (1.0 - slack) - abs_slack
+            ok = cur_v >= bound
+            direction = "below"
+        else:
+            fail(f"metric {key!r} has unknown goal {goal!r}")
+            failures += 1
+            continue
+        status = "ok" if ok else "REGRESSED"
+        print(f"  {key}: current {cur_v:.6g} vs baseline {base_v:.6g} "
+              f"(bound {bound:.6g}, goal {goal}) -> {status}")
+        if not ok:
+            fail(f"metric {key!r} regressed {direction} its bound: "
+                 f"current {cur_v:.6g}, baseline {base_v:.6g}, "
+                 f"bound {bound:.6g}")
+            failures += 1
+
+    name = current.get("bench", "?")
+    if failures:
+        print(f"{name}: {failures} regression(s) vs {sys.argv[1]}")
+        return 1
+    print(f"{name}: no regressions vs {sys.argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

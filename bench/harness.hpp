@@ -1,12 +1,22 @@
 // Shared glue for the bench harnesses that regenerate the paper's tables and
 // figures.  Each bench binary prints the same rows/series the paper reports;
 // EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Benches that gate CI additionally emit a machine-readable
+// `BENCH_<name>.json` (metrics + pass/fail checks) via BenchReport; the
+// regression gate (bench/check_regression.py) compares those files against
+// the checked-in baselines in bench/baselines/.
 #pragma once
 
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -151,6 +161,133 @@ inline std::string ms_cell(double seconds) {
 inline std::string ms_pct_cell(double seconds, double baseline_seconds) {
   return TextTable::cell_with_pct(seconds * 1e3, baseline_seconds * 1e3, 2);
 }
+
+/// Machine-readable bench output: named metrics plus pass/fail acceptance
+/// checks, written as `BENCH_<name>.json` next to the human-readable tables.
+///
+/// Metrics carry a regression *goal* so the CI gate knows how to compare a
+/// fresh run against the checked-in baseline without bench-specific logic:
+///   "min"  — lower is better; regression when current > baseline*(1+slack)
+///   "max"  — higher is better; regression when current < baseline*(1-slack)
+///   "none" — informational only (default)
+/// Baselines are just previously emitted JSONs (bench/baselines/), so
+/// regenerating one intentionally is a copy of the fresh artifact.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// `slack` is relative to the baseline value; `abs_slack` is an additive
+  /// floor so near-zero metrics (error distances) don't gate on FP dust.
+  void metric(const std::string& key, double value,
+              const std::string& goal = "none", double slack = 0.0,
+              double abs_slack = 0.0) {
+    metrics_.push_back({key, value, goal, slack, abs_slack});
+  }
+
+  /// Records an acceptance check and prints the usual [PASS]/[FAIL] line.
+  bool check(const std::string& what, bool ok, double value, double threshold,
+             const std::string& op) {
+    std::cout << (ok ? "[PASS] " : "[FAIL] ") << what << "\n";
+    checks_.push_back({what, ok, value, threshold, op});
+    if (!ok) ++failures_;
+    return ok;
+  }
+
+  [[nodiscard]] int failures() const noexcept { return failures_; }
+
+  /// Writes BENCH_<name>.json into $DJVM_BENCH_JSON_DIR (or the cwd) and
+  /// returns the failure count — benches `return report.finish();`.
+  int finish() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("DJVM_BENCH_JSON_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream f(path, std::ios::trunc);
+    if (f) {
+      f << json();
+      std::cout << "\nwrote " << path << "\n";
+    } else {
+      std::cout << "\n[WARN] could not write " << path << "\n";
+    }
+    return failures_;
+  }
+
+  [[nodiscard]] std::string json() const {
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n  \"bench\": \"" << esc(name_) << "\",\n  \"metrics\": {\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      os << "    \"" << esc(m.key) << "\": {\"value\": " << num(m.value)
+         << ", \"goal\": \"" << esc(m.goal) << "\", \"slack\": " << num(m.slack)
+         << ", \"abs_slack\": " << num(m.abs_slack) << "}"
+         << (i + 1 < metrics_.size() ? "," : "") << "\n";
+    }
+    os << "  },\n  \"checks\": [\n";
+    for (std::size_t i = 0; i < checks_.size(); ++i) {
+      const Check& c = checks_[i];
+      os << "    {\"name\": \"" << esc(c.what) << "\", \"pass\": "
+         << (c.ok ? "true" : "false") << ", \"value\": " << num(c.value)
+         << ", \"op\": \"" << esc(c.op) << "\", \"threshold\": " << num(c.threshold)
+         << "}" << (i + 1 < checks_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+  }
+
+ private:
+  struct Metric {
+    std::string key;
+    double value;
+    std::string goal;
+    double slack;
+    double abs_slack;
+  };
+  struct Check {
+    std::string what;
+    bool ok;
+    double value;
+    double threshold;
+    std::string op;
+  };
+
+  /// Check labels are arbitrary prose: escape them so one stray quote can't
+  /// make the regression gate choke on malformed JSON.
+  static std::string esc(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  /// JSON has no inf/nan literals; clamp non-finite values to null.
+  static std::string num(double v) {
+    if (!std::isfinite(v)) return "null";
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+  }
+
+  std::string name_;
+  std::vector<Metric> metrics_;
+  std::vector<Check> checks_;
+  int failures_ = 0;
+};
 
 /// Compact ASCII heat map of a correlation matrix (for Fig. 1).
 inline void print_heatmap(std::ostream& os, const SquareMatrix& m,

@@ -26,6 +26,15 @@ std::string Config::summary() const {
     os << " footprint="
        << (footprint_timer == FootprintTimerMode::kNonstop ? "nonstop" : "timer");
   }
+  if (governor_enabled) {
+    os << " governor=" << governor_budget * 100.0 << "%";
+    if (governor_per_node) {
+      os << "/node";
+      if (governor_node_budget > 0.0) {
+        os << "=" << governor_node_budget * 100.0 << "%";
+      }
+    }
+  }
   return os.str();
 }
 

@@ -60,6 +60,15 @@ struct Config {
   bool governor_enabled = false;
   /// Overhead budget as a fraction of application time (0.02 = 2%).
   double governor_budget = 0.02;
+  /// Enforce the budget per worker node (Atys-style bounded local cost):
+  /// back off only the classes dominating the worst offending node's cost,
+  /// tighten cluster-wide only when every node is under budget.  On by
+  /// default — the cluster-aggregate policy lets one hot node run far over
+  /// budget while the average looks fine; set false to reproduce it.
+  bool governor_per_node = true;
+  /// Per-node overhead budget as a fraction of that node's application
+  /// time; 0 = inherit governor_budget.
+  double governor_node_budget = 0.0;
 
   // --- stack sampling ------------------------------------------------------
   bool stack_sampling = false;

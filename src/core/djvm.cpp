@@ -62,6 +62,8 @@ void Djvm::apply_profiling_config() {
     GovernorConfig gcfg;
     gcfg.overhead_budget = cfg_.governor_budget;
     gcfg.distance_threshold = cfg_.adapt_threshold;
+    gcfg.per_node = cfg_.governor_per_node;
+    gcfg.node_budget = cfg_.governor_node_budget;
     daemon_.governor().arm(gcfg);
   }
   // No disarm branch: Config is immutable after construction, so
@@ -76,8 +78,17 @@ EpochResult Djvm::run_governed_epoch() {
   pump_daemon();
 
   const ProtocolStats& ps = gos_->stats();
+  const std::uint32_t nodes = cfg_.nodes;
   SimTime sim_total = 0;
-  for (ThreadId t = 0; t < thread_count(); ++t) sim_total += gos_->clock(t).now();
+  std::vector<SimTime> node_sim(nodes, 0);
+  for (ThreadId t = 0; t < thread_count(); ++t) {
+    const SimTime now = gos_->clock(t).now();
+    sim_total += now;
+    // A thread that migrated mid-epoch charges its whole clock to its
+    // current node — acceptable smear, since migration already implies the
+    // planner believes the work belongs there.
+    node_sim[gos_->thread_node(t)] += now;
+  }
 
   // A Gos::reset_stats() between pumps restarts the counters below the
   // snapshot; treat the restarted value as the whole delta instead of
@@ -116,6 +127,54 @@ EpochResult Djvm::run_governed_epoch() {
   s.app_seconds =
       std::max(0.0, clock_delta - s.access_check_seconds - s.fixed_seconds);
 
+  // Per-node slices of the same accounting: each node's profiling cost over
+  // each node's own application progress, so one hot node cannot hide
+  // behind the cluster average.
+  pump_snapshot_.node_oal_entries.resize(nodes, 0);
+  pump_snapshot_.node_fp_touches.resize(nodes, 0);
+  pump_snapshot_.node_oal_send_ns.resize(nodes, 0);
+  pump_snapshot_.node_sim_total.resize(nodes, 0);
+  pump_snapshot_.node_stack_cost.resize(nodes, 0);
+  stack_cost_by_node_.resize(std::max<std::size_t>(stack_cost_by_node_.size(), nodes), 0);
+  s.nodes.resize(nodes);
+  const auto kOalIdx = static_cast<std::size_t>(MsgCategory::kOal);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const NodeProfilingStats& nps = gos_->node_stats(static_cast<NodeId>(n));
+    const std::uint64_t send_ns =
+        net_.node_traffic(static_cast<NodeId>(n)).send_ns[kOalIdx];
+    NodeOverheadSample& ns = s.nodes[n];
+    ns.node = static_cast<NodeId>(n);
+    ns.access_check_seconds =
+        (static_cast<double>(
+             delta(nps.oal_entries, pump_snapshot_.node_oal_entries[n])) *
+             static_cast<double>(kLogServiceCost) +
+         static_cast<double>(
+             delta(nps.footprint_touches, pump_snapshot_.node_fp_touches[n])) *
+             static_cast<double>(kFootprintServiceCost) +
+         static_cast<double>(
+             delta(send_ns, pump_snapshot_.node_oal_send_ns[n]))) *
+        1e-9;
+    ns.fixed_seconds =
+        static_cast<double>(stack_cost_by_node_[n] -
+                            pump_snapshot_.node_stack_cost[n]) *
+        1e-9;
+    // Thread migration moves a whole clock between node sums mid-epoch, so
+    // the source node's sum can drop below its snapshot: clamp through the
+    // same guard as the restartable counters instead of wrapping (one smeared
+    // epoch; the window absorbs it).
+    const double node_clock_delta =
+        static_cast<double>(delta(node_sim[n], pump_snapshot_.node_sim_total[n])) *
+        1e-9;
+    ns.app_seconds = std::max(
+        0.0, node_clock_delta - ns.access_check_seconds - ns.fixed_seconds);
+
+    pump_snapshot_.node_oal_entries[n] = nps.oal_entries;
+    pump_snapshot_.node_fp_touches[n] = nps.footprint_touches;
+    pump_snapshot_.node_oal_send_ns[n] = send_ns;
+    pump_snapshot_.node_sim_total[n] = node_sim[n];
+    pump_snapshot_.node_stack_cost[n] = stack_cost_by_node_[n];
+  }
+
   pump_snapshot_.oal_entries = ps.oal_entries;
   pump_snapshot_.footprint_touches = ps.footprint_touches;
   pump_snapshot_.oal_send_ns = ps.oal_send_ns;
@@ -146,6 +205,9 @@ void Djvm::on_stack_sample(ThreadId t) {
   const SimTime cost = stack_work_cost(work);
   gos_->clock(t).advance(cost);
   stack_sampling_sim_cost_ += cost;
+  const NodeId node = gos_->thread_node(t);
+  if (stack_cost_by_node_.size() <= node) stack_cost_by_node_.resize(node + 1, 0);
+  stack_cost_by_node_[node] += cost;
 }
 
 void Djvm::on_interval_close(ThreadId t) {

@@ -87,9 +87,11 @@ class Djvm final : public Gos::Hooks {
   void pump_daemon();
 
   /// The per-epoch governor pump: drains records, assembles the epoch's
-  /// overhead sample from GOS/network/clock deltas since the previous pump,
-  /// and runs one daemon epoch under the governor.  Call once per epoch
-  /// (e.g. after each barrier round).
+  /// overhead sample — cluster aggregate plus one per-node slice per worker
+  /// node, from per-node GOS counters, per-source network accounting, and
+  /// per-node thread-clock deltas since the previous pump — and runs one
+  /// daemon epoch under the governor.  Call once per epoch (e.g. after each
+  /// barrier round).
   EpochResult run_governed_epoch();
 
   /// Stack-invariant refs of `t` right now (topmost first).
@@ -139,6 +141,8 @@ class Djvm final : public Gos::Hooks {
   std::vector<IntervalObserver> interval_observers_;
   std::vector<std::vector<ObjectId>> last_invariants_;
   SimTime stack_sampling_sim_cost_ = 0;
+  /// Stack-sampler cost attributed to the node the sampled thread ran on.
+  std::vector<SimTime> stack_cost_by_node_;
 
   /// Counters at the previous run_governed_epoch, for per-epoch deltas.
   struct PumpSnapshot {
@@ -147,6 +151,12 @@ class Djvm final : public Gos::Hooks {
     std::uint64_t oal_send_ns = 0;
     SimTime thread_sim_total = 0;
     SimTime stack_cost = 0;
+    // Per-node slices of the same counters (indexed by NodeId).
+    std::vector<std::uint64_t> node_oal_entries;
+    std::vector<std::uint64_t> node_fp_touches;
+    std::vector<std::uint64_t> node_oal_send_ns;
+    std::vector<SimTime> node_sim_total;
+    std::vector<SimTime> node_stack_cost;
   } pump_snapshot_;
 };
 

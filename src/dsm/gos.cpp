@@ -16,7 +16,8 @@ constexpr std::uint64_t kRequestBytes = 32;
 
 Gos::Gos(Heap& heap, Network& net, SamplingPlan& plan, const Config& cfg)
     : heap_(heap), net_(net), plan_(plan), cfg_(cfg), costs_(cfg.costs),
-      nodes_(cfg.nodes), locks_(cfg.nodes), tracking_(cfg.oal_transfer) {
+      nodes_(cfg.nodes), locks_(cfg.nodes), tracking_(cfg.oal_transfer),
+      node_stats_(cfg.nodes) {
   last_write_epoch_.reserve(1024);
 }
 
@@ -177,6 +178,7 @@ void Gos::log_access(ThreadState& ts, ObjectId obj) {
   ts.oal.push_back(OalEntry{obj, heap_.meta(obj).klass, plan_.sample_bytes(obj),
                             plan_.gap_of(obj)});
   ++stats_.oal_entries;
+  ++node_stats_[ts.node].oal_entries;
 }
 
 void Gos::refresh_footprint_state(ThreadState& ts) {
@@ -202,6 +204,7 @@ void Gos::footprint_touch(ThreadState& ts, ObjectId obj) {
   if (ts.fp_count[oi] == 0) ts.fp_objects.push_back(obj);
   ++ts.fp_count[oi];
   ++stats_.footprint_touches;
+  ++node_stats_[ts.node].footprint_touches;
 }
 
 std::vector<FootprintTouch> Gos::footprint_touches(ThreadId t) const {

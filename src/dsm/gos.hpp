@@ -135,7 +135,15 @@ class Gos {
   [[nodiscard]] std::vector<FootprintTouch> footprint_touches(ThreadId t) const;
 
   [[nodiscard]] const ProtocolStats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_.reset(); }
+  /// Profiling activity attributed to one worker node (the node a thread ran
+  /// on when it paid the cost; threads that migrate charge their new node).
+  [[nodiscard]] const NodeProfilingStats& node_stats(NodeId node) const {
+    return node_stats_[node];
+  }
+  void reset_stats() {
+    stats_.reset();
+    for (NodeProfilingStats& ns : node_stats_) ns.reset();
+  }
 
   [[nodiscard]] Heap& heap() noexcept { return heap_; }
   [[nodiscard]] Network& net() noexcept { return net_; }
@@ -222,6 +230,7 @@ class Gos {
 
   std::vector<IntervalRecord> records_;
   ProtocolStats stats_;
+  std::vector<NodeProfilingStats> node_stats_;  ///< indexed by NodeId
 };
 
 }  // namespace djvm

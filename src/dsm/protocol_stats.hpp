@@ -32,4 +32,15 @@ struct ProtocolStats {
   void reset() { *this = ProtocolStats{}; }
 };
 
+/// Per-worker-node slice of the profiling counters above.  The governor's
+/// pump hook reads deltas of these to assemble per-node overhead samples, so
+/// a single hot node blowing its local budget stays visible even when the
+/// cluster-wide aggregate looks fine.
+struct NodeProfilingStats {
+  std::uint64_t oal_entries = 0;       ///< access-log events on this node
+  std::uint64_t footprint_touches = 0; ///< repeated-tracking entries on this node
+
+  void reset() { *this = NodeProfilingStats{}; }
+};
+
 }  // namespace djvm

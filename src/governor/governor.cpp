@@ -11,11 +11,32 @@ Governor::Governor(SamplingPlan& plan, GovernorConfig cfg)
     : plan_(plan), cfg_(cfg), meter_(cfg.costs, cfg.meter_window) {}
 
 void Governor::reset_controller_state(GovernorState state) {
+  // Per-node backoff state is convergence progress too: a re-arm (or a
+  // switch to a mode that can never relax shifts, like legacy) must drop the
+  // shifts AND recompute the affected classes under the restored cluster
+  // view, or the previously hot nodes stay silently under-sampled.
+  if (plan_.has_node_gap_shifts()) {
+    std::vector<std::uint8_t> affected(plan_.heap().registry().size(), 0);
+    for (std::size_t n = 0; n < plan_.shift_node_count(); ++n) {
+      for (const Klass& k : plan_.heap().registry().all()) {
+        if (plan_.node_gap_shift(static_cast<NodeId>(n), k.id) != 0) {
+          affected[static_cast<std::size_t>(k.id)] = 1;
+        }
+      }
+    }
+    plan_.clear_node_gap_shifts();
+    std::vector<ClassId> ids;
+    for (std::size_t c = 0; c < affected.size(); ++c) {
+      if (affected[c] != 0) ids.push_back(static_cast<ClassId>(c));
+    }
+    plan_.resample_classes(ids);
+  }
   meter_ = OverheadMeter(cfg_.costs, cfg_.meter_window);
   state_ = state;
   epochs_ = 0;
   rearms_ = 0;
   grace_ = 0;
+  node_settle_ = 0;
   converged_gaps_.clear();
 }
 
@@ -63,21 +84,26 @@ Governor::EpochOutcome Governor::on_epoch(std::optional<double> rel_distance,
                                           const OverheadSample& sample) {
   meter_.record(sample);
   ++epochs_;
+  EpochOutcome out;
   switch (mode_) {
-    case GovernorMode::kDisarmed: {
-      EpochOutcome out;
+    case GovernorMode::kDisarmed:
       out.overhead_fraction = meter_.rolling_fraction();
-      return out;
-    }
+      break;
     case GovernorMode::kLegacyOneWay:
-      return legacy_step(rel_distance);
+      out = legacy_step(rel_distance);
+      break;
     case GovernorMode::kClosedLoop:
       // An unmeasured sample (standalone daemon, no pump hook) carries no
       // app time: the overhead fraction is meaningless, so budget
       // enforcement is suspended and only distance-driven decisions run.
-      return closed_loop_step(rel_distance, sample.measured);
+      out = closed_loop_step(rel_distance, sample.measured);
+      break;
   }
-  return {};
+  if (const std::optional<NodeId> worst = meter_.worst_node()) {
+    out.offender = worst;
+    out.offender_fraction = meter_.node_rolling_fraction(*worst);
+  }
+  return out;
 }
 
 Governor::EpochOutcome Governor::legacy_step(std::optional<double> rel_distance) {
@@ -138,6 +164,42 @@ Governor::EpochOutcome Governor::closed_loop_step(std::optional<double> rel_dist
   // comes from rate-independent costs (stack-sampling timers), backing off
   // further would destroy the correlation map without restoring the
   // budget, so the back-off stops once the reducible share is negligible.
+  //
+  // Per-node enforcement runs first: the worst offending node is held to
+  // the node budget against its *own* application progress, and only the
+  // classes dominating that node's cost are coarsened (via gap shifts that
+  // leave every other node's rates alone).  The cluster-aggregate check
+  // stays as a second line for the non-per-node policy and for a separately
+  // configured cluster budget.
+  const bool per_node = cfg_.per_node && meter_.node_count() > 0;
+  const double node_budget = cfg_.effective_node_budget();
+  const double node_hi = node_budget * (1.0 + cfg_.hysteresis);
+  if (budget_known && per_node && node_settle_ > 0) {
+    // Settle epoch: last epoch's per-node back-off resampled the offender's
+    // heap slice, and that one-off cost is in this epoch's sample.
+    --node_settle_;
+  } else if (budget_known && per_node) {
+    if (const std::optional<NodeId> worst = meter_.worst_node()) {
+      const double nfrac = meter_.node_rolling_fraction(*worst);
+      const double nred = meter_.node_rolling_reducible_fraction(*worst);
+      if (nfrac > node_hi && meter_.node_epoch_fraction(*worst) > node_hi &&
+          nred > 0.1 * node_budget) {
+        const double fixed_share = std::isfinite(nfrac) ? nfrac - nred : 0.0;
+        const double headroom = std::max(0.0, node_budget - fixed_share);
+        const double shrink = std::isfinite(nred) && nred > 0.0
+                                  ? headroom / nred
+                                  : 0.0;
+        out.resampled_objects = back_off_node(*worst, shrink);
+        if (out.resampled_objects > 0) {
+          if (state_ == GovernorState::kSentinel) grace_ = 1;
+          node_settle_ = 1;
+          out.rate_changed = true;
+          out.action = GovernorAction::kBackOff;
+          return out;
+        }
+      }
+    }
+  }
   const double reducible = meter_.rolling_reducible_fraction();
   if (budget_known && frac > hi && meter_.epoch_fraction() > hi &&
       reducible > 0.1 * cfg_.overhead_budget) {
@@ -157,13 +219,44 @@ Governor::EpochOutcome Governor::closed_loop_step(std::optional<double> rel_dist
     }
   }
 
+  // A node that backed off during a hot phase and has since cooled well
+  // under the node budget gets its shifts decayed back toward the cluster
+  // view (one decrement per class per epoch; the x2 margin inside
+  // relax_node_shifts keeps the decay from oscillating against the
+  // back-off above).  Runs in sentinel too — a cooled node should not stay
+  // coarse just because the map converged in the meantime.
+  if (budget_known && per_node && plan_.has_node_gap_shifts()) {
+    bool any = false;
+    const std::size_t visited = relax_node_shifts(any);
+    if (any) {
+      if (state_ == GovernorState::kSentinel) grace_ = 1;
+      out.resampled_objects = visited;
+      out.rate_changed = true;
+      out.action = GovernorAction::kTighten;
+      return out;
+    }
+  }
+
   if (state_ == GovernorState::kAdapting && rel_distance.has_value()) {
+    // Cluster-wide tightening halves every class's gap — roughly doubling
+    // every node's entry cost — so with per-node budgets it additionally
+    // requires every node to sit under its own lower band.
+    bool all_nodes_under = true;
+    if (per_node) {
+      const double node_lo = node_budget * (1.0 - cfg_.hysteresis);
+      for (std::size_t n = 0; n < meter_.node_count(); ++n) {
+        if (meter_.node_rolling_fraction(static_cast<NodeId>(n)) >= node_lo) {
+          all_nodes_under = false;
+          break;
+        }
+      }
+    }
     if (*rel_distance <= cfg_.distance_threshold) {
       capture_converged_gaps();
       out.resampled_objects = enter_sentinel();
       out.rate_changed = out.resampled_objects > 0;
       out.action = GovernorAction::kConverge;
-    } else if (!budget_known || frac < lo) {
+    } else if (!budget_known || (frac < lo && all_nodes_under)) {
       bool any = false;
       out.resampled_objects = tighten(any);
       if (any) {
@@ -222,6 +315,73 @@ std::size_t Governor::back_off(double shrink_to) {
     projected -= static_cast<double>(c.entries) / 2.0;
   }
   return plan_.resample_classes(changed);
+}
+
+std::size_t Governor::back_off_node(NodeId node, double shrink_to) {
+  const std::vector<std::vector<ClassEpochStats>>& by_node = plan_.node_epoch_stats();
+  if (static_cast<std::size_t>(node) >= by_node.size()) return 0;
+  const std::vector<ClassEpochStats>& stats = by_node[node];
+  struct Candidate {
+    ClassId id;
+    double score;  ///< estimated shared bytes per logged entry (benefit/cost)
+    std::uint64_t entries;
+  };
+  std::vector<Candidate> candidates;
+  double total_entries = 0.0;
+  for (const Klass& k : plan_.heap().registry().all()) {
+    const std::size_t idx = static_cast<std::size_t>(k.id);
+    if (idx >= stats.size() || stats[idx].entries == 0) continue;
+    total_entries += static_cast<double>(stats[idx].entries);
+    if (plan_.effective_nominal_gap(node, k.id) >= cfg_.max_nominal_gap) continue;
+    candidates.push_back({k.id,
+                          static_cast<double>(stats[idx].estimated_bytes) /
+                              static_cast<double>(stats[idx].entries),
+                          stats[idx].entries});
+  }
+  if (candidates.empty() || total_entries <= 0.0) return 0;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score != b.score ? a.score < b.score : a.id < b.id;
+            });
+  // Same projection as the cluster back_off, but doublings land on the
+  // node's gap *shift*: only objects homed on the offender coarsen, and the
+  // cluster view the other nodes sample under stays untouched.
+  const double target = std::clamp(shrink_to, 0.0, 1.0) * total_entries;
+  double projected = total_entries;
+  std::vector<ClassId> changed;
+  for (const Candidate& c : candidates) {
+    if (projected <= target) break;
+    plan_.set_node_gap_shift(node, c.id, plan_.node_gap_shift(node, c.id) + 1);
+    changed.push_back(c.id);
+    projected -= static_cast<double>(c.entries) / 2.0;
+  }
+  return plan_.resample_classes_on_node(node, changed);
+}
+
+std::size_t Governor::relax_node_shifts(bool& any) {
+  any = false;
+  std::size_t visited = 0;
+  const double node_budget = cfg_.effective_node_budget();
+  for (std::size_t n = 0; n < plan_.shift_node_count(); ++n) {
+    const NodeId node = static_cast<NodeId>(n);
+    // One decrement doubles the node's entry cost on the relaxed classes:
+    // only relax when even the doubled cost would sit under the budget, so
+    // the decay cannot ping-pong with the back-off across the dead band.
+    if (meter_.node_rolling_fraction(node) * 2.0 >= node_budget) continue;
+    if (meter_.node_epoch_fraction(node) * 2.0 >= node_budget) continue;
+    std::vector<ClassId> changed;
+    for (const Klass& k : plan_.heap().registry().all()) {
+      const std::uint32_t shift = plan_.node_gap_shift(node, k.id);
+      if (shift == 0) continue;
+      plan_.set_node_gap_shift(node, k.id, shift - 1);
+      changed.push_back(k.id);
+    }
+    if (!changed.empty()) {
+      any = true;
+      visited += plan_.resample_classes_on_node(node, changed);
+    }
+  }
+  return visited;
 }
 
 std::size_t Governor::tighten(bool& any) {

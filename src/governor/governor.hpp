@@ -18,6 +18,15 @@
 //                     (phase change) restores the converged gaps and
 //                     re-arms full adaptation.
 //
+// With per_node set, the budget is enforced against each worker node's own
+// overhead fraction (profiling cost a node pays over that node's application
+// progress): the back-off targets the classes dominating the *worst
+// offending node's* cost via per-(node, class) gap shifts in the sampling
+// plan, tightening stays cluster-wide but requires *every* node under
+// budget, and shifts decay once their node has cooled.  This is the paper's
+// locally-paid cost model (each node runs its own access checks, OAL
+// shipping, and resampling) made explicit in the controller.
+//
 // A legacy mode reproduces the seed daemon's one-way rate decisions
 // (halve-all-until-agreement, then freeze), so
 // CorrelationDaemon::enable_adaptation stays a thin forwarding shim.  One
@@ -64,6 +73,14 @@ enum class GovernorAction : std::uint8_t {
 struct GovernorConfig {
   /// Overhead budget as a fraction of application time (0.02 = 2%).
   double overhead_budget = 0.02;
+  /// Enforce the budget per worker node: back off only the classes
+  /// dominating the *worst offending node's* cost (via per-node gap shifts)
+  /// and tighten cluster-wide only when every node is under budget.  Off
+  /// reproduces the PR 1 cluster-aggregate policy, under which one hot node
+  /// can run far over budget while the average looks fine.
+  bool per_node = false;
+  /// Per-node overhead budget; 0 inherits overhead_budget.
+  double node_budget = 0.0;
   /// Convergence threshold on relative ABS distance between epoch TCMs.
   double distance_threshold = 0.05;
   /// Dead-band half-width around the budget: tighten only below
@@ -79,6 +96,11 @@ struct GovernorConfig {
   /// Rolling window (epochs) of the overhead meter.
   std::size_t meter_window = 4;
   OverheadCosts costs{};
+
+  /// The budget one node is held to (node_budget unless unset).
+  [[nodiscard]] double effective_node_budget() const noexcept {
+    return node_budget > 0.0 ? node_budget : overhead_budget;
+  }
 };
 
 class Governor {
@@ -113,6 +135,11 @@ class Governor {
     std::size_t resampled_objects = 0;
     /// Rolling overhead fraction after folding in this epoch's sample.
     double overhead_fraction = 0.0;
+    /// Worst per-node rolling fraction and the node carrying it (unset when
+    /// no per-node samples have been recorded; filled in every mode so
+    /// benches can watch per-node cost even under the cluster-wide policy).
+    std::optional<NodeId> offender;
+    double offender_fraction = 0.0;
   };
 
   /// Called once per daemon epoch with the TCM movement (nullopt on the
@@ -151,6 +178,15 @@ class Governor {
   /// Doubles gaps on the worst benefit/cost classes until the projected
   /// per-entry cost fits `shrink_to` (fraction of current cost to keep).
   std::size_t back_off(double shrink_to);
+  /// Per-node variant: bumps `node`'s gap *shifts* on the classes dominating
+  /// that node's entry cost (read from the plan's per-node epoch stats) and
+  /// resamples only objects homed there.
+  std::size_t back_off_node(NodeId node, double shrink_to);
+  /// Decrements gap shifts on nodes that have cooled well under the node
+  /// budget (rolling and epoch fraction both below half of it), restoring
+  /// their rates toward the cluster view.  Returns objects resampled; sets
+  /// `any` when at least one shift moved.
+  std::size_t relax_node_shifts(bool& any);
   /// Halves every class's gap (clamped at full sampling).  Returns objects
   /// resampled; sets `any` when at least one gap moved.
   std::size_t tighten(bool& any);
@@ -168,6 +204,11 @@ class Governor {
   /// Spike checks skipped after a sentinel-entry rate change (the coarser
   /// rate itself moves the map once; that is not a phase change).
   std::size_t grace_ = 0;
+  /// Per-node back-off epochs skipped after one fired: the resampling pass
+  /// it triggers is charged to the *offending node's* next sample, so
+  /// re-evaluating before that transient drains would actuate against the
+  /// controller's own transition cost and spiral the gaps to the ceiling.
+  std::size_t node_settle_ = 0;
   std::vector<std::uint32_t> converged_gaps_;
 };
 

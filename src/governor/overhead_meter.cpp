@@ -30,6 +30,28 @@ void OverheadMeter::record(const OverheadSample& sample) {
   e.reducible_seconds = reducible_seconds(sample, costs_);
   e.fixed_seconds = sample.fixed_seconds;
   e.build_seconds = sample.build_seconds;
+
+  // Grow the node table first so every known node gets a slot this epoch
+  // (zeros mean "no cost observed here"), keeping the windows aligned.
+  for (const NodeOverheadSample& ns : sample.nodes) {
+    if (ns.node == kInvalidNode) continue;
+    if (node_rings_.size() <= ns.node) {
+      node_rings_.resize(ns.node + 1, std::vector<Entry>(window_));
+    }
+  }
+  for (auto& ring : node_rings_) ring[next_] = Entry{};
+  for (const NodeOverheadSample& ns : sample.nodes) {
+    if (ns.node == kInvalidNode) continue;
+    Entry& ne = node_rings_[ns.node][next_];
+    ne.app_seconds += ns.app_seconds;
+    ne.reducible_seconds +=
+        ns.access_check_seconds +
+        static_cast<double>(ns.wire_bytes) * costs_.seconds_per_wire_byte +
+        static_cast<double>(ns.resampled_objects) *
+            costs_.seconds_per_resampled_object;
+    ne.fixed_seconds += ns.fixed_seconds;
+  }
+
   next_ = (next_ + 1) % window_;
   filled_ = std::min(filled_ + 1, window_);
   ++epochs_;
@@ -74,6 +96,47 @@ double OverheadMeter::coordinator_fraction() const {
     app += ring_[i].app_seconds;
   }
   return fraction(build, app);
+}
+
+double OverheadMeter::node_rolling_fraction(NodeId node) const {
+  if (node >= node_rings_.size()) return 0.0;
+  const std::vector<Entry>& ring = node_rings_[node];
+  double prof = 0.0, app = 0.0;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    prof += ring[i].reducible_seconds + ring[i].fixed_seconds;
+    app += ring[i].app_seconds;
+  }
+  return fraction(prof, app);
+}
+
+double OverheadMeter::node_rolling_reducible_fraction(NodeId node) const {
+  if (node >= node_rings_.size()) return 0.0;
+  const std::vector<Entry>& ring = node_rings_[node];
+  double prof = 0.0, app = 0.0;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    prof += ring[i].reducible_seconds;
+    app += ring[i].app_seconds;
+  }
+  return fraction(prof, app);
+}
+
+double OverheadMeter::node_epoch_fraction(NodeId node) const {
+  if (node >= node_rings_.size() || filled_ == 0) return 0.0;
+  const Entry& e = node_rings_[node][(next_ + window_ - 1) % window_];
+  return fraction(e.reducible_seconds + e.fixed_seconds, e.app_seconds);
+}
+
+std::optional<NodeId> OverheadMeter::worst_node() const {
+  std::optional<NodeId> worst;
+  double worst_frac = -1.0;
+  for (std::size_t n = 0; n < node_rings_.size(); ++n) {
+    const double f = node_rolling_fraction(static_cast<NodeId>(n));
+    if (f > worst_frac) {
+      worst_frac = f;
+      worst = static_cast<NodeId>(n);
+    }
+  }
+  return worst;
 }
 
 }  // namespace djvm

@@ -18,9 +18,34 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "common/types.hpp"
+
 namespace djvm {
+
+/// One worker node's slice of an epoch's costs.  The paper's profiling costs
+/// are paid *locally* — each node runs its own access checks, ships its own
+/// OALs, and resamples its own cached objects — so the governor budgets each
+/// node against its own application progress, not the cluster average.
+struct NodeOverheadSample {
+  NodeId node = 0;
+  /// Application progress of this node's threads (profiling time already
+  /// subtracted, as in OverheadSample::app_seconds).
+  double app_seconds = 0.0;
+  /// Rate-dependent profiling CPU this node paid (OAL log service, footprint
+  /// re-arms, measured OAL send time).
+  double access_check_seconds = 0.0;
+  /// Rate-independent profiling CPU (stack-sampling timers on this node).
+  double fixed_seconds = 0.0;
+  /// OAL payload shipped from this node (priced by the cost model only when
+  /// the sample is unmeasured; measured pumps fold send time into
+  /// access_check_seconds).
+  std::uint64_t wire_bytes = 0;
+  /// Objects homed here visited by resampling passes triggered last epoch.
+  std::uint64_t resampled_objects = 0;
+};
 
 /// Per-epoch cost observations, assembled by the Djvm pump hook (or by the
 /// daemon itself from the records when running standalone).
@@ -48,6 +73,10 @@ struct OverheadSample {
   std::uint64_t wire_bytes = 0;
   /// Objects visited by resampling passes triggered last epoch.
   std::uint64_t resampled_objects = 0;
+  /// Per-node slices of the costs above (empty when the caller only has
+  /// cluster aggregates; the cluster fields are NOT derived from this list,
+  /// both views are recorded as given).
+  std::vector<NodeOverheadSample> nodes;
 };
 
 /// Conversion constants from event counts to seconds, calibrated to the
@@ -91,6 +120,21 @@ class OverheadMeter {
   /// unless coordinator_weight > 0).
   [[nodiscard]] double coordinator_fraction() const;
 
+  // --- per-node views --------------------------------------------------------
+  /// Number of nodes that have appeared in recorded samples (node ids are
+  /// dense; a node that never appeared reads as zero overhead).
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_rings_.size(); }
+  /// Rolling overhead fraction of one node: its profiling seconds over its
+  /// own app seconds (same +inf convention as rolling_fraction).
+  [[nodiscard]] double node_rolling_fraction(NodeId node) const;
+  /// The rate-dependent share of node_rolling_fraction.
+  [[nodiscard]] double node_rolling_reducible_fraction(NodeId node) const;
+  /// One node's most recent epoch alone.
+  [[nodiscard]] double node_epoch_fraction(NodeId node) const;
+  /// Node with the highest rolling fraction (ties break toward the lowest
+  /// id); nullopt when no per-node samples were ever recorded.
+  [[nodiscard]] std::optional<NodeId> worst_node() const;
+
   [[nodiscard]] std::size_t epochs() const noexcept { return epochs_; }
   [[nodiscard]] std::size_t window() const noexcept { return window_; }
   [[nodiscard]] const OverheadCosts& costs() const noexcept { return costs_; }
@@ -106,6 +150,10 @@ class OverheadMeter {
   OverheadCosts costs_;
   std::size_t window_;
   std::vector<Entry> ring_;
+  /// Per-node rings share next_/filled_ with the cluster ring: every record()
+  /// writes one slot in each (zeros for nodes absent from the sample), so the
+  /// windows stay epoch-aligned.
+  std::vector<std::vector<Entry>> node_rings_;
   std::size_t next_ = 0;
   std::size_t filled_ = 0;
   std::size_t epochs_ = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <limits>
 
 #include "runtime/klass.hpp"
 
@@ -55,11 +56,13 @@ struct SnapshotAccess {
     put<std::uint32_t>(out, kSnapshotVersion);
     put<std::uint8_t>(out, static_cast<std::uint8_t>(gov.mode_));
     put<std::uint8_t>(out, static_cast<std::uint8_t>(gov.state_));
-    put<std::uint16_t>(out, 0);
+    put<std::uint8_t>(out, gov.cfg_.per_node ? 1u : 0u);
+    put<std::uint8_t>(out, 0);
     put<double>(out, gov.cfg_.overhead_budget);
     put<double>(out, gov.cfg_.distance_threshold);
     put<double>(out, gov.cfg_.hysteresis);
     put<double>(out, gov.cfg_.phase_spike_factor);
+    put<double>(out, gov.cfg_.node_budget);
     put<std::uint32_t>(out, gov.cfg_.sentinel_coarsen_shifts);
     put<std::uint32_t>(out, gov.cfg_.max_nominal_gap);
     put<std::uint64_t>(out, gov.epochs_);
@@ -78,6 +81,28 @@ struct SnapshotAccess {
       put<std::uint32_t>(out, k.sampling.initialized ? 1u : 0u);
     }
 
+    // Per-(node, class) gap shifts: the worst-offender backoff state that
+    // makes the warm start per-node, not just cluster-wide.  Trailing
+    // all-zero rows are trimmed so encode(decode(x)) stays bit-exact (the
+    // decoder only materializes rows up to the last nonzero shift).
+    std::uint32_t shift_nodes = 0;
+    for (std::size_t n = 0; n < gov.plan_.shift_node_count(); ++n) {
+      for (const Klass& k : all) {
+        if (gov.plan_.node_gap_shift(static_cast<NodeId>(n), k.id) != 0) {
+          shift_nodes = static_cast<std::uint32_t>(n) + 1;
+          break;
+        }
+      }
+    }
+    put<std::uint32_t>(out, shift_nodes);
+    for (std::uint32_t n = 0; n < shift_nodes; ++n) {
+      for (const Klass& k : all) {
+        put<std::uint8_t>(out, static_cast<std::uint8_t>(
+                                   gov.plan_.node_gap_shift(
+                                       static_cast<NodeId>(n), k.id)));
+      }
+    }
+
     put<std::uint64_t>(out, tcm.size());
     for (double v : tcm.raw()) put<double>(out, v);
   }
@@ -87,16 +112,32 @@ struct SnapshotAccess {
     Reader r(bytes);
     std::uint32_t magic = 0, version = 0;
     if (!r.get(magic) || magic != kSnapshotMagic) return false;
-    if (!r.get(version) || version != kSnapshotVersion) return false;
+    if (!r.get(version) ||
+        (version != kSnapshotVersion && version != kSnapshotVersionV1)) {
+      return false;
+    }
+    const bool v1 = version == kSnapshotVersionV1;
 
-    std::uint8_t mode = 0, state = 0;
-    std::uint16_t reserved = 0;
+    std::uint8_t mode = 0, state = 0, flags = 0, reserved = 0;
     GovernorConfig cfg = gov.cfg_;  // meter costs/window stay machine-local
     std::uint64_t epochs = 0, rearms = 0;
-    if (!r.get(mode) || !r.get(state) || !r.get(reserved)) return false;
+    if (!r.get(mode) || !r.get(state) || !r.get(flags) || !r.get(reserved)) {
+      return false;
+    }
     if (!r.get(cfg.overhead_budget) || !r.get(cfg.distance_threshold) ||
-        !r.get(cfg.hysteresis) || !r.get(cfg.phase_spike_factor) ||
-        !r.get(cfg.sentinel_coarsen_shifts) || !r.get(cfg.max_nominal_gap) ||
+        !r.get(cfg.hysteresis) || !r.get(cfg.phase_spike_factor)) {
+      return false;
+    }
+    if (v1) {
+      // v1's flags byte was reserved padding; the per-node policy knobs
+      // (cfg.per_node, cfg.node_budget) stay whatever this machine's
+      // governor was configured with.
+    } else {
+      if (flags > 1u) return false;  // unknown flag bits: corruption
+      if (!r.get(cfg.node_budget)) return false;
+      cfg.per_node = (flags & 1u) != 0;
+    }
+    if (!r.get(cfg.sentinel_coarsen_shifts) || !r.get(cfg.max_nominal_gap) ||
         !r.get(epochs) || !r.get(rearms)) {
       return false;
     }
@@ -124,7 +165,8 @@ struct SnapshotAccess {
     const auto sane = [](double v) { return std::isfinite(v) && v >= 0.0; };
     if (!sane(cfg.overhead_budget) || !sane(cfg.distance_threshold) ||
         !sane(cfg.hysteresis) || !sane(cfg.phase_spike_factor) ||
-        cfg.max_nominal_gap == 0 || cfg.sentinel_coarsen_shifts > 31) {
+        !sane(cfg.node_budget) || cfg.max_nominal_gap == 0 ||
+        cfg.sentinel_coarsen_shifts > 31) {
       return false;
     }
 
@@ -152,6 +194,25 @@ struct SnapshotAccess {
       if ((g.flags & 1u) != 0 && (g.nominal == 0 || g.real == 0)) return false;
     }
 
+    // v2: per-(node, class) gap shift table; a v1 snapshot has none, so a
+    // restored per-node governor starts with every node on the cluster view.
+    std::uint32_t shift_nodes = 0;
+    std::vector<std::uint8_t> shifts;
+    if (!v1) {
+      if (!r.get(shift_nodes)) return false;
+      const std::uint64_t cells =
+          static_cast<std::uint64_t>(shift_nodes) * class_count;
+      // NodeId is 16-bit; a wider count (or a table that cannot fit in the
+      // remaining bytes) is corruption, checked before the allocation.
+      if (shift_nodes > std::numeric_limits<NodeId>::max()) return false;
+      if (cells > r.remaining()) return false;
+      shifts.resize(static_cast<std::size_t>(cells));
+      for (std::uint8_t& s : shifts) {
+        if (!r.get(s)) return false;
+        if (s > 31) return false;  // beyond any gap the encoder can produce
+      }
+    }
+
     std::uint64_t n = 0;
     if (!r.get(n)) return false;
     if (n != 0 && (n > r.remaining() / sizeof(double) / n)) return false;
@@ -172,6 +233,18 @@ struct SnapshotAccess {
     // change.
     gov.grace_ = gov.state_ == GovernorState::kSentinel ? 1 : 0;
     gov.converged_gaps_.assign(reg.size(), 0);  // 0 = not captured
+    // Node state: v2 restores the stored shift table; v1 seeds every node
+    // from the cluster view (no shifts).
+    gov.plan_.clear_node_gap_shifts();
+    for (std::uint32_t nn = 0; nn < shift_nodes; ++nn) {
+      for (std::uint32_t c = 0; c < class_count; ++c) {
+        const std::uint8_t s =
+            shifts[static_cast<std::size_t>(nn) * class_count + c];
+        if (s != 0) {
+          gov.plan_.set_node_gap_shift(static_cast<NodeId>(nn), gaps[c].id, s);
+        }
+      }
+    }
     for (const ClassGap& g : gaps) {
       // A class that never had a rate assigned keeps its placeholder gaps
       // and, crucially, its uninitialized flag, so its first allocation in

@@ -7,13 +7,15 @@
 // converged TCM, the distributed analog of a single-process profiler's
 // `sample.prof` dump.
 //
-// Format v1, host-endian, fixed-width fields (round-trips bit-exactly on
+// Format v2, host-endian, fixed-width fields (round-trips bit-exactly on
 // the writing host; a foreign-endian reader rejects the file at the magic
 // check and cold-starts rather than misreading it):
 //   u32 magic 'DJGV'   u32 version
-//   u8 mode            u8 state        u16 reserved
+//   u8 mode            u8 state
+//   u8 flags (bit 0: per-node budget enforcement)   u8 reserved
 //   f64 overhead_budget   f64 distance_threshold
 //   f64 hysteresis        f64 phase_spike_factor
+//   f64 node_budget (0 = inherit overhead_budget)          [v2]
 //   u32 sentinel_coarsen_shifts   u32 max_nominal_gap
 //   u64 epochs_seen       u64 rearms
 //   u32 class_count
@@ -22,8 +24,16 @@
 //                     u32 flags (bit 0: rate was ever assigned; unset =
 //                     placeholder gaps, left untouched on load so the
 //                     class still inherits the cluster default rate) }
+//   u32 shift_node_count                                    [v2]
+//     shift_node_count x class_count x u8 per-node gap shift [v2]
 //   u64 tcm_dimension
 //     dimension^2 x f64 (row-major)
+//
+// v1 files (no flags byte meaning — it was reserved padding — and none of
+// the [v2] fields) still load: the restored governor keeps its machine-local
+// per-node policy knobs and every node is seeded from the cluster view
+// (all gap shifts zero), so a pre-per-node snapshot warm-starts a per-node
+// governor cleanly.
 #pragma once
 
 #include <cstdint>
@@ -36,7 +46,9 @@
 namespace djvm {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x56474A44;  // "DJGV"
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Version written by encode_snapshot; decode also accepts kSnapshotVersionV1.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersionV1 = 1;
 
 /// Serializes the governor's state, the plan's per-class gaps, and `tcm`
 /// (pass the daemon's latest converged map).

@@ -8,12 +8,21 @@ SimTime Network::send(const Message& msg) noexcept {
       msg.payload_bytes + (msg.piggybacked ? 0 : kMessageHeaderBytes);
   stats_.bytes[idx] += wire_bytes;
   stats_.messages[idx] += 1;
+  SimTime t;
   if (msg.src == msg.dst) {
     // Local delivery: no wire cost, tiny copy cost.
-    return costs_.transfer_time(msg.payload_bytes) / 64;
+    t = costs_.transfer_time(msg.payload_bytes) / 64;
+  } else {
+    t = costs_.transfer_time(wire_bytes);
+    if (!msg.piggybacked) t += costs_.message_latency;
   }
-  SimTime t = costs_.transfer_time(wire_bytes);
-  if (!msg.piggybacked) t += costs_.message_latency;
+  if (msg.src != kInvalidNode) {
+    if (node_traffic_.size() <= msg.src) node_traffic_.resize(msg.src + 1);
+    NodeTraffic& nt = node_traffic_[msg.src];
+    nt.bytes[idx] += wire_bytes;
+    nt.messages[idx] += 1;
+    nt.send_ns[idx] += t;
+  }
   return t;
 }
 

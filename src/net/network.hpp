@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/sim_clock.hpp"
 #include "net/message.hpp"
@@ -36,6 +37,17 @@ struct TrafficStats {
   }
 };
 
+/// Per-source-node traffic accounting: what each worker node spent sending,
+/// by category.  `send_ns` is the simulated time `send` returned (and the
+/// caller charged to a thread clock on that node), so per-node overhead
+/// samples can price wire cost exactly as it was actually paid — latency,
+/// piggybacking, and local-delivery effects included.
+struct NodeTraffic {
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> bytes{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> messages{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> send_ns{};
+};
+
 /// The interconnect.  `send` accounts the message and returns the simulated
 /// time the transfer takes from the sender's perspective; callers advance
 /// their thread's SimClock with it (round trips call send twice).
@@ -51,13 +63,23 @@ class Network {
                      std::uint64_t request_bytes, std::uint64_t reply_bytes) noexcept;
 
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_.reset(); }
+
+  /// Traffic sent *from* `node` (zeros for a node that never sent).
+  [[nodiscard]] const NodeTraffic& node_traffic(NodeId node) const noexcept {
+    static const NodeTraffic kEmpty{};
+    return node < node_traffic_.size() ? node_traffic_[node] : kEmpty;
+  }
+  void reset_stats() noexcept {
+    stats_.reset();
+    node_traffic_.clear();
+  }
 
   [[nodiscard]] const SimCosts& costs() const noexcept { return costs_; }
 
  private:
   SimCosts costs_;
   TrafficStats stats_;
+  std::vector<NodeTraffic> node_traffic_;  ///< indexed by source NodeId
 };
 
 }  // namespace djvm

@@ -1,5 +1,6 @@
 #include "profiling/correlation_daemon.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "profiling/accuracy.hpp"
@@ -30,7 +31,9 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   out.intervals = pending_.size();
   std::uint64_t wire_bytes = 0;
   // Per-class benefit/cost stats feed only the closed-loop back-off; the
-  // legacy and disarmed paths skip the per-entry pass.
+  // legacy and disarmed paths skip the per-entry pass.  Each entry is also
+  // attributed to the worker node whose interval shipped it, so the
+  // per-node back-off can see which classes dominate one node's cost.
   const bool class_stats = governor_.mode() == GovernorMode::kClosedLoop;
   if (class_stats) plan_.begin_epoch_stats();
   for (const IntervalRecord& r : pending_) {
@@ -39,6 +42,7 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
     if (class_stats) {
       for (const OalEntry& e : r.entries) {
         plan_.note_epoch_entry(e.klass, e.bytes, e.gap);
+        plan_.note_epoch_node_entry(r.node, e.klass, e.bytes, e.gap);
       }
     }
   }
@@ -55,15 +59,48 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
 
   // Fill in what the caller did not measure, then let the governor decide.
   sample.build_seconds = out.build_seconds;
-  if (!sample.measured) sample.wire_bytes = wire_bytes;
+  if (!sample.measured) {
+    sample.wire_bytes = wire_bytes;
+    // Observational per-node slices derived from the records themselves
+    // (no app time was measured, so the governor will not budget on them,
+    // but the per-node wire view stays visible).
+    if (sample.nodes.empty()) {
+      for (const IntervalRecord& r : pending_) {
+        if (r.node == kInvalidNode) continue;
+        auto it = std::find_if(sample.nodes.begin(), sample.nodes.end(),
+                               [&](const NodeOverheadSample& ns) {
+                                 return ns.node == r.node;
+                               });
+        if (it == sample.nodes.end()) {
+          sample.nodes.push_back(NodeOverheadSample{});
+          it = sample.nodes.end() - 1;
+          it->node = r.node;
+        }
+        it->wire_bytes += r.wire_bytes();
+      }
+    }
+  }
   sample.resampled_objects += carryover_resampled_;
+  // Resampling passes run *after* a decision, so their per-node cost lands
+  // in the next epoch's sample — merged only into node slices the pump
+  // already measured (a node absent from a measured sample has no app time
+  // to budget against).
+  for (NodeOverheadSample& ns : sample.nodes) {
+    if (ns.node < carryover_resampled_by_node_.size()) {
+      ns.resampled_objects += carryover_resampled_by_node_[ns.node];
+    }
+  }
+  plan_.drain_resampled_by_node();  // discard passes not owed to the governor
   const Governor::EpochOutcome decision =
       governor_.on_epoch(out.rel_distance, sample);
   out.rate_changed = decision.rate_changed;
   out.resampled_objects = decision.resampled_objects;
   out.action = decision.action;
   out.overhead_fraction = decision.overhead_fraction;
+  out.offender = decision.offender;
+  out.offender_fraction = decision.offender_fraction;
   carryover_resampled_ = decision.resampled_objects;
+  carryover_resampled_by_node_ = plan_.drain_resampled_by_node();
 
   latest_ = out.tcm;
   have_latest_ = true;
@@ -94,6 +131,7 @@ void CorrelationDaemon::clear() {
   total_entries_ = 0;
   epochs_ = 0;
   carryover_resampled_ = 0;
+  carryover_resampled_by_node_.clear();
 }
 
 }  // namespace djvm

@@ -36,6 +36,11 @@ struct EpochResult {
   /// Rolling overhead fraction after folding in this epoch's sample (the
   /// meter keeps recording even while the governor is disarmed).
   double overhead_fraction = 0.0;
+  /// Worst per-node rolling fraction and its node, when per-node samples
+  /// were recorded (tracked under every policy, so a cluster-governed run
+  /// still exposes the hot node it is ignoring).
+  std::optional<NodeId> offender;
+  double offender_fraction = 0.0;
 };
 
 class CorrelationDaemon {
@@ -113,6 +118,9 @@ class CorrelationDaemon {
   /// Resampling triggered by last epoch's decision; its cost is metered in
   /// the following epoch's sample (the pass runs after the decision).
   std::uint64_t carryover_resampled_ = 0;
+  /// Same, attributed to each object's home node (feeds the per-node slices
+  /// of the next epoch's sample).
+  std::vector<std::uint64_t> carryover_resampled_by_node_;
 };
 
 }  // namespace djvm

@@ -31,6 +31,11 @@ void SamplingPlan::set_nominal_gap(ClassId id, std::uint32_t nominal) {
           ? 1
           : static_cast<std::uint32_t>(nearest_prime(k.sampling.nominal_gap));
   k.sampling.initialized = true;
+  // Shifted nodes derive their effective gap from the base: keep their
+  // cached real gaps in step with the new nominal.
+  for (std::size_t n = 0; n < node_shift_.size(); ++n) {
+    refresh_node_gap(static_cast<NodeId>(n), id);
+  }
 }
 
 void SamplingPlan::set_rate(ClassId id, std::uint32_t rate_x) {
@@ -65,6 +70,90 @@ std::uint32_t SamplingPlan::nominal_gap(ClassId id) const {
   return heap_.registry().at(id).sampling.nominal_gap;
 }
 
+namespace {
+/// Effective nominal gaps are clamped here so a large base gap with a large
+/// shift cannot overflow (and the prime lookup stays in a sane range).
+constexpr std::uint64_t kMaxEffectiveNominal = 1u << 24;
+constexpr std::uint32_t kMaxNodeShift = 31;
+}  // namespace
+
+void SamplingPlan::refresh_node_gap(NodeId node, ClassId id) {
+  const auto ni = static_cast<std::size_t>(node);
+  const auto ci = static_cast<std::size_t>(id);
+  if (ni >= node_shift_.size() || ci >= node_shift_[ni].size()) return;
+  const std::uint32_t shift = node_shift_[ni][ci];
+  if (shift == 0) {
+    node_real_gap_[ni][ci] = 0;  // 0 = fall through to the base real gap
+    return;
+  }
+  const Klass& k = heap_.registry().at(id);
+  const std::uint64_t nominal = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(k.sampling.nominal_gap) << shift,
+      kMaxEffectiveNominal);
+  node_real_gap_[ni][ci] =
+      nominal <= 1 ? 1 : static_cast<std::uint32_t>(nearest_prime(nominal));
+}
+
+void SamplingPlan::set_node_gap_shift(NodeId node, ClassId id, std::uint32_t shift) {
+  const auto ni = static_cast<std::size_t>(node);
+  const auto ci = static_cast<std::size_t>(id);
+  const std::size_t classes = heap_.registry().size();
+  assert(ci < classes);
+  if (node_shift_.size() <= ni) {
+    node_shift_.resize(ni + 1);
+    node_real_gap_.resize(ni + 1);
+  }
+  for (std::size_t n = 0; n < node_shift_.size(); ++n) {
+    if (node_shift_[n].size() < classes) {
+      node_shift_[n].resize(classes, 0);
+      node_real_gap_[n].resize(classes, 0);
+    }
+  }
+  node_shift_[ni][ci] =
+      static_cast<std::uint8_t>(std::min(shift, kMaxNodeShift));
+  refresh_node_gap(node, id);
+}
+
+std::uint32_t SamplingPlan::node_gap_shift(NodeId node, ClassId id) const {
+  const auto ni = static_cast<std::size_t>(node);
+  const auto ci = static_cast<std::size_t>(id);
+  if (ni >= node_shift_.size() || ci >= node_shift_[ni].size()) return 0;
+  return node_shift_[ni][ci];
+}
+
+void SamplingPlan::clear_node_gap_shifts() {
+  node_shift_.clear();
+  node_real_gap_.clear();
+}
+
+bool SamplingPlan::has_node_gap_shifts() const {
+  for (const auto& row : node_shift_) {
+    for (std::uint8_t s : row) {
+      if (s != 0) return true;
+    }
+  }
+  return false;
+}
+
+std::uint32_t SamplingPlan::effective_nominal_gap(NodeId node, ClassId id) const {
+  const Klass& k = heap_.registry().at(id);
+  const std::uint32_t shift = node_gap_shift(node, id);
+  if (shift == 0) return k.sampling.nominal_gap;
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(k.sampling.nominal_gap) << shift,
+      kMaxEffectiveNominal));
+}
+
+std::uint32_t SamplingPlan::effective_real_gap(NodeId node, ClassId id) const {
+  const auto ni = static_cast<std::size_t>(node);
+  const auto ci = static_cast<std::size_t>(id);
+  if (ni >= node_real_gap_.size() || ci >= node_real_gap_[ni].size() ||
+      node_real_gap_[ni][ci] == 0) {
+    return heap_.registry().at(id).sampling.real_gap;
+  }
+  return node_real_gap_[ni][ci];
+}
+
 std::uint32_t SamplingPlan::sampled_elements(std::uint32_t start_seq,
                                              std::uint32_t length,
                                              std::uint32_t gap) {
@@ -78,7 +167,9 @@ std::uint32_t SamplingPlan::sampled_elements(std::uint32_t start_seq,
 void SamplingPlan::recompute(ObjectId obj) {
   const ObjectMeta& m = heap_.meta(obj);
   const Klass& k = heap_.registry().at(m.klass);
-  const std::uint32_t gap = k.sampling.real_gap;
+  // The object's home node owns its sampling decision: a per-node backoff
+  // shift coarsens that node's objects without touching the rest.
+  const std::uint32_t gap = effective_real_gap(m.home, m.klass);
   const auto idx = static_cast<std::size_t>(obj);
   sample_gap_[idx] = gap;
   if (k.is_array) {
@@ -120,10 +211,33 @@ std::size_t SamplingPlan::resample_classes(const std::vector<ClassId>& ids) {
   }
   std::size_t visited = 0;
   for (ObjectId o = 0; o < heap_.object_count(); ++o) {
-    const ClassId k = heap_.meta(o).klass;
-    if (static_cast<std::size_t>(k) < wanted.size() &&
-        wanted[static_cast<std::size_t>(k)] != 0) {
+    const ObjectMeta& m = heap_.meta(o);
+    if (static_cast<std::size_t>(m.klass) < wanted.size() &&
+        wanted[static_cast<std::size_t>(m.klass)] != 0) {
       recompute(o);
+      note_resampled(m.home);
+      ++visited;
+    }
+  }
+  return visited;
+}
+
+std::size_t SamplingPlan::resample_classes_on_node(NodeId node,
+                                                   const std::vector<ClassId>& ids) {
+  if (ids.empty()) return 0;
+  std::vector<std::uint8_t> wanted(heap_.registry().size(), 0);
+  for (ClassId id : ids) {
+    if (static_cast<std::size_t>(id) < wanted.size()) {
+      wanted[static_cast<std::size_t>(id)] = 1;
+    }
+  }
+  std::size_t visited = 0;
+  for (ObjectId o = 0; o < heap_.object_count(); ++o) {
+    const ObjectMeta& m = heap_.meta(o);
+    if (m.home == node && static_cast<std::size_t>(m.klass) < wanted.size() &&
+        wanted[static_cast<std::size_t>(m.klass)] != 0) {
+      recompute(o);
+      note_resampled(m.home);
       ++visited;
     }
   }
@@ -137,20 +251,33 @@ std::size_t SamplingPlan::resample_all() {
     sample_bytes_.resize(n, 0);
     sample_gap_.resize(n, 1);
   }
-  for (ObjectId o = 0; o < n; ++o) recompute(o);
+  for (ObjectId o = 0; o < n; ++o) {
+    recompute(o);
+    note_resampled(heap_.meta(o).home);
+  }
   return n;
+}
+
+std::vector<std::uint64_t> SamplingPlan::drain_resampled_by_node() {
+  std::vector<std::uint64_t> out;
+  out.swap(resampled_by_node_);
+  return out;
 }
 
 std::uint64_t SamplingPlan::estimated_full_bytes(ObjectId obj) const {
   const auto idx = static_cast<std::size_t>(obj);
   if (idx >= sampled_.size() || sampled_[idx] == 0) return 0;
-  const ObjectMeta& m = heap_.meta(obj);
-  const std::uint32_t gap = heap_.registry().at(m.klass).sampling.real_gap;
-  return static_cast<std::uint64_t>(sample_bytes_[idx]) * gap;
+  // sample_gap_ is the effective (per-node) gap cached at the last
+  // (re)sample — the same gap the sampled bit and amortized size were
+  // computed under, so the HT estimate stays consistent.
+  return static_cast<std::uint64_t>(sample_bytes_[idx]) * sample_gap_[idx];
 }
 
 void SamplingPlan::begin_epoch_stats() {
   epoch_stats_.assign(heap_.registry().size(), ClassEpochStats{});
+  for (auto& row : node_epoch_stats_) {
+    row.assign(heap_.registry().size(), ClassEpochStats{});
+  }
 }
 
 void SamplingPlan::note_epoch_entry(ClassId id, std::uint32_t bytes,
@@ -161,6 +288,22 @@ void SamplingPlan::note_epoch_entry(ClassId id, std::uint32_t bytes,
   if (idx >= heap_.registry().size()) return;
   if (idx >= epoch_stats_.size()) epoch_stats_.resize(idx + 1);
   ClassEpochStats& s = epoch_stats_[idx];
+  ++s.entries;
+  s.estimated_bytes += static_cast<std::uint64_t>(bytes) * std::max<std::uint32_t>(1, gap);
+}
+
+void SamplingPlan::note_epoch_node_entry(NodeId node, ClassId id,
+                                         std::uint32_t bytes, std::uint32_t gap) {
+  const auto ci = static_cast<std::size_t>(id);
+  if (ci >= heap_.registry().size()) return;
+  const auto ni = static_cast<std::size_t>(node);
+  // Records come from external submission: an invalid node id must not size
+  // the table (kInvalidNode is the u16 all-ones sentinel).
+  if (node == kInvalidNode) return;
+  if (node_epoch_stats_.size() <= ni) node_epoch_stats_.resize(ni + 1);
+  auto& row = node_epoch_stats_[ni];
+  if (row.size() <= ci) row.resize(heap_.registry().size());
+  ClassEpochStats& s = row[ci];
   ++s.entries;
   s.estimated_bytes += static_cast<std::uint64_t>(bytes) * std::max<std::uint32_t>(1, gap);
 }

@@ -9,6 +9,12 @@
 //
 // Rates use the paper's nX notation: "nX" = n sampled objects per 4 KB page,
 // i.e. nominal gap = page_size / (instance_size * n), clamped to >= 1 (full).
+//
+// On top of the cluster-wide per-class gap, each worker node may carry a
+// *gap shift* per class: the node's effective nominal gap is the class gap
+// doubled `shift` times (effective real gap = its nearest prime).  Objects
+// apply the shift of their *home* node, so the per-node governor can coarsen
+// one hot node's costliest classes without touching the rest of the cluster.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +63,25 @@ class SamplingPlan {
   [[nodiscard]] std::uint32_t real_gap(ClassId id) const;
   [[nodiscard]] std::uint32_t nominal_gap(ClassId id) const;
 
+  // --- per-(node, class) effective gaps -------------------------------------
+  /// Sets `node`'s backoff shift for class `id` (effective nominal gap =
+  /// class nominal << shift).  A shift of 0 restores the cluster gap.  Does
+  /// not resample; pair with resample_classes_on_node.
+  void set_node_gap_shift(NodeId node, ClassId id, std::uint32_t shift);
+  [[nodiscard]] std::uint32_t node_gap_shift(NodeId node, ClassId id) const;
+  /// Drops every per-node shift back to the cluster view (snapshot loads and
+  /// governor re-arms).  Does not resample.
+  void clear_node_gap_shifts();
+  /// True when any (node, class) carries a nonzero shift.
+  [[nodiscard]] bool has_node_gap_shifts() const;
+  /// Number of node rows in the shift table (<= cluster nodes; rows appear
+  /// when a node first receives a shift).
+  [[nodiscard]] std::size_t shift_node_count() const noexcept {
+    return node_shift_.size();
+  }
+  [[nodiscard]] std::uint32_t effective_nominal_gap(NodeId node, ClassId id) const;
+  [[nodiscard]] std::uint32_t effective_real_gap(NodeId node, ClassId id) const;
+
   /// The nX rate implied by `rate_x` for a class of instance size `s`:
   /// nominal gap = max(1, page / (s * n)).  Exposed for tests.
   [[nodiscard]] static std::uint32_t nominal_gap_for_rate(std::uint32_t instance_size,
@@ -95,8 +120,17 @@ class SamplingPlan {
   /// otherwise pay one full scan per class).  Returns objects visited.
   std::size_t resample_classes(const std::vector<ClassId>& ids);
 
+  /// Like resample_classes, but only objects homed at `node` (a per-node gap
+  /// shift only invalidates that node's cached sampled bits).
+  std::size_t resample_classes_on_node(NodeId node, const std::vector<ClassId>& ids);
+
   /// Full resampling pass over the heap; returns objects visited.
   std::size_t resample_all();
+
+  /// Objects visited by resampling passes since the last drain, attributed
+  /// to each object's home node (the node that pays the recompute).  The
+  /// daemon drains this to build per-node overhead samples.
+  [[nodiscard]] std::vector<std::uint64_t> drain_resampled_by_node();
 
   /// Count of sampled elements in an array [start_seq, start_seq+len) under
   /// gap `g` (number of multiples of g in that range).  Exposed for tests.
@@ -108,14 +142,26 @@ class SamplingPlan {
   [[nodiscard]] std::uint64_t sampled_count() const;
 
   // --- per-epoch class stats (governor benefit/cost inputs) -----------------
-  /// Resets the per-class accumulators at the start of a daemon epoch.
+  /// Resets the per-class accumulators (cluster and per-node) at the start
+  /// of a daemon epoch.
   void begin_epoch_stats();
   /// Accumulates one OAL entry of class `id` (`gap` = real gap at logging).
   void note_epoch_entry(ClassId id, std::uint32_t bytes, std::uint32_t gap);
+  /// Attributes one OAL entry to the worker node that logged it (the daemon
+  /// reads the node off the interval record); cluster totals are kept by
+  /// note_epoch_entry, which the daemon calls alongside.
+  void note_epoch_node_entry(NodeId node, ClassId id, std::uint32_t bytes,
+                             std::uint32_t gap);
   /// Per-class stats of the current epoch, indexed by ClassId (may be
   /// shorter than the registry if trailing classes logged nothing).
   [[nodiscard]] const std::vector<ClassEpochStats>& epoch_stats() const noexcept {
     return epoch_stats_;
+  }
+  /// Per-node per-class stats of the current epoch, indexed [node][class]
+  /// (rows appear when a node first logs; may be shorter than the cluster).
+  [[nodiscard]] const std::vector<std::vector<ClassEpochStats>>& node_epoch_stats()
+      const noexcept {
+    return node_epoch_stats_;
   }
 
   [[nodiscard]] const Heap& heap() const noexcept { return heap_; }
@@ -123,6 +169,13 @@ class SamplingPlan {
 
  private:
   void recompute(ObjectId obj);
+  /// Re-derives the cached effective real gap for (node, id) after the
+  /// class's base gap or the node's shift moved.
+  void refresh_node_gap(NodeId node, ClassId id);
+  void note_resampled(NodeId home) {
+    if (resampled_by_node_.size() <= home) resampled_by_node_.resize(home + 1, 0);
+    ++resampled_by_node_[home];
+  }
 
   Heap& heap_;
   std::uint32_t default_rate_x_ = 0;
@@ -130,6 +183,12 @@ class SamplingPlan {
   std::vector<std::uint32_t> sample_bytes_;
   std::vector<std::uint32_t> sample_gap_;
   std::vector<ClassEpochStats> epoch_stats_;
+  std::vector<std::vector<ClassEpochStats>> node_epoch_stats_;
+  /// Per-node backoff doublings on top of the class nominal gap, and the
+  /// cached effective real gap where the shift is nonzero (0 = use base).
+  std::vector<std::vector<std::uint8_t>> node_shift_;
+  std::vector<std::vector<std::uint32_t>> node_real_gap_;
+  std::vector<std::uint64_t> resampled_by_node_;
 };
 
 }  // namespace djvm

@@ -365,10 +365,10 @@ TEST_F(GovernorTest, SnapshotRejectsCorruptInput) {
   bad.push_back(0);  // trailing garbage
   EXPECT_FALSE(decode_snapshot(bad, gov2, out));
   bad = bytes;
-  // Corrupt class_count (offset 68: magic+version+mode/state/pad+4 doubles
-  // +2 u32 counters+2 u64 counters) to a huge value: must be rejected
-  // before it sizes an allocation.
-  for (std::size_t i = 68; i < 72; ++i) bad[i] = 0xFF;
+  // Corrupt class_count (offset 76: magic+version+mode/state/flags/pad
+  // +5 doubles+2 u32 counters+2 u64 counters) to a huge value: must be
+  // rejected before it sizes an allocation.
+  for (std::size_t i = 76; i < 80; ++i) bad[i] = 0xFF;
   EXPECT_FALSE(decode_snapshot(bad, gov2, out));
   bad = bytes;
   // Corrupt the overhead budget (offset 12, first config double) into a
@@ -379,6 +379,16 @@ TEST_F(GovernorTest, SnapshotRejectsCorruptInput) {
   // Inconsistent mode/state pair: closed loop never produces kConverged
   // (state byte is offset 9, after magic+version+mode).
   bad[9] = static_cast<std::uint8_t>(GovernorState::kConverged);
+  EXPECT_FALSE(decode_snapshot(bad, gov2, out));
+  bad = bytes;
+  // Unknown per-node flag bits (offset 10) are corruption, not features.
+  bad[10] = 0xF0;
+  EXPECT_FALSE(decode_snapshot(bad, gov2, out));
+  bad = bytes;
+  // Corrupt the shift-node count (offset 80 after the class_count u32, plus
+  // 2 classes x 20 bytes = 120) to a huge value: must be rejected before it
+  // sizes the shift table.
+  for (std::size_t i = 120; i < 124; ++i) bad[i] = 0xFF;
   EXPECT_FALSE(decode_snapshot(bad, gov2, out));
   EXPECT_TRUE(decode_snapshot(bytes, gov2, out));
 }
@@ -444,6 +454,368 @@ TEST_F(GovernorTest, DaemonDelegatesToGovernorAndWarmStarts) {
   // instead of comparing against a mismatched matrix later.
   CorrelationDaemon daemon3(plan, 4);
   EXPECT_FALSE(daemon3.seed_latest(warm_tcm));
+}
+
+// --- per-node overhead budgets ------------------------------------------------
+
+TEST(OverheadMeterPerNode, TracksPerNodeWindowsAndWorstOffender) {
+  OverheadMeter meter({}, 2);
+  OverheadSample s;
+  s.measured = true;
+  s.app_seconds = 2.0;
+  s.access_check_seconds = 0.05;
+  s.nodes.push_back({0, 1.0, 0.001, 0.0, 0, 0});
+  s.nodes.push_back({1, 1.0, 0.10, 0.0, 0, 0});
+  meter.record(s);
+  EXPECT_EQ(meter.node_count(), 2u);
+  EXPECT_DOUBLE_EQ(meter.node_rolling_fraction(0), 0.001);
+  EXPECT_DOUBLE_EQ(meter.node_rolling_fraction(1), 0.10);
+  ASSERT_TRUE(meter.worst_node().has_value());
+  EXPECT_EQ(*meter.worst_node(), 1u);
+
+  // A node absent from the next sample contributes a zero slot, keeping the
+  // windows epoch-aligned (its rolling fraction halves, not sticks).
+  OverheadSample s2;
+  s2.measured = true;
+  s2.app_seconds = 1.0;
+  s2.nodes.push_back({0, 1.0, 0.003, 0.0, 0, 0});
+  meter.record(s2);
+  EXPECT_DOUBLE_EQ(meter.node_rolling_fraction(0), 0.004 / 2.0);
+  EXPECT_DOUBLE_EQ(meter.node_epoch_fraction(1), 0.0);
+  EXPECT_DOUBLE_EQ(meter.node_rolling_fraction(1), 0.10 / 1.0);
+
+  // Unknown nodes in the meter read as zero overhead, not UB.
+  EXPECT_DOUBLE_EQ(meter.node_rolling_fraction(7), 0.0);
+}
+
+/// Two worker nodes; the hot class lives on node 1, the bulky class on
+/// node 0, so per-node decisions are observable through home attribution.
+class PerNodeGovernorTest : public ::testing::Test {
+ protected:
+  PerNodeGovernorTest() : heap(reg, 2), plan(heap) {
+    hot = reg.register_class("Hot", 16);
+    bulky = reg.register_class("Bulky", 1024);
+    for (int i = 0; i < 128; ++i) plan.on_alloc(heap.alloc(hot, 1));
+    for (int i = 0; i < 128; ++i) plan.on_alloc(heap.alloc(bulky, 0));
+  }
+
+  /// Node 1 logs many cheap hot entries, node 0 a few rich bulky ones.
+  void fill_epoch_stats() {
+    plan.begin_epoch_stats();
+    for (int i = 0; i < 100; ++i) {
+      plan.note_epoch_entry(hot, 16, plan.effective_real_gap(1, hot));
+      plan.note_epoch_node_entry(1, hot, 16, plan.effective_real_gap(1, hot));
+    }
+    for (int i = 0; i < 10; ++i) {
+      plan.note_epoch_entry(bulky, 1024, plan.effective_real_gap(0, bulky));
+      plan.note_epoch_node_entry(0, bulky, 1024, plan.effective_real_gap(0, bulky));
+    }
+  }
+
+  /// Cluster aggregate diluted by node 0's app time: node 1 runs at
+  /// `hot_fraction` while the cluster average stays low.
+  static OverheadSample skewed_sample(double hot_fraction) {
+    OverheadSample s;
+    s.measured = true;
+    s.app_seconds = 11.0;
+    s.access_check_seconds = 0.001 + hot_fraction;
+    s.nodes.push_back({0, 10.0, 0.001, 0.0, 0, 0});
+    s.nodes.push_back({1, 1.0, hot_fraction, 0.0, 0, 0});
+    return s;
+  }
+
+  static GovernorConfig config(bool per_node) {
+    GovernorConfig cfg;
+    cfg.overhead_budget = 0.02;
+    cfg.distance_threshold = 0.05;
+    cfg.meter_window = 1;
+    cfg.per_node = per_node;
+    return cfg;
+  }
+
+  KlassRegistry reg;
+  Heap heap;
+  SamplingPlan plan;
+  ClassId hot = kInvalidClass;
+  ClassId bulky = kInvalidClass;
+};
+
+TEST_F(PerNodeGovernorTest, EffectiveGapsFollowHomeNodeShift) {
+  plan.set_nominal_gap(hot, 8);
+  plan.resample_all();
+  const std::uint64_t before = plan.sampled_count();
+
+  plan.set_node_gap_shift(1, hot, 2);  // node 1: 8 << 2 = 32, prime 31
+  EXPECT_EQ(plan.effective_nominal_gap(1, hot), 32u);
+  EXPECT_EQ(plan.effective_real_gap(1, hot), 31u);
+  EXPECT_EQ(plan.effective_nominal_gap(0, hot), 8u);   // other node untouched
+  EXPECT_EQ(plan.nominal_gap(hot), 8u);                // cluster view untouched
+
+  const std::size_t visited = plan.resample_classes_on_node(1, {hot});
+  EXPECT_EQ(visited, 128u);  // only node 1's hot objects re-evaluated
+  EXPECT_LT(plan.sampled_count(), before);
+
+  // Base-gap changes propagate through the shift.
+  plan.set_nominal_gap(hot, 16);
+  EXPECT_EQ(plan.effective_nominal_gap(1, hot), 64u);
+  EXPECT_EQ(plan.effective_real_gap(1, hot), 67u);
+
+  plan.set_node_gap_shift(1, hot, 0);
+  EXPECT_EQ(plan.effective_real_gap(1, hot), plan.real_gap(hot));
+}
+
+TEST_F(PerNodeGovernorTest, WorstNodeBackoffHitsOnlyThatNodesClasses) {
+  plan.set_nominal_gap(hot, 8);
+  plan.set_nominal_gap(bulky, 8);
+  Governor gov(plan);
+  gov.arm(config(/*per_node=*/true));
+  fill_epoch_stats();
+
+  // Node 1 at 10% of its own app time; the cluster aggregate (~0.9%) is
+  // under the band, so the PR 1 policy would do nothing here.
+  const auto out = gov.on_epoch(std::nullopt, skewed_sample(0.10));
+  EXPECT_EQ(out.action, GovernorAction::kBackOff);
+  EXPECT_TRUE(out.rate_changed);
+  ASSERT_TRUE(out.offender.has_value());
+  EXPECT_EQ(*out.offender, 1u);
+  EXPECT_GE(plan.node_gap_shift(1, hot), 1u);
+  EXPECT_EQ(plan.node_gap_shift(0, hot), 0u);
+  EXPECT_EQ(plan.node_gap_shift(0, bulky), 0u);
+  EXPECT_EQ(plan.nominal_gap(hot), 8u);    // cluster base gaps untouched
+  EXPECT_EQ(plan.nominal_gap(bulky), 8u);
+}
+
+TEST_F(PerNodeGovernorTest, ClusterPolicyIgnoresHiddenHotNode) {
+  plan.set_nominal_gap(hot, 8);
+  plan.set_nominal_gap(bulky, 8);
+  Governor gov(plan);
+  gov.arm(config(/*per_node=*/false));
+  fill_epoch_stats();
+
+  // Same skew: the cluster-aggregate policy sees ~0.9% < budget and holds,
+  // leaving node 1 at 10x its budget — the exact gap this PR closes.
+  const auto out = gov.on_epoch(std::nullopt, skewed_sample(0.10));
+  EXPECT_EQ(out.action, GovernorAction::kNone);
+  EXPECT_EQ(plan.node_gap_shift(1, hot), 0u);
+  ASSERT_TRUE(out.offender.has_value());  // ...but the offender stays visible
+  EXPECT_EQ(*out.offender, 1u);
+  EXPECT_GT(out.offender_fraction, 0.05);
+}
+
+TEST_F(PerNodeGovernorTest, BackoffSettlesOneEpochBeforeReacting) {
+  plan.set_nominal_gap(hot, 8);
+  plan.set_nominal_gap(bulky, 8);
+  Governor gov(plan);
+  gov.arm(config(/*per_node=*/true));
+
+  fill_epoch_stats();
+  auto out = gov.on_epoch(std::nullopt, skewed_sample(0.10));
+  ASSERT_EQ(out.action, GovernorAction::kBackOff);
+  const std::uint32_t shift_after_first = plan.node_gap_shift(1, hot);
+
+  // The epoch right after a per-node backoff carries the resampling
+  // transient; the controller must not actuate against its own transition
+  // cost.
+  fill_epoch_stats();
+  out = gov.on_epoch(std::nullopt, skewed_sample(0.10));
+  EXPECT_NE(out.action, GovernorAction::kBackOff);
+  EXPECT_EQ(plan.node_gap_shift(1, hot), shift_after_first);
+
+  // Still hot one epoch later: actuate again.
+  fill_epoch_stats();
+  out = gov.on_epoch(std::nullopt, skewed_sample(0.10));
+  EXPECT_EQ(out.action, GovernorAction::kBackOff);
+  EXPECT_GT(plan.node_gap_shift(1, hot), shift_after_first);
+}
+
+TEST_F(PerNodeGovernorTest, TightenRequiresEveryNodeUnderBudget) {
+  plan.set_nominal_gap(hot, 64);
+  plan.set_nominal_gap(bulky, 64);
+  Governor gov(plan);
+  GovernorConfig cfg = config(/*per_node=*/true);
+  gov.arm(cfg);
+  fill_epoch_stats();
+
+  // Map still moving, cluster fraction well under the band — but node 1
+  // sits above the node budget (2.4%), so cluster-wide tightening (which
+  // would double node 1's cost too) must hold.
+  auto out = gov.on_epoch(0.50, skewed_sample(0.024));
+  EXPECT_EQ(out.action, GovernorAction::kNone);
+  EXPECT_EQ(plan.nominal_gap(hot), 64u);
+
+  // Every node under its band: the paper's convergence loop resumes.
+  fill_epoch_stats();
+  out = gov.on_epoch(0.50, skewed_sample(0.001));
+  EXPECT_EQ(out.action, GovernorAction::kTighten);
+  EXPECT_EQ(plan.nominal_gap(hot), 32u);
+}
+
+TEST_F(PerNodeGovernorTest, CooledNodeShiftsDecayBackToClusterView) {
+  plan.set_nominal_gap(hot, 8);
+  plan.set_nominal_gap(bulky, 8);
+  Governor gov(plan);
+  gov.arm(config(/*per_node=*/true));
+  fill_epoch_stats();
+  auto out = gov.on_epoch(std::nullopt, skewed_sample(0.10));
+  ASSERT_EQ(out.action, GovernorAction::kBackOff);
+  ASSERT_GE(plan.node_gap_shift(1, hot), 1u);
+  const std::uint32_t shift = plan.node_gap_shift(1, hot);
+
+  // The node cools far under the budget (even doubled cost would fit):
+  // shifts decay one step per epoch, restoring the cluster rates.
+  fill_epoch_stats();
+  out = gov.on_epoch(0.01, skewed_sample(0.001));
+  EXPECT_EQ(out.action, GovernorAction::kTighten);
+  EXPECT_TRUE(out.rate_changed);
+  EXPECT_EQ(plan.node_gap_shift(1, hot), shift - 1);
+
+  // ...but a node merely inside the dead band does NOT relax (the doubled
+  // cost would cross the budget again: no ping-pong).
+  plan.set_node_gap_shift(1, hot, 1);
+  fill_epoch_stats();
+  out = gov.on_epoch(0.01, skewed_sample(0.015));
+  EXPECT_EQ(plan.node_gap_shift(1, hot), 1u);
+}
+
+TEST_F(PerNodeGovernorTest, RearmDropsNodeShiftsAndResamples) {
+  plan.set_nominal_gap(hot, 8);
+  plan.resample_all();
+  const std::uint64_t base_count = plan.sampled_count();
+  plan.set_node_gap_shift(1, hot, 3);
+  plan.resample_classes_on_node(1, {hot});
+  ASSERT_LT(plan.sampled_count(), base_count);
+
+  // Arming a mode that can never relax shifts (legacy) must not leave the
+  // previously hot node silently under-sampled: shifts drop with the rest
+  // of the controller state and the affected objects are recomputed.
+  Governor gov(plan);
+  gov.arm_legacy(0.05);
+  EXPECT_FALSE(plan.has_node_gap_shifts());
+  EXPECT_EQ(plan.sampled_count(), base_count);
+}
+
+TEST_F(PerNodeGovernorTest, SnapshotV2RoundTripsPerNodeState) {
+  plan.set_nominal_gap(hot, 16);
+  plan.set_nominal_gap(bulky, 128);
+  Governor gov(plan);
+  GovernorConfig cfg = config(/*per_node=*/true);
+  cfg.node_budget = 0.015;
+  gov.arm(cfg);
+  // Shifts set after arming (arm clears per-node state with the rest of the
+  // controller's progress).
+  plan.set_node_gap_shift(1, hot, 3);
+  plan.resample_all();
+  fill_epoch_stats();
+  gov.on_epoch(0.01, skewed_sample(0.001));  // relax or converge: state moves
+
+  SquareMatrix tcm(2);
+  tcm.at(0, 1) = 7.5;
+  const std::vector<std::uint8_t> bytes = encode_snapshot(gov, tcm);
+
+  // Fresh world, same registry shape and node count.
+  KlassRegistry reg2;
+  Heap heap2(reg2, 2);
+  const ClassId hot2 = reg2.register_class("Hot", 16);
+  reg2.register_class("Bulky", 1024);
+  SamplingPlan plan2(heap2);
+  Governor gov2(plan2);
+  SquareMatrix tcm2;
+  ASSERT_TRUE(decode_snapshot(bytes, gov2, tcm2));
+
+  EXPECT_TRUE(gov2.config().per_node);
+  EXPECT_DOUBLE_EQ(gov2.config().node_budget, 0.015);
+  // The converge epoch may have relaxed the cooled node's shift first:
+  // compare against the writer's live state, whatever it settled at.
+  EXPECT_GE(plan.node_gap_shift(1, hot), 1u);
+  EXPECT_EQ(plan2.node_gap_shift(1, hot2), plan.node_gap_shift(1, hot));
+  EXPECT_EQ(plan2.node_gap_shift(0, hot2), 0u);
+  EXPECT_EQ(plan2.effective_real_gap(1, hot2), plan.effective_real_gap(1, hot));
+  EXPECT_EQ(encode_snapshot(gov2, tcm2), bytes);  // bit-exact
+}
+
+TEST_F(PerNodeGovernorTest, SnapshotV1LoadsWithNodesSeededFromClusterView) {
+  // Hand-build a v1 snapshot from its documented layout: no flags meaning,
+  // no node_budget field, no shift table.
+  std::vector<std::uint8_t> bytes;
+  const auto put = [&bytes](const auto& v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    bytes.insert(bytes.end(), p, p + sizeof(v));
+  };
+  put(kSnapshotMagic);
+  put(kSnapshotVersionV1);
+  bytes.push_back(static_cast<std::uint8_t>(GovernorMode::kClosedLoop));
+  bytes.push_back(static_cast<std::uint8_t>(GovernorState::kAdapting));
+  bytes.push_back(0);  // v1 reserved u16
+  bytes.push_back(0);
+  put(0.03);   // overhead_budget
+  put(0.05);   // distance_threshold
+  put(0.25);   // hysteresis
+  put(3.0);    // phase_spike_factor
+  put(std::uint32_t{2});        // sentinel_coarsen_shifts
+  put(std::uint32_t{1u << 16}); // max_nominal_gap
+  put(std::uint64_t{5});        // epochs
+  put(std::uint64_t{0});        // rearms
+  put(std::uint32_t{2});        // class_count
+  put(std::uint32_t{0});  put(std::uint32_t{16});  put(std::uint32_t{17});
+  put(std::uint32_t{0});  put(std::uint32_t{1});   // hot: gap 16/17, rated
+  put(std::uint32_t{1});  put(std::uint32_t{128}); put(std::uint32_t{127});
+  put(std::uint32_t{0});  put(std::uint32_t{1});   // bulky: gap 128/127
+  put(std::uint64_t{2});  // tcm dimension
+  for (int i = 0; i < 4; ++i) put(double{0.5});
+
+  Governor gov(plan);
+  GovernorConfig cfg = config(/*per_node=*/true);  // machine-local policy
+  gov.arm(cfg);
+  plan.set_node_gap_shift(1, hot, 4);  // stale local state a load must clear
+  SquareMatrix tcm;
+  ASSERT_TRUE(decode_snapshot(bytes, gov, tcm));
+
+  EXPECT_EQ(plan.nominal_gap(hot), 16u);
+  EXPECT_EQ(plan.nominal_gap(bulky), 128u);
+  // Nodes seeded from the cluster view: no shifts survive a v1 load...
+  EXPECT_FALSE(plan.has_node_gap_shifts());
+  EXPECT_EQ(plan.effective_real_gap(1, hot), 17u);
+  // ...and the per-node policy choice stays machine-local.
+  EXPECT_TRUE(gov.config().per_node);
+  EXPECT_DOUBLE_EQ(gov.config().overhead_budget, 0.03);
+
+  // Truncated v1 payloads are still rejected.
+  std::vector<std::uint8_t> bad(bytes.begin(), bytes.end() - 3);
+  Governor gov2(plan);
+  EXPECT_FALSE(decode_snapshot(bad, gov2, tcm));
+}
+
+TEST_F(PerNodeGovernorTest, DaemonAttributesEpochStatsAndResamplesPerNode) {
+  plan.set_nominal_gap(hot, 8);
+  plan.set_nominal_gap(bulky, 8);
+  CorrelationDaemon daemon(plan, 2);
+  daemon.governor().arm(config(/*per_node=*/true));
+
+  std::vector<IntervalRecord> rs;
+  IntervalRecord r0;
+  r0.thread = 0;
+  r0.node = 0;
+  r0.entries.push_back({1, bulky, 1024, plan.real_gap(bulky)});
+  rs.push_back(r0);
+  IntervalRecord r1;
+  r1.thread = 1;
+  r1.node = 1;
+  for (int i = 0; i < 50; ++i) {
+    r1.entries.push_back({static_cast<ObjectId>(i), hot, 16, plan.real_gap(hot)});
+  }
+  rs.push_back(r1);
+  daemon.submit(std::move(rs));
+  daemon.run_epoch(skewed_sample(0.10));
+
+  const auto& by_node = plan.node_epoch_stats();
+  ASSERT_GE(by_node.size(), 2u);
+  EXPECT_EQ(by_node[1][hot].entries, 50u);
+  EXPECT_EQ(by_node[0][bulky].entries, 1u);
+  EXPECT_EQ(by_node[0][hot].entries, 0u);
+  // The skewed sample pushed node 1 over budget: only its hot objects were
+  // backed off and resampled.
+  EXPECT_GE(plan.node_gap_shift(1, hot), 1u);
+  EXPECT_EQ(plan.node_gap_shift(0, bulky), 0u);
 }
 
 }  // namespace
