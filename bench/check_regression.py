@@ -12,7 +12,11 @@ BenchReport.  The gate fails (exit 1) when:
       goal "max": current < baseline * (1 - slack) - abs_slack
     (goal "none" metrics are informational), or
   * a goal-carrying baseline metric is missing from CURRENT (a silently
-    dropped metric must not read as "no regression").
+    dropped metric must not read as "no regression"), or
+  * any metric value in either artifact is missing or non-finite
+    (BenchReport writes nan/inf as JSON null; a hand-edited NaN literal
+    parses to float('nan'), which compares false against every bound and
+    would otherwise slip through a goal check silently).
 
 Tolerances (goal/slack/abs_slack) are read from the BASELINE file, so the
 checked-in baseline is the single source of truth for what gates.  To
@@ -22,11 +26,24 @@ and explain the shift in the commit message.
 """
 
 import json
+import math
 import sys
 
 
 def fail(msg: str) -> None:
     print(f"[REGRESSION] {msg}")
+
+
+def nonfinite_metrics(label: str, doc: dict) -> int:
+    """Counts (and reports) metric values that are not finite numbers."""
+    bad = 0
+    for key, metric in doc.get("metrics", {}).items():
+        value = metric.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value):
+            fail(f"{label} metric {key!r} has non-finite value {value!r}")
+            bad += 1
+    return bad
 
 
 def main() -> int:
@@ -44,6 +61,8 @@ def main() -> int:
         return 1
 
     failures = 0
+    failures += nonfinite_metrics("baseline", baseline)
+    failures += nonfinite_metrics("current", current)
 
     for check in current.get("checks", []):
         if check.get("pass") is not True:

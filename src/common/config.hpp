@@ -33,6 +33,17 @@ enum class FootprintTimerMode : std::uint8_t {
   kTimerBased,  ///< alternate on/off phases of `footprint_phase` length
 };
 
+/// Which node owns (and pays for) an object's sampling decision.
+enum class CostAttribution : std::uint8_t {
+  /// Legacy model: the object's *home* node owns one cluster-wide sampled
+  /// bit and all resampling visits are billed to homes — a node caching
+  /// many hot remote objects pays real cost the governor cannot see.
+  kHomeNode,
+  /// Paper model (default): every caching node keeps its copy's bit under
+  /// its own effective gap and pays for resampling the copies it caches.
+  kCachedCopy,
+};
+
 struct Config {
   // --- cluster shape -------------------------------------------------------
   std::uint32_t nodes = 8;
@@ -52,6 +63,10 @@ struct Config {
   double adapt_threshold = 0.05;
   /// Piggyback OAL messages on lock/barrier traffic when destinations match.
   bool piggyback_oals = true;
+  /// Who owns a shared object's sampling decision and pays its resampling
+  /// cost (see CostAttribution; kHomeNode reproduces the pre-fix
+  /// misattribution for ablation benches).
+  CostAttribution cost_attribution = CostAttribution::kCachedCopy;
 
   // --- profiling governor --------------------------------------------------
   /// Arm the closed-loop governor (budgeted bidirectional rate control with

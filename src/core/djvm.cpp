@@ -46,6 +46,9 @@ void Djvm::spawn_threads_round_robin(std::uint32_t count) {
 
 void Djvm::apply_profiling_config() {
   gos_->set_tracking(cfg_.oal_transfer);
+  // Attribution first: set_rate_all's resample pass must already run under
+  // the configured model so its visits land on the nodes that pay.
+  plan_.set_cost_attribution(cfg_.cost_attribution);
   plan_.set_rate_all(cfg_.sampling_rate_x);
   if (cfg_.stack_sampling) {
     gos_->enable_stack_sampling(cfg_.stack_sampling_gap);

@@ -19,7 +19,12 @@ Gos::Gos(Heap& heap, Network& net, SamplingPlan& plan, const Config& cfg)
       nodes_(cfg.nodes), locks_(cfg.nodes), tracking_(cfg.oal_transfer),
       node_stats_(cfg.nodes) {
   last_write_epoch_.reserve(1024);
+  // Hand the plan the copy sets so resampling walks (and their cost
+  // attribution) follow what each node actually caches.
+  plan_.set_copy_view(this);
 }
+
+Gos::~Gos() { plan_.set_copy_view(nullptr); }
 
 ThreadId Gos::spawn_thread(NodeId node) {
   assert(node < nodes_.size());
@@ -119,7 +124,9 @@ void Gos::access(ThreadId t, ObjectId obj, bool is_write) {
     }
     if (ts.oal_stamp[oi] != ts.interval_stamp) [[unlikely]] {
       ts.oal_stamp[oi] = ts.interval_stamp;
-      if (plan_.is_sampled(obj)) log_access(ts, obj);
+      // The *accessing* node's copy bit decides: a per-(node, class) gap
+      // shift changes what that node logs, wherever the object is homed.
+      if (plan_.is_sampled(ts.node, obj)) log_access(ts, obj);
     }
   }
 
@@ -128,7 +135,7 @@ void Gos::access(ThreadId t, ObjectId obj, bool is_write) {
     if (ts.clock.now() >= ts.fp_next_boundary) [[unlikely]] {
       refresh_footprint_state(ts);
     }
-    if (ts.fp_on_phase && plan_.is_sampled(obj)) {
+    if (ts.fp_on_phase && plan_.is_sampled(ts.node, obj)) {
       footprint_touch(ts, obj);
     }
   }
@@ -169,14 +176,20 @@ void Gos::object_fault(ThreadState& ts, NodeState& ns, ObjectId obj) {
   const auto oi = static_cast<std::size_t>(obj);
   ns.state[oi] = static_cast<std::uint8_t>(CopyState::kValid);
   ns.fetch_epoch[oi] = global_epoch_;
+  // Fault-in registers the copy's sampled bit under the caching node's
+  // effective gap (and counts the registration for the snapshot summary).
+  plan_.note_copy_registered(ts.node, obj);
   ++stats_.object_faults;
   stats_.fault_bytes += m.size_bytes;
 }
 
 void Gos::log_access(ThreadState& ts, ObjectId obj) {
   ts.clock.advance(kLogServiceCost);
-  ts.oal.push_back(OalEntry{obj, heap_.meta(obj).klass, plan_.sample_bytes(obj),
-                            plan_.gap_of(obj)});
+  // Bytes and gap come from the logging node's own copy view, so the HT
+  // weight matches the selection probability this node sampled under.
+  ts.oal.push_back(OalEntry{obj, heap_.meta(obj).klass,
+                            plan_.sample_bytes(ts.node, obj),
+                            plan_.gap_of(ts.node, obj)});
   ++stats_.oal_entries;
   ++node_stats_[ts.node].oal_entries;
 }
@@ -375,6 +388,7 @@ void Gos::prefetch(ThreadId t, std::span<const ObjectId> objs, MsgCategory categ
     bytes += m.size_bytes;
     ns.state[oi] = static_cast<std::uint8_t>(CopyState::kValid);
     ns.fetch_epoch[oi] = global_epoch_;
+    plan_.note_copy_registered(ts.node, obj);
     ++stats_.prefetched_objects;
   }
   if (bytes == 0) return;
@@ -403,6 +417,10 @@ void Gos::migrate_home(ObjectId obj, NodeId to) {
   src.state[oi] = static_cast<std::uint8_t>(CopyState::kValid);
   src.fetch_epoch[oi] = global_epoch_;
   heap_.set_home(obj, to);
+  // Re-key the object's sampling state under the new home right away (the
+  // old home's gap shift must not linger until the next full resample) and
+  // re-register the old home's retained payload as an ordinary cached copy.
+  plan_.on_home_migrated(obj, from, to);
   ++stats_.home_migrations;
 }
 

@@ -50,8 +50,10 @@ struct FootprintTouch {
   std::uint32_t ticks = 0;
 };
 
-/// The Global Object Space.
-class Gos {
+/// The Global Object Space.  Implements CopySetView so the sampling plan's
+/// resampling walks cover exactly the copies each node caches (the paper's
+/// locally-paid resampling cost) instead of the objects it homes.
+class Gos : public CopySetView {
  public:
   /// Observer interface for the subsystems layered on the GOS.  Callbacks
   /// fire outside the hot path (timer crossings, interval boundaries) except
@@ -74,6 +76,7 @@ class Gos {
   };
 
   Gos(Heap& heap, Network& net, SamplingPlan& plan, const Config& cfg);
+  ~Gos() override;
 
   // --- threads --------------------------------------------------------------
   ThreadId spawn_thread(NodeId node);
@@ -150,8 +153,12 @@ class Gos {
   [[nodiscard]] SamplingPlan& plan() noexcept { return plan_; }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
+  // --- CopySetView (the sampling plan's window into the copy sets) -----------
   /// True when `node` holds a valid (or home) copy of `obj` right now.
-  [[nodiscard]] bool node_has_copy(NodeId node, ObjectId obj) const;
+  [[nodiscard]] bool node_has_copy(NodeId node, ObjectId obj) const override;
+  [[nodiscard]] std::uint32_t copy_node_count() const override {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
 
  private:
   struct NodeState {

@@ -344,8 +344,10 @@ std::size_t Governor::back_off_node(NodeId node, double shrink_to) {
               return a.score != b.score ? a.score < b.score : a.id < b.id;
             });
   // Same projection as the cluster back_off, but doublings land on the
-  // node's gap *shift*: only objects homed on the offender coarsen, and the
-  // cluster view the other nodes sample under stays untouched.
+  // node's gap *shift*: only the offender's own copy view coarsens (the
+  // resample walks exactly the copies it caches — remote-homed hot objects
+  // included), and the cluster view the other nodes sample under stays
+  // untouched.
   const double target = std::clamp(shrink_to, 0.0, 1.0) * total_entries;
   double projected = total_entries;
   std::vector<ClassId> changed;

@@ -180,7 +180,7 @@ class Governor {
   std::size_t back_off(double shrink_to);
   /// Per-node variant: bumps `node`'s gap *shifts* on the classes dominating
   /// that node's entry cost (read from the plan's per-node epoch stats) and
-  /// resamples only objects homed there.
+  /// resamples only the copies that node caches.
   std::size_t back_off_node(NodeId node, double shrink_to);
   /// Decrements gap shifts on nodes that have cooled well under the node
   /// budget (rolling and epoch fraction both below half of it), restoring

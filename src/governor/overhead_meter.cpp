@@ -1,7 +1,6 @@
 #include "governor/overhead_meter.hpp"
 
 #include <algorithm>
-#include <limits>
 
 namespace djvm {
 
@@ -30,6 +29,7 @@ void OverheadMeter::record(const OverheadSample& sample) {
   e.reducible_seconds = reducible_seconds(sample, costs_);
   e.fixed_seconds = sample.fixed_seconds;
   e.build_seconds = sample.build_seconds;
+  e.signal = sample.app_seconds > 0.0;
 
   // Grow the node table first so every known node gets a slot this epoch
   // (zeros mean "no cost observed here"), keeping the windows aligned.
@@ -50,6 +50,7 @@ void OverheadMeter::record(const OverheadSample& sample) {
         static_cast<double>(ns.resampled_objects) *
             costs_.seconds_per_resampled_object;
     ne.fixed_seconds += ns.fixed_seconds;
+    ne.signal = ne.signal || ns.app_seconds > 0.0;
   }
 
   next_ = (next_ + 1) % window_;
@@ -57,73 +58,71 @@ void OverheadMeter::record(const OverheadSample& sample) {
   ++epochs_;
 }
 
-namespace {
-double fraction(double prof, double app) {
-  if (app > 0.0) return prof / app;
-  if (prof > 0.0) return std::numeric_limits<double>::infinity();
-  return 0.0;
-}
-}  // namespace
+// An epoch that made no application progress carries no rate signal: a cost
+// observed against zero app seconds (e.g. a resampling transient charged to
+// a node that sat the epoch out) used to read as an infinite fraction, so
+// worst_node() elected an idle node and the governor backed off a node that
+// ran nothing.  Such epochs are skipped; a window with no signal reads 0.
 
 double OverheadMeter::epoch_fraction() const {
   if (filled_ == 0) return 0.0;
   const Entry& e = ring_[(next_ + window_ - 1) % window_];
-  return fraction(e.reducible_seconds + e.fixed_seconds, e.app_seconds);
+  if (!e.signal) return 0.0;
+  return (e.reducible_seconds + e.fixed_seconds) / e.app_seconds;
 }
 
-double OverheadMeter::rolling_fraction() const {
+namespace {
+/// Sums prof/app over the signal-carrying entries of one window and divides;
+/// `pick` selects which seconds of an entry count as profiling.
+template <typename Pick>
+double window_fraction(const std::vector<OverheadMeter::Entry>& ring,
+                       std::size_t filled, Pick pick) {
   double prof = 0.0, app = 0.0;
-  for (std::size_t i = 0; i < filled_; ++i) {
-    prof += ring_[i].reducible_seconds + ring_[i].fixed_seconds;
-    app += ring_[i].app_seconds;
+  bool any = false;
+  for (std::size_t i = 0; i < filled; ++i) {
+    if (!ring[i].signal) continue;
+    any = true;
+    prof += pick(ring[i]);
+    app += ring[i].app_seconds;
   }
-  return fraction(prof, app);
+  return any && app > 0.0 ? prof / app : 0.0;
+}
+}  // namespace
+
+double OverheadMeter::rolling_fraction() const {
+  return window_fraction(ring_, filled_, [](const Entry& e) {
+    return e.reducible_seconds + e.fixed_seconds;
+  });
 }
 
 double OverheadMeter::rolling_reducible_fraction() const {
-  double prof = 0.0, app = 0.0;
-  for (std::size_t i = 0; i < filled_; ++i) {
-    prof += ring_[i].reducible_seconds;
-    app += ring_[i].app_seconds;
-  }
-  return fraction(prof, app);
+  return window_fraction(ring_, filled_,
+                         [](const Entry& e) { return e.reducible_seconds; });
 }
 
 double OverheadMeter::coordinator_fraction() const {
-  double build = 0.0, app = 0.0;
-  for (std::size_t i = 0; i < filled_; ++i) {
-    build += ring_[i].build_seconds;
-    app += ring_[i].app_seconds;
-  }
-  return fraction(build, app);
+  return window_fraction(ring_, filled_,
+                         [](const Entry& e) { return e.build_seconds; });
 }
 
 double OverheadMeter::node_rolling_fraction(NodeId node) const {
   if (node >= node_rings_.size()) return 0.0;
-  const std::vector<Entry>& ring = node_rings_[node];
-  double prof = 0.0, app = 0.0;
-  for (std::size_t i = 0; i < filled_; ++i) {
-    prof += ring[i].reducible_seconds + ring[i].fixed_seconds;
-    app += ring[i].app_seconds;
-  }
-  return fraction(prof, app);
+  return window_fraction(node_rings_[node], filled_, [](const Entry& e) {
+    return e.reducible_seconds + e.fixed_seconds;
+  });
 }
 
 double OverheadMeter::node_rolling_reducible_fraction(NodeId node) const {
   if (node >= node_rings_.size()) return 0.0;
-  const std::vector<Entry>& ring = node_rings_[node];
-  double prof = 0.0, app = 0.0;
-  for (std::size_t i = 0; i < filled_; ++i) {
-    prof += ring[i].reducible_seconds;
-    app += ring[i].app_seconds;
-  }
-  return fraction(prof, app);
+  return window_fraction(node_rings_[node], filled_,
+                         [](const Entry& e) { return e.reducible_seconds; });
 }
 
 double OverheadMeter::node_epoch_fraction(NodeId node) const {
   if (node >= node_rings_.size() || filled_ == 0) return 0.0;
   const Entry& e = node_rings_[node][(next_ + window_ - 1) % window_];
-  return fraction(e.reducible_seconds + e.fixed_seconds, e.app_seconds);
+  if (!e.signal) return 0.0;
+  return (e.reducible_seconds + e.fixed_seconds) / e.app_seconds;
 }
 
 std::optional<NodeId> OverheadMeter::worst_node() const {

@@ -43,7 +43,8 @@ struct NodeOverheadSample {
   /// the sample is unmeasured; measured pumps fold send time into
   /// access_check_seconds).
   std::uint64_t wire_bytes = 0;
-  /// Objects homed here visited by resampling passes triggered last epoch.
+  /// Resampling copy visits this node paid last epoch (it walked the
+  /// objects it caches, wherever they are homed).
   std::uint64_t resampled_objects = 0;
 };
 
@@ -102,13 +103,17 @@ class OverheadMeter {
   /// Budgeted profiling seconds implied by one sample under the cost model.
   [[nodiscard]] double profiling_seconds(const OverheadSample& sample) const;
 
-  /// Overhead fraction of the most recent epoch alone.
+  /// Overhead fraction of the most recent epoch alone (0 when that epoch
+  /// carried no signal — see rolling_fraction).
   [[nodiscard]] double epoch_fraction() const;
 
   /// Overhead fraction over the rolling window:
-  /// sum(profiling seconds) / sum(app seconds).  Returns +inf when
-  /// profiling cost was observed but no application progress was (an epoch
-  /// pumped with no app work is by definition all overhead).
+  /// sum(profiling seconds) / sum(app seconds).  Epochs with zero
+  /// application progress carry no rate signal and are skipped — cost
+  /// observed against an idle epoch (e.g. a resampling transient billed to
+  /// a node that ran nothing) must not read as infinite overhead, or the
+  /// controller would back off a node with no work to protect.  A window
+  /// with no signal at all reads 0.
   [[nodiscard]] double rolling_fraction() const;
 
   /// The rate-dependent share of rolling_fraction(): what gap coarsening
@@ -125,7 +130,8 @@ class OverheadMeter {
   /// dense; a node that never appeared reads as zero overhead).
   [[nodiscard]] std::size_t node_count() const noexcept { return node_rings_.size(); }
   /// Rolling overhead fraction of one node: its profiling seconds over its
-  /// own app seconds (same +inf convention as rolling_fraction).
+  /// own app seconds (same no-signal skipping as rolling_fraction, so an
+  /// idle node never reads as the worst offender).
   [[nodiscard]] double node_rolling_fraction(NodeId node) const;
   /// The rate-dependent share of node_rolling_fraction.
   [[nodiscard]] double node_rolling_reducible_fraction(NodeId node) const;
@@ -139,14 +145,18 @@ class OverheadMeter {
   [[nodiscard]] std::size_t window() const noexcept { return window_; }
   [[nodiscard]] const OverheadCosts& costs() const noexcept { return costs_; }
 
- private:
+  /// One window slot (public so the window-summing helper can see it).
   struct Entry {
     double app_seconds = 0.0;
     double reducible_seconds = 0.0;  ///< shrinks when gaps coarsen
     double fixed_seconds = 0.0;      ///< rate-independent profiling CPU
     double build_seconds = 0.0;
+    /// False when the epoch made no application progress here: no-signal
+    /// slots are skipped by every fraction, never read as infinite overhead.
+    bool signal = false;
   };
 
+ private:
   OverheadCosts costs_;
   std::size_t window_;
   std::vector<Entry> ring_;

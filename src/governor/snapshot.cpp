@@ -103,6 +103,22 @@ struct SnapshotAccess {
       }
     }
 
+    // v3: per-node cached-copy bookkeeping summary (registrations and
+    // resampling copy visits paid).  Trailing all-zero rows are trimmed so
+    // encode(decode(x)) stays bit-exact.
+    std::uint32_t copy_nodes = 0;
+    for (std::size_t n = 0; n < gov.plan_.bookkeeping_node_count(); ++n) {
+      if (gov.plan_.copy_registrations(static_cast<NodeId>(n)) != 0 ||
+          gov.plan_.resample_visits(static_cast<NodeId>(n)) != 0) {
+        copy_nodes = static_cast<std::uint32_t>(n) + 1;
+      }
+    }
+    put<std::uint32_t>(out, copy_nodes);
+    for (std::uint32_t n = 0; n < copy_nodes; ++n) {
+      put<std::uint64_t>(out, gov.plan_.copy_registrations(static_cast<NodeId>(n)));
+      put<std::uint64_t>(out, gov.plan_.resample_visits(static_cast<NodeId>(n)));
+    }
+
     put<std::uint64_t>(out, tcm.size());
     for (double v : tcm.raw()) put<double>(out, v);
   }
@@ -113,7 +129,8 @@ struct SnapshotAccess {
     std::uint32_t magic = 0, version = 0;
     if (!r.get(magic) || magic != kSnapshotMagic) return false;
     if (!r.get(version) ||
-        (version != kSnapshotVersion && version != kSnapshotVersionV1)) {
+        (version != kSnapshotVersion && version != kSnapshotVersionV2 &&
+         version != kSnapshotVersionV1)) {
       return false;
     }
     const bool v1 = version == kSnapshotVersionV1;
@@ -194,7 +211,7 @@ struct SnapshotAccess {
       if ((g.flags & 1u) != 0 && (g.nominal == 0 || g.real == 0)) return false;
     }
 
-    // v2: per-(node, class) gap shift table; a v1 snapshot has none, so a
+    // v2+: per-(node, class) gap shift table; a v1 snapshot has none, so a
     // restored per-node governor starts with every node on the cluster view.
     std::uint32_t shift_nodes = 0;
     std::vector<std::uint8_t> shifts;
@@ -210,6 +227,30 @@ struct SnapshotAccess {
       for (std::uint8_t& s : shifts) {
         if (!r.get(s)) return false;
         if (s > 31) return false;  // beyond any gap the encoder can produce
+      }
+    }
+
+    // v3: per-node cached-copy bookkeeping summary.  Older files simply
+    // restart the counters at zero.
+    std::uint32_t copy_nodes = 0;
+    std::vector<std::uint64_t> copy_regs, copy_visits;
+    if (version >= kSnapshotVersion) {
+      if (!r.get(copy_nodes)) return false;
+      if (copy_nodes > std::numeric_limits<NodeId>::max()) return false;
+      if (static_cast<std::uint64_t>(copy_nodes) * 2 * sizeof(std::uint64_t) >
+          r.remaining()) {
+        return false;
+      }
+      copy_regs.resize(copy_nodes);
+      copy_visits.resize(copy_nodes);
+      for (std::uint32_t n = 0; n < copy_nodes; ++n) {
+        if (!r.get(copy_regs[n]) || !r.get(copy_visits[n])) return false;
+      }
+      // The encoder trims trailing all-zero rows; a padded table would
+      // re-encode differently (corruption or a foreign writer).
+      if (copy_nodes > 0 && copy_regs[copy_nodes - 1] == 0 &&
+          copy_visits[copy_nodes - 1] == 0) {
+        return false;
       }
     }
 
@@ -233,7 +274,41 @@ struct SnapshotAccess {
     // change.
     gov.grace_ = gov.state_ == GovernorState::kSentinel ? 1 : 0;
     gov.converged_gaps_.assign(reg.size(), 0);  // 0 = not captured
-    // Node state: v2 restores the stored shift table; v1 seeds every node
+    // Only classes whose gaps or shifts actually move need the paper's
+    // change-notice resampling walk.  Restoring into an already-warm world
+    // (same rates, same shifts) then resamples nothing — the restored
+    // governor drives the cached-copy plan immediately, with no full
+    // resample storm billed to the first epoch.
+    std::vector<std::uint8_t> changed(reg.size(), 0);
+    const auto mark_changed = [&changed](ClassId id) {
+      if (static_cast<std::size_t>(id) < changed.size()) {
+        changed[static_cast<std::size_t>(id)] = 1;
+      }
+    };
+    // Shifts: any class shifted before or after the load is affected.
+    for (std::size_t n = 0; n < gov.plan_.shift_node_count(); ++n) {
+      for (const Klass& k : reg.all()) {
+        if (gov.plan_.node_gap_shift(static_cast<NodeId>(n), k.id) != 0) {
+          mark_changed(k.id);
+        }
+      }
+    }
+    for (std::uint32_t nn = 0; nn < shift_nodes; ++nn) {
+      for (std::uint32_t c = 0; c < class_count; ++c) {
+        if (shifts[static_cast<std::size_t>(nn) * class_count + c] != 0) {
+          mark_changed(gaps[c].id);
+        }
+      }
+    }
+    for (const ClassGap& g : gaps) {
+      if ((g.flags & 1u) == 0) continue;
+      const SamplingInfo& live = reg.at(g.id).sampling;
+      if (!live.initialized || live.nominal_gap != g.nominal ||
+          live.real_gap != g.real) {
+        mark_changed(g.id);
+      }
+    }
+    // Node state: v2+ restores the stored shift table; v1 seeds every node
     // from the cluster view (no shifts).
     gov.plan_.clear_node_gap_shifts();
     for (std::uint32_t nn = 0; nn < shift_nodes; ++nn) {
@@ -258,7 +333,14 @@ struct SnapshotAccess {
       }
       gov.converged_gaps_[static_cast<std::size_t>(g.id)] = g.converged;
     }
-    gov.plan_.resample_all();
+    std::vector<ClassId> to_resample;
+    for (std::size_t c = 0; c < changed.size(); ++c) {
+      if (changed[c] != 0) to_resample.push_back(static_cast<ClassId>(c));
+    }
+    gov.plan_.resample_classes(to_resample);
+    // Seeded last: the targeted resample above books its own visits, but the
+    // restored totals must be exactly the stored ones (bit-exact re-encode).
+    gov.plan_.seed_copy_bookkeeping(std::move(copy_regs), std::move(copy_visits));
     tcm = std::move(m);
     return true;
   }

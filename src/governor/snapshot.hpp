@@ -7,7 +7,7 @@
 // converged TCM, the distributed analog of a single-process profiler's
 // `sample.prof` dump.
 //
-// Format v2, host-endian, fixed-width fields (round-trips bit-exactly on
+// Format v3, host-endian, fixed-width fields (round-trips bit-exactly on
 // the writing host; a foreign-endian reader rejects the file at the magic
 // check and cold-starts rather than misreading it):
 //   u32 magic 'DJGV'   u32 version
@@ -15,7 +15,7 @@
 //   u8 flags (bit 0: per-node budget enforcement)   u8 reserved
 //   f64 overhead_budget   f64 distance_threshold
 //   f64 hysteresis        f64 phase_spike_factor
-//   f64 node_budget (0 = inherit overhead_budget)          [v2]
+//   f64 node_budget (0 = inherit overhead_budget)          [v2+]
 //   u32 sentinel_coarsen_shifts   u32 max_nominal_gap
 //   u64 epochs_seen       u64 rearms
 //   u32 class_count
@@ -24,16 +24,28 @@
 //                     u32 flags (bit 0: rate was ever assigned; unset =
 //                     placeholder gaps, left untouched on load so the
 //                     class still inherits the cluster default rate) }
-//   u32 shift_node_count                                    [v2]
-//     shift_node_count x class_count x u8 per-node gap shift [v2]
+//   u32 shift_node_count                                    [v2+]
+//     shift_node_count x class_count x u8 per-node gap shift [v2+]
+//   u32 copy_node_count                                     [v3]
+//     copy_node_count x { u64 copy_registrations,           [v3]
+//                         u64 resample_visits }
 //   u64 tcm_dimension
 //     dimension^2 x f64 (row-major)
 //
+// The v3 copy summary records the cached-copy sampling bookkeeping — how
+// many copy bits each node has registered (fault-ins, prefetches) and how
+// many resampling copy visits it has paid — so a warm-started run continues
+// the counters that tell where sampling cost was actually incurred.
+//
 // v1 files (no flags byte meaning — it was reserved padding — and none of
-// the [v2] fields) still load: the restored governor keeps its machine-local
-// per-node policy knobs and every node is seeded from the cluster view
-// (all gap shifts zero), so a pre-per-node snapshot warm-starts a per-node
-// governor cleanly.
+// the [v2+] fields) still load: the restored governor keeps its
+// machine-local per-node policy knobs and every node is seeded from the
+// cluster view (all gap shifts zero), so a pre-per-node snapshot
+// warm-starts a per-node governor cleanly.  v2 files load the same way
+// minus the copy summary (counters start at zero).  Loading resamples only
+// the classes whose gaps or shifts actually differ from the live plan, so
+// restoring a snapshot into an already-warm world is not a full resample
+// storm.
 #pragma once
 
 #include <cstdint>
@@ -46,9 +58,11 @@
 namespace djvm {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x56474A44;  // "DJGV"
-/// Version written by encode_snapshot; decode also accepts kSnapshotVersionV1.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// Version written by encode_snapshot; decode also accepts the older
+/// kSnapshotVersionV1/V2 layouts (read compatibility).
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 inline constexpr std::uint32_t kSnapshotVersionV1 = 1;
+inline constexpr std::uint32_t kSnapshotVersionV2 = 2;
 
 /// Serializes the governor's state, the plan's per-class gaps, and `tcm`
 /// (pass the daemon's latest converged map).

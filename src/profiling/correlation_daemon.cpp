@@ -82,9 +82,10 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   }
   sample.resampled_objects += carryover_resampled_;
   // Resampling passes run *after* a decision, so their per-node cost lands
-  // in the next epoch's sample — merged only into node slices the pump
-  // already measured (a node absent from a measured sample has no app time
-  // to budget against).
+  // in the next epoch's sample — attributed to the node that walked its own
+  // cached copies, and merged only into node slices the pump already
+  // measured (a node absent from a measured sample has no app time to
+  // budget against).
   for (NodeOverheadSample& ns : sample.nodes) {
     if (ns.node < carryover_resampled_by_node_.size()) {
       ns.resampled_objects += carryover_resampled_by_node_[ns.node];

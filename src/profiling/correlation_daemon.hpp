@@ -118,8 +118,9 @@ class CorrelationDaemon {
   /// Resampling triggered by last epoch's decision; its cost is metered in
   /// the following epoch's sample (the pass runs after the decision).
   std::uint64_t carryover_resampled_ = 0;
-  /// Same, attributed to each object's home node (feeds the per-node slices
-  /// of the next epoch's sample).
+  /// Same, attributed to the node that paid each copy visit — the node that
+  /// walked its own cached copies (feeds the per-node slices of the next
+  /// epoch's sample).
   std::vector<std::uint64_t> carryover_resampled_by_node_;
 };
 

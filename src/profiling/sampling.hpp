@@ -12,14 +12,24 @@
 //
 // On top of the cluster-wide per-class gap, each worker node may carry a
 // *gap shift* per class: the node's effective nominal gap is the class gap
-// doubled `shift` times (effective real gap = its nearest prime).  Objects
-// apply the shift of their *home* node, so the per-node governor can coarsen
-// one hot node's costliest classes without touching the rest of the cluster.
+// doubled `shift` times (effective real gap = its nearest prime).
+//
+// Sampling state is kept **per cached copy**, the paper's cost model: "upon
+// receiving a change notice for a specific class, every thread will iterate
+// through all objects of that class *it caches*".  Each node reads (and
+// recomputes) the sampled bit of its own copy under its *own* effective gap,
+// so a per-(node, class) shift changes what that node samples and logs — and
+// the resampling walk it pays for covers the objects it caches, not the
+// objects it happens to home.  The legacy home-node model (the object's home
+// owns one cluster-wide bit; resampling visits are billed to homes) is kept
+// behind CostAttribution::kHomeNode for ablation benches.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "common/config.hpp"
 #include "common/types.hpp"
 #include "runtime/heap.hpp"
 
@@ -34,9 +44,24 @@ struct ClassEpochStats {
   std::uint64_t estimated_bytes = 0;  ///< logged bytes x gap (HT estimate)
 };
 
-/// Cluster-wide sampling state: per-class gaps plus per-object cached
-/// sampled bits and amortized sample sizes (recomputed on rate changes, the
-/// paper's "resampling" pass).
+/// Read-only view of the GOS per-node copy sets.  The plan uses it to walk
+/// exactly the copies a node caches during per-node resampling passes and to
+/// attribute cluster-wide resampling visits to every caching node.  Without
+/// a registered view (standalone plans in unit tests) each object is treated
+/// as cached only at its home, which degenerates to the home-node model.
+class CopySetView {
+ public:
+  virtual ~CopySetView() = default;
+  /// True when `node` currently holds a valid (or home) copy of `obj`.
+  [[nodiscard]] virtual bool node_has_copy(NodeId node, ObjectId obj) const = 0;
+  /// Number of nodes in the cluster the copy sets span.
+  [[nodiscard]] virtual std::uint32_t copy_node_count() const = 0;
+};
+
+/// Cluster-wide sampling state: per-class gaps plus cached sampled bits and
+/// amortized sample sizes (recomputed on rate changes, the paper's
+/// "resampling" pass).  The base arrays hold the cluster view (no shift);
+/// nodes carrying gap shifts get their own per-copy view on top.
 class SamplingPlan {
  public:
   explicit SamplingPlan(Heap& heap);
@@ -63,6 +88,22 @@ class SamplingPlan {
   [[nodiscard]] std::uint32_t real_gap(ClassId id) const;
   [[nodiscard]] std::uint32_t nominal_gap(ClassId id) const;
 
+  // --- cost attribution model ----------------------------------------------
+  /// Switches between the cached-copy model (default: each caching node owns
+  /// its copy's bit and pays its own resampling) and the legacy home-node
+  /// model (one cluster-wide bit under the home's gap, visits billed to
+  /// homes).  Changing the model recomputes every bit.
+  void set_cost_attribution(CostAttribution mode);
+  [[nodiscard]] CostAttribution cost_attribution() const noexcept {
+    return attribution_;
+  }
+
+  /// Registers (or clears, with nullptr) the GOS copy sets the resampling
+  /// walks iterate.  The view must outlive its registration; the GOS
+  /// deregisters itself on destruction.
+  void set_copy_view(const CopySetView* view) noexcept { copies_ = view; }
+  [[nodiscard]] const CopySetView* copy_view() const noexcept { return copies_; }
+
   // --- per-(node, class) effective gaps -------------------------------------
   /// Sets `node`'s backoff shift for class `id` (effective nominal gap =
   /// class nominal << shift).  A shift of 0 restores the cluster gap.  Does
@@ -88,18 +129,51 @@ class SamplingPlan {
                                                           std::uint32_t rate_x);
 
   // --- per-object queries (hot path) ---------------------------------------
+  /// Cluster-view sampled bit (under the class base gap; under the home
+  /// node's effective gap in the legacy home-node model).
   [[nodiscard]] bool is_sampled(ObjectId obj) const {
     return obj < sampled_.size() && sampled_[static_cast<std::size_t>(obj)] != 0;
+  }
+  /// Sampled bit of `node`'s copy, under that node's effective gap.  Nodes
+  /// without a per-copy view (no shifts) read the cluster view.
+  [[nodiscard]] bool is_sampled(NodeId node, ObjectId obj) const {
+    const auto ni = static_cast<std::size_t>(node);
+    if (ni < node_views_.size() && node_views_[ni].active) [[unlikely]] {
+      const NodeView& v = node_views_[ni];
+      return obj < v.sampled.size() && v.sampled[static_cast<std::size_t>(obj)] != 0;
+    }
+    return is_sampled(obj);
   }
   /// Amortized sample size in bytes (0 when unsampled): full object size for
   /// scalars, sampled_elements x element_size for arrays.
   [[nodiscard]] std::uint32_t sample_bytes(ObjectId obj) const {
     return obj < sample_bytes_.size() ? sample_bytes_[static_cast<std::size_t>(obj)] : 0;
   }
-  /// Class gap cached per object at the last (re)sample, so the logging hot
-  /// path avoids a registry lookup.
+  /// Amortized sample size of `node`'s copy under that node's effective gap.
+  [[nodiscard]] std::uint32_t sample_bytes(NodeId node, ObjectId obj) const {
+    const auto ni = static_cast<std::size_t>(node);
+    if (ni < node_views_.size() && node_views_[ni].active) [[unlikely]] {
+      const NodeView& v = node_views_[ni];
+      return obj < v.bytes.size() ? v.bytes[static_cast<std::size_t>(obj)] : 0;
+    }
+    return sample_bytes(obj);
+  }
+  /// Gap cached per object at the last (re)sample, so the logging hot path
+  /// avoids a registry lookup.  Out-of-range objects (never registered with
+  /// the plan) report 0 = unsampled — returning 1 here would treat an
+  /// unknown object as sampled-every-access and inflate Horvitz-Thompson
+  /// estimates built from its entries.
   [[nodiscard]] std::uint32_t gap_of(ObjectId obj) const {
-    return obj < sample_gap_.size() ? sample_gap_[static_cast<std::size_t>(obj)] : 1;
+    return obj < sample_gap_.size() ? sample_gap_[static_cast<std::size_t>(obj)] : 0;
+  }
+  /// Gap of `node`'s copy at its last (re)sample (0 = unregistered).
+  [[nodiscard]] std::uint32_t gap_of(NodeId node, ObjectId obj) const {
+    const auto ni = static_cast<std::size_t>(node);
+    if (ni < node_views_.size() && node_views_[ni].active) [[unlikely]] {
+      const NodeView& v = node_views_[ni];
+      return obj < v.gap.size() ? v.gap[static_cast<std::size_t>(obj)] : 0;
+    }
+    return gap_of(obj);
   }
   /// Horvitz-Thompson estimate of the object's full byte contribution:
   /// sample_bytes x gap.  For arrays this reconstructs ~ length x elem size;
@@ -110,27 +184,63 @@ class SamplingPlan {
   /// Tags a freshly allocated object (called from the GOS allocation path).
   void on_alloc(ObjectId obj);
 
+  /// Re-registers a copy's sampled bit when `node` faults it in (or
+  /// prefetches it): the bit is recomputed under the *caching* node's
+  /// current effective gap, so a copy fetched after a shift moved is never
+  /// read stale.  Also counts the registration (snapshot v3 summary).
+  void note_copy_registered(NodeId node, ObjectId obj);
+
+  /// Home migration: recomputes the object's bits so the legacy home-node
+  /// model re-keys it under the *new* home's gap shift immediately (instead
+  /// of keeping the old home's decision until the next full resample), and
+  /// re-registers the old home's now-cached copy.
+  void on_home_migrated(ObjectId obj, NodeId from, NodeId to);
+
   /// Recomputes sampled bits for every object of class `id` ("Upon receiving
   /// a change notice for a specific class, every thread will iterate through
-  /// all objects of that class it caches...").  Returns objects visited.
+  /// all objects of that class it caches...").  Returns copy visits paid:
+  /// one per (caching node, object) pair under cached-copy attribution, one
+  /// per object under the home-node model.
   std::size_t resample_class(ClassId id);
 
   /// Recomputes sampled bits for every object of the listed classes in a
   /// single heap pass (rate changes touching several classes would
-  /// otherwise pay one full scan per class).  Returns objects visited.
+  /// otherwise pay one full scan per class).  Returns copy visits paid.
   std::size_t resample_classes(const std::vector<ClassId>& ids);
 
-  /// Like resample_classes, but only objects homed at `node` (a per-node gap
-  /// shift only invalidates that node's cached sampled bits).
+  /// Like resample_classes, but walks only the objects `node` actually
+  /// caches (home copies included) and recomputes that node's view alone —
+  /// a per-node gap shift only invalidates that node's copy bits.  Under
+  /// the home-node model the walk degenerates to objects homed at `node`.
   std::size_t resample_classes_on_node(NodeId node, const std::vector<ClassId>& ids);
 
-  /// Full resampling pass over the heap; returns objects visited.
+  /// Full resampling pass over the heap; returns copy visits paid.
   std::size_t resample_all();
 
-  /// Objects visited by resampling passes since the last drain, attributed
-  /// to each object's home node (the node that pays the recompute).  The
-  /// daemon drains this to build per-node overhead samples.
+  /// Copy visits paid by resampling passes since the last drain, attributed
+  /// to the node that did the walk (the node caching the copy pays the
+  /// recompute).  The daemon drains this to build per-node overhead samples.
   [[nodiscard]] std::vector<std::uint64_t> drain_resampled_by_node();
+
+  // --- per-node copy bookkeeping (snapshot v3 summary) ----------------------
+  /// Cumulative copy-bit registrations on `node` (fault-ins, prefetches,
+  /// re-registrations after home migration).
+  [[nodiscard]] std::uint64_t copy_registrations(NodeId node) const {
+    return node < copy_registrations_.size() ? copy_registrations_[node] : 0;
+  }
+  /// Cumulative resampling copy visits `node` has paid (never drained).
+  [[nodiscard]] std::uint64_t resample_visits(NodeId node) const {
+    return node < resample_visits_.size() ? resample_visits_[node] : 0;
+  }
+  /// Node rows present in either bookkeeping counter.
+  [[nodiscard]] std::size_t bookkeeping_node_count() const noexcept {
+    return std::max(copy_registrations_.size(), resample_visits_.size());
+  }
+  /// Restores the bookkeeping counters from a snapshot (absolute values;
+  /// the decode path calls this after its own resample so the restored
+  /// totals are exactly the stored ones).
+  void seed_copy_bookkeeping(std::vector<std::uint64_t> registrations,
+                             std::vector<std::uint64_t> visits);
 
   /// Count of sampled elements in an array [start_seq, start_seq+len) under
   /// gap `g` (number of multiples of g in that range).  Exposed for tests.
@@ -138,8 +248,11 @@ class SamplingPlan {
                                                       std::uint32_t length,
                                                       std::uint32_t gap);
 
-  /// Total number of currently sampled objects (for tests/benches).
+  /// Total number of cluster-view sampled objects (for tests/benches).
   [[nodiscard]] std::uint64_t sampled_count() const;
+  /// Number of objects sampled in `node`'s effective view (its per-copy view
+  /// when it has one, the cluster view otherwise).
+  [[nodiscard]] std::uint64_t sampled_count(NodeId node) const;
 
   // --- per-epoch class stats (governor benefit/cost inputs) -----------------
   /// Resets the per-class accumulators (cluster and per-node) at the start
@@ -168,27 +281,55 @@ class SamplingPlan {
   [[nodiscard]] Heap& heap() noexcept { return heap_; }
 
  private:
+  /// Per-copy view of one node carrying gap shifts: the sampled bit,
+  /// amortized bytes, and gap of *this node's* copy of each object.
+  /// Materialized lazily (copied from the cluster view) when the node first
+  /// receives a shift; inactive nodes read the base arrays.
+  struct NodeView {
+    bool active = false;
+    std::vector<std::uint8_t> sampled;
+    std::vector<std::uint32_t> bytes;
+    std::vector<std::uint32_t> gap;
+  };
+
   void recompute(ObjectId obj);
+  void recompute_node_view(NodeView& view, NodeId node, ObjectId obj);
+  void ensure_node_view(NodeId node);
+  /// True when `node` holds a copy of `obj` (home counts); falls back to
+  /// home-only when no copy view is registered.
+  [[nodiscard]] bool node_caches(NodeId node, ObjectId obj) const;
+  /// Charges one cluster-resample visit of `obj` to every caching node and
+  /// returns the visits charged.
+  std::size_t note_resampled_copies(ObjectId obj);
   /// Re-derives the cached effective real gap for (node, id) after the
   /// class's base gap or the node's shift moved.
   void refresh_node_gap(NodeId node, ClassId id);
-  void note_resampled(NodeId home) {
-    if (resampled_by_node_.size() <= home) resampled_by_node_.resize(home + 1, 0);
-    ++resampled_by_node_[home];
+  void note_resampled(NodeId payer) {
+    if (resampled_by_node_.size() <= payer) resampled_by_node_.resize(payer + 1, 0);
+    ++resampled_by_node_[payer];
+    if (resample_visits_.size() <= payer) resample_visits_.resize(payer + 1, 0);
+    ++resample_visits_[payer];
   }
 
   Heap& heap_;
   std::uint32_t default_rate_x_ = 0;
+  CostAttribution attribution_ = CostAttribution::kCachedCopy;
+  const CopySetView* copies_ = nullptr;
   std::vector<std::uint8_t> sampled_;
   std::vector<std::uint32_t> sample_bytes_;
   std::vector<std::uint32_t> sample_gap_;
+  std::vector<NodeView> node_views_;
   std::vector<ClassEpochStats> epoch_stats_;
   std::vector<std::vector<ClassEpochStats>> node_epoch_stats_;
   /// Per-node backoff doublings on top of the class nominal gap, and the
   /// cached effective real gap where the shift is nonzero (0 = use base).
   std::vector<std::vector<std::uint8_t>> node_shift_;
   std::vector<std::vector<std::uint32_t>> node_real_gap_;
+  /// Drainable window of resample visits (per paying node) plus the
+  /// cumulative totals and registration counts (snapshot v3 summary).
   std::vector<std::uint64_t> resampled_by_node_;
+  std::vector<std::uint64_t> resample_visits_;
+  std::vector<std::uint64_t> copy_registrations_;
 };
 
 }  // namespace djvm

@@ -90,12 +90,42 @@ TEST(OverheadMeter, CostModelConvertsCountsToSeconds) {
   EXPECT_DOUBLE_EQ(meter.profiling_seconds(s), 0.001 + 0.0005 + 0.25);
 }
 
-TEST(OverheadMeter, NoAppProgressIsAllOverhead) {
+TEST(OverheadMeter, NoAppProgressIsNoSignal) {
+  // Cost observed against zero application progress used to read as an
+  // infinite fraction; it now carries no signal at all — neither the idle
+  // epoch nor its cost may steer the controller.
   OverheadMeter meter({}, 4);
   OverheadSample s;
   s.access_check_seconds = 0.5;
   meter.record(s);
-  EXPECT_TRUE(std::isinf(meter.rolling_fraction()));
+  EXPECT_DOUBLE_EQ(meter.rolling_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.epoch_fraction(), 0.0);
+
+  // A later real epoch is measured on its own, undiluted by the idle one.
+  OverheadSample real;
+  real.app_seconds = 1.0;
+  real.access_check_seconds = 0.02;
+  meter.record(real);
+  EXPECT_DOUBLE_EQ(meter.rolling_fraction(), 0.02);
+}
+
+TEST(OverheadMeter, IdleNodeWithResampleCostIsNotWorstOffender) {
+  // Regression: a node with zero app seconds but nonzero profiling cost
+  // (e.g. the resampling transient of a backoff it was just handed) used to
+  // report +inf and win worst_node(), so the governor backed off a node
+  // that ran nothing that epoch.
+  OverheadMeter meter({}, 2);
+  OverheadSample s;
+  s.measured = true;
+  s.app_seconds = 1.0;
+  s.access_check_seconds = 0.01;
+  s.nodes.push_back({0, 1.0, 0.01, 0.0, 0, 0});
+  s.nodes.push_back({1, 0.0, 0.0, 0.0, 0, 5000});  // idle, but billed a pass
+  meter.record(s);
+  EXPECT_DOUBLE_EQ(meter.node_rolling_fraction(1), 0.0);
+  EXPECT_DOUBLE_EQ(meter.node_epoch_fraction(1), 0.0);
+  ASSERT_TRUE(meter.worst_node().has_value());
+  EXPECT_EQ(*meter.worst_node(), 0u);
 }
 
 TEST_F(GovernorTest, BudgetExceededBacksOffWorstBenefitCostClass) {
@@ -540,7 +570,7 @@ class PerNodeGovernorTest : public ::testing::Test {
   ClassId bulky = kInvalidClass;
 };
 
-TEST_F(PerNodeGovernorTest, EffectiveGapsFollowHomeNodeShift) {
+TEST_F(PerNodeGovernorTest, EffectiveGapsFollowNodeShift) {
   plan.set_nominal_gap(hot, 8);
   plan.resample_all();
   const std::uint64_t before = plan.sampled_count();
@@ -551,9 +581,14 @@ TEST_F(PerNodeGovernorTest, EffectiveGapsFollowHomeNodeShift) {
   EXPECT_EQ(plan.effective_nominal_gap(0, hot), 8u);   // other node untouched
   EXPECT_EQ(plan.nominal_gap(hot), 8u);                // cluster view untouched
 
+  // No copy view registered: the walk degenerates to node 1's homed objects.
   const std::size_t visited = plan.resample_classes_on_node(1, {hot});
-  EXPECT_EQ(visited, 128u);  // only node 1's hot objects re-evaluated
-  EXPECT_LT(plan.sampled_count(), before);
+  EXPECT_EQ(visited, 128u);  // only node 1's copies re-evaluated
+  // The shift coarsens node 1's *own* copy view; the cluster view (what
+  // every unshifted node samples under) is untouched.
+  EXPECT_LT(plan.sampled_count(1), before);
+  EXPECT_EQ(plan.sampled_count(), before);
+  EXPECT_EQ(plan.sampled_count(0), before);
 
   // Base-gap changes propagate through the shift.
   plan.set_nominal_gap(hot, 16);
@@ -683,14 +718,16 @@ TEST_F(PerNodeGovernorTest, RearmDropsNodeShiftsAndResamples) {
   const std::uint64_t base_count = plan.sampled_count();
   plan.set_node_gap_shift(1, hot, 3);
   plan.resample_classes_on_node(1, {hot});
-  ASSERT_LT(plan.sampled_count(), base_count);
+  ASSERT_LT(plan.sampled_count(1), base_count);
 
   // Arming a mode that can never relax shifts (legacy) must not leave the
   // previously hot node silently under-sampled: shifts drop with the rest
-  // of the controller state and the affected objects are recomputed.
+  // of the controller state and the affected copies read the restored
+  // cluster view again.
   Governor gov(plan);
   gov.arm_legacy(0.05);
   EXPECT_FALSE(plan.has_node_gap_shifts());
+  EXPECT_EQ(plan.sampled_count(1), base_count);
   EXPECT_EQ(plan.sampled_count(), base_count);
 }
 

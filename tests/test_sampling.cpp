@@ -160,6 +160,67 @@ TEST_F(SamplingTest, ResampleClassTouchesOnlyThatClass) {
   EXPECT_EQ(plan.resample_all(), 20u);
 }
 
+TEST_F(SamplingTest, GapOfOutOfRangeReportsUnsampled) {
+  const ClassId c = reg.register_class("X", 8);
+  plan.set_nominal_gap(c, 4);
+  const ObjectId o = heap.alloc(c, 0);
+  plan.on_alloc(o);
+  EXPECT_EQ(plan.gap_of(o), plan.real_gap(c));
+  // Boundary: objects the plan has never registered are *unsampled* (gap 0).
+  // The old fallback of 1 read as sampled-every-access, inflating any
+  // Horvitz-Thompson estimate built from a bogus entry by 1/gap.
+  EXPECT_EQ(plan.gap_of(o + 1), 0u);
+  EXPECT_EQ(plan.gap_of(kInvalidObject), 0u);
+  EXPECT_FALSE(plan.is_sampled(o + 1));
+  EXPECT_EQ(plan.sample_bytes(o + 1), 0u);
+  EXPECT_EQ(plan.estimated_full_bytes(o + 1), 0u);
+}
+
+TEST_F(SamplingTest, NodeViewTracksTheNodesEffectiveGap) {
+  const ClassId c = reg.register_class("X", 8);
+  plan.set_nominal_gap(c, 4);
+  // Homed at node 1: with no copy view registered, the per-node resampling
+  // walk falls back to exactly the objects a node homes.
+  std::vector<ObjectId> objs;
+  for (int i = 0; i < 30; ++i) {
+    objs.push_back(heap.alloc(c, 1));
+    plan.on_alloc(objs.back());
+  }
+  // Without a shift, node queries fall through to the cluster view.
+  for (ObjectId o : objs) {
+    EXPECT_EQ(plan.is_sampled(1, o), plan.is_sampled(o));
+    EXPECT_EQ(plan.gap_of(1, o), plan.gap_of(o));
+  }
+
+  plan.set_node_gap_shift(1, c, 2);
+  plan.resample_classes_on_node(1, {c});
+  const std::uint32_t shifted = plan.effective_real_gap(1, c);
+  for (ObjectId o : objs) {
+    const std::uint32_t seq = heap.meta(o).start_seq;
+    // Node 1's copy view samples under its shifted gap...
+    EXPECT_EQ(plan.is_sampled(1, o), seq % shifted == 0);
+    EXPECT_EQ(plan.gap_of(1, o), shifted);
+    EXPECT_EQ(plan.sample_bytes(1, o), seq % shifted == 0 ? 8u : 0u);
+    // ...while the cluster view (and any unshifted node) is untouched.
+    EXPECT_EQ(plan.is_sampled(o), seq % plan.real_gap(c) == 0);
+    EXPECT_EQ(plan.is_sampled(0, o), plan.is_sampled(o));
+  }
+}
+
+TEST_F(SamplingTest, NodeViewAmortizesArraysUnderShiftedGap) {
+  const ClassId c = reg.register_array_class("A[]", 4);
+  plan.set_nominal_gap(c, 4);
+  const ObjectId a = heap.alloc_array(c, 1, 100);
+  plan.on_alloc(a);
+  plan.set_node_gap_shift(1, c, 3);  // 4 << 3 = 32 -> prime 31
+  plan.resample_classes_on_node(1, {c});
+  ASSERT_EQ(plan.effective_real_gap(1, c), 31u);
+  const std::uint32_t n = SamplingPlan::sampled_elements(
+      heap.meta(a).start_seq, 100, 31);
+  EXPECT_EQ(plan.sample_bytes(1, a), n * 4u);
+  EXPECT_GT(plan.sample_bytes(a), plan.sample_bytes(1, a));
+}
+
 TEST_F(SamplingTest, PlanTagsPreexistingObjectsAtConstruction) {
   KlassRegistry reg2;
   Heap heap2(reg2, 1);

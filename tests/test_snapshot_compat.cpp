@@ -1,0 +1,240 @@
+// Snapshot format compatibility: v1 and v2 fixtures (hand-built from their
+// documented layouts) still load into a v3 reader, new snapshots are written
+// as v3 with the per-node copy summary, and a warm start resamples only what
+// actually changed — no full resample storm.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "governor/governor.hpp"
+#include "governor/snapshot.hpp"
+
+namespace djvm {
+namespace {
+
+class SnapshotCompatTest : public ::testing::Test {
+ protected:
+  SnapshotCompatTest() : heap(reg, 2), plan(heap) {
+    hot = reg.register_class("Hot", 16);
+    bulky = reg.register_class("Bulky", 1024);
+    for (int i = 0; i < 64; ++i) plan.on_alloc(heap.alloc(hot, 1));
+    for (int i = 0; i < 64; ++i) plan.on_alloc(heap.alloc(bulky, 0));
+  }
+
+  struct FixtureSpec {
+    std::uint32_t version = kSnapshotVersionV2;
+    bool per_node = true;
+    // {nominal, real} per class, in registry order; converged = 0.
+    std::uint32_t hot_nominal = 16, hot_real = 17;
+    std::uint32_t bulky_nominal = 128, bulky_real = 127;
+    // Shift on (node 1, hot); 0 = no shift table rows (v2 only).
+    std::uint8_t hot_shift_node1 = 0;
+  };
+
+  /// Hand-builds a v1 or v2 snapshot from the documented layout.
+  static std::vector<std::uint8_t> build_fixture(const FixtureSpec& spec) {
+    std::vector<std::uint8_t> bytes;
+    const auto put = [&bytes](const auto& v) {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+      bytes.insert(bytes.end(), p, p + sizeof(v));
+    };
+    const bool v1 = spec.version == kSnapshotVersionV1;
+    put(kSnapshotMagic);
+    put(spec.version);
+    bytes.push_back(static_cast<std::uint8_t>(GovernorMode::kClosedLoop));
+    bytes.push_back(static_cast<std::uint8_t>(GovernorState::kSentinel));
+    bytes.push_back(!v1 && spec.per_node ? 1 : 0);  // v1: reserved padding
+    bytes.push_back(0);
+    put(0.02);   // overhead_budget
+    put(0.05);   // distance_threshold
+    put(0.25);   // hysteresis
+    put(3.0);    // phase_spike_factor
+    if (!v1) put(0.015);          // node_budget            [v2+]
+    put(std::uint32_t{2});        // sentinel_coarsen_shifts
+    put(std::uint32_t{1u << 16}); // max_nominal_gap
+    put(std::uint64_t{7});        // epochs
+    put(std::uint64_t{1});        // rearms
+    put(std::uint32_t{2});        // class_count
+    put(std::uint32_t{0});
+    put(spec.hot_nominal);
+    put(spec.hot_real);
+    put(std::uint32_t{0});  put(std::uint32_t{1});  // hot: rated
+    put(std::uint32_t{1});
+    put(spec.bulky_nominal);
+    put(spec.bulky_real);
+    put(std::uint32_t{0});  put(std::uint32_t{1});  // bulky: rated
+    if (!v1) {
+      if (spec.hot_shift_node1 != 0) {
+        put(std::uint32_t{2});          // shift_node_count  [v2+]
+        bytes.push_back(0);             // node 0: hot, bulky
+        bytes.push_back(0);
+        bytes.push_back(spec.hot_shift_node1);  // node 1: hot
+        bytes.push_back(0);                     // node 1: bulky
+      } else {
+        put(std::uint32_t{0});
+      }
+    }
+    put(std::uint64_t{2});  // tcm dimension
+    for (int i = 0; i < 4; ++i) put(double{0.5});
+    return bytes;
+  }
+
+  KlassRegistry reg;
+  Heap heap;
+  SamplingPlan plan;
+  ClassId hot = kInvalidClass;
+  ClassId bulky = kInvalidClass;
+};
+
+TEST_F(SnapshotCompatTest, V1FixtureStillLoads) {
+  FixtureSpec spec;
+  spec.version = kSnapshotVersionV1;
+  Governor gov(plan);
+  SquareMatrix tcm;
+  ASSERT_TRUE(decode_snapshot(build_fixture(spec), gov, tcm));
+  EXPECT_EQ(plan.nominal_gap(hot), 16u);
+  EXPECT_EQ(plan.real_gap(hot), 17u);
+  EXPECT_EQ(plan.nominal_gap(bulky), 128u);
+  EXPECT_FALSE(plan.has_node_gap_shifts());  // v1: cluster view everywhere
+  EXPECT_EQ(gov.state(), GovernorState::kSentinel);
+  EXPECT_EQ(tcm.size(), 2u);
+}
+
+TEST_F(SnapshotCompatTest, V2FixtureLoadsIntoCachedCopyPlan) {
+  FixtureSpec spec;
+  spec.hot_shift_node1 = 3;
+  Governor gov(plan);
+  SquareMatrix tcm;
+  ASSERT_TRUE(decode_snapshot(build_fixture(spec), gov, tcm));
+  EXPECT_EQ(plan.nominal_gap(hot), 16u);
+  EXPECT_EQ(plan.node_gap_shift(1, hot), 3u);
+  EXPECT_EQ(plan.effective_nominal_gap(1, hot), 16u << 3);
+  EXPECT_TRUE(gov.config().per_node);
+  EXPECT_DOUBLE_EQ(gov.config().node_budget, 0.015);
+  // The restored shift immediately drives the cached-copy plan: node 1's
+  // copy view samples coarser than the cluster view it was seeded from.
+  EXPECT_LT(plan.sampled_count(1), plan.sampled_count());
+  // No copy summary in v2: bookkeeping restarts at zero.
+  EXPECT_EQ(plan.copy_registrations(0), 0u);
+  EXPECT_EQ(plan.resample_visits(1), 0u);
+
+  // Re-encoding the restored state writes the current (v3) version.
+  const std::vector<std::uint8_t> out = encode_snapshot(gov, tcm);
+  std::uint32_t version = 0;
+  std::memcpy(&version, out.data() + 4, sizeof(version));
+  EXPECT_EQ(version, kSnapshotVersion);
+  // ...and the v3 bytes round-trip bit-exactly through a fresh world.
+  KlassRegistry reg2;
+  Heap heap2(reg2, 2);
+  reg2.register_class("Hot", 16);
+  reg2.register_class("Bulky", 1024);
+  SamplingPlan plan2(heap2);
+  Governor gov2(plan2);
+  SquareMatrix tcm2;
+  ASSERT_TRUE(decode_snapshot(out, gov2, tcm2));
+  EXPECT_EQ(encode_snapshot(gov2, tcm2), out);
+}
+
+TEST_F(SnapshotCompatTest, V2WarmStartResamplesNothingWhenNothingChanged) {
+  // Prime the live plan to exactly the fixture's rates.
+  plan.set_nominal_gap(hot, 16);
+  plan.set_nominal_gap(bulky, 128);
+  plan.resample_all();
+  ASSERT_EQ(plan.real_gap(hot), 17u);
+  ASSERT_EQ(plan.real_gap(bulky), 127u);
+  plan.drain_resampled_by_node();
+
+  Governor gov(plan);
+  SquareMatrix tcm;
+  ASSERT_TRUE(decode_snapshot(build_fixture(FixtureSpec{}), gov, tcm));
+  // The governor is warm-started and driving, but no class's gap or shift
+  // moved: the load pays zero resampling visits (the old decoder re-walked
+  // the whole heap on every load — a resample storm billed to epoch one).
+  const std::vector<std::uint64_t> billed = plan.drain_resampled_by_node();
+  std::uint64_t total = 0;
+  for (std::uint64_t v : billed) total += v;
+  EXPECT_EQ(total, 0u);
+  EXPECT_EQ(gov.state(), GovernorState::kSentinel);
+  EXPECT_TRUE(gov.converged());
+}
+
+TEST_F(SnapshotCompatTest, V2WarmStartResamplesOnlyChangedClasses) {
+  plan.set_nominal_gap(hot, 16);
+  plan.set_nominal_gap(bulky, 128);
+  plan.resample_all();
+  plan.drain_resampled_by_node();
+
+  // The fixture disagrees on `hot` only: exactly hot's 64 objects are
+  // re-walked (each visit billed to the caching node — its home here, with
+  // no copy view registered), bulky's 64 are left alone.
+  FixtureSpec spec;
+  spec.hot_nominal = 32;
+  spec.hot_real = 31;
+  Governor gov(plan);
+  SquareMatrix tcm;
+  ASSERT_TRUE(decode_snapshot(build_fixture(spec), gov, tcm));
+  EXPECT_EQ(plan.nominal_gap(hot), 32u);
+  const std::vector<std::uint64_t> billed = plan.drain_resampled_by_node();
+  std::uint64_t total = 0;
+  for (std::uint64_t v : billed) total += v;
+  EXPECT_EQ(total, 64u);         // hot only
+  ASSERT_GE(billed.size(), 2u);
+  EXPECT_EQ(billed[1], 64u);     // hot is homed at node 1
+}
+
+TEST_F(SnapshotCompatTest, V3RoundTripRestoresCopyBookkeeping) {
+  plan.set_nominal_gap(hot, 16);
+  plan.resample_all();
+  plan.note_copy_registered(0, 0);
+  plan.note_copy_registered(1, 1);
+  plan.note_copy_registered(1, 2);
+  const std::uint64_t regs0 = plan.copy_registrations(0);
+  const std::uint64_t regs1 = plan.copy_registrations(1);
+  const std::uint64_t visits1 = plan.resample_visits(1);
+  ASSERT_GT(visits1, 0u);  // resample_all billed node 1's homed objects
+
+  Governor gov(plan);
+  GovernorConfig cfg;
+  cfg.per_node = true;
+  gov.arm(cfg);
+  SquareMatrix tcm(2);
+  tcm.at(0, 1) = 4.25;
+  const std::vector<std::uint8_t> bytes = encode_snapshot(gov, tcm);
+
+  KlassRegistry reg2;
+  Heap heap2(reg2, 2);
+  reg2.register_class("Hot", 16);
+  reg2.register_class("Bulky", 1024);
+  SamplingPlan plan2(heap2);
+  Governor gov2(plan2);
+  SquareMatrix tcm2;
+  ASSERT_TRUE(decode_snapshot(bytes, gov2, tcm2));
+  // The copy summary carries the attribution history into the warm start.
+  EXPECT_EQ(plan2.copy_registrations(0), regs0);
+  EXPECT_EQ(plan2.copy_registrations(1), regs1);
+  EXPECT_EQ(plan2.resample_visits(1), visits1);
+  EXPECT_EQ(encode_snapshot(gov2, tcm2), bytes);  // bit-exact
+}
+
+TEST_F(SnapshotCompatTest, CorruptCopySummaryIsRejected) {
+  plan.note_copy_registered(0, 0);
+  Governor gov(plan);
+  SquareMatrix tcm(2);
+  const std::vector<std::uint8_t> bytes = encode_snapshot(gov, tcm);
+
+  // The copy summary sits after the class table (2 x 20 bytes) and the
+  // shift-node count: find it by value and corrupt the node count.
+  // Header: 8 (magic+version) + 4 (mode/state/flags/pad) + 40 (5 doubles)
+  // + 8 (2 u32) + 16 (2 u64) + 4 (class_count) + 40 (classes) + 4
+  // (shift_node_count = 0) = 124; copy_node_count lives at offset 124.
+  std::vector<std::uint8_t> bad = bytes;
+  for (std::size_t i = 124; i < 128; ++i) bad[i] = 0xFF;
+  Governor gov2(plan);
+  SquareMatrix out;
+  EXPECT_FALSE(decode_snapshot(bad, gov2, out));
+  EXPECT_TRUE(decode_snapshot(bytes, gov2, out));
+}
+
+}  // namespace
+}  // namespace djvm
