@@ -1,0 +1,171 @@
+// TCM construction at scale: dense-from-scratch vs the incremental sparse
+// accumulator, swept over threads x objects x reader skew.
+//
+// Protocol per sweep point: a profiling run delivers B record batches; after
+// each batch the master wants the whole-run correlation map fresh (what
+// CorrelationDaemon::build_full feeds the balancer).  The dense-from-scratch
+// pipeline (`TcmBuilder::build_reference`, the seed's hash-map reorganize +
+// dense accrual) re-accrues the entire run-so-far on every delivery; the
+// incremental pipeline folds just the new batch into a persistent
+// TcmAccumulator and densifies on demand.  Both sides produce the same map
+// after every batch (checked to 1e-9); only the work to get there differs.
+//
+// The largest sweep point (64 threads x 120k objects x 12 batches, skewed
+// readers) gates CI: incremental-sparse must hold a >= 5x speedup, and the
+// equality check must stay within 1e-9.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+#include "profiling/accuracy.hpp"
+#include "profiling/tcm.hpp"
+
+namespace djvm {
+namespace {
+
+struct SweepPoint {
+  std::uint32_t threads;
+  ObjectId objects;
+  int batches;
+};
+
+/// Skewed reader distribution: ~0.1% of objects are hot (every thread reads
+/// them — shared pools, barriers' metadata), the tail is read by one thread
+/// plus an occasional second (neighbour exchange).  Byte values are stable
+/// across batches except every 16th object, whose observed size keeps
+/// growing — exercising the accumulator's max-combining update path.
+std::vector<std::vector<IntervalRecord>> make_batches(const SweepPoint& p) {
+  const ObjectId hot = std::max<ObjectId>(1, p.objects / 1000);
+  std::vector<std::vector<IntervalRecord>> batches(
+      static_cast<std::size_t>(p.batches));
+  IntervalId next_interval = 0;
+  for (int b = 0; b < p.batches; ++b) {
+    std::vector<IntervalRecord>& recs = batches[static_cast<std::size_t>(b)];
+    recs.resize(p.threads);
+    for (ThreadId t = 0; t < p.threads; ++t) {
+      recs[t].thread = t;
+      recs[t].node = static_cast<NodeId>(t % 8);
+      recs[t].interval = next_interval++;
+    }
+    for (ObjectId o = 0; o < p.objects; ++o) {
+      const std::uint32_t grow = (o % 16 == 0) ? static_cast<std::uint32_t>(b) : 0u;
+      const OalEntry e{o, /*klass=*/0,
+                       /*bytes=*/8 + static_cast<std::uint32_t>(o % 61) + grow,
+                       /*gap=*/1 + static_cast<std::uint32_t>(o % 7)};
+      if (o < hot) {
+        for (ThreadId t = 0; t < p.threads; ++t) recs[t].entries.push_back(e);
+      } else {
+        recs[o % p.threads].entries.push_back(e);
+        if (o % 3 == 0) {
+          recs[(o * 5 + 1) % p.threads].entries.push_back(e);
+        }
+      }
+    }
+  }
+  return batches;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct PointResult {
+  double dense_seconds = 0.0;
+  double incr_seconds = 0.0;
+  double max_rel_error = 0.0;
+};
+
+PointResult run_point(const SweepPoint& p) {
+  const auto batches = make_batches(p);
+  PointResult out;
+
+  // Dense-from-scratch: after each delivery, rebuild the run-so-far map.
+  std::vector<SquareMatrix> dense_maps;
+  {
+    std::vector<IntervalRecord> window;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& batch : batches) {
+      window.insert(window.end(), batch.begin(), batch.end());
+      dense_maps.push_back(
+          TcmBuilder::build_reference(window, p.threads, /*weighted=*/true));
+    }
+    out.dense_seconds = seconds_since(t0);
+  }
+
+  // Incremental-sparse: fold the new batch, densify on demand.  The densify
+  // is part of the measured cost; the equality check is not.
+  std::vector<SquareMatrix> incr_maps;
+  {
+    TcmAccumulator acc(p.threads, /*weighted=*/true);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& batch : batches) {
+      acc.add(batch);
+      incr_maps.push_back(acc.dense());
+    }
+    out.incr_seconds = seconds_since(t0);
+  }
+
+  for (std::size_t b = 0; b < incr_maps.size(); ++b) {
+    out.max_rel_error =
+        std::max(out.max_rel_error, absolute_error(incr_maps[b], dense_maps[b]));
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace djvm
+
+int main() {
+  using namespace djvm;
+  bench::BenchReport report("tcm_scale");
+
+  const std::vector<SweepPoint> sweep = {
+      {8, 20'000, 8},
+      {16, 50'000, 8},
+      {32, 100'000, 8},
+      {64, 120'000, 12},
+  };
+
+  std::printf("%8s %10s %8s %12s %12s %9s %12s\n", "threads", "objects",
+              "batches", "dense_ms", "incr_ms", "speedup", "max_rel_err");
+  PointResult largest;
+  double largest_speedup = 0.0;
+  for (const SweepPoint& p : sweep) {
+    // Best of two runs: the ratio is what gates, but both numerator and
+    // denominator deserve a warm cache.
+    PointResult r = run_point(p);
+    const PointResult r2 = run_point(p);
+    r.dense_seconds = std::min(r.dense_seconds, r2.dense_seconds);
+    r.incr_seconds = std::min(r.incr_seconds, r2.incr_seconds);
+    r.max_rel_error = std::max(r.max_rel_error, r2.max_rel_error);
+    const double speedup =
+        r.incr_seconds > 0.0 ? r.dense_seconds / r.incr_seconds : 0.0;
+    std::printf("%8u %10llu %8d %12.2f %12.2f %8.2fx %12.3g\n", p.threads,
+                static_cast<unsigned long long>(p.objects), p.batches,
+                r.dense_seconds * 1e3, r.incr_seconds * 1e3, speedup,
+                r.max_rel_error);
+    if (&p == &sweep.back()) {
+      largest = r;
+      largest_speedup = speedup;
+    }
+  }
+
+  // Wall-clock seconds gate with latency tolerance (lower_is_better, +35%
+  // headroom for runner-to-runner variance); the speedup ratio and the
+  // equality bound are the primary acceptance criteria.
+  report.latency_metric("incr_seconds_largest", largest.incr_seconds, 0.35);
+  report.metric("dense_seconds_largest", largest.dense_seconds);
+  report.metric("speedup_largest", largest_speedup, "max", 0.25);
+  report.metric("max_rel_error", largest.max_rel_error, "min", 0.0, 1e-9);
+
+  report.check(
+      "incremental-sparse >= 5x over dense-from-scratch at 64 threads x 120k "
+      "objects (skewed readers)",
+      largest_speedup >= 5.0, largest_speedup, 5.0, ">=");
+  report.check("incremental and dense maps agree within 1e-9",
+               largest.max_rel_error <= 1e-9, largest.max_rel_error, 1e-9,
+               "<=");
+  return report.finish();
+}

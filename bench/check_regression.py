@@ -11,6 +11,12 @@ BenchReport.  The gate fails (exit 1) when:
       goal "min": current > baseline * (1 + slack) + abs_slack
       goal "max": current < baseline * (1 - slack) - abs_slack
     (goal "none" metrics are informational), or
+
+    A baseline metric may instead carry "lower_is_better": true/false —
+    shorthand for goal "min"/"max" with a *default* slack of 10% when the
+    baseline does not spell one out.  Latency/throughput metrics use this
+    (wall-clock numbers need tolerance); accuracy metrics keep the explicit
+    goal form, whose slack defaults to 0 (exact compare).  Or:
   * a goal-carrying baseline metric is missing from CURRENT (a silently
     dropped metric must not read as "no regression"), or
   * any metric value in either artifact is missing or non-finite
@@ -74,6 +80,13 @@ def main() -> int:
     cur_metrics = current.get("metrics", {})
     for key, base in baseline.get("metrics", {}).items():
         goal = base.get("goal", "none")
+        lower_is_better = base.get("lower_is_better")
+        default_slack = 0.0
+        if lower_is_better is not None:
+            # Tolerance shorthand for latency-style metrics: direction from
+            # the boolean, slack defaulting to +/-10% unless spelled out.
+            goal = "min" if lower_is_better else "max"
+            default_slack = 0.10
         if goal == "none":
             continue
         if key not in cur_metrics:
@@ -87,7 +100,8 @@ def main() -> int:
                  f"current {cur_v})")
             failures += 1
             continue
-        slack = base.get("slack", 0.0) or 0.0
+        slack = base.get("slack")
+        slack = default_slack if slack is None else slack
         abs_slack = base.get("abs_slack", 0.0) or 0.0
         if goal == "min":
             bound = base_v * (1.0 + slack) + abs_slack

@@ -181,7 +181,18 @@ class BenchReport {
   void metric(const std::string& key, double value,
               const std::string& goal = "none", double slack = 0.0,
               double abs_slack = 0.0) {
-    metrics_.push_back({key, value, goal, slack, abs_slack});
+    metrics_.push_back({key, value, goal, slack, abs_slack, -1});
+  }
+
+  /// Latency-style metric gated via the `lower_is_better` shorthand: the
+  /// regression gate compares directionally and applies a default +-10%
+  /// slack when `slack` is negative (the field is then omitted from the
+  /// JSON and the gate's default rules).  Accuracy metrics should keep the
+  /// explicit `metric()` goal form, whose slack defaults to 0 (exact
+  /// compare).
+  void latency_metric(const std::string& key, double value, double slack = -1.0,
+                      bool lower_is_better = true) {
+    metrics_.push_back({key, value, "none", slack, 0.0, lower_is_better ? 1 : 0});
   }
 
   /// Records an acceptance check and prints the usual [PASS]/[FAIL] line.
@@ -217,10 +228,15 @@ class BenchReport {
     os << "{\n  \"bench\": \"" << esc(name_) << "\",\n  \"metrics\": {\n";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       const Metric& m = metrics_[i];
-      os << "    \"" << esc(m.key) << "\": {\"value\": " << num(m.value)
-         << ", \"goal\": \"" << esc(m.goal) << "\", \"slack\": " << num(m.slack)
-         << ", \"abs_slack\": " << num(m.abs_slack) << "}"
-         << (i + 1 < metrics_.size() ? "," : "") << "\n";
+      os << "    \"" << esc(m.key) << "\": {\"value\": " << num(m.value);
+      if (m.lower_is_better >= 0) {
+        os << ", \"lower_is_better\": " << (m.lower_is_better ? "true" : "false");
+        if (m.slack >= 0.0) os << ", \"slack\": " << num(m.slack);
+      } else {
+        os << ", \"goal\": \"" << esc(m.goal) << "\", \"slack\": " << num(m.slack)
+           << ", \"abs_slack\": " << num(m.abs_slack);
+      }
+      os << "}" << (i + 1 < metrics_.size() ? "," : "") << "\n";
     }
     os << "  },\n  \"checks\": [\n";
     for (std::size_t i = 0; i < checks_.size(); ++i) {
@@ -241,6 +257,7 @@ class BenchReport {
     std::string goal;
     double slack;
     double abs_slack;
+    int lower_is_better;  ///< -1 = goal form, 0/1 = lower_is_better shorthand
   };
   struct Check {
     std::string what;

@@ -84,6 +84,11 @@ struct Config {
   /// Per-node overhead budget as a fraction of that node's application
   /// time; 0 = inherit governor_budget.
   double governor_node_budget = 0.0;
+  /// When non-empty, every run_governed_epoch() hands the fresh governor
+  /// state + TCM to a background double-buffered snapshot writer targeting
+  /// this path (crash-recovery snapshots without stalling the epoch loop;
+  /// a slow disk coalesces queued snapshots, latest wins).
+  std::string snapshot_path;
 
   // --- stack sampling ------------------------------------------------------
   bool stack_sampling = false;

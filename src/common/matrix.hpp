@@ -1,4 +1,5 @@
-// Dense square matrix used for thread correlation maps (TCMs).
+// Dense square matrix used for thread correlation maps (TCMs), plus the
+// flat upper-triangular pair accumulator the sparse TCM pipeline sums into.
 //
 // A TCM is an N x N histogram where cell (i, j) accumulates the bytes of
 // shared objects accessed in common by thread i and thread j within the
@@ -9,6 +10,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace djvm {
@@ -60,6 +62,71 @@ class SquareMatrix {
  private:
   std::size_t n_ = 0;
   std::vector<double> data_;
+};
+
+/// Strictly-upper-triangular pair accumulator over N endpoints: N(N-1)/2
+/// cells in one flat buffer instead of a dense N x N matrix.  TCM accrual is
+/// symmetric with an unused diagonal, so this is the natural shape for the
+/// sparse pipeline's partial sums — half the memory of SquareMatrix, O(1)
+/// unordered-pair updates with no hashing, and cheap `operator+=` merges of
+/// partials (distributed shards, per-worker accumulators).  Densify to a
+/// symmetric SquareMatrix only when a consumer needs the full map.
+class UpperTriangle {
+ public:
+  UpperTriangle() = default;
+  explicit UpperTriangle(std::size_t n)
+      : n_(n), cells_(n > 1 ? n * (n - 1) / 2 : 0, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t cell_count() const noexcept { return cells_.size(); }
+
+  /// Flat index of the unordered pair {i, j}, i != j, both < size().
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j) const {
+    if (i > j) std::swap(i, j);
+    assert(i < j && j < n_);
+    return i * n_ - i * (i + 1) / 2 + (j - i - 1);
+  }
+
+  /// Adds `v` to the unordered pair {i, j} (i != j).
+  void add(std::size_t i, std::size_t j, double v) { cells_[index(i, j)] += v; }
+
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+    return cells_[index(i, j)];
+  }
+
+  /// Merges another accumulator of the same dimension (partial sums add).
+  UpperTriangle& operator+=(const UpperTriangle& other) {
+    assert(n_ == other.n_);
+    for (std::size_t k = 0; k < cells_.size(); ++k) cells_[k] += other.cells_[k];
+    return *this;
+  }
+
+  /// Zeroes every cell, keeping the allocation.
+  void clear() noexcept {
+    for (double& c : cells_) c = 0.0;
+  }
+
+  /// Expands to the symmetric dense map (the on-demand densify step).
+  [[nodiscard]] SquareMatrix densify() const {
+    SquareMatrix m(n_);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = i + 1; j < n_; ++j, ++k) {
+        const double v = cells_[k];
+        if (v != 0.0) {
+          m.at(i, j) = v;
+          m.at(j, i) = v;
+        }
+      }
+    }
+    return m;
+  }
+
+  [[nodiscard]] const std::vector<double>& raw() const noexcept { return cells_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> cells_;
 };
 
 }  // namespace djvm

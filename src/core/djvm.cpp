@@ -26,6 +26,9 @@ Djvm::Djvm(Config cfg)
       daemon_(plan_, cfg.threads),
       migration_(*gos_) {
   gos_->set_hooks(this);
+  if (!cfg_.snapshot_path.empty()) {
+    snapshot_writer_ = std::make_unique<SnapshotWriter>();
+  }
   apply_profiling_config();
 }
 
@@ -184,7 +187,15 @@ EpochResult Djvm::run_governed_epoch() {
   pump_snapshot_.thread_sim_total = sim_total;
   pump_snapshot_.stack_cost = stack_sampling_sim_cost_;
 
-  return daemon_.run_epoch(s);
+  EpochResult result = daemon_.run_epoch(s);
+  if (snapshot_writer_) {
+    // Every epoch snapshots for crash recovery; the encode runs here (state
+    // is ours to read synchronously), the file write on the background
+    // thread, and a still-queued older snapshot is simply replaced.
+    snapshot_writer_->save_async(cfg_.snapshot_path, daemon_.governor(),
+                                 daemon_.latest());
+  }
+  return result;
 }
 
 void Djvm::add_access_observer(AccessObserver obs) {

@@ -23,6 +23,7 @@
 #include "migration/cost_model.hpp"
 #include "migration/migration.hpp"
 #include "net/network.hpp"
+#include "governor/snapshot.hpp"
 #include "profiling/correlation_daemon.hpp"
 #include "profiling/sampling.hpp"
 #include "runtime/heap.hpp"
@@ -91,8 +92,15 @@ class Djvm final : public Gos::Hooks {
   /// node, from per-node GOS counters, per-source network accounting, and
   /// per-node thread-clock deltas since the previous pump — and runs one
   /// daemon epoch under the governor.  Call once per epoch (e.g. after each
-  /// barrier round).
+  /// barrier round).  With Config::snapshot_path set, the epoch's governor
+  /// state + TCM are handed to the async snapshot writer afterwards.
   EpochResult run_governed_epoch();
+
+  /// The background snapshot writer (nullptr unless Config::snapshot_path is
+  /// set).  Exposed so callers can flush() before inspecting the file.
+  [[nodiscard]] SnapshotWriter* snapshot_writer() noexcept {
+    return snapshot_writer_.get();
+  }
 
   /// Stack-invariant refs of `t` right now (topmost first).
   [[nodiscard]] std::vector<ObjectId> invariants(ThreadId t) const {
@@ -136,6 +144,7 @@ class Djvm final : public Gos::Hooks {
   FootprintTracker fptracker_;
   CorrelationDaemon daemon_;
   MigrationEngine migration_;
+  std::unique_ptr<SnapshotWriter> snapshot_writer_;
 
   std::vector<AccessObserver> access_observers_;
   std::vector<IntervalObserver> interval_observers_;

@@ -22,14 +22,26 @@ Gos::Gos(Heap& heap, Network& net, SamplingPlan& plan, const Config& cfg)
   // Hand the plan the copy sets so resampling walks (and their cost
   // attribution) follow what each node actually caches.
   plan_.set_copy_view(this);
+  refresh_dispatch();
 }
 
 Gos::~Gos() { plan_.set_copy_view(nullptr); }
+
+void Gos::refresh_dispatch() {
+  std::uint32_t d = 0;
+  if (tracking_ != OalTransfer::kDisabled) d |= kDispatchTracking;
+  if (footprinting_) d |= kDispatchFootprint;
+  if (observe_ && hooks_ != nullptr) d |= kDispatchObserve;
+  if (stack_sampling_) d |= kDispatchStack;
+  dispatch_ = d;
+  for (ThreadState& ts : threads_) ts.dispatch = d;
+}
 
 ThreadId Gos::spawn_thread(NodeId node) {
   assert(node < nodes_.size());
   ThreadState ts;
   ts.node = node;
+  ts.dispatch = dispatch_;
   threads_.push_back(std::move(ts));
   return static_cast<ThreadId>(threads_.size() - 1);
 }
@@ -113,52 +125,60 @@ void Gos::access(ThreadId t, ObjectId obj, bool is_write) {
     object_fault(ts, ns, obj);
   }
 
-  // --- correlation tracking (false-invalid overlay) --------------------------
-  // The interval stamp gates first: the false-invalid overlay traps the
-  // FIRST access to each object per interval into the service routine, which
-  // cancels the overlay and logs iff the object is sampled.  Re-accesses take
-  // a single well-predicted branch.
-  if (tracking_ != OalTransfer::kDisabled) {
-    if (oi >= ts.oal_stamp.size()) [[unlikely]] {
-      grow_to(ts.oal_stamp, heap_.object_count(), 0u);
+  // --- per-object bookkeeping (one record, one cache line) -------------------
+  // The merged ObjectBook serves the OAL, footprint, and dirty stamp checks;
+  // one [[unlikely]] size check covers all three (the seed's write path grew
+  // its stamp array unconditionally on every write).
+  const std::uint32_t dispatch = ts.dispatch;
+  if ((dispatch & (kDispatchTracking | kDispatchFootprint)) != 0 || is_write) {
+    if (oi >= ts.book.size()) [[unlikely]] {
+      grow_to(ts.book, heap_.object_count(), ObjectBook{});
     }
-    if (ts.oal_stamp[oi] != ts.interval_stamp) [[unlikely]] {
-      ts.oal_stamp[oi] = ts.interval_stamp;
-      // The *accessing* node's copy bit decides: a per-(node, class) gap
-      // shift changes what that node logs, wherever the object is homed.
-      if (plan_.is_sampled(ts.node, obj)) log_access(ts, obj);
-    }
-  }
+    ObjectBook& bk = ts.book[oi];
 
-  // --- sticky-set footprinting (repeated re-armed tracking) ------------------
-  if (footprinting_) {
-    if (ts.clock.now() >= ts.fp_next_boundary) [[unlikely]] {
-      refresh_footprint_state(ts);
+    // --- correlation tracking (false-invalid overlay) ------------------------
+    // The interval stamp gates first: the false-invalid overlay traps the
+    // FIRST access to each object per interval into the service routine,
+    // which cancels the overlay and logs iff the object is sampled.
+    // Re-accesses take a single well-predicted branch.
+    if (dispatch & kDispatchTracking) {
+      if (bk.oal_stamp != ts.interval_stamp) [[unlikely]] {
+        bk.oal_stamp = ts.interval_stamp;
+        // The *accessing* node's copy bit decides: a per-(node, class) gap
+        // shift changes what that node logs, wherever the object is homed.
+        if (plan_.is_sampled(ts.node, obj)) log_access(ts, obj);
+      }
     }
-    if (ts.fp_on_phase && plan_.is_sampled(ts.node, obj)) {
-      footprint_touch(ts, obj);
-    }
-  }
 
-  // --- dirty tracking for writes ---------------------------------------------
-  if (is_write) {
-    grow_to(ts.dirty_stamp, heap_.object_count(), 0u);
-    if (ts.dirty_stamp[oi] != ts.release_stamp) {
-      ts.dirty_stamp[oi] = ts.release_stamp;
-      ts.dirty.push_back(obj);
-      if (static_cast<CopyState>(ns.state[oi]) == CopyState::kValid) {
-        ns.state[oi] = static_cast<std::uint8_t>(CopyState::kDirty);
+    // --- sticky-set footprinting (repeated re-armed tracking) ----------------
+    if (dispatch & kDispatchFootprint) {
+      if (ts.clock.now() >= ts.fp_next_boundary) [[unlikely]] {
+        refresh_footprint_state(ts);
+      }
+      if (ts.fp_on_phase && plan_.is_sampled(ts.node, obj)) {
+        footprint_touch(ts, bk, obj);
+      }
+    }
+
+    // --- dirty tracking for writes -------------------------------------------
+    if (is_write) {
+      if (bk.dirty_stamp != ts.release_stamp) {
+        bk.dirty_stamp = ts.release_stamp;
+        ts.dirty.push_back(obj);
+        if (static_cast<CopyState>(ns.state[oi]) == CopyState::kValid) {
+          ns.state[oi] = static_cast<std::uint8_t>(CopyState::kDirty);
+        }
       }
     }
   }
 
   // --- raw access observation (baseline / oracle) ----------------------------
-  if (observe_ && hooks_) [[unlikely]] {
+  if (dispatch & kDispatchObserve) [[unlikely]] {
     hooks_->on_access(t, obj, is_write);
   }
 
   // --- stack-sampling timer ---------------------------------------------------
-  if (stack_sampling_) {
+  if (dispatch & kDispatchStack) {
     if (ts.clock.now() >= ts.next_stack_sample) [[unlikely]] {
       ts.next_stack_sample = ts.clock.now() + stack_gap_;
       ++stats_.stack_samples;
@@ -204,18 +224,13 @@ void Gos::refresh_footprint_state(ThreadState& ts) {
   ts.fp_next_boundary = std::min(next_tick, next_phase);
 }
 
-void Gos::footprint_touch(ThreadState& ts, ObjectId obj) {
+void Gos::footprint_touch(ThreadState& ts, ObjectBook& bk, ObjectId obj) {
   const std::uint32_t tick = ts.fp_tick;
-  const auto oi = static_cast<std::size_t>(obj);
-  if (oi >= ts.fp_stamp.size()) [[unlikely]] {
-    grow_to(ts.fp_stamp, heap_.object_count(), 0u);
-    grow_to(ts.fp_count, heap_.object_count(), 0u);
-  }
-  if (ts.fp_stamp[oi] == tick) return;
-  ts.fp_stamp[oi] = tick;
+  if (bk.fp_stamp == tick) return;
+  bk.fp_stamp = tick;
   ts.clock.advance(kFootprintServiceCost);
-  if (ts.fp_count[oi] == 0) ts.fp_objects.push_back(obj);
-  ++ts.fp_count[oi];
+  if (bk.fp_count == 0) ts.fp_objects.push_back(obj);
+  ++bk.fp_count;
   ++stats_.footprint_touches;
   ++node_stats_[ts.node].footprint_touches;
 }
@@ -225,7 +240,7 @@ std::vector<FootprintTouch> Gos::footprint_touches(ThreadId t) const {
   std::vector<FootprintTouch> out;
   out.reserve(ts.fp_objects.size());
   for (ObjectId obj : ts.fp_objects) {
-    out.push_back(FootprintTouch{obj, ts.fp_count[static_cast<std::size_t>(obj)]});
+    out.push_back(FootprintTouch{obj, ts.book[static_cast<std::size_t>(obj)].fp_count});
   }
   return out;
 }
@@ -264,7 +279,7 @@ void Gos::close_interval(ThreadId t, NodeId sync_dest) {
   ThreadState& ts = threads_[t];
   if (hooks_) hooks_->on_interval_close(t);
   for (ObjectId obj : ts.fp_objects) {
-    ts.fp_count[static_cast<std::size_t>(obj)] = 0;
+    ts.book[static_cast<std::size_t>(obj)].fp_count = 0;
   }
   ts.fp_objects.clear();
   if (tracking_ != OalTransfer::kDisabled && !ts.oal.empty()) {
@@ -430,9 +445,13 @@ void Gos::enable_stack_sampling(SimTime gap) {
   for (ThreadState& ts : threads_) {
     ts.next_stack_sample = ts.clock.now() + stack_gap_;
   }
+  refresh_dispatch();
 }
 
-void Gos::disable_stack_sampling() { stack_sampling_ = false; }
+void Gos::disable_stack_sampling() {
+  stack_sampling_ = false;
+  refresh_dispatch();
+}
 
 void Gos::enable_footprinting(FootprintTimerMode mode, SimTime phase, SimTime rearm) {
   footprinting_ = true;
@@ -442,9 +461,13 @@ void Gos::enable_footprinting(FootprintTimerMode mode, SimTime phase, SimTime re
   for (ThreadState& ts : threads_) {
     ts.fp_next_boundary = 0;  // force a refresh on the next access
   }
+  refresh_dispatch();
 }
 
-void Gos::disable_footprinting() { footprinting_ = false; }
+void Gos::disable_footprinting() {
+  footprinting_ = false;
+  refresh_dispatch();
+}
 
 std::vector<IntervalRecord> Gos::drain_records() {
   std::vector<IntervalRecord> out;

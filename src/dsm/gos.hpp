@@ -118,16 +118,28 @@ class Gos : public CopySetView {
   void migrate_home(ObjectId obj, NodeId to);
 
   // --- profiling configuration ------------------------------------------------
-  void set_tracking(OalTransfer mode) { tracking_ = mode; }
+  // Each setter refreshes the per-thread dispatch mask, so the access hot
+  // path tests one precomputed word instead of cascading over the tracking /
+  // footprinting / observe / stack-sampling flags on every access.
+  void set_tracking(OalTransfer mode) {
+    tracking_ = mode;
+    refresh_dispatch();
+  }
   [[nodiscard]] OalTransfer tracking() const noexcept { return tracking_; }
   void set_coordinator(NodeId n) { coordinator_ = n; }
   [[nodiscard]] NodeId coordinator() const noexcept { return coordinator_; }
-  void set_hooks(Hooks* hooks) { hooks_ = hooks; }
+  void set_hooks(Hooks* hooks) {
+    hooks_ = hooks;
+    refresh_dispatch();
+  }
   void enable_stack_sampling(SimTime gap);
   void disable_stack_sampling();
   void enable_footprinting(FootprintTimerMode mode, SimTime phase, SimTime rearm);
   void disable_footprinting();
-  void set_observe_accesses(bool on) { observe_ = on; }
+  void set_observe_accesses(bool on) {
+    observe_ = on;
+    refresh_dispatch();
+  }
 
   // --- profiling outputs -------------------------------------------------------
   /// Interval records delivered to the coordinator so far (moves them out).
@@ -167,6 +179,27 @@ class Gos : public CopySetView {
     std::uint32_t view_epoch = 0;           ///< last sync'ed global epoch
   };
 
+  /// Per-(thread, object) profiling bookkeeping, merged into one record so a
+  /// single cache line serves every per-access stamp check (OAL at-most-once,
+  /// dirty tracking, footprint re-arm) — the seed kept four parallel arrays
+  /// and touched up to four cache lines per access.
+  struct ObjectBook {
+    std::uint32_t oal_stamp = 0;   ///< interval epoch of the last OAL log
+    std::uint32_t dirty_stamp = 0; ///< release epoch of the last dirty mark
+    std::uint32_t fp_stamp = 0;    ///< last footprint re-arm tick tag
+    std::uint32_t fp_count = 0;    ///< distinct footprint ticks this interval
+  };
+
+  /// Per-thread dispatch mask bits: which per-access profiling branches are
+  /// live.  Precomputed on every configuration change so the hot path reads
+  /// one word off the ThreadState instead of the flag cascade.
+  enum : std::uint32_t {
+    kDispatchTracking = 1u << 0,
+    kDispatchFootprint = 1u << 1,
+    kDispatchObserve = 1u << 2,
+    kDispatchStack = 1u << 3,
+  };
+
   struct ThreadState {
     NodeId node = 0;
     SimClock clock;
@@ -177,16 +210,14 @@ class Gos : public CopySetView {
     std::uint32_t view_epoch = 0;
     IntervalId interval_id = 0;
     std::uint32_t interval_stamp = 1;  ///< at-most-once epoch for OAL logging
+    std::uint32_t dispatch = 0;        ///< precomputed per-access branch mask
     std::uint32_t phase_pc = 0;
     std::uint32_t interval_start_pc = 0;
     std::vector<OalEntry> oal;
-    std::vector<std::uint32_t> oal_stamp;   ///< per-object logging epoch
+    std::vector<ObjectBook> book;           ///< merged per-object stamp records
     std::vector<ObjectId> dirty;            ///< written since last release
-    std::vector<std::uint32_t> dirty_stamp; ///< per-object dirty epoch
     std::uint32_t release_stamp = 1;
     // footprinting
-    std::vector<std::uint32_t> fp_stamp;    ///< per-object last re-arm tick tag
-    std::vector<std::uint32_t> fp_count;    ///< per-object distinct ticks this interval
     std::vector<ObjectId> fp_objects;       ///< objects touched this interval
     std::uint32_t fp_tick = 0;              ///< cached current re-arm tick
     bool fp_on_phase = true;                ///< cached on/off phase flag
@@ -198,8 +229,9 @@ class Gos : public CopySetView {
   void access(ThreadId t, ObjectId obj, bool is_write);
   void object_fault(ThreadState& ts, NodeState& ns, ObjectId obj);
   void log_access(ThreadState& ts, ObjectId obj);
-  void footprint_touch(ThreadState& ts, ObjectId obj);
+  void footprint_touch(ThreadState& ts, ObjectBook& bk, ObjectId obj);
   void refresh_footprint_state(ThreadState& ts);
+  void refresh_dispatch();
   void flush_dirty(ThreadId t);
   void close_interval(ThreadId t, NodeId sync_dest);
   void grow_node(NodeState& ns) const;
@@ -224,6 +256,9 @@ class Gos : public CopySetView {
   NodeId coordinator_ = 0;
   Hooks* hooks_ = nullptr;
   bool observe_ = false;
+  /// Mask inherited by freshly spawned threads (refresh_dispatch keeps the
+  /// live threads' copies in sync).
+  std::uint32_t dispatch_ = 0;
 
   // stack sampling timer
   bool stack_sampling_ = false;

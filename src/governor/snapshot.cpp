@@ -1,6 +1,7 @@
 #include "governor/snapshot.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -20,6 +21,23 @@ template <typename T>
 void put(std::vector<std::uint8_t>& out, T v) {
   static_assert(std::is_trivially_copyable_v<T>);
   put_bytes(out, &v, sizeof(T));
+}
+
+/// Writes `bytes` to `path` atomically: the payload lands in `path`.tmp and
+/// is renamed over the target only once fully written, so a crash mid-write
+/// cannot destroy the previous good snapshot — the exact failure the
+/// crash-recovery snapshots exist to survive.  Shared by the blocking and
+/// async save paths so both keep the same crash semantics.
+bool write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!f) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 /// Bounds-checked sequential reader.
@@ -360,12 +378,7 @@ bool decode_snapshot(const std::vector<std::uint8_t>& bytes, Governor& gov,
 
 bool save_snapshot(const std::string& path, const Governor& gov,
                    const SquareMatrix& tcm) {
-  const std::vector<std::uint8_t> bytes = encode_snapshot(gov, tcm);
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) return false;
-  f.write(reinterpret_cast<const char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
-  return static_cast<bool>(f);
+  return write_file(path, encode_snapshot(gov, tcm));
 }
 
 bool load_snapshot(const std::string& path, Governor& gov, SquareMatrix& tcm) {
@@ -374,6 +387,82 @@ bool load_snapshot(const std::string& path, Governor& gov, SquareMatrix& tcm) {
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
                                   std::istreambuf_iterator<char>());
   return decode_snapshot(bytes, gov, tcm);
+}
+
+// --- SnapshotWriter -----------------------------------------------------------
+
+SnapshotWriter::SnapshotWriter() : worker_([this] { worker_loop(); }) {}
+
+SnapshotWriter::~SnapshotWriter() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+void SnapshotWriter::save_async(const std::string& path, const Governor& gov,
+                                const SquareMatrix& tcm) {
+  // Encode outside the lock: the caller owns the governor/plan state, and
+  // the worker never touches back_.
+  back_.clear();
+  SnapshotAccess::encode(gov, tcm, back_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (has_pending_) ++coalesced_;  // still queued: the newer state wins
+    pending_path_ = path;
+    pending_.swap(back_);  // capacities circulate between the two slots
+    has_pending_ = true;
+    ++submitted_;
+  }
+  work_cv_.notify_one();
+}
+
+void SnapshotWriter::flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return !has_pending_ && !writing_; });
+}
+
+std::uint64_t SnapshotWriter::submitted() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return submitted_;
+}
+
+std::uint64_t SnapshotWriter::completed() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return completed_;
+}
+
+std::uint64_t SnapshotWriter::coalesced() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return coalesced_;
+}
+
+bool SnapshotWriter::all_ok() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return all_ok_;
+}
+
+void SnapshotWriter::worker_loop() {
+  std::vector<std::uint8_t> front;  // worker-owned write buffer
+  std::string path;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] { return has_pending_ || stop_; });
+    if (!has_pending_) break;  // stop requested with nothing queued
+    path = std::move(pending_path_);
+    front.swap(pending_);
+    has_pending_ = false;
+    writing_ = true;
+    lk.unlock();
+    const bool ok = write_file(path, front);
+    lk.lock();
+    writing_ = false;
+    ++completed_;
+    if (!ok) all_ok_ = false;
+    idle_cv_.notify_all();
+  }
 }
 
 }  // namespace djvm

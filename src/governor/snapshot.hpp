@@ -48,8 +48,11 @@
 // storm.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -82,5 +85,62 @@ inline constexpr std::uint32_t kSnapshotVersionV2 = 2;
                                  const SquareMatrix& tcm);
 [[nodiscard]] bool load_snapshot(const std::string& path, Governor& gov,
                                  SquareMatrix& tcm);
+
+/// Asynchronous double-buffered snapshot writer.
+///
+/// `save_snapshot` blocks the caller on the file write, so a daemon that
+/// wants a crash-recovery snapshot every epoch stalls its epoch loop on
+/// disk.  This writer encodes on the calling thread (the governor/plan state
+/// must be read synchronously anyway) into a reused *back* buffer, then
+/// hands the bytes to a background thread which owns the *front* buffer and
+/// the file I/O.  At most one snapshot is queued: submitting while one is
+/// still waiting replaces it (latest wins — an older crash-recovery
+/// snapshot is strictly less useful than the newer one), so a slow disk
+/// back-pressures into coalesced writes instead of an unbounded queue.
+/// Buffer capacities circulate between the two slots, so steady-state
+/// snapshotting allocates nothing.
+class SnapshotWriter {
+ public:
+  SnapshotWriter();
+  /// Drains the queued write (if any) and joins the worker.
+  ~SnapshotWriter();
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Encodes governor + TCM into the back buffer and queues it for `path`.
+  void save_async(const std::string& path, const Governor& gov,
+                  const SquareMatrix& tcm);
+
+  /// Blocks until every submitted snapshot has been written (or coalesced
+  /// away) and the worker is idle.
+  void flush();
+
+  /// Snapshots submitted via save_async.
+  [[nodiscard]] std::uint64_t submitted() const noexcept;
+  /// File writes actually performed.
+  [[nodiscard]] std::uint64_t completed() const noexcept;
+  /// Queued snapshots replaced by a newer one before reaching disk.
+  [[nodiscard]] std::uint64_t coalesced() const noexcept;
+  /// False once any completed write failed (disk full, bad path).
+  [[nodiscard]] bool all_ok() const noexcept;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< worker wakeups (pending or stop)
+  std::condition_variable idle_cv_;   ///< flush wakeups (queue drained)
+  std::string pending_path_;
+  std::vector<std::uint8_t> pending_;  ///< queued bytes (empty = nothing queued)
+  bool has_pending_ = false;
+  bool writing_ = false;
+  bool stop_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t coalesced_ = 0;
+  bool all_ok_ = true;
+  std::vector<std::uint8_t> back_;  ///< encode buffer (caller side)
+  std::thread worker_;
+};
 
 }  // namespace djvm

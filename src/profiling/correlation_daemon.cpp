@@ -17,9 +17,14 @@ CorrelationDaemon::CorrelationDaemon(SamplingPlan& plan, std::uint32_t threads)
     : plan_(plan),
       threads_(threads),
       governor_(plan),
+      window_(threads, /*weighted=*/true),
+      full_(threads, /*weighted=*/true),
       latest_(threads) {}
 
 void CorrelationDaemon::submit(std::vector<IntervalRecord> records) {
+  const auto t0 = std::chrono::steady_clock::now();
+  window_.add(records);
+  window_fold_seconds_ += seconds_since(t0);
   for (IntervalRecord& r : records) {
     total_entries_ += r.entries.size();
     pending_.push_back(std::move(r));
@@ -47,9 +52,16 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
     }
   }
 
+  // The window's folds already ran at submit() time; the epoch boundary only
+  // densifies the sparse accumulator.  build_seconds keeps its meaning (full
+  // construction cost of this window's map) so the governor's budget model
+  // is unchanged; densify_seconds is the part the master stalls on here.
   const auto t0 = std::chrono::steady_clock::now();
-  out.tcm = TcmBuilder::build(pending_, threads_, /*weighted=*/true);
-  out.build_seconds = seconds_since(t0);
+  out.tcm = window_.dense();
+  out.densify_seconds = seconds_since(t0);
+  out.build_seconds = window_fold_seconds_ + out.densify_seconds;
+  window_.reset();
+  window_fold_seconds_ = 0.0;
   build_seconds_ += out.build_seconds;
   ++epochs_;
 
@@ -111,12 +123,37 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
 }
 
 SquareMatrix CorrelationDaemon::build_full(bool weighted) {
-  // Fold any pending records into history first.
+  // build_full *consumes* the current window, exactly as the pre-incremental
+  // daemon did when it drained pending into history: an epoch run afterwards
+  // starts from an empty window (zero map, zero counts), instead of handing
+  // the governor a window map whose records were already reported here.
+  const bool window_is_whole_run = history_.empty() && full_mark_ == 0;
   for (IntervalRecord& r : pending_) history_.push_back(std::move(r));
   pending_.clear();
   const auto t0 = std::chrono::steady_clock::now();
-  SquareMatrix tcm = TcmBuilder::build(history_, threads_, weighted);
-  build_seconds_ += seconds_since(t0);
+  SquareMatrix tcm;
+  if (weighted) {
+    if (window_is_whole_run) {
+      // The window accumulator already holds exactly the whole run (no
+      // epochs consumed, nothing folded into full_ yet): adopt it instead
+      // of re-folding, so the common profile-then-one-map path pays a
+      // single fold total.
+      full_ = std::move(window_);
+      window_ = TcmAccumulator(threads_, /*weighted=*/true);
+    } else if (full_mark_ < history_.size()) {
+      // Incremental: only the records that arrived since the last
+      // build_full are folded into the persistent whole-run accumulator.
+      full_.add(std::span<const IntervalRecord>(history_).subspan(full_mark_));
+    }
+    full_mark_ = history_.size();
+    tcm = full_.dense();
+  } else {
+    tcm = TcmBuilder::build(history_, threads_, /*weighted=*/false);
+  }
+  window_.reset();
+  // The consumed window's fold time is construction cost this build reaped.
+  build_seconds_ += window_fold_seconds_ + seconds_since(t0);
+  window_fold_seconds_ = 0.0;
   latest_ = tcm;
   have_latest_ = true;
   return tcm;
@@ -125,6 +162,10 @@ SquareMatrix CorrelationDaemon::build_full(bool weighted) {
 void CorrelationDaemon::clear() {
   pending_.clear();
   history_.clear();
+  window_.reset();
+  window_fold_seconds_ = 0.0;
+  full_.reset();
+  full_mark_ = 0;
   latest_ = SquareMatrix(threads_);
   have_latest_ = false;
   governor_.reset();  // clearing discards convergence progress too

@@ -1,11 +1,14 @@
 // The central correlation-computing daemon (the master JVM of Fig. 2).
 //
-// Collects OAL interval records from worker nodes, periodically rebuilds the
-// thread correlation map, and hands each epoch's TCM movement plus measured
-// costs to the profiling governor, which owns all rate decisions: the
-// paper's Section II.B.2 convergence loop in legacy mode, or the budgeted
-// bidirectional controller with phase detection in closed-loop mode (see
-// governor/governor.hpp).
+// Collects OAL interval records from worker nodes, folds each delivered
+// batch into a persistent incremental sparse accumulator (see
+// profiling/tcm.hpp) as it arrives, and at each epoch densifies the window's
+// map and hands its movement plus measured costs to the profiling governor,
+// which owns all rate decisions: the paper's Section II.B.2 convergence loop
+// in legacy mode, or the budgeted bidirectional controller with phase
+// detection in closed-loop mode (see governor/governor.hpp).  Folding at
+// submit() time amortizes the old from-scratch O(MN^2) epoch rebuild across
+// deliveries: the epoch boundary pays only the cheap densify.
 #pragma once
 
 #include <chrono>
@@ -26,7 +29,12 @@ struct EpochResult {
   SquareMatrix tcm;
   std::size_t intervals = 0;
   std::size_t entries = 0;
-  double build_seconds = 0.0;      ///< real CPU time of the O(MN^2) build
+  /// Real CPU time of this window's TCM construction: the incremental folds
+  /// paid at submit() time plus the epoch-boundary densify.
+  double build_seconds = 0.0;
+  /// The epoch-boundary share of build_seconds alone (what the master
+  /// actually stalls on at the epoch tick now that folding is incremental).
+  double densify_seconds = 0.0;
   /// Relative ABS distance vs the previous epoch's TCM (nullopt on the
   /// first epoch).
   std::optional<double> rel_distance;
@@ -47,19 +55,22 @@ class CorrelationDaemon {
  public:
   CorrelationDaemon(SamplingPlan& plan, std::uint32_t threads);
 
-  /// Delivers records (the facade drains the GOS into here).
+  /// Delivers records (the facade drains the GOS into here) and folds them
+  /// into the window accumulator as a delta; the fold time is charged to the
+  /// next epoch's build_seconds.
   void submit(std::vector<IntervalRecord> records);
 
   /// Records waiting for the next epoch.
   [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
 
-  /// Builds a TCM over the pending records, compares with the previous
-  /// epoch's map, refreshes the plan's per-class epoch stats, and delegates
-  /// the rate decision to the governor.  `sample` carries the epoch's
-  /// measured costs (the Djvm pump hook assembles it from GOS/network
-  /// deltas); fields left zero are filled in from the records themselves
-  /// (entries, wire bytes) and the build timer.  Clears the pending buffer
-  /// (records are kept in `history` for offline analysis).
+  /// Densifies the window accumulator into this epoch's TCM, compares with
+  /// the previous epoch's map, refreshes the plan's per-class epoch stats,
+  /// and delegates the rate decision to the governor.  `sample` carries the
+  /// epoch's measured costs (the Djvm pump hook assembles it from
+  /// GOS/network deltas); fields left zero are filled in from the records
+  /// themselves (entries, wire bytes) and the build timers.  Clears the
+  /// pending buffer and window accumulator (records are kept in `history`
+  /// for offline analysis).
   EpochResult run_epoch(OverheadSample sample = {});
 
   /// The governor owning all rate decisions for this daemon.
@@ -87,7 +98,12 @@ class CorrelationDaemon {
   [[nodiscard]] const SquareMatrix& latest() const noexcept { return latest_; }
 
   /// Builds one TCM over *all* records ever submitted (used by benches that
-  /// want a whole-run map); also accumulates build-time statistics.
+  /// want a whole-run map); also accumulates build-time statistics.  The
+  /// weighted map folds incrementally: a persistent whole-run accumulator
+  /// tracks a high-water mark into `history`, so repeated calls pay only for
+  /// records that arrived since the last one instead of re-accruing the
+  /// whole run from scratch (the unweighted variant, which nothing in the
+  /// tree requests repeatedly, stays a from-scratch build).
   SquareMatrix build_full(bool weighted = true);
 
   /// Total real seconds spent in TCM construction (Table III's rightmost
@@ -109,6 +125,16 @@ class CorrelationDaemon {
   Governor governor_;
   std::vector<IntervalRecord> pending_;
   std::vector<IntervalRecord> history_;
+  /// Incremental sparse accumulator over the current window: every submit()
+  /// folds its batch in, so the epoch boundary only densifies.
+  TcmAccumulator window_;
+  /// Fold time already paid for the current window (submit-side share of the
+  /// next epoch's build_seconds).
+  double window_fold_seconds_ = 0.0;
+  /// Whole-run accumulator behind build_full(weighted=true), fed lazily from
+  /// `history` + `pending` up to full_mark_ records at each call.
+  TcmAccumulator full_;
+  std::size_t full_mark_ = 0;
   SquareMatrix latest_;
   bool have_latest_ = false;
 

@@ -129,7 +129,11 @@ SquareMatrix DistributedTcmReducer::accrue_parallel(
   }
   const unsigned workers = std::min<unsigned>(
       threads_hw, std::max(1u, std::thread::hardware_concurrency()));
-  std::vector<SquareMatrix> partials(workers, SquareMatrix(threads));
+  // Each worker folds its object shard into a sparse upper-triangular
+  // accumulator; shards partition the *objects*, so the partials cover
+  // disjoint object sets and merge by plain pair-array addition — no dense
+  // N x N matrix per worker, and one densify at the end.
+  std::vector<TcmAccumulator> partials(workers, TcmAccumulator(threads));
   std::vector<std::thread> pool;
   pool.reserve(workers);
   const std::size_t chunk = (summaries.size() + workers - 1) / workers;
@@ -137,18 +141,17 @@ SquareMatrix DistributedTcmReducer::accrue_parallel(
     pool.emplace_back([&, w] {
       const std::size_t lo = w * chunk;
       const std::size_t hi = std::min(summaries.size(), lo + chunk);
-      if (lo >= hi) return;
-      partials[w] = TcmBuilder::accrue(summaries.subspan(lo, hi - lo), threads);
+      for (std::size_t k = lo; k < hi; ++k) {
+        partials[w].add_readers(summaries[k].obj, summaries[k].readers);
+      }
     });
   }
   for (std::thread& t : pool) t.join();
-  SquareMatrix result(threads);
-  for (const SquareMatrix& p : partials) {
-    for (std::size_t i = 0; i < result.raw().size(); ++i) {
-      result.raw()[i] += p.raw()[i];
-    }
+  TcmAccumulator& merged = partials.front();
+  for (unsigned w = 1; w < workers; ++w) {
+    merged.merge_disjoint_objects(partials[w]);
   }
-  return result;
+  return merged.dense();
 }
 
 SquareMatrix DistributedTcmReducer::build(std::span<const IntervalRecord> records,

@@ -55,9 +55,10 @@ class DistributedTcmReducer {
                                                Network* net = nullptr);
 
   /// Phase 3: pair accrual over merged summaries, sharded over `threads_hw`
-  /// worker threads (1 = sequential).  Distinct objects touch disjoint
-  /// summary entries, so shards accumulate into private matrices that are
-  /// summed at the end — a classic reduction pattern.
+  /// worker threads (1 = sequential).  Shards partition the objects (each
+  /// object's summary appears once), so workers fold into private sparse
+  /// upper-triangular accumulators whose pair arrays simply add at the end —
+  /// no dense N x N matrix per worker, one densify for the final map.
   [[nodiscard]] static SquareMatrix accrue_parallel(
       std::span<const ObjectAccessSummary> summaries, std::uint32_t threads,
       unsigned threads_hw);

@@ -1,17 +1,205 @@
 #include "profiling/tcm.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cassert>
 
 namespace djvm {
 
+namespace {
+
+/// Direct-index tables stop growing past this many object ids; rarer sparse
+/// ids (nothing in the tree produces them, but the API accepts any id) go
+/// through a hash map instead of sizing an allocation.
+constexpr ObjectId kDirectSlotCap = 1ull << 24;
+
+}  // namespace
+
+// --- ObjectSlotMap ------------------------------------------------------------
+
+std::int32_t ObjectSlotMap::get_or_assign(ObjectId obj, bool& fresh) {
+  if (obj < kDirectSlotCap) [[likely]] {
+    if (obj >= table_.size()) {
+      table_.resize(static_cast<std::size_t>(obj) + 1, -1);
+    }
+    std::int32_t& cell = table_[static_cast<std::size_t>(obj)];
+    fresh = cell < 0;
+    if (fresh) cell = count_++;
+    return cell;
+  }
+  auto [it, inserted] = spill_.try_emplace(obj, count_);
+  fresh = inserted;
+  if (inserted) ++count_;
+  return it->second;
+}
+
+bool ObjectSlotMap::contains(ObjectId obj) const {
+  if (obj < kDirectSlotCap) {
+    return obj < table_.size() && table_[static_cast<std::size_t>(obj)] >= 0;
+  }
+  return spill_.count(obj) != 0;
+}
+
+void ObjectSlotMap::release(std::span<const ObjectId> touched) {
+  for (const ObjectId obj : touched) {
+    if (obj < kDirectSlotCap) {
+      table_[static_cast<std::size_t>(obj)] = -1;
+    }
+  }
+  spill_.clear();
+  count_ = 0;
+}
+
+// --- arena reorganize ---------------------------------------------------------
+
+ReaderArena TcmBuilder::reorganize_arena(std::span<const IntervalRecord> records,
+                                         bool weighted) {
+  ArenaScratch scratch;
+  return reorganize_arena(records, weighted, scratch);
+}
+
+ReaderArena TcmBuilder::reorganize_arena(std::span<const IntervalRecord> records,
+                                         bool weighted, ArenaScratch& s) {
+  ReaderArena arena;
+  s.counts.clear();
+  s.flat_slot.clear();
+  s.flat_reader.clear();
+
+  // Pass 1: flatten entries, assigning dense object slots in first-appearance
+  // order (direct-indexed bucket "hash" — object ids are dense heap ids) and
+  // counting each slot's bucket size.
+  std::size_t total_entries = 0;
+  for (const IntervalRecord& rec : records) total_entries += rec.entries.size();
+  s.flat_slot.reserve(total_entries);
+  s.flat_reader.reserve(total_entries);
+
+  ThreadId max_thread = 0;
+  for (const IntervalRecord& rec : records) {
+    for (const OalEntry& e : rec.entries) {
+      const double bytes = weighted
+                               ? static_cast<double>(e.bytes) * e.gap
+                               : static_cast<double>(e.bytes);
+      bool fresh = false;
+      const std::int32_t slot = s.slots.get_or_assign(e.obj, fresh);
+      if (fresh) {
+        arena.objects.push_back(e.obj);
+        s.counts.push_back(0);
+      }
+      ++s.counts[static_cast<std::size_t>(slot)];
+      max_thread = std::max(max_thread, rec.thread);
+      s.flat_slot.push_back(static_cast<std::uint32_t>(slot));
+      s.flat_reader.emplace_back(rec.thread, bytes);
+    }
+  }
+
+  // Pass 2: prefix sums + scatter into the contiguous buffer (bucket sort).
+  const std::size_t object_count = arena.objects.size();
+  arena.offsets.assign(object_count + 1, 0);
+  for (std::size_t k = 0; k < object_count; ++k) {
+    arena.offsets[k + 1] = arena.offsets[k] + s.counts[k];
+  }
+  s.cursor.assign(arena.offsets.begin(), arena.offsets.end() - 1);
+  arena.readers.resize(s.flat_reader.size());
+  for (std::size_t i = 0; i < s.flat_reader.size(); ++i) {
+    arena.readers[s.cursor[s.flat_slot[i]]++] = s.flat_reader[i];
+  }
+
+  // Pass 3: dedup each segment by thread with max-combining.  Stamps are
+  // direct-indexed by thread id (thread ids are dense too) and epoch-tagged,
+  // so reuse across calls never needs a re-zeroing pass; the write cursor
+  // trails the read cursor, so compaction is in place.
+  if (s.stamp.size() <= max_thread) {
+    s.stamp.resize(static_cast<std::size_t>(max_thread) + 1, 0);
+    s.pos.resize(static_cast<std::size_t>(max_thread) + 1, 0);
+  }
+  std::uint32_t write = 0;
+  for (std::size_t k = 0; k < object_count; ++k) {
+    const std::uint64_t epoch = ++s.epoch;
+    const std::uint32_t lo = arena.offsets[k];
+    const std::uint32_t hi = arena.offsets[k + 1];
+    arena.offsets[k] = write;
+    for (std::uint32_t r = lo; r < hi; ++r) {
+      const auto [thread, bytes] = arena.readers[r];
+      const auto ti = static_cast<std::size_t>(thread);
+      if (s.stamp[ti] != epoch) {
+        s.stamp[ti] = epoch;
+        s.pos[ti] = write;
+        arena.readers[write++] = {thread, bytes};
+      } else if (bytes > arena.readers[s.pos[ti]].second) {
+        arena.readers[s.pos[ti]].second = bytes;
+      }
+    }
+  }
+  arena.offsets[object_count] = write;
+  arena.readers.resize(write);
+
+  // Release the slot assignments (the direct table keeps its allocation for
+  // the next call).
+  s.slots.release(arena.objects);
+  return arena;
+}
+
 std::vector<ObjectAccessSummary> TcmBuilder::reorganize(
     std::span<const IntervalRecord> records, bool weighted) {
-  // obj -> dense summary index.
+  const ReaderArena arena = reorganize_arena(records, weighted);
+  std::vector<ObjectAccessSummary> summaries;
+  summaries.reserve(arena.object_count());
+  for (std::size_t k = 0; k < arena.object_count(); ++k) {
+    const auto readers = arena.readers_of(k);
+    summaries.push_back(ObjectAccessSummary{
+        arena.objects[k], {readers.begin(), readers.end()}});
+  }
+  return summaries;
+}
+
+// --- accrual ------------------------------------------------------------------
+
+SquareMatrix TcmBuilder::accrue(std::span<const ObjectAccessSummary> summaries,
+                                std::uint32_t threads) {
+  SquareMatrix tcm(threads);
+  for (const ObjectAccessSummary& s : summaries) {
+    const auto& r = s.readers;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      for (std::size_t j = i + 1; j < r.size(); ++j) {
+        const double shared = std::min(r[i].second, r[j].second);
+        if (r[i].first < threads && r[j].first < threads) {
+          tcm.add_symmetric(r[i].first, r[j].first, shared);
+        }
+      }
+    }
+  }
+  return tcm;
+}
+
+UpperTriangle TcmBuilder::accrue_sparse(const ReaderArena& arena,
+                                        std::uint32_t threads) {
+  UpperTriangle pairs(threads);
+  for (std::size_t k = 0; k < arena.object_count(); ++k) {
+    const auto r = arena.readers_of(k);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (r[i].first >= threads) continue;
+      for (std::size_t j = i + 1; j < r.size(); ++j) {
+        if (r[j].first >= threads) continue;
+        pairs.add(r[i].first, r[j].first, std::min(r[i].second, r[j].second));
+      }
+    }
+  }
+  return pairs;
+}
+
+SquareMatrix TcmBuilder::build(std::span<const IntervalRecord> records,
+                               std::uint32_t threads, bool weighted) {
+  return accrue_sparse(reorganize_arena(records, weighted), threads).densify();
+}
+
+SquareMatrix TcmBuilder::build_reference(std::span<const IntervalRecord> records,
+                                         std::uint32_t threads, bool weighted) {
+  // The seed's pipeline, preserved verbatim: per-object summaries behind a
+  // hash map (one rehash + one linear reader scan per entry, one vector per
+  // object), then dense accrual — the oracle the sparse pipeline is measured
+  // and verified against.
   std::unordered_map<ObjectId, std::size_t> index;
   std::vector<ObjectAccessSummary> summaries;
   index.reserve(1024);
-
   for (const IntervalRecord& rec : records) {
     for (const OalEntry& e : rec.entries) {
       const double bytes = weighted
@@ -31,29 +219,116 @@ std::vector<ObjectAccessSummary> TcmBuilder::reorganize(
       }
     }
   }
-  return summaries;
+  return accrue(summaries, threads);
 }
 
-SquareMatrix TcmBuilder::accrue(std::span<const ObjectAccessSummary> summaries,
-                                std::uint32_t threads) {
-  SquareMatrix tcm(threads);
-  for (const ObjectAccessSummary& s : summaries) {
-    const auto& r = s.readers;
-    for (std::size_t i = 0; i < r.size(); ++i) {
-      for (std::size_t j = i + 1; j < r.size(); ++j) {
-        const double shared = std::min(r[i].second, r[j].second);
-        if (r[i].first < threads && r[j].first < threads) {
-          tcm.add_symmetric(r[i].first, r[j].first, shared);
-        }
-      }
+// --- incremental accumulator --------------------------------------------------
+
+TcmAccumulator::TcmAccumulator(std::uint32_t threads, bool weighted)
+    : threads_(threads), weighted_(weighted), pairs_(threads) {}
+
+std::int32_t TcmAccumulator::assign_slot(ObjectId obj) {
+  bool fresh = false;
+  const std::int32_t slot = slots_.get_or_assign(obj, fresh);
+  if (fresh) {
+    touched_.push_back(obj);
+    heads_.push_back(kNone);
+  }
+  return slot;
+}
+
+void TcmAccumulator::add_one(ObjectId obj, ThreadId thread, double bytes) {
+  if (thread >= threads_) return;  // beyond the map's dimension (as accrue)
+  const std::int32_t slot = assign_slot(obj);
+  std::int32_t& head = heads_[static_cast<std::size_t>(slot)];
+
+  std::int32_t found = kNone;
+  for (std::int32_t r = head; r != kNone; r = pool_[r].next) {
+    if (pool_[r].thread == thread) {
+      found = r;
+      break;
     }
   }
-  return tcm;
+  if (found != kNone) {
+    const double old = pool_[found].bytes;
+    if (bytes <= old) return;  // max-combining: nothing new to contribute
+    // Raising this reader's byte value moves every pair it participates in
+    // by min(new, other) - min(old, other); the invariant pair == min(cur_i,
+    // cur_j) per object is preserved.
+    for (std::int32_t r = head; r != kNone; r = pool_[r].next) {
+      if (r == found) continue;
+      const double other = pool_[r].bytes;
+      const double delta = std::min(bytes, other) - std::min(old, other);
+      if (delta > 0.0) pairs_.add(thread, pool_[r].thread, delta);
+    }
+    pool_[found].bytes = bytes;
+    return;
+  }
+  // First sighting of this (object, thread): pair up with every reader
+  // already on the object's list.
+  for (std::int32_t r = head; r != kNone; r = pool_[r].next) {
+    pairs_.add(thread, pool_[r].thread, std::min(bytes, pool_[r].bytes));
+  }
+  pool_.push_back(Reader{thread, bytes, head});
+  head = static_cast<std::int32_t>(pool_.size()) - 1;
 }
 
-SquareMatrix TcmBuilder::build(std::span<const IntervalRecord> records,
-                               std::uint32_t threads, bool weighted) {
-  return accrue(reorganize(records, weighted), threads);
+void TcmAccumulator::add(std::span<const IntervalRecord> records) {
+  // Arena-reorganize the batch first: in-batch duplicates collapse under a
+  // stamp check instead of paying a reader-list walk each.  The scratch
+  // persists across folds, so steady-state batches allocate only the
+  // arena's own payload.
+  const ReaderArena arena =
+      TcmBuilder::reorganize_arena(records, weighted_, scratch_);
+  for (std::size_t k = 0; k < arena.object_count(); ++k) {
+    add_readers(arena.objects[k], arena.readers_of(k));
+  }
+}
+
+void TcmAccumulator::add_readers(
+    ObjectId obj, std::span<const std::pair<ThreadId, double>> readers) {
+  for (const auto& [thread, bytes] : readers) add_one(obj, thread, bytes);
+}
+
+void TcmAccumulator::merge(const TcmAccumulator& other) {
+  assert(threads_ == other.threads_);
+  // Replay the other partial's reader lists: cross-partial pairs appear as
+  // the readers land, and pairs internal to `other` are reconstructed, so
+  // the merged state is exactly what one accumulator over both streams
+  // would hold.
+  for (std::size_t slot = 0; slot < other.touched_.size(); ++slot) {
+    const ObjectId obj = other.touched_[slot];
+    for (std::int32_t r = other.heads_[slot]; r != kNone; r = other.pool_[r].next) {
+      add_one(obj, other.pool_[r].thread, other.pool_[r].bytes);
+    }
+  }
+}
+
+void TcmAccumulator::merge_disjoint_objects(const TcmAccumulator& other) {
+  assert(threads_ == other.threads_);
+  for (std::size_t slot = 0; slot < other.touched_.size(); ++slot) {
+    const ObjectId obj = other.touched_[slot];
+    assert(!slots_.contains(obj) &&
+           "merge_disjoint_objects requires disjoint object sets");
+    const std::int32_t dst = assign_slot(obj);
+    // Move the reader list over node by node (pool indices re-based).
+    for (std::int32_t r = other.heads_[slot]; r != kNone; r = other.pool_[r].next) {
+      pool_.push_back(Reader{other.pool_[r].thread, other.pool_[r].bytes,
+                             heads_[static_cast<std::size_t>(dst)]});
+      heads_[static_cast<std::size_t>(dst)] =
+          static_cast<std::int32_t>(pool_.size()) - 1;
+    }
+  }
+  // Disjoint objects contribute disjoint pair updates: partial sums add.
+  pairs_ += other.pairs_;
+}
+
+void TcmAccumulator::reset() {
+  slots_.release(touched_);
+  touched_.clear();
+  heads_.clear();
+  pool_.clear();
+  pairs_.clear();
 }
 
 }  // namespace djvm

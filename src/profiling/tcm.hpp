@@ -1,16 +1,38 @@
 // Thread correlation map (TCM) construction (paper Section II.A).
 //
-// The coordinator reorganizes per-thread OALs into per-object lists of
-// (thread, bytes) — O(MN) — and then accrues, for every pair of threads that
-// touched an object in the profiled window, the object's byte contribution —
-// O(MN^2).  With sampling, each logged entry carries its class gap at logging
-// time; multiplying by the gap (Horvitz-Thompson weighting) makes the sampled
-// TCM an unbiased estimate of the full-sampling map, so the paper's error
-// metrics compare like with like.
+// The coordinator reorganizes per-thread OALs into per-object reader lists
+// and then accrues, for every pair of threads that touched an object in the
+// profiled window, the object's byte contribution.  With sampling, each
+// logged entry carries its class gap at logging time; multiplying by the gap
+// (Horvitz-Thompson weighting) makes the sampled TCM an unbiased estimate of
+// the full-sampling map, so the paper's error metrics compare like with like.
+//
+// Two pipelines share the same semantics:
+//
+//  * `TcmBuilder::build_reference` — the textbook O(MN^2)-style pipeline the
+//    seed shipped: a hash map from object id to a per-object `vector<pair>`
+//    of readers (one rehash + one linear reader scan per entry), then a
+//    dense accrual into a fresh SquareMatrix.  Kept verbatim as the oracle
+//    for equivalence tests and as the "dense from scratch" side of
+//    `bench_tcm_scale`.
+//  * the incremental sparse pipeline — `reorganize_arena` bucket-sorts a
+//    batch's entries into one contiguous CSR arena (no per-object vectors,
+//    no hashing while object ids stay compact), and `TcmAccumulator` folds
+//    such batches into a persistent sparse state: per-object reader lists
+//    threaded through one pool, pair weights in a flat upper-triangular
+//    accumulator.  Work per fold is O(sum over objects of readers^2) for
+//    *new* information only — re-logged entries that do not raise a reader's
+//    byte value cost a short list walk and no pair updates — and the dense
+//    N x N matrix is materialized only on demand (`dense()`).
+//
+// `TcmBuilder::build` routes through the sparse pipeline; tests assert the
+// two pipelines agree within 1e-9 (bit-exact in practice, since byte weights
+// are integer-valued doubles).
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -27,24 +49,170 @@ struct ObjectAccessSummary {
   std::vector<std::pair<ThreadId, double>> readers;
 };
 
+/// One batch of OAL entries reorganized into a flat CSR arena: object k's
+/// deduplicated readers live in `readers[offsets[k] .. offsets[k+1])`.  One
+/// contiguous buffer instead of a `vector<pair>` per object, built by bucket
+/// sort (direct-indexed while object ids stay compact, spilling to a hash
+/// map otherwise) with stamp-based per-thread dedup inside each segment.
+struct ReaderArena {
+  std::vector<ObjectId> objects;                     ///< unique objects, first-appearance order
+  std::vector<std::uint32_t> offsets;                ///< size objects.size() + 1
+  std::vector<std::pair<ThreadId, double>> readers;  ///< CSR payload, max-combined per thread
+
+  [[nodiscard]] std::size_t object_count() const noexcept { return objects.size(); }
+  [[nodiscard]] std::span<const std::pair<ThreadId, double>> readers_of(
+      std::size_t k) const noexcept {
+    return {readers.data() + offsets[k], offsets[k + 1] - offsets[k]};
+  }
+};
+
+/// Object id -> dense slot assignment shared by the arena reorganize and the
+/// accumulator: direct-indexed while ids stay compact (heap ids are
+/// allocated densely, the common case for every producer in the tree), with
+/// a hash-map spill past the cap so one stray sparse id cannot size an
+/// allocation.
+class ObjectSlotMap {
+ public:
+  /// Slot of `obj`, assigning the next dense slot on first sight (`fresh`
+  /// reports which).
+  std::int32_t get_or_assign(ObjectId obj, bool& fresh);
+  /// True when `obj` already holds a slot.
+  [[nodiscard]] bool contains(ObjectId obj) const;
+  [[nodiscard]] std::int32_t count() const noexcept { return count_; }
+  /// Forgets the listed objects' slots in O(listed) (callers track their
+  /// touched set; the direct table keeps its allocation).
+  void release(std::span<const ObjectId> touched);
+
+ private:
+  std::vector<std::int32_t> table_;  ///< ObjectId -> slot (-1 = unassigned)
+  std::unordered_map<ObjectId, std::int32_t> spill_;  ///< ids past the cap
+  std::int32_t count_ = 0;
+};
+
+/// Reusable scratch for `reorganize_arena`: the slot map, bucket counters,
+/// flattened-entry buffers, and per-thread dedup stamps are released — not
+/// freed — between calls, so steady-state folding (one arena per submit()
+/// batch) stops re-allocating and re-zeroing the O(max object id) direct
+/// table on every delivery.
+struct ArenaScratch {
+  ObjectSlotMap slots;
+  std::vector<std::uint32_t> counts;    ///< per-slot bucket sizes
+  std::vector<std::uint32_t> flat_slot; ///< flattened entries: object slot...
+  std::vector<std::pair<ThreadId, double>> flat_reader;  ///< ...and payload
+  std::vector<std::uint32_t> cursor;    ///< scatter cursors
+  std::vector<std::uint64_t> stamp;     ///< per-thread dedup stamps
+  std::vector<std::uint32_t> pos;       ///< per-thread write-back positions
+  std::uint64_t epoch = 0;  ///< stamp epoch, persists across calls (never reset)
+};
+
 /// Builds TCMs out of interval records.
 class TcmBuilder {
  public:
-  /// Step 1: reorganize per-thread interval records into per-object lists.
-  /// O(M N) in objects M and threads N.
+  /// Step 1: reorganize per-thread interval records into the flat CSR arena
+  /// (bucket sort, no per-object allocations).
+  [[nodiscard]] static ReaderArena reorganize_arena(
+      std::span<const IntervalRecord> records, bool weighted);
+
+  /// Scratch-reusing variant (the accumulator's per-batch fold path).
+  [[nodiscard]] static ReaderArena reorganize_arena(
+      std::span<const IntervalRecord> records, bool weighted,
+      ArenaScratch& scratch);
+
+  /// Compatibility shim over `reorganize_arena` returning the per-object
+  /// summary form the distributed reducer's NodePartial monoid speaks.
   [[nodiscard]] static std::vector<ObjectAccessSummary> reorganize(
       std::span<const IntervalRecord> records, bool weighted);
 
-  /// Step 2: accrue shared bytes per thread pair.  O(M N^2).
-  /// Cell (i, j) accumulates min(bytes_i, bytes_j) per object shared by
-  /// threads i and j.
+  /// Step 2 (reference): accrue shared bytes per thread pair from summaries
+  /// into a dense matrix.  Cell (i, j) accumulates min(bytes_i, bytes_j) per
+  /// object shared by threads i and j.
   [[nodiscard]] static SquareMatrix accrue(
       std::span<const ObjectAccessSummary> summaries, std::uint32_t threads);
 
-  /// Convenience: reorganize + accrue.
+  /// Step 2 (sparse): accrue an arena into an upper-triangular accumulator.
+  [[nodiscard]] static UpperTriangle accrue_sparse(const ReaderArena& arena,
+                                                   std::uint32_t threads);
+
+  /// Convenience: reorganize + accrue via the sparse pipeline.
   [[nodiscard]] static SquareMatrix build(std::span<const IntervalRecord> records,
                                           std::uint32_t threads,
                                           bool weighted = true);
+
+  /// The seed's textbook pipeline (hash-map reorganize + dense accrual),
+  /// kept as the equivalence oracle and bench baseline.
+  [[nodiscard]] static SquareMatrix build_reference(
+      std::span<const IntervalRecord> records, std::uint32_t threads,
+      bool weighted = true);
+};
+
+/// Persistent incremental sparse TCM accumulator: fold record batches in as
+/// deltas (`add`), merge partials (`merge`), and densify on demand.  The
+/// invariant maintained per object o and thread pair {i, j} is
+/// pair(i, j) == min(bytes_i(o), bytes_j(o)) summed over objects, so folding
+/// batches one at a time, in any split, yields exactly the map a from-scratch
+/// build over the concatenated batches produces.
+class TcmAccumulator {
+ public:
+  explicit TcmAccumulator(std::uint32_t threads, bool weighted = true);
+
+  /// Folds one batch of records in as a delta (arena-reorganized first, so
+  /// in-batch duplicates cost one stamp check, not a reader-list walk).
+  void add(std::span<const IntervalRecord> records);
+
+  /// Folds one object's (thread, already-weighted bytes) reader list in.
+  void add_readers(ObjectId obj,
+                   std::span<const std::pair<ThreadId, double>> readers);
+
+  /// Merges another accumulator over the same thread count (the reduction
+  /// monoid: per-object reader lists union with max-combining; pair weights
+  /// are replayed so cross-partial pairs appear).
+  void merge(const TcmAccumulator& other);
+
+  /// Merge fast path for partials over *disjoint object sets* (parallel
+  /// accrual shards): reader lists move over and pair arrays simply add.
+  /// Asserts disjointness in debug builds.
+  void merge_disjoint_objects(const TcmAccumulator& other);
+
+  /// Drops all accumulated state (keeps allocations for reuse).
+  void reset();
+
+  /// Densifies the pair accumulator into the symmetric N x N map.
+  [[nodiscard]] SquareMatrix dense() const { return pairs_.densify(); }
+
+  [[nodiscard]] std::uint32_t threads() const noexcept { return threads_; }
+  [[nodiscard]] bool weighted() const noexcept { return weighted_; }
+  /// Objects with at least one folded reader.
+  [[nodiscard]] std::size_t objects_tracked() const noexcept {
+    return touched_.size();
+  }
+  /// Total (object, thread) reader entries currently held.
+  [[nodiscard]] std::size_t reader_entries() const noexcept { return pool_.size(); }
+  [[nodiscard]] const UpperTriangle& pairs() const noexcept { return pairs_; }
+
+ private:
+  /// Reader-list node in the shared pool (per-object singly linked list; the
+  /// lists are short — most objects have few readers — so pointer chasing
+  /// through one contiguous pool beats a vector allocation per object).
+  struct Reader {
+    ThreadId thread;
+    double bytes;
+    std::int32_t next;
+  };
+
+  static constexpr std::int32_t kNone = -1;
+
+  std::int32_t assign_slot(ObjectId obj);
+
+  void add_one(ObjectId obj, ThreadId thread, double bytes);
+
+  std::uint32_t threads_;
+  bool weighted_;
+  ObjectSlotMap slots_;
+  ArenaScratch scratch_;                  ///< reused by add()'s reorganize
+  std::vector<ObjectId> touched_;         ///< slot -> object id
+  std::vector<std::int32_t> heads_;       ///< slot -> first Reader index (kNone = empty)
+  std::vector<Reader> pool_;
+  UpperTriangle pairs_;
 };
 
 }  // namespace djvm

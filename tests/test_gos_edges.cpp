@@ -17,6 +17,10 @@ class GosEdgeTest : public ::testing::Test {
 
   void init(OalTransfer tracking = OalTransfer::kDisabled) {
     cfg.oal_transfer = tracking;
+    // The old Gos must go before the plan it deregisters from on
+    // destruction; member-by-member reassignment below would otherwise free
+    // the plan while the old Gos still points at it.
+    gos.reset();
     heap = std::make_unique<Heap>(reg, cfg.nodes);
     plan = std::make_unique<SamplingPlan>(*heap);
     net = std::make_unique<Network>(cfg.costs);
@@ -93,6 +97,7 @@ TEST_F(GosEdgeTest, PhaseLabelsDelimitIntervalContext) {
 TEST_F(GosEdgeTest, PiggybackDisabledChargesFullMessages) {
   init(OalTransfer::kSend);
   cfg.piggyback_oals = false;
+  gos.reset();  // before its plan (see init)
   heap = std::make_unique<Heap>(reg, cfg.nodes);
   plan = std::make_unique<SamplingPlan>(*heap);
   net = std::make_unique<Network>(cfg.costs);
