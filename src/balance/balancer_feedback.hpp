@@ -1,0 +1,64 @@
+// Balancer -> governor feedback: per-class placement influence.
+//
+// The profiles exist to feed the Global Load Balancer (Fig. 2), yet the
+// governor's back-off historically scored classes by bytes-per-entry alone —
+// blind to whether the balancer would ever act on those cells.  This module
+// closes that loop: it condenses one epoch's balancer-side view (the
+// per-class cell attribution against the current co-location partition, the
+// migration suggestions the planner accepted, and the remote thread-home-
+// affinity mass) into a per-class *influence* fraction — the share of each
+// class's correlation mass the balancer actually acts on.  The governor
+// multiplies its benefit/cost score by this fraction (with exponential-decay
+// memory across epochs), so back-off sheds exactly the cells the balancer
+// would ignore anyway.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "balance/load_balancer.hpp"
+#include "common/types.hpp"
+#include "profiling/tcm.hpp"
+
+namespace djvm {
+
+/// Per-class placement influence for one epoch, as exported by the balancer
+/// side and consumed by the governor (Governor::observe_balancer_feedback).
+struct BalancerFeedback {
+  /// ClassId-indexed influence mass in bytes: partition-cut contribution +
+  /// weighted accepted-suggestion gains + weighted remote-home mass.  May be
+  /// shorter than the registry (trailing classes contributed nothing).
+  std::vector<double> influence;
+  /// ClassId-indexed total mass of each class — pair mass plus the weighted
+  /// remote-home mass (the normalizer: influence / mass is the fraction of
+  /// the class's cells that matter).  Home mass counts on both sides so a
+  /// class with only single-reader remote-home traffic (no co-access pairs)
+  /// still earns a share instead of being shed first.
+  std::vector<double> mass;
+  /// Total mass across classes; 0 means the epoch carried no cells.
+  double total_mass = 0.0;
+  /// False when the epoch had no attributable cells (nothing to learn from).
+  bool valid = false;
+
+  /// Influence as a fraction of the class's own mass, in [0, inf) — 1 means
+  /// every cell the class produced sits on the partition cut; > 1 means the
+  /// suggestion/home terms add further evidence.  0 for unseen classes.
+  [[nodiscard]] double share(ClassId id) const noexcept {
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= influence.size() || i >= mass.size() || mass[i] <= 0.0) return 0.0;
+    return influence[i] / mass[i];
+  }
+};
+
+/// Builds the feedback aggregate from one epoch's cell attribution and the
+/// planner's suggestions.  Suggestion gains are attributed to classes in
+/// proportion to each class's share of the moving thread's pair mass (the
+/// classes whose cells argued for the move), scaled by `suggestion_weight`;
+/// remote-home mass (cells.home_mass, when the producer filled it) is folded
+/// in at `home_weight`.
+[[nodiscard]] BalancerFeedback build_balancer_feedback(
+    const TcmClassAttribution& cells,
+    std::span<const MigrationSuggestion> suggestions,
+    double suggestion_weight = 1.0, double home_weight = 0.25);
+
+}  // namespace djvm

@@ -141,13 +141,20 @@ std::vector<MigrationSuggestion> plan_with_value(
     std::span<const std::uint64_t> context_bytes, const MigrationCostModel& model,
     std::uint32_t nodes, double bytes_per_ns, std::uint32_t slack,
     NodeValue&& node_value) {
-  const std::uint32_t capacity =
-      nodes == 0 ? threads : (threads + nodes - 1) / nodes + slack;
   std::vector<std::uint32_t> load = current.loads(nodes);
+  // Capacity is derived from the threads that actually sit on a node (the
+  // sum of the loads): kInvalidNode padding for map slots with no spawned
+  // thread must not inflate the ceiling into accepting infeasible moves.
+  const std::uint32_t placed = std::accumulate(load.begin(), load.end(), 0u);
+  const std::uint32_t capacity =
+      nodes == 0 ? placed : (placed + nodes - 1) / nodes + slack;
 
   std::vector<MigrationSuggestion> out;
   for (std::uint32_t t = 0; t < threads; ++t) {
     const NodeId cur = current.node_of_thread[t];
+    // Unplaced threads (kInvalidNode padding for map slots with no spawned
+    // thread) can neither migrate nor occupy capacity.
+    if (cur >= nodes) continue;
     NodeId best = cur;
     double best_value = node_value(t, cur);
     for (std::uint32_t n = 0; n < nodes; ++n) {
@@ -211,52 +218,24 @@ std::vector<MigrationSuggestion> plan_migrations(
     std::span<const ClassFootprint> footprints,
     std::span<const std::uint64_t> context_bytes, const MigrationCostModel& model,
     std::uint32_t nodes, double bytes_per_ns, std::uint32_t slack) {
+  // The home-aware planner with home_weight 0, with the per-(thread, node)
+  // affinities precomputed in one O(threads^2) pass — node_value is called
+  // once per (thread, candidate node), and recomputing the thread scan
+  // inside it would make the every-epoch planner run O(threads^2 x nodes).
   const std::uint32_t threads = static_cast<std::uint32_t>(tcm.size());
-  const std::uint32_t capacity =
-      nodes == 0 ? threads : (threads + nodes - 1) / nodes + slack;
-  std::vector<std::uint32_t> load = current.loads(nodes);
-
-  std::vector<MigrationSuggestion> out;
+  std::vector<double> affinity(static_cast<std::size_t>(threads) * nodes, 0.0);
   for (std::uint32_t t = 0; t < threads; ++t) {
-    // Affinity of t to each node = sum of TCM cells with threads there.
-    std::vector<double> affinity(nodes, 0.0);
     for (std::uint32_t u = 0; u < threads; ++u) {
       if (u == t) continue;
-      affinity[current.node_of_thread[u]] += tcm.at(t, u);
+      const NodeId n = current.node_of_thread[u];
+      if (n < nodes) affinity[static_cast<std::size_t>(t) * nodes + n] += tcm.at(t, u);
     }
-    const NodeId cur = current.node_of_thread[t];
-    NodeId best = cur;
-    for (std::uint32_t n = 0; n < nodes; ++n) {
-      if (n == cur) continue;
-      if (load[n] + 1 > capacity) continue;
-      if (affinity[n] > affinity[best]) best = static_cast<NodeId>(n);
-    }
-    if (best == cur) continue;
-
-    const double gain = affinity[best] - affinity[cur];
-    const ClassFootprint fp =
-        t < footprints.size() ? footprints[t] : ClassFootprint{};
-    const std::uint64_t ctx = t < context_bytes.size() ? context_bytes[t] : 1024;
-    const MigrationCostEstimate est = model.estimate(ctx, fp);
-    // Convert modeled time into "bytes of communication it could have
-    // carried" so gain and cost share a unit.
-    const double cost_bytes =
-        static_cast<double>(est.total_with_prefetch()) * bytes_per_ns;
-    if (gain <= cost_bytes) continue;
-
-    MigrationSuggestion s;
-    s.thread = t;
-    s.from = cur;
-    s.to = best;
-    s.gain_bytes = gain;
-    s.cost = est.total_with_prefetch();
-    s.score = cost_bytes > 0.0 ? gain / cost_bytes : gain;
-    out.push_back(s);
   }
-  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    return a.score > b.score;
-  });
-  return out;
+  auto node_value = [&](std::uint32_t t, NodeId n) {
+    return affinity[static_cast<std::size_t>(t) * nodes + n];
+  };
+  return plan_with_value(threads, current, footprints, context_bytes, model,
+                         nodes, bytes_per_ns, slack, node_value);
 }
 
 }  // namespace djvm

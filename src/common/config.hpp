@@ -33,6 +33,21 @@ enum class FootprintTimerMode : std::uint8_t {
   kTimerBased,  ///< alternate on/off phases of `footprint_phase` length
 };
 
+/// How the governor scores classes when picking back-off victims.
+enum class BackoffScoring : std::uint8_t {
+  /// Legacy heuristic: estimated shared bytes per logged entry — treats all
+  /// correlation mass as equally valuable, blind to whether the balancer
+  /// would ever act on it (kept for ablation benches).
+  kBytesPerEntry,
+  /// Paper-thesis closing of the loop (default): weight each class's
+  /// bytes-per-entry by its *placement influence* — the share of the class's
+  /// pair mass the balancer actually acts on (contribution to the
+  /// co-location partition cut, accepted migration-suggestion gains, remote
+  /// thread-home-affinity mass), with exponential-decay memory across
+  /// epochs.  Backoff then sheds the cells the balancer ignores anyway.
+  kInfluenceWeighted,
+};
+
 /// Which node owns (and pays for) an object's sampling decision.
 enum class CostAttribution : std::uint8_t {
   /// Legacy model: the object's *home* node owns one cluster-wide sampled
@@ -84,6 +99,9 @@ struct Config {
   /// Per-node overhead budget as a fraction of that node's application
   /// time; 0 = inherit governor_budget.
   double governor_node_budget = 0.0;
+  /// Back-off victim scoring (see BackoffScoring; kBytesPerEntry reproduces
+  /// the pre-influence heuristic for ablation benches).
+  BackoffScoring backoff_scoring = BackoffScoring::kInfluenceWeighted;
   /// When non-empty, every run_governed_epoch() hands the fresh governor
   /// state + TCM to a background double-buffered snapshot writer targeting
   /// this path (crash-recovery snapshots without stalling the epoch loop;

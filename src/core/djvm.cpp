@@ -1,6 +1,10 @@
 #include "core/djvm.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "balance/balancer_feedback.hpp"
+#include "balance/load_balancer.hpp"
 
 namespace djvm {
 
@@ -70,6 +74,7 @@ void Djvm::apply_profiling_config() {
     gcfg.distance_threshold = cfg_.adapt_threshold;
     gcfg.per_node = cfg_.governor_per_node;
     gcfg.node_budget = cfg_.governor_node_budget;
+    gcfg.scoring = cfg_.backoff_scoring;
     daemon_.governor().arm(gcfg);
   }
   // No disarm branch: Config is immutable after construction, so
@@ -81,6 +86,26 @@ void Djvm::apply_profiling_config() {
 void Djvm::pump_daemon() { daemon_.submit(gos_->drain_records()); }
 
 EpochResult Djvm::run_governed_epoch() {
+  // Hand the daemon the balancer's current co-location partition (where the
+  // threads actually run) so this epoch's window is attributed per class
+  // against it — the influence input of the governor's back-off scoring.
+  // Skipped entirely under kBytesPerEntry: the ablation path must not pay
+  // the attribution walk and planner run whose result its scoring ignores.
+  const bool influence_loop =
+      daemon_.governor().mode() == GovernorMode::kClosedLoop &&
+      daemon_.governor().config().scoring ==
+          BackoffScoring::kInfluenceWeighted &&
+      thread_count() > 0;
+  if (influence_loop) {
+    std::vector<NodeId> placement(thread_count());
+    for (ThreadId t = 0; t < thread_count(); ++t) {
+      placement[t] = gos_->thread_node(t);
+    }
+    daemon_.set_influence_placement(std::move(placement));
+  } else {
+    daemon_.set_influence_placement({});
+  }
+
   pump_daemon();
 
   const ProtocolStats& ps = gos_->stats();
@@ -105,6 +130,11 @@ EpochResult Djvm::run_governed_epoch() {
 
   OverheadSample s;
   s.measured = true;
+  // Last epoch's balancer-feedback run (attribution consumer + migration
+  // planner) is coordinator work; the daemon adds this epoch's map
+  // construction on top (OverheadSample::build_seconds is additive).
+  s.build_seconds = planner_carry_seconds_;
+  planner_carry_seconds_ = 0.0;
   // Worker CPU the GOS charged to thread clocks for profiling this epoch:
   // rate-dependent (OAL log service, footprint re-arm touches) vs
   // rate-independent (stack-sampler timers).
@@ -188,6 +218,56 @@ EpochResult Djvm::run_governed_epoch() {
   pump_snapshot_.stack_cost = stack_sampling_sim_cost_;
 
   EpochResult result = daemon_.run_epoch(s);
+
+  // Close the balancer -> governor loop: run the migration planner over the
+  // fresh map, condense cut shares + accepted suggestions + remote-home mass
+  // into per-class influence, and let the governor's next back-off weight
+  // its benefit/cost scores by it.  One epoch of lag by construction (this
+  // epoch's decision used last epoch's influence); the governor's
+  // exponential-decay memory is what makes that sound.
+  if (influence_loop && !result.cells.empty()) {
+    const auto planner_t0 = std::chrono::steady_clock::now();
+    // The map's dimension is cfg_.threads (fixed at daemon construction);
+    // the planner indexes node_of_thread up to it, so pad past the spawned
+    // threads with kInvalidNode — the planner skips unplaced threads
+    // entirely, so filler neither migrates nor occupies a node's capacity.
+    Placement current;
+    current.node_of_thread.assign(result.tcm.size(), kInvalidNode);
+    const std::vector<NodeId>& placed = daemon_.influence_placement();
+    for (std::size_t t = 0; t < placed.size() && t < current.node_of_thread.size();
+         ++t) {
+      current.node_of_thread[t] = placed[t];
+    }
+    // Context bytes come from the stacks (always live); sticky-set
+    // footprints only exist when footprinting is on.  Missing entries fall
+    // back to the planner's defaults.
+    std::vector<ClassFootprint> footprints;
+    std::vector<std::uint64_t> contexts(thread_count(), 1024);
+    for (ThreadId t = 0; t < thread_count(); ++t) {
+      // Threads spawned through gos().spawn_thread() directly have no stack
+      // here (same guard as the interval-close hook): planner default.
+      if (t < stacks_.size()) contexts[t] = stacks_[t].context_bytes() + 1024;
+    }
+    if (cfg_.footprinting) {
+      footprints.resize(thread_count());
+      for (ThreadId t = 0; t < thread_count(); ++t) {
+        footprints[t] = fptracker_.footprint(t);
+      }
+    }
+    const std::vector<MigrationSuggestion> suggestions = plan_migrations(
+        result.tcm, current, footprints, contexts, cost_model(), cfg_.nodes,
+        cfg_.costs.bytes_per_ns, /*slack=*/1);
+    daemon_.governor().observe_balancer_feedback(
+        build_balancer_feedback(result.cells, suggestions));
+    // Coordinator work like the map build itself: billed to the *next*
+    // epoch's sample (this epoch's decision already ran), same carryover
+    // pattern as resampling cost.
+    planner_carry_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      planner_t0)
+            .count();
+  }
+
   if (snapshot_writer_) {
     // Every epoch snapshots for crash recovery; the encode runs here (state
     // is ours to read synchronously), the file write on the background

@@ -149,6 +149,10 @@ class Djvm final : public Gos::Hooks {
   std::vector<AccessObserver> access_observers_;
   std::vector<IntervalObserver> interval_observers_;
   std::vector<std::vector<ObjectId>> last_invariants_;
+  /// Real seconds last epoch's balancer-feedback run cost (migration
+  /// planner + feedback fold); billed into the next epoch's coordinator
+  /// bucket, the same carryover pattern as resampling.
+  double planner_carry_seconds_ = 0.0;
   SimTime stack_sampling_sim_cost_ = 0;
   /// Stack-sampler cost attributed to the node the sampled thread ran on.
   std::vector<SimTime> stack_cost_by_node_;

@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "balance/balancer_feedback.hpp"
 #include "runtime/klass.hpp"
 
 namespace djvm {
+
+namespace {
+/// Influence floor added to every class's normalized share so
+/// zero-influence classes keep plain bytes-per-entry as their tiebreak
+/// (and a class the balancer ignores is still backed off in benefit order,
+/// not arbitrarily).
+constexpr double kInfluenceScoreFloor = 0.01;
+}  // namespace
 
 Governor::Governor(SamplingPlan& plan, GovernorConfig cfg)
     : plan_(plan), cfg_(cfg), meter_(cfg.costs, cfg.meter_window) {}
@@ -38,6 +47,8 @@ void Governor::reset_controller_state(GovernorState state) {
   grace_ = 0;
   node_settle_ = 0;
   converged_gaps_.clear();
+  influence_.clear();
+  influence_seen_ = false;
 }
 
 void Governor::arm(GovernorConfig cfg) {
@@ -46,6 +57,8 @@ void Governor::arm(GovernorConfig cfg) {
   // snapshots the same build then refuses to load).
   cfg.sentinel_coarsen_shifts = std::min<std::uint32_t>(cfg.sentinel_coarsen_shifts, 31);
   cfg.max_nominal_gap = std::max<std::uint32_t>(cfg.max_nominal_gap, 1);
+  // A decay outside [0, 1] would amplify instead of remember.
+  cfg.influence_decay = std::clamp(cfg.influence_decay, 0.0, 1.0);
   cfg_ = cfg;
   mode_ = GovernorMode::kClosedLoop;
   reset_controller_state(GovernorState::kAdapting);
@@ -275,10 +288,38 @@ Governor::EpochOutcome Governor::closed_loop_step(std::optional<double> rel_dist
   return out;
 }
 
+void Governor::observe_balancer_feedback(const BalancerFeedback& fb) {
+  if (!fb.valid) return;
+  const std::size_t classes = std::max(fb.influence.size(), fb.mass.size());
+  if (influence_.size() < classes) influence_.resize(classes, 0.0);
+  const double decay = cfg_.influence_decay;
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double observed = fb.share(static_cast<ClassId>(c));
+    influence_[c] = influence_seen_
+                        ? decay * influence_[c] + (1.0 - decay) * observed
+                        : observed;  // first observation seeds, not halves
+  }
+  // Classes beyond this epoch's feedback decay toward zero: the balancer
+  // saw cells and none of them were theirs.
+  for (std::size_t c = classes; c < influence_.size(); ++c) {
+    influence_[c] *= decay;
+  }
+  influence_seen_ = true;
+}
+
+double Governor::backoff_score(ClassId id, const ClassEpochStats& stats) const {
+  const double bytes_per_entry = static_cast<double>(stats.estimated_bytes) /
+                                 static_cast<double>(stats.entries);
+  if (cfg_.scoring != BackoffScoring::kInfluenceWeighted || !influence_seen_) {
+    return bytes_per_entry;
+  }
+  return (kInfluenceScoreFloor + influence_share(id)) * bytes_per_entry;
+}
+
 std::size_t Governor::back_off(double shrink_to) {
   struct Candidate {
     ClassId id;
-    double score;  ///< estimated shared bytes per logged entry (benefit/cost)
+    double score;  ///< influence-weighted bytes per logged entry (benefit/cost)
     std::uint64_t entries;
   };
   const std::vector<ClassEpochStats>& stats = plan_.epoch_stats();
@@ -289,9 +330,7 @@ std::size_t Governor::back_off(double shrink_to) {
     if (idx >= stats.size() || stats[idx].entries == 0) continue;
     total_entries += static_cast<double>(stats[idx].entries);
     if (k.sampling.nominal_gap >= cfg_.max_nominal_gap) continue;
-    candidates.push_back({k.id,
-                          static_cast<double>(stats[idx].estimated_bytes) /
-                              static_cast<double>(stats[idx].entries),
+    candidates.push_back({k.id, backoff_score(k.id, stats[idx]),
                           stats[idx].entries});
   }
   if (candidates.empty() || total_entries <= 0.0) return 0;
@@ -323,7 +362,7 @@ std::size_t Governor::back_off_node(NodeId node, double shrink_to) {
   const std::vector<ClassEpochStats>& stats = by_node[node];
   struct Candidate {
     ClassId id;
-    double score;  ///< estimated shared bytes per logged entry (benefit/cost)
+    double score;  ///< influence-weighted bytes per logged entry (benefit/cost)
     std::uint64_t entries;
   };
   std::vector<Candidate> candidates;
@@ -333,9 +372,7 @@ std::size_t Governor::back_off_node(NodeId node, double shrink_to) {
     if (idx >= stats.size() || stats[idx].entries == 0) continue;
     total_entries += static_cast<double>(stats[idx].entries);
     if (plan_.effective_nominal_gap(node, k.id) >= cfg_.max_nominal_gap) continue;
-    candidates.push_back({k.id,
-                          static_cast<double>(stats[idx].estimated_bytes) /
-                              static_cast<double>(stats[idx].entries),
+    candidates.push_back({k.id, backoff_score(k.id, stats[idx]),
                           stats[idx].entries});
   }
   if (candidates.empty() || total_entries <= 0.0) return 0;

@@ -8,8 +8,12 @@
 // supervising the whole profiling stack:
 //
 //  * over budget   -> double gaps on the classes with the worst
-//                     benefit/cost score (fewest estimated shared bytes per
-//                     logged entry) until the projected entry cost fits;
+//                     benefit/cost score — estimated shared bytes per logged
+//                     entry, weighted by each class's *balancer influence*
+//                     (the share of its cells the placement decisions
+//                     actually act on, fed back per epoch and remembered
+//                     with exponential decay) — until the projected entry
+//                     cost fits;
 //  * under budget  -> while the TCM is still moving (relative ABS distance
 //                     above threshold), halve every class's gap — the
 //                     paper's convergence loop, now budget-gated;
@@ -44,6 +48,8 @@
 #include "profiling/sampling.hpp"
 
 namespace djvm {
+
+struct BalancerFeedback;  // balance/balancer_feedback.hpp
 
 /// How the governor is driving the sampling plan.
 enum class GovernorMode : std::uint8_t {
@@ -95,6 +101,17 @@ struct GovernorConfig {
   std::uint32_t max_nominal_gap = 1u << 16;
   /// Rolling window (epochs) of the overhead meter.
   std::size_t meter_window = 4;
+  /// Back-off victim scoring: kInfluenceWeighted (default) multiplies the
+  /// bytes-per-entry benefit/cost score by each class's balancer influence
+  /// share (fed via observe_balancer_feedback), so back-off sheds the cells
+  /// the balancer ignores; kBytesPerEntry is the legacy heuristic, kept for
+  /// ablation.  Until the first feedback arrives, influence scoring falls
+  /// back to bytes-per-entry (there is nothing to weight by yet).
+  BackoffScoring scoring = BackoffScoring::kInfluenceWeighted;
+  /// Exponential-decay memory of the influence table: each observation
+  /// folds in as share_new = decay * share_old + (1 - decay) * observed, so
+  /// one quiet epoch cannot zero a class the balancer has been acting on.
+  double influence_decay = 0.5;
   OverheadCosts costs{};
 
   /// The budget one node is held to (node_budget unless unset).
@@ -149,6 +166,24 @@ class Governor {
   EpochOutcome on_epoch(std::optional<double> rel_distance,
                         const OverheadSample& sample);
 
+  // --- balancer feedback ------------------------------------------------------
+  /// Folds one epoch's per-class placement influence (exported by the
+  /// balancer side, see balance/balancer_feedback.hpp) into the decayed
+  /// influence table the back-off scoring reads.  Invalid feedback (an epoch
+  /// with no attributable cells) is ignored rather than decaying the table —
+  /// a quiet epoch is no evidence the balancer stopped caring.
+  void observe_balancer_feedback(const BalancerFeedback& fb);
+  /// Decayed influence share of one class in [0, inf): the fraction of the
+  /// class's correlation mass the balancer acts on (0 before any feedback,
+  /// and for classes the balancer has never seen).
+  [[nodiscard]] double influence_share(ClassId id) const noexcept {
+    const auto i = static_cast<std::size_t>(id);
+    return i < influence_.size() ? influence_[i] : 0.0;
+  }
+  /// True once at least one valid feedback epoch has been folded in (until
+  /// then influence scoring falls back to bytes-per-entry).
+  [[nodiscard]] bool influence_seen() const noexcept { return influence_seen_; }
+
   // --- observability ---------------------------------------------------------
   [[nodiscard]] OverheadMeter& meter() noexcept { return meter_; }
   [[nodiscard]] const OverheadMeter& meter() const noexcept { return meter_; }
@@ -175,6 +210,12 @@ class Governor {
   EpochOutcome closed_loop_step(std::optional<double> rel_distance,
                                 bool budget_known);
 
+  /// Benefit/cost score of one class from its epoch stats: estimated shared
+  /// bytes per logged entry, weighted by the class's decayed balancer
+  /// influence share under kInfluenceWeighted (a small floor keeps plain
+  /// bytes-per-entry as the tiebreak among zero-influence classes).
+  [[nodiscard]] double backoff_score(ClassId id,
+                                     const ClassEpochStats& stats) const;
   /// Doubles gaps on the worst benefit/cost classes until the projected
   /// per-entry cost fits `shrink_to` (fraction of current cost to keep).
   std::size_t back_off(double shrink_to);
@@ -210,6 +251,10 @@ class Governor {
   /// controller's own transition cost and spiral the gaps to the ceiling.
   std::size_t node_settle_ = 0;
   std::vector<std::uint32_t> converged_gaps_;
+  /// ClassId-indexed decayed influence shares (see observe_balancer_feedback)
+  /// and whether any feedback was ever folded in.
+  std::vector<double> influence_;
+  bool influence_seen_ = false;
 };
 
 }  // namespace djvm

@@ -68,7 +68,10 @@ struct OverheadSample {
   /// timers): part of the budgeted fraction, but coarsening sampling gaps
   /// cannot reduce it, so the back-off controller must not chase it.
   double fixed_seconds = 0.0;
-  /// Coordinator CPU spent building the TCM this epoch (real seconds).
+  /// Coordinator CPU this epoch (real seconds): TCM construction plus the
+  /// per-class cell attribution and any caller-supplied coordinator work
+  /// (the facade's migration-planner/feedback run).  The daemon *adds* its
+  /// construction time to whatever the caller pre-filled here.
   double build_seconds = 0.0;
   /// OAL payload shipped to the coordinator this epoch.
   std::uint64_t wire_bytes = 0;

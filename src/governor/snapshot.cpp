@@ -137,6 +137,24 @@ struct SnapshotAccess {
       put<std::uint64_t>(out, gov.plan_.resample_visits(static_cast<NodeId>(n)));
     }
 
+    // v4: backoff scoring mode + the decayed balancer-influence table.
+    // Zero-influence classes are trimmed so encode(decode(x)) stays
+    // bit-exact (the decoder only materializes the listed entries).
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(gov.cfg_.scoring));
+    put<std::uint8_t>(out, gov.influence_seen_ ? 1u : 0u);
+    put<std::uint16_t>(out, 0);
+    put<double>(out, gov.cfg_.influence_decay);
+    std::uint32_t influence_count = 0;
+    for (std::size_t c = 0; c < gov.influence_.size(); ++c) {
+      if (gov.influence_[c] != 0.0) ++influence_count;
+    }
+    put<std::uint32_t>(out, influence_count);
+    for (std::size_t c = 0; c < gov.influence_.size(); ++c) {
+      if (gov.influence_[c] == 0.0) continue;
+      put<std::uint32_t>(out, static_cast<std::uint32_t>(c));
+      put<double>(out, gov.influence_[c]);
+    }
+
     put<std::uint64_t>(out, tcm.size());
     for (double v : tcm.raw()) put<double>(out, v);
   }
@@ -146,9 +164,8 @@ struct SnapshotAccess {
     Reader r(bytes);
     std::uint32_t magic = 0, version = 0;
     if (!r.get(magic) || magic != kSnapshotMagic) return false;
-    if (!r.get(version) ||
-        (version != kSnapshotVersion && version != kSnapshotVersionV2 &&
-         version != kSnapshotVersionV1)) {
+    if (!r.get(version) || version < kSnapshotVersionV1 ||
+        version > kSnapshotVersion) {
       return false;
     }
     const bool v1 = version == kSnapshotVersionV1;
@@ -248,11 +265,11 @@ struct SnapshotAccess {
       }
     }
 
-    // v3: per-node cached-copy bookkeeping summary.  Older files simply
+    // v3+: per-node cached-copy bookkeeping summary.  Older files simply
     // restart the counters at zero.
     std::uint32_t copy_nodes = 0;
     std::vector<std::uint64_t> copy_regs, copy_visits;
-    if (version >= kSnapshotVersion) {
+    if (version >= kSnapshotVersionV3) {
       if (!r.get(copy_nodes)) return false;
       if (copy_nodes > std::numeric_limits<NodeId>::max()) return false;
       if (static_cast<std::uint64_t>(copy_nodes) * 2 * sizeof(std::uint64_t) >
@@ -270,6 +287,58 @@ struct SnapshotAccess {
           copy_visits[copy_nodes - 1] == 0) {
         return false;
       }
+    }
+
+    // v4: backoff scoring + influence table.  Pre-v4 files carry neither;
+    // the restored governor keeps its machine-local scoring mode and
+    // whatever influence it has already learned this run.
+    bool have_v4 = false;
+    std::uint8_t scoring = 0, influence_seen = 0;
+    std::vector<std::pair<std::uint32_t, double>> influence_entries;
+    if (version >= kSnapshotVersionV4) {
+      have_v4 = true;
+      std::uint16_t reserved16 = 0;
+      if (!r.get(scoring) || !r.get(influence_seen) || !r.get(reserved16)) {
+        return false;
+      }
+      if (scoring > static_cast<std::uint8_t>(BackoffScoring::kInfluenceWeighted) ||
+          influence_seen > 1u || reserved16 != 0) {
+        return false;
+      }
+      if (!r.get(cfg.influence_decay)) return false;
+      if (!std::isfinite(cfg.influence_decay) || cfg.influence_decay < 0.0 ||
+          cfg.influence_decay > 1.0) {
+        return false;
+      }
+      std::uint32_t influence_count = 0;
+      if (!r.get(influence_count)) return false;
+      // An influence table without the seen flag would re-encode differently
+      // (the encoder only writes entries a feedback epoch produced).
+      if (influence_seen == 0 && influence_count != 0) return false;
+      if (static_cast<std::uint64_t>(influence_count) *
+              (sizeof(std::uint32_t) + sizeof(double)) >
+          r.remaining()) {
+        return false;
+      }
+      influence_entries.resize(influence_count);
+      std::uint64_t last_id = 0;
+      for (std::uint32_t i = 0; i < influence_count; ++i) {
+        if (!r.get(influence_entries[i].first) ||
+            !r.get(influence_entries[i].second)) {
+          return false;
+        }
+        // Entries are written in ascending class order, trimmed of zeros;
+        // out-of-order, duplicate, unknown-class, or non-positive values are
+        // corruption (or a foreign writer).
+        if (influence_entries[i].first >= reg.size()) return false;
+        if (i > 0 && influence_entries[i].first <= last_id) return false;
+        last_id = influence_entries[i].first;
+        if (!std::isfinite(influence_entries[i].second) ||
+            influence_entries[i].second <= 0.0) {
+          return false;
+        }
+      }
+      cfg.scoring = static_cast<BackoffScoring>(scoring);
     }
 
     std::uint64_t n = 0;
@@ -291,6 +360,14 @@ struct SnapshotAccess {
     // first map will differ from the stored one without that being a phase
     // change.
     gov.grace_ = gov.state_ == GovernorState::kSentinel ? 1 : 0;
+    if (have_v4) {
+      gov.influence_.clear();
+      for (const auto& [id, value] : influence_entries) {
+        if (gov.influence_.size() <= id) gov.influence_.resize(id + 1, 0.0);
+        gov.influence_[id] = value;
+      }
+      gov.influence_seen_ = influence_seen != 0;
+    }
     gov.converged_gaps_.assign(reg.size(), 0);  // 0 = not captured
     // Only classes whose gaps or shifts actually move need the paper's
     // change-notice resampling walk.  Restoring into an already-warm world

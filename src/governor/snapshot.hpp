@@ -7,7 +7,7 @@
 // converged TCM, the distributed analog of a single-process profiler's
 // `sample.prof` dump.
 //
-// Format v3, host-endian, fixed-width fields (round-trips bit-exactly on
+// Format v4, host-endian, fixed-width fields (round-trips bit-exactly on
 // the writing host; a foreign-endian reader rejects the file at the magic
 // check and cold-starts rather than misreading it):
 //   u32 magic 'DJGV'   u32 version
@@ -26,9 +26,13 @@
 //                     class still inherits the cluster default rate) }
 //   u32 shift_node_count                                    [v2+]
 //     shift_node_count x class_count x u8 per-node gap shift [v2+]
-//   u32 copy_node_count                                     [v3]
-//     copy_node_count x { u64 copy_registrations,           [v3]
+//   u32 copy_node_count                                     [v3+]
+//     copy_node_count x { u64 copy_registrations,           [v3+]
 //                         u64 resample_visits }
+//   u8 backoff_scoring   u8 influence_seen   u16 reserved   [v4]
+//   f64 influence_decay                                     [v4]
+//   u32 influence_count                                     [v4]
+//     influence_count x { u32 class_id, f64 influence }     [v4]
 //   u64 tcm_dimension
 //     dimension^2 x f64 (row-major)
 //
@@ -37,12 +41,20 @@
 // many resampling copy visits it has paid — so a warm-started run continues
 // the counters that tell where sampling cost was actually incurred.
 //
+// The v4 influence table persists the governor's decayed balancer-influence
+// shares (the fraction of each class's correlation mass placement decisions
+// act on) plus the scoring mode and decay, so a warm-started run backs off
+// the right classes immediately instead of re-learning influence from
+// scratch.  Zero-influence classes are trimmed (bit-exact re-encode).
+//
 // v1 files (no flags byte meaning — it was reserved padding — and none of
 // the [v2+] fields) still load: the restored governor keeps its
 // machine-local per-node policy knobs and every node is seeded from the
 // cluster view (all gap shifts zero), so a pre-per-node snapshot
 // warm-starts a per-node governor cleanly.  v2 files load the same way
-// minus the copy summary (counters start at zero).  Loading resamples only
+// minus the copy summary (counters start at zero).  v3 files additionally
+// keep the live governor's machine-local scoring mode and influence table
+// (pre-v4 snapshots have no opinion on either).  Loading resamples only
 // the classes whose gaps or shifts actually differ from the live plan, so
 // restoring a snapshot into an already-warm world is not a full resample
 // storm.
@@ -62,10 +74,15 @@ namespace djvm {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x56474A44;  // "DJGV"
 /// Version written by encode_snapshot; decode also accepts the older
-/// kSnapshotVersionV1/V2 layouts (read compatibility).
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+/// kSnapshotVersionV1/V2/V3 layouts (read compatibility).
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 inline constexpr std::uint32_t kSnapshotVersionV1 = 1;
 inline constexpr std::uint32_t kSnapshotVersionV2 = 2;
+inline constexpr std::uint32_t kSnapshotVersionV3 = 3;
+/// Decode gates each section on its own pinned constant (never on the
+/// moving kSnapshotVersion), so bumping the current version cannot silently
+/// drop an older section from files that carry it.
+inline constexpr std::uint32_t kSnapshotVersionV4 = 4;
 
 /// Serializes the governor's state, the plan's per-class gaps, and `tcm`
 /// (pass the daemon's latest converged map).

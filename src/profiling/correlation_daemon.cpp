@@ -22,7 +22,21 @@ CorrelationDaemon::CorrelationDaemon(SamplingPlan& plan, std::uint32_t threads)
       latest_(threads) {}
 
 void CorrelationDaemon::submit(std::vector<IntervalRecord> records) {
+  // The sanitize walk below is per-entry coordinator work like the fold
+  // itself: timed into the same bucket.
   const auto t0 = std::chrono::steady_clock::now();
+  // Records are external input: a class id beyond the registry must not tag
+  // the accumulator (the tag sizes class-indexed attribution vectors — the
+  // same invariant note_epoch_entry enforces on the epoch stats).  Untagged
+  // entries still fold into the map; they just carry no attribution.
+  const std::size_t classes = plan_.heap().registry().size();
+  for (IntervalRecord& r : records) {
+    for (OalEntry& e : r.entries) {
+      if (e.klass != kInvalidClass && e.klass >= classes) {
+        e.klass = kInvalidClass;
+      }
+    }
+  }
   window_.add(records);
   window_fold_seconds_ += seconds_since(t0);
   for (IntervalRecord& r : records) {
@@ -40,16 +54,44 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   // attributed to the worker node whose interval shipped it, so the
   // per-node back-off can see which classes dominate one node's cost.
   const bool class_stats = governor_.mode() == GovernorMode::kClosedLoop;
+  const bool want_cells = !influence_placement_.empty();
+  std::vector<double> home_mass;
   if (class_stats) plan_.begin_epoch_stats();
+  const Heap& heap = plan_.heap();
   for (const IntervalRecord& r : pending_) {
     out.entries += r.entries.size();
     wire_bytes += r.wire_bytes();
-    if (class_stats) {
+    if (class_stats || want_cells) {
       for (const OalEntry& e : r.entries) {
-        plan_.note_epoch_entry(e.klass, e.bytes, e.gap);
-        plan_.note_epoch_node_entry(r.node, e.klass, e.bytes, e.gap);
+        if (class_stats) {
+          plan_.note_epoch_entry(e.klass, e.bytes, e.gap);
+          plan_.note_epoch_node_entry(r.node, e.klass, e.bytes, e.gap);
+        }
+        // Thread-home-affinity mass: HT-weighted bytes the logging node
+        // accessed on objects homed elsewhere — cells the balancer's
+        // home-aware planner acts on even without a co-located peer.
+        if (want_cells && r.node != kInvalidNode &&
+            e.klass != kInvalidClass && e.obj < heap.object_count() &&
+            heap.meta(e.obj).home != r.node) {
+          if (home_mass.size() <= e.klass) home_mass.resize(e.klass + 1, 0.0);
+          home_mass[e.klass] +=
+              static_cast<double>(e.bytes) * static_cast<double>(e.gap);
+        }
       }
     }
+  }
+
+  // Per-class cell attribution runs against the window accumulator *before*
+  // it is consumed below: the sparse reader lists are the only place the
+  // "which classes produced these cells" question can still be answered
+  // without densifying per class.  Its O(sum readers^2) walk is coordinator
+  // map work like the folds, so it is timed into build_seconds below.
+  double attribution_seconds = 0.0;
+  if (want_cells) {
+    const auto ta = std::chrono::steady_clock::now();
+    out.cells = window_.attribute_cells(influence_placement_);
+    out.cells.home_mass = std::move(home_mass);
+    attribution_seconds = seconds_since(ta);
   }
 
   // The window's folds already ran at submit() time; the epoch boundary only
@@ -59,7 +101,8 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   const auto t0 = std::chrono::steady_clock::now();
   out.tcm = window_.dense();
   out.densify_seconds = seconds_since(t0);
-  out.build_seconds = window_fold_seconds_ + out.densify_seconds;
+  out.build_seconds =
+      window_fold_seconds_ + out.densify_seconds + attribution_seconds;
   window_.reset();
   window_fold_seconds_ = 0.0;
   build_seconds_ += out.build_seconds;
@@ -70,7 +113,11 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   }
 
   // Fill in what the caller did not measure, then let the governor decide.
-  sample.build_seconds = out.build_seconds;
+  // Added rather than assigned: a caller-supplied build_seconds carries
+  // coordinator work done outside the daemon (the facade's migration-planner
+  // and feedback run from the previous epoch), which must stay visible to
+  // the meter's coordinator bucket alongside this epoch's map construction.
+  sample.build_seconds += out.build_seconds;
   if (!sample.measured) {
     sample.wire_bytes = wire_bytes;
     // Observational per-node slices derived from the records themselves

@@ -41,6 +41,14 @@ struct EpochResult {
   bool rate_changed = false;       ///< the governor moved at least one gap
   std::size_t resampled_objects = 0;
   GovernorAction action = GovernorAction::kNone;
+  /// Per-class cell attribution of this epoch's window against the balancer
+  /// placement handed to set_influence_placement (empty when no placement
+  /// was set or the window held no cells): which classes produced the cut
+  /// vs the node-local pair mass, per-(class, thread) mass for suggestion
+  /// attribution, and HT-weighted remote-home mass.  The facade folds this
+  /// plus the planner's suggestions into a BalancerFeedback for the
+  /// governor's influence-weighted back-off scoring.
+  TcmClassAttribution cells;
   /// Rolling overhead fraction after folding in this epoch's sample (the
   /// meter keeps recording even while the governor is disarmed).
   double overhead_fraction = 0.0;
@@ -72,6 +80,18 @@ class CorrelationDaemon {
   /// pending buffer and window accumulator (records are kept in `history`
   /// for offline analysis).
   EpochResult run_epoch(OverheadSample sample = {});
+
+  /// Hands the daemon the balancer's current thread-to-node placement; the
+  /// next run_epoch splits the window's pair mass by owning class into cut
+  /// vs local shares against it (EpochResult::cells), answered sparsely off
+  /// the window accumulator before it is consumed.  An empty vector turns
+  /// attribution off.
+  void set_influence_placement(std::vector<NodeId> node_of_thread) {
+    influence_placement_ = std::move(node_of_thread);
+  }
+  [[nodiscard]] const std::vector<NodeId>& influence_placement() const noexcept {
+    return influence_placement_;
+  }
 
   /// The governor owning all rate decisions for this daemon.
   [[nodiscard]] Governor& governor() noexcept { return governor_; }
@@ -137,6 +157,9 @@ class CorrelationDaemon {
   std::size_t full_mark_ = 0;
   SquareMatrix latest_;
   bool have_latest_ = false;
+  /// Balancer placement the per-class cell attribution is computed against
+  /// (empty = attribution off).
+  std::vector<NodeId> influence_placement_;
 
   double build_seconds_ = 0.0;
   std::size_t total_entries_ = 0;

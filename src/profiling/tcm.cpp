@@ -82,6 +82,7 @@ ReaderArena TcmBuilder::reorganize_arena(std::span<const IntervalRecord> records
       const std::int32_t slot = s.slots.get_or_assign(e.obj, fresh);
       if (fresh) {
         arena.objects.push_back(e.obj);
+        arena.klass.push_back(e.klass);
         s.counts.push_back(0);
       }
       ++s.counts[static_cast<std::size_t>(slot)];
@@ -232,6 +233,7 @@ std::int32_t TcmAccumulator::assign_slot(ObjectId obj) {
   const std::int32_t slot = slots_.get_or_assign(obj, fresh);
   if (fresh) {
     touched_.push_back(obj);
+    klass_.push_back(kInvalidClass);
     heads_.push_back(kNone);
   }
   return slot;
@@ -281,13 +283,60 @@ void TcmAccumulator::add(std::span<const IntervalRecord> records) {
   const ReaderArena arena =
       TcmBuilder::reorganize_arena(records, weighted_, scratch_);
   for (std::size_t k = 0; k < arena.object_count(); ++k) {
-    add_readers(arena.objects[k], arena.readers_of(k));
+    add_readers(arena.objects[k], arena.readers_of(k), arena.klass[k]);
   }
 }
 
 void TcmAccumulator::add_readers(
-    ObjectId obj, std::span<const std::pair<ThreadId, double>> readers) {
+    ObjectId obj, std::span<const std::pair<ThreadId, double>> readers,
+    ClassId klass) {
   for (const auto& [thread, bytes] : readers) add_one(obj, thread, bytes);
+  if (klass == kInvalidClass) return;
+  // Tag only objects that actually hold a slot (every reader could have been
+  // beyond the map's dimension, in which case add_one assigned nothing).
+  if (slots_.contains(obj)) {
+    bool fresh = false;
+    klass_[static_cast<std::size_t>(slots_.get_or_assign(obj, fresh))] = klass;
+  }
+}
+
+TcmClassAttribution TcmAccumulator::attribute_cells(
+    std::span<const NodeId> node_of_thread) const {
+  TcmClassAttribution out;
+  const auto node_of = [&](ThreadId t) {
+    return t < node_of_thread.size() ? node_of_thread[t] : kInvalidNode;
+  };
+  const auto grow = [&](std::size_t c) {
+    if (out.cut_bytes.size() <= c) {
+      out.cut_bytes.resize(c + 1, 0.0);
+      out.local_bytes.resize(c + 1, 0.0);
+      out.thread_mass.resize(c + 1);
+    }
+    if (out.thread_mass[c].empty()) out.thread_mass[c].resize(threads_, 0.0);
+  };
+  for (std::size_t slot = 0; slot < touched_.size(); ++slot) {
+    const ClassId klass = klass_[slot];
+    if (klass == kInvalidClass) continue;  // untagged partial: no attribution
+    const auto c = static_cast<std::size_t>(klass);
+    for (std::int32_t i = heads_[slot]; i != kNone; i = pool_[i].next) {
+      for (std::int32_t j = pool_[i].next; j != kNone; j = pool_[j].next) {
+        const double w = std::min(pool_[i].bytes, pool_[j].bytes);
+        if (w <= 0.0) continue;
+        grow(c);
+        const NodeId ni = node_of(pool_[i].thread);
+        const NodeId nj = node_of(pool_[j].thread);
+        // Unplaced threads make no cross-node claim: count them local.
+        if (ni != nj && ni != kInvalidNode && nj != kInvalidNode) {
+          out.cut_bytes[c] += w;
+        } else {
+          out.local_bytes[c] += w;
+        }
+        out.thread_mass[c][pool_[i].thread] += w;
+        out.thread_mass[c][pool_[j].thread] += w;
+      }
+    }
+  }
+  return out;
 }
 
 void TcmAccumulator::merge(const TcmAccumulator& other) {
@@ -301,6 +350,11 @@ void TcmAccumulator::merge(const TcmAccumulator& other) {
     for (std::int32_t r = other.heads_[slot]; r != kNone; r = other.pool_[r].next) {
       add_one(obj, other.pool_[r].thread, other.pool_[r].bytes);
     }
+    if (other.klass_[slot] != kInvalidClass && slots_.contains(obj)) {
+      bool fresh = false;
+      klass_[static_cast<std::size_t>(slots_.get_or_assign(obj, fresh))] =
+          other.klass_[slot];
+    }
   }
 }
 
@@ -311,6 +365,7 @@ void TcmAccumulator::merge_disjoint_objects(const TcmAccumulator& other) {
     assert(!slots_.contains(obj) &&
            "merge_disjoint_objects requires disjoint object sets");
     const std::int32_t dst = assign_slot(obj);
+    klass_[static_cast<std::size_t>(dst)] = other.klass_[slot];
     // Move the reader list over node by node (pool indices re-based).
     for (std::int32_t r = other.heads_[slot]; r != kNone; r = other.pool_[r].next) {
       pool_.push_back(Reader{other.pool_[r].thread, other.pool_[r].bytes,
@@ -326,6 +381,7 @@ void TcmAccumulator::merge_disjoint_objects(const TcmAccumulator& other) {
 void TcmAccumulator::reset() {
   slots_.release(touched_);
   touched_.clear();
+  klass_.clear();
   heads_.clear();
   pool_.clear();
   pairs_.clear();

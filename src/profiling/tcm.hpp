@@ -56,6 +56,7 @@ struct ObjectAccessSummary {
 /// map otherwise) with stamp-based per-thread dedup inside each segment.
 struct ReaderArena {
   std::vector<ObjectId> objects;                     ///< unique objects, first-appearance order
+  std::vector<ClassId> klass;                        ///< class of each object (parallel to objects)
   std::vector<std::uint32_t> offsets;                ///< size objects.size() + 1
   std::vector<std::pair<ThreadId, double>> readers;  ///< CSR payload, max-combined per thread
 
@@ -145,6 +146,48 @@ class TcmBuilder {
       bool weighted = true);
 };
 
+/// Per-class decomposition of an accumulator's pair mass against a thread
+/// placement — the sparse answer to "which classes produced these cells".
+/// Every pair cell the accumulator holds came from one object, and every
+/// object belongs to one class, so the walk over the per-object reader lists
+/// splits each cell's mass by the owning class without densifying a per-class
+/// matrix (classes x N^2 would defeat the sparse pipeline).  All vectors are
+/// ClassId-indexed and may be shorter than the registry when trailing classes
+/// contributed nothing.
+struct TcmClassAttribution {
+  /// Pair mass crossing node boundaries under the given placement — the
+  /// class's contribution to the co-location partition cut.
+  std::vector<double> cut_bytes;
+  /// Pair mass kept node-local (the class's already-satisfied share).
+  std::vector<double> local_bytes;
+  /// Per-(class, thread) pair mass, for attributing thread-level balancer
+  /// decisions (migration suggestions) back to the classes that drove them.
+  std::vector<std::vector<double>> thread_mass;
+  /// HT-weighted bytes of entries whose object is homed away from the node
+  /// that logged them (thread-home-affinity mass).  Filled by callers that
+  /// know homes (the daemon); the accumulator itself never sees the heap.
+  std::vector<double> home_mass;
+
+  [[nodiscard]] bool empty() const noexcept {
+    // home_mass counts: an epoch of purely single-reader remote-home traffic
+    // (no co-access pairs at all) still carries influence evidence.
+    return cut_bytes.empty() && local_bytes.empty() && home_mass.empty();
+  }
+  /// Total pair mass seen (cut + local over every class).
+  [[nodiscard]] double total_pair_bytes() const noexcept {
+    double t = 0.0;
+    for (double v : cut_bytes) t += v;
+    for (double v : local_bytes) t += v;
+    return t;
+  }
+  /// Pair mass of one class (0 for classes past the vectors).
+  [[nodiscard]] double class_pair_bytes(ClassId id) const noexcept {
+    const auto i = static_cast<std::size_t>(id);
+    return (i < cut_bytes.size() ? cut_bytes[i] : 0.0) +
+           (i < local_bytes.size() ? local_bytes[i] : 0.0);
+  }
+};
+
 /// Persistent incremental sparse TCM accumulator: fold record batches in as
 /// deltas (`add`), merge partials (`merge`), and densify on demand.  The
 /// invariant maintained per object o and thread pair {i, j} is
@@ -160,8 +203,25 @@ class TcmAccumulator {
   void add(std::span<const IntervalRecord> records);
 
   /// Folds one object's (thread, already-weighted bytes) reader list in.
+  /// `klass` tags the object for per-class cell attribution; kInvalidClass
+  /// (partials built outside the record path) leaves it untagged, and those
+  /// objects are skipped by attribute_cells.  Callers must bound `klass`
+  /// against their class registry: attribute_cells sizes its class-indexed
+  /// vectors by the largest tag seen (the daemon sanitizes record entries
+  /// at submit() for exactly this reason).
   void add_readers(ObjectId obj,
-                   std::span<const std::pair<ThreadId, double>> readers);
+                   std::span<const std::pair<ThreadId, double>> readers,
+                   ClassId klass = kInvalidClass);
+
+  /// Splits the accumulated pair mass by owning class against
+  /// `node_of_thread` (the balancer's current co-location partition): for
+  /// every object, each reader-pair cell min(bytes_i, bytes_j) lands in the
+  /// object's class as cut mass (readers on different nodes) or local mass.
+  /// Threads beyond `node_of_thread` count as local (no placement claim).
+  /// Sparse: walks the reader lists, never densifies.  home_mass is left
+  /// empty for the caller to fill.
+  [[nodiscard]] TcmClassAttribution attribute_cells(
+      std::span<const NodeId> node_of_thread) const;
 
   /// Merges another accumulator over the same thread count (the reduction
   /// monoid: per-object reader lists union with max-combining; pair weights
@@ -210,6 +270,7 @@ class TcmAccumulator {
   ObjectSlotMap slots_;
   ArenaScratch scratch_;                  ///< reused by add()'s reorganize
   std::vector<ObjectId> touched_;         ///< slot -> object id
+  std::vector<ClassId> klass_;            ///< slot -> owning class (cell attribution)
   std::vector<std::int32_t> heads_;       ///< slot -> first Reader index (kNone = empty)
   std::vector<Reader> pool_;
   UpperTriangle pairs_;

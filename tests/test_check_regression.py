@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Unit tests for bench/check_regression.py — the CI bench gate itself.
+
+The gate is the contract that keeps the perf claims true; a bug here lets a
+regressed bench slide through silently, so the gate's comparison semantics
+(goal exact-compare, lower_is_better slack direction, non-finite rejection,
+missing-metric handling) are pinned by these tests.  Registered with ctest
+(label `unit`), so the build-and-test CI job runs them alongside the C++
+suites.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GATE_PATH = os.path.join(REPO_ROOT, "bench", "check_regression.py")
+
+spec = importlib.util.spec_from_file_location("check_regression", GATE_PATH)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def run_gate(baseline: dict, current: dict) -> int:
+    """Writes both docs to temp files and runs the gate's main()."""
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "baseline.json")
+        cur_path = os.path.join(tmp, "current.json")
+        with open(base_path, "w") as f:
+            json.dump(baseline, f)
+        with open(cur_path, "w") as f:
+            json.dump(current, f)
+        argv = sys.argv
+        sys.argv = ["check_regression.py", base_path, cur_path]
+        try:
+            return check_regression.main()
+        finally:
+            sys.argv = argv
+
+
+def doc(metrics=None, checks=None, bench="b"):
+    return {"bench": bench, "metrics": metrics or {}, "checks": checks or []}
+
+
+class GoalMetricTest(unittest.TestCase):
+    """`goal` metrics default to slack 0: exact-compare semantics."""
+
+    def test_min_goal_rejects_any_increase(self):
+        base = doc({"m": {"value": 1.0, "goal": "min", "slack": 0.0}})
+        self.assertEqual(run_gate(base, doc({"m": {"value": 1.0}})), 0)
+        self.assertEqual(run_gate(base, doc({"m": {"value": 1.0001}})), 1)
+        self.assertEqual(run_gate(base, doc({"m": {"value": 0.5}})), 0)
+
+    def test_max_goal_rejects_any_decrease(self):
+        base = doc({"m": {"value": 2.0, "goal": "max", "slack": 0.0}})
+        self.assertEqual(run_gate(base, doc({"m": {"value": 2.0}})), 0)
+        self.assertEqual(run_gate(base, doc({"m": {"value": 1.99}})), 1)
+        self.assertEqual(run_gate(base, doc({"m": {"value": 3.0}})), 0)
+
+    def test_abs_slack_floors_near_zero_metrics(self):
+        base = doc({"m": {"value": 0.0, "goal": "min", "slack": 0.5,
+                          "abs_slack": 0.01}})
+        self.assertEqual(run_gate(base, doc({"m": {"value": 0.009}})), 0)
+        self.assertEqual(run_gate(base, doc({"m": {"value": 0.011}})), 1)
+
+    def test_none_goal_is_informational(self):
+        base = doc({"m": {"value": 1.0, "goal": "none"}})
+        self.assertEqual(run_gate(base, doc({"m": {"value": 99.0}})), 0)
+
+    def test_unknown_goal_fails(self):
+        base = doc({"m": {"value": 1.0, "goal": "sideways"}})
+        self.assertEqual(run_gate(base, doc({"m": {"value": 1.0}})), 1)
+
+
+class LowerIsBetterTest(unittest.TestCase):
+    """The latency shorthand: direction from the boolean, default 10% slack."""
+
+    def test_lower_is_better_true_allows_ten_percent(self):
+        base = doc({"lat": {"value": 100.0, "lower_is_better": True}})
+        self.assertEqual(run_gate(base, doc({"lat": {"value": 109.0}})), 0)
+        self.assertEqual(run_gate(base, doc({"lat": {"value": 111.0}})), 1)
+        self.assertEqual(run_gate(base, doc({"lat": {"value": 10.0}})), 0)
+
+    def test_lower_is_better_false_gates_the_other_direction(self):
+        base = doc({"speedup": {"value": 10.0, "lower_is_better": False}})
+        self.assertEqual(run_gate(base, doc({"speedup": {"value": 9.1}})), 0)
+        self.assertEqual(run_gate(base, doc({"speedup": {"value": 8.9}})), 1)
+        self.assertEqual(run_gate(base, doc({"speedup": {"value": 20.0}})), 0)
+
+    def test_explicit_slack_overrides_the_default(self):
+        base = doc({"lat": {"value": 100.0, "lower_is_better": True,
+                            "slack": 0.35}})
+        self.assertEqual(run_gate(base, doc({"lat": {"value": 134.0}})), 0)
+        self.assertEqual(run_gate(base, doc({"lat": {"value": 136.0}})), 1)
+
+
+class NonFiniteAndMissingTest(unittest.TestCase):
+    def test_null_metric_value_fails_either_side(self):
+        # BenchReport writes nan/inf as JSON null; the gate must reject it
+        # rather than letting it compare as "no regression".
+        good = doc({"m": {"value": 1.0, "goal": "min"}})
+        self.assertEqual(run_gate(doc({"m": {"value": None}}), good), 1)
+        self.assertEqual(run_gate(good, doc({"m": {"value": None}})), 1)
+
+    def test_nan_literal_fails(self):
+        # A hand-edited NaN parses to float('nan'), which compares false
+        # against every bound: must be rejected up front.
+        base = doc({"m": {"value": float("nan"), "goal": "min"}})
+        self.assertEqual(run_gate(base, doc({"m": {"value": 1.0}})), 1)
+
+    def test_missing_gated_metric_fails(self):
+        base = doc({"m": {"value": 1.0, "goal": "min"}})
+        self.assertEqual(run_gate(base, doc({})), 1)
+
+    def test_missing_informational_metric_passes(self):
+        base = doc({"m": {"value": 1.0, "goal": "none"}})
+        self.assertEqual(run_gate(base, doc({})), 0)
+
+
+class ChecksAndIdentityTest(unittest.TestCase):
+    def test_failed_acceptance_check_fails_the_gate(self):
+        cur = doc(checks=[{"name": "c", "pass": False, "value": 1.0,
+                           "op": "<=", "threshold": 0.5}])
+        self.assertEqual(run_gate(doc(), cur), 1)
+
+    def test_passing_check_passes(self):
+        cur = doc(checks=[{"name": "c", "pass": True, "value": 0.1,
+                           "op": "<=", "threshold": 0.5}])
+        self.assertEqual(run_gate(doc(), cur), 0)
+
+    def test_bench_name_mismatch_fails(self):
+        self.assertEqual(run_gate(doc(bench="a"), doc(bench="b")), 1)
+
+
+class RealBaselinesTest(unittest.TestCase):
+    """Every checked-in baseline must gate cleanly against itself — the
+    regen-baselines job relies on exactly this property."""
+
+    def test_checked_in_baselines_self_compare(self):
+        baselines_dir = os.path.join(REPO_ROOT, "bench", "baselines")
+        names = [n for n in os.listdir(baselines_dir) if n.endswith(".json")]
+        self.assertTrue(names, "no baselines checked in?")
+        for name in names:
+            with open(os.path.join(baselines_dir, name)) as f:
+                base = json.load(f)
+            self.assertEqual(run_gate(base, base), 0, f"{name} fails itself")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "balance/balancer_feedback.hpp"
 #include "governor/governor.hpp"
 #include "governor/snapshot.hpp"
 #include "profiling/correlation_daemon.hpp"
@@ -160,6 +161,141 @@ TEST_F(GovernorTest, BackoffPrefersLowInformationEntries) {
   EXPECT_EQ(out.action, GovernorAction::kBackOff);
   EXPECT_EQ(plan.nominal_gap(hot), 16u);
   EXPECT_EQ(plan.nominal_gap(bulky), 8u);
+}
+
+/// Feedback whose share(id) reports exactly the listed values (mass 1).
+BalancerFeedback feedback_with_shares(
+    std::initializer_list<std::pair<ClassId, double>> shares) {
+  BalancerFeedback fb;
+  for (const auto& [id, share] : shares) {
+    const auto i = static_cast<std::size_t>(id);
+    if (fb.influence.size() <= i) {
+      fb.influence.resize(i + 1, 0.0);
+      fb.mass.resize(i + 1, 0.0);
+    }
+    fb.influence[i] = share;
+    fb.mass[i] = 1.0;
+    fb.total_mass += 1.0;
+  }
+  fb.valid = true;
+  return fb;
+}
+
+TEST_F(GovernorTest, InfluenceWeightedBackoffShedsWhatTheBalancerIgnores) {
+  plan.set_nominal_gap(hot, 8);
+  plan.set_nominal_gap(bulky, 8);
+  Governor gov(plan);
+  gov.arm(config());  // scoring defaults to kInfluenceWeighted
+
+  // Equal entry counts: bytes-per-entry alone would coarsen `hot`
+  // (16 B/entry) long before `bulky` (1 KB/entry).  The balancer reports the
+  // opposite influence — every hot cell sits on the partition cut, no bulky
+  // cell does — so influence weighting inverts the order and sheds exactly
+  // the cells the balancer ignores.
+  gov.observe_balancer_feedback(
+      feedback_with_shares({{hot, 1.0}, {bulky, 0.0}}));
+  ASSERT_TRUE(gov.influence_seen());
+  EXPECT_DOUBLE_EQ(gov.influence_share(hot), 1.0);
+
+  plan.begin_epoch_stats();
+  for (int i = 0; i < 60; ++i) plan.note_epoch_entry(hot, 16, plan.real_gap(hot));
+  for (int i = 0; i < 60; ++i) {
+    plan.note_epoch_entry(bulky, 1024, plan.real_gap(bulky));
+  }
+  // Mild overshoot (shrink to ~77% of 120 entries): the first candidate's
+  // doubling alone (-30) covers the target.
+  const auto out = gov.on_epoch(std::nullopt, sample_with_fraction(0.026));
+  EXPECT_EQ(out.action, GovernorAction::kBackOff);
+  EXPECT_EQ(plan.nominal_gap(bulky), 16u);  // zero influence: coarsened
+  EXPECT_EQ(plan.nominal_gap(hot), 8u);     // on the cut: protected
+}
+
+TEST_F(GovernorTest, InfluenceScoringFallsBackToBytesPerEntryBeforeFeedback) {
+  plan.set_nominal_gap(hot, 8);
+  plan.set_nominal_gap(bulky, 8);
+  Governor gov(plan);
+  gov.arm(config());
+  ASSERT_FALSE(gov.influence_seen());
+  fill_epoch_stats();
+  const auto out = gov.on_epoch(std::nullopt, sample_with_fraction(0.0275));
+  EXPECT_EQ(out.action, GovernorAction::kBackOff);
+  EXPECT_EQ(plan.nominal_gap(hot), 16u);   // plain bytes-per-entry order
+  EXPECT_EQ(plan.nominal_gap(bulky), 8u);
+}
+
+TEST_F(GovernorTest, BytesPerEntryScoringSelectableForAblation) {
+  plan.set_nominal_gap(hot, 8);
+  plan.set_nominal_gap(bulky, 8);
+  Governor gov(plan);
+  GovernorConfig cfg = config();
+  cfg.scoring = BackoffScoring::kBytesPerEntry;
+  gov.arm(cfg);
+  // Feedback arrives but the legacy scoring must ignore it.
+  gov.observe_balancer_feedback(
+      feedback_with_shares({{hot, 1.0}, {bulky, 0.0}}));
+  fill_epoch_stats();
+  const auto out = gov.on_epoch(std::nullopt, sample_with_fraction(0.0275));
+  EXPECT_EQ(out.action, GovernorAction::kBackOff);
+  EXPECT_EQ(plan.nominal_gap(hot), 16u);
+  EXPECT_EQ(plan.nominal_gap(bulky), 8u);
+}
+
+TEST_F(GovernorTest, InfluenceDecayRemembersAcrossEpochs) {
+  Governor gov(plan);
+  GovernorConfig cfg = config();
+  cfg.influence_decay = 0.5;
+  gov.arm(cfg);
+
+  // First observation seeds the table outright (no halving against a zero
+  // prior); later ones fold in under the decay.
+  gov.observe_balancer_feedback(feedback_with_shares({{hot, 1.0}}));
+  EXPECT_DOUBLE_EQ(gov.influence_share(hot), 1.0);
+  gov.observe_balancer_feedback(feedback_with_shares({{hot, 0.0}}));
+  EXPECT_DOUBLE_EQ(gov.influence_share(hot), 0.5);
+  gov.observe_balancer_feedback(feedback_with_shares({{hot, 0.0}}));
+  EXPECT_DOUBLE_EQ(gov.influence_share(hot), 0.25);
+
+  // An invalid (empty) epoch is no evidence: the table must not decay.
+  gov.observe_balancer_feedback(BalancerFeedback{});
+  EXPECT_DOUBLE_EQ(gov.influence_share(hot), 0.25);
+
+  // A feedback epoch that no longer covers the class decays it toward zero.
+  gov.observe_balancer_feedback(feedback_with_shares({{bulky, 1.0}}));
+  EXPECT_DOUBLE_EQ(gov.influence_share(hot), 0.125);
+
+  // Re-arming wipes the learned influence with the rest of the progress.
+  gov.arm(cfg);
+  EXPECT_FALSE(gov.influence_seen());
+  EXPECT_DOUBLE_EQ(gov.influence_share(hot), 0.0);
+}
+
+TEST_F(GovernorTest, SnapshotV4RoundTripsInfluenceTable) {
+  plan.set_nominal_gap(hot, 16);
+  plan.set_nominal_gap(bulky, 128);
+  plan.resample_all();
+  Governor gov(plan);
+  gov.arm(config());
+  gov.observe_balancer_feedback(
+      feedback_with_shares({{hot, 0.75}, {bulky, 0.0}}));
+
+  SquareMatrix tcm(2);
+  tcm.at(0, 1) = 1.5;
+  const std::vector<std::uint8_t> bytes = encode_snapshot(gov, tcm);
+
+  KlassRegistry reg2;
+  Heap heap2(reg2, 1);
+  reg2.register_class("Hot", 16);
+  reg2.register_class("Bulky", 1024);
+  for (int i = 0; i < 8; ++i) heap2.alloc(0, 0);
+  SamplingPlan plan2(heap2);
+  Governor gov2(plan2);
+  SquareMatrix tcm2;
+  ASSERT_TRUE(decode_snapshot(bytes, gov2, tcm2));
+  EXPECT_TRUE(gov2.influence_seen());
+  EXPECT_DOUBLE_EQ(gov2.influence_share(hot), 0.75);
+  EXPECT_DOUBLE_EQ(gov2.influence_share(bulky), 0.0);  // trimmed, restored 0
+  EXPECT_EQ(gov2.config().scoring, BackoffScoring::kInfluenceWeighted);
+  EXPECT_EQ(encode_snapshot(gov2, tcm2), bytes);  // bit-exact
 }
 
 TEST_F(GovernorTest, FixedCostsDoNotDriveRunawayBackoff) {

@@ -1,12 +1,13 @@
-// Snapshot format compatibility: v1 and v2 fixtures (hand-built from their
-// documented layouts) still load into a v3 reader, new snapshots are written
-// as v3 with the per-node copy summary, and a warm start resamples only what
-// actually changed — no full resample storm.
+// Snapshot format compatibility: v1, v2, and v3 fixtures (hand-built from
+// their documented layouts) still load into a v4 reader, new snapshots are
+// written as v4 with the influence table, and a warm start resamples only
+// what actually changed — no full resample storm.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <vector>
 
+#include "balance/balancer_feedback.hpp"
 #include "governor/governor.hpp"
 #include "governor/snapshot.hpp"
 
@@ -30,9 +31,17 @@ class SnapshotCompatTest : public ::testing::Test {
     std::uint32_t bulky_nominal = 128, bulky_real = 127;
     // Shift on (node 1, hot); 0 = no shift table rows (v2 only).
     std::uint8_t hot_shift_node1 = 0;
+    // v3+: copy summary row for node 0 ({0, 0} = empty table).
+    std::uint64_t copy_regs_node0 = 0, copy_visits_node0 = 0;
+    // v4: scoring mode + influence table ({class, value} when seen).
+    std::uint8_t scoring = 1;  // kInfluenceWeighted
+    std::uint8_t influence_seen = 0;
+    std::uint16_t v4_reserved = 0;
+    double influence_decay = 0.5;
+    std::vector<std::pair<std::uint32_t, double>> influence;
   };
 
-  /// Hand-builds a v1 or v2 snapshot from the documented layout.
+  /// Hand-builds a v1..v4 snapshot from the documented layout.
   static std::vector<std::uint8_t> build_fixture(const FixtureSpec& spec) {
     std::vector<std::uint8_t> bytes;
     const auto put = [&bytes](const auto& v) {
@@ -73,6 +82,26 @@ class SnapshotCompatTest : public ::testing::Test {
         bytes.push_back(0);                     // node 1: bulky
       } else {
         put(std::uint32_t{0});
+      }
+    }
+    if (spec.version >= kSnapshotVersionV3) {
+      if (spec.copy_regs_node0 != 0 || spec.copy_visits_node0 != 0) {
+        put(std::uint32_t{1});          // copy_node_count   [v3+]
+        put(spec.copy_regs_node0);
+        put(spec.copy_visits_node0);
+      } else {
+        put(std::uint32_t{0});
+      }
+    }
+    if (spec.version >= kSnapshotVersionV4) {
+      bytes.push_back(spec.scoring);          // backoff_scoring [v4]
+      bytes.push_back(spec.influence_seen);
+      put(spec.v4_reserved);
+      put(spec.influence_decay);
+      put(static_cast<std::uint32_t>(spec.influence.size()));
+      for (const auto& [id, value] : spec.influence) {
+        put(id);
+        put(value);
       }
     }
     put(std::uint64_t{2});  // tcm dimension
@@ -215,6 +244,95 @@ TEST_F(SnapshotCompatTest, V3RoundTripRestoresCopyBookkeeping) {
   EXPECT_EQ(plan2.copy_registrations(1), regs1);
   EXPECT_EQ(plan2.resample_visits(1), visits1);
   EXPECT_EQ(encode_snapshot(gov2, tcm2), bytes);  // bit-exact
+}
+
+TEST_F(SnapshotCompatTest, V3FixtureLoadsAndKeepsMachineLocalInfluence) {
+  FixtureSpec spec;
+  spec.version = kSnapshotVersionV3;
+  spec.copy_regs_node0 = 5;
+  spec.copy_visits_node0 = 9;
+  Governor gov(plan);
+  // The live governor already learned influence this run; a pre-v4 snapshot
+  // has no opinion on it, so the table must survive the load.
+  GovernorConfig gcfg;
+  gcfg.scoring = BackoffScoring::kBytesPerEntry;
+  gov.arm(gcfg);
+  BalancerFeedback fb;
+  fb.influence = {0.0, 0.5};
+  fb.mass = {0.0, 1.0};
+  fb.total_mass = 1.0;
+  fb.valid = true;
+  gov.observe_balancer_feedback(fb);
+  ASSERT_TRUE(gov.influence_seen());
+  SquareMatrix tcm;
+  ASSERT_TRUE(decode_snapshot(build_fixture(spec), gov, tcm));
+  EXPECT_EQ(plan.nominal_gap(hot), 16u);
+  EXPECT_EQ(plan.copy_registrations(0), 5u);
+  EXPECT_EQ(plan.resample_visits(0), 9u);
+  EXPECT_EQ(gov.config().scoring, BackoffScoring::kBytesPerEntry);
+  EXPECT_TRUE(gov.influence_seen());
+  EXPECT_DOUBLE_EQ(gov.influence_share(bulky), 0.5);
+  EXPECT_EQ(gov.state(), GovernorState::kSentinel);
+}
+
+TEST_F(SnapshotCompatTest, V4FixtureRestoresInfluenceTable) {
+  FixtureSpec spec;
+  spec.version = kSnapshotVersion;
+  spec.influence_seen = 1;
+  spec.influence = {{0, 0.75}};  // hot carries influence, bulky trimmed
+  Governor gov(plan);
+  SquareMatrix tcm;
+  ASSERT_TRUE(decode_snapshot(build_fixture(spec), gov, tcm));
+  EXPECT_TRUE(gov.influence_seen());
+  EXPECT_DOUBLE_EQ(gov.influence_share(hot), 0.75);
+  EXPECT_DOUBLE_EQ(gov.influence_share(bulky), 0.0);
+  EXPECT_EQ(gov.config().scoring, BackoffScoring::kInfluenceWeighted);
+  EXPECT_DOUBLE_EQ(gov.config().influence_decay, 0.5);
+}
+
+TEST_F(SnapshotCompatTest, CorruptV4InfluenceSectionIsRejected) {
+  Governor gov(plan);
+  SquareMatrix tcm;
+
+  FixtureSpec bad;
+  bad.version = kSnapshotVersion;
+  bad.scoring = 2;  // beyond kInfluenceWeighted
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+
+  bad = FixtureSpec{};
+  bad.version = kSnapshotVersion;
+  bad.v4_reserved = 0xBEEF;
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+
+  bad = FixtureSpec{};
+  bad.version = kSnapshotVersion;
+  bad.influence_decay = 1.5;  // outside [0, 1]
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+
+  // Influence entries without the seen flag cannot re-encode bit-exactly.
+  bad = FixtureSpec{};
+  bad.version = kSnapshotVersion;
+  bad.influence = {{0, 0.5}};
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+
+  // Unknown class, zero (= padded) value, out-of-order ids: all corruption.
+  bad = FixtureSpec{};
+  bad.version = kSnapshotVersion;
+  bad.influence_seen = 1;
+  bad.influence = {{7, 0.5}};
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+  bad.influence = {{0, 0.0}};
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+  bad.influence = {{1, 0.5}, {0, 0.5}};
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+
+  // The matching well-formed fixture still loads (the rejections above are
+  // the corruption, not the section).
+  FixtureSpec good;
+  good.version = kSnapshotVersion;
+  good.influence_seen = 1;
+  good.influence = {{0, 0.5}, {1, 0.25}};
+  EXPECT_TRUE(decode_snapshot(build_fixture(good), gov, tcm));
 }
 
 TEST_F(SnapshotCompatTest, CorruptCopySummaryIsRejected) {
