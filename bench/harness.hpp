@@ -157,6 +157,24 @@ inline std::string ms_cell(double seconds) {
   return TextTable::cell(seconds * 1e3, 2);
 }
 
+/// Peak resident set size (VmHWM) in KiB from /proc/self/status, or 0 when
+/// unavailable (non-Linux, restricted /proc).  High-water-mark, so it only
+/// grows within a process — benches that compare two phases must run the
+/// phase expected to use *less* memory second.
+inline std::uint64_t peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::uint64_t kb = 0;
+      std::istringstream is(line.substr(6));
+      is >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+
 /// "12.34 (+5.67%)" relative to a baseline in seconds.
 inline std::string ms_pct_cell(double seconds, double baseline_seconds) {
   return TextTable::cell_with_pct(seconds * 1e3, baseline_seconds * 1e3, 2);
@@ -174,7 +192,8 @@ inline std::string ms_pct_cell(double seconds, double baseline_seconds) {
 /// regenerating one intentionally is a copy of the fresh artifact.
 class BenchReport {
  public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
 
   /// `slack` is relative to the baseline value; `abs_slack` is an additive
   /// floor so near-zero metrics (error distances) don't gate on FP dust.
@@ -236,8 +255,19 @@ class BenchReport {
         os << ", \"goal\": \"" << esc(m.goal) << "\", \"slack\": " << num(m.slack)
            << ", \"abs_slack\": " << num(m.abs_slack);
       }
-      os << "}" << (i + 1 < metrics_.size() ? "," : "") << "\n";
+      os << "},\n";
     }
+    // Resource footprint of the bench process itself, always recorded as
+    // informational metrics (goal "none", so the regression gate only reports
+    // them if a baseline chooses to carry them with a real goal).
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    os << "    \"wall_seconds\": {\"value\": " << num(wall)
+       << ", \"goal\": \"none\", \"slack\": 0, \"abs_slack\": 0},\n";
+    os << "    \"peak_rss_kb\": {\"value\": "
+       << num(static_cast<double>(peak_rss_kb()))
+       << ", \"goal\": \"none\", \"slack\": 0, \"abs_slack\": 0}\n";
     os << "  },\n  \"checks\": [\n";
     for (std::size_t i = 0; i < checks_.size(); ++i) {
       const Check& c = checks_[i];
@@ -301,6 +331,7 @@ class BenchReport {
   }
 
   std::string name_;
+  std::chrono::steady_clock::time_point start_;
   std::vector<Metric> metrics_;
   std::vector<Check> checks_;
   int failures_ = 0;

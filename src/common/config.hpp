@@ -108,6 +108,24 @@ struct Config {
   /// a slow disk coalesces queued snapshots, latest wins).
   std::string snapshot_path;
 
+  // --- observability -------------------------------------------------------
+  /// When non-empty, every run_governed_epoch() appends one JSON metrics
+  /// line (see export/timeline.hpp for the schema) to this path through the
+  /// same async writer — the epoch loop never blocks on the log disk.  The
+  /// file is truncated at construction, so each run starts a fresh log.
+  std::string timeline_path;
+  /// Influence entries per timeline line (largest shares first).
+  std::uint32_t timeline_top_k = 4;
+  /// Long-haul retention for the daemon's whole-run accumulator: evict or
+  /// decay objects untouched for this many epochs (0 = retention off, the
+  /// unbounded pre-retention behavior).  See TcmAccumulator::compact.
+  std::uint32_t retention_idle_epochs = 0;
+  /// Stale-object byte decay per retention pass in [0, 1); 0 drops stale
+  /// objects outright.
+  double retention_decay = 0.0;
+  /// Run the retention compact pass every this many epochs.
+  std::uint32_t retention_compact_period = 4;
+
   // --- stack sampling ------------------------------------------------------
   bool stack_sampling = false;
   SimTime stack_sampling_gap = sim_ms(16);

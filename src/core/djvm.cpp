@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 
 #include "balance/balancer_feedback.hpp"
 #include "balance/load_balancer.hpp"
+#include "export/timeline.hpp"
 
 namespace djvm {
 
@@ -30,8 +32,12 @@ Djvm::Djvm(Config cfg)
       daemon_(plan_, cfg.threads),
       migration_(*gos_) {
   gos_->set_hooks(this);
-  if (!cfg_.snapshot_path.empty()) {
+  if (!cfg_.snapshot_path.empty() || !cfg_.timeline_path.empty()) {
     snapshot_writer_ = std::make_unique<SnapshotWriter>();
+  }
+  if (!cfg_.timeline_path.empty()) {
+    // Fresh log per run; the per-epoch lines are appended asynchronously.
+    std::ofstream truncate(cfg_.timeline_path, std::ios::trunc);
   }
   apply_profiling_config();
 }
@@ -77,6 +83,11 @@ void Djvm::apply_profiling_config() {
     gcfg.scoring = cfg_.backoff_scoring;
     daemon_.governor().arm(gcfg);
   }
+  RetentionPolicy retention;
+  retention.idle_epochs = cfg_.retention_idle_epochs;
+  retention.decay = cfg_.retention_decay;
+  retention.compact_period = cfg_.retention_compact_period;
+  daemon_.set_retention(retention);
   // No disarm branch: Config is immutable after construction, so
   // governor_enabled can never transition to false here — a governor armed
   // directly via governor().arm()/enable_adaptation is the caller's to
@@ -219,6 +230,25 @@ EpochResult Djvm::run_governed_epoch() {
 
   EpochResult result = daemon_.run_epoch(s);
 
+  // Per-category network traffic deltas for the timeline: TrafficStats has
+  // always split bytes by MsgCategory, but nothing reported the breakdown —
+  // DSM-protocol vs profiling traffic was invisible per epoch.
+  const TrafficStats& ts = net_.stats();
+  for (std::size_t c = 0; c < result.traffic_bytes.size(); ++c) {
+    result.traffic_bytes[c] = delta(ts.bytes[c], pump_snapshot_.cat_bytes[c]);
+    pump_snapshot_.cat_bytes[c] = ts.bytes[c];
+  }
+  pump_snapshot_.node_cat_bytes.resize(nodes);
+  result.node_traffic_bytes.resize(nodes);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const NodeTraffic& nt = net_.node_traffic(static_cast<NodeId>(n));
+    for (std::size_t c = 0; c < result.traffic_bytes.size(); ++c) {
+      result.node_traffic_bytes[n][c] =
+          delta(nt.bytes[c], pump_snapshot_.node_cat_bytes[n][c]);
+      pump_snapshot_.node_cat_bytes[n][c] = nt.bytes[c];
+    }
+  }
+
   // Close the balancer -> governor loop: run the migration planner over the
   // fresh map, condense cut shares + accepted suggestions + remote-home mass
   // into per-class influence, and let the governor's next back-off weight
@@ -268,12 +298,20 @@ EpochResult Djvm::run_governed_epoch() {
             .count();
   }
 
-  if (snapshot_writer_) {
+  if (snapshot_writer_ && !cfg_.snapshot_path.empty()) {
     // Every epoch snapshots for crash recovery; the encode runs here (state
     // is ours to read synchronously), the file write on the background
     // thread, and a still-queued older snapshot is simply replaced.
     snapshot_writer_->save_async(cfg_.snapshot_path, daemon_.governor(),
                                  daemon_.latest());
+  }
+  if (snapshot_writer_ && !cfg_.timeline_path.empty()) {
+    // The line renders here (epoch state is ours to read synchronously);
+    // the append happens on the background thread, batched under disk
+    // pressure, never coalesced away.
+    snapshot_writer_->append_async(
+        cfg_.timeline_path, timeline_line(result, daemon_.governor(),
+                                          registry_, cfg_.timeline_top_k));
   }
   return result;
 }

@@ -96,8 +96,9 @@ class Djvm final : public Gos::Hooks {
   /// state + TCM are handed to the async snapshot writer afterwards.
   EpochResult run_governed_epoch();
 
-  /// The background snapshot writer (nullptr unless Config::snapshot_path is
-  /// set).  Exposed so callers can flush() before inspecting the file.
+  /// The background snapshot/timeline writer (nullptr unless
+  /// Config::snapshot_path or Config::timeline_path is set).  Exposed so
+  /// callers can flush() before inspecting the files.
   [[nodiscard]] SnapshotWriter* snapshot_writer() noexcept {
     return snapshot_writer_.get();
   }
@@ -170,6 +171,10 @@ class Djvm final : public Gos::Hooks {
     std::vector<std::uint64_t> node_oal_send_ns;
     std::vector<SimTime> node_sim_total;
     std::vector<SimTime> node_stack_cost;
+    // Per-category network byte counters (cluster and per source node), for
+    // the EpochResult/timeline traffic breakdown.
+    CategoryBytes cat_bytes{};
+    std::vector<CategoryBytes> node_cat_bytes;
   } pump_snapshot_;
 };
 

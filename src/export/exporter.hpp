@@ -1,0 +1,76 @@
+// Snapshot -> operator artifact converters.
+//
+// A snapshot (governor state + converged TCM + per-class gaps, see
+// governor/snapshot.hpp) is an opaque host-endian binary; these converters
+// turn a parsed `SnapshotInfo` into the three formats fleet tooling already
+// speaks, entirely offline — no live governor, no registry, no run:
+//
+//  * export_pprof      — a pprof `profile.proto` Profile.  The correlation
+//                        map becomes weighted thread-pair samples (stack
+//                        [thread:i, thread:j], value = shared bytes), the
+//                        per-class gap/influence tables and the per-node
+//                        copy bookkeeping become single-frame samples in
+//                        their own value slots.  `go tool pprof`,
+//                        speedscope, Pyroscope et al. read it directly.
+//  * export_collapsed  — flamegraph "collapsed stack" lines
+//                        (`a;b;c <weight>`), folding governor attribution as
+//                        node -> class -> action paths, ready for
+//                        flamegraph.pl or speedscope.
+//  * export_snapshot_json — the whole SnapshotInfo as one JSON object, for
+//                        jq/scripts; carries `pair_cells` so validators can
+//                        cross-check the pprof sample count independently.
+//
+// `collapsed_from_stacks` folds live stackprof JavaStack frames (which carry
+// method ids only — the simulated runtime has no method name table) into the
+// same collapsed format, for callers that want an execution-shape flamegraph
+// next to the correlation one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "governor/snapshot.hpp"
+#include "stack/javastack.hpp"
+
+namespace djvm {
+
+/// What export_pprof emitted (CI cross-checks these against the snapshot).
+struct PprofExportStats {
+  std::size_t pair_samples = 0;   ///< one per nonzero upper-triangle TCM cell
+  std::size_t class_samples = 0;  ///< one per snapshot class entry
+  std::size_t node_samples = 0;   ///< one per copy-bookkeeping node row
+};
+
+/// Nonzero strict-upper-triangle cells of a symmetric map — the number of
+/// thread-pair samples an export of it produces.
+[[nodiscard]] std::size_t nonzero_pair_cells(const SquareMatrix& tcm);
+
+/// Display name for a snapshot class id: `class_names[id]` when present and
+/// nonempty, else "class#<id>".  Snapshots do not store names; callers with
+/// a live registry pass its names, offline callers pass {}.
+[[nodiscard]] std::string class_display_name(
+    std::uint32_t id, std::span<const std::string> class_names);
+
+/// Serializes `info` as an uncompressed pprof Profile (see file comment).
+[[nodiscard]] std::vector<std::uint8_t> export_pprof(
+    const SnapshotInfo& info, std::span<const std::string> class_names,
+    PprofExportStats* stats = nullptr);
+
+/// Serializes `info` as flamegraph collapsed-stack lines.
+[[nodiscard]] std::string export_collapsed(
+    const SnapshotInfo& info, std::span<const std::string> class_names);
+
+/// Serializes `info` as one JSON object (trailing newline included).
+[[nodiscard]] std::string export_snapshot_json(
+    const SnapshotInfo& info, std::span<const std::string> class_names);
+
+/// Folds per-thread stacks into collapsed lines `thread:<t>;m<id>;... <w>`
+/// (root-first frame order, weight from `weights`, thread index = span
+/// position).  Stacks whose weight is 0 are skipped.
+[[nodiscard]] std::string collapsed_from_stacks(
+    std::span<const JavaStack> stacks, std::span<const std::uint64_t> weights);
+
+}  // namespace djvm

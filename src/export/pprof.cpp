@@ -1,0 +1,162 @@
+#include "export/pprof.hpp"
+
+namespace djvm::pprof {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool get_varint(std::span<const std::uint8_t> in, std::size_t& pos,
+                std::uint64_t& v) {
+  v = 0;
+  for (std::uint32_t shift = 0; shift < 64; shift += 7) {
+    if (pos >= in.size()) return false;
+    const std::uint8_t b = in[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return true;
+  }
+  return false;  // 10th byte still had the continuation bit: malformed
+}
+
+void put_tag(std::vector<std::uint8_t>& out, std::uint32_t field,
+             std::uint32_t wire_type) {
+  put_varint(out, (static_cast<std::uint64_t>(field) << 3) | wire_type);
+}
+
+void put_varint_field(std::vector<std::uint8_t>& out, std::uint32_t field,
+                      std::uint64_t v) {
+  put_tag(out, field, 0);
+  put_varint(out, v);
+}
+
+void put_bytes_field(std::vector<std::uint8_t>& out, std::uint32_t field,
+                     std::span<const std::uint8_t> bytes) {
+  put_tag(out, field, 2);
+  put_varint(out, bytes.size());
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void put_string_field(std::vector<std::uint8_t>& out, std::uint32_t field,
+                      std::string_view s) {
+  put_tag(out, field, 2);
+  put_varint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::int64_t StringTable::id(std::string_view s) {
+  const auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  const auto idx = static_cast<std::int64_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), idx);
+  return idx;
+}
+
+void ProfileBuilder::add_sample_type(std::string_view type,
+                                     std::string_view unit) {
+  sample_types_.push_back(ValueTypeRec{strings_.id(type), strings_.id(unit)});
+}
+
+std::uint64_t ProfileBuilder::function_id(std::string_view name) {
+  const auto it = function_index_.find(std::string(name));
+  if (it != function_index_.end()) return it->second;
+  function_names_.push_back(strings_.id(name));
+  const std::uint64_t id = function_names_.size();  // 1-based
+  function_index_.emplace(name, id);
+  return id;
+}
+
+std::uint64_t ProfileBuilder::location_id(std::string_view function_name) {
+  const std::uint64_t fn = function_id(function_name);
+  const auto it = location_index_.find(fn);
+  if (it != location_index_.end()) return it->second;
+  location_functions_.push_back(fn);
+  const std::uint64_t id = location_functions_.size();  // 1-based
+  location_index_.emplace(fn, id);
+  return id;
+}
+
+void ProfileBuilder::add_sample(
+    std::span<const std::uint64_t> root_first_locations,
+    std::span<const std::int64_t> values) {
+  SampleRec rec;
+  rec.locations.assign(root_first_locations.begin(),
+                       root_first_locations.end());
+  rec.values.assign(values.begin(), values.end());
+  rec.values.resize(sample_types_.size(), 0);
+  samples_.push_back(std::move(rec));
+}
+
+std::vector<std::uint8_t> ProfileBuilder::encode() const {
+  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> msg;     // submessage scratch
+  std::vector<std::uint8_t> packed;  // packed repeated scratch
+
+  // sample_type (field 1): one ValueType per declared slot.
+  for (const ValueTypeRec& vt : sample_types_) {
+    msg.clear();
+    put_varint_field(msg, 1, static_cast<std::uint64_t>(vt.type));
+    put_varint_field(msg, 2, static_cast<std::uint64_t>(vt.unit));
+    put_bytes_field(out, 1, msg);
+  }
+
+  // sample (field 2): location_id stacks are stored leaf-first in the
+  // format; the builder collected them root-first.
+  for (const SampleRec& s : samples_) {
+    msg.clear();
+    packed.clear();
+    for (auto it = s.locations.rbegin(); it != s.locations.rend(); ++it) {
+      put_varint(packed, *it);
+    }
+    if (!packed.empty()) put_bytes_field(msg, 1, packed);
+    packed.clear();
+    for (const std::int64_t v : s.values) {
+      put_varint(packed, static_cast<std::uint64_t>(v));
+    }
+    put_bytes_field(msg, 2, packed);
+    put_bytes_field(out, 2, msg);
+  }
+
+  // location (field 4): id + one Line pointing at the function.
+  std::vector<std::uint8_t> line;
+  for (std::size_t i = 0; i < location_functions_.size(); ++i) {
+    msg.clear();
+    put_varint_field(msg, 1, i + 1);
+    line.clear();
+    put_varint_field(line, 1, location_functions_[i]);
+    put_bytes_field(msg, 4, line);
+    put_bytes_field(out, 4, msg);
+  }
+
+  // function (field 5): id + name (system_name mirrors name).
+  for (std::size_t i = 0; i < function_names_.size(); ++i) {
+    msg.clear();
+    put_varint_field(msg, 1, i + 1);
+    put_varint_field(msg, 2, static_cast<std::uint64_t>(function_names_[i]));
+    put_varint_field(msg, 3, static_cast<std::uint64_t>(function_names_[i]));
+    put_bytes_field(out, 5, msg);
+  }
+
+  // string_table (field 6): every interned string, "" first.
+  for (const std::string& s : strings_.strings()) {
+    put_string_field(out, 6, s);
+  }
+
+  // period_type (11) + period (12): nominal, keeps pprof's header tidy.
+  if (!sample_types_.empty()) {
+    msg.clear();
+    put_varint_field(msg, 1,
+                     static_cast<std::uint64_t>(sample_types_[0].type));
+    put_varint_field(msg, 2,
+                     static_cast<std::uint64_t>(sample_types_[0].unit));
+    put_bytes_field(out, 11, msg);
+    put_varint_field(out, 12, 1);
+  }
+  return out;
+}
+
+}  // namespace djvm::pprof

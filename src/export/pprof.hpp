@@ -1,0 +1,148 @@
+// Dependency-free pprof `profile.proto` writer.
+//
+// pprof (and every tool that speaks its format: `go tool pprof`, speedscope,
+// Grafana Phlare/Pyroscope) consumes a gzip-or-raw protobuf `Profile`
+// message.  Pulling in protobuf for a dozen fields is absurd for a profiler
+// whose whole point is low overhead, so this is the wire format by hand:
+// varints, length-delimited submessages, packed repeated fields, and the
+// Profile string table with its mandatory "" at index 0.
+//
+// Only the subset of profile.proto the exporters emit is implemented:
+//   Profile  { sample_type=1, sample=2, location=4, function=5,
+//              string_table=6, period_type=11, period=12 }
+//   ValueType{ type=1, unit=2 }
+//   Sample   { location_id=1 (packed), value=2 (packed) }
+//   Location { id=1, line=4 }
+//   Line     { function_id=1, line=2 }
+//   Function { id=1, name=2, system_name=3 }
+//
+// The encoding primitives (varint, zigzag) are exposed so tests can pin the
+// edge values (0, 127, 128, 2^64-1, int64 min/max) independently of any
+// profile structure, and so a stdlib-Python reader in CI can round-trip the
+// output with no protobuf dependency on that side either.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace djvm::pprof {
+
+/// Appends `v` as a base-128 varint (LEB128, protobuf wire order).
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Reads one varint at `pos` (advanced past it).  Returns false on
+/// truncation or a varint longer than 10 bytes.
+bool get_varint(std::span<const std::uint8_t> in, std::size_t& pos,
+                std::uint64_t& v);
+
+/// ZigZag mapping for signed varints (sint64): 0,-1,1,-2 -> 0,1,2,3.
+[[nodiscard]] constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+[[nodiscard]] constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Appends a field tag: (field_number << 3) | wire_type.
+void put_tag(std::vector<std::uint8_t>& out, std::uint32_t field,
+             std::uint32_t wire_type);
+
+/// Varint-typed field (wire type 0).  Protobuf omits default-valued fields;
+/// callers skip zeros themselves where that matters.
+void put_varint_field(std::vector<std::uint8_t>& out, std::uint32_t field,
+                      std::uint64_t v);
+
+/// Length-delimited field (wire type 2) holding raw bytes / an encoded
+/// submessage / a UTF-8 string.
+void put_bytes_field(std::vector<std::uint8_t>& out, std::uint32_t field,
+                     std::span<const std::uint8_t> bytes);
+void put_string_field(std::vector<std::uint8_t>& out, std::uint32_t field,
+                      std::string_view s);
+
+/// Deduplicating Profile string table: index 0 is always "" (required by
+/// profile.proto), repeated interning of the same string returns the same
+/// index.
+class StringTable {
+ public:
+  StringTable() { id(""); }
+
+  /// Index of `s`, interning it on first sight.
+  std::int64_t id(std::string_view s);
+
+  [[nodiscard]] const std::vector<std::string>& strings() const noexcept {
+    return strings_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::int64_t> index_;
+};
+
+/// Incremental Profile builder: declare sample types, intern functions and
+/// locations (deduplicated by name), append samples, then encode() the whole
+/// message.  Samples shorter than the declared sample-type list are
+/// zero-padded so every sample carries one value per type, as the format
+/// requires.
+class ProfileBuilder {
+ public:
+  /// Interns a string (exposed for label/unit reuse).
+  std::int64_t str(std::string_view s) { return strings_.id(s); }
+
+  /// Declares the next sample value slot; call once per slot before any
+  /// sample() call.
+  void add_sample_type(std::string_view type, std::string_view unit);
+
+  /// Function id for `name` (interned once per distinct name; ids are 1-based
+  /// — 0 means "no function" in the format).
+  std::uint64_t function_id(std::string_view name);
+
+  /// Location id wrapping one function (one Line, line number 0); interned
+  /// once per function.
+  std::uint64_t location_id(std::string_view function_name);
+
+  /// Appends one sample: a root-first location stack (pprof stores leaf
+  /// first; this builder reverses on encode) and one value per declared
+  /// sample type (missing trailing values read 0).
+  void add_sample(std::span<const std::uint64_t> root_first_locations,
+                  std::span<const std::int64_t> values);
+
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return samples_.size();
+  }
+  [[nodiscard]] std::size_t sample_type_count() const noexcept {
+    return sample_types_.size();
+  }
+  [[nodiscard]] std::size_t string_count() const noexcept {
+    return strings_.size();
+  }
+
+  /// Serializes the Profile message (uncompressed; pprof auto-detects).
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+ private:
+  struct ValueTypeRec {
+    std::int64_t type;
+    std::int64_t unit;
+  };
+  struct SampleRec {
+    std::vector<std::uint64_t> locations;  ///< root first
+    std::vector<std::int64_t> values;
+  };
+
+  StringTable strings_;
+  std::vector<ValueTypeRec> sample_types_;
+  std::vector<std::int64_t> function_names_;  ///< index = function id - 1
+  std::vector<std::uint64_t> location_functions_;  ///< index = location id - 1
+  std::vector<SampleRec> samples_;
+  std::unordered_map<std::string, std::uint64_t> function_index_;
+  std::unordered_map<std::uint64_t, std::uint64_t> location_index_;
+};
+
+}  // namespace djvm::pprof

@@ -1,0 +1,102 @@
+#include "export/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace djvm {
+
+namespace {
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string timeline_line(const EpochResult& epoch, const Governor& governor,
+                          const KlassRegistry& registry, std::size_t top_k) {
+  std::string out = "{";
+  out += "\"epoch\":" + std::to_string(epoch.epoch);
+  out += ",\"state\":\"";
+  out += to_string(governor.state());
+  out += "\",\"action\":\"";
+  out += to_string(epoch.action);
+  out += "\",\"overhead\":" + num(epoch.overhead_fraction);
+  if (epoch.offender.has_value()) {
+    out += ",\"offender\":" + std::to_string(*epoch.offender);
+    out += ",\"offender_overhead\":" + num(epoch.offender_fraction);
+  } else {
+    out += ",\"offender\":null,\"offender_overhead\":0";
+  }
+  out += ",\"node_overhead\":[";
+  for (std::size_t n = 0; n < epoch.node_fractions.size(); ++n) {
+    if (n != 0) out += ',';
+    out += num(epoch.node_fractions[n]);
+  }
+  out += ']';
+  out += ",\"densify_seconds\":" + num(epoch.densify_seconds);
+  out += ",\"build_seconds\":" + num(epoch.build_seconds);
+  out += ",\"intervals\":" + std::to_string(epoch.intervals);
+  out += ",\"entries\":" + std::to_string(epoch.entries);
+  out += ",\"rel_distance\":";
+  out += epoch.rel_distance.has_value() ? num(*epoch.rel_distance) : "null";
+  out += ",\"rate_changed\":";
+  out += epoch.rate_changed ? "true" : "false";
+  out += ",\"resampled_objects\":" + std::to_string(epoch.resampled_objects);
+  out += ",\"retained_objects\":" + std::to_string(epoch.retained_objects);
+  out += ",\"retained_readers\":" + std::to_string(epoch.retained_readers);
+  out += ",\"dropped_objects\":" + std::to_string(epoch.dropped_objects);
+
+  out += ",\"traffic\":{";
+  for (std::size_t c = 0; c < epoch.traffic_bytes.size(); ++c) {
+    if (c != 0) out += ',';
+    out += '"';
+    out += to_string(static_cast<MsgCategory>(c));
+    out += "\":" + std::to_string(epoch.traffic_bytes[c]);
+  }
+  out += '}';
+
+  // Influence top-k: the classes whose correlation mass placement decisions
+  // act on most, by the governor's decayed share.
+  std::vector<std::pair<double, ClassId>> shares;
+  for (const Klass& k : registry.all()) {
+    const double s = governor.influence_share(k.id);
+    if (s > 0.0) shares.emplace_back(s, k.id);
+  }
+  std::sort(shares.begin(), shares.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+  if (shares.size() > top_k) shares.resize(top_k);
+  out += ",\"influence_top\":[";
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"class\":\"";
+    escape_into(out, registry.at(shares[i].second).name);
+    out += "\",\"share\":" + num(shares[i].first) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace djvm

@@ -1,0 +1,33 @@
+// Per-epoch JSONL metrics timeline.
+//
+// One JSON object per governed epoch, appended to a flat file through the
+// async SnapshotWriter: a week of epochs becomes a greppable, plottable log
+// (jq, pandas, grafana-agent tailing) instead of state that died with the
+// process.  Schema (stable keys; consumers must ignore unknown keys):
+//
+//   {"epoch":N, "state":"sentinel", "action":"none",
+//    "overhead":0.018, "offender":2, "offender_overhead":0.031,
+//    "node_overhead":[...], "densify_seconds":..., "build_seconds":...,
+//    "intervals":N, "entries":N, "rel_distance":0.04|null,
+//    "rate_changed":bool, "resampled_objects":N,
+//    "retained_objects":N, "retained_readers":N, "dropped_objects":N,
+//    "traffic":{"object-data":B, "oal":B, "control":B, "migration":B},
+//    "influence_top":[{"class":"name","share":0.4}, ...]}
+#pragma once
+
+#include <string>
+
+#include "profiling/correlation_daemon.hpp"
+#include "runtime/klass.hpp"
+
+namespace djvm {
+
+/// Renders one epoch as a single JSON line (trailing '\n' included).
+/// `top_k` bounds the influence_top array; the registry supplies class
+/// names for it.
+[[nodiscard]] std::string timeline_line(const EpochResult& epoch,
+                                        const Governor& governor,
+                                        const KlassRegistry& registry,
+                                        std::size_t top_k);
+
+}  // namespace djvm

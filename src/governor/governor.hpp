@@ -76,6 +76,36 @@ enum class GovernorAction : std::uint8_t {
   kRearm,     ///< phase change detected; restored converged gaps, re-adapting
 };
 
+/// Stable operator-facing names (timeline JSONL, exporters); not subject to
+/// enum renames.
+[[nodiscard]] constexpr const char* to_string(GovernorMode m) noexcept {
+  switch (m) {
+    case GovernorMode::kDisarmed: return "disarmed";
+    case GovernorMode::kLegacyOneWay: return "legacy-one-way";
+    case GovernorMode::kClosedLoop: return "closed-loop";
+  }
+  return "?";
+}
+[[nodiscard]] constexpr const char* to_string(GovernorState s) noexcept {
+  switch (s) {
+    case GovernorState::kIdle: return "idle";
+    case GovernorState::kAdapting: return "adapting";
+    case GovernorState::kConverged: return "converged";
+    case GovernorState::kSentinel: return "sentinel";
+  }
+  return "?";
+}
+[[nodiscard]] constexpr const char* to_string(GovernorAction a) noexcept {
+  switch (a) {
+    case GovernorAction::kNone: return "none";
+    case GovernorAction::kTighten: return "tighten";
+    case GovernorAction::kBackOff: return "backoff";
+    case GovernorAction::kConverge: return "converge";
+    case GovernorAction::kRearm: return "rearm";
+  }
+  return "?";
+}
+
 struct GovernorConfig {
   /// Overhead budget as a fraction of application time (0.02 = 2%).
   double overhead_budget = 0.02;

@@ -466,6 +466,158 @@ bool load_snapshot(const std::string& path, Governor& gov, SquareMatrix& tcm) {
   return decode_snapshot(bytes, gov, tcm);
 }
 
+// --- parse_snapshot -----------------------------------------------------------
+//
+// Mirrors SnapshotAccess::decode field for field but keeps only the
+// structural checks: counts vs remaining bytes, enum ranges, finiteness,
+// shift/flag bounds, full consumption.  Registry-dependent checks (known
+// class ids, trim invariants that assume this build's encoder) are dropped —
+// an exporter must read files from other runs and other registry layouts.
+
+bool parse_snapshot(const std::vector<std::uint8_t>& bytes, SnapshotInfo& out) {
+  Reader r(bytes);
+  std::uint32_t magic = 0;
+  if (!r.get(magic) || magic != kSnapshotMagic) return false;
+  if (!r.get(out.version) || out.version < kSnapshotVersionV1 ||
+      out.version > kSnapshotVersion) {
+    return false;
+  }
+  const bool v1 = out.version == kSnapshotVersionV1;
+
+  std::uint8_t flags = 0, reserved = 0;
+  if (!r.get(out.mode) || !r.get(out.state) || !r.get(flags) ||
+      !r.get(reserved)) {
+    return false;
+  }
+  if (!r.get(out.overhead_budget) || !r.get(out.distance_threshold) ||
+      !r.get(out.hysteresis) || !r.get(out.phase_spike_factor)) {
+    return false;
+  }
+  out.node_budget = 0.0;
+  out.per_node = false;
+  if (!v1) {
+    if (flags > 1u) return false;
+    if (!r.get(out.node_budget)) return false;
+    out.per_node = (flags & 1u) != 0;
+  }
+  if (!r.get(out.sentinel_coarsen_shifts) || !r.get(out.max_nominal_gap) ||
+      !r.get(out.epochs_seen) || !r.get(out.rearms)) {
+    return false;
+  }
+  if (out.mode > static_cast<std::uint8_t>(GovernorMode::kClosedLoop) ||
+      out.state > static_cast<std::uint8_t>(GovernorState::kSentinel)) {
+    return false;
+  }
+  const auto sane = [](double v) { return std::isfinite(v) && v >= 0.0; };
+  if (!sane(out.overhead_budget) || !sane(out.distance_threshold) ||
+      !sane(out.hysteresis) || !sane(out.phase_spike_factor) ||
+      !sane(out.node_budget) || out.sentinel_coarsen_shifts > 31) {
+    return false;
+  }
+
+  std::uint32_t class_count = 0;
+  if (!r.get(class_count)) return false;
+  if (static_cast<std::uint64_t>(class_count) * (5 * sizeof(std::uint32_t)) >
+      r.remaining()) {
+    return false;
+  }
+  out.classes.assign(class_count, {});
+  for (SnapshotInfo::ClassGap& g : out.classes) {
+    std::uint32_t class_flags = 0;
+    if (!r.get(g.id) || !r.get(g.nominal_gap) || !r.get(g.real_gap) ||
+        !r.get(g.converged_gap) || !r.get(class_flags)) {
+      return false;
+    }
+    g.rated = (class_flags & 1u) != 0;
+  }
+
+  out.shift_nodes = 0;
+  out.node_gap_shifts.clear();
+  if (!v1) {
+    if (!r.get(out.shift_nodes)) return false;
+    const std::uint64_t cells =
+        static_cast<std::uint64_t>(out.shift_nodes) * class_count;
+    if (out.shift_nodes > std::numeric_limits<NodeId>::max()) return false;
+    if (cells > r.remaining()) return false;
+    out.node_gap_shifts.resize(static_cast<std::size_t>(cells));
+    for (std::uint8_t& s : out.node_gap_shifts) {
+      if (!r.get(s)) return false;
+      if (s > 31) return false;
+    }
+  }
+
+  out.copy_nodes.clear();
+  if (out.version >= kSnapshotVersionV3) {
+    std::uint32_t copy_count = 0;
+    if (!r.get(copy_count)) return false;
+    if (copy_count > std::numeric_limits<NodeId>::max()) return false;
+    if (static_cast<std::uint64_t>(copy_count) * 2 * sizeof(std::uint64_t) >
+        r.remaining()) {
+      return false;
+    }
+    out.copy_nodes.assign(copy_count, {});
+    for (SnapshotInfo::CopyNode& c : out.copy_nodes) {
+      if (!r.get(c.registrations) || !r.get(c.resample_visits)) return false;
+    }
+  }
+
+  out.backoff_scoring = 0;
+  out.influence_seen = false;
+  out.influence_decay = 0.0;
+  out.influence.clear();
+  if (out.version >= kSnapshotVersionV4) {
+    std::uint8_t influence_seen = 0;
+    std::uint16_t reserved16 = 0;
+    if (!r.get(out.backoff_scoring) || !r.get(influence_seen) ||
+        !r.get(reserved16)) {
+      return false;
+    }
+    if (out.backoff_scoring >
+            static_cast<std::uint8_t>(BackoffScoring::kInfluenceWeighted) ||
+        influence_seen > 1u || reserved16 != 0) {
+      return false;
+    }
+    out.influence_seen = influence_seen != 0;
+    if (!r.get(out.influence_decay)) return false;
+    if (!std::isfinite(out.influence_decay) || out.influence_decay < 0.0 ||
+        out.influence_decay > 1.0) {
+      return false;
+    }
+    std::uint32_t influence_count = 0;
+    if (!r.get(influence_count)) return false;
+    if (static_cast<std::uint64_t>(influence_count) *
+            (sizeof(std::uint32_t) + sizeof(double)) >
+        r.remaining()) {
+      return false;
+    }
+    out.influence.assign(influence_count, {});
+    std::uint64_t last_id = 0;
+    for (std::uint32_t i = 0; i < influence_count; ++i) {
+      if (!r.get(out.influence[i].first) || !r.get(out.influence[i].second)) {
+        return false;
+      }
+      if (i > 0 && out.influence[i].first <= last_id) return false;
+      last_id = out.influence[i].first;
+      if (!std::isfinite(out.influence[i].second) ||
+          out.influence[i].second <= 0.0) {
+        return false;
+      }
+    }
+  }
+
+  std::uint64_t n = 0;
+  if (!r.get(n)) return false;
+  if (n != 0 && (n > r.remaining() / sizeof(double) / n)) return false;
+  SquareMatrix m(static_cast<std::size_t>(n));
+  for (double& v : m.raw()) {
+    if (!r.get(v)) return false;
+    if (!std::isfinite(v)) return false;
+  }
+  if (!r.exhausted()) return false;
+  out.tcm = std::move(m);
+  return true;
+}
+
 // --- SnapshotWriter -----------------------------------------------------------
 
 SnapshotWriter::SnapshotWriter() : worker_([this] { worker_loop(); }) {}
@@ -496,9 +648,22 @@ void SnapshotWriter::save_async(const std::string& path, const Governor& gov,
   work_cv_.notify_one();
 }
 
+void SnapshotWriter::append_async(const std::string& path,
+                                  std::string_view line) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    append_path_ = path;
+    append_pending_.append(line);
+    has_append_ = true;
+    ++appended_;
+  }
+  work_cv_.notify_one();
+}
+
 void SnapshotWriter::flush() {
   std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [this] { return !has_pending_ && !writing_; });
+  idle_cv_.wait(lk,
+                [this] { return !has_pending_ && !has_append_ && !writing_; });
 }
 
 std::uint64_t SnapshotWriter::submitted() const noexcept {
@@ -516,28 +681,62 @@ std::uint64_t SnapshotWriter::coalesced() const noexcept {
   return coalesced_;
 }
 
+std::uint64_t SnapshotWriter::appended() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return appended_;
+}
+
+std::uint64_t SnapshotWriter::append_writes() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return append_writes_;
+}
+
 bool SnapshotWriter::all_ok() const noexcept {
   std::lock_guard<std::mutex> lk(mu_);
   return all_ok_;
 }
 
 void SnapshotWriter::worker_loop() {
-  std::vector<std::uint8_t> front;  // worker-owned write buffer
+  std::vector<std::uint8_t> front;   // worker-owned write buffer
+  std::string append_front;          // worker-owned append batch
   std::string path;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    work_cv_.wait(lk, [this] { return has_pending_ || stop_; });
-    if (!has_pending_) break;  // stop requested with nothing queued
-    path = std::move(pending_path_);
-    front.swap(pending_);
-    has_pending_ = false;
-    writing_ = true;
-    lk.unlock();
-    const bool ok = write_file(path, front);
-    lk.lock();
-    writing_ = false;
-    ++completed_;
-    if (!ok) all_ok_ = false;
+    work_cv_.wait(lk, [this] { return has_pending_ || has_append_ || stop_; });
+    if (!has_pending_ && !has_append_) break;  // stop with nothing queued
+    if (has_pending_) {
+      path = std::move(pending_path_);
+      front.swap(pending_);
+      has_pending_ = false;
+      writing_ = true;
+      lk.unlock();
+      const bool ok = write_file(path, front);
+      lk.lock();
+      writing_ = false;
+      ++completed_;
+      if (!ok) all_ok_ = false;
+    }
+    if (has_append_) {
+      path = append_path_;
+      append_front.clear();
+      append_front.swap(append_pending_);  // capacity circulates back on swap
+      has_append_ = false;
+      writing_ = true;
+      lk.unlock();
+      bool ok = false;
+      {
+        std::ofstream f(path, std::ios::binary | std::ios::app);
+        if (f) {
+          f.write(append_front.data(),
+                  static_cast<std::streamsize>(append_front.size()));
+          ok = static_cast<bool>(f);
+        }
+      }
+      lk.lock();
+      writing_ = false;
+      ++append_writes_;
+      if (!ok) all_ok_ = false;
+    }
     idle_cv_.notify_all();
   }
 }

@@ -103,6 +103,72 @@ inline constexpr std::uint32_t kSnapshotVersionV4 = 4;
 [[nodiscard]] bool load_snapshot(const std::string& path, Governor& gov,
                                  SquareMatrix& tcm);
 
+/// Registry-independent view of one decoded snapshot, for offline tooling
+/// (src/export/ and tools/djvm_export).  decode_snapshot applies a file to a
+/// *live* governor and validates class ids against the live registry;
+/// parse_snapshot checks structure only, so any v1–v4 file from any run can
+/// be converted to pprof/flamegraph/JSON without reconstructing the run.
+/// Kept next to the encoder because this file owns the format: a layout
+/// change must update encode, decode, and parse together.
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  std::uint8_t mode = 0;
+  std::uint8_t state = 0;
+  bool per_node = false;
+  double overhead_budget = 0.0;
+  double distance_threshold = 0.0;
+  double hysteresis = 0.0;
+  double phase_spike_factor = 0.0;
+  double node_budget = 0.0;  ///< v2+ (0 on v1 files)
+  std::uint32_t sentinel_coarsen_shifts = 0;
+  std::uint32_t max_nominal_gap = 0;
+  std::uint64_t epochs_seen = 0;
+  std::uint64_t rearms = 0;
+
+  struct ClassGap {
+    std::uint32_t id = 0;
+    std::uint32_t nominal_gap = 0;
+    std::uint32_t real_gap = 0;
+    std::uint32_t converged_gap = 0;  ///< 0 = not captured
+    bool rated = false;               ///< flags bit 0: rate ever assigned
+  };
+  std::vector<ClassGap> classes;
+
+  /// Per-(node, class) gap shifts, row-major `[node * classes.size() + c]`
+  /// over `shift_nodes` rows (v2+; empty on v1 files).
+  std::uint32_t shift_nodes = 0;
+  std::vector<std::uint8_t> node_gap_shifts;
+
+  struct CopyNode {
+    std::uint64_t registrations = 0;
+    std::uint64_t resample_visits = 0;
+  };
+  std::vector<CopyNode> copy_nodes;  ///< v3+ cached-copy bookkeeping
+
+  std::uint8_t backoff_scoring = 0;  ///< v4+
+  bool influence_seen = false;
+  double influence_decay = 0.0;
+  std::vector<std::pair<std::uint32_t, double>> influence;  ///< ascending ids
+
+  SquareMatrix tcm;
+
+  /// Shift of one (node, class-index) pair; 0 past the stored table.
+  [[nodiscard]] std::uint8_t shift_at(std::size_t node,
+                                      std::size_t class_index) const noexcept {
+    const std::size_t i = node * classes.size() + class_index;
+    return node < shift_nodes && i < node_gap_shifts.size()
+               ? node_gap_shifts[i]
+               : 0;
+  }
+};
+
+/// Parses a snapshot without touching any live state.  Returns false on bad
+/// magic/version, truncation, or structural corruption (counts that cannot
+/// fit the remaining bytes, out-of-range enums, non-finite knobs); `out` is
+/// unspecified on failure.  Never throws, never reads out of bounds.
+[[nodiscard]] bool parse_snapshot(const std::vector<std::uint8_t>& bytes,
+                                  SnapshotInfo& out);
+
 /// Asynchronous double-buffered snapshot writer.
 ///
 /// `save_snapshot` blocks the caller on the file write, so a daemon that
@@ -128,8 +194,15 @@ class SnapshotWriter {
   void save_async(const std::string& path, const Governor& gov,
                   const SquareMatrix& tcm);
 
-  /// Blocks until every submitted snapshot has been written (or coalesced
-  /// away) and the worker is idle.
+  /// Queues `line` for appending to `path` (the caller includes any trailing
+  /// newline).  Unlike snapshots, appends are never coalesced away — they
+  /// accumulate in a buffer the worker drains in one append-mode write, so a
+  /// slow disk batches lines instead of dropping them.  One append path per
+  /// writer: changing `path` mid-run redirects subsequent lines.
+  void append_async(const std::string& path, std::string_view line);
+
+  /// Blocks until every submitted snapshot and appended line has been
+  /// written (or coalesced away) and the worker is idle.
   void flush();
 
   /// Snapshots submitted via save_async.
@@ -138,6 +211,10 @@ class SnapshotWriter {
   [[nodiscard]] std::uint64_t completed() const noexcept;
   /// Queued snapshots replaced by a newer one before reaching disk.
   [[nodiscard]] std::uint64_t coalesced() const noexcept;
+  /// Lines submitted via append_async.
+  [[nodiscard]] std::uint64_t appended() const noexcept;
+  /// Append-mode file writes performed (≤ appended(): lines batch).
+  [[nodiscard]] std::uint64_t append_writes() const noexcept;
   /// False once any completed write failed (disk full, bad path).
   [[nodiscard]] bool all_ok() const noexcept;
 
@@ -150,11 +227,16 @@ class SnapshotWriter {
   std::string pending_path_;
   std::vector<std::uint8_t> pending_;  ///< queued bytes (empty = nothing queued)
   bool has_pending_ = false;
+  std::string append_path_;
+  std::string append_pending_;  ///< accumulated lines awaiting one append
+  bool has_append_ = false;
   bool writing_ = false;
   bool stop_ = false;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t coalesced_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t append_writes_ = 0;
   bool all_ok_ = true;
   std::vector<std::uint8_t> back_;  ///< encode buffer (caller side)
   std::thread worker_;

@@ -101,11 +101,35 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   const auto t0 = std::chrono::steady_clock::now();
   out.tcm = window_.dense();
   out.densify_seconds = seconds_since(t0);
-  out.build_seconds =
-      window_fold_seconds_ + out.densify_seconds + attribution_seconds;
+
+  // Retention: merge the consumed window into the bounded whole-run
+  // accumulator (cheaper than re-folding records: the window is already
+  // deduplicated per object) and periodically evict stale objects.  This
+  // replaces keeping the raw records in `history_` below.  Coordinator map
+  // work like the folds, so it is timed into build_seconds.
+  double retention_seconds = 0.0;
+  if (retention_.active()) {
+    const auto tr = std::chrono::steady_clock::now();
+    full_.merge(window_);
+    full_.advance_epoch();
+    if (retention_.compact_period != 0 &&
+        full_.epoch() % retention_.compact_period == 0) {
+      dropped_objects_ +=
+          full_.compact(retention_.idle_epochs, retention_.decay)
+              .dropped_objects;
+    }
+    out.retained_objects = full_.objects_tracked();
+    out.retained_readers = full_.reader_entries();
+    out.dropped_objects = dropped_objects_;
+    retention_seconds = seconds_since(tr);
+  }
+
+  out.build_seconds = window_fold_seconds_ + out.densify_seconds +
+                      attribution_seconds + retention_seconds;
   window_.reset();
   window_fold_seconds_ = 0.0;
   build_seconds_ += out.build_seconds;
+  out.epoch = epochs_;
   ++epochs_;
 
   if (have_latest_) {
@@ -161,20 +185,46 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   out.offender_fraction = decision.offender_fraction;
   carryover_resampled_ = decision.resampled_objects;
   carryover_resampled_by_node_ = plan_.drain_resampled_by_node();
+  const OverheadMeter& meter = governor_.meter();
+  out.node_fractions.resize(meter.node_count());
+  for (std::size_t n = 0; n < out.node_fractions.size(); ++n) {
+    out.node_fractions[n] = meter.node_rolling_fraction(static_cast<NodeId>(n));
+  }
 
   latest_ = out.tcm;
   have_latest_ = true;
-  for (IntervalRecord& r : pending_) history_.push_back(std::move(r));
+  intervals_seen_ += pending_.size();
+  if (!retention_.active()) {
+    for (IntervalRecord& r : pending_) history_.push_back(std::move(r));
+  }
   pending_.clear();
   return out;
 }
 
 SquareMatrix CorrelationDaemon::build_full(bool weighted) {
+  if (retention_.active()) {
+    // Under retention the records are gone: the whole-run map *is* the
+    // retained accumulator plus whatever sits in the unconsumed window.
+    // The unweighted variant is unavailable (set_retention documents it) —
+    // the retained state carries HT-weighted bytes only.
+    intervals_seen_ += pending_.size();
+    pending_.clear();
+    const auto tr = std::chrono::steady_clock::now();
+    full_.merge(window_);
+    window_.reset();
+    SquareMatrix tcm = full_.dense();
+    build_seconds_ += window_fold_seconds_ + seconds_since(tr);
+    window_fold_seconds_ = 0.0;
+    latest_ = tcm;
+    have_latest_ = true;
+    return tcm;
+  }
   // build_full *consumes* the current window, exactly as the pre-incremental
   // daemon did when it drained pending into history: an epoch run afterwards
   // starts from an empty window (zero map, zero counts), instead of handing
   // the governor a window map whose records were already reported here.
   const bool window_is_whole_run = history_.empty() && full_mark_ == 0;
+  intervals_seen_ += pending_.size();
   for (IntervalRecord& r : pending_) history_.push_back(std::move(r));
   pending_.clear();
   const auto t0 = std::chrono::steady_clock::now();
@@ -218,6 +268,8 @@ void CorrelationDaemon::clear() {
   governor_.reset();  // clearing discards convergence progress too
   build_seconds_ = 0.0;
   total_entries_ = 0;
+  intervals_seen_ = 0;
+  dropped_objects_ = 0;
   epochs_ = 0;
   carryover_resampled_ = 0;
   carryover_resampled_by_node_.clear();

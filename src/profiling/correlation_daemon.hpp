@@ -11,6 +11,7 @@
 // deliveries: the epoch boundary pays only the cheap densify.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -18,15 +19,22 @@
 
 #include "common/matrix.hpp"
 #include "governor/governor.hpp"
+#include "net/message.hpp"
 #include "profiling/oal.hpp"
 #include "profiling/sampling.hpp"
 #include "profiling/tcm.hpp"
 
 namespace djvm {
 
+/// Per-MsgCategory byte counts (indexed by static_cast<size_t>(MsgCategory)).
+using CategoryBytes =
+    std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)>;
+
 /// Outcome of one daemon epoch (a TCM rebuild over newly collected records).
 struct EpochResult {
   SquareMatrix tcm;
+  /// 0-based index of this epoch in the daemon's run.
+  std::size_t epoch = 0;
   std::size_t intervals = 0;
   std::size_t entries = 0;
   /// Real CPU time of this window's TCM construction: the incremental folds
@@ -57,6 +65,36 @@ struct EpochResult {
   /// still exposes the hot node it is ignoring).
   std::optional<NodeId> offender;
   double offender_fraction = 0.0;
+  /// Rolling per-node overhead fractions after this epoch, indexed by node
+  /// (empty when no per-node samples were ever recorded).
+  std::vector<double> node_fractions;
+  /// Cluster-wide per-category traffic deltas over this epoch.  The daemon
+  /// never sees the network; the pump (Djvm::run_governed_epoch) fills these
+  /// from its Network counters for the timeline.
+  CategoryBytes traffic_bytes{};
+  /// Same per source node (empty when the pump does not track nodes).
+  std::vector<CategoryBytes> node_traffic_bytes;
+  /// Retention telemetry (zero when retention is off): whole-run accumulator
+  /// population after this epoch's merge/compact, and cumulative evictions.
+  std::size_t retained_objects = 0;
+  std::size_t retained_readers = 0;
+  std::size_t dropped_objects = 0;
+};
+
+/// Long-haul retention policy for the daemon's whole-run accumulator (see
+/// TcmAccumulator::compact).  Off by default: the accumulator then grows
+/// with every object the workload ever touches, the pre-retention behavior.
+struct RetentionPolicy {
+  /// Evict/decay objects untouched for this many epochs; 0 = retention off.
+  std::uint32_t idle_epochs = 0;
+  /// Stale-object byte decay per pass in [0, 1); 0 drops stale objects
+  /// outright.  Decayed objects whose mass falls below one byte are dropped.
+  double decay = 0.0;
+  /// Run the compact pass every this many epochs (staleness accrues every
+  /// epoch regardless; the period only amortizes the pass itself).
+  std::uint32_t compact_period = 4;
+
+  [[nodiscard]] bool active() const noexcept { return idle_epochs != 0; }
 };
 
 class CorrelationDaemon {
@@ -97,6 +135,18 @@ class CorrelationDaemon {
   [[nodiscard]] Governor& governor() noexcept { return governor_; }
   [[nodiscard]] const Governor& governor() const noexcept { return governor_; }
 
+  /// Installs the long-haul retention policy.  With retention active each
+  /// epoch's window is merged into the bounded whole-run accumulator instead
+  /// of being kept as raw records: `history()` stays empty, build_full()
+  /// returns the retained (weighted) map, and the unweighted build_full
+  /// variant is unavailable (records no longer exist to re-weigh).  Set it
+  /// before the first epoch; switching mid-run only bounds records from that
+  /// point on.
+  void set_retention(RetentionPolicy policy) noexcept { retention_ = policy; }
+  [[nodiscard]] const RetentionPolicy& retention() const noexcept {
+    return retention_;
+  }
+
   /// Thin forwarding shim kept for the seed API: arms the governor's
   /// legacy one-way convergence loop at `threshold`.
   void enable_adaptation(double threshold) { governor_.arm_legacy(threshold); }
@@ -131,9 +181,16 @@ class CorrelationDaemon {
   /// to execution time).
   [[nodiscard]] double total_build_seconds() const noexcept { return build_seconds_; }
   [[nodiscard]] std::size_t total_entries() const noexcept { return total_entries_; }
-  [[nodiscard]] std::size_t total_intervals() const noexcept { return history_.size(); }
+  /// Interval records consumed over the run (== history().size() when
+  /// retention is off; under retention the records themselves are gone but
+  /// the count survives).
+  [[nodiscard]] std::size_t total_intervals() const noexcept {
+    return intervals_seen_;
+  }
   [[nodiscard]] std::size_t epochs_run() const noexcept { return epochs_; }
 
+  /// Raw records of every consumed epoch — empty under retention (bounding
+  /// memory is the whole point of the policy).
   [[nodiscard]] const std::vector<IntervalRecord>& history() const noexcept {
     return history_;
   }
@@ -152,9 +209,13 @@ class CorrelationDaemon {
   /// next epoch's build_seconds).
   double window_fold_seconds_ = 0.0;
   /// Whole-run accumulator behind build_full(weighted=true), fed lazily from
-  /// `history` + `pending` up to full_mark_ records at each call.
+  /// `history` + `pending` up to full_mark_ records at each call — or, under
+  /// retention, fed eagerly by every run_epoch and bounded by compact().
   TcmAccumulator full_;
   std::size_t full_mark_ = 0;
+  RetentionPolicy retention_;
+  std::size_t intervals_seen_ = 0;   ///< records consumed (backs total_intervals)
+  std::size_t dropped_objects_ = 0;  ///< cumulative retention evictions
   SquareMatrix latest_;
   bool have_latest_ = false;
   /// Balancer placement the per-class cell attribution is computed against

@@ -235,13 +235,29 @@ std::int32_t TcmAccumulator::assign_slot(ObjectId obj) {
     touched_.push_back(obj);
     klass_.push_back(kInvalidClass);
     heads_.push_back(kNone);
+    last_touch_.push_back(epoch_);
+    decay_epoch_.push_back(kNeverDecayed);
   }
   return slot;
+}
+
+std::int32_t TcmAccumulator::alloc_reader(ThreadId thread, double bytes,
+                                          std::int32_t next) {
+  ++live_readers_;
+  if (free_head_ != kNone) {
+    const std::int32_t r = free_head_;
+    free_head_ = pool_[r].next;
+    pool_[r] = Reader{thread, bytes, next};
+    return r;
+  }
+  pool_.push_back(Reader{thread, bytes, next});
+  return static_cast<std::int32_t>(pool_.size()) - 1;
 }
 
 void TcmAccumulator::add_one(ObjectId obj, ThreadId thread, double bytes) {
   if (thread >= threads_) return;  // beyond the map's dimension (as accrue)
   const std::int32_t slot = assign_slot(obj);
+  last_touch_[static_cast<std::size_t>(slot)] = epoch_;
   std::int32_t& head = heads_[static_cast<std::size_t>(slot)];
 
   std::int32_t found = kNone;
@@ -271,8 +287,7 @@ void TcmAccumulator::add_one(ObjectId obj, ThreadId thread, double bytes) {
   for (std::int32_t r = head; r != kNone; r = pool_[r].next) {
     pairs_.add(thread, pool_[r].thread, std::min(bytes, pool_[r].bytes));
   }
-  pool_.push_back(Reader{thread, bytes, head});
-  head = static_cast<std::int32_t>(pool_.size()) - 1;
+  head = alloc_reader(thread, bytes, head);
 }
 
 void TcmAccumulator::add(std::span<const IntervalRecord> records) {
@@ -366,12 +381,12 @@ void TcmAccumulator::merge_disjoint_objects(const TcmAccumulator& other) {
            "merge_disjoint_objects requires disjoint object sets");
     const std::int32_t dst = assign_slot(obj);
     klass_[static_cast<std::size_t>(dst)] = other.klass_[slot];
+    last_touch_[static_cast<std::size_t>(dst)] = epoch_;
     // Move the reader list over node by node (pool indices re-based).
     for (std::int32_t r = other.heads_[slot]; r != kNone; r = other.pool_[r].next) {
-      pool_.push_back(Reader{other.pool_[r].thread, other.pool_[r].bytes,
-                             heads_[static_cast<std::size_t>(dst)]});
       heads_[static_cast<std::size_t>(dst)] =
-          static_cast<std::int32_t>(pool_.size()) - 1;
+          alloc_reader(other.pool_[r].thread, other.pool_[r].bytes,
+                       heads_[static_cast<std::size_t>(dst)]);
     }
   }
   // Disjoint objects contribute disjoint pair updates: partial sums add.
@@ -383,8 +398,114 @@ void TcmAccumulator::reset() {
   touched_.clear();
   klass_.clear();
   heads_.clear();
+  last_touch_.clear();
+  decay_epoch_.clear();
   pool_.clear();
   pairs_.clear();
+  free_head_ = kNone;
+  live_readers_ = 0;
+  epoch_ = 0;
+}
+
+TcmCompactStats TcmAccumulator::compact(std::uint32_t idle_epochs,
+                                        double decay) {
+  TcmCompactStats stats;
+  if (idle_epochs == 0) return stats;  // age 0 would evict the live epoch too
+  bool any_dead = false;
+  for (std::size_t slot = 0; slot < touched_.size(); ++slot) {
+    if (heads_[slot] == kNone) continue;  // already evicted, awaiting compact
+    const std::uint32_t age = epoch_ - last_touch_[slot];
+    if (age < idle_epochs) continue;
+
+    if (decay > 0.0) {
+      if (decay_epoch_[slot] == epoch_) continue;  // idempotent per epoch
+      double max_bytes = 0.0;
+      for (std::int32_t r = heads_[slot]; r != kNone; r = pool_[r].next) {
+        max_bytes = std::max(max_bytes, pool_[r].bytes);
+      }
+      if (decay * max_bytes >= 1.0) {
+        // Scaling every reader of this object by d scales each of its pair
+        // contributions min(b_i, b_j) by d as well: subtract the (1 - d)
+        // share, then scale the bytes, and the invariant holds over the
+        // decayed values.
+        for (std::int32_t i = heads_[slot]; i != kNone; i = pool_[i].next) {
+          for (std::int32_t j = pool_[i].next; j != kNone; j = pool_[j].next) {
+            const double w = std::min(pool_[i].bytes, pool_[j].bytes);
+            if (w > 0.0) {
+              pairs_.add(pool_[i].thread, pool_[j].thread, -(1.0 - decay) * w);
+            }
+          }
+        }
+        for (std::int32_t r = heads_[slot]; r != kNone; r = pool_[r].next) {
+          pool_[r].bytes *= decay;
+        }
+        decay_epoch_[slot] = epoch_;
+        ++stats.decayed_objects;
+        continue;
+      }
+      // Decayed to less than a byte: dust — fall through to the drop path.
+    }
+
+    // Drop outright: subtract this object's exact pair contribution (byte
+    // values are the ones the adds accumulated, so never-decayed objects
+    // cancel exactly), return its reader nodes to the free list.
+    for (std::int32_t i = heads_[slot]; i != kNone; i = pool_[i].next) {
+      for (std::int32_t j = pool_[i].next; j != kNone; j = pool_[j].next) {
+        const double w = std::min(pool_[i].bytes, pool_[j].bytes);
+        if (w > 0.0) pairs_.add(pool_[i].thread, pool_[j].thread, -w);
+      }
+    }
+    for (std::int32_t r = heads_[slot]; r != kNone;) {
+      const std::int32_t next = pool_[r].next;
+      pool_[r].next = free_head_;
+      free_head_ = r;
+      r = next;
+      --live_readers_;
+      ++stats.freed_readers;
+    }
+    heads_[slot] = kNone;
+    any_dead = true;
+    ++stats.dropped_objects;
+  }
+
+  if (any_dead) {
+    // Compact the slot arrays in place (stable order), then re-assign
+    // sequential slots: get_or_assign hands out 0, 1, 2... in call order, so
+    // survivor k lands back at slot k.
+    slots_.release(touched_);
+    std::size_t w = 0;
+    for (std::size_t slot = 0; slot < touched_.size(); ++slot) {
+      if (heads_[slot] == kNone) continue;
+      touched_[w] = touched_[slot];
+      klass_[w] = klass_[slot];
+      heads_[w] = heads_[slot];
+      last_touch_[w] = last_touch_[slot];
+      decay_epoch_[w] = decay_epoch_[slot];
+      ++w;
+    }
+    touched_.resize(w);
+    klass_.resize(w);
+    heads_.resize(w);
+    last_touch_.resize(w);
+    decay_epoch_.resize(w);
+    for (std::size_t k = 0; k < w; ++k) {
+      bool fresh = false;
+      const std::int32_t s = slots_.get_or_assign(touched_[k], fresh);
+      assert(fresh && s == static_cast<std::int32_t>(k));
+      (void)s;
+    }
+  }
+  return stats;
+}
+
+std::size_t TcmAccumulator::memory_bytes() const noexcept {
+  return touched_.capacity() * sizeof(ObjectId) +
+         klass_.capacity() * sizeof(ClassId) +
+         heads_.capacity() * sizeof(std::int32_t) +
+         last_touch_.capacity() * sizeof(std::uint32_t) +
+         decay_epoch_.capacity() * sizeof(std::uint32_t) +
+         pool_.capacity() * sizeof(Reader) +
+         pairs_.cell_count() * sizeof(double);
 }
 
 }  // namespace djvm

@@ -188,12 +188,32 @@ struct TcmClassAttribution {
   }
 };
 
+/// Result of one `TcmAccumulator::compact` retention pass.
+struct TcmCompactStats {
+  std::size_t dropped_objects = 0;  ///< stale objects fully evicted
+  std::size_t decayed_objects = 0;  ///< stale objects down-weighted, kept
+  std::size_t freed_readers = 0;    ///< pool nodes returned to the free list
+};
+
 /// Persistent incremental sparse TCM accumulator: fold record batches in as
 /// deltas (`add`), merge partials (`merge`), and densify on demand.  The
 /// invariant maintained per object o and thread pair {i, j} is
 /// pair(i, j) == min(bytes_i(o), bytes_j(o)) summed over objects, so folding
 /// batches one at a time, in any split, yields exactly the map a from-scratch
 /// build over the concatenated batches produces.
+///
+/// Long-haul retention: a whole-run accumulator grows with every object the
+/// workload ever touches, which is unbounded on a server that runs for
+/// weeks.  The retention pass (`advance_epoch` + `compact`) bounds it: an
+/// object untouched for `idle_epochs` retention epochs either decays (every
+/// reader byte value scaled by `decay`, the pair mass it contributed scaled
+/// to match — the invariant above is preserved exactly, just over decayed
+/// byte values) or, when `decay` is 0 or the decayed mass has shrunk below
+/// one byte, is dropped outright (its exact pair contribution subtracted,
+/// its reader nodes returned to a free list, its slot compacted away).
+/// Because every drop/decay is recomputed from the object's own reader list,
+/// live objects are never perturbed: the map restricted to touched objects
+/// stays bit-for-bit the map a from-scratch build over their records yields.
 class TcmAccumulator {
  public:
   explicit TcmAccumulator(std::uint32_t threads, bool weighted = true);
@@ -236,6 +256,28 @@ class TcmAccumulator {
   /// Drops all accumulated state (keeps allocations for reuse).
   void reset();
 
+  /// Advances the retention clock: objects folded in after this call are
+  /// stamped with the new epoch.  Call once per profiling epoch when
+  /// retention is on; never calling it keeps every object forever (the
+  /// pre-retention behavior).
+  void advance_epoch() noexcept { ++epoch_; }
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+
+  /// One retention pass: objects untouched for at least `idle_epochs`
+  /// retention epochs are decayed (readers scaled by `decay` in (0, 1),
+  /// pair mass adjusted to keep the accumulator invariant) or dropped
+  /// (`decay` == 0, or the decayed mass fell below one byte).  Idempotent
+  /// within one epoch: a second pass finds nothing new to decay and nothing
+  /// left to drop.  O(stale reader-list mass + tracked objects).
+  TcmCompactStats compact(std::uint32_t idle_epochs, double decay);
+
+  /// Payload bytes currently held (vector capacities + pair cells).  The
+  /// ObjectSlotMap's direct index table is excluded: it is O(max object id
+  /// ever seen) by design and shared-capacity across resets, so it would
+  /// drown the signal this accessor exists to expose — whether retention
+  /// keeps the per-object state bounded.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
   /// Densifies the pair accumulator into the symmetric N x N map.
   [[nodiscard]] SquareMatrix dense() const { return pairs_.densify(); }
 
@@ -245,8 +287,11 @@ class TcmAccumulator {
   [[nodiscard]] std::size_t objects_tracked() const noexcept {
     return touched_.size();
   }
-  /// Total (object, thread) reader entries currently held.
-  [[nodiscard]] std::size_t reader_entries() const noexcept { return pool_.size(); }
+  /// Total (object, thread) reader entries currently held (free-listed pool
+  /// nodes excluded).
+  [[nodiscard]] std::size_t reader_entries() const noexcept {
+    return live_readers_;
+  }
   [[nodiscard]] const UpperTriangle& pairs() const noexcept { return pairs_; }
 
  private:
@@ -260,10 +305,15 @@ class TcmAccumulator {
   };
 
   static constexpr std::int32_t kNone = -1;
+  /// decay_epoch_ sentinel: slot never decayed.
+  static constexpr std::uint32_t kNeverDecayed = 0xFFFFFFFFu;
 
   std::int32_t assign_slot(ObjectId obj);
 
   void add_one(ObjectId obj, ThreadId thread, double bytes);
+
+  /// Pool node for a new list head, reusing the free list when possible.
+  std::int32_t alloc_reader(ThreadId thread, double bytes, std::int32_t next);
 
   std::uint32_t threads_;
   bool weighted_;
@@ -272,8 +322,13 @@ class TcmAccumulator {
   std::vector<ObjectId> touched_;         ///< slot -> object id
   std::vector<ClassId> klass_;            ///< slot -> owning class (cell attribution)
   std::vector<std::int32_t> heads_;       ///< slot -> first Reader index (kNone = empty)
+  std::vector<std::uint32_t> last_touch_; ///< slot -> retention epoch last folded
+  std::vector<std::uint32_t> decay_epoch_;///< slot -> epoch last decayed
   std::vector<Reader> pool_;
   UpperTriangle pairs_;
+  std::int32_t free_head_ = kNone;        ///< freed pool nodes, chained via next
+  std::size_t live_readers_ = 0;
+  std::uint32_t epoch_ = 0;               ///< retention clock
 };
 
 }  // namespace djvm

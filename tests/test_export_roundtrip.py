@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""End-to-end export round trip (ctest: test_export_roundtrip).
+
+Runs `djvm_export demo` into a temp dir, then validates every artifact with
+tools/validate_export.py -- the independent stdlib protobuf reader -- plus a
+couple of corruption probes against the CLI's error paths.
+
+Usage: test_export_roundtrip.py <djvm_export-binary> <validate_export.py>
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(argv, expect=0):
+    proc = subprocess.run(argv, capture_output=True, text=True)
+    if proc.returncode != expect:
+        print(f"command {argv} exited {proc.returncode}, expected {expect}")
+        print(proc.stdout)
+        print(proc.stderr)
+        sys.exit(1)
+    return proc
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    exporter, validator = sys.argv[1], sys.argv[2]
+
+    with tempfile.TemporaryDirectory(prefix="djvm_export_") as outdir:
+        run([exporter, "demo", outdir])
+        for name in ("snapshot.bin", "timeline.jsonl", "profile.pb",
+                     "collapsed.txt", "snapshot.json"):
+            path = os.path.join(outdir, name)
+            if not os.path.exists(path) or os.path.getsize(path) == 0:
+                print(f"demo did not produce {name}")
+                return 1
+        run([sys.executable, validator, outdir])
+
+        # Standalone conversion of the snapshot the demo wrote (no registry:
+        # class names fall back to class#<id>).
+        out2 = os.path.join(outdir, "second")
+        os.mkdir(out2)
+        run([exporter, os.path.join(outdir, "snapshot.bin"),
+             "--pprof", os.path.join(out2, "p.pb"),
+             "--json", os.path.join(out2, "s.json")])
+        if os.path.getsize(os.path.join(out2, "p.pb")) == 0:
+            print("standalone conversion produced an empty profile")
+            return 1
+
+        # Corruption probes: truncated and garbage inputs must fail cleanly.
+        with open(os.path.join(outdir, "snapshot.bin"), "rb") as f:
+            blob = f.read()
+        trunc = os.path.join(outdir, "trunc.bin")
+        with open(trunc, "wb") as f:
+            f.write(blob[:len(blob) // 2])
+        run([exporter, trunc], expect=1)
+        garbage = os.path.join(outdir, "garbage.bin")
+        with open(garbage, "wb") as f:
+            f.write(b"\x00" * 64)
+        run([exporter, garbage], expect=1)
+        run([exporter, os.path.join(outdir, "missing.bin")], expect=1)
+
+    print("export round trip OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

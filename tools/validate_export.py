@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Independent validator for djvm_export artifacts (stdlib only).
+
+Usage: validate_export.py <outdir>
+
+Expects <outdir> to contain profile.pb, collapsed.txt, snapshot.json and
+(optionally) timeline.jsonl, as produced by `djvm_export demo <outdir>`.
+
+The pprof check is a from-scratch protobuf wire-format reader -- it shares no
+code with the C++ encoder, so an encoding bug cannot validate itself.  Checks:
+
+  * profile.pb parses end to end as a pprof Profile (valid tags, varints,
+    length-delimited framing; packed and unpacked repeated fields accepted);
+  * every Sample's value count == the number of declared sample_types;
+  * every Sample/Location references only functions/strings that exist;
+  * the number of two-location (thread-pair) samples equals snapshot.json's
+    independently recorded `pair_cells`;
+  * collapsed.txt lines match `frame(;frame)* <positive-int>`;
+  * timeline.jsonl lines are JSON objects with the stable schema keys and
+    strictly increasing epochs starting at 0.
+"""
+
+import json
+import os
+import re
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"[FAIL] {msg}")
+    sys.exit(1)
+
+
+def ok(msg: str) -> None:
+    print(f"[ OK ] {msg}")
+
+
+# --- minimal protobuf wire-format reader -----------------------------------
+
+def read_varint(buf: bytes, pos: int):
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            fail("varint runs past end of buffer")
+        b = buf[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not (b & 0x80):
+            return result, pos
+        shift += 7
+        if shift >= 70:
+            fail("varint longer than 10 bytes")
+
+
+def read_fields(buf: bytes):
+    """Yields (field_number, wire_type, value) over one message's fields."""
+    pos = 0
+    while pos < len(buf):
+        key, pos = read_varint(buf, pos)
+        field, wire = key >> 3, key & 7
+        if wire == 0:  # varint
+            value, pos = read_varint(buf, pos)
+        elif wire == 2:  # length-delimited
+            length, pos = read_varint(buf, pos)
+            if pos + length > len(buf):
+                fail(f"field {field}: length {length} overruns buffer")
+            value = buf[pos:pos + length]
+            pos += length
+        elif wire == 5:  # fixed32
+            value = buf[pos:pos + 4]
+            pos += 4
+        elif wire == 1:  # fixed64
+            value = buf[pos:pos + 8]
+            pos += 8
+        else:
+            fail(f"unsupported wire type {wire} for field {field}")
+        yield field, wire, value
+
+
+def packed_varints(value, wire):
+    """Repeated varint field: packed bytes or a single scalar."""
+    if wire == 0:
+        return [value]
+    out = []
+    pos = 0
+    while pos < len(value):
+        v, pos = read_varint(value, pos)
+        out.append(v)
+    return out
+
+
+def check_pprof(path: str, expected_pair_cells: int) -> None:
+    with open(path, "rb") as f:
+        buf = f.read()
+
+    sample_types = []
+    samples = []          # list of (location_ids, values)
+    location_ids = set()
+    location_funcs = []   # function ids referenced by locations
+    function_ids = set()
+    function_strs = []    # string indexes referenced by functions
+    strings = []
+
+    for field, wire, value in read_fields(buf):
+        if field == 1:  # ValueType sample_type
+            vt = dict()
+            for f2, w2, v2 in read_fields(value):
+                vt[f2] = v2
+            sample_types.append((vt.get(1, 0), vt.get(2, 0)))
+        elif field == 2:  # Sample
+            locs, vals = [], []
+            for f2, w2, v2 in read_fields(value):
+                if f2 == 1:
+                    locs += packed_varints(v2, w2)
+                elif f2 == 2:
+                    vals += packed_varints(v2, w2)
+            samples.append((locs, vals))
+        elif field == 4:  # Location
+            loc_id = None
+            for f2, w2, v2 in read_fields(value):
+                if f2 == 1:
+                    loc_id = v2
+                elif f2 == 4:  # Line
+                    for f3, w3, v3 in read_fields(v2):
+                        if f3 == 1:
+                            location_funcs.append(v3)
+            if loc_id is None or loc_id == 0:
+                fail("Location without a nonzero id")
+            location_ids.add(loc_id)
+        elif field == 5:  # Function
+            for f2, w2, v2 in read_fields(value):
+                if f2 == 1:
+                    function_ids.add(v2)
+                elif f2 in (2, 3):
+                    function_strs.append(v2)
+        elif field == 6:  # string_table
+            strings.append(value.decode("utf-8"))
+
+    if not sample_types:
+        fail("profile has no sample_type entries")
+    if not strings or strings[0] != "":
+        fail("string_table[0] must be the empty string")
+    for t, u in sample_types:
+        if t >= len(strings) or u >= len(strings):
+            fail("sample_type references a string out of range")
+    for s in function_strs:
+        if s >= len(strings):
+            fail("Function name references a string out of range")
+    for fid in location_funcs:
+        if fid not in function_ids:
+            fail(f"Location references unknown function {fid}")
+
+    pair_samples = 0
+    for locs, vals in samples:
+        if len(vals) != len(sample_types):
+            fail(f"sample has {len(vals)} values, expected {len(sample_types)}")
+        for loc in locs:
+            if loc not in location_ids:
+                fail(f"sample references unknown location {loc}")
+        if len(locs) == 2:
+            pair_samples += 1
+
+    if pair_samples != expected_pair_cells:
+        fail(f"pprof has {pair_samples} thread-pair samples, snapshot.json "
+             f"says pair_cells={expected_pair_cells}")
+    ok(f"profile.pb: {len(samples)} samples ({pair_samples} thread pairs), "
+       f"{len(sample_types)} sample types, {len(strings)} strings")
+
+
+def check_collapsed(path: str) -> None:
+    line_re = re.compile(r"^[^ ;]+(;[^ ;]+)* [0-9]+$")
+    count = 0
+    with open(path, encoding="utf-8") as f:
+        for i, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if not line_re.match(line):
+                fail(f"collapsed.txt line {i} malformed: {line!r}")
+            if int(line.rsplit(" ", 1)[1]) <= 0:
+                fail(f"collapsed.txt line {i} has non-positive weight")
+            count += 1
+    if count == 0:
+        fail("collapsed.txt has no stack lines")
+    ok(f"collapsed.txt: {count} well-formed stack lines")
+
+
+TIMELINE_KEYS = {
+    "epoch", "state", "action", "overhead", "node_overhead",
+    "densify_seconds", "build_seconds", "intervals", "entries",
+    "rel_distance", "rate_changed", "traffic", "influence_top",
+    "retained_objects", "retained_readers", "dropped_objects",
+}
+
+
+def check_timeline(path: str) -> None:
+    epochs = []
+    with open(path, encoding="utf-8") as f:
+        for i, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"timeline.jsonl line {i} is not JSON: {e}")
+            missing = TIMELINE_KEYS - obj.keys()
+            if missing:
+                fail(f"timeline.jsonl line {i} missing keys: {sorted(missing)}")
+            if not isinstance(obj["traffic"], dict) or not obj["traffic"]:
+                fail(f"timeline.jsonl line {i}: traffic is not a nonempty map")
+            epochs.append(obj["epoch"])
+    if not epochs:
+        fail("timeline.jsonl is empty")
+    if epochs != list(range(len(epochs))):
+        fail(f"timeline epochs are not 0..{len(epochs) - 1}: {epochs[:8]}...")
+    ok(f"timeline.jsonl: {len(epochs)} epochs, contiguous from 0")
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    outdir = sys.argv[1]
+
+    snap_json = os.path.join(outdir, "snapshot.json")
+    with open(snap_json, encoding="utf-8") as f:
+        snap = json.load(f)
+    for key in ("version", "mode", "state", "classes", "tcm_dim", "pair_cells"):
+        if key not in snap:
+            fail(f"snapshot.json missing key {key!r}")
+    ok(f"snapshot.json: v{snap['version']}, {len(snap['classes'])} classes, "
+       f"tcm_dim={snap['tcm_dim']}, pair_cells={snap['pair_cells']}")
+
+    check_pprof(os.path.join(outdir, "profile.pb"), snap["pair_cells"])
+    check_collapsed(os.path.join(outdir, "collapsed.txt"))
+    timeline = os.path.join(outdir, "timeline.jsonl")
+    if os.path.exists(timeline):
+        check_timeline(timeline)
+    else:
+        print("[SKIP] no timeline.jsonl")
+    print("all export artifacts validated")
+
+
+if __name__ == "__main__":
+    main()
