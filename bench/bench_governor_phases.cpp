@@ -86,8 +86,8 @@ RunLog run(RunMode mode, bool with_export = false) {
   if (with_export) {
     // Snapshot + timeline every epoch through the async writer; the export
     // acceptance gates on this costing (almost) nothing per epoch.
-    cfg.snapshot_path = "/tmp/bench_governor_phases_snapshot.bin";
-    cfg.timeline_path = "/tmp/bench_governor_phases_timeline.jsonl";
+    cfg.export_.snapshot_path = "/tmp/bench_governor_phases_snapshot.bin";
+    cfg.export_.timeline_path = "/tmp/bench_governor_phases_timeline.jsonl";
   }
   Djvm djvm(cfg);
   djvm.spawn_threads_round_robin(kThreads);
@@ -125,7 +125,7 @@ RunLog run(RunMode mode, bool with_export = false) {
       djvm.plan().set_nominal_gap(hot, kStartGap);
       djvm.plan().set_nominal_gap(bulky, kStartGap);
       djvm.plan().resample_all();
-      djvm.daemon().enable_adaptation(kThreshold);
+      djvm.daemon().governor().arm(djvm::GovernorConfig::legacy(kThreshold));
       break;
     case RunMode::kOracle:
       break;  // full sampling (gap 1), governor disarmed

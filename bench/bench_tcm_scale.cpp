@@ -13,12 +13,24 @@
 // The largest sweep point (64 threads x 120k objects x 12 batches, skewed
 // readers) gates CI: incremental-sparse must hold a >= 5x speedup, and the
 // equality check must stay within 1e-9.
+//
+// A separate arena-scale phase stretches to 256 threads x 1M objects — the
+// regime the lock-free ingest path exists for — with the records packed into
+// fixed 4096-entry OalArenas (the ingest hand-off unit).  The per-batch
+// dense rebuild protocol is deliberately not run there (it is the very
+// O(run-so-far) wall the sweep above already prices); instead the phase
+// gates that both arena consumers — the incremental fold
+// (TcmAccumulator::add(OalArena)) and the one-shot CSR pipeline
+// (DistributedTcmReducer::build) — match one final build_reference to 1e-9.
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "harness.hpp"
 #include "profiling/accuracy.hpp"
+#include "profiling/distributed_tcm.hpp"
+#include "profiling/ingest.hpp"
 #include "profiling/tcm.hpp"
 
 namespace djvm {
@@ -114,6 +126,93 @@ PointResult run_point(const SweepPoint& p) {
   return out;
 }
 
+/// Packs records into fixed-capacity arenas exactly the way IngestHub::append
+/// splits a closing interval across them (each slice carries a full header).
+std::vector<std::unique_ptr<OalArena>> pack_arenas(
+    std::span<const IntervalRecord> records, std::uint32_t capacity) {
+  std::vector<std::unique_ptr<OalArena>> arenas;
+  for (const IntervalRecord& r : records) {
+    std::size_t off = 0;
+    while (off < r.entries.size()) {
+      if (arenas.empty() || arenas.back()->entries.size() >= capacity) {
+        arenas.push_back(std::make_unique<OalArena>());
+        arenas.back()->entries.reserve(capacity);
+      }
+      OalArena& a = *arenas.back();
+      const std::size_t take = std::min<std::size_t>(
+          capacity - a.entries.size(), r.entries.size() - off);
+      const auto begin = static_cast<std::uint32_t>(a.entries.size());
+      a.entries.insert(a.entries.end(), r.entries.begin() + off,
+                       r.entries.begin() + off + take);
+      a.intervals.push_back(ArenaInterval{r.thread, r.interval, r.node,
+                                          r.start_pc, r.end_pc, begin,
+                                          static_cast<std::uint32_t>(begin + take)});
+      off += take;
+    }
+  }
+  return arenas;
+}
+
+struct ArenaScaleResult {
+  double incr_seconds = 0.0;
+  double csr_seconds = 0.0;
+  double reference_seconds = 0.0;
+  double incr_error = 0.0;
+  double csr_error = 0.0;
+};
+
+ArenaScaleResult run_arena_scale(const SweepPoint& p) {
+  const auto batches = make_batches(p);
+  std::vector<std::vector<std::unique_ptr<OalArena>>> packed;
+  packed.reserve(batches.size());
+  for (const auto& batch : batches) {
+    packed.push_back(pack_arenas(batch, /*capacity=*/4096));
+  }
+
+  ArenaScaleResult out;
+
+  // Incremental fold, batch-at-a-time with a fresh map per delivery — the
+  // daemon's steady state, just fed arenas instead of records.
+  SquareMatrix incr;
+  {
+    TcmAccumulator acc(p.threads, /*weighted=*/true);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& batch : packed) {
+      for (const auto& a : batch) acc.add(*a);
+      incr = acc.dense();
+    }
+    out.incr_seconds = seconds_since(t0);
+  }
+
+  // One-shot CSR pipeline over every arena of the run.
+  SquareMatrix csr;
+  {
+    std::vector<const OalArena*> all;
+    for (const auto& batch : packed) {
+      for (const auto& a : batch) all.push_back(a.get());
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    csr = DistributedTcmReducer::build(std::span<const OalArena* const>(all),
+                                       p.threads, /*weighted=*/true);
+    out.csr_seconds = seconds_since(t0);
+  }
+
+  // One final dense-from-scratch oracle over the concatenated run.
+  {
+    std::vector<IntervalRecord> window;
+    for (const auto& batch : batches) {
+      window.insert(window.end(), batch.begin(), batch.end());
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const SquareMatrix ref =
+        TcmBuilder::build_reference(window, p.threads, /*weighted=*/true);
+    out.reference_seconds = seconds_since(t0);
+    out.incr_error = absolute_error(incr, ref);
+    out.csr_error = absolute_error(csr, ref);
+  }
+  return out;
+}
+
 }  // namespace
 }  // namespace djvm
 
@@ -152,6 +251,16 @@ int main() {
     }
   }
 
+  // Arena-scale phase: the ingest hand-off unit at its target scale.
+  const SweepPoint big{256, 1'000'000, 6};
+  const ArenaScaleResult arena = run_arena_scale(big);
+  std::printf(
+      "arena scale %u threads x %llu objects x %d batches: "
+      "incr %.2fs  csr %.2fs  reference %.2fs  err incr %.3g / csr %.3g\n",
+      big.threads, static_cast<unsigned long long>(big.objects), big.batches,
+      arena.incr_seconds, arena.csr_seconds, arena.reference_seconds,
+      arena.incr_error, arena.csr_error);
+
   // Wall-clock seconds gate with latency tolerance (lower_is_better, +35%
   // headroom for runner-to-runner variance); the speedup ratio and the
   // equality bound are the primary acceptance criteria.
@@ -159,6 +268,11 @@ int main() {
   report.metric("dense_seconds_largest", largest.dense_seconds);
   report.metric("speedup_largest", largest_speedup, "max", 0.25);
   report.metric("max_rel_error", largest.max_rel_error, "min", 0.0, 1e-9);
+  report.latency_metric("arena_incr_seconds_256t_1m", arena.incr_seconds, 0.35);
+  report.latency_metric("arena_csr_seconds_256t_1m", arena.csr_seconds, 0.35);
+  report.metric("arena_reference_seconds_256t_1m", arena.reference_seconds);
+  report.metric("arena_incr_abs_error", arena.incr_error, "min", 0.0, 1e-9);
+  report.metric("arena_csr_abs_error", arena.csr_error, "min", 0.0, 1e-9);
 
   report.check(
       "incremental-sparse >= 5x over dense-from-scratch at 64 threads x 120k "
@@ -167,5 +281,13 @@ int main() {
   report.check("incremental and dense maps agree within 1e-9",
                largest.max_rel_error <= 1e-9, largest.max_rel_error, 1e-9,
                "<=");
+  report.check(
+      "arena incremental fold matches build_reference at 256 threads x 1M "
+      "objects (<= 1e-9)",
+      arena.incr_error <= 1e-9, arena.incr_error, 1e-9, "<=");
+  report.check(
+      "arena CSR pipeline matches build_reference at 256 threads x 1M "
+      "objects (<= 1e-9)",
+      arena.csr_error <= 1e-9, arena.csr_error, 1e-9, "<=");
   return report.finish();
 }

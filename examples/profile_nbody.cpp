@@ -24,7 +24,7 @@ int main() {
   cfg.adapt_threshold = 0.08;
   Djvm djvm(cfg);
   djvm.spawn_threads_round_robin(cfg.threads);
-  djvm.daemon().enable_adaptation(cfg.adapt_threshold);
+  djvm.daemon().governor().arm(djvm::GovernorConfig::legacy(cfg.adapt_threshold));
 
   BarnesHutParams p;
   p.bodies = 2048;

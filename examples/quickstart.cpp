@@ -22,8 +22,8 @@ int main() {
   cfg.sampling_rate_x = 4;                // "4 sampled objects per page"
   // The three-line governor setup: keep profiling under 2% of app time,
   // treat a 5% TCM movement as "still converging", adapt both directions.
-  cfg.governor_enabled = true;
-  cfg.governor_budget = 0.02;
+  cfg.governor.enabled = true;
+  cfg.governor.budget = 0.02;
   cfg.adapt_threshold = 0.05;
   Djvm djvm(cfg);
   djvm.spawn_threads_round_robin(cfg.threads);

@@ -26,14 +26,17 @@ std::string Config::summary() const {
     os << " footprint="
        << (footprint_timer == FootprintTimerMode::kNonstop ? "nonstop" : "timer");
   }
-  if (governor_enabled) {
-    os << " governor=" << governor_budget * 100.0 << "%";
-    if (governor_per_node) {
+  if (governor.enabled) {
+    os << " governor=" << governor.budget * 100.0 << "%";
+    if (governor.per_node) {
       os << "/node";
-      if (governor_node_budget > 0.0) {
-        os << "=" << governor_node_budget * 100.0 << "%";
+      if (governor.node_budget > 0.0) {
+        os << "=" << governor.node_budget * 100.0 << "%";
       }
     }
+  }
+  if (ingest.enabled) {
+    os << " ingest=arena" << ingest.arena_entries << "x" << ingest.ring_depth;
   }
   return os.str();
 }

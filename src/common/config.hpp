@@ -59,7 +59,71 @@ enum class CostAttribution : std::uint8_t {
   kCachedCopy,
 };
 
-struct Config {
+/// Profiling-governor knobs (Config::governor).
+struct GovernorKnobs {
+  /// Arm the closed-loop governor (budgeted bidirectional rate control with
+  /// phase detection) when the profiling config is applied.  Off by default:
+  /// the legacy one-way loop stays opt-in via
+  /// governor().arm(GovernorConfig::legacy(threshold)).
+  bool enabled = false;
+  /// Overhead budget as a fraction of application time (0.02 = 2%).
+  double budget = 0.02;
+  /// Enforce the budget per worker node (Atys-style bounded local cost):
+  /// back off only the classes dominating the worst offending node's cost,
+  /// tighten cluster-wide only when every node is under budget.  On by
+  /// default — the cluster-aggregate policy lets one hot node run far over
+  /// budget while the average looks fine; set false to reproduce it.
+  bool per_node = true;
+  /// Per-node overhead budget as a fraction of that node's application
+  /// time; 0 = inherit `budget`.
+  double node_budget = 0.0;
+};
+
+/// Long-haul retention knobs for the daemon's whole-run accumulator
+/// (Config::retention; see TcmAccumulator::compact).
+struct RetentionKnobs {
+  /// Evict or decay objects untouched for this many epochs (0 = retention
+  /// off, the unbounded pre-retention behavior).
+  std::uint32_t idle_epochs = 0;
+  /// Stale-object byte decay per retention pass in [0, 1); 0 drops stale
+  /// objects outright.
+  double decay = 0.0;
+  /// Run the retention compact pass every this many epochs.
+  std::uint32_t compact_period = 4;
+};
+
+/// Observability-export knobs (Config::export_; the trailing underscore
+/// dodges the keyword).
+struct ExportKnobs {
+  /// When non-empty, every run_governed_epoch() hands the fresh governor
+  /// state + TCM to a background double-buffered snapshot writer targeting
+  /// this path (crash-recovery snapshots without stalling the epoch loop;
+  /// a slow disk coalesces queued snapshots, latest wins).
+  std::string snapshot_path;
+  /// When non-empty, every run_governed_epoch() appends one JSON metrics
+  /// line (see export/timeline.hpp for the schema) to this path through the
+  /// same async writer — the epoch loop never blocks on the log disk.  The
+  /// file is truncated at construction, so each run starts a fresh log.
+  std::string timeline_path;
+  /// Influence entries per timeline line (largest shares first).
+  std::uint32_t timeline_top_k = 4;
+};
+
+/// Lock-free OAL ingest knobs (Config::ingest; see profiling/ingest.hpp).
+struct IngestKnobs {
+  /// Route interval OALs through per-thread arenas and SPSC rings into the
+  /// daemon instead of the legacy record-vector submit() path.
+  bool enabled = false;
+  /// Entries per log arena.
+  std::uint32_t arena_entries = 4096;
+  /// Arenas per ring (rounded up to a power of two).
+  std::uint32_t ring_depth = 8;
+};
+
+/// The real configuration state.  Config derives from this and adds the
+/// deprecated flat-name aliases; everything in the tree reads and writes the
+/// nested names.
+struct ConfigData {
   // --- cluster shape -------------------------------------------------------
   std::uint32_t nodes = 8;
   std::uint32_t threads = 8;
@@ -84,47 +148,17 @@ struct Config {
   CostAttribution cost_attribution = CostAttribution::kCachedCopy;
 
   // --- profiling governor --------------------------------------------------
-  /// Arm the closed-loop governor (budgeted bidirectional rate control with
-  /// phase detection) when the profiling config is applied.  Off by default:
-  /// legacy one-way adaptation stays opt-in via enable_adaptation.
-  bool governor_enabled = false;
-  /// Overhead budget as a fraction of application time (0.02 = 2%).
-  double governor_budget = 0.02;
-  /// Enforce the budget per worker node (Atys-style bounded local cost):
-  /// back off only the classes dominating the worst offending node's cost,
-  /// tighten cluster-wide only when every node is under budget.  On by
-  /// default — the cluster-aggregate policy lets one hot node run far over
-  /// budget while the average looks fine; set false to reproduce it.
-  bool governor_per_node = true;
-  /// Per-node overhead budget as a fraction of that node's application
-  /// time; 0 = inherit governor_budget.
-  double governor_node_budget = 0.0;
+  GovernorKnobs governor{};
   /// Back-off victim scoring (see BackoffScoring; kBytesPerEntry reproduces
   /// the pre-influence heuristic for ablation benches).
   BackoffScoring backoff_scoring = BackoffScoring::kInfluenceWeighted;
-  /// When non-empty, every run_governed_epoch() hands the fresh governor
-  /// state + TCM to a background double-buffered snapshot writer targeting
-  /// this path (crash-recovery snapshots without stalling the epoch loop;
-  /// a slow disk coalesces queued snapshots, latest wins).
-  std::string snapshot_path;
 
   // --- observability -------------------------------------------------------
-  /// When non-empty, every run_governed_epoch() appends one JSON metrics
-  /// line (see export/timeline.hpp for the schema) to this path through the
-  /// same async writer — the epoch loop never blocks on the log disk.  The
-  /// file is truncated at construction, so each run starts a fresh log.
-  std::string timeline_path;
-  /// Influence entries per timeline line (largest shares first).
-  std::uint32_t timeline_top_k = 4;
-  /// Long-haul retention for the daemon's whole-run accumulator: evict or
-  /// decay objects untouched for this many epochs (0 = retention off, the
-  /// unbounded pre-retention behavior).  See TcmAccumulator::compact.
-  std::uint32_t retention_idle_epochs = 0;
-  /// Stale-object byte decay per retention pass in [0, 1); 0 drops stale
-  /// objects outright.
-  double retention_decay = 0.0;
-  /// Run the retention compact pass every this many epochs.
-  std::uint32_t retention_compact_period = 4;
+  ExportKnobs export_{};
+  RetentionKnobs retention{};
+
+  // --- OAL ingest path -----------------------------------------------------
+  IngestKnobs ingest{};
 
   // --- stack sampling ------------------------------------------------------
   bool stack_sampling = false;
@@ -148,6 +182,49 @@ struct Config {
 
   // --- simulated machine ---------------------------------------------------
   SimCosts costs{};
+};
+
+/// Central configuration, plus deprecated aliases for the flat knob names
+/// the nested sub-structs replaced (kept for one release; each alias is a
+/// reference into the nested field, so old code keeps working and new code
+/// sees every write).  The aliases are reference members, which would delete
+/// copying — the copy operations below forward to ConfigData, whose members
+/// the references re-bind onto per instance.
+struct Config : ConfigData {
+  // The constructors initialize the deprecated alias members below, which
+  // would itself warn — silence that here so only *user* mentions of the old
+  // names trip -Wdeprecated-declarations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Config() = default;
+  Config(const Config& other) : ConfigData(other) {}
+  Config& operator=(const Config& other) {
+    ConfigData::operator=(other);
+    return *this;
+  }
+#pragma GCC diagnostic pop
+
+  // --- deprecated flat aliases (remove after one release) ------------------
+  [[deprecated("use governor.enabled")]] bool& governor_enabled =
+      governor.enabled;
+  [[deprecated("use governor.budget")]] double& governor_budget =
+      governor.budget;
+  [[deprecated("use governor.per_node")]] bool& governor_per_node =
+      governor.per_node;
+  [[deprecated("use governor.node_budget")]] double& governor_node_budget =
+      governor.node_budget;
+  [[deprecated("use retention.idle_epochs")]] std::uint32_t&
+      retention_idle_epochs = retention.idle_epochs;
+  [[deprecated("use retention.decay")]] double& retention_decay =
+      retention.decay;
+  [[deprecated("use retention.compact_period")]] std::uint32_t&
+      retention_compact_period = retention.compact_period;
+  [[deprecated("use export_.snapshot_path")]] std::string& snapshot_path =
+      export_.snapshot_path;
+  [[deprecated("use export_.timeline_path")]] std::string& timeline_path =
+      export_.timeline_path;
+  [[deprecated("use export_.timeline_top_k")]] std::uint32_t&
+      timeline_top_k = export_.timeline_top_k;
 
   /// Human-readable one-line summary for logs.
   [[nodiscard]] std::string summary() const;

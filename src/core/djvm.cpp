@@ -32,12 +32,19 @@ Djvm::Djvm(Config cfg)
       daemon_(plan_, cfg.threads),
       migration_(*gos_) {
   gos_->set_hooks(this);
-  if (!cfg_.snapshot_path.empty() || !cfg_.timeline_path.empty()) {
+  if (cfg_.ingest.enabled) {
+    IngestConfig icfg;
+    icfg.arena_entries = cfg_.ingest.arena_entries;
+    icfg.ring_depth = cfg_.ingest.ring_depth;
+    ingest_hub_ = std::make_unique<IngestHub>(icfg);
+    gos_->attach_ingest(ingest_hub_.get());
+  }
+  if (!cfg_.export_.snapshot_path.empty() || !cfg_.export_.timeline_path.empty()) {
     snapshot_writer_ = std::make_unique<SnapshotWriter>();
   }
-  if (!cfg_.timeline_path.empty()) {
+  if (!cfg_.export_.timeline_path.empty()) {
     // Fresh log per run; the per-epoch lines are appended asynchronously.
-    std::ofstream truncate(cfg_.timeline_path, std::ios::trunc);
+    std::ofstream truncate(cfg_.export_.timeline_path, std::ios::trunc);
   }
   apply_profiling_config();
 }
@@ -74,27 +81,35 @@ void Djvm::apply_profiling_config() {
   } else {
     gos_->disable_footprinting();
   }
-  if (cfg_.governor_enabled) {
+  if (cfg_.governor.enabled) {
     GovernorConfig gcfg;
-    gcfg.overhead_budget = cfg_.governor_budget;
+    gcfg.overhead_budget = cfg_.governor.budget;
     gcfg.distance_threshold = cfg_.adapt_threshold;
-    gcfg.per_node = cfg_.governor_per_node;
-    gcfg.node_budget = cfg_.governor_node_budget;
+    gcfg.per_node = cfg_.governor.per_node;
+    gcfg.node_budget = cfg_.governor.node_budget;
     gcfg.scoring = cfg_.backoff_scoring;
     daemon_.governor().arm(gcfg);
   }
   RetentionPolicy retention;
-  retention.idle_epochs = cfg_.retention_idle_epochs;
-  retention.decay = cfg_.retention_decay;
-  retention.compact_period = cfg_.retention_compact_period;
+  retention.idle_epochs = cfg_.retention.idle_epochs;
+  retention.decay = cfg_.retention.decay;
+  retention.compact_period = cfg_.retention.compact_period;
   daemon_.set_retention(retention);
   // No disarm branch: Config is immutable after construction, so
-  // governor_enabled can never transition to false here — a governor armed
-  // directly via governor().arm()/enable_adaptation is the caller's to
-  // tear down with disarm().
+  // governor.enabled can never transition to false here — a governor armed
+  // directly via governor().arm() is the caller's to tear down with
+  // disarm().
 }
 
-void Djvm::pump_daemon() { daemon_.submit(gos_->drain_records()); }
+void Djvm::pump_daemon() {
+  if (ingest_hub_) {
+    // The simulator's producers run on this thread, so the hub is quiesced
+    // by construction: the drain may collect open and parked arenas too.
+    daemon_.ingest(*ingest_hub_);
+  }
+  std::vector<IntervalRecord> records = gos_->drain_records();
+  if (!records.empty()) daemon_.submit(std::move(records));
+}
 
 EpochResult Djvm::run_governed_epoch() {
   // Hand the daemon the balancer's current co-location partition (where the
@@ -298,20 +313,20 @@ EpochResult Djvm::run_governed_epoch() {
             .count();
   }
 
-  if (snapshot_writer_ && !cfg_.snapshot_path.empty()) {
+  if (snapshot_writer_ && !cfg_.export_.snapshot_path.empty()) {
     // Every epoch snapshots for crash recovery; the encode runs here (state
     // is ours to read synchronously), the file write on the background
     // thread, and a still-queued older snapshot is simply replaced.
-    snapshot_writer_->save_async(cfg_.snapshot_path, daemon_.governor(),
+    snapshot_writer_->save_async(cfg_.export_.snapshot_path, daemon_.governor(),
                                  daemon_.latest());
   }
-  if (snapshot_writer_ && !cfg_.timeline_path.empty()) {
+  if (snapshot_writer_ && !cfg_.export_.timeline_path.empty()) {
     // The line renders here (epoch state is ours to read synchronously);
     // the append happens on the background thread, batched under disk
     // pressure, never coalesced away.
     snapshot_writer_->append_async(
-        cfg_.timeline_path, timeline_line(result, daemon_.governor(),
-                                          registry_, cfg_.timeline_top_k));
+        cfg_.export_.timeline_path, timeline_line(result, daemon_.governor(),
+                                          registry_, cfg_.export_.timeline_top_k));
   }
   return result;
 }

@@ -84,20 +84,26 @@ class Djvm final : public Gos::Hooks {
   /// stack sampling, footprinting) to the live system.
   void apply_profiling_config();
 
-  /// Drains interval records from the GOS into the correlation daemon.
+  /// Drains pending OALs into the correlation daemon: published ingest
+  /// arenas when the lock-free ingest path is on (Config::ingest.enabled),
+  /// plus any legacy interval records the GOS still buffers.
   void pump_daemon();
+
+  /// The lock-free ingest hub routing interval OALs from worker threads to
+  /// the daemon (nullptr unless Config::ingest.enabled).
+  [[nodiscard]] IngestHub* ingest_hub() noexcept { return ingest_hub_.get(); }
 
   /// The per-epoch governor pump: drains records, assembles the epoch's
   /// overhead sample — cluster aggregate plus one per-node slice per worker
   /// node, from per-node GOS counters, per-source network accounting, and
   /// per-node thread-clock deltas since the previous pump — and runs one
   /// daemon epoch under the governor.  Call once per epoch (e.g. after each
-  /// barrier round).  With Config::snapshot_path set, the epoch's governor
+  /// barrier round).  With Config::export_.snapshot_path set, the epoch's governor
   /// state + TCM are handed to the async snapshot writer afterwards.
   EpochResult run_governed_epoch();
 
   /// The background snapshot/timeline writer (nullptr unless
-  /// Config::snapshot_path or Config::timeline_path is set).  Exposed so
+  /// Config::export_.snapshot_path or Config::export_.timeline_path is set).  Exposed so
   /// callers can flush() before inspecting the files.
   [[nodiscard]] SnapshotWriter* snapshot_writer() noexcept {
     return snapshot_writer_.get();
@@ -140,6 +146,7 @@ class Djvm final : public Gos::Hooks {
   Network net_;
   SamplingPlan plan_;
   std::unique_ptr<Gos> gos_;
+  std::unique_ptr<IngestHub> ingest_hub_;
   std::vector<JavaStack> stacks_;
   StackSamplerManager stackman_;
   FootprintTracker fptracker_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "profiling/ingest.hpp"
 #include "runtime/object.hpp"
 
 namespace djvm {
@@ -43,7 +44,17 @@ ThreadId Gos::spawn_thread(NodeId node) {
   ts.node = node;
   ts.dispatch = dispatch_;
   threads_.push_back(std::move(ts));
+  if (ingest_ != nullptr) {
+    ingest_->ensure_lanes(static_cast<std::uint32_t>(threads_.size()));
+  }
   return static_cast<ThreadId>(threads_.size() - 1);
+}
+
+void Gos::attach_ingest(IngestHub* hub) {
+  ingest_ = hub;
+  if (ingest_ != nullptr && !threads_.empty()) {
+    ingest_->ensure_lanes(static_cast<std::uint32_t>(threads_.size()));
+  }
 }
 
 void Gos::grow_node(NodeState& ns) const {
@@ -283,24 +294,34 @@ void Gos::close_interval(ThreadId t, NodeId sync_dest) {
   }
   ts.fp_objects.clear();
   if (tracking_ != OalTransfer::kDisabled && !ts.oal.empty()) {
-    IntervalRecord rec;
-    rec.thread = t;
-    rec.interval = ts.interval_id;
-    rec.node = ts.node;
-    rec.start_pc = ts.interval_start_pc;
-    rec.end_pc = ts.phase_pc;
-    rec.entries.swap(ts.oal);
-    // Keep the working buffer's capacity in the hot path's favour.
-    ts.oal.reserve(rec.entries.size());
     if (tracking_ == OalTransfer::kSend) {
       const bool piggy = cfg_.piggyback_oals && sync_dest == coordinator_;
-      const SimTime dt = net_.send(
-          {ts.node, coordinator_, MsgCategory::kOal, rec.wire_bytes(), piggy});
+      const std::uint64_t wire =
+          kIntervalHeaderWireBytes + ts.oal.size() * kOalEntryWireBytes;
+      const SimTime dt =
+          net_.send({ts.node, coordinator_, MsgCategory::kOal, wire, piggy});
       ts.clock.advance(dt);
       ++stats_.oal_messages;
       stats_.oal_send_ns += dt;
     }
-    records_.push_back(std::move(rec));
+    if (ingest_ != nullptr) {
+      // Lock-free hand-off: the OAL goes straight into this thread's lane
+      // arena (lane index == thread id), no IntervalRecord materialized.
+      ingest_->append(t, t, ts.interval_id, ts.node, ts.interval_start_pc,
+                      ts.phase_pc, ts.oal);
+      ts.oal.clear();
+    } else {
+      IntervalRecord rec;
+      rec.thread = t;
+      rec.interval = ts.interval_id;
+      rec.node = ts.node;
+      rec.start_pc = ts.interval_start_pc;
+      rec.end_pc = ts.phase_pc;
+      rec.entries.swap(ts.oal);
+      // Keep the working buffer's capacity in the hot path's favour.
+      ts.oal.reserve(rec.entries.size());
+      records_.push_back(std::move(rec));
+    }
   } else {
     ts.oal.clear();
   }

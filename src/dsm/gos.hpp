@@ -33,6 +33,8 @@
 
 namespace djvm {
 
+class IngestHub;
+
 /// Simulated cost of the GOS service routine handling a correlation-fault
 /// (log + cancel false-invalid), with no network involved.  Public so the
 /// governor's pump hook can convert `ProtocolStats::oal_entries` deltas
@@ -140,6 +142,16 @@ class Gos : public CopySetView {
     observe_ = on;
     refresh_dispatch();
   }
+
+  /// Routes interval OALs through per-thread lock-free ingest lanes instead
+  /// of materializing IntervalRecords (see profiling/ingest.hpp): each
+  /// interval close appends the thread's OAL straight into its lane's open
+  /// arena.  Wire accounting (kSend shipping, piggybacking) is unchanged —
+  /// only the hand-off representation differs.  Lanes are sized for the
+  /// already-spawned threads immediately and grown on every later spawn.
+  /// Pass nullptr to detach (subsequent closes build records again).
+  void attach_ingest(IngestHub* hub);
+  [[nodiscard]] IngestHub* ingest() const noexcept { return ingest_; }
 
   // --- profiling outputs -------------------------------------------------------
   /// Interval records delivered to the coordinator so far (moves them out).
@@ -254,6 +266,7 @@ class Gos : public CopySetView {
 
   OalTransfer tracking_ = OalTransfer::kDisabled;
   NodeId coordinator_ = 0;
+  IngestHub* ingest_ = nullptr;
   Hooks* hooks_ = nullptr;
   bool observe_ = false;
   /// Mask inherited by freshly spawned threads (refresh_dispatch keeps the

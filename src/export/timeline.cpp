@@ -68,6 +68,13 @@ std::string timeline_line(const EpochResult& epoch, const Governor& governor,
   out += ",\"retained_readers\":" + std::to_string(epoch.retained_readers);
   out += ",\"dropped_objects\":" + std::to_string(epoch.dropped_objects);
 
+  out += ",\"ring\":{";
+  out += "\"published\":" + std::to_string(epoch.ring_published);
+  out += ",\"entries\":" + std::to_string(epoch.ring_entries);
+  out += ",\"backpressure\":" + std::to_string(epoch.ring_backpressure);
+  out += ",\"dropped\":" + std::to_string(epoch.ring_dropped);
+  out += '}';
+
   out += ",\"traffic\":{";
   for (std::size_t c = 0; c < epoch.traffic_bytes.size(); ++c) {
     if (c != 0) out += ',';

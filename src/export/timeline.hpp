@@ -11,6 +11,7 @@
 //    "intervals":N, "entries":N, "rel_distance":0.04|null,
 //    "rate_changed":bool, "resampled_objects":N,
 //    "retained_objects":N, "retained_readers":N, "dropped_objects":N,
+//    "ring":{"published":N, "entries":N, "backpressure":N, "dropped":N},
 //    "traffic":{"object-data":B, "oal":B, "control":B, "migration":B},
 //    "influence_top":[{"class":"name","share":0.4}, ...]}
 #pragma once

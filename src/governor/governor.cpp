@@ -60,12 +60,19 @@ void Governor::arm(GovernorConfig cfg) {
   // A decay outside [0, 1] would amplify instead of remember.
   cfg.influence_decay = std::clamp(cfg.influence_decay, 0.0, 1.0);
   cfg_ = cfg;
-  mode_ = GovernorMode::kClosedLoop;
+  if (cfg_.legacy_one_way) {
+    // The seed's one-way loop: same entry point, same reset semantics; only
+    // the distance threshold matters to legacy_step.
+    mode_ = GovernorMode::kLegacyOneWay;
+  } else {
+    mode_ = GovernorMode::kClosedLoop;
+  }
   reset_controller_state(GovernorState::kAdapting);
 }
 
 void Governor::arm_legacy(double threshold) {
   cfg_.distance_threshold = threshold;
+  cfg_.legacy_one_way = true;
   mode_ = GovernorMode::kLegacyOneWay;
   reset_controller_state(GovernorState::kAdapting);
 }

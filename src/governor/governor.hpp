@@ -32,11 +32,11 @@
 // shipping, and resampling) made explicit in the controller.
 //
 // A legacy mode reproduces the seed daemon's one-way rate decisions
-// (halve-all-until-agreement, then freeze), so
-// CorrelationDaemon::enable_adaptation stays a thin forwarding shim.  One
-// deliberate accounting difference: resampled-object counts now report only
-// objects of classes whose gap actually moved, where the seed revisited the
-// whole heap.
+// (halve-all-until-agreement, then freeze); arm it with
+// GovernorConfig::legacy(threshold) through the same arm() entry point as
+// the closed loop.  One deliberate accounting difference: resampled-object
+// counts now report only objects of classes whose gap actually moved, where
+// the seed revisited the whole heap.
 #pragma once
 
 #include <cstdint>
@@ -143,6 +143,20 @@ struct GovernorConfig {
   /// one quiet epoch cannot zero a class the balancer has been acting on.
   double influence_decay = 0.5;
   OverheadCosts costs{};
+  /// Run the seed's one-way convergence loop (tighten-only, freeze on
+  /// convergence) instead of the closed-loop controller; only
+  /// distance_threshold applies.  Build with GovernorConfig::legacy().
+  bool legacy_one_way = false;
+
+  /// Config for the paper's Section II.B.2 one-way convergence loop at
+  /// `threshold` — the migration target for the retired
+  /// CorrelationDaemon::enable_adaptation / Governor::arm_legacy APIs.
+  [[nodiscard]] static GovernorConfig legacy(double threshold) {
+    GovernorConfig cfg;
+    cfg.distance_threshold = threshold;
+    cfg.legacy_one_way = true;
+    return cfg;
+  }
 
   /// The budget one node is held to (node_budget unless unset).
   [[nodiscard]] double effective_node_budget() const noexcept {
@@ -155,13 +169,12 @@ class Governor {
   explicit Governor(SamplingPlan& plan, GovernorConfig cfg = {});
 
   // --- arming ---------------------------------------------------------------
-  /// Closed-loop control under `cfg`.  Re-arming resets controller state
-  /// and restarts the overhead meter (the new config may change its cost
-  /// model or window).
+  /// Arms the controller under `cfg` — closed-loop control by default, the
+  /// seed-compatible one-way convergence loop when cfg.legacy_one_way (see
+  /// GovernorConfig::legacy).  Re-arming resets controller state and
+  /// restarts the overhead meter (the new config may change its cost model
+  /// or window).
   void arm(GovernorConfig cfg);
-  /// Seed-compatible one-way convergence at `threshold` (the
-  /// CorrelationDaemon::enable_adaptation shim lands here).
-  void arm_legacy(double threshold);
   void disarm();
   /// Re-arms in the current mode with the current config, discarding
   /// convergence progress (the daemon's clear() path); no-op when disarmed.
@@ -236,6 +249,9 @@ class Governor {
   /// Restarts the meter and wipes convergence progress; every (re)arm path
   /// and the disarmed reset() branch funnel through here.
   void reset_controller_state(GovernorState state);
+  /// One-way convergence at `threshold` (arm() routes here via
+  /// GovernorConfig::legacy_one_way; reset() re-arms through it).
+  void arm_legacy(double threshold);
   EpochOutcome legacy_step(std::optional<double> rel_distance);
   EpochOutcome closed_loop_step(std::optional<double> rel_distance,
                                 bool budget_known);

@@ -21,14 +21,31 @@ CorrelationDaemon::CorrelationDaemon(SamplingPlan& plan, std::uint32_t threads)
       full_(threads, /*weighted=*/true),
       latest_(threads) {}
 
-void CorrelationDaemon::submit(std::vector<IntervalRecord> records) {
-  // The sanitize walk below is per-entry coordinator work like the fold
-  // itself: timed into the same bucket.
-  const auto t0 = std::chrono::steady_clock::now();
-  // Records are external input: a class id beyond the registry must not tag
+void CorrelationDaemon::fold_arena(OalArena& arena) {
+  // Entries are external input: a class id beyond the registry must not tag
   // the accumulator (the tag sizes class-indexed attribution vectors — the
   // same invariant note_epoch_entry enforces on the epoch stats).  Untagged
   // entries still fold into the map; they just carry no attribution.
+  const std::size_t classes = plan_.heap().registry().size();
+  for (OalEntry& e : arena.entries) {
+    if (e.klass != kInvalidClass && e.klass >= classes) {
+      e.klass = kInvalidClass;
+    }
+  }
+  window_.add(arena);
+  total_entries_ += arena.entries.size();
+}
+
+void CorrelationDaemon::submit(std::vector<IntervalRecord> records) {
+  // Compatibility wrapper: pack the batch into the staging arena (one slice
+  // per record) and fold that, so the legacy path exercises exactly the
+  // machinery the ring path uses.  The sanitize walk inside fold_arena is
+  // per-entry coordinator work like the fold itself: timed into the same
+  // bucket.
+  const auto t0 = std::chrono::steady_clock::now();
+  // Sanitize the records first (pending_/history_ walks must see the same
+  // class tags the accumulator does), then pack; fold_arena's own sanitize
+  // pass is then a no-op.
   const std::size_t classes = plan_.heap().registry().size();
   for (IntervalRecord& r : records) {
     for (OalEntry& e : r.entries) {
@@ -37,17 +54,48 @@ void CorrelationDaemon::submit(std::vector<IntervalRecord> records) {
       }
     }
   }
-  window_.add(records);
+  staging_.clear();
+  for (const IntervalRecord& r : records) {
+    const auto begin = static_cast<std::uint32_t>(staging_.entries.size());
+    staging_.entries.insert(staging_.entries.end(), r.entries.begin(),
+                            r.entries.end());
+    staging_.intervals.push_back(ArenaInterval{
+        r.thread, r.interval, r.node, r.start_pc, r.end_pc, begin,
+        static_cast<std::uint32_t>(staging_.entries.size())});
+  }
+  fold_arena(staging_);
+  staging_.clear();
   window_fold_seconds_ += seconds_since(t0);
   for (IntervalRecord& r : records) {
-    total_entries_ += r.entries.size();
     pending_.push_back(std::move(r));
   }
 }
 
+std::size_t CorrelationDaemon::ingest(IngestHub& hub, bool quiesced) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (hub_ != &hub) {
+    hub_ = &hub;
+    ring_snapshot_ = IngestCounters{};  // deltas restart against the new hub
+  }
+  arena_mode_ = true;
+  std::size_t consumed = 0;
+  const auto consume = [&](OalArena* a) {
+    fold_arena(*a);
+    pending_slices_ += a->intervals.size();
+    pending_arenas_.push_back(a);
+    ++consumed;
+  };
+  while (OalArena* a = hub.try_pop()) consume(a);
+  if (quiesced) {
+    for (OalArena* a : hub.take_stranded()) consume(a);
+  }
+  window_fold_seconds_ += seconds_since(t0);
+  return consumed;
+}
+
 EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   EpochResult out;
-  out.intervals = pending_.size();
+  out.intervals = pending_.size() + pending_slices_;
   std::uint64_t wire_bytes = 0;
   // Per-class benefit/cost stats feed only the closed-loop back-off; the
   // legacy and disarmed paths skip the per-entry pass.  Each entry is also
@@ -76,6 +124,30 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
           if (home_mass.size() <= e.klass) home_mass.resize(e.klass + 1, 0.0);
           home_mass[e.klass] +=
               static_cast<double>(e.bytes) * static_cast<double>(e.gap);
+        }
+      }
+    }
+  }
+  // The same walk over drained arena slices (the ring path's records): each
+  // slice carries the interval header context a record would have.
+  for (const OalArena* a : pending_arenas_) {
+    out.entries += a->entries.size();
+    wire_bytes += a->wire_bytes();
+    if (class_stats || want_cells) {
+      for (const ArenaInterval& iv : a->intervals) {
+        for (std::uint32_t i = iv.begin; i < iv.end; ++i) {
+          const OalEntry& e = a->entries[i];
+          if (class_stats) {
+            plan_.note_epoch_entry(e.klass, e.bytes, e.gap);
+            plan_.note_epoch_node_entry(iv.node, e.klass, e.bytes, e.gap);
+          }
+          if (want_cells && iv.node != kInvalidNode &&
+              e.klass != kInvalidClass && e.obj < heap.object_count() &&
+              heap.meta(e.obj).home != iv.node) {
+            if (home_mass.size() <= e.klass) home_mass.resize(e.klass + 1, 0.0);
+            home_mass[e.klass] +=
+                static_cast<double>(e.bytes) * static_cast<double>(e.gap);
+          }
         }
       }
     }
@@ -122,6 +194,19 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
     out.retained_readers = full_.reader_entries();
     out.dropped_objects = dropped_objects_;
     retention_seconds = seconds_since(tr);
+  } else if (arena_mode_) {
+    // Arena mode without retention: ingested entries have no raw records to
+    // re-fold later, so the whole-run accumulator is fed eagerly from the
+    // consumed window.  Legacy records submitted before the first ingest()
+    // sit in `history_` past full_mark_ and are folded in first (the window
+    // that held them was already consumed by earlier epochs).
+    const auto tr = std::chrono::steady_clock::now();
+    if (full_mark_ < history_.size()) {
+      full_.add(std::span<const IntervalRecord>(history_).subspan(full_mark_));
+      full_mark_ = history_.size();
+    }
+    full_.merge(window_);
+    retention_seconds = seconds_since(tr);
   }
 
   out.build_seconds = window_fold_seconds_ + out.densify_seconds +
@@ -148,18 +233,27 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
     // (no app time was measured, so the governor will not budget on them,
     // but the per-node wire view stays visible).
     if (sample.nodes.empty()) {
-      for (const IntervalRecord& r : pending_) {
-        if (r.node == kInvalidNode) continue;
-        auto it = std::find_if(sample.nodes.begin(), sample.nodes.end(),
-                               [&](const NodeOverheadSample& ns) {
-                                 return ns.node == r.node;
-                               });
+      const auto bill_node = [&](NodeId node, std::uint64_t bytes) {
+        if (node == kInvalidNode) return;
+        auto it = std::find_if(
+            sample.nodes.begin(), sample.nodes.end(),
+            [&](const NodeOverheadSample& ns) { return ns.node == node; });
         if (it == sample.nodes.end()) {
           sample.nodes.push_back(NodeOverheadSample{});
           it = sample.nodes.end() - 1;
-          it->node = r.node;
+          it->node = node;
         }
-        it->wire_bytes += r.wire_bytes();
+        it->wire_bytes += bytes;
+      };
+      for (const IntervalRecord& r : pending_) {
+        bill_node(r.node, r.wire_bytes());
+      }
+      for (const OalArena* a : pending_arenas_) {
+        for (const ArenaInterval& iv : a->intervals) {
+          bill_node(iv.node, kIntervalHeaderWireBytes +
+                                 std::uint64_t(iv.end - iv.begin) *
+                                     kOalEntryWireBytes);
+        }
       }
     }
   }
@@ -174,7 +268,22 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
       ns.resampled_objects += carryover_resampled_by_node_[ns.node];
     }
   }
-  plan_.drain_resampled_by_node();  // discard passes not owed to the governor
+  static_cast<void>(  // discard passes not owed to the governor
+      plan_.drain_resampled_by_node());
+  if (hub_ != nullptr) {
+    // Ring telemetry over this epoch, and the producer-stall bill: every
+    // backpressure event parked an arena on a worker thread, which is
+    // rate-dependent worker CPU exactly like the log service itself.
+    const IngestCounters now = hub_->counters();
+    out.ring_published = now.arenas_published - ring_snapshot_.arenas_published;
+    out.ring_entries =
+        now.entries_published - ring_snapshot_.entries_published;
+    out.ring_backpressure =
+        now.backpressure_events - ring_snapshot_.backpressure_events;
+    ring_snapshot_ = now;
+    sample.access_check_seconds +=
+        static_cast<double>(out.ring_backpressure) * kRingBackpressureSeconds;
+  }
   const Governor::EpochOutcome decision =
       governor_.on_epoch(out.rel_distance, sample);
   out.rate_changed = decision.rate_changed;
@@ -193,23 +302,49 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
 
   latest_ = out.tcm;
   have_latest_ = true;
-  intervals_seen_ += pending_.size();
+  intervals_seen_ += pending_.size() + pending_slices_;
   if (!retention_.active()) {
     for (IntervalRecord& r : pending_) history_.push_back(std::move(r));
+    if (arena_mode_) {
+      // These records were folded into full_ via the window merge above;
+      // build_full must not re-fold them from history.
+      full_mark_ = history_.size();
+    }
   }
   pending_.clear();
+  release_pending_arenas();
   return out;
 }
 
+void CorrelationDaemon::release_pending_arenas() {
+  if (hub_ != nullptr) {
+    for (OalArena* a : pending_arenas_) hub_->recycle(a);
+  }
+  pending_arenas_.clear();
+  pending_slices_ = 0;
+}
+
 SquareMatrix CorrelationDaemon::build_full(bool weighted) {
-  if (retention_.active()) {
-    // Under retention the records are gone: the whole-run map *is* the
-    // retained accumulator plus whatever sits in the unconsumed window.
-    // The unweighted variant is unavailable (set_retention documents it) —
-    // the retained state carries HT-weighted bytes only.
-    intervals_seen_ += pending_.size();
-    pending_.clear();
+  if (retention_.active() || arena_mode_) {
+    // Under retention — and in arena mode, where ingested entries never had
+    // raw records — the whole-run map *is* the whole-run accumulator plus
+    // whatever sits in the unconsumed window.  The unweighted variant is
+    // unavailable (set_retention and ingest document it) — the accumulated
+    // state carries HT-weighted bytes only.
+    intervals_seen_ += pending_.size() + pending_slices_;
     const auto tr = std::chrono::steady_clock::now();
+    if (!retention_.active()) {
+      // Arena mode keeps legacy records in history for the history() API;
+      // fold any not yet in full_ before adopting the window.
+      if (full_mark_ < history_.size()) {
+        full_.add(
+            std::span<const IntervalRecord>(history_).subspan(full_mark_));
+      }
+      for (IntervalRecord& r : pending_) history_.push_back(std::move(r));
+      full_mark_ = history_.size();
+    }
+    pending_.clear();
+    release_pending_arenas();
     full_.merge(window_);
     window_.reset();
     SquareMatrix tcm = full_.dense();
@@ -258,6 +393,11 @@ SquareMatrix CorrelationDaemon::build_full(bool weighted) {
 
 void CorrelationDaemon::clear() {
   pending_.clear();
+  release_pending_arenas();
+  hub_ = nullptr;
+  arena_mode_ = false;
+  ring_snapshot_ = IngestCounters{};
+  staging_.clear();
   history_.clear();
   window_.reset();
   window_fold_seconds_ = 0.0;

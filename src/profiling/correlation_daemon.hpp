@@ -20,6 +20,7 @@
 #include "common/matrix.hpp"
 #include "governor/governor.hpp"
 #include "net/message.hpp"
+#include "profiling/ingest.hpp"
 #include "profiling/oal.hpp"
 #include "profiling/sampling.hpp"
 #include "profiling/tcm.hpp"
@@ -79,6 +80,17 @@ struct EpochResult {
   std::size_t retained_objects = 0;
   std::size_t retained_readers = 0;
   std::size_t dropped_objects = 0;
+  /// Ingest-ring telemetry over this epoch (all zero when the daemon runs on
+  /// the legacy submit() path): arenas published and entries carried by the
+  /// lanes, and publishes that found their outbound ring full (the arena is
+  /// then parked producer-side and re-offered — a counted stall).
+  /// ring_dropped exists to prove the invariant the bench gate checks: the
+  /// ingest path has no drop branch, so it is structurally zero, and a
+  /// nonzero value in a timeline is a bug, not a tuning problem.
+  std::uint64_t ring_published = 0;
+  std::uint64_t ring_entries = 0;
+  std::uint64_t ring_backpressure = 0;
+  std::uint64_t ring_dropped = 0;
 };
 
 /// Long-haul retention policy for the daemon's whole-run accumulator (see
@@ -101,13 +113,34 @@ class CorrelationDaemon {
  public:
   CorrelationDaemon(SamplingPlan& plan, std::uint32_t threads);
 
-  /// Delivers records (the facade drains the GOS into here) and folds them
-  /// into the window accumulator as a delta; the fold time is charged to the
-  /// next epoch's build_seconds.
+  /// Legacy delivery path, kept as a thin compatibility wrapper over the
+  /// arena fold: packs the batch into one staging OalArena (one slice per
+  /// record) and folds that, so both ingest paths exercise identical map
+  /// machinery.  The records themselves still land in `pending_` for the
+  /// epoch statistics and `history`.  Fold time is charged to the next
+  /// epoch's build_seconds.  New callers should publish through an IngestHub
+  /// and drain with ingest() instead.
   void submit(std::vector<IntervalRecord> records);
 
-  /// Records waiting for the next epoch.
-  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  /// Lock-free delivery path: drains every published arena out of `hub`
+  /// (round-robin across lanes) and folds each into the window accumulator.
+  /// With `quiesced` (the default — the simulator's producers run on this
+  /// same thread) it also collects parked and still-open arenas via
+  /// take_stranded(), so an epoch boundary observes every appended entry.
+  /// Pass false only when producer threads are still appending concurrently.
+  /// Drained arenas are recycled back to their lanes at the next run_epoch
+  /// (their slices back the epoch's statistics until then).  Returns the
+  /// number of arenas consumed.  Switches the daemon into arena mode: raw
+  /// records no longer exist for ingested entries, so `history()` stays
+  /// empty of them and build_full folds through the whole-run accumulator
+  /// (weighted only), as under retention.
+  std::size_t ingest(IngestHub& hub, bool quiesced = true);
+
+  /// Interval deliveries waiting for the next epoch (legacy records plus
+  /// ingested arena slices).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size() + pending_slices_;
+  }
 
   /// Densifies the window accumulator into this epoch's TCM, compares with
   /// the previous epoch's map, refreshes the plan's per-class epoch stats,
@@ -147,10 +180,10 @@ class CorrelationDaemon {
     return retention_;
   }
 
-  /// Thin forwarding shim kept for the seed API: arms the governor's
-  /// legacy one-way convergence loop at `threshold`.
-  void enable_adaptation(double threshold) { governor_.arm_legacy(threshold); }
-  void disable_adaptation() { governor_.disarm(); }
+  /// Rate control lives entirely on the governor: arm the paper's one-way
+  /// convergence loop with governor().arm(GovernorConfig::legacy(t)), the
+  /// closed-loop controller with a full GovernorConfig, and stop with
+  /// governor().disarm().
   [[nodiscard]] bool converged() const noexcept { return governor_.converged(); }
 
   /// Seeds the previous-epoch map (snapshot warm start): the next epoch's
@@ -173,7 +206,10 @@ class CorrelationDaemon {
   /// tracks a high-water mark into `history`, so repeated calls pay only for
   /// records that arrived since the last one instead of re-accruing the
   /// whole run from scratch (the unweighted variant, which nothing in the
-  /// tree requests repeatedly, stays a from-scratch build).
+  /// tree requests repeatedly, stays a from-scratch build).  In arena mode
+  /// (after ingest()) raw records never existed for ingested entries, so the
+  /// whole-run map is the accumulator itself and, as under retention, only
+  /// the weighted variant is available.
   SquareMatrix build_full(bool weighted = true);
 
   /// Total real seconds spent in TCM construction (Table III's rightmost
@@ -197,11 +233,28 @@ class CorrelationDaemon {
   void clear();
 
  private:
+  /// Sanitizes one arena's entries (class ids beyond the registry untag) and
+  /// folds it into the window; shared by ingest() and the submit() wrapper.
+  void fold_arena(OalArena& arena);
+  /// Recycles consumed pending arenas back to their lanes.
+  void release_pending_arenas();
+
   SamplingPlan& plan_;
   std::uint32_t threads_;
   Governor governor_;
   std::vector<IntervalRecord> pending_;
   std::vector<IntervalRecord> history_;
+  /// Arena-mode state: the hub ingest() last drained (arenas are recycled to
+  /// it), the drained-but-unconsumed arenas backing the next epoch's stats,
+  /// and the ring-counter snapshot per-epoch telemetry deltas against.
+  IngestHub* hub_ = nullptr;
+  bool arena_mode_ = false;
+  std::vector<OalArena*> pending_arenas_;
+  std::size_t pending_slices_ = 0;
+  IngestCounters ring_snapshot_;
+  /// Staging arena behind the submit() compatibility wrapper (reused across
+  /// calls; never touches a hub).
+  OalArena staging_;
   /// Incremental sparse accumulator over the current window: every submit()
   /// folds its batch in, so the epoch boundary only densifies.
   TcmAccumulator window_;

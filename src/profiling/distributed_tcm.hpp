@@ -11,6 +11,18 @@
 //
 // The result is bit-identical to the centralized TcmBuilder (tests assert
 // this); what changes is where the work happens and how it scales.
+//
+// Two partial representations coexist:
+//
+//  * `NodePartial` — the original per-object `vector<pair>` summaries behind
+//    a hash map.  Every reduction level re-hashes and re-scans reader
+//    vectors; kept verbatim as the equivalence oracle.
+//  * `NodeCsrPartial` — the same monoid carried as a flat CSR `ReaderArena`
+//    end-to-end: local reduce bucket-sorts records (or drained ingest
+//    arenas) straight into per-node CSR partials, and every level of the
+//    reduction tree merges CSR-to-CSR through the same bucket-sort
+//    machinery — no level re-hashes, no per-object vectors anywhere.
+//    `build()` routes through this pipeline.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +46,20 @@ struct NodePartial {
   [[nodiscard]] std::uint64_t wire_bytes() const noexcept;
 };
 
+/// Per-node partial in flat CSR form (see ReaderArena): the representation
+/// the reduction tree carries end-to-end so no level re-hashes.  Byte values
+/// inside the arena are already Horvitz-Thompson weighted when requested.
+struct NodeCsrPartial {
+  NodeId node = kInvalidNode;
+  ReaderArena arena;
+
+  /// Wire size when shipped up the reduction tree.  Priced identically to
+  /// NodePartial (header + object id + (thread, bytes) reader entries) so
+  /// traffic comparisons between the two pipelines measure representation
+  /// compactness on the wire, not an accounting difference.
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept;
+};
+
 /// Distributed TCM reduction.
 class DistributedTcmReducer {
  public:
@@ -41,6 +67,21 @@ class DistributedTcmReducer {
   /// records from many nodes; they are grouped by IntervalRecord::node.
   [[nodiscard]] static std::vector<NodePartial> local_reduce(
       std::span<const IntervalRecord> records, bool weighted);
+
+  /// Phase 1, CSR: buckets records per node (no hashing — record pointers
+  /// are grouped by a linear node scan) and reorganizes each bucket straight
+  /// into a CSR partial.  Partials come back sorted by node id.
+  [[nodiscard]] static std::vector<NodeCsrPartial> local_reduce_csr(
+      std::span<const IntervalRecord> records, bool weighted,
+      ArenaScratch& scratch);
+
+  /// Phase 1, CSR, over drained ingest log arenas: interval slices bucket
+  /// per node (one arena may mix slices from many threads and nodes), then
+  /// each bucket reorganizes in place — no IntervalRecord is materialized
+  /// anywhere between the producer's append and the per-node partial.
+  [[nodiscard]] static std::vector<NodeCsrPartial> local_reduce_csr(
+      std::span<const OalArena* const> logs, bool weighted,
+      ArenaScratch& scratch);
 
   /// Merges `b` into `a` (the reduction monoid: per-object reader lists
   /// union, byte values combined by max — the same rule reorganize() uses
@@ -54,6 +95,17 @@ class DistributedTcmReducer {
   [[nodiscard]] static NodePartial tree_reduce(std::vector<NodePartial> partials,
                                                Network* net = nullptr);
 
+  /// Merges `b` into `a` in CSR form (TcmBuilder::merge_arenas — a bucket
+  /// sort, not a hash probe per object).
+  static void merge_csr(NodeCsrPartial& a, const NodeCsrPartial& b,
+                        ArenaScratch& scratch);
+
+  /// Phase 2, CSR: the same binary reduction tree over CSR partials.  Every
+  /// level merges arena-to-arena; `net` accounting matches tree_reduce.
+  [[nodiscard]] static NodeCsrPartial tree_reduce_csr(
+      std::vector<NodeCsrPartial> partials, Network* net,
+      ArenaScratch& scratch);
+
   /// Phase 3: pair accrual over merged summaries, sharded over `threads_hw`
   /// worker threads (1 = sequential).  Shards partition the objects (each
   /// object's summary appears once), so workers fold into private sparse
@@ -63,8 +115,22 @@ class DistributedTcmReducer {
       std::span<const ObjectAccessSummary> summaries, std::uint32_t threads,
       unsigned threads_hw);
 
-  /// Full pipeline: local reduce -> tree reduce -> (parallel) accrual.
+  /// Phase 3, CSR: pair accrual over the merged arena.  The CSR offsets give
+  /// natural object shards — workers accrue disjoint object ranges into
+  /// private upper-triangular accumulators that sum at the end.
+  [[nodiscard]] static SquareMatrix accrue_parallel(const ReaderArena& arena,
+                                                    std::uint32_t threads,
+                                                    unsigned threads_hw);
+
+  /// Full pipeline, routed through the CSR partials end-to-end:
+  /// local_reduce_csr -> tree_reduce_csr -> (parallel) accrual.
   [[nodiscard]] static SquareMatrix build(std::span<const IntervalRecord> records,
+                                          std::uint32_t threads, bool weighted,
+                                          unsigned threads_hw = 1,
+                                          Network* net = nullptr);
+
+  /// Full CSR pipeline over drained ingest log arenas.
+  [[nodiscard]] static SquareMatrix build(std::span<const OalArena* const> logs,
                                           std::uint32_t threads, bool weighted,
                                           unsigned threads_hw = 1,
                                           Network* net = nullptr);

@@ -25,10 +25,18 @@ struct OalEntry {
 };
 
 /// Wire size of one OAL entry: the paper ships "accessed object id and size"
-/// (8-byte id + 4-byte size).
-inline constexpr std::uint64_t kOalEntryWireBytes = 12;
-/// Interval context header: thread id, interval id, start/end bytecode PC.
-inline constexpr std::uint64_t kIntervalHeaderWireBytes = 24;
+/// — the id and byte fields exactly.  `klass` and `gap` are coordinator-side
+/// context reconstructed from the id, never shipped, so they do not appear
+/// in the sum.  Derived from the shipped fields so adding or widening one
+/// moves the constant with it (a hand-kept 12 silently under-bills traffic).
+inline constexpr std::uint64_t kOalEntryWireBytes =
+    sizeof(OalEntry::obj) + sizeof(OalEntry::bytes);
+static_assert(kOalEntryWireBytes == 12,
+              "OAL wire entry is an 8-byte object id + 4-byte size; a shipped "
+              "field changed — update every reader of kOalEntryWireBytes");
+static_assert(sizeof(OalEntry) == 24,
+              "OalEntry gained or lost a field; decide whether it ships and "
+              "update kOalEntryWireBytes accordingly");
 
 /// A closed interval's access log, as shipped to the coordinator.
 struct IntervalRecord {
@@ -41,9 +49,26 @@ struct IntervalRecord {
   std::uint32_t end_pc = 0;
   std::vector<OalEntry> entries;
 
-  [[nodiscard]] std::uint64_t wire_bytes() const noexcept {
-    return kIntervalHeaderWireBytes + entries.size() * kOalEntryWireBytes;
-  }
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept;
 };
+
+/// Interval context header: every header field ships (thread id, interval
+/// id, source node, start/end bytecode PC) plus two bytes of wire padding
+/// that keep the entry payload 4-byte aligned for the coordinator's bulk
+/// decode.  Derived the same way as the entry size: field changes move the
+/// constant, and the static_assert forces the pad to be revisited.
+inline constexpr std::uint64_t kIntervalHeaderWirePad = 2;
+inline constexpr std::uint64_t kIntervalHeaderWireBytes =
+    sizeof(IntervalRecord::thread) + sizeof(IntervalRecord::interval) +
+    sizeof(IntervalRecord::node) + sizeof(IntervalRecord::start_pc) +
+    sizeof(IntervalRecord::end_pc) + kIntervalHeaderWirePad;
+static_assert(kIntervalHeaderWireBytes == 24,
+              "interval header layout changed — update the wire pad (entry "
+              "payload must stay 4-byte aligned) and every reader of "
+              "kIntervalHeaderWireBytes");
+
+inline std::uint64_t IntervalRecord::wire_bytes() const noexcept {
+  return kIntervalHeaderWireBytes + entries.size() * kOalEntryWireBytes;
+}
 
 }  // namespace djvm

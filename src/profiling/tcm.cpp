@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "profiling/ingest.hpp"
+
 namespace djvm {
 
 namespace {
@@ -51,14 +53,17 @@ void ObjectSlotMap::release(std::span<const ObjectId> touched) {
 
 // --- arena reorganize ---------------------------------------------------------
 
-ReaderArena TcmBuilder::reorganize_arena(std::span<const IntervalRecord> records,
-                                         bool weighted) {
-  ArenaScratch scratch;
-  return reorganize_arena(records, weighted, scratch);
-}
+namespace {
 
-ReaderArena TcmBuilder::reorganize_arena(std::span<const IntervalRecord> records,
-                                         bool weighted, ArenaScratch& s) {
+/// The shared bucket-sort machinery behind every reorganize/merge variant:
+/// `for_each` must invoke its argument once per (thread, object, class,
+/// already-scaled bytes) tuple, in any order, any number of times per
+/// (thread, object).  Pass 1 flattens through the direct-indexed slot map,
+/// pass 2 prefix-sums + scatters, pass 3 stamp-dedups each segment in place
+/// with max-combining.
+template <typename ForEach>
+ReaderArena reorganize_impl(ArenaScratch& s, std::size_t total_hint,
+                            ForEach&& for_each) {
   ReaderArena arena;
   s.counts.clear();
   s.flat_slot.clear();
@@ -67,30 +72,23 @@ ReaderArena TcmBuilder::reorganize_arena(std::span<const IntervalRecord> records
   // Pass 1: flatten entries, assigning dense object slots in first-appearance
   // order (direct-indexed bucket "hash" — object ids are dense heap ids) and
   // counting each slot's bucket size.
-  std::size_t total_entries = 0;
-  for (const IntervalRecord& rec : records) total_entries += rec.entries.size();
-  s.flat_slot.reserve(total_entries);
-  s.flat_reader.reserve(total_entries);
+  s.flat_slot.reserve(total_hint);
+  s.flat_reader.reserve(total_hint);
 
   ThreadId max_thread = 0;
-  for (const IntervalRecord& rec : records) {
-    for (const OalEntry& e : rec.entries) {
-      const double bytes = weighted
-                               ? static_cast<double>(e.bytes) * e.gap
-                               : static_cast<double>(e.bytes);
-      bool fresh = false;
-      const std::int32_t slot = s.slots.get_or_assign(e.obj, fresh);
-      if (fresh) {
-        arena.objects.push_back(e.obj);
-        arena.klass.push_back(e.klass);
-        s.counts.push_back(0);
-      }
-      ++s.counts[static_cast<std::size_t>(slot)];
-      max_thread = std::max(max_thread, rec.thread);
-      s.flat_slot.push_back(static_cast<std::uint32_t>(slot));
-      s.flat_reader.emplace_back(rec.thread, bytes);
+  for_each([&](ThreadId thread, ObjectId obj, ClassId klass, double bytes) {
+    bool fresh = false;
+    const std::int32_t slot = s.slots.get_or_assign(obj, fresh);
+    if (fresh) {
+      arena.objects.push_back(obj);
+      arena.klass.push_back(klass);
+      s.counts.push_back(0);
     }
-  }
+    ++s.counts[static_cast<std::size_t>(slot)];
+    max_thread = std::max(max_thread, thread);
+    s.flat_slot.push_back(static_cast<std::uint32_t>(slot));
+    s.flat_reader.emplace_back(thread, bytes);
+  });
 
   // Pass 2: prefix sums + scatter into the contiguous buffer (bucket sort).
   const std::size_t object_count = arena.objects.size();
@@ -137,6 +135,99 @@ ReaderArena TcmBuilder::reorganize_arena(std::span<const IntervalRecord> records
   // the next call).
   s.slots.release(arena.objects);
   return arena;
+}
+
+}  // namespace
+
+ReaderArena TcmBuilder::reorganize_arena(std::span<const IntervalRecord> records,
+                                         bool weighted) {
+  ArenaScratch scratch;
+  return reorganize_arena(records, weighted, scratch);
+}
+
+ReaderArena TcmBuilder::reorganize_arena(std::span<const IntervalRecord> records,
+                                         bool weighted, ArenaScratch& s) {
+  std::size_t total_entries = 0;
+  for (const IntervalRecord& rec : records) total_entries += rec.entries.size();
+  return reorganize_impl(s, total_entries, [&](auto&& emit) {
+    for (const IntervalRecord& rec : records) {
+      for (const OalEntry& e : rec.entries) {
+        const double bytes = weighted
+                                 ? static_cast<double>(e.bytes) * e.gap
+                                 : static_cast<double>(e.bytes);
+        emit(rec.thread, e.obj, e.klass, bytes);
+      }
+    }
+  });
+}
+
+ReaderArena TcmBuilder::reorganize_arena(
+    std::span<const IntervalRecord* const> records, bool weighted,
+    ArenaScratch& s) {
+  std::size_t total_entries = 0;
+  for (const IntervalRecord* rec : records) total_entries += rec->entries.size();
+  return reorganize_impl(s, total_entries, [&](auto&& emit) {
+    for (const IntervalRecord* rec : records) {
+      for (const OalEntry& e : rec->entries) {
+        const double bytes = weighted
+                                 ? static_cast<double>(e.bytes) * e.gap
+                                 : static_cast<double>(e.bytes);
+        emit(rec->thread, e.obj, e.klass, bytes);
+      }
+    }
+  });
+}
+
+ReaderArena TcmBuilder::reorganize_arena(const OalArena& log, bool weighted,
+                                         ArenaScratch& s) {
+  return reorganize_impl(s, log.entries.size(), [&](auto&& emit) {
+    for (const ArenaInterval& iv : log.intervals) {
+      for (std::uint32_t i = iv.begin; i < iv.end; ++i) {
+        const OalEntry& e = log.entries[i];
+        const double bytes = weighted
+                                 ? static_cast<double>(e.bytes) * e.gap
+                                 : static_cast<double>(e.bytes);
+        emit(iv.thread, e.obj, e.klass, bytes);
+      }
+    }
+  });
+}
+
+ReaderArena TcmBuilder::reorganize_arena(std::span<const ArenaSliceRef> slices,
+                                         bool weighted, ArenaScratch& s) {
+  std::size_t total_entries = 0;
+  for (const ArenaSliceRef& ref : slices) {
+    const ArenaInterval& iv = ref.log->intervals[ref.slice];
+    total_entries += iv.end - iv.begin;
+  }
+  return reorganize_impl(s, total_entries, [&](auto&& emit) {
+    for (const ArenaSliceRef& ref : slices) {
+      const ArenaInterval& iv = ref.log->intervals[ref.slice];
+      for (std::uint32_t i = iv.begin; i < iv.end; ++i) {
+        const OalEntry& e = ref.log->entries[i];
+        const double bytes = weighted
+                                 ? static_cast<double>(e.bytes) * e.gap
+                                 : static_cast<double>(e.bytes);
+        emit(iv.thread, e.obj, e.klass, bytes);
+      }
+    }
+  });
+}
+
+ReaderArena TcmBuilder::merge_arenas(const ReaderArena& a, const ReaderArena& b,
+                                     ArenaScratch& s) {
+  const auto feed = [](const ReaderArena& src, auto& emit) {
+    for (std::size_t k = 0; k < src.object_count(); ++k) {
+      for (const auto& [thread, bytes] : src.readers_of(k)) {
+        emit(thread, src.objects[k], src.klass[k], bytes);
+      }
+    }
+  };
+  return reorganize_impl(s, a.readers.size() + b.readers.size(),
+                         [&](auto&& emit) {
+                           feed(a, emit);
+                           feed(b, emit);
+                         });
 }
 
 std::vector<ObjectAccessSummary> TcmBuilder::reorganize(
@@ -297,6 +388,20 @@ void TcmAccumulator::add(std::span<const IntervalRecord> records) {
   // arena's own payload.
   const ReaderArena arena =
       TcmBuilder::reorganize_arena(records, weighted_, scratch_);
+  for (std::size_t k = 0; k < arena.object_count(); ++k) {
+    add_readers(arena.objects[k], arena.readers_of(k), arena.klass[k]);
+  }
+}
+
+void TcmAccumulator::add(const OalArena& log) {
+  const ReaderArena arena =
+      TcmBuilder::reorganize_arena(log, weighted_, scratch_);
+  for (std::size_t k = 0; k < arena.object_count(); ++k) {
+    add_readers(arena.objects[k], arena.readers_of(k), arena.klass[k]);
+  }
+}
+
+void TcmAccumulator::add(const ReaderArena& arena) {
   for (std::size_t k = 0; k < arena.object_count(); ++k) {
     add_readers(arena.objects[k], arena.readers_of(k), arena.klass[k]);
   }

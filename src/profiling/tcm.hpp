@@ -41,6 +41,16 @@
 
 namespace djvm {
 
+struct OalArena;  // profiling/ingest.hpp
+
+/// Reference to one interval slice inside an ingest log arena — the unit the
+/// distributed reducer buckets per node (a drained arena mixes slices from
+/// many threads, and with thread migration potentially many nodes).
+struct ArenaSliceRef {
+  const OalArena* log = nullptr;
+  std::uint32_t slice = 0;  ///< index into OalArena::intervals
+};
+
 /// Per-object access summary produced by OAL reorganization.
 struct ObjectAccessSummary {
   ObjectId obj = kInvalidObject;
@@ -118,6 +128,34 @@ class TcmBuilder {
   [[nodiscard]] static ReaderArena reorganize_arena(
       std::span<const IntervalRecord> records, bool weighted,
       ArenaScratch& scratch);
+
+  /// Reorganize over non-contiguous records (the distributed reducer's
+  /// per-node buckets reference records in place instead of copying them).
+  [[nodiscard]] static ReaderArena reorganize_arena(
+      std::span<const IntervalRecord* const> records, bool weighted,
+      ArenaScratch& scratch);
+
+  /// Same reorganize over one ingest log arena (see profiling/ingest.hpp):
+  /// the drained-ring fold path.  The log's interval slices provide the
+  /// logging thread per entry range; no IntervalRecord is ever materialized.
+  [[nodiscard]] static ReaderArena reorganize_arena(const OalArena& log,
+                                                   bool weighted,
+                                                   ArenaScratch& scratch);
+
+  /// Reorganize over individual arena slices (the distributed reducer's
+  /// per-node buckets of drained arenas).
+  [[nodiscard]] static ReaderArena reorganize_arena(
+      std::span<const ArenaSliceRef> slices, bool weighted,
+      ArenaScratch& scratch);
+
+  /// Merges two CSR arenas into one (reader lists union per object,
+  /// max-combining per thread) through the same bucket-sort machinery — the
+  /// reduction-tree step of the distributed reducer, with no per-object
+  /// hashing (the slot map is direct-indexed like every other pass).  Byte
+  /// values are already weighted; they pass through untouched.
+  [[nodiscard]] static ReaderArena merge_arenas(const ReaderArena& a,
+                                                const ReaderArena& b,
+                                                ArenaScratch& scratch);
 
   /// Compatibility shim over `reorganize_arena` returning the per-object
   /// summary form the distributed reducer's NodePartial monoid speaks.
@@ -221,6 +259,15 @@ class TcmAccumulator {
   /// Folds one batch of records in as a delta (arena-reorganized first, so
   /// in-batch duplicates cost one stamp check, not a reader-list walk).
   void add(std::span<const IntervalRecord> records);
+
+  /// Folds one drained ingest log arena in as a delta — identical semantics
+  /// to add(records) over the records the arena's slices describe, with no
+  /// per-interval vectors in between.
+  void add(const OalArena& log);
+
+  /// Folds an already-reorganized CSR arena in (the distributed reducer's
+  /// accrual path; byte values are already weighted).
+  void add(const ReaderArena& arena);
 
   /// Folds one object's (thread, already-weighted bytes) reader list in.
   /// `klass` tags the object for per-class cell attribution; kInvalidClass

@@ -1,0 +1,82 @@
+// Config knob consolidation: the flat pre-nesting names (governor_*,
+// retention_*, snapshot_path, timeline_*) stay valid for one release as
+// deprecated reference aliases into the nested sub-structs.  This file is
+// the compatibility contract: writes through either name are visible
+// through the other, and copies re-bind the aliases onto the new instance.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+// The whole point of this file is to use the deprecated names.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace djvm {
+namespace {
+
+TEST(ConfigCompat, FlatAliasesReadAndWriteNestedKnobs) {
+  Config cfg;
+  // Defaults agree before any write.
+  EXPECT_EQ(cfg.governor_enabled, cfg.governor.enabled);
+  EXPECT_DOUBLE_EQ(cfg.governor_budget, cfg.governor.budget);
+
+  // Old-name writes land in the nested struct...
+  cfg.governor_enabled = true;
+  cfg.governor_budget = 0.07;
+  cfg.governor_per_node = false;
+  cfg.governor_node_budget = 0.03;
+  cfg.retention_idle_epochs = 9;
+  cfg.retention_decay = 0.5;
+  cfg.retention_compact_period = 2;
+  cfg.snapshot_path = "/tmp/snap.bin";
+  cfg.timeline_path = "/tmp/tl.jsonl";
+  cfg.timeline_top_k = 11;
+  EXPECT_TRUE(cfg.governor.enabled);
+  EXPECT_DOUBLE_EQ(cfg.governor.budget, 0.07);
+  EXPECT_FALSE(cfg.governor.per_node);
+  EXPECT_DOUBLE_EQ(cfg.governor.node_budget, 0.03);
+  EXPECT_EQ(cfg.retention.idle_epochs, 9u);
+  EXPECT_DOUBLE_EQ(cfg.retention.decay, 0.5);
+  EXPECT_EQ(cfg.retention.compact_period, 2u);
+  EXPECT_EQ(cfg.export_.snapshot_path, "/tmp/snap.bin");
+  EXPECT_EQ(cfg.export_.timeline_path, "/tmp/tl.jsonl");
+  EXPECT_EQ(cfg.export_.timeline_top_k, 11u);
+
+  // ...and nested writes are visible through the old names.
+  cfg.governor.budget = 0.01;
+  cfg.export_.timeline_top_k = 3;
+  EXPECT_DOUBLE_EQ(cfg.governor_budget, 0.01);
+  EXPECT_EQ(cfg.timeline_top_k, 3u);
+}
+
+TEST(ConfigCompat, CopyRebindsAliasesOntoTheNewInstance) {
+  Config a;
+  a.governor_enabled = true;
+  a.retention_idle_epochs = 4;
+  a.snapshot_path = "/tmp/a.bin";
+
+  Config b(a);  // copy ctor forwards to ConfigData; aliases re-bind
+  EXPECT_TRUE(b.governor.enabled);
+  EXPECT_EQ(b.retention.idle_epochs, 4u);
+  EXPECT_EQ(b.export_.snapshot_path, "/tmp/a.bin");
+
+  // The copies are independent: mutating b (via either name) leaves a alone.
+  b.governor_enabled = false;
+  b.retention.idle_epochs = 7;
+  EXPECT_TRUE(a.governor.enabled);
+  EXPECT_EQ(a.retention_idle_epochs, 4u);
+  EXPECT_FALSE(b.governor_enabled);
+  EXPECT_EQ(b.retention_idle_epochs, 7u);
+
+  Config c;
+  c = a;  // assignment path
+  EXPECT_TRUE(c.governor_enabled);
+  EXPECT_EQ(c.export_.snapshot_path, "/tmp/a.bin");
+  c.governor.enabled = false;
+  EXPECT_TRUE(a.governor_enabled);
+}
+
+}  // namespace
+}  // namespace djvm
+
+#pragma GCC diagnostic pop

@@ -71,7 +71,7 @@ TEST_F(DaemonTest, AdaptationTightensGapsUntilConverged) {
   plan.set_nominal_gap(klass, 64);
   for (int i = 0; i < 200; ++i) plan.on_alloc(heap.alloc(klass, 0));
   CorrelationDaemon daemon(plan, 2);
-  daemon.enable_adaptation(0.05);
+  daemon.governor().arm(djvm::GovernorConfig::legacy(0.05));
 
   const std::uint32_t gap_before = plan.real_gap(klass);
   // Epoch 1: some sharing.
@@ -95,7 +95,7 @@ TEST_F(DaemonTest, AdaptationTightensGapsUntilConverged) {
 TEST_F(DaemonTest, AdaptationConvergesOnStableSharing) {
   plan.set_nominal_gap(klass, 64);
   CorrelationDaemon daemon(plan, 2);
-  daemon.enable_adaptation(0.05);
+  daemon.governor().arm(djvm::GovernorConfig::legacy(0.05));
   for (int epoch = 0; epoch < 2; ++epoch) {
     std::vector<IntervalRecord> rs;
     rs.push_back(rec(0, {{1, klass, 64, 67}}));
@@ -110,7 +110,7 @@ TEST_F(DaemonTest, AdaptationConvergesOnStableSharing) {
 TEST_F(DaemonTest, AdaptationAtFullSamplingConvergesTrivially) {
   plan.set_nominal_gap(klass, 1);
   CorrelationDaemon daemon(plan, 2);
-  daemon.enable_adaptation(0.0);  // impossible threshold
+  daemon.governor().arm(djvm::GovernorConfig::legacy(0.0));  // impossible threshold
   for (int epoch = 0; epoch < 2; ++epoch) {
     std::vector<IntervalRecord> rs;
     rs.push_back(rec(0, {{static_cast<ObjectId>(epoch), klass, 64, 1}}));

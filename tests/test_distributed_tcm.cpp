@@ -2,9 +2,13 @@
 // merge-monoid properties, traffic accounting, and parallel accrual.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "common/rng.hpp"
 #include "profiling/accuracy.hpp"
 #include "profiling/distributed_tcm.hpp"
+#include "profiling/ingest.hpp"
 
 namespace djvm {
 namespace {
@@ -42,7 +46,8 @@ std::vector<IntervalRecord> random_records(std::uint64_t seed, std::uint32_t thr
 }
 
 TEST(DistributedTcm, EmptyInput) {
-  const SquareMatrix tcm = DistributedTcmReducer::build({}, 4, true);
+  const SquareMatrix tcm =
+      DistributedTcmReducer::build(std::span<const IntervalRecord>{}, 4, true);
   EXPECT_DOUBLE_EQ(tcm.total(), 0.0);
 }
 
@@ -159,6 +164,130 @@ TEST(DistributedTcm, ParallelAccrualSmallInputFallsBackToSequential) {
   const SquareMatrix seq = TcmBuilder::accrue(summaries, 2);
   const SquareMatrix par = DistributedTcmReducer::accrue_parallel(summaries, 2, 8);
   EXPECT_EQ(seq, par);
+}
+
+// --- CSR pipeline vs the map-based oracle -----------------------------------
+
+/// Packs records into fixed-size ingest arenas (capacity entries each),
+/// splitting intervals across arenas exactly as IngestHub::append does.
+std::vector<OalArena> pack_arenas(std::span<const IntervalRecord> records,
+                                  std::uint32_t capacity) {
+  std::vector<OalArena> arenas(1);
+  for (const IntervalRecord& r : records) {
+    std::size_t done = 0;
+    while (done < r.entries.size()) {
+      OalArena* a = &arenas.back();
+      if (a->entries.size() >= capacity) {
+        arenas.emplace_back();
+        a = &arenas.back();
+      }
+      const std::size_t room = capacity - a->entries.size();
+      const std::size_t take = std::min(room, r.entries.size() - done);
+      ArenaInterval iv;
+      iv.thread = r.thread;
+      iv.interval = r.interval;
+      iv.node = r.node;
+      iv.start_pc = r.start_pc;
+      iv.end_pc = r.end_pc;
+      iv.begin = static_cast<std::uint32_t>(a->entries.size());
+      a->entries.insert(a->entries.end(), r.entries.begin() + done,
+                        r.entries.begin() + done + take);
+      iv.end = static_cast<std::uint32_t>(a->entries.size());
+      a->intervals.push_back(iv);
+      done += take;
+    }
+  }
+  return arenas;
+}
+
+TEST(DistributedTcmCsr, LocalReduceMatchesOracleRepresentationAndWire) {
+  const auto rs = random_records(99, 8, 4, 80, 16, 128);
+  ArenaScratch scratch;
+  auto oracle = DistributedTcmReducer::local_reduce(rs, true);
+  // The oracle groups in first-appearance order; CSR partials come back
+  // sorted by node id.
+  std::sort(oracle.begin(), oracle.end(),
+            [](const NodePartial& a, const NodePartial& b) {
+              return a.node < b.node;
+            });
+  const auto csr = DistributedTcmReducer::local_reduce_csr(rs, true, scratch);
+  ASSERT_EQ(csr.size(), oracle.size());
+  for (std::size_t i = 0; i < csr.size(); ++i) {
+    EXPECT_EQ(csr[i].node, oracle[i].node);
+    // Identical content must price identically on the wire: traffic
+    // comparisons between the pipelines measure representation, not
+    // accounting drift.
+    EXPECT_EQ(csr[i].wire_bytes(), oracle[i].wire_bytes());
+    // Same per-node map once accrued.
+    const SquareMatrix mo = TcmBuilder::accrue(oracle[i].summaries, 8);
+    const SquareMatrix mc =
+        DistributedTcmReducer::accrue_parallel(csr[i].arena, 8, 1);
+    EXPECT_LT(absolute_error(mc, mo), 1e-9) << "node " << csr[i].node;
+  }
+}
+
+TEST(DistributedTcmCsr, TreeReduceMatchesOracleResultAndTraffic) {
+  const auto rs = random_records(7, 16, 8, 150, 24, 256);
+  ArenaScratch scratch;
+  Network net_oracle(SimCosts{});
+  Network net_csr(SimCosts{});
+  auto oracle_partials = DistributedTcmReducer::local_reduce(rs, true);
+  // Same tree shape as the CSR side (which sorts by node) so the per-level
+  // message sizes are comparable.
+  std::sort(oracle_partials.begin(), oracle_partials.end(),
+            [](const NodePartial& a, const NodePartial& b) {
+              return a.node < b.node;
+            });
+  auto merged_oracle =
+      DistributedTcmReducer::tree_reduce(std::move(oracle_partials), &net_oracle);
+  auto merged_csr = DistributedTcmReducer::tree_reduce_csr(
+      DistributedTcmReducer::local_reduce_csr(rs, true, scratch), &net_csr,
+      scratch);
+  // Identical reduction traffic, message for message.
+  EXPECT_EQ(net_csr.stats().messages_of(MsgCategory::kOal),
+            net_oracle.stats().messages_of(MsgCategory::kOal));
+  EXPECT_EQ(net_csr.stats().bytes_of(MsgCategory::kOal),
+            net_oracle.stats().bytes_of(MsgCategory::kOal));
+  // Identical merged map.
+  const SquareMatrix mo = TcmBuilder::accrue(merged_oracle.summaries, 16);
+  const SquareMatrix mc =
+      DistributedTcmReducer::accrue_parallel(merged_csr.arena, 16, 4);
+  EXPECT_LT(absolute_error(mc, mo), 1e-9);
+}
+
+TEST(DistributedTcmCsr, ArenaBuildMatchesRecordBuildAcrossSplits) {
+  const auto rs = random_records(21, 12, 6, 120, 20, 200);
+  const SquareMatrix central = TcmBuilder::build(rs, 12, true);
+  // Tight 32-entry arenas force interval splits and multi-node arenas; the
+  // slice-level bucketing must still reproduce the record-level result.
+  const std::vector<OalArena> arenas = pack_arenas(rs, 32);
+  std::vector<const OalArena*> logs;
+  for (const OalArena& a : arenas) logs.push_back(&a);
+  const SquareMatrix from_arenas = DistributedTcmReducer::build(
+      std::span<const OalArena* const>(logs), 12, true, 2);
+  ASSERT_GT(central.total(), 0.0);
+  EXPECT_LT(absolute_error(from_arenas, central), 1e-9);
+}
+
+TEST(DistributedTcmCsr, MergeCsrIsTheOracleMonoid) {
+  // Same hand-built case as MergeUnionsReadersWithMax, carried in CSR.
+  std::vector<IntervalRecord> ra;
+  ra.push_back(rec(0, 0, {{7, 0, 100, 1}}));
+  std::vector<IntervalRecord> rb;
+  rb.push_back(rec(0, 1, {{7, 0, 40, 1}}));
+  rb.push_back(rec(1, 1, {{7, 0, 60, 1}}));
+  rb.push_back(rec(2, 1, {{8, 0, 30, 1}}));
+  ArenaScratch scratch;
+  auto pa = DistributedTcmReducer::local_reduce_csr(ra, false, scratch);
+  auto pb = DistributedTcmReducer::local_reduce_csr(rb, false, scratch);
+  ASSERT_EQ(pa.size(), 1u);
+  ASSERT_EQ(pb.size(), 1u);
+  DistributedTcmReducer::merge_csr(pa[0], pb[0], scratch);
+  const ReaderArena& m = pa[0].arena;
+  ASSERT_EQ(m.objects.size(), 2u);  // objects 7 and 8
+  const SquareMatrix tcm = DistributedTcmReducer::accrue_parallel(m, 3, 1);
+  EXPECT_DOUBLE_EQ(tcm.at(0, 1), 60.0);  // min(max(100, 40), 60)
+  EXPECT_DOUBLE_EQ(tcm.at(0, 2), 0.0);   // object 8 read by thread 2 alone
 }
 
 TEST(DistributedTcm, MigratedThreadRecordsMergeAcrossNodes) {

@@ -274,8 +274,8 @@ TEST(Timeline, GovernedRunEmitsOneValidLinePerEpoch) {
   cfg.nodes = 2;
   cfg.threads = 4;
   cfg.oal_transfer = OalTransfer::kSend;
-  cfg.governor_enabled = true;
-  cfg.timeline_path = ::testing::TempDir() + "timeline_test.jsonl";
+  cfg.governor.enabled = true;
+  cfg.export_.timeline_path = ::testing::TempDir() + "timeline_test.jsonl";
 
   Djvm djvm(cfg);
   ASSERT_NE(djvm.snapshot_writer(), nullptr);
@@ -298,7 +298,7 @@ TEST(Timeline, GovernedRunEmitsOneValidLinePerEpoch) {
             static_cast<std::uint64_t>(kEpochs));
   EXPECT_TRUE(djvm.snapshot_writer()->all_ok());
 
-  std::ifstream f(cfg.timeline_path);
+  std::ifstream f(cfg.export_.timeline_path);
   std::string line;
   int n = 0;
   while (std::getline(f, line)) {
@@ -314,7 +314,7 @@ TEST(Timeline, GovernedRunEmitsOneValidLinePerEpoch) {
     ++n;
   }
   EXPECT_EQ(n, kEpochs);
-  std::remove(cfg.timeline_path.c_str());
+  std::remove(cfg.export_.timeline_path.c_str());
 }
 
 TEST(Timeline, TruncatesStaleLogAtConstruction) {
@@ -326,7 +326,7 @@ TEST(Timeline, TruncatesStaleLogAtConstruction) {
   Config cfg;
   cfg.nodes = 1;
   cfg.threads = 1;
-  cfg.timeline_path = path;
+  cfg.export_.timeline_path = path;
   Djvm djvm(cfg);
   std::ifstream f(path);
   std::string line;

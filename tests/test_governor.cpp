@@ -440,7 +440,7 @@ TEST_F(GovernorTest, LegacyModeMatchesSeedOneWayLoop) {
   plan.set_nominal_gap(hot, 64);
   plan.set_nominal_gap(bulky, 64);
   Governor gov(plan);
-  gov.arm_legacy(0.05);
+  gov.arm(djvm::GovernorConfig::legacy(0.05));
 
   // Above threshold: tighten everything, regardless of overhead.
   auto out = gov.on_epoch(0.50, sample_with_fraction(10.0));
@@ -861,7 +861,7 @@ TEST_F(PerNodeGovernorTest, RearmDropsNodeShiftsAndResamples) {
   // of the controller state and the affected copies read the restored
   // cluster view again.
   Governor gov(plan);
-  gov.arm_legacy(0.05);
+  gov.arm(djvm::GovernorConfig::legacy(0.05));
   EXPECT_FALSE(plan.has_node_gap_shifts());
   EXPECT_EQ(plan.sampled_count(1), base_count);
   EXPECT_EQ(plan.sampled_count(), base_count);

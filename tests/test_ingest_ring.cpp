@@ -1,0 +1,435 @@
+// Lock-free OAL ingest: SPSC ring wrap-around and full-ring rejection,
+// arena backpressure with the zero-loss invariant, stranded-arena collection
+// at producer exit, destructor drain ordering, a real-thread stress run (the
+// TSan CI lane executes this file), and equivalence of the arena path with
+// the legacy record path at both the daemon and the GOS level.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/djvm.hpp"
+#include "profiling/correlation_daemon.hpp"
+#include "profiling/ingest.hpp"
+
+namespace djvm {
+namespace {
+
+// --- SpscRing ----------------------------------------------------------------
+
+TEST(SpscRing, FifoOrderSurvivesWrapAround) {
+  SpscRing<int> ring(4);
+  ASSERT_EQ(ring.capacity(), 4u);
+  int out = -1;
+  int next_push = 0;
+  int next_pop = 0;
+  // Interleave pushes and pops far past capacity so the cursors wrap many
+  // times; FIFO order must hold throughout.
+  for (int round = 0; round < 64; ++round) {
+    ASSERT_TRUE(ring.push(next_push++));
+    ASSERT_TRUE(ring.push(next_push++));
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, next_pop++);
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, next_pop++);
+  }
+  EXPECT_FALSE(ring.pop(out));
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(SpscRing, FullRingRejectsWithoutDisturbingContents) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.push(i));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_FALSE(ring.push(99));  // full: rejected, nothing overwritten
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.pop(out));
+  // The rejected push left the ring usable.
+  ASSERT_TRUE(ring.push(7));
+  ASSERT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(9).capacity(), 16u);
+}
+
+// --- IngestHub ---------------------------------------------------------------
+
+OalEntry entry(ObjectId obj) { return {obj, 0, 64, 1}; }
+
+TEST(IngestHub, IntervalSplitsAcrossFullArenas) {
+  IngestConfig cfg;
+  cfg.arena_entries = 4;
+  cfg.ring_depth = 8;
+  IngestHub hub(cfg);
+  hub.ensure_lanes(1);
+
+  std::vector<OalEntry> oal;
+  for (ObjectId o = 0; o < 10; ++o) oal.push_back(entry(o));
+  hub.append(/*lane=*/0, /*thread=*/3, /*interval=*/7, /*node=*/1,
+             /*start_pc=*/11, /*end_pc=*/12, oal);
+
+  // 10 entries into 4-entry arenas: two full arenas published, 2 entries
+  // left in the open arena.  Every slice repeats the interval header.
+  std::size_t drained = 0;
+  std::size_t slices = 0;
+  OalArena* a = nullptr;
+  while ((a = hub.try_pop()) != nullptr) {
+    EXPECT_EQ(a->entries.size(), 4u);
+    for (const ArenaInterval& iv : a->intervals) {
+      ++slices;
+      EXPECT_EQ(iv.thread, 3u);
+      EXPECT_EQ(iv.interval, 7u);
+      EXPECT_EQ(iv.node, 1u);
+      EXPECT_EQ(iv.start_pc, 11u);
+      EXPECT_EQ(iv.end_pc, 12u);
+      drained += iv.end - iv.begin;
+    }
+    hub.recycle(a);
+  }
+  EXPECT_EQ(drained, 8u);
+  EXPECT_EQ(slices, 2u);
+  for (OalArena* s : hub.take_stranded()) {
+    EXPECT_EQ(s->entries.size(), 2u);
+    drained += s->entries.size();
+    hub.recycle(s);
+  }
+  EXPECT_EQ(drained, 10u);
+}
+
+TEST(IngestHub, BackpressureParksArenasAndLosesNothing) {
+  IngestConfig cfg;
+  cfg.arena_entries = 2;
+  cfg.ring_depth = 1;
+  IngestHub hub(cfg);
+  hub.ensure_lanes(1);
+
+  constexpr std::uint64_t kEntries = 64;
+  std::vector<OalEntry> oal;
+  for (std::uint64_t i = 0; i < kEntries; ++i) {
+    oal.assign(1, entry(i));
+    hub.append(0, 0, /*interval=*/i, 0, 0, 0, oal);
+  }
+  hub.flush(0);
+
+  const IngestCounters mid = hub.counters();
+  EXPECT_GT(mid.backpressure_events, 0u)
+      << "a depth-1 ring with no consumer must backpressure";
+  EXPECT_EQ(mid.entries_published + 0u, kEntries);
+
+  // Drain everything: the outbound ring first, then the parked overflow via
+  // take_stranded.  Global FIFO must hold (ring arenas predate parked ones).
+  std::uint64_t drained = 0;
+  std::uint64_t next_interval = 0;
+  auto consume = [&](OalArena* a) {
+    for (const ArenaInterval& iv : a->intervals) {
+      EXPECT_EQ(iv.interval, next_interval++);
+      drained += iv.end - iv.begin;
+    }
+    hub.recycle(a);
+  };
+  while (OalArena* a = hub.try_pop()) consume(a);
+  for (OalArena* s : hub.take_stranded()) consume(s);
+
+  EXPECT_EQ(drained, kEntries);
+  const IngestCounters done = hub.counters();
+  EXPECT_EQ(done.entries_drained, done.entries_published);
+  EXPECT_EQ(done.entries_drained, kEntries);
+}
+
+TEST(IngestHub, TakeStrandedCollectsOpenArenaAtProducerExit) {
+  IngestConfig cfg;
+  cfg.arena_entries = 16;
+  cfg.ring_depth = 4;
+  IngestHub hub(cfg);
+  hub.ensure_lanes(2);
+
+  std::vector<OalEntry> oal{entry(1), entry(2), entry(3)};
+  hub.append(/*lane=*/1, 1, 0, 0, 0, 0, oal);
+  // No flush: the producer "exited" with a partially filled open arena.
+  EXPECT_EQ(hub.try_pop(), nullptr);
+
+  std::vector<OalArena*> stranded = hub.take_stranded();
+  ASSERT_EQ(stranded.size(), 1u);
+  EXPECT_EQ(stranded[0]->entries.size(), 3u);
+  EXPECT_EQ(stranded[0]->lane, 1u);
+  hub.recycle(stranded[0]);
+
+  // The loss invariant holds even for the stranded hand-off: both sides of
+  // the ledger saw the arena.
+  const IngestCounters c = hub.counters();
+  EXPECT_EQ(c.entries_published, 3u);
+  EXPECT_EQ(c.entries_drained, 3u);
+  // Idempotent once collected.
+  EXPECT_TRUE(hub.take_stranded().empty());
+}
+
+TEST(IngestHub, DestructorReleasesOutstandingArenas) {
+  // Leave arenas in every station — published (in-ring), parked, open,
+  // recycled, spare — and destroy the hub; the sanitizer lanes verify no
+  // leak and no double-free regardless of drain ordering.
+  IngestConfig cfg;
+  cfg.arena_entries = 2;
+  cfg.ring_depth = 1;
+  IngestHub hub(cfg);
+  hub.ensure_lanes(3);
+  std::vector<OalEntry> oal;
+  for (std::uint32_t lane = 0; lane < 3; ++lane) {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      oal.assign(1, entry(i));
+      hub.append(lane, lane, i, 0, 0, 0, oal);
+    }
+  }
+  hub.flush(0);  // lane 1 and 2 keep open arenas
+  if (OalArena* a = hub.try_pop()) hub.recycle(a);
+}
+
+TEST(IngestHub, ConcurrentProducersSingleConsumerLoseNothing) {
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint64_t kIntervals = 2000;
+  IngestConfig cfg;
+  cfg.arena_entries = 8;  // small arenas: constant publish/recycle churn
+  cfg.ring_depth = 2;     // shallow rings: backpressure under load
+  IngestHub hub(cfg);
+  hub.ensure_lanes(kProducers);
+
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 0; i < kIntervals; ++i) expected += 1 + i % 3;
+  expected *= kProducers;
+
+  std::atomic<std::uint32_t> live{kProducers};
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&hub, &live, p] {
+      std::vector<OalEntry> oal;
+      for (std::uint64_t i = 0; i < kIntervals; ++i) {
+        oal.assign(1 + i % 3, entry(i));
+        hub.append(p, p, i, static_cast<NodeId>(p), 0, 0, oal);
+      }
+      hub.flush(p);
+      live.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  std::uint64_t drained = 0;
+  std::vector<std::uint64_t> last_interval(kProducers, 0);
+  auto consume = [&](OalArena* a) {
+    for (const ArenaInterval& iv : a->intervals) {
+      // Per-lane FIFO: interval ids never go backwards (splits repeat one).
+      EXPECT_GE(iv.interval, last_interval[iv.thread]);
+      last_interval[iv.thread] = iv.interval;
+      drained += iv.end - iv.begin;
+    }
+    hub.recycle(a);
+  };
+  while (live.load(std::memory_order_acquire) != 0) {
+    OalArena* a = hub.try_pop();
+    if (a != nullptr) {
+      consume(a);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (std::thread& t : producers) t.join();
+  while (OalArena* a = hub.try_pop()) consume(a);
+  for (OalArena* s : hub.take_stranded()) consume(s);
+
+  EXPECT_EQ(drained, expected);
+  const IngestCounters done = hub.counters();
+  EXPECT_EQ(done.entries_published, expected);
+  EXPECT_EQ(done.entries_drained, expected);
+  // Saturated producers may outrun recycling (the hub allocates rather than
+  // drops), but never allocate more than they publish.
+  EXPECT_LE(done.arenas_allocated, done.arenas_published);
+}
+
+TEST(IngestHub, SteadyStateReusesRecycledArenas) {
+  IngestConfig cfg;
+  cfg.arena_entries = 4;
+  cfg.ring_depth = 4;
+  IngestHub hub(cfg);
+  hub.ensure_lanes(1);
+
+  // Keep the consumer in lockstep: each round publishes exactly one full
+  // arena, drains it, and hands it back.  After warmup the open slot pulls
+  // from the recycle ring, so the allocation counter must go flat.
+  std::vector<OalEntry> oal;
+  for (std::uint64_t round = 0; round < 200; ++round) {
+    oal.assign(cfg.arena_entries, entry(round));
+    hub.append(0, 0, round, 0, 0, 0, oal);
+    OalArena* a = hub.try_pop();
+    ASSERT_NE(a, nullptr);
+    hub.recycle(a);
+  }
+  const IngestCounters c = hub.counters();
+  EXPECT_EQ(c.arenas_published, 200u);
+  EXPECT_LE(c.arenas_allocated, static_cast<std::uint64_t>(cfg.ring_depth) + 2);
+}
+
+// --- daemon equivalence ------------------------------------------------------
+
+class IngestDaemonTest : public ::testing::Test {
+ protected:
+  IngestDaemonTest() : heap(reg, 2), plan(heap) {
+    klass = reg.register_class("X", 64);
+  }
+
+  /// A deterministic batch: `threads` threads, `per_thread` intervals each,
+  /// overlapping object footprints so the TCM is dense enough to diff.
+  std::vector<IntervalRecord> make_batch(std::uint32_t threads,
+                                         std::uint32_t per_thread,
+                                         std::uint64_t salt) {
+    std::vector<IntervalRecord> out;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      for (std::uint32_t i = 0; i < per_thread; ++i) {
+        IntervalRecord r;
+        r.thread = t;
+        r.interval = salt * 100 + i;
+        r.node = static_cast<NodeId>(t % 2);
+        r.start_pc = i;
+        r.end_pc = i + 1;
+        const std::uint32_t span = 3 + (t + i) % 4;
+        for (std::uint32_t o = 0; o < span; ++o) {
+          r.entries.push_back({(salt + t + o) % 16, klass, 64, 1 + o % 2});
+        }
+        out.push_back(std::move(r));
+      }
+    }
+    return out;
+  }
+
+  static void feed(IngestHub& hub, const std::vector<IntervalRecord>& batch) {
+    for (const IntervalRecord& r : batch) {
+      hub.append(r.thread, r.thread, r.interval, r.node, r.start_pc, r.end_pc,
+                 r.entries);
+    }
+  }
+
+  KlassRegistry reg;
+  Heap heap;
+  SamplingPlan plan;
+  ClassId klass;
+};
+
+TEST_F(IngestDaemonTest, ArenaEpochMatchesSubmitEpoch) {
+  constexpr std::uint32_t kThreads = 4;
+  CorrelationDaemon legacy(plan, kThreads);
+  CorrelationDaemon arena(plan, kThreads);
+  IngestHub hub;
+  hub.ensure_lanes(kThreads);
+
+  for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+    const std::vector<IntervalRecord> batch = make_batch(kThreads, 5, epoch);
+    legacy.submit(std::vector<IntervalRecord>(batch));
+    feed(hub, batch);
+    ASSERT_GT(arena.ingest(hub), 0u);
+
+    const EpochResult el = legacy.run_epoch();
+    const EpochResult ea = arena.run_epoch();
+    EXPECT_EQ(ea.tcm, el.tcm) << "epoch " << epoch;
+    EXPECT_EQ(ea.entries, el.entries);
+    EXPECT_EQ(ea.intervals, el.intervals);  // default arenas never split here
+    EXPECT_EQ(ea.rel_distance.has_value(), el.rel_distance.has_value());
+    if (ea.rel_distance.has_value()) {
+      EXPECT_DOUBLE_EQ(*ea.rel_distance, *el.rel_distance);
+    }
+    // Ring telemetry flows only on the arena side, and nothing ever drops.
+    EXPECT_GT(ea.ring_entries, 0u);
+    EXPECT_EQ(ea.ring_dropped, 0u);
+    EXPECT_EQ(el.ring_entries, 0u);
+  }
+  EXPECT_EQ(arena.build_full(true), legacy.build_full(true));
+}
+
+TEST_F(IngestDaemonTest, BuildFullCoversPendingArenas) {
+  CorrelationDaemon legacy(plan, 4);
+  CorrelationDaemon arena(plan, 4);
+  IngestHub hub;
+  hub.ensure_lanes(4);
+
+  // One folded epoch plus a pending (never-epoch'd) tail on both sides.
+  const std::vector<IntervalRecord> first = make_batch(4, 4, 1);
+  legacy.submit(std::vector<IntervalRecord>(first));
+  feed(hub, first);
+  arena.ingest(hub);
+  legacy.run_epoch();
+  arena.run_epoch();
+
+  const std::vector<IntervalRecord> tail = make_batch(4, 2, 2);
+  legacy.submit(std::vector<IntervalRecord>(tail));
+  feed(hub, tail);
+  arena.ingest(hub);
+  EXPECT_GT(arena.pending(), 0u);
+
+  EXPECT_EQ(arena.build_full(true), legacy.build_full(true));
+}
+
+// --- end-to-end through the GOS ---------------------------------------------
+
+struct EndToEnd {
+  SquareMatrix tcm;
+  std::uint64_t oal_messages = 0;
+  std::uint64_t oal_send_ns = 0;
+  std::uint64_t oal_wire_bytes = 0;
+  std::uint64_t intervals_closed = 0;
+};
+
+EndToEnd run_end_to_end(bool ingest_on) {
+  Config cfg;
+  cfg.nodes = 2;
+  cfg.threads = 4;
+  cfg.oal_transfer = OalTransfer::kSend;
+  cfg.ingest.enabled = ingest_on;
+  cfg.ingest.arena_entries = 8;  // force splits and multi-arena hand-off
+  cfg.ingest.ring_depth = 2;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  const ClassId k = djvm.registry().register_class("Shared", 64);
+  std::vector<ObjectId> objs;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    objs.push_back(djvm.gos().alloc(k, static_cast<NodeId>(i % cfg.nodes)));
+  }
+  for (std::uint32_t round = 0; round < 6; ++round) {
+    for (ThreadId t = 0; t < cfg.threads; ++t) {
+      for (std::uint32_t o = 0; o < 6; ++o) {
+        djvm.read(t, objs[(t + o + round) % objs.size()]);
+      }
+    }
+    djvm.barrier_all();
+    djvm.pump_daemon();
+  }
+  EXPECT_EQ(djvm.ingest_hub() != nullptr, ingest_on);
+  EndToEnd r;
+  r.tcm = djvm.daemon().build_full(/*weighted=*/true);
+  r.oal_messages = djvm.gos().stats().oal_messages;
+  r.oal_send_ns = djvm.gos().stats().oal_send_ns;
+  r.oal_wire_bytes = djvm.net().stats().bytes_of(MsgCategory::kOal);
+  r.intervals_closed = djvm.gos().stats().intervals_closed;
+  return r;
+}
+
+TEST(GosIngest, ArenaPathMatchesRecordPathEndToEnd) {
+  const EndToEnd legacy = run_end_to_end(false);
+  const EndToEnd arena = run_end_to_end(true);
+  ASSERT_GT(legacy.tcm.total(), 0.0);
+  // Identical map, identical wire accounting: the representation of the
+  // hand-off is the only thing the ingest path changes.
+  EXPECT_EQ(arena.tcm, legacy.tcm);
+  EXPECT_EQ(arena.oal_messages, legacy.oal_messages);
+  EXPECT_EQ(arena.oal_send_ns, legacy.oal_send_ns);
+  EXPECT_EQ(arena.oal_wire_bytes, legacy.oal_wire_bytes);
+  EXPECT_EQ(arena.intervals_closed, legacy.intervals_closed);
+}
+
+}  // namespace
+}  // namespace djvm

@@ -78,7 +78,7 @@ TEST(Integration, AdaptiveDaemonConvergesOnStableWorkload) {
   cfg.sampling_rate_x = 1;  // start coarse
   Djvm djvm(cfg);
   djvm.spawn_threads_round_robin(cfg.threads);
-  djvm.daemon().enable_adaptation(0.10);
+  djvm.daemon().governor().arm(djvm::GovernorConfig::legacy(0.10));
 
   SyntheticParams p;
   p.pattern = SharingPattern::kPairShared;

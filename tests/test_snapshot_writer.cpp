@@ -204,8 +204,8 @@ TEST(DjvmSnapshotHook, GovernedEpochsSnapshotEveryEpoch) {
   cfg.nodes = 2;
   cfg.threads = 2;
   cfg.oal_transfer = OalTransfer::kLocalOnly;
-  cfg.governor_enabled = true;
-  cfg.snapshot_path = ::testing::TempDir() + "djvm_epoch_snapshot.bin";
+  cfg.governor.enabled = true;
+  cfg.export_.snapshot_path = ::testing::TempDir() + "djvm_epoch_snapshot.bin";
 
   Djvm djvm(cfg);
   ASSERT_NE(djvm.snapshot_writer(), nullptr);
@@ -231,9 +231,9 @@ TEST(DjvmSnapshotHook, GovernedEpochsSnapshotEveryEpoch) {
   Djvm djvm2(cfg);
   djvm2.registry().register_class("X", 64);
   SquareMatrix tcm;
-  ASSERT_TRUE(load_snapshot(cfg.snapshot_path, djvm2.governor(), tcm));
+  ASSERT_TRUE(load_snapshot(cfg.export_.snapshot_path, djvm2.governor(), tcm));
   EXPECT_EQ(tcm.size(), djvm.daemon().latest().size());
-  std::remove(cfg.snapshot_path.c_str());
+  std::remove(cfg.export_.snapshot_path.c_str());
 }
 
 TEST(DjvmSnapshotHook, NoWriterWithoutPath) {

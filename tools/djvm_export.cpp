@@ -133,10 +133,10 @@ int demo(const std::string& outdir) {
   cfg.nodes = kNodes;
   cfg.threads = kThreads;
   cfg.oal_transfer = OalTransfer::kSend;
-  cfg.snapshot_path = outdir + "/snapshot.bin";
-  cfg.timeline_path = outdir + "/timeline.jsonl";
-  cfg.retention_idle_epochs = 3;
-  cfg.retention_compact_period = 2;
+  cfg.export_.snapshot_path = outdir + "/snapshot.bin";
+  cfg.export_.timeline_path = outdir + "/timeline.jsonl";
+  cfg.retention.idle_epochs = 3;
+  cfg.retention.compact_period = 2;
   Djvm djvm(cfg);
   djvm.spawn_threads_round_robin(kThreads);
 
@@ -193,15 +193,15 @@ int demo(const std::string& outdir) {
       return 1;
     }
   }
-  std::cout << "demo run complete: " << cfg.snapshot_path << ", "
-            << cfg.timeline_path << "\n";
+  std::cout << "demo run complete: " << cfg.export_.snapshot_path << ", "
+            << cfg.export_.timeline_path << "\n";
 
   std::vector<std::string> names;
   for (const Klass& k : djvm.registry().all()) {
     if (k.id >= names.size()) names.resize(k.id + 1);
     names[k.id] = k.name;
   }
-  return convert(cfg.snapshot_path, outdir + "/profile.pb",
+  return convert(cfg.export_.snapshot_path, outdir + "/profile.pb",
                  outdir + "/collapsed.txt", outdir + "/snapshot.json", names);
 }
 
