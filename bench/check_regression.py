@@ -12,6 +12,15 @@ BenchReport.  The gate fails (exit 1) when:
       goal "max": current < baseline * (1 - slack) - abs_slack
     (goal "none" metrics are informational), or
 
+    A *ratio* metric (speedup, improvement factor — parity is 1.0) may
+    additionally carry "min_improvement" (>= 0) in the baseline: on top of
+    the slack bound, the current value must clear a parity floor —
+      goal "max": current >= 1 + min_improvement
+      goal "min": current <= 1 - min_improvement
+    Slack alone lets "barely above 1.0x" drift to parity one slack-width at
+    a time across baseline regenerations; the floor is absolute, so the
+    improvement claim itself stays gated.  Or:
+
     A baseline metric may instead carry "lower_is_better": true/false —
     shorthand for goal "min"/"max" with a *default* slack of 10% when the
     baseline does not spell one out.  Latency/throughput metrics use this
@@ -103,12 +112,28 @@ def main() -> int:
         slack = base.get("slack")
         slack = default_slack if slack is None else slack
         abs_slack = base.get("abs_slack", 0.0) or 0.0
+        min_improvement = base.get("min_improvement")
+        if min_improvement is not None and (
+                not isinstance(min_improvement, (int, float))
+                or isinstance(min_improvement, bool)
+                or not math.isfinite(min_improvement)
+                or min_improvement < 0):
+            fail(f"metric {key!r} has invalid min_improvement "
+                 f"{min_improvement!r}")
+            failures += 1
+            continue
         if goal == "min":
             bound = base_v * (1.0 + slack) + abs_slack
+            if min_improvement is not None:
+                # Parity floor for ratio metrics: the improvement claim
+                # gates absolutely, not just relative to the baseline.
+                bound = min(bound, 1.0 - min_improvement)
             ok = cur_v <= bound
             direction = "above"
         elif goal == "max":
             bound = base_v * (1.0 - slack) - abs_slack
+            if min_improvement is not None:
+                bound = max(bound, 1.0 + min_improvement)
             ok = cur_v >= bound
             direction = "below"
         else:

@@ -197,10 +197,16 @@ class BenchReport {
 
   /// `slack` is relative to the baseline value; `abs_slack` is an additive
   /// floor so near-zero metrics (error distances) don't gate on FP dust.
+  /// `min_improvement` (when >= 0) marks a *ratio* metric (parity = 1.0)
+  /// and adds an absolute parity floor on top of the slack bound: goal
+  /// "max" requires value >= 1 + m, goal "min" requires value <= 1 - m.
+  /// Use for speedup metrics whose whole point is beating a reference
+  /// column — slack alone would let them drift to parity across baseline
+  /// regenerations.
   void metric(const std::string& key, double value,
               const std::string& goal = "none", double slack = 0.0,
-              double abs_slack = 0.0) {
-    metrics_.push_back({key, value, goal, slack, abs_slack, -1});
+              double abs_slack = 0.0, double min_improvement = -1.0) {
+    metrics_.push_back({key, value, goal, slack, abs_slack, min_improvement, -1});
   }
 
   /// Latency-style metric gated via the `lower_is_better` shorthand: the
@@ -211,7 +217,8 @@ class BenchReport {
   /// compare).
   void latency_metric(const std::string& key, double value, double slack = -1.0,
                       bool lower_is_better = true) {
-    metrics_.push_back({key, value, "none", slack, 0.0, lower_is_better ? 1 : 0});
+    metrics_.push_back(
+        {key, value, "none", slack, 0.0, -1.0, lower_is_better ? 1 : 0});
   }
 
   /// Records an acceptance check and prints the usual [PASS]/[FAIL] line.
@@ -254,6 +261,9 @@ class BenchReport {
       } else {
         os << ", \"goal\": \"" << esc(m.goal) << "\", \"slack\": " << num(m.slack)
            << ", \"abs_slack\": " << num(m.abs_slack);
+        if (m.min_improvement >= 0.0) {
+          os << ", \"min_improvement\": " << num(m.min_improvement);
+        }
       }
       os << "},\n";
     }
@@ -287,6 +297,7 @@ class BenchReport {
     std::string goal;
     double slack;
     double abs_slack;
+    double min_improvement;  ///< < 0 = no ratchet (field omitted from JSON)
     int lower_is_better;  ///< -1 = goal form, 0/1 = lower_is_better shorthand
   };
   struct Check {

@@ -132,16 +132,22 @@ Placement correlation_placement(const SquareMatrix& tcm, std::uint32_t nodes,
 
 namespace {
 
-/// Shared core of the two planners: `node_value(t, n)` scores a node for a
-/// thread; a move is suggested when the score delta beats the modeled cost.
-template <typename NodeValue>
+/// Shared core of the two planners: `node_value(t, n, working)` scores node
+/// `n` for thread `t` against the *working* placement (the batch-consistent
+/// view with earlier accepted moves applied); a move is suggested when the
+/// score delta beats the modeled cost.  `on_move(t, from, to)` fires on each
+/// acceptance so a caller with precomputed per-(thread, node) state can
+/// update it incrementally.  One pass over the threads means no two
+/// suggestions ever move the same thread.
+template <typename NodeValue, typename OnMove>
 std::vector<MigrationSuggestion> plan_with_value(
     std::uint32_t threads, const Placement& current,
     std::span<const ClassFootprint> footprints,
     std::span<const std::uint64_t> context_bytes, const MigrationCostModel& model,
     std::uint32_t nodes, double bytes_per_ns, std::uint32_t slack,
-    NodeValue&& node_value) {
-  std::vector<std::uint32_t> load = current.loads(nodes);
+    NodeValue&& node_value, OnMove&& on_move) {
+  Placement working = current;
+  std::vector<std::uint32_t> load = working.loads(nodes);
   // Capacity is derived from the threads that actually sit on a node (the
   // sum of the loads): kInvalidNode padding for map slots with no spawned
   // thread must not inflate the ceiling into accepting infeasible moves.
@@ -151,16 +157,17 @@ std::vector<MigrationSuggestion> plan_with_value(
 
   std::vector<MigrationSuggestion> out;
   for (std::uint32_t t = 0; t < threads; ++t) {
-    const NodeId cur = current.node_of_thread[t];
+    const NodeId cur = working.node_of_thread[t];
     // Unplaced threads (kInvalidNode padding for map slots with no spawned
     // thread) can neither migrate nor occupy capacity.
     if (cur >= nodes) continue;
     NodeId best = cur;
-    double best_value = node_value(t, cur);
+    const double cur_value = node_value(t, cur, working);
+    double best_value = cur_value;
     for (std::uint32_t n = 0; n < nodes; ++n) {
       if (n == cur) continue;
       if (load[n] + 1 > capacity) continue;
-      const double v = node_value(t, static_cast<NodeId>(n));
+      const double v = node_value(t, static_cast<NodeId>(n), working);
       if (v > best_value) {
         best = static_cast<NodeId>(n);
         best_value = v;
@@ -168,7 +175,7 @@ std::vector<MigrationSuggestion> plan_with_value(
     }
     if (best == cur) continue;
 
-    const double gain = best_value - node_value(t, cur);
+    const double gain = best_value - cur_value;
     const ClassFootprint fp =
         t < footprints.size() ? footprints[t] : ClassFootprint{};
     const std::uint64_t ctx = t < context_bytes.size() ? context_bytes[t] : 1024;
@@ -176,6 +183,13 @@ std::vector<MigrationSuggestion> plan_with_value(
     const double cost_bytes =
         static_cast<double>(est.total_with_prefetch()) * bytes_per_ns;
     if (gain <= cost_bytes) continue;
+
+    // Accept: apply the move to the working view so later candidates score
+    // against the intended batch, not the stale pre-batch placement.
+    --load[cur];
+    ++load[best];
+    working.node_of_thread[t] = best;
+    on_move(t, cur, best);
 
     MigrationSuggestion s;
     s.thread = t;
@@ -194,6 +208,15 @@ std::vector<MigrationSuggestion> plan_with_value(
 
 }  // namespace
 
+Placement assemble_placement(std::span<const NodeId> placed, std::size_t dim) {
+  Placement p;
+  p.node_of_thread.assign(dim, kInvalidNode);
+  for (std::size_t t = 0; t < placed.size() && t < dim; ++t) {
+    p.node_of_thread[t] = placed[t];
+  }
+  return p;
+}
+
 std::vector<MigrationSuggestion> plan_migrations_home_aware(
     const SquareMatrix& tcm, const ThreadHomeAffinity& home,
     const Placement& current, std::span<const ClassFootprint> footprints,
@@ -201,16 +224,17 @@ std::vector<MigrationSuggestion> plan_migrations_home_aware(
     std::uint32_t nodes, double bytes_per_ns, std::uint32_t slack,
     double home_weight) {
   const std::uint32_t threads = static_cast<std::uint32_t>(tcm.size());
-  auto node_value = [&](std::uint32_t t, NodeId n) {
+  auto node_value = [&](std::uint32_t t, NodeId n, const Placement& working) {
     double pair_affinity = 0.0;
     for (std::uint32_t u = 0; u < threads; ++u) {
       if (u == t) continue;
-      if (current.node_of_thread[u] == n) pair_affinity += tcm.at(t, u);
+      if (working.node_of_thread[u] == n) pair_affinity += tcm.at(t, u);
     }
     return pair_affinity + home_weight * home.at(t, n);
   };
   return plan_with_value(threads, current, footprints, context_bytes, model,
-                         nodes, bytes_per_ns, slack, node_value);
+                         nodes, bytes_per_ns, slack, node_value,
+                         [](std::uint32_t, NodeId, NodeId) {});
 }
 
 std::vector<MigrationSuggestion> plan_migrations(
@@ -231,11 +255,23 @@ std::vector<MigrationSuggestion> plan_migrations(
       if (n < nodes) affinity[static_cast<std::size_t>(t) * nodes + n] += tcm.at(t, u);
     }
   }
-  auto node_value = [&](std::uint32_t t, NodeId n) {
+  auto node_value = [&](std::uint32_t t, NodeId n, const Placement&) {
     return affinity[static_cast<std::size_t>(t) * nodes + n];
   };
+  // Batch consistency for the precomputed table: when a move is accepted,
+  // shift the mover's mass in every other thread's affinity row from the old
+  // node's column to the new one (O(threads) per accepted move).
+  auto on_move = [&](std::uint32_t t, NodeId from, NodeId to) {
+    for (std::uint32_t u = 0; u < threads; ++u) {
+      if (u == t) continue;
+      const double w = tcm.at(u, t);
+      if (w == 0.0) continue;
+      affinity[static_cast<std::size_t>(u) * nodes + from] -= w;
+      affinity[static_cast<std::size_t>(u) * nodes + to] += w;
+    }
+  };
   return plan_with_value(threads, current, footprints, context_bytes, model,
-                         nodes, bytes_per_ns, slack, node_value);
+                         nodes, bytes_per_ns, slack, node_value, on_move);
 }
 
 }  // namespace djvm

@@ -33,6 +33,15 @@ struct Placement {
 /// Baseline: thread i -> node i % nodes.
 [[nodiscard]] Placement round_robin_placement(std::uint32_t threads, std::uint32_t nodes);
 
+/// Pads (or truncates) a live thread->node walk to `dim` map slots.  Slots
+/// past the walked threads read kInvalidNode, which the planners treat as
+/// *unplaced*: such a slot can neither migrate nor occupy a node's capacity.
+/// The facade's influence-placement and planner paths both assemble their
+/// Placement through this (the TCM's dimension is the configured thread
+/// count, which may exceed the threads actually spawned).
+[[nodiscard]] Placement assemble_placement(std::span<const NodeId> placed,
+                                           std::size_t dim);
+
 /// Bytes of pairwise shared data (TCM cells) crossing node boundaries under
 /// `p` — the communication-cost objective the balancer minimizes.
 [[nodiscard]] double remote_shared_bytes(const SquareMatrix& tcm, const Placement& p);
@@ -63,6 +72,16 @@ struct MigrationSuggestion {
 /// migration cost converted to bytes via the network byte rate.  Respects
 /// node capacity ceil(threads/nodes) + slack.  Suggestions are ordered by
 /// descending score.
+///
+/// Plans are *batch-consistent*: each accepted suggestion updates the
+/// working placement, so later candidates see earlier moves — capacity is
+/// respected after the batch applies (a move both frees a slot at its
+/// source and takes one at its target), affinity is scored against where
+/// co-accessors will be rather than where they were (two partner threads
+/// cannot swap past each other chasing each other's old node), and no two
+/// suggestions move the same thread.  An executor applying only a prefix of
+/// the batch (score order, per-epoch cap) can transiently exceed a node's
+/// capacity by at most the moves it skipped; the slack term absorbs that.
 [[nodiscard]] std::vector<MigrationSuggestion> plan_migrations(
     const SquareMatrix& tcm, const Placement& current,
     std::span<const ClassFootprint> footprints,

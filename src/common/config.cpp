@@ -38,6 +38,10 @@ std::string Config::summary() const {
   if (ingest.enabled) {
     os << " ingest=arena" << ingest.arena_entries << "x" << ingest.ring_depth;
   }
+  if (balance.max_migrations_per_epoch > 0) {
+    os << " balance=" << balance.max_migrations_per_epoch << "/epoch";
+    if (balance.dry_run) os << "(dry)";
+  }
   return os.str();
 }
 

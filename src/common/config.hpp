@@ -109,6 +109,34 @@ struct ExportKnobs {
   std::uint32_t timeline_top_k = 4;
 };
 
+/// Mid-run migration-execution knobs (Config::balance): the execution stage
+/// of Djvm::run_governed_epoch, which applies the migration planner's
+/// top-scoring suggestions batched per epoch instead of only scoring them
+/// for governor influence.
+struct BalanceKnobs {
+  /// Suggestions executed per governed epoch; 0 (default) disables the
+  /// execution stage entirely — the planner still runs for influence
+  /// scoring, the PR 5 behavior.
+  std::uint32_t max_migrations_per_epoch = 0;
+  /// Minimum planner score (locality gain over modeled migration cost) a
+  /// suggestion needs before it executes; suggestions already require
+  /// gain > cost (score > 1), so this adds safety margin on top.
+  double min_score = 1.25;
+  /// Epochs a migrated thread sits out before it may migrate again
+  /// (dampens planner oscillation between near-equal placements).
+  std::uint32_t cooldown_epochs = 4;
+  /// Ablation: plan, score, and apply the cooldown/cap/min-score filters
+  /// but execute nothing — reproduces the PR 5-era influence-only loop
+  /// while paying the same planner cost as the executing run.
+  bool dry_run = false;
+  /// After a thread migrates, also migrate the homes of its resolved
+  /// sticky-set objects still homed at the source node (their affinity
+  /// mass follows the migrant), batched into one transfer.
+  bool follow_homes = true;
+  /// Cap on follow-the-thread home migrations per executed migration.
+  std::uint32_t max_home_migrations = 64;
+};
+
 /// Lock-free OAL ingest knobs (Config::ingest; see profiling/ingest.hpp).
 struct IngestKnobs {
   /// Route interval OALs through per-thread arenas and SPSC rings into the
@@ -152,6 +180,9 @@ struct ConfigData {
   /// Back-off victim scoring (see BackoffScoring; kBytesPerEntry reproduces
   /// the pre-influence heuristic for ablation benches).
   BackoffScoring backoff_scoring = BackoffScoring::kInfluenceWeighted;
+
+  // --- migration execution -------------------------------------------------
+  BalanceKnobs balance{};
 
   // --- observability -------------------------------------------------------
   ExportKnobs export_{};

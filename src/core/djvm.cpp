@@ -122,10 +122,18 @@ EpochResult Djvm::run_governed_epoch() {
       daemon_.governor().config().scoring ==
           BackoffScoring::kInfluenceWeighted &&
       thread_count() > 0;
-  if (influence_loop) {
-    std::vector<NodeId> placement(thread_count());
-    for (ThreadId t = 0; t < thread_count(); ++t) {
-      placement[t] = gos_->thread_node(t);
+  // The execution stage needs the planner (and so the placement and cell
+  // attribution) even when back-off scoring would ignore influence.
+  const bool execute_stage =
+      cfg_.balance.max_migrations_per_epoch > 0 && thread_count() > 0;
+  if (influence_loop || execute_stage) {
+    std::vector<NodeId> placement = live_thread_nodes();
+    // Deferred planned moves override their threads' live nodes: attribution
+    // and planning score the *intended* post-migration placement, so the
+    // loop does not re-argue moves it already decided but has not yet run.
+    // Executed moves need no override — they are the live nodes.
+    for (const PlannedMove& p : planned_moves_) {
+      if (p.thread < placement.size()) placement[p.thread] = p.to;
     }
     daemon_.set_influence_placement(std::move(placement));
   } else {
@@ -157,10 +165,14 @@ EpochResult Djvm::run_governed_epoch() {
   OverheadSample s;
   s.measured = true;
   // Last epoch's balancer-feedback run (attribution consumer + migration
-  // planner) is coordinator work; the daemon adds this epoch's map
-  // construction on top (OverheadSample::build_seconds is additive).
-  s.build_seconds = planner_carry_seconds_;
+  // planner) and execution stage (sticky resolution, prefetch, home-move
+  // bookkeeping) are coordinator work; the daemon adds this epoch's map
+  // construction on top (OverheadSample::build_seconds is additive).  The
+  // migration bucket is what lets the governor veto the next batch when
+  // executing migrations itself pushes the budget.
+  s.build_seconds = planner_carry_seconds_ + migration_carry_seconds_;
   planner_carry_seconds_ = 0.0;
+  migration_carry_seconds_ = 0.0;
   // Worker CPU the GOS charged to thread clocks for profiling this epoch:
   // rate-dependent (OAL log service, footprint re-arm touches) vs
   // rate-independent (stack-sampler timers).
@@ -270,19 +282,14 @@ EpochResult Djvm::run_governed_epoch() {
   // its benefit/cost scores by it.  One epoch of lag by construction (this
   // epoch's decision used last epoch's influence); the governor's
   // exponential-decay memory is what makes that sound.
-  if (influence_loop && !result.cells.empty()) {
+  if ((influence_loop || execute_stage) && !result.cells.empty()) {
     const auto planner_t0 = std::chrono::steady_clock::now();
     // The map's dimension is cfg_.threads (fixed at daemon construction);
     // the planner indexes node_of_thread up to it, so pad past the spawned
     // threads with kInvalidNode — the planner skips unplaced threads
     // entirely, so filler neither migrates nor occupies a node's capacity.
-    Placement current;
-    current.node_of_thread.assign(result.tcm.size(), kInvalidNode);
-    const std::vector<NodeId>& placed = daemon_.influence_placement();
-    for (std::size_t t = 0; t < placed.size() && t < current.node_of_thread.size();
-         ++t) {
-      current.node_of_thread[t] = placed[t];
-    }
+    const Placement current =
+        assemble_placement(daemon_.influence_placement(), result.tcm.size());
     // Context bytes come from the stacks (always live); sticky-set
     // footprints only exist when footprinting is on.  Missing entries fall
     // back to the planner's defaults.
@@ -302,15 +309,24 @@ EpochResult Djvm::run_governed_epoch() {
     const std::vector<MigrationSuggestion> suggestions = plan_migrations(
         result.tcm, current, footprints, contexts, cost_model(), cfg_.nodes,
         cfg_.costs.bytes_per_ns, /*slack=*/1);
-    daemon_.governor().observe_balancer_feedback(
-        build_balancer_feedback(result.cells, suggestions));
+    if (execute_stage) {
+      result.migration_seconds =
+          execute_migrations(result, suggestions, footprints);
+      migration_carry_seconds_ += result.migration_seconds;
+    }
+    if (influence_loop) {
+      daemon_.governor().observe_balancer_feedback(
+          build_balancer_feedback(result.cells, suggestions));
+    }
     // Coordinator work like the map build itself: billed to the *next*
     // epoch's sample (this epoch's decision already ran), same carryover
-    // pattern as resampling cost.
+    // pattern as resampling cost.  The execution stage's share is carried
+    // in its own bucket above, not double-billed here.
     planner_carry_seconds_ =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       planner_t0)
-            .count();
+            .count() -
+        result.migration_seconds;
   }
 
   if (snapshot_writer_ && !cfg_.export_.snapshot_path.empty()) {
@@ -329,6 +345,110 @@ EpochResult Djvm::run_governed_epoch() {
                                           registry_, cfg_.export_.timeline_top_k));
   }
   return result;
+}
+
+std::vector<NodeId> Djvm::live_thread_nodes() const {
+  std::vector<NodeId> placement(thread_count());
+  for (ThreadId t = 0; t < thread_count(); ++t) {
+    placement[t] = gos_->thread_node(t);
+  }
+  return placement;
+}
+
+double Djvm::execute_migrations(
+    EpochResult& result, const std::vector<MigrationSuggestion>& suggestions,
+    const std::vector<ClassFootprint>& footprints) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const BalanceKnobs& knobs = cfg_.balance;
+  Governor& gov = daemon_.governor();
+  // One admission decision per epoch: a mid-batch flip would execute a
+  // placement the planner never scored as a whole.
+  const bool admitted = gov.allow_migration_work();
+
+  // Work list: deferred moves first (FIFO — they were admitted earlier), then
+  // fresh suggestions in score order.  A fresh suggestion for a thread
+  // supersedes its stale pending entry: the planner saw newer attribution.
+  struct Candidate {
+    ThreadId thread;
+    NodeId to;
+    double gain_bytes;
+    double score;
+    bool fresh;
+  };
+  std::vector<Candidate> work;
+  work.reserve(planned_moves_.size() + suggestions.size());
+  for (const PlannedMove& p : planned_moves_) {
+    work.push_back({p.thread, p.to, p.gain_bytes, p.score, false});
+  }
+  for (const MigrationSuggestion& s : suggestions) {
+    if (s.score < knobs.min_score) break;  // sorted descending by score
+    std::erase_if(work, [&](const Candidate& c) {
+      return !c.fresh && c.thread == s.thread;
+    });
+    work.push_back({s.thread, s.to, s.gain_bytes, s.score, true});
+  }
+
+  std::vector<PlannedMove> still_pending;
+  std::uint32_t executed = 0;
+  for (const Candidate& c : work) {
+    if (c.thread >= thread_count()) continue;
+    if (gos_->thread_node(c.thread) == c.to) continue;  // already there
+    if (gov.in_cooldown(c.thread, knobs.cooldown_epochs)) continue;
+
+    EpochResult::MigrationEvent ev;
+    ev.thread = c.thread;
+    ev.from = gos_->thread_node(c.thread);
+    ev.to = c.to;
+    ev.gain_bytes = c.gain_bytes;
+    ev.score = c.score;
+
+    if (knobs.dry_run) {
+      // Ablation: log what *would* run under the same cap/veto, move
+      // nothing, defer nothing — the run stays bit-identical to
+      // execution-off so the bench band isolates the execution effect.
+      if (admitted && executed < knobs.max_migrations_per_epoch) {
+        ++executed;
+        result.migrations.push_back(ev);
+      }
+      continue;
+    }
+
+    if (!admitted || executed >= knobs.max_migrations_per_epoch) {
+      // Deferred, not dropped: stays the intended placement next epoch.
+      still_pending.push_back({c.thread, c.to, c.gain_bytes, c.score});
+      result.migrations.push_back(ev);
+      continue;
+    }
+
+    static const JavaStack kNoStack;
+    const JavaStack& stk = c.thread < stacks_.size() ? stacks_[c.thread] : kNoStack;
+    const ClassFootprint fp =
+        c.thread < footprints.size() ? footprints[c.thread] : ClassFootprint{};
+    const MigrationOutcome out = migration_.migrate_with_resolution(
+        c.thread, c.to, stk, last_invariants(c.thread), fp,
+        cfg_.landmark_tolerance,
+        knobs.follow_homes ? knobs.max_home_migrations : 0);
+    ++executed;
+
+    ev.executed = true;
+    ev.sim_cost = out.sim_cost;
+    ev.prefetched_bytes = out.prefetched_bytes;
+    ev.homes_migrated = out.homes_migrated;
+    result.migrations.push_back(ev);
+
+    Governor::ExecutedMigration rec;
+    rec.epoch = static_cast<std::uint64_t>(gov.epochs_seen());
+    rec.thread = c.thread;
+    rec.from = ev.from;
+    rec.to = c.to;
+    rec.gain_bytes = c.gain_bytes;
+    rec.sim_cost_seconds = static_cast<double>(out.sim_cost) * 1e-9;
+    rec.prefetched_bytes = out.prefetched_bytes;
+    gov.record_migration(rec);
+  }
+  if (!knobs.dry_run) planned_moves_ = std::move(still_pending);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 void Djvm::add_access_observer(AccessObserver obs) {

@@ -34,6 +34,8 @@
 
 namespace djvm {
 
+struct MigrationSuggestion;  // balance/load_balancer.hpp
+
 /// Observer of the raw access stream (enabled on demand).
 using AccessObserver = std::function<void(ThreadId, ObjectId, bool /*write*/)>;
 /// Observer of interval closes.
@@ -100,7 +102,25 @@ class Djvm final : public Gos::Hooks {
   /// daemon epoch under the governor.  Call once per epoch (e.g. after each
   /// barrier round).  With Config::export_.snapshot_path set, the epoch's governor
   /// state + TCM are handed to the async snapshot writer afterwards.
+  ///
+  /// With Config::balance.max_migrations_per_epoch > 0 the pump closes the
+  /// plan→execute→re-key→refeed loop: after the migration planner runs, the
+  /// top-scoring suggestions are *executed* via the MigrationEngine
+  /// (sticky-set prefetch from last_invariants + footprints, optional
+  /// follow-the-thread home migration), capped per epoch, score- and
+  /// cooldown-filtered, and vetoed entirely while the governor is over its
+  /// back-off band.  Deferred moves persist as the *intended* placement the
+  /// next epoch's attribution and planning score.
   EpochResult run_governed_epoch();
+
+  /// Live thread→node walk (the balancer's current co-location partition).
+  [[nodiscard]] std::vector<NodeId> live_thread_nodes() const;
+
+  /// Moves admitted by the planner but deferred by the per-epoch cap or a
+  /// governor veto, still awaiting execution.
+  [[nodiscard]] std::size_t planned_moves_pending() const noexcept {
+    return planned_moves_.size();
+  }
 
   /// The background snapshot/timeline writer (nullptr unless
   /// Config::export_.snapshot_path or Config::export_.timeline_path is set).  Exposed so
@@ -154,13 +174,36 @@ class Djvm final : public Gos::Hooks {
   MigrationEngine migration_;
   std::unique_ptr<SnapshotWriter> snapshot_writer_;
 
+  /// One admitted-but-deferred migration (per-epoch cap or governor veto):
+  /// overrides the influence placement as the intended post-migration spot
+  /// until the execution stage runs it.
+  struct PlannedMove {
+    ThreadId thread = kInvalidThread;
+    NodeId to = kInvalidNode;
+    double gain_bytes = 0.0;
+    double score = 0.0;
+  };
+
+  /// The execution stage of run_governed_epoch (see Config::balance):
+  /// applies deferred planned moves and fresh admitted suggestions under
+  /// the cap/min-score/cooldown/veto/dry-run knobs, records events into
+  /// `result`, and returns the stage's real seconds.
+  double execute_migrations(EpochResult& result,
+                            const std::vector<MigrationSuggestion>& suggestions,
+                            const std::vector<ClassFootprint>& footprints);
+
   std::vector<AccessObserver> access_observers_;
   std::vector<IntervalObserver> interval_observers_;
   std::vector<std::vector<ObjectId>> last_invariants_;
+  std::vector<PlannedMove> planned_moves_;
   /// Real seconds last epoch's balancer-feedback run cost (migration
   /// planner + feedback fold); billed into the next epoch's coordinator
   /// bucket, the same carryover pattern as resampling.
   double planner_carry_seconds_ = 0.0;
+  /// Same carryover for the execution stage's real seconds (resolution,
+  /// prefetch, home-migration bookkeeping) — its own bucket so the governor
+  /// can see migration work push the budget and veto the next batch.
+  double migration_carry_seconds_ = 0.0;
   SimTime stack_sampling_sim_cost_ = 0;
   /// Stack-sampler cost attributed to the node the sampled thread ran on.
   std::vector<SimTime> stack_cost_by_node_;

@@ -460,6 +460,40 @@ void Gos::migrate_home(ObjectId obj, NodeId to) {
   ++stats_.home_migrations;
 }
 
+std::size_t Gos::migrate_homes(std::span<const ObjectId> objs, NodeId to) {
+  if (objs.empty()) return 0;
+  NodeState& dst = nodes_[to];
+  grow_node(dst);
+  // Payload is accumulated per source node so each source ships one
+  // aggregated message (the batched analog of prefetch); the per-object
+  // state flips and sampling re-keys are identical to migrate_home.
+  std::vector<std::uint64_t> bytes_from(nodes_.size(), 0);
+  std::size_t moved = 0;
+  for (ObjectId obj : objs) {
+    const ObjectMeta& m = heap_.meta(obj);
+    if (m.home == to) continue;  // also skips duplicates already moved
+    const NodeId from = m.home;
+    NodeState& src = nodes_[from];
+    grow_node(src);
+    const auto oi = static_cast<std::size_t>(obj);
+    bytes_from[from] += m.size_bytes;
+    dst.state[oi] = static_cast<std::uint8_t>(CopyState::kHome);
+    dst.fetch_epoch[oi] = global_epoch_;
+    src.state[oi] = static_cast<std::uint8_t>(CopyState::kValid);
+    src.fetch_epoch[oi] = global_epoch_;
+    heap_.set_home(obj, to);
+    plan_.on_home_migrated(obj, from, to);
+    ++stats_.home_migrations;
+    ++moved;
+  }
+  for (std::size_t from = 0; from < bytes_from.size(); ++from) {
+    if (bytes_from[from] == 0) continue;
+    net_.send({static_cast<NodeId>(from), to, MsgCategory::kObjectData,
+               bytes_from[from] + kRequestBytes, false});
+  }
+  return moved;
+}
+
 void Gos::enable_stack_sampling(SimTime gap) {
   stack_sampling_ = true;
   stack_gap_ = std::max<SimTime>(1, gap);

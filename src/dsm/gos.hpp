@@ -118,6 +118,12 @@ class Gos : public CopySetView {
                 MsgCategory category = MsgCategory::kObjectData);
   /// Moves an object's home to `to`, transferring its payload.
   void migrate_home(ObjectId obj, NodeId to);
+  /// Batched home migration: moves every object in `objs` not already homed
+  /// at `to`, shipping one aggregated payload per source node instead of a
+  /// message per object (the follow-the-thread path of the execution stage).
+  /// Sampling state is re-keyed per object exactly as migrate_home does.
+  /// Returns the number of homes actually moved.
+  std::size_t migrate_homes(std::span<const ObjectId> objs, NodeId to);
 
   // --- profiling configuration ------------------------------------------------
   // Each setter refreshes the per-thread dispatch mask, so the access hot

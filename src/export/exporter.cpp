@@ -230,6 +230,23 @@ std::string export_snapshot_json(const SnapshotInfo& info,
   }
   out += ']';
 
+  // v5 executed-migration history (empty arrays for older snapshots).
+  out += ",\"migrations_executed\":" + std::to_string(info.migrations_executed);
+  out += ",\"migrations\":[";
+  for (std::size_t i = 0; i < info.migrations.size(); ++i) {
+    const SnapshotInfo::Migration& m = info.migrations[i];
+    if (i != 0) out += ',';
+    out += "{\"epoch\":" + std::to_string(m.epoch);
+    out += ",\"thread\":" + std::to_string(m.thread);
+    out += ",\"from\":" + std::to_string(m.from);
+    out += ",\"to\":" + std::to_string(m.to);
+    out += ",\"gain_bytes\":" + json_num(m.gain_bytes);
+    out += ",\"sim_cost_seconds\":" + json_num(m.sim_cost_seconds);
+    out += ",\"prefetched_bytes\":" + std::to_string(m.prefetched_bytes);
+    out += '}';
+  }
+  out += ']';
+
   double total_shared = 0.0;
   for (std::size_t i = 0; i < info.tcm.size(); ++i) {
     for (std::size_t j = i + 1; j < info.tcm.size(); ++j) {

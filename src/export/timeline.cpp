@@ -84,6 +84,27 @@ std::string timeline_line(const EpochResult& epoch, const Governor& governor,
   }
   out += '}';
 
+  // Migration events: the epoch's execution stage, executed and deferred
+  // alike (executed=false means planned-but-deferred or dry-run logged).
+  out += ",\"migration_seconds\":" + num(epoch.migration_seconds);
+  out += ",\"migrations\":[";
+  for (std::size_t i = 0; i < epoch.migrations.size(); ++i) {
+    const EpochResult::MigrationEvent& m = epoch.migrations[i];
+    if (i != 0) out += ',';
+    out += "{\"thread\":" + std::to_string(m.thread);
+    out += ",\"from\":" + std::to_string(m.from);
+    out += ",\"to\":" + std::to_string(m.to);
+    out += ",\"gain_bytes\":" + num(m.gain_bytes);
+    out += ",\"score\":" + num(m.score);
+    out += ",\"sim_cost\":" + std::to_string(m.sim_cost);
+    out += ",\"prefetched_bytes\":" + std::to_string(m.prefetched_bytes);
+    out += ",\"homes_migrated\":" + std::to_string(m.homes_migrated);
+    out += ",\"executed\":";
+    out += m.executed ? "true" : "false";
+    out += '}';
+  }
+  out += ']';
+
   // Influence top-k: the classes whose correlation mass placement decisions
   // act on most, by the governor's decayed share.
   std::vector<std::pair<double, ClassId>> shares;

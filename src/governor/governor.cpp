@@ -314,6 +314,39 @@ void Governor::observe_balancer_feedback(const BalancerFeedback& fb) {
   influence_seen_ = true;
 }
 
+void Governor::record_migration(const ExecutedMigration& m) {
+  ++migrations_executed_;
+  migration_history_.push_back(m);
+  if (migration_history_.size() > kMigrationHistoryCap) {
+    migration_history_.erase(
+        migration_history_.begin(),
+        migration_history_.end() -
+            static_cast<std::ptrdiff_t>(kMigrationHistoryCap));
+  }
+  if (m.thread == kInvalidThread) return;
+  if (last_migration_epoch_.size() <= m.thread) {
+    last_migration_epoch_.resize(static_cast<std::size_t>(m.thread) + 1,
+                                 kNeverMigrated);
+  }
+  last_migration_epoch_[m.thread] = m.epoch;
+}
+
+bool Governor::in_cooldown(ThreadId thread,
+                           std::uint32_t cooldown_epochs) const noexcept {
+  if (cooldown_epochs == 0) return false;
+  if (thread >= last_migration_epoch_.size()) return false;
+  const std::uint64_t stamp = last_migration_epoch_[thread];
+  if (stamp == kNeverMigrated) return false;
+  const auto now = static_cast<std::uint64_t>(epochs_);
+  return now >= stamp && now - stamp < cooldown_epochs;
+}
+
+bool Governor::allow_migration_work() const noexcept {
+  if (mode_ != GovernorMode::kClosedLoop) return true;
+  return meter_.rolling_fraction() <=
+         cfg_.overhead_budget * (1.0 + cfg_.hysteresis);
+}
+
 double Governor::backoff_score(ClassId id, const ClassEpochStats& stats) const {
   const double bytes_per_entry = static_cast<double>(stats.estimated_bytes) /
                                  static_cast<double>(stats.entries);

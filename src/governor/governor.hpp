@@ -227,6 +227,46 @@ class Governor {
   /// then influence scoring falls back to bytes-per-entry).
   [[nodiscard]] bool influence_seen() const noexcept { return influence_seen_; }
 
+  // --- migration execution ----------------------------------------------------
+  /// One executed mid-run migration, recorded by the facade's execution
+  /// stage.  Persisted in snapshots (v5) so per-thread cooldowns and the
+  /// executed history survive restarts alongside the influence table.
+  struct ExecutedMigration {
+    std::uint64_t epoch = 0;  ///< epochs_seen() when the move executed
+    ThreadId thread = kInvalidThread;
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    double gain_bytes = 0.0;        ///< planner locality gain for the move
+    double sim_cost_seconds = 0.0;  ///< simulated cost billed to the migrant
+    std::uint64_t prefetched_bytes = 0;
+  };
+  /// Retained-history cap; the total counter keeps counting past it.
+  static constexpr std::size_t kMigrationHistoryCap = 256;
+
+  /// Appends one executed migration to the bounded history and stamps the
+  /// thread's cooldown epoch.  Survives reset()/re-arm (it is a run log, not
+  /// controller state) and is persisted by snapshots.
+  void record_migration(const ExecutedMigration& m);
+  /// Executed-migration history, oldest first (at most kMigrationHistoryCap).
+  [[nodiscard]] const std::vector<ExecutedMigration>& migration_history()
+      const noexcept {
+    return migration_history_;
+  }
+  /// Total migrations ever recorded, including entries aged out of history.
+  [[nodiscard]] std::uint64_t migrations_executed() const noexcept {
+    return migrations_executed_;
+  }
+  /// True while `thread` sits in its post-migration cooldown: it migrated
+  /// fewer than `cooldown_epochs` governor epochs ago.
+  [[nodiscard]] bool in_cooldown(ThreadId thread,
+                                 std::uint32_t cooldown_epochs) const noexcept;
+  /// Execution-stage admission: false while the armed closed-loop
+  /// controller's rolling overhead fraction sits above the back-off band
+  /// (budget * (1 + hysteresis)) — the same line that triggers rate back-off
+  /// parks migration work, whose wall cost lands in the very next sample.
+  /// Disarmed and legacy governors never veto.
+  [[nodiscard]] bool allow_migration_work() const noexcept;
+
   // --- observability ---------------------------------------------------------
   [[nodiscard]] OverheadMeter& meter() noexcept { return meter_; }
   [[nodiscard]] const OverheadMeter& meter() const noexcept { return meter_; }
@@ -301,6 +341,13 @@ class Governor {
   /// and whether any feedback was ever folded in.
   std::vector<double> influence_;
   bool influence_seen_ = false;
+  /// Executed-migration run log (bounded, oldest first), total count, and
+  /// the ThreadId-indexed epoch stamp of each thread's last migration
+  /// (kNeverMigrated when it never moved) for cooldown checks.
+  std::vector<ExecutedMigration> migration_history_;
+  std::uint64_t migrations_executed_ = 0;
+  std::vector<std::uint64_t> last_migration_epoch_;
+  static constexpr std::uint64_t kNeverMigrated = ~0ull;
 };
 
 }  // namespace djvm

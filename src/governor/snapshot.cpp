@@ -63,6 +63,12 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
+/// Sanity ceiling on ThreadIds in a v5 migration entry: far above any thread
+/// count the simulator runs, and it bounds the cooldown-stamp table the
+/// decoder rebuilds (a forged id near 2^32 would otherwise size a
+/// multi-gigabyte allocation before validation could finish).
+constexpr std::uint32_t kMaxSnapshotThreads = 1u << 20;
+
 }  // namespace
 
 /// Friend of Governor: the only place private controller state crosses the
@@ -153,6 +159,22 @@ struct SnapshotAccess {
       if (gov.influence_[c] == 0.0) continue;
       put<std::uint32_t>(out, static_cast<std::uint32_t>(c));
       put<double>(out, gov.influence_[c]);
+    }
+
+    // v5: executed-migration history (the facade's execution-stage log).
+    // Per-thread cooldown stamps are not stored — the decoder rebuilds them
+    // from the entries, which is exactly how the live governor derived them.
+    put<std::uint64_t>(out, gov.migrations_executed_);
+    put<std::uint32_t>(out,
+                       static_cast<std::uint32_t>(gov.migration_history_.size()));
+    for (const Governor::ExecutedMigration& m : gov.migration_history_) {
+      put<std::uint64_t>(out, m.epoch);
+      put<std::uint32_t>(out, m.thread);
+      put<std::uint16_t>(out, m.from);
+      put<std::uint16_t>(out, m.to);
+      put<double>(out, m.gain_bytes);
+      put<double>(out, m.sim_cost_seconds);
+      put<std::uint64_t>(out, m.prefetched_bytes);
     }
 
     put<std::uint64_t>(out, tcm.size());
@@ -341,6 +363,52 @@ struct SnapshotAccess {
       cfg.scoring = static_cast<BackoffScoring>(scoring);
     }
 
+    // v5: executed-migration history.  Pre-v5 files carry none; the restored
+    // governor keeps whatever history it has already accumulated this run.
+    bool have_v5 = false;
+    std::uint64_t migrations_executed = 0;
+    std::vector<Governor::ExecutedMigration> migration_history;
+    if (version >= kSnapshotVersionV5) {
+      have_v5 = true;
+      std::uint32_t count = 0;
+      if (!r.get(migrations_executed) || !r.get(count)) return false;
+      // The encoder never retains more than the cap, and the total counts
+      // every entry the bounded history ever held.
+      if (count > Governor::kMigrationHistoryCap) return false;
+      if (migrations_executed < count) return false;
+      constexpr std::size_t kEntryBytes = sizeof(std::uint64_t) +
+                                          sizeof(std::uint32_t) +
+                                          2 * sizeof(std::uint16_t) +
+                                          2 * sizeof(double) +
+                                          sizeof(std::uint64_t);
+      if (static_cast<std::uint64_t>(count) * kEntryBytes > r.remaining()) {
+        return false;
+      }
+      migration_history.resize(count);
+      std::uint64_t prev_epoch = 0;
+      for (Governor::ExecutedMigration& m : migration_history) {
+        if (!r.get(m.epoch) || !r.get(m.thread) || !r.get(m.from) ||
+            !r.get(m.to) || !r.get(m.gain_bytes) ||
+            !r.get(m.sim_cost_seconds) || !r.get(m.prefetched_bytes)) {
+          return false;
+        }
+        // The history is chronological and every executed move names two
+        // distinct live nodes, a real thread, and a positive planner gain
+        // (the execution stage records nothing else); the thread bound also
+        // caps the cooldown-stamp table rebuilt below.
+        if (m.epoch < prev_epoch || m.epoch > epochs) return false;
+        prev_epoch = m.epoch;
+        if (m.thread >= kMaxSnapshotThreads) return false;
+        if (m.from == m.to || m.from == kInvalidNode || m.to == kInvalidNode) {
+          return false;
+        }
+        if (!std::isfinite(m.gain_bytes) || m.gain_bytes <= 0.0) return false;
+        if (!std::isfinite(m.sim_cost_seconds) || m.sim_cost_seconds < 0.0) {
+          return false;
+        }
+      }
+    }
+
     std::uint64_t n = 0;
     if (!r.get(n)) return false;
     if (n != 0 && (n > r.remaining() / sizeof(double) / n)) return false;
@@ -367,6 +435,20 @@ struct SnapshotAccess {
         gov.influence_[id] = value;
       }
       gov.influence_seen_ = influence_seen != 0;
+    }
+    if (have_v5) {
+      gov.migration_history_ = std::move(migration_history);
+      gov.migrations_executed_ = migrations_executed;
+      // Rebuild the per-thread cooldown stamps; entries are chronological,
+      // so the last write per thread wins, as it did live.
+      gov.last_migration_epoch_.clear();
+      for (const Governor::ExecutedMigration& m : gov.migration_history_) {
+        if (gov.last_migration_epoch_.size() <= m.thread) {
+          gov.last_migration_epoch_.resize(static_cast<std::size_t>(m.thread) + 1,
+                                           Governor::kNeverMigrated);
+        }
+        gov.last_migration_epoch_[m.thread] = m.epoch;
+      }
     }
     gov.converged_gaps_.assign(reg.size(), 0);  // 0 = not captured
     // Only classes whose gaps or shifts actually move need the paper's
@@ -600,6 +682,39 @@ bool parse_snapshot(const std::vector<std::uint8_t>& bytes, SnapshotInfo& out) {
       last_id = out.influence[i].first;
       if (!std::isfinite(out.influence[i].second) ||
           out.influence[i].second <= 0.0) {
+        return false;
+      }
+    }
+  }
+
+  out.migrations_executed = 0;
+  out.migrations.clear();
+  if (out.version >= kSnapshotVersionV5) {
+    std::uint32_t count = 0;
+    if (!r.get(out.migrations_executed) || !r.get(count)) return false;
+    if (count > Governor::kMigrationHistoryCap) return false;
+    if (out.migrations_executed < count) return false;
+    constexpr std::size_t kEntryBytes =
+        sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+        2 * sizeof(std::uint16_t) + 2 * sizeof(double) + sizeof(std::uint64_t);
+    if (static_cast<std::uint64_t>(count) * kEntryBytes > r.remaining()) {
+      return false;
+    }
+    out.migrations.assign(count, {});
+    std::uint64_t prev_epoch = 0;
+    for (SnapshotInfo::Migration& m : out.migrations) {
+      if (!r.get(m.epoch) || !r.get(m.thread) || !r.get(m.from) ||
+          !r.get(m.to) || !r.get(m.gain_bytes) || !r.get(m.sim_cost_seconds) ||
+          !r.get(m.prefetched_bytes)) {
+        return false;
+      }
+      if (m.epoch < prev_epoch || m.epoch > out.epochs_seen) return false;
+      prev_epoch = m.epoch;
+      if (m.from == m.to || m.from == kInvalidNode || m.to == kInvalidNode) {
+        return false;
+      }
+      if (!std::isfinite(m.gain_bytes) || m.gain_bytes <= 0.0) return false;
+      if (!std::isfinite(m.sim_cost_seconds) || m.sim_cost_seconds < 0.0) {
         return false;
       }
     }

@@ -7,7 +7,7 @@
 // converged TCM, the distributed analog of a single-process profiler's
 // `sample.prof` dump.
 //
-// Format v4, host-endian, fixed-width fields (round-trips bit-exactly on
+// Format v5, host-endian, fixed-width fields (round-trips bit-exactly on
 // the writing host; a foreign-endian reader rejects the file at the magic
 // check and cold-starts rather than misreading it):
 //   u32 magic 'DJGV'   u32 version
@@ -33,6 +33,12 @@
 //   f64 influence_decay                                     [v4]
 //   u32 influence_count                                     [v4]
 //     influence_count x { u32 class_id, f64 influence }     [v4]
+//   u64 migrations_executed                                 [v5]
+//   u32 migration_count                                     [v5]
+//     migration_count x { u64 epoch, u32 thread,            [v5]
+//                         u16 from_node, u16 to_node,
+//                         f64 gain_bytes, f64 sim_cost_seconds,
+//                         u64 prefetched_bytes }
 //   u64 tcm_dimension
 //     dimension^2 x f64 (row-major)
 //
@@ -47,6 +53,12 @@
 // the right classes immediately instead of re-learning influence from
 // scratch.  Zero-influence classes are trimmed (bit-exact re-encode).
 //
+// The v5 migration history persists the facade's executed-migration log
+// (see Governor::record_migration): per-thread cooldown stamps are rebuilt
+// from the entries on load, so a warm-started run neither re-migrates a
+// thread the previous run just moved nor forgets which moves the influence
+// table already credits.
+//
 // v1 files (no flags byte meaning — it was reserved padding — and none of
 // the [v2+] fields) still load: the restored governor keeps its
 // machine-local per-node policy knobs and every node is seeded from the
@@ -54,10 +66,11 @@
 // warm-starts a per-node governor cleanly.  v2 files load the same way
 // minus the copy summary (counters start at zero).  v3 files additionally
 // keep the live governor's machine-local scoring mode and influence table
-// (pre-v4 snapshots have no opinion on either).  Loading resamples only
-// the classes whose gaps or shifts actually differ from the live plan, so
-// restoring a snapshot into an already-warm world is not a full resample
-// storm.
+// (pre-v4 snapshots have no opinion on either), and v4 files keep the
+// history the live governor has already accumulated (pre-v5 snapshots
+// carry no migration log).  Loading resamples only the classes whose gaps
+// or shifts actually differ from the live plan, so restoring a snapshot
+// into an already-warm world is not a full resample storm.
 #pragma once
 
 #include <condition_variable>
@@ -74,8 +87,8 @@ namespace djvm {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x56474A44;  // "DJGV"
 /// Version written by encode_snapshot; decode also accepts the older
-/// kSnapshotVersionV1/V2/V3 layouts (read compatibility).
-inline constexpr std::uint32_t kSnapshotVersion = 4;
+/// kSnapshotVersionV1/V2/V3/V4 layouts (read compatibility).
+inline constexpr std::uint32_t kSnapshotVersion = 5;
 inline constexpr std::uint32_t kSnapshotVersionV1 = 1;
 inline constexpr std::uint32_t kSnapshotVersionV2 = 2;
 inline constexpr std::uint32_t kSnapshotVersionV3 = 3;
@@ -83,6 +96,7 @@ inline constexpr std::uint32_t kSnapshotVersionV3 = 3;
 /// moving kSnapshotVersion), so bumping the current version cannot silently
 /// drop an older section from files that carry it.
 inline constexpr std::uint32_t kSnapshotVersionV4 = 4;
+inline constexpr std::uint32_t kSnapshotVersionV5 = 5;
 
 /// Serializes the governor's state, the plan's per-class gaps, and `tcm`
 /// (pass the daemon's latest converged map).
@@ -106,7 +120,7 @@ inline constexpr std::uint32_t kSnapshotVersionV4 = 4;
 /// Registry-independent view of one decoded snapshot, for offline tooling
 /// (src/export/ and tools/djvm_export).  decode_snapshot applies a file to a
 /// *live* governor and validates class ids against the live registry;
-/// parse_snapshot checks structure only, so any v1–v4 file from any run can
+/// parse_snapshot checks structure only, so any v1–v5 file from any run can
 /// be converted to pprof/flamegraph/JSON without reconstructing the run.
 /// Kept next to the encoder because this file owns the format: a layout
 /// change must update encode, decode, and parse together.
@@ -149,6 +163,18 @@ struct SnapshotInfo {
   bool influence_seen = false;
   double influence_decay = 0.0;
   std::vector<std::pair<std::uint32_t, double>> influence;  ///< ascending ids
+
+  std::uint64_t migrations_executed = 0;  ///< v5+ total (counts past the cap)
+  struct Migration {
+    std::uint64_t epoch = 0;
+    std::uint32_t thread = 0;
+    std::uint16_t from = 0;
+    std::uint16_t to = 0;
+    double gain_bytes = 0.0;
+    double sim_cost_seconds = 0.0;
+    std::uint64_t prefetched_bytes = 0;
+  };
+  std::vector<Migration> migrations;  ///< v5+ history, chronological
 
   SquareMatrix tcm;
 

@@ -38,12 +38,25 @@ MigrationOutcome MigrationEngine::migrate(ThreadId t, NodeId to,
 MigrationOutcome MigrationEngine::migrate_with_resolution(
     ThreadId t, NodeId to, const JavaStack& stack,
     std::span<const ObjectId> invariants, const ClassFootprint& footprint,
-    double tolerance) {
+    double tolerance, std::uint32_t max_follow_homes) {
   // Resolution is lazy: it runs only now, at migration time.
   ResolutionResult res = resolve_sticky_set(gos_.heap(), gos_.plan(), invariants,
                                             footprint, tolerance);
+  const NodeId from = gos_.thread_node(t);
   MigrationOutcome out = migrate(t, to, stack, res.prefetch);
   out.resolution = res.stats;
+  if (max_follow_homes > 0 && to != from) {
+    // The sticky set is the thread's predicted post-migration working set;
+    // the slice of it homed at the node being left behind carries affinity
+    // mass that just moved.  Migrate those homes along, batched.
+    std::vector<ObjectId> follow;
+    for (ObjectId obj : res.prefetch) {
+      if (gos_.heap().meta(obj).home != from) continue;
+      follow.push_back(obj);
+      if (follow.size() >= max_follow_homes) break;
+    }
+    out.homes_migrated = gos_.migrate_homes(follow, to);
+  }
   return out;
 }
 

@@ -27,6 +27,9 @@ struct MigrationOutcome {
   std::uint64_t prefetched_objects = 0;
   std::uint64_t prefetched_bytes = 0;
   ResolutionStats resolution;
+  /// Sticky-set objects whose *home* followed the thread (see the
+  /// max_follow_homes parameter of migrate_with_resolution).
+  std::size_t homes_migrated = 0;
   SimTime sim_cost = 0;  ///< simulated time spent migrating (at the thread)
 };
 
@@ -41,12 +44,17 @@ class MigrationEngine {
                            std::span<const ObjectId> sticky = {});
 
   /// Full pipeline: resolve the sticky set from stack invariants + footprint,
-  /// then migrate with prefetch.
+  /// then migrate with prefetch.  When `max_follow_homes` > 0, up to that
+  /// many resolved sticky objects still homed at the *source* node also have
+  /// their homes migrated to the destination in one batch — their affinity
+  /// mass moves with the thread, so leaving the homes behind would turn
+  /// every post-migration write flush into cross-node traffic.
   MigrationOutcome migrate_with_resolution(ThreadId t, NodeId to,
                                            const JavaStack& stack,
                                            std::span<const ObjectId> invariants,
                                            const ClassFootprint& footprint,
-                                           double tolerance);
+                                           double tolerance,
+                                           std::uint32_t max_follow_homes = 0);
 
   [[nodiscard]] std::uint64_t migrations_done() const noexcept { return count_; }
 

@@ -91,6 +91,25 @@ struct EpochResult {
   std::uint64_t ring_entries = 0;
   std::uint64_t ring_backpressure = 0;
   std::uint64_t ring_dropped = 0;
+  /// One migration the facade's execution stage ran (or would have run, for
+  /// deferred/dry-run entries) this epoch.  Filled by the pump after the
+  /// daemon epoch returns — the daemon itself never moves threads.
+  struct MigrationEvent {
+    ThreadId thread = kInvalidThread;
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    double gain_bytes = 0.0;  ///< planner locality gain
+    double score = 0.0;       ///< planner gain/cost score
+    SimTime sim_cost = 0;     ///< simulated cost billed to the migrant
+    std::uint64_t prefetched_bytes = 0;
+    std::size_t homes_migrated = 0;  ///< follow-the-thread home moves
+    bool executed = false;  ///< false: deferred (cap/veto) or dry-run
+  };
+  std::vector<MigrationEvent> migrations;
+  /// Real CPU the execution stage spent this epoch (resolution + prefetch +
+  /// home migration bookkeeping); billed into the *next* epoch's overhead
+  /// sample alongside the planner carry.
+  double migration_seconds = 0.0;
 };
 
 /// Long-haul retention policy for the daemon's whole-run accumulator (see

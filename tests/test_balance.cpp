@@ -145,6 +145,102 @@ TEST_F(PlannerTest, RespectsCapacity) {
   }
 }
 
+TEST(Balance, AssemblePlacementPadsWithInvalid) {
+  const std::vector<NodeId> placed = {0, 1, 2};
+  const Placement p = assemble_placement(placed, 6);
+  ASSERT_EQ(p.node_of_thread.size(), 6u);
+  EXPECT_EQ(p.node_of_thread[0], 0);
+  EXPECT_EQ(p.node_of_thread[2], 2);
+  for (std::size_t t = 3; t < 6; ++t) {
+    EXPECT_EQ(p.node_of_thread[t], kInvalidNode);
+  }
+}
+
+TEST(Balance, AssemblePlacementTruncatesToDimension) {
+  const std::vector<NodeId> placed = {0, 1, 2, 3, 0, 1};
+  const Placement p = assemble_placement(placed, 4);
+  ASSERT_EQ(p.node_of_thread.size(), 4u);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(p.node_of_thread[t], placed[t]);
+  }
+}
+
+TEST(Balance, AssemblePlacementEmptyDimension) {
+  const Placement p = assemble_placement({}, 0);
+  EXPECT_TRUE(p.node_of_thread.empty());
+}
+
+TEST_F(PlannerTest, UnplacedThreadsNeitherMoveNorOccupyCapacity) {
+  // Only 3 of 6 map slots are real threads; the padded kInvalidNode filler
+  // must neither receive suggestions nor inflate the capacity ceiling
+  // (ceil(3 placed / 4 nodes) + slack 1 = 2, not ceil(6/4) + 1 = 3).
+  SquareMatrix tcm(6);
+  tcm.add_symmetric(2, 0, 1e7);
+  const std::vector<NodeId> placed = {0, 1, 1};
+  const Placement cur = assemble_placement(placed, 6);
+  MigrationCostModel model(heap, costs);
+  std::vector<ClassFootprint> fps(6);
+  std::vector<std::uint64_t> ctx(6, 1024);
+  const auto suggestions =
+      plan_migrations(tcm, cur, fps, ctx, model, 4, costs.bytes_per_ns, 1);
+  ASSERT_FALSE(suggestions.empty());
+  for (const auto& s : suggestions) {
+    EXPECT_LT(s.thread, 3u) << "filler thread got a suggestion";
+    EXPECT_NE(s.to, kInvalidNode);
+  }
+  EXPECT_EQ(suggestions[0].thread, 2u);
+  EXPECT_EQ(suggestions[0].to, 0);
+}
+
+TEST_F(PlannerTest, BatchConsistentCapacityAcrossSuggestions) {
+  // Node 0 has one free slot (capacity ceil(4/4)+slack 1 = 2); threads 2 and
+  // 3 both want it.  A batch-consistent plan grants it once: executing the
+  // whole list as a prefix must never exceed capacity by more than the
+  // number of skipped moves (here zero).
+  SquareMatrix tcm(4);
+  tcm.add_symmetric(2, 0, 1e8);
+  tcm.add_symmetric(3, 0, 1e8);
+  Placement cur;
+  cur.node_of_thread = {0, 1, 2, 3};
+  MigrationCostModel model(heap, costs);
+  std::vector<ClassFootprint> fps(4);
+  std::vector<std::uint64_t> ctx(4, 1024);
+  const auto suggestions =
+      plan_migrations(tcm, cur, fps, ctx, model, 4, costs.bytes_per_ns, 1);
+  std::vector<std::uint32_t> load(4, 0);
+  for (NodeId n : cur.node_of_thread) ++load[n];
+  for (const auto& s : suggestions) {
+    --load[s.from];
+    ++load[s.to];
+  }
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    EXPECT_LE(load[n], 2u) << "node " << n << " over capacity after batch";
+  }
+}
+
+TEST_F(PlannerTest, PartnersDoNotSwapPastEachOther) {
+  // Regression: threads 0 and 1 share heavily but sit apart.  A plan scored
+  // only against the immutable starting placement can emit *both* "0 -> node
+  // 1" and "1 -> node 0", swapping the pair past each other and leaving them
+  // still split.  The batch-consistent planner updates its working placement
+  // (and the affinity table) after each accepted move, so the second partner
+  // sees the first one coming and stays put.
+  SquareMatrix tcm(4);
+  tcm.add_symmetric(0, 1, 1e8);
+  Placement cur;
+  cur.node_of_thread = {0, 1, 2, 3};
+  MigrationCostModel model(heap, costs);
+  std::vector<ClassFootprint> fps(4);
+  std::vector<std::uint64_t> ctx(4, 1024);
+  const auto suggestions =
+      plan_migrations(tcm, cur, fps, ctx, model, 4, costs.bytes_per_ns, 1);
+  ASSERT_FALSE(suggestions.empty());
+  // Execute the plan in order and verify the pair actually lands together.
+  std::vector<NodeId> node = cur.node_of_thread;
+  for (const auto& s : suggestions) node[s.thread] = s.to;
+  EXPECT_EQ(node[0], node[1]) << "partners still split after executing plan";
+}
+
 TEST_F(PlannerTest, SuggestionsSortedByScore) {
   SquareMatrix tcm(6);
   tcm.add_symmetric(2, 0, 5e7);

@@ -75,6 +75,55 @@ class GoalMetricTest(unittest.TestCase):
         self.assertEqual(run_gate(base, doc({"m": {"value": 1.0}})), 1)
 
 
+class MinImprovementTest(unittest.TestCase):
+    """Ratio metrics with a parity floor: slack bound AND floor must hold."""
+
+    def test_max_goal_floor_gates_at_parity_plus_margin(self):
+        base = doc({"speedup": {"value": 1.20, "goal": "max", "slack": 0.10,
+                                "min_improvement": 0.05}})
+        # Slack bound alone would allow 1.08; the floor demands >= 1.05.
+        self.assertEqual(run_gate(base, doc({"speedup": {"value": 1.20}})), 0)
+        self.assertEqual(run_gate(base, doc({"speedup": {"value": 1.08}})), 0)
+        self.assertEqual(run_gate(base, doc({"speedup": {"value": 1.04}})), 1)
+        self.assertEqual(run_gate(base, doc({"speedup": {"value": 0.99}})), 1)
+
+    def test_floor_dominates_when_slack_bound_dips_below_parity(self):
+        # A baseline at 1.06 with 10% slack would tolerate 0.954 — under
+        # parity.  The floor keeps the gate honest at 1.05.
+        base = doc({"speedup": {"value": 1.06, "goal": "max", "slack": 0.10,
+                                "min_improvement": 0.05}})
+        self.assertEqual(run_gate(base, doc({"speedup": {"value": 1.055}})), 0)
+        self.assertEqual(run_gate(base, doc({"speedup": {"value": 1.02}})), 1)
+
+    def test_min_goal_floor_gates_below_parity(self):
+        # Slack bound alone would allow 1.012; the floor demands <= 0.95.
+        base = doc({"ratio": {"value": 0.92, "goal": "min", "slack": 0.10,
+                              "min_improvement": 0.05}})
+        self.assertEqual(run_gate(base, doc({"ratio": {"value": 0.92}})), 0)
+        self.assertEqual(run_gate(base, doc({"ratio": {"value": 0.94}})), 0)
+        self.assertEqual(run_gate(base, doc({"ratio": {"value": 0.96}})), 1)
+
+    def test_baseline_with_floor_self_compares_cleanly(self):
+        # The regen-baselines job copies a fresh artifact over the baseline
+        # and re-runs the gate: a floor-carrying baseline that meets its own
+        # floor must pass against itself.
+        base = doc({"speedup": {"value": 1.30, "goal": "max", "slack": 0.10,
+                                "min_improvement": 0.05}})
+        self.assertEqual(run_gate(base, base), 0)
+
+    def test_invalid_min_improvement_fails(self):
+        for bad in (-0.1, float("nan"), "lots", True):
+            base = doc({"m": {"value": 1.5, "goal": "max", "slack": 0.10,
+                              "min_improvement": bad}})
+            self.assertEqual(run_gate(base, doc({"m": {"value": 1.5}})), 1,
+                             f"min_improvement {bad!r} accepted")
+
+    def test_min_improvement_ignored_on_informational_metrics(self):
+        base = doc({"m": {"value": 1.0, "goal": "none",
+                          "min_improvement": 0.5}})
+        self.assertEqual(run_gate(base, doc({"m": {"value": 0.1}})), 0)
+
+
 class LowerIsBetterTest(unittest.TestCase):
     """The latency shorthand: direction from the boolean, default 10% slack."""
 

@@ -3,8 +3,10 @@
 // round-trips, and plan resampling when gaps flip between full and coarse.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "balance/balancer_feedback.hpp"
 #include "governor/governor.hpp"
@@ -296,6 +298,187 @@ TEST_F(GovernorTest, SnapshotV4RoundTripsInfluenceTable) {
   EXPECT_DOUBLE_EQ(gov2.influence_share(bulky), 0.0);  // trimmed, restored 0
   EXPECT_EQ(gov2.config().scoring, BackoffScoring::kInfluenceWeighted);
   EXPECT_EQ(encode_snapshot(gov2, tcm2), bytes);  // bit-exact
+}
+
+// --- migration execution history --------------------------------------------
+
+TEST_F(GovernorTest, RecordMigrationTracksHistoryAndCounter) {
+  Governor gov(plan);
+  for (std::uint64_t i = 0; i < Governor::kMigrationHistoryCap + 10; ++i) {
+    Governor::ExecutedMigration m;
+    m.thread = static_cast<ThreadId>(i % 7);
+    m.from = 0;
+    m.to = 1;
+    m.gain_bytes = static_cast<double>(i + 1);
+    gov.record_migration(m);
+  }
+  EXPECT_EQ(gov.migrations_executed(), Governor::kMigrationHistoryCap + 10);
+  ASSERT_EQ(gov.migration_history().size(), Governor::kMigrationHistoryCap);
+  // Oldest entries aged out; the newest survive.
+  EXPECT_DOUBLE_EQ(gov.migration_history().front().gain_bytes, 11.0);
+  EXPECT_DOUBLE_EQ(gov.migration_history().back().gain_bytes,
+                   static_cast<double>(Governor::kMigrationHistoryCap + 10));
+}
+
+TEST_F(GovernorTest, CooldownTracksGovernorEpochs) {
+  Governor gov(plan);
+  gov.arm(config());
+  fill_epoch_stats();
+  gov.on_epoch(std::nullopt, sample_with_fraction(0.001));  // epochs_seen 1
+  Governor::ExecutedMigration m;
+  m.epoch = 1;
+  m.thread = 0;
+  m.from = 0;
+  m.to = 1;
+  m.gain_bytes = 1.0;
+  gov.record_migration(m);
+  EXPECT_TRUE(gov.in_cooldown(0, 2));
+  EXPECT_FALSE(gov.in_cooldown(0, 0));  // cooldown disabled
+  EXPECT_FALSE(gov.in_cooldown(1, 2));  // never migrated
+  fill_epoch_stats();
+  gov.on_epoch(0.5, sample_with_fraction(0.001));  // epochs_seen 2
+  EXPECT_TRUE(gov.in_cooldown(0, 2));
+  fill_epoch_stats();
+  gov.on_epoch(0.5, sample_with_fraction(0.001));  // epochs_seen 3: 3-1 >= 2
+  EXPECT_FALSE(gov.in_cooldown(0, 2));
+}
+
+TEST_F(GovernorTest, AllowMigrationWorkFollowsBackoffBand) {
+  Governor gov(plan);
+  EXPECT_TRUE(gov.allow_migration_work());  // disarmed never vetoes
+  gov.arm(config());  // budget 2%, hysteresis 25% -> band top 2.5%
+  fill_epoch_stats();
+  gov.on_epoch(std::nullopt, sample_with_fraction(0.001));
+  EXPECT_TRUE(gov.allow_migration_work());
+  fill_epoch_stats();
+  gov.on_epoch(0.5, sample_with_fraction(0.10));  // far over the band
+  EXPECT_FALSE(gov.allow_migration_work());
+  fill_epoch_stats();
+  gov.on_epoch(0.5, sample_with_fraction(0.001));  // recovered
+  EXPECT_TRUE(gov.allow_migration_work());
+}
+
+TEST_F(GovernorTest, SnapshotV5RoundTripsMigrationHistory) {
+  plan.set_nominal_gap(hot, 16);
+  plan.resample_all();
+  Governor gov(plan);
+  gov.arm(config());
+  fill_epoch_stats();
+  gov.on_epoch(std::nullopt, sample_with_fraction(0.001));
+  fill_epoch_stats();
+  gov.on_epoch(0.5, sample_with_fraction(0.001));  // epochs_seen == 2
+  Governor::ExecutedMigration m;
+  m.epoch = 1;
+  m.thread = 3;
+  m.from = 0;
+  m.to = 1;
+  m.gain_bytes = 4096.0;
+  m.sim_cost_seconds = 1e-4;
+  m.prefetched_bytes = 2048;
+  gov.record_migration(m);
+  Governor::ExecutedMigration m2 = m;
+  m2.epoch = 2;
+  m2.thread = 5;
+  m2.to = 2;
+  m2.gain_bytes = 512.0;
+  gov.record_migration(m2);
+
+  SquareMatrix tcm(2);
+  tcm.at(0, 1) = 1.5;
+  const std::vector<std::uint8_t> bytes = encode_snapshot(gov, tcm);
+
+  KlassRegistry reg2;
+  Heap heap2(reg2, 1);
+  reg2.register_class("Hot", 16);
+  reg2.register_class("Bulky", 1024);
+  SamplingPlan plan2(heap2);
+  Governor gov2(plan2);
+  SquareMatrix tcm2;
+  ASSERT_TRUE(decode_snapshot(bytes, gov2, tcm2));
+  EXPECT_EQ(gov2.migrations_executed(), 2u);
+  ASSERT_EQ(gov2.migration_history().size(), 2u);
+  EXPECT_EQ(gov2.migration_history()[0].thread, 3u);
+  EXPECT_EQ(gov2.migration_history()[0].from, 0);
+  EXPECT_EQ(gov2.migration_history()[0].to, 1);
+  EXPECT_DOUBLE_EQ(gov2.migration_history()[0].gain_bytes, 4096.0);
+  EXPECT_EQ(gov2.migration_history()[1].epoch, 2u);
+  EXPECT_EQ(gov2.migration_history()[1].prefetched_bytes, 2048u);
+  // Cooldown stamps rebuilt from the history on load.
+  EXPECT_TRUE(gov2.in_cooldown(5, 4));
+  EXPECT_TRUE(gov2.in_cooldown(3, 4));
+  EXPECT_FALSE(gov2.in_cooldown(4, 4));
+  EXPECT_EQ(encode_snapshot(gov2, tcm2), bytes);  // bit-exact
+}
+
+TEST_F(GovernorTest, SnapshotV5RejectsCorruptMigrationSection) {
+  Governor gov(plan);
+  gov.arm(config());
+  fill_epoch_stats();
+  gov.on_epoch(std::nullopt, sample_with_fraction(0.001));
+  Governor::ExecutedMigration m;
+  m.epoch = 1;
+  m.thread = 2;
+  m.from = 0;
+  m.to = 1;
+  m.gain_bytes = 123456789.0;  // unique, locatable byte pattern
+  gov.record_migration(m);
+  SquareMatrix tcm(2);
+  const std::vector<std::uint8_t> good = encode_snapshot(gov, tcm);
+
+  // Locate the entry via its gain field; the fixed layout before it is
+  // u64 epoch + u32 thread + u16 from + u16 to = 16 bytes.
+  std::uint8_t pat[8];
+  std::memcpy(pat, &m.gain_bytes, sizeof pat);
+  const auto it = std::search(good.begin(), good.end(), pat, pat + 8);
+  ASSERT_NE(it, good.end());
+  const auto gain_pos = static_cast<std::size_t>(it - good.begin());
+  ASSERT_GE(gain_pos, 20u);
+  const std::size_t entry = gain_pos - 16;
+
+  const auto rejects = [&](const std::vector<std::uint8_t>& bytes) {
+    KlassRegistry r2;
+    Heap h2(r2, 1);
+    r2.register_class("Hot", 16);
+    r2.register_class("Bulky", 1024);
+    SamplingPlan p2(h2);
+    Governor g2(p2);
+    SquareMatrix t2;
+    SnapshotInfo info;
+    return !decode_snapshot(bytes, g2, t2) && !parse_snapshot(bytes, info);
+  };
+
+  {
+    std::vector<std::uint8_t> bad = good;  // self-move: to := from
+    std::memcpy(&bad[entry + 14], &bad[entry + 12], 2);
+    EXPECT_TRUE(rejects(bad));
+  }
+  {
+    std::vector<std::uint8_t> bad = good;  // non-positive gain
+    const double neg = -1.0;
+    std::memcpy(&bad[gain_pos], &neg, sizeof neg);
+    EXPECT_TRUE(rejects(bad));
+  }
+  {
+    std::vector<std::uint8_t> bad = good;  // count field past the cap
+    const std::uint32_t huge = 0xFFFFFFFFu;
+    std::memcpy(&bad[entry - 4], &huge, sizeof huge);
+    EXPECT_TRUE(rejects(bad));
+  }
+  {
+    std::vector<std::uint8_t> bad = good;  // truncated mid-entry
+    bad.resize(entry + 8);
+    EXPECT_TRUE(rejects(bad));
+  }
+  // The uncorrupted bytes still decode (the helpers above really exercised
+  // the validation, not some earlier section).
+  KlassRegistry r2;
+  Heap h2(r2, 1);
+  r2.register_class("Hot", 16);
+  r2.register_class("Bulky", 1024);
+  SamplingPlan p2(h2);
+  Governor g2(p2);
+  SquareMatrix t2;
+  EXPECT_TRUE(decode_snapshot(good, g2, t2));
 }
 
 TEST_F(GovernorTest, FixedCostsDoNotDriveRunawayBackoff) {

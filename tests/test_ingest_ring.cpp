@@ -418,6 +418,62 @@ EndToEnd run_end_to_end(bool ingest_on) {
   return r;
 }
 
+/// Same workload, but a home migration plus a thread move land mid-run while
+/// thread 0's ingest lane still holds a non-empty *open* (unpublished) arena
+/// from the previous interval close: re-keying must not disturb, drop, or
+/// double-count anything the lane already buffered.
+EndToEnd run_with_mid_run_home_migration(bool ingest_on) {
+  Config cfg;
+  cfg.nodes = 2;
+  cfg.threads = 4;
+  cfg.oal_transfer = OalTransfer::kSend;
+  cfg.ingest.enabled = ingest_on;
+  cfg.ingest.arena_entries = 8;  // 6-entry intervals never fill one: stays open
+  cfg.ingest.ring_depth = 2;
+  Djvm djvm(cfg);
+  djvm.spawn_threads_round_robin(cfg.threads);
+  const ClassId k = djvm.registry().register_class("Shared", 64);
+  std::vector<ObjectId> objs;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    objs.push_back(djvm.gos().alloc(k, static_cast<NodeId>(i % cfg.nodes)));
+  }
+  for (std::uint32_t round = 0; round < 6; ++round) {
+    for (ThreadId t = 0; t < cfg.threads; ++t) {
+      for (std::uint32_t o = 0; o < 6; ++o) {
+        djvm.read(t, objs[(t + o + round) % objs.size()]);
+      }
+    }
+    djvm.barrier_all();  // closes intervals into the open arenas — no pump yet
+    if (round == 2) {
+      // Thread 0's lane now buffers closed-but-unpublished entries.  Move a
+      // hot object's home and its reader's node out from under them.
+      djvm.gos().migrate_home(objs[0], 1);
+      djvm.gos().move_thread(0, 1);
+    }
+    djvm.pump_daemon();
+  }
+  EndToEnd r;
+  r.tcm = djvm.daemon().build_full(/*weighted=*/true);
+  r.oal_messages = djvm.gos().stats().oal_messages;
+  r.intervals_closed = djvm.gos().stats().intervals_closed;
+  return r;
+}
+
+TEST(GosIngest, HomeMigrationOverOpenArenaMatchesRecordPath) {
+  const EndToEnd legacy = run_with_mid_run_home_migration(false);
+  const EndToEnd arena = run_with_mid_run_home_migration(true);
+  ASSERT_GT(legacy.tcm.total(), 0.0);
+  ASSERT_EQ(arena.tcm.size(), legacy.tcm.size());
+  for (std::size_t i = 0; i < legacy.tcm.size(); ++i) {
+    for (std::size_t j = 0; j < legacy.tcm.size(); ++j) {
+      EXPECT_NEAR(arena.tcm.at(i, j), legacy.tcm.at(i, j), 1e-9)
+          << "cell (" << i << "," << j << ")";
+    }
+  }
+  EXPECT_EQ(arena.intervals_closed, legacy.intervals_closed);
+  EXPECT_EQ(arena.oal_messages, legacy.oal_messages);
+}
+
 TEST(GosIngest, ArenaPathMatchesRecordPathEndToEnd) {
   const EndToEnd legacy = run_end_to_end(false);
   const EndToEnd arena = run_end_to_end(true);

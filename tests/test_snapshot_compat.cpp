@@ -1,7 +1,7 @@
-// Snapshot format compatibility: v1, v2, and v3 fixtures (hand-built from
-// their documented layouts) still load into a v4 reader, new snapshots are
-// written as v4 with the influence table, and a warm start resamples only
-// what actually changed — no full resample storm.
+// Snapshot format compatibility: v1 through v4 fixtures (hand-built from
+// their documented layouts) still load into a v5 reader, new snapshots are
+// written as v5 with the influence table and executed-migration history, and
+// a warm start resamples only what actually changed — no full resample storm.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -39,6 +39,17 @@ class SnapshotCompatTest : public ::testing::Test {
     std::uint16_t v4_reserved = 0;
     double influence_decay = 0.5;
     std::vector<std::pair<std::uint32_t, double>> influence;
+    // v5: executed-migration history (epochs fixture field is 7, so entry
+    // epochs must be <= 7 and non-decreasing).
+    struct FixtureMigration {
+      std::uint64_t epoch = 1;
+      std::uint32_t thread = 0;
+      std::uint16_t from = 0, to = 1;
+      double gain_bytes = 1.0, sim_cost_seconds = 0.0;
+      std::uint64_t prefetched_bytes = 0;
+    };
+    std::uint64_t migrations_executed = 0;
+    std::vector<FixtureMigration> migrations;
   };
 
   /// Hand-builds a v1..v4 snapshot from the documented layout.
@@ -102,6 +113,19 @@ class SnapshotCompatTest : public ::testing::Test {
       for (const auto& [id, value] : spec.influence) {
         put(id);
         put(value);
+      }
+    }
+    if (spec.version >= kSnapshotVersionV5) {
+      put(spec.migrations_executed);
+      put(static_cast<std::uint32_t>(spec.migrations.size()));
+      for (const auto& m : spec.migrations) {
+        put(m.epoch);
+        put(m.thread);
+        put(m.from);
+        put(m.to);
+        put(m.gain_bytes);
+        put(m.sim_cost_seconds);
+        put(m.prefetched_bytes);
       }
     }
     put(std::uint64_t{2});  // tcm dimension
@@ -277,7 +301,7 @@ TEST_F(SnapshotCompatTest, V3FixtureLoadsAndKeepsMachineLocalInfluence) {
 
 TEST_F(SnapshotCompatTest, V4FixtureRestoresInfluenceTable) {
   FixtureSpec spec;
-  spec.version = kSnapshotVersion;
+  spec.version = kSnapshotVersionV4;
   spec.influence_seen = 1;
   spec.influence = {{0, 0.75}};  // hot carries influence, bulky trimmed
   Governor gov(plan);
@@ -288,6 +312,90 @@ TEST_F(SnapshotCompatTest, V4FixtureRestoresInfluenceTable) {
   EXPECT_DOUBLE_EQ(gov.influence_share(bulky), 0.0);
   EXPECT_EQ(gov.config().scoring, BackoffScoring::kInfluenceWeighted);
   EXPECT_DOUBLE_EQ(gov.config().influence_decay, 0.5);
+  // A v4 file has no migration history: the v5 reader starts it empty.
+  EXPECT_EQ(gov.migrations_executed(), 0u);
+  EXPECT_TRUE(gov.migration_history().empty());
+}
+
+TEST_F(SnapshotCompatTest, V5FixtureRestoresMigrationHistory) {
+  FixtureSpec spec;
+  spec.version = kSnapshotVersionV5;
+  spec.influence_seen = 1;
+  spec.influence = {{0, 0.75}};
+  spec.migrations_executed = 9;  // counter may exceed retained history
+  FixtureSpec::FixtureMigration a;
+  a.epoch = 2;
+  a.thread = 1;
+  a.from = 0;
+  a.to = 1;
+  a.gain_bytes = 2048.0;
+  a.prefetched_bytes = 512;
+  FixtureSpec::FixtureMigration b;
+  b.epoch = 6;
+  b.thread = 3;
+  b.from = 1;
+  b.to = 0;
+  b.gain_bytes = 128.0;
+  spec.migrations = {a, b};
+  Governor gov(plan);
+  SquareMatrix tcm;
+  ASSERT_TRUE(decode_snapshot(build_fixture(spec), gov, tcm));
+  EXPECT_EQ(gov.migrations_executed(), 9u);
+  ASSERT_EQ(gov.migration_history().size(), 2u);
+  EXPECT_EQ(gov.migration_history()[0].thread, 1u);
+  EXPECT_EQ(gov.migration_history()[1].epoch, 6u);
+  EXPECT_DOUBLE_EQ(gov.migration_history()[0].gain_bytes, 2048.0);
+  // Thread 3 migrated at epoch 6 of 7: still inside a 4-epoch cooldown;
+  // thread 1 (epoch 2) is not.
+  EXPECT_TRUE(gov.in_cooldown(3, 4));
+  EXPECT_FALSE(gov.in_cooldown(1, 4));
+}
+
+TEST_F(SnapshotCompatTest, CorruptV5MigrationSectionIsRejected) {
+  Governor gov(plan);
+  SquareMatrix tcm;
+
+  // Counter lower than the retained entries.
+  FixtureSpec bad;
+  bad.version = kSnapshotVersionV5;
+  bad.migrations_executed = 0;
+  bad.migrations = {{}};
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+
+  // Self-move.
+  bad = FixtureSpec{};
+  bad.version = kSnapshotVersionV5;
+  bad.migrations_executed = 1;
+  bad.migrations = {{}};
+  bad.migrations[0].to = bad.migrations[0].from;
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+
+  // Epochs out of order / past the governor's epoch count.
+  bad = FixtureSpec{};
+  bad.version = kSnapshotVersionV5;
+  bad.migrations_executed = 2;
+  bad.migrations = {{}, {}};
+  bad.migrations[0].epoch = 5;
+  bad.migrations[1].epoch = 2;
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+  bad.migrations[0].epoch = 2;
+  bad.migrations[1].epoch = 8;  // fixture writes epochs_seen = 7
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+
+  // Non-positive gain.
+  bad = FixtureSpec{};
+  bad.version = kSnapshotVersionV5;
+  bad.migrations_executed = 1;
+  bad.migrations = {{}};
+  bad.migrations[0].gain_bytes = 0.0;
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+
+  // The matching well-formed fixture still loads.
+  FixtureSpec good;
+  good.version = kSnapshotVersionV5;
+  good.migrations_executed = 1;
+  good.migrations = {{}};
+  EXPECT_TRUE(decode_snapshot(build_fixture(good), gov, tcm));
 }
 
 TEST_F(SnapshotCompatTest, CorruptV4InfluenceSectionIsRejected) {

@@ -1,4 +1,4 @@
-// Offline snapshot converter: any v1-v4 governor snapshot -> pprof /
+// Offline snapshot converter: any v1-v5 governor snapshot -> pprof /
 // flamegraph-collapsed / JSON, without reconstructing the run.
 //
 //   djvm_export <snapshot.bin> [--pprof P] [--collapsed C] [--json J]
