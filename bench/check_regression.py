@@ -27,7 +27,10 @@ BenchReport.  The gate fails (exit 1) when:
     (wall-clock numbers need tolerance); accuracy metrics keep the explicit
     goal form, whose slack defaults to 0 (exact compare).  Or:
   * a goal-carrying baseline metric is missing from CURRENT (a silently
-    dropped metric must not read as "no regression"), or
+    dropped metric must not read as "no regression") — unless the baseline
+    lists the metric name in its top-level "allowed_missing" array, the
+    explicit opt-out for metrics that only exist on some platforms or
+    configurations (the absence is then reported but does not gate), or
   * any metric value in either artifact is missing or non-finite
     (BenchReport writes nan/inf as JSON null; a hand-edited NaN literal
     parses to float('nan'), which compares false against every bound and
@@ -86,6 +89,13 @@ def main() -> int:
                  f"{check.get('threshold')} does not hold)")
             failures += 1
 
+    allowed_missing = baseline.get("allowed_missing", [])
+    if not (isinstance(allowed_missing, list)
+            and all(isinstance(k, str) for k in allowed_missing)):
+        fail(f"baseline 'allowed_missing' must be a list of metric names, "
+             f"got {allowed_missing!r}")
+        return 1
+
     cur_metrics = current.get("metrics", {})
     for key, base in baseline.get("metrics", {}).items():
         goal = base.get("goal", "none")
@@ -99,6 +109,10 @@ def main() -> int:
         if goal == "none":
             continue
         if key not in cur_metrics:
+            if key in allowed_missing:
+                print(f"  {key}: missing from current run "
+                      f"(allowed_missing: not gating)")
+                continue
             fail(f"gated metric {key!r} missing from current run")
             failures += 1
             continue

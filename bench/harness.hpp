@@ -221,6 +221,14 @@ class BenchReport {
         {key, value, "none", slack, 0.0, -1.0, lower_is_better ? 1 : 0});
   }
 
+  /// Declares a gated metric as allowed to be absent from a run (a
+  /// platform- or configuration-dependent column the bench sometimes
+  /// skips).  Emitted as the artifact's top-level `allowed_missing` array,
+  /// which the regression gate honors — declare it unconditionally, even on
+  /// runs that do emit the metric, so a regenerated baseline keeps the
+  /// opt-out.
+  void allow_missing(const std::string& key) { allowed_missing_.push_back(key); }
+
   /// Records an acceptance check and prints the usual [PASS]/[FAIL] line.
   bool check(const std::string& what, bool ok, double value, double threshold,
              const std::string& op) {
@@ -251,7 +259,16 @@ class BenchReport {
   [[nodiscard]] std::string json() const {
     std::ostringstream os;
     os.precision(17);
-    os << "{\n  \"bench\": \"" << esc(name_) << "\",\n  \"metrics\": {\n";
+    os << "{\n  \"bench\": \"" << esc(name_) << "\",\n";
+    if (!allowed_missing_.empty()) {
+      os << "  \"allowed_missing\": [";
+      for (std::size_t i = 0; i < allowed_missing_.size(); ++i) {
+        os << "\"" << esc(allowed_missing_[i]) << "\""
+           << (i + 1 < allowed_missing_.size() ? ", " : "");
+      }
+      os << "],\n";
+    }
+    os << "  \"metrics\": {\n";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       const Metric& m = metrics_[i];
       os << "    \"" << esc(m.key) << "\": {\"value\": " << num(m.value);
@@ -343,6 +360,7 @@ class BenchReport {
 
   std::string name_;
   std::chrono::steady_clock::time_point start_;
+  std::vector<std::string> allowed_missing_;
   std::vector<Metric> metrics_;
   std::vector<Check> checks_;
   int failures_ = 0;

@@ -137,6 +137,50 @@ struct BalanceKnobs {
   std::uint32_t max_home_migrations = 64;
 };
 
+/// Fault-injection and reliable-transport knobs (Config::faults; see
+/// net/faults.hpp).  Every stochastic decision derives from `seed` alone, so
+/// one seed reproduces a bit-identical fault schedule — a failure seen in CI
+/// replays locally from the same Config.
+struct FaultKnobs {
+  /// Attach the fault injector to the Network.  Off by default: with no
+  /// injector attached, every transport path is bit-identical to the
+  /// fault-free build (no RNG draws, no retry arithmetic).
+  bool enabled = false;
+  /// Seed for the fault schedule (independent of the workload seed, so
+  /// faults can be varied against a fixed workload and vice versa).
+  std::uint64_t fault_seed = 0xFA175EEDULL;
+  /// Per-category message drop probability in [0, 1), indexed like
+  /// MsgCategory (object-data, oal, control, migration).
+  double drop_object_data = 0.0;
+  double drop_oal = 0.0;
+  double drop_control = 0.0;
+  double drop_migration = 0.0;
+  /// Probability a non-local message pays a latency spike, and its size.
+  double spike_probability = 0.0;
+  SimTime spike_ns = 0;
+  /// Uniform extra jitter in [0, jitter_ns) added to each spike.
+  SimTime jitter_ns = 0;
+  /// Per-(node, epoch) probability the node spends the epoch stalled;
+  /// every message it sends or receives pays `stall_ns` extra.
+  double stall_probability = 0.0;
+  SimTime stall_ns = 0;
+  /// Timed full-node failure: at epoch `kill_epoch`, `kill_node` dies (all
+  /// its messages drop until the run ends).  kInvalidNode = never.
+  NodeId kill_node = kInvalidNode;
+  std::uint64_t kill_epoch = ~0ull;
+  /// Partition window [partition_begin, partition_end): nodes < partition_cut
+  /// cannot reach nodes >= partition_cut and vice versa.
+  std::uint64_t partition_begin = ~0ull;
+  std::uint64_t partition_end = 0;
+  NodeId partition_cut = 0;
+  /// Reliable-transport policy: attempts beyond the first for round trips,
+  /// reduction-tree partial exchanges, and migration/snapshot control
+  /// messages; backoff doubles from `retry_backoff_ns` per retry and the
+  /// wait is billed into the sender's overhead sample.
+  std::uint32_t max_retries = 4;
+  SimTime retry_backoff_ns = sim_us(200);
+};
+
 /// Lock-free OAL ingest knobs (Config::ingest; see profiling/ingest.hpp).
 struct IngestKnobs {
   /// Route interval OALs through per-thread arenas and SPSC rings into the
@@ -148,9 +192,8 @@ struct IngestKnobs {
   std::uint32_t ring_depth = 8;
 };
 
-/// The real configuration state.  Config derives from this and adds the
-/// deprecated flat-name aliases; everything in the tree reads and writes the
-/// nested names.
+/// The configuration state; Config derives from this.  Everything in the
+/// tree reads and writes the nested knob names.
 struct ConfigData {
   // --- cluster shape -------------------------------------------------------
   std::uint32_t nodes = 8;
@@ -191,6 +234,9 @@ struct ConfigData {
   // --- OAL ingest path -----------------------------------------------------
   IngestKnobs ingest{};
 
+  // --- fault injection / reliable transport --------------------------------
+  FaultKnobs faults{};
+
   // --- stack sampling ------------------------------------------------------
   bool stack_sampling = false;
   SimTime stack_sampling_gap = sim_ms(16);
@@ -215,48 +261,10 @@ struct ConfigData {
   SimCosts costs{};
 };
 
-/// Central configuration, plus deprecated aliases for the flat knob names
-/// the nested sub-structs replaced (kept for one release; each alias is a
-/// reference into the nested field, so old code keeps working and new code
-/// sees every write).  The aliases are reference members, which would delete
-/// copying — the copy operations below forward to ConfigData, whose members
-/// the references re-bind onto per instance.
+/// Central configuration.  The deprecated flat aliases for the nested knob
+/// names (the PR 7 `[[deprecated]]` reference shim) served their one-release
+/// notice and are gone; everything reads and writes the nested names.
 struct Config : ConfigData {
-  // The constructors initialize the deprecated alias members below, which
-  // would itself warn — silence that here so only *user* mentions of the old
-  // names trip -Wdeprecated-declarations.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Config() = default;
-  Config(const Config& other) : ConfigData(other) {}
-  Config& operator=(const Config& other) {
-    ConfigData::operator=(other);
-    return *this;
-  }
-#pragma GCC diagnostic pop
-
-  // --- deprecated flat aliases (remove after one release) ------------------
-  [[deprecated("use governor.enabled")]] bool& governor_enabled =
-      governor.enabled;
-  [[deprecated("use governor.budget")]] double& governor_budget =
-      governor.budget;
-  [[deprecated("use governor.per_node")]] bool& governor_per_node =
-      governor.per_node;
-  [[deprecated("use governor.node_budget")]] double& governor_node_budget =
-      governor.node_budget;
-  [[deprecated("use retention.idle_epochs")]] std::uint32_t&
-      retention_idle_epochs = retention.idle_epochs;
-  [[deprecated("use retention.decay")]] double& retention_decay =
-      retention.decay;
-  [[deprecated("use retention.compact_period")]] std::uint32_t&
-      retention_compact_period = retention.compact_period;
-  [[deprecated("use export_.snapshot_path")]] std::string& snapshot_path =
-      export_.snapshot_path;
-  [[deprecated("use export_.timeline_path")]] std::string& timeline_path =
-      export_.timeline_path;
-  [[deprecated("use export_.timeline_top_k")]] std::uint32_t&
-      timeline_top_k = export_.timeline_top_k;
-
   /// Human-readable one-line summary for logs.
   [[nodiscard]] std::string summary() const;
 };

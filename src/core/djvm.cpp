@@ -39,6 +39,10 @@ Djvm::Djvm(Config cfg)
     ingest_hub_ = std::make_unique<IngestHub>(icfg);
     gos_->attach_ingest(ingest_hub_.get());
   }
+  if (cfg_.faults.enabled) {
+    fault_injector_ = std::make_unique<FaultInjector>(cfg_.faults);
+    net_.set_fault_injector(fault_injector_.get());
+  }
   if (!cfg_.export_.snapshot_path.empty() || !cfg_.export_.timeline_path.empty()) {
     snapshot_writer_ = std::make_unique<SnapshotWriter>();
   }
@@ -108,10 +112,29 @@ void Djvm::pump_daemon() {
     daemon_.ingest(*ingest_hub_);
   }
   std::vector<IntervalRecord> records = gos_->drain_records();
+  if (fault_injector_ && !records.empty()) {
+    // A dead node's un-shipped interval records died with it: the epoch's
+    // map is then incomplete (missing that node's contribution), not wrong.
+    std::erase_if(records, [&](const IntervalRecord& r) {
+      return fault_injector_->node_dead(r.node);
+    });
+  }
   if (!records.empty()) daemon_.submit(std::move(records));
 }
 
 EpochResult Djvm::run_governed_epoch() {
+  if (fault_injector_) {
+    // The fault schedule's epoch advances with the governor's: timed kills
+    // fire here, stall/partition windows key off the new value.
+    fault_injector_->begin_epoch(daemon_.epochs_run());
+    const FaultKnobs& fplan = fault_injector_->plan();
+    if (fplan.kill_node != kInvalidNode &&
+        fault_injector_->node_dead(fplan.kill_node) &&
+        !daemon_.governor().is_quarantined(fplan.kill_node)) {
+      fail_node(fplan.kill_node);  // the plan's timed kill just fired
+    }
+  }
+
   // Hand the daemon the balancer's current co-location partition (where the
   // threads actually run) so this epoch's window is attributed per class
   // against it — the influence input of the governor's back-off scoring.
@@ -257,6 +280,17 @@ EpochResult Djvm::run_governed_epoch() {
 
   EpochResult result = daemon_.run_epoch(s);
 
+  if (fault_injector_) {
+    // Name the nodes whose profiling contribution this epoch's map is
+    // missing: dead nodes lost their un-shipped records (see pump_daemon).
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      if (fault_injector_->node_dead(static_cast<NodeId>(n))) {
+        result.lost_nodes.push_back(static_cast<NodeId>(n));
+      }
+    }
+    result.degraded = !result.lost_nodes.empty();
+  }
+
   // Per-category network traffic deltas for the timeline: TrafficStats has
   // always split bytes by MsgCategory, but nothing reported the breakdown —
   // DSM-protocol vs profiling traffic was invisible per epoch.
@@ -264,7 +298,13 @@ EpochResult Djvm::run_governed_epoch() {
   for (std::size_t c = 0; c < result.traffic_bytes.size(); ++c) {
     result.traffic_bytes[c] = delta(ts.bytes[c], pump_snapshot_.cat_bytes[c]);
     pump_snapshot_.cat_bytes[c] = ts.bytes[c];
+    result.dropped_msgs[c] = delta(ts.dropped[c], pump_snapshot_.cat_dropped[c]);
+    pump_snapshot_.cat_dropped[c] = ts.dropped[c];
+    result.retries[c] = delta(ts.retries[c], pump_snapshot_.cat_retries[c]);
+    pump_snapshot_.cat_retries[c] = ts.retries[c];
   }
+  result.backoff_ns = delta(ts.total_backoff_ns(), pump_snapshot_.backoff_ns);
+  pump_snapshot_.backoff_ns = ts.total_backoff_ns();
   pump_snapshot_.node_cat_bytes.resize(nodes);
   result.node_traffic_bytes.resize(nodes);
   for (std::uint32_t n = 0; n < nodes; ++n) {
@@ -347,6 +387,57 @@ EpochResult Djvm::run_governed_epoch() {
   return result;
 }
 
+void Djvm::fail_node(NodeId node) {
+  if (node >= cfg_.nodes) return;
+  if (!fault_injector_) {
+    fault_injector_ = std::make_unique<FaultInjector>(cfg_.faults);
+    net_.set_fault_injector(fault_injector_.get());
+    fault_injector_->begin_epoch(daemon_.epochs_run());
+  }
+
+  // Survivors, in node order (failover and re-homing round-robin over them).
+  std::vector<NodeId> live;
+  for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
+    const auto id = static_cast<NodeId>(n);
+    if (id != node && !fault_injector_->node_dead(id)) live.push_back(id);
+  }
+  if (live.empty()) return;  // refusing to kill the last node alive
+
+  fault_injector_->kill_node(node);
+  daemon_.governor().quarantine_node(node);
+
+  // Cancel planned moves targeting the dead node: they were scored against a
+  // placement that no longer exists, so re-planning beats re-targeting.
+  std::erase_if(planned_moves_,
+                [node](const PlannedMove& p) { return p.to == node; });
+
+  // Fail threads over to the survivors.  Their current intervals continue on
+  // the new node (move_thread keeps the at-most-once log), the same smear
+  // rule the overhead accounting already accepts for planned migrations.
+  std::size_t rr = 0;
+  for (ThreadId t = 0; t < thread_count(); ++t) {
+    if (gos_->thread_node(t) == node) {
+      gos_->move_thread(t, live[rr++ % live.size()]);
+    }
+  }
+
+  // Re-home every orphaned object across the survivors.  migrate_homes ships
+  // one aggregated payload per batch and re-keys sampling state through
+  // on_home_migrated; the wire transfer from the dead node is dropped by the
+  // injector (the data really comes from surviving cached copies), but the
+  // home directory update is what recovery needs.
+  std::vector<std::vector<ObjectId>> orphans(live.size());
+  for (std::size_t o = 0; o < heap_.object_count(); ++o) {
+    const auto id = static_cast<ObjectId>(o);
+    if (heap_.meta(id).home == node) {
+      orphans[o % live.size()].push_back(id);
+    }
+  }
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (!orphans[i].empty()) gos_->migrate_homes(orphans[i], live[i]);
+  }
+}
+
 std::vector<NodeId> Djvm::live_thread_nodes() const {
   std::vector<NodeId> placement(thread_count());
   for (ThreadId t = 0; t < thread_count(); ++t) {
@@ -393,6 +484,10 @@ double Djvm::execute_migrations(
   for (const Candidate& c : work) {
     if (c.thread >= thread_count()) continue;
     if (gos_->thread_node(c.thread) == c.to) continue;  // already there
+    // A quarantined (failed) node is un-placeable: drop the candidate rather
+    // than defer it — the planner will re-score the thread against the
+    // surviving nodes next epoch.
+    if (gov.is_quarantined(c.to)) continue;
     if (gov.in_cooldown(c.thread, knobs.cooldown_epochs)) continue;
 
     EpochResult::MigrationEvent ev;

@@ -22,6 +22,7 @@
 #include "dsm/gos.hpp"
 #include "migration/cost_model.hpp"
 #include "migration/migration.hpp"
+#include "net/faults.hpp"
 #include "net/network.hpp"
 #include "governor/snapshot.hpp"
 #include "profiling/correlation_daemon.hpp"
@@ -116,6 +117,23 @@ class Djvm final : public Gos::Hooks {
   /// Live thread→node walk (the balancer's current co-location partition).
   [[nodiscard]] std::vector<NodeId> live_thread_nodes() const;
 
+  // --- fault tolerance ------------------------------------------------------
+  /// The fault injector driving the network's fault plan (nullptr unless
+  /// Config::faults.enabled, or until the first fail_node call).
+  [[nodiscard]] FaultInjector* fault_injector() noexcept {
+    return fault_injector_.get();
+  }
+
+  /// Fails `node` mid-run: the injector marks it dead (all traffic to/from
+  /// it drops), the governor quarantines it out of offender scoring and the
+  /// tighten quorum, pending planned moves targeting it are cancelled, its
+  /// threads fail over round-robin to surviving nodes, and every object
+  /// homed there is re-homed across the survivors through the existing
+  /// Gos::migrate_homes path (sampling state re-keys via on_home_migrated).
+  /// Lazily creates the injector from Config::faults when none is attached.
+  /// Idempotent; a no-op when `node` is out of range or the last node alive.
+  void fail_node(NodeId node);
+
   /// Moves admitted by the planner but deferred by the per-epoch cap or a
   /// governor veto, still awaiting execution.
   [[nodiscard]] std::size_t planned_moves_pending() const noexcept {
@@ -173,6 +191,7 @@ class Djvm final : public Gos::Hooks {
   CorrelationDaemon daemon_;
   MigrationEngine migration_;
   std::unique_ptr<SnapshotWriter> snapshot_writer_;
+  std::unique_ptr<FaultInjector> fault_injector_;
 
   /// One admitted-but-deferred migration (per-epoch cap or governor veto):
   /// overrides the influence placement as the intended post-migration spot
@@ -225,6 +244,10 @@ class Djvm final : public Gos::Hooks {
     // the EpochResult/timeline traffic breakdown.
     CategoryBytes cat_bytes{};
     std::vector<CategoryBytes> node_cat_bytes;
+    // Fault-plan transport counters (drops, retries, backoff wait).
+    CategoryBytes cat_dropped{};
+    CategoryBytes cat_retries{};
+    std::uint64_t backoff_ns = 0;
   } pump_snapshot_;
 };
 

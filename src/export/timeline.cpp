@@ -84,6 +84,32 @@ std::string timeline_line(const EpochResult& epoch, const Governor& governor,
   }
   out += '}';
 
+  // Fault-plan telemetry: transport drops/retries per category, backoff wait,
+  // and the degraded marker naming nodes whose partials this epoch lost.
+  out += ",\"faults\":{\"degraded\":";
+  out += epoch.degraded ? "true" : "false";
+  out += ",\"lost_nodes\":[";
+  for (std::size_t i = 0; i < epoch.lost_nodes.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(epoch.lost_nodes[i]);
+  }
+  out += "],\"dropped\":{";
+  for (std::size_t c = 0; c < epoch.dropped_msgs.size(); ++c) {
+    if (c != 0) out += ',';
+    out += '"';
+    out += to_string(static_cast<MsgCategory>(c));
+    out += "\":" + std::to_string(epoch.dropped_msgs[c]);
+  }
+  out += "},\"retries\":{";
+  for (std::size_t c = 0; c < epoch.retries.size(); ++c) {
+    if (c != 0) out += ',';
+    out += '"';
+    out += to_string(static_cast<MsgCategory>(c));
+    out += "\":" + std::to_string(epoch.retries[c]);
+  }
+  out += "},\"backoff_ns\":" + std::to_string(epoch.backoff_ns);
+  out += '}';
+
   // Migration events: the epoch's execution stage, executed and deferred
   // alike (executed=false means planned-but-deferred or dry-run logged).
   out += ",\"migration_seconds\":" + num(epoch.migration_seconds);

@@ -13,6 +13,9 @@
 //    "retained_objects":N, "retained_readers":N, "dropped_objects":N,
 //    "ring":{"published":N, "entries":N, "backpressure":N, "dropped":N},
 //    "traffic":{"object-data":B, "oal":B, "control":B, "migration":B},
+//    "faults":{"degraded":bool, "lost_nodes":[N,...],
+//      "dropped":{per-category msgs}, "retries":{per-category attempts},
+//      "backoff_ns":NS},
 //    "migration_seconds":..., "migrations":[{"thread":T, "from":N, "to":N,
 //      "gain_bytes":B, "score":S, "sim_cost":NS, "prefetched_bytes":B,
 //      "homes_migrated":N, "executed":bool}, ...],

@@ -119,11 +119,33 @@ Governor::EpochOutcome Governor::on_epoch(std::optional<double> rel_distance,
       out = closed_loop_step(rel_distance, sample.measured);
       break;
   }
-  if (const std::optional<NodeId> worst = meter_.worst_node()) {
+  if (const std::optional<NodeId> worst = worst_live_node()) {
     out.offender = worst;
     out.offender_fraction = meter_.node_rolling_fraction(*worst);
   }
   return out;
+}
+
+void Governor::quarantine_node(NodeId node) {
+  if (is_quarantined(node)) return;
+  quarantined_.insert(
+      std::upper_bound(quarantined_.begin(), quarantined_.end(), node), node);
+}
+
+std::optional<NodeId> Governor::worst_live_node() const {
+  if (quarantined_.empty()) return meter_.worst_node();
+  std::optional<NodeId> worst;
+  double worst_frac = -1.0;
+  for (std::size_t n = 0; n < meter_.node_count(); ++n) {
+    const NodeId node = static_cast<NodeId>(n);
+    if (is_quarantined(node)) continue;
+    const double frac = meter_.node_rolling_fraction(node);
+    if (frac > worst_frac) {
+      worst_frac = frac;
+      worst = node;
+    }
+  }
+  return worst;
 }
 
 Governor::EpochOutcome Governor::legacy_step(std::optional<double> rel_distance) {
@@ -199,7 +221,10 @@ Governor::EpochOutcome Governor::closed_loop_step(std::optional<double> rel_dist
     // heap slice, and that one-off cost is in this epoch's sample.
     --node_settle_;
   } else if (budget_known && per_node) {
-    if (const std::optional<NodeId> worst = meter_.worst_node()) {
+    // Quarantined nodes never compete: their meter rows are ghosts of
+    // pre-failure epochs, and coarsening a dead node's classes would shed
+    // live accuracy to pay a bill nobody is running up.
+    if (const std::optional<NodeId> worst = worst_live_node()) {
       const double nfrac = meter_.node_rolling_fraction(*worst);
       const double nred = meter_.node_rolling_reducible_fraction(*worst);
       if (nfrac > node_hi && meter_.node_epoch_fraction(*worst) > node_hi &&
@@ -265,6 +290,10 @@ Governor::EpochOutcome Governor::closed_loop_step(std::optional<double> rel_dist
     if (per_node) {
       const double node_lo = node_budget * (1.0 - cfg_.hysteresis);
       for (std::size_t n = 0; n < meter_.node_count(); ++n) {
+        // A quarantined node abstains from the quorum: it will never report
+        // "under budget" again, and letting it vote would freeze the whole
+        // cluster's rates at the moment of its death.
+        if (is_quarantined(static_cast<NodeId>(n))) continue;
         if (meter_.node_rolling_fraction(static_cast<NodeId>(n)) >= node_lo) {
           all_nodes_under = false;
           break;
@@ -443,6 +472,9 @@ std::size_t Governor::relax_node_shifts(bool& any) {
   const double node_budget = cfg_.effective_node_budget();
   for (std::size_t n = 0; n < plan_.shift_node_count(); ++n) {
     const NodeId node = static_cast<NodeId>(n);
+    // A dead node's fractions read as cooled only because nothing runs
+    // there; leave its shifts frozen rather than "relaxing" a ghost.
+    if (is_quarantined(node)) continue;
     // One decrement doubles the node's entry cost on the relaxed classes:
     // only relax when even the doubled cost would sit under the budget, so
     // the decay cannot ping-pong with the back-off across the dead band.

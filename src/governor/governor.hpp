@@ -267,6 +267,26 @@ class Governor {
   /// Disarmed and legacy governors never veto.
   [[nodiscard]] bool allow_migration_work() const noexcept;
 
+  // --- degraded mode ----------------------------------------------------------
+  /// Quarantines a failed node: it no longer competes for worst-offender
+  /// back-off (its overhead fraction is a ghost of pre-failure samples) and
+  /// it is excluded from the cluster-tighten quorum, so a dead node can
+  /// neither attract per-node back-offs nor hold the whole cluster's rates
+  /// hostage by never reporting "under budget" again.  Quarantine is
+  /// substrate state, not convergence progress: it survives reset()/re-arm
+  /// (like the migration history) and is not persisted in snapshots — a
+  /// recovered run re-detects its failures.
+  void quarantine_node(NodeId node);
+  [[nodiscard]] bool is_quarantined(NodeId node) const noexcept {
+    for (const NodeId q : quarantined_) {
+      if (q == node) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] const std::vector<NodeId>& quarantined_nodes() const noexcept {
+    return quarantined_;
+  }
+
   // --- observability ---------------------------------------------------------
   [[nodiscard]] OverheadMeter& meter() noexcept { return meter_; }
   [[nodiscard]] const OverheadMeter& meter() const noexcept { return meter_; }
@@ -295,6 +315,10 @@ class Governor {
   EpochOutcome legacy_step(std::optional<double> rel_distance);
   EpochOutcome closed_loop_step(std::optional<double> rel_distance,
                                 bool budget_known);
+
+  /// Worst per-node rolling fraction among non-quarantined nodes (nullopt
+  /// when every sampled node is quarantined or none were sampled).
+  [[nodiscard]] std::optional<NodeId> worst_live_node() const;
 
   /// Benefit/cost score of one class from its epoch stats: estimated shared
   /// bytes per logged entry, weighted by the class's decayed balancer
@@ -348,6 +372,9 @@ class Governor {
   std::uint64_t migrations_executed_ = 0;
   std::vector<std::uint64_t> last_migration_epoch_;
   static constexpr std::uint64_t kNeverMigrated = ~0ull;
+  /// Failed nodes excluded from offender scoring and the tighten quorum
+  /// (small sorted-insert list; clusters are tens of nodes).
+  std::vector<NodeId> quarantined_;
 };
 
 }  // namespace djvm

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <limits>
 
+#include "common/crc32.hpp"
 #include "runtime/klass.hpp"
 
 namespace djvm {
@@ -43,25 +44,48 @@ bool write_file(const std::string& path, const std::vector<std::uint8_t>& bytes)
 /// Bounds-checked sequential reader.
 class Reader {
  public:
-  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  explicit Reader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes), size_(bytes.size()) {}
 
   template <typename T>
   bool get(T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (pos_ + sizeof(T) > bytes_.size()) return false;
+    if (pos_ + sizeof(T) > size_) return false;
     std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return true;
   }
-  [[nodiscard]] bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == size_; }
   [[nodiscard]] std::size_t remaining() const noexcept {
-    return bytes_.size() - pos_;
+    return size_ - pos_;
+  }
+  /// Shrinks the readable window to the first `n` bytes (v6 excludes the
+  /// CRC footer from field parsing: once verified, the payload must be
+  /// exhausted exactly at the footer boundary).
+  void truncate(std::size_t n) noexcept {
+    if (n < size_) size_ = n;
   }
 
  private:
   const std::vector<std::uint8_t>& bytes_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
+
+/// v6+ carries a trailing u32 CRC32 over every preceding byte.  Verifies it
+/// and narrows `r` to the payload; pre-v6 versions pass through untouched.
+/// Returns false on a missing or mismatched footer.
+bool check_crc_footer(const std::vector<std::uint8_t>& bytes,
+                      std::uint32_t version, Reader& r) {
+  if (version < kSnapshotVersionV6) return true;
+  if (bytes.size() < sizeof(std::uint32_t)) return false;
+  const std::size_t payload = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + payload, sizeof(stored));
+  if (stored != crc32(bytes.data(), payload)) return false;
+  r.truncate(payload);
+  return true;
+}
 
 /// Sanity ceiling on ThreadIds in a v5 migration entry: far above any thread
 /// count the simulator runs, and it bounds the cooldown-stamp table the
@@ -179,6 +203,10 @@ struct SnapshotAccess {
 
     put<std::uint64_t>(out, tcm.size());
     for (double v : tcm.raw()) put<double>(out, v);
+
+    // v6: integrity footer over everything above.  Must stay the final
+    // field — the decoder locates it from the end of the blob.
+    put<std::uint32_t>(out, crc32(out.data(), out.size()));
   }
 
   static bool decode(const std::vector<std::uint8_t>& bytes, Governor& gov,
@@ -190,6 +218,9 @@ struct SnapshotAccess {
         version > kSnapshotVersion) {
       return false;
     }
+    // Checksum before structure: a corrupt v6 blob must fail here, never by
+    // luck of which field it tore.
+    if (!check_crc_footer(bytes, version, r)) return false;
     const bool v1 = version == kSnapshotVersionV1;
 
     std::uint8_t mode = 0, state = 0, flags = 0, reserved = 0;
@@ -548,6 +579,41 @@ bool load_snapshot(const std::string& path, Governor& gov, SquareMatrix& tcm) {
   return decode_snapshot(bytes, gov, tcm);
 }
 
+std::optional<std::size_t> recover_snapshot(
+    const std::vector<std::string>& candidates, Governor& gov,
+    SquareMatrix& tcm) {
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    // load_snapshot leaves the governor untouched unless the blob passes
+    // every check (decode validates fully before applying), so trying a
+    // corrupt newer candidate costs nothing.
+    if (load_snapshot(candidates[i], gov, tcm)) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> recover_timeline(const std::string& path, bool* torn) {
+  if (torn != nullptr) *torn = false;
+  std::vector<std::string> lines;
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return lines;
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) {
+      // Bytes past the last newline are a line the crash cut short — the
+      // batched append writes whole '\n'-terminated lines, so a complete
+      // line always carries its terminator.
+      if (torn != nullptr) *torn = true;
+      break;
+    }
+    lines.emplace_back(content, start, nl - start);
+    start = nl + 1;
+  }
+  return lines;
+}
+
 // --- parse_snapshot -----------------------------------------------------------
 //
 // Mirrors SnapshotAccess::decode field for field but keeps only the
@@ -564,6 +630,7 @@ bool parse_snapshot(const std::vector<std::uint8_t>& bytes, SnapshotInfo& out) {
       out.version > kSnapshotVersion) {
     return false;
   }
+  if (!check_crc_footer(bytes, out.version, r)) return false;
   const bool v1 = out.version == kSnapshotVersionV1;
 
   std::uint8_t flags = 0, reserved = 0;

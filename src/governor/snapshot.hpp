@@ -7,7 +7,7 @@
 // converged TCM, the distributed analog of a single-process profiler's
 // `sample.prof` dump.
 //
-// Format v5, host-endian, fixed-width fields (round-trips bit-exactly on
+// Format v6, host-endian, fixed-width fields (round-trips bit-exactly on
 // the writing host; a foreign-endian reader rejects the file at the magic
 // check and cold-starts rather than misreading it):
 //   u32 magic 'DJGV'   u32 version
@@ -41,6 +41,7 @@
 //                         u64 prefetched_bytes }
 //   u64 tcm_dimension
 //     dimension^2 x f64 (row-major)
+//   u32 crc32 over every preceding byte                      [v6]
 //
 // The v3 copy summary records the cached-copy sampling bookkeeping — how
 // many copy bits each node has registered (fault-ins, prefetches) and how
@@ -59,6 +60,13 @@
 // thread the previous run just moved nor forgets which moves the influence
 // table already credits.
 //
+// The v6 CRC32 footer (common/crc32.hpp, IEEE polynomial) covers every
+// preceding byte.  Files are always written temp-then-atomic-rename, so a
+// crash mid-write leaves the previous good snapshot in place; the footer
+// closes the remaining hole — a torn or bit-flipped blob that still *looks*
+// structurally plausible is rejected at the checksum before any field is
+// trusted.  v1–v5 files carry no footer and still load.
+//
 // v1 files (no flags byte meaning — it was reserved padding — and none of
 // the [v2+] fields) still load: the restored governor keeps its
 // machine-local per-node policy knobs and every node is seeded from the
@@ -76,6 +84,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -87,8 +96,8 @@ namespace djvm {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x56474A44;  // "DJGV"
 /// Version written by encode_snapshot; decode also accepts the older
-/// kSnapshotVersionV1/V2/V3/V4 layouts (read compatibility).
-inline constexpr std::uint32_t kSnapshotVersion = 5;
+/// kSnapshotVersionV1..V5 layouts (read compatibility).
+inline constexpr std::uint32_t kSnapshotVersion = 6;
 inline constexpr std::uint32_t kSnapshotVersionV1 = 1;
 inline constexpr std::uint32_t kSnapshotVersionV2 = 2;
 inline constexpr std::uint32_t kSnapshotVersionV3 = 3;
@@ -97,6 +106,8 @@ inline constexpr std::uint32_t kSnapshotVersionV3 = 3;
 /// drop an older section from files that carry it.
 inline constexpr std::uint32_t kSnapshotVersionV4 = 4;
 inline constexpr std::uint32_t kSnapshotVersionV5 = 5;
+/// First version carrying the CRC32 integrity footer.
+inline constexpr std::uint32_t kSnapshotVersionV6 = 6;
 
 /// Serializes the governor's state, the plan's per-class gaps, and `tcm`
 /// (pass the daemon's latest converged map).
@@ -111,16 +122,37 @@ inline constexpr std::uint32_t kSnapshotVersionV5 = 5;
 [[nodiscard]] bool decode_snapshot(const std::vector<std::uint8_t>& bytes,
                                    Governor& gov, SquareMatrix& tcm);
 
-/// File convenience wrappers.
+/// File convenience wrappers.  save_snapshot writes temp-then-atomic-rename
+/// (shared with the async writer), so a crash mid-save never destroys the
+/// previous good file.
 [[nodiscard]] bool save_snapshot(const std::string& path, const Governor& gov,
                                  const SquareMatrix& tcm);
 [[nodiscard]] bool load_snapshot(const std::string& path, Governor& gov,
                                  SquareMatrix& tcm);
 
+/// Crash recovery: tries each candidate path in order (pass newest first)
+/// and restores the first snapshot that loads — missing files and blobs the
+/// decoder rejects (bad magic, truncation, failed v6 checksum) are skipped,
+/// not fatal.  Returns the index of the candidate that loaded, or nullopt
+/// for a cold start; the governor is untouched until a candidate validates
+/// fully.
+[[nodiscard]] std::optional<std::size_t> recover_snapshot(
+    const std::vector<std::string>& candidates, Governor& gov,
+    SquareMatrix& tcm);
+
+/// Reads a JSONL timeline (one JSON object per '\n'-terminated line, as
+/// written through SnapshotWriter::append_async) for post-crash analysis.
+/// A torn final line — the crash landed mid-append, leaving bytes without
+/// their terminating newline — is dropped rather than returned as garbage;
+/// `torn`, when non-null, reports whether that happened.  Returns every
+/// complete line in file order (empty on a missing or empty file).
+[[nodiscard]] std::vector<std::string> recover_timeline(
+    const std::string& path, bool* torn = nullptr);
+
 /// Registry-independent view of one decoded snapshot, for offline tooling
 /// (src/export/ and tools/djvm_export).  decode_snapshot applies a file to a
 /// *live* governor and validates class ids against the live registry;
-/// parse_snapshot checks structure only, so any v1–v5 file from any run can
+/// parse_snapshot checks structure only, so any v1–v6 file from any run can
 /// be converted to pprof/flamegraph/JSON without reconstructing the run.
 /// Kept next to the encoder because this file owns the format: a layout
 /// change must update encode, decode, and parse together.
@@ -189,9 +221,10 @@ struct SnapshotInfo {
 };
 
 /// Parses a snapshot without touching any live state.  Returns false on bad
-/// magic/version, truncation, or structural corruption (counts that cannot
-/// fit the remaining bytes, out-of-range enums, non-finite knobs); `out` is
-/// unspecified on failure.  Never throws, never reads out of bounds.
+/// magic/version, truncation, structural corruption (counts that cannot
+/// fit the remaining bytes, out-of-range enums, non-finite knobs), or a
+/// failed v6 CRC32 footer check; `out` is unspecified on failure.  Never
+/// throws, never reads out of bounds.
 [[nodiscard]] bool parse_snapshot(const std::vector<std::uint8_t>& bytes,
                                   SnapshotInfo& out);
 

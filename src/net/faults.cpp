@@ -1,0 +1,103 @@
+#include "net/faults.hpp"
+
+#include "common/rng.hpp"
+
+namespace djvm {
+namespace {
+
+// Domain-separation tags keep the drop, spike, jitter, and stall streams
+// independent: changing the drop probability never perturbs which messages
+// spike, so fault dimensions can be varied one at a time against a fixed
+// seed.
+constexpr std::uint64_t kDropTag = 0xD809ull;
+constexpr std::uint64_t kSpikeTag = 0x59136ull;
+constexpr std::uint64_t kJitterTag = 0x717736ull;
+constexpr std::uint64_t kStallTag = 0x57A11ull;
+
+/// One draw of the schedule: SplitMix64 seeded by a mix of the plan seed, a
+/// domain tag, and the decision coordinates.  Pure — the same coordinates
+/// always yield the same value.
+std::uint64_t draw(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                   std::uint64_t b) noexcept {
+  SplitMix64 rng(seed ^ (tag * 0x9E3779B97F4A7C15ull) ^
+                 (a * 0xC2B2AE3D27D4EB4Full) ^ (b * 0x165667B19E3779F9ull));
+  return rng.next();
+}
+
+double draw_u01(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                std::uint64_t b) noexcept {
+  return static_cast<double>(draw(seed, tag, a, b) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+MessageFate FaultInjector::on_message(const Message& msg) noexcept {
+  MessageFate fate;
+  // Local delivery never touches the wire: exempt from the fault plan, and
+  // it consumes no schedule slot.
+  if (msg.src == msg.dst) return fate;
+
+  // Dead nodes and severed partitions drop deterministically *without*
+  // consuming a schedule slot: the survivors' drop/spike schedule stays
+  // aligned with the fault-free ordinal sequence.
+  if (!reachable(msg.src, msg.dst)) {
+    fate.dropped = true;
+    return fate;
+  }
+
+  const auto idx = static_cast<std::size_t>(msg.category);
+  const std::uint64_t ordinal = counters_[idx]++;
+
+  const double drop_p = (msg.category == MsgCategory::kObjectData)
+                            ? plan_.drop_object_data
+                        : (msg.category == MsgCategory::kOal) ? plan_.drop_oal
+                        : (msg.category == MsgCategory::kControl)
+                            ? plan_.drop_control
+                            : plan_.drop_migration;
+  if (drop_p > 0.0 &&
+      draw_u01(plan_.fault_seed, kDropTag, idx, ordinal) < drop_p) {
+    fate.dropped = true;
+  }
+
+  if (!fate.dropped && plan_.spike_probability > 0.0 &&
+      draw_u01(plan_.fault_seed, kSpikeTag, idx, ordinal) <
+          plan_.spike_probability) {
+    fate.extra_ns += plan_.spike_ns;
+    if (plan_.jitter_ns > 0) {
+      fate.extra_ns += draw(plan_.fault_seed, kJitterTag, idx, ordinal) %
+                       plan_.jitter_ns;
+    }
+  }
+
+  if (!fate.dropped && plan_.stall_ns > 0 &&
+      (node_stalled(msg.src) || node_stalled(msg.dst))) {
+    fate.extra_ns += plan_.stall_ns;
+  }
+
+  // Fold the decision into the rolling schedule hash (FNV-1a over the
+  // coordinates and outcome); the determinism test compares this across
+  // injectors.
+  std::uint64_t h = hash_ ^ (idx + 1);
+  h *= 0x100000001B3ull;
+  h ^= ordinal + 1;
+  h *= 0x100000001B3ull;
+  h ^= (fate.dropped ? 0x2ull : 0x1ull) + (fate.extra_ns << 2);
+  h *= 0x100000001B3ull;
+  hash_ = h;
+  ++decisions_;
+  return fate;
+}
+
+bool FaultInjector::node_stalled(NodeId node) const noexcept {
+  if (plan_.stall_probability <= 0.0) return false;
+  return draw_u01(plan_.fault_seed, kStallTag, node, epoch_) <
+         plan_.stall_probability;
+}
+
+bool FaultInjector::partitioned(NodeId a, NodeId b) const noexcept {
+  if (epoch_ < plan_.partition_begin || epoch_ >= plan_.partition_end)
+    return false;
+  return (a < plan_.partition_cut) != (b < plan_.partition_cut);
+}
+
+}  // namespace djvm

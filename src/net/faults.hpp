@@ -1,0 +1,87 @@
+// Deterministic seeded fault injection for the simulated interconnect.
+//
+// The injector turns one RNG seed into a reproducible fault schedule: message
+// drops per traffic category, latency spikes with jitter, transient per-epoch
+// node stalls, a timed full-node failure, and an epoch-windowed partition.
+// Every decision is a pure function of (seed, decision kind, per-category
+// message counter | node | epoch) hashed through SplitMix64 — no hidden
+// state, no dependence on wall clock or call interleaving — so an identical
+// seed yields a bit-identical schedule and a failure found in CI replays
+// locally from the same Config (verified by tests/test_fault_injection).
+//
+// The Network consults the injector inside send(); with no injector attached
+// the transport is bit-identical to the fault-free build.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/config.hpp"
+#include "common/sim_clock.hpp"
+#include "net/message.hpp"
+
+namespace djvm {
+
+/// What the fault plan decided for one message.
+struct MessageFate {
+  bool dropped = false;       ///< message lost on the wire (bytes still spent)
+  SimTime extra_ns = 0;       ///< latency spike + jitter + stall penalty
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultKnobs& plan) noexcept : plan_(plan) {}
+
+  /// Advance the schedule's epoch: timed kills fire, stall and partition
+  /// windows are evaluated against this value.
+  void begin_epoch(std::uint64_t epoch) noexcept { epoch_ = epoch; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Decide the fate of one message.  Consumes one per-category schedule
+  /// slot; messages to/from dead or partitioned nodes drop deterministically
+  /// without consuming a slot, so killing a node mid-run does not shift the
+  /// drop/spike schedule of the survivors.
+  MessageFate on_message(const Message& msg) noexcept;
+
+  /// Explicit mid-run kill (Djvm::fail_node, bench harnesses).
+  void kill_node(NodeId node) { killed_.insert(node); }
+
+  /// Dead = explicitly killed, or the timed kill has fired.
+  [[nodiscard]] bool node_dead(NodeId node) const noexcept {
+    if (node == plan_.kill_node && epoch_ >= plan_.kill_epoch) return true;
+    return killed_.count(node) != 0;
+  }
+
+  /// Transient stall: pure hash of (seed, node, epoch) under
+  /// stall_probability; the whole epoch is stalled or it is not.
+  [[nodiscard]] bool node_stalled(NodeId node) const noexcept;
+
+  /// True while the partition window covers `epoch_` and a, b sit on
+  /// opposite sides of the cut.
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const noexcept;
+
+  /// Can a message from src currently reach dst at all?
+  [[nodiscard]] bool reachable(NodeId src, NodeId dst) const noexcept {
+    return !node_dead(src) && !node_dead(dst) && !partitioned(src, dst);
+  }
+
+  [[nodiscard]] const FaultKnobs& plan() const noexcept { return plan_; }
+
+  /// Total decisions taken and a rolling hash over every (category, counter,
+  /// fate) triple — two injectors with the same seed fed the same message
+  /// sequence must agree on both (the determinism gate).
+  [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
+  [[nodiscard]] std::uint64_t schedule_hash() const noexcept { return hash_; }
+
+ private:
+  FaultKnobs plan_;
+  std::uint64_t epoch_ = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)>
+      counters_{};  ///< per-category message ordinal (the schedule index)
+  std::unordered_set<NodeId> killed_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t hash_ = 0;
+};
+
+}  // namespace djvm

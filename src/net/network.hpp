@@ -4,6 +4,14 @@
 // each message pays a fixed one-way latency plus payload / bandwidth.  The
 // profilers and the GOS report every transfer here; the bench harnesses read
 // back byte counts per category to reproduce Table III's volume columns.
+//
+// An optional FaultInjector (net/faults.hpp) makes the wire unreliable:
+// send() then consults the seeded fault plan for drops, latency spikes, and
+// dead/partitioned endpoints, and the reliable-transport entry points
+// (try_send / send_reliable / round_trip) retry with exponential backoff,
+// billing retry bytes and backoff wait into the same per-category and
+// per-node counters the overhead meter prices.  With no injector attached,
+// every path is bit-identical to the fault-free build.
 #pragma once
 
 #include <array>
@@ -15,10 +23,19 @@
 
 namespace djvm {
 
-/// Per-category traffic counters.
+class FaultInjector;
+
+/// Per-category traffic counters.  `dropped` / `retries` / `backoff_ns`
+/// stay zero unless a fault injector is attached: dropped counts messages
+/// lost on the wire (their bytes are still billed — the sender spent them),
+/// retries counts re-send attempts beyond the first, and backoff_ns is the
+/// simulated time reliable senders spent waiting between attempts.
 struct TrafficStats {
   std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> bytes{};
   std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> messages{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> dropped{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> retries{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> backoff_ns{};
 
   [[nodiscard]] std::uint64_t bytes_of(MsgCategory c) const noexcept {
     return bytes[static_cast<std::size_t>(c)];
@@ -26,14 +43,38 @@ struct TrafficStats {
   [[nodiscard]] std::uint64_t messages_of(MsgCategory c) const noexcept {
     return messages[static_cast<std::size_t>(c)];
   }
+  [[nodiscard]] std::uint64_t dropped_of(MsgCategory c) const noexcept {
+    return dropped[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t retries_of(MsgCategory c) const noexcept {
+    return retries[static_cast<std::size_t>(c)];
+  }
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
     std::uint64_t s = 0;
     for (auto b : bytes) s += b;
     return s;
   }
+  [[nodiscard]] std::uint64_t total_dropped() const noexcept {
+    std::uint64_t s = 0;
+    for (auto d : dropped) s += d;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t total_retries() const noexcept {
+    std::uint64_t s = 0;
+    for (auto r : retries) s += r;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t total_backoff_ns() const noexcept {
+    std::uint64_t s = 0;
+    for (auto b : backoff_ns) s += b;
+    return s;
+  }
   void reset() noexcept {
     bytes.fill(0);
     messages.fill(0);
+    dropped.fill(0);
+    retries.fill(0);
+    backoff_ns.fill(0);
   }
 };
 
@@ -41,11 +82,22 @@ struct TrafficStats {
 /// by category.  `send_ns` is the simulated time `send` returned (and the
 /// caller charged to a thread clock on that node), so per-node overhead
 /// samples can price wire cost exactly as it was actually paid — latency,
-/// piggybacking, and local-delivery effects included.
+/// piggybacking, local-delivery, and under faults also spike/retry/backoff
+/// effects included.
 struct NodeTraffic {
   std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> bytes{};
   std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> messages{};
   std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> send_ns{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> dropped{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> retries{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCategory::kCount)> backoff_ns{};
+};
+
+/// Result of one reliable-transport operation.
+struct SendOutcome {
+  SimTime elapsed = 0;        ///< sender-side simulated time, waits included
+  bool delivered = false;     ///< false = dropped (all retries exhausted)
+  std::uint32_t attempts = 0; ///< 1 for a first-try delivery
 };
 
 /// The interconnect.  `send` accounts the message and returns the simulated
@@ -56,11 +108,26 @@ class Network {
   explicit Network(SimCosts costs) : costs_(costs) {}
 
   /// Accounts one message and returns its simulated one-way duration.
-  SimTime send(const Message& msg) noexcept;
+  /// Fire-and-forget: under an attached injector the message may be dropped
+  /// (counted, bytes billed) with no signal to the caller — use try_send or
+  /// send_reliable where delivery matters.
+  SimTime send(const Message& msg) noexcept { return try_send(msg).elapsed; }
 
-  /// Convenience: request/reply round trip; returns total simulated time.
+  /// One attempt with the fate visible.
+  SendOutcome try_send(const Message& msg) noexcept;
+
+  /// At-least-once delivery: retries with exponential backoff per the fault
+  /// plan's retry policy (max_retries / retry_backoff_ns), billing each
+  /// attempt's bytes and each wait into the sender's counters.  Without an
+  /// injector this is exactly one send that always delivers.
+  SendOutcome send_reliable(const Message& msg) noexcept;
+
+  /// Convenience: request/reply round trip over the reliable path; returns
+  /// total simulated time including any retries and backoff.  When `ok` is
+  /// non-null it reports whether both directions delivered.
   SimTime round_trip(NodeId a, NodeId b, MsgCategory category,
-                     std::uint64_t request_bytes, std::uint64_t reply_bytes) noexcept;
+                     std::uint64_t request_bytes, std::uint64_t reply_bytes,
+                     bool* ok = nullptr) noexcept;
 
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
 
@@ -74,12 +141,27 @@ class Network {
     node_traffic_.clear();
   }
 
+  /// Attach (or detach, with nullptr) the fault plan.  The injector is owned
+  /// by the caller and must outlive the Network's use of it.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    faults_ = injector;
+  }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept {
+    return faults_;
+  }
+
   [[nodiscard]] const SimCosts& costs() const noexcept { return costs_; }
 
  private:
+  NodeTraffic& node_slot(NodeId node) noexcept {
+    if (node_traffic_.size() <= node) node_traffic_.resize(node + 1);
+    return node_traffic_[node];
+  }
+
   SimCosts costs_;
   TrafficStats stats_;
   std::vector<NodeTraffic> node_traffic_;  ///< indexed by source NodeId
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace djvm

@@ -110,6 +110,21 @@ struct EpochResult {
   /// home migration bookkeeping); billed into the *next* epoch's overhead
   /// sample alongside the planner carry.
   double migration_seconds = 0.0;
+  /// Fault-plan transport telemetry over this epoch (all zero on a fault-free
+  /// run): per-category messages the injector dropped, per-category retries
+  /// the reliable transport spent, and the total backoff wait it billed into
+  /// sender clocks.  Filled by the pump from its Network counters.
+  CategoryBytes dropped_msgs{};
+  CategoryBytes retries{};
+  std::uint64_t backoff_ns = 0;
+  /// Degraded-mode marker: true when at least one node's profiling partials
+  /// were lost this epoch (node dead, partitioned, or its reduction-tree
+  /// exchange exhausted its retries), with the nodes named in `lost_nodes`.
+  /// The map in `tcm` is then *incomplete*, not wrong — accuracy benches
+  /// compare surviving-node objects only and treat the rest as missing data.
+  /// Filled by the pump (the daemon itself never sees the network).
+  bool degraded = false;
+  std::vector<NodeId> lost_nodes;
 };
 
 /// Long-haul retention policy for the daemon's whole-run accumulator (see

@@ -169,7 +169,8 @@ void DistributedTcmReducer::merge(NodePartial& a, const NodePartial& b) {
 }
 
 NodePartial DistributedTcmReducer::tree_reduce(std::vector<NodePartial> partials,
-                                               Network* net) {
+                                               Network* net,
+                                               std::vector<NodeId>* lost_nodes) {
   if (partials.empty()) return NodePartial{};
   // Binary tree: in each round, partial i+stride merges into partial i.
   // Destination indices persist across rounds so each surviving partial's
@@ -179,8 +180,16 @@ NodePartial DistributedTcmReducer::tree_reduce(std::vector<NodePartial> partials
     for (std::size_t i = 0; i + stride < partials.size(); i += 2 * stride) {
       NodePartial& child = partials[i + stride];
       if (net != nullptr) {
-        net->send({child.node, partials[i].node, MsgCategory::kOal,
-                   child.wire_bytes(), false});
+        const SendOutcome o = net->send_reliable(
+            {child.node, partials[i].node, MsgCategory::kOal,
+             child.wire_bytes(), false});
+        if (!o.delivered) {
+          // The child's subtree never arrives: the merged map loses that
+          // contribution (missing data, not wrong data).  The child keeps
+          // its summaries so a later repair pass could re-ship them.
+          if (lost_nodes != nullptr) lost_nodes->push_back(child.node);
+          continue;
+        }
       }
       if (indices[i].empty() && !partials[i].summaries.empty()) {
         indices[i].reserve(partials[i].summaries.size());
@@ -200,7 +209,8 @@ void DistributedTcmReducer::merge_csr(NodeCsrPartial& a, const NodeCsrPartial& b
 }
 
 NodeCsrPartial DistributedTcmReducer::tree_reduce_csr(
-    std::vector<NodeCsrPartial> partials, Network* net, ArenaScratch& scratch) {
+    std::vector<NodeCsrPartial> partials, Network* net, ArenaScratch& scratch,
+    std::vector<NodeId>* lost_nodes) {
   if (partials.empty()) return NodeCsrPartial{};
   // Same binary tree as tree_reduce; each level merges arena-to-arena
   // through the bucket sort, so no level re-hashes.
@@ -208,8 +218,14 @@ NodeCsrPartial DistributedTcmReducer::tree_reduce_csr(
     for (std::size_t i = 0; i + stride < partials.size(); i += 2 * stride) {
       NodeCsrPartial& child = partials[i + stride];
       if (net != nullptr) {
-        net->send({child.node, partials[i].node, MsgCategory::kOal,
-                   child.wire_bytes(), false});
+        const SendOutcome o = net->send_reliable(
+            {child.node, partials[i].node, MsgCategory::kOal,
+             child.wire_bytes(), false});
+        if (!o.delivered) {
+          if (lost_nodes != nullptr) lost_nodes->push_back(child.node);
+          child.arena = ReaderArena{};  // undeliverable; free its buffers
+          continue;
+        }
       }
       merge_csr(partials[i], child, scratch);
       child.arena = ReaderArena{};  // free the consumed child's buffers
@@ -295,21 +311,25 @@ SquareMatrix DistributedTcmReducer::accrue_parallel(
 
 SquareMatrix DistributedTcmReducer::build(std::span<const IntervalRecord> records,
                                           std::uint32_t threads, bool weighted,
-                                          unsigned threads_hw, Network* net) {
+                                          unsigned threads_hw, Network* net,
+                                          std::vector<NodeId>* lost_nodes) {
   ArenaScratch scratch;
   std::vector<NodeCsrPartial> partials =
       local_reduce_csr(records, weighted, scratch);
-  NodeCsrPartial merged = tree_reduce_csr(std::move(partials), net, scratch);
+  NodeCsrPartial merged =
+      tree_reduce_csr(std::move(partials), net, scratch, lost_nodes);
   return accrue_parallel(merged.arena, threads, threads_hw);
 }
 
 SquareMatrix DistributedTcmReducer::build(std::span<const OalArena* const> logs,
                                           std::uint32_t threads, bool weighted,
-                                          unsigned threads_hw, Network* net) {
+                                          unsigned threads_hw, Network* net,
+                                          std::vector<NodeId>* lost_nodes) {
   ArenaScratch scratch;
   std::vector<NodeCsrPartial> partials =
       local_reduce_csr(logs, weighted, scratch);
-  NodeCsrPartial merged = tree_reduce_csr(std::move(partials), net, scratch);
+  NodeCsrPartial merged =
+      tree_reduce_csr(std::move(partials), net, scratch, lost_nodes);
   return accrue_parallel(merged.arena, threads, threads_hw);
 }
 

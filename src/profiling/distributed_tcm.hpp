@@ -89,11 +89,16 @@ class DistributedTcmReducer {
   static void merge(NodePartial& a, const NodePartial& b);
 
   /// Phase 2: binary reduction tree over the partials.  When `net` is given,
-  /// each merge step accounts one message carrying the child partial (so the
-  /// traffic of the distributed scheme can be compared against centralized
-  /// OAL shipping).  Returns the fully merged partial.
-  [[nodiscard]] static NodePartial tree_reduce(std::vector<NodePartial> partials,
-                                               Network* net = nullptr);
+  /// each merge step ships the child partial over the *reliable* transport
+  /// (retry/backoff per the network's fault plan) and accounts its traffic,
+  /// so the distributed scheme can be compared against centralized OAL
+  /// shipping.  A child whose exchange exhausts its retries (dead node,
+  /// partition, relentless drops) is excluded from the merge — the map is
+  /// then incomplete, not wrong — and its node id is appended to
+  /// `lost_nodes` when given.  Returns the fully merged partial.
+  [[nodiscard]] static NodePartial tree_reduce(
+      std::vector<NodePartial> partials, Network* net = nullptr,
+      std::vector<NodeId>* lost_nodes = nullptr);
 
   /// Merges `b` into `a` in CSR form (TcmBuilder::merge_arenas — a bucket
   /// sort, not a hash probe per object).
@@ -101,10 +106,11 @@ class DistributedTcmReducer {
                         ArenaScratch& scratch);
 
   /// Phase 2, CSR: the same binary reduction tree over CSR partials.  Every
-  /// level merges arena-to-arena; `net` accounting matches tree_reduce.
+  /// level merges arena-to-arena; `net` accounting, retry semantics, and
+  /// lost-partial reporting match tree_reduce.
   [[nodiscard]] static NodeCsrPartial tree_reduce_csr(
       std::vector<NodeCsrPartial> partials, Network* net,
-      ArenaScratch& scratch);
+      ArenaScratch& scratch, std::vector<NodeId>* lost_nodes = nullptr);
 
   /// Phase 3: pair accrual over merged summaries, sharded over `threads_hw`
   /// worker threads (1 = sequential).  Shards partition the objects (each
@@ -124,16 +130,20 @@ class DistributedTcmReducer {
 
   /// Full pipeline, routed through the CSR partials end-to-end:
   /// local_reduce_csr -> tree_reduce_csr -> (parallel) accrual.
+  /// `lost_nodes` collects nodes whose partials the reduction tree could not
+  /// deliver (see tree_reduce); the returned map omits their contribution.
   [[nodiscard]] static SquareMatrix build(std::span<const IntervalRecord> records,
                                           std::uint32_t threads, bool weighted,
                                           unsigned threads_hw = 1,
-                                          Network* net = nullptr);
+                                          Network* net = nullptr,
+                                          std::vector<NodeId>* lost_nodes = nullptr);
 
   /// Full CSR pipeline over drained ingest log arenas.
   [[nodiscard]] static SquareMatrix build(std::span<const OalArena* const> logs,
                                           std::uint32_t threads, bool weighted,
                                           unsigned threads_hw = 1,
-                                          Network* net = nullptr);
+                                          Network* net = nullptr,
+                                          std::vector<NodeId>* lost_nodes = nullptr);
 };
 
 }  // namespace djvm

@@ -169,6 +169,37 @@ class NonFiniteAndMissingTest(unittest.TestCase):
         self.assertEqual(run_gate(base, doc({})), 0)
 
 
+class AllowedMissingTest(unittest.TestCase):
+    """Baselines can explicitly opt a gated metric out of the missing-metric
+    failure (platform/configuration-dependent metrics): the absence is
+    reported but does not gate.  The opt-out is by name only — a *present*
+    metric still gates normally."""
+
+    def test_listed_metric_may_be_absent(self):
+        base = doc({"m": {"value": 1.0, "goal": "min"}})
+        base["allowed_missing"] = ["m"]
+        self.assertEqual(run_gate(base, doc({})), 0)
+
+    def test_unlisted_metric_still_fails_when_absent(self):
+        base = doc({"m": {"value": 1.0, "goal": "min"},
+                    "n": {"value": 1.0, "goal": "min"}})
+        base["allowed_missing"] = ["m"]
+        self.assertEqual(run_gate(base, doc({"m": {"value": 1.0}})), 1)
+
+    def test_present_listed_metric_still_gates(self):
+        base = doc({"m": {"value": 1.0, "goal": "min", "slack": 0.0}})
+        base["allowed_missing"] = ["m"]
+        self.assertEqual(run_gate(base, doc({"m": {"value": 2.0}})), 1)
+        self.assertEqual(run_gate(base, doc({"m": {"value": 1.0}})), 0)
+
+    def test_malformed_allowed_missing_fails(self):
+        for bad in ("m", {"m": True}, [1, 2], [None]):
+            base = doc({"m": {"value": 1.0, "goal": "min"}})
+            base["allowed_missing"] = bad
+            self.assertEqual(run_gate(base, doc({"m": {"value": 1.0}})), 1,
+                             f"allowed_missing {bad!r} accepted")
+
+
 class ChecksAndIdentityTest(unittest.TestCase):
     def test_failed_acceptance_check_fails_the_gate(self):
         cur = doc(checks=[{"name": "c", "pass": False, "value": 1.0,

@@ -1,36 +1,67 @@
-// Config knob consolidation: the flat pre-nesting names (governor_*,
-// retention_*, snapshot_path, timeline_*) stay valid for one release as
-// deprecated reference aliases into the nested sub-structs.  This file is
-// the compatibility contract: writes through either name are visible
-// through the other, and copies re-bind the aliases onto the new instance.
+// Config knob consolidation, final act: the flat pre-nesting names
+// (governor_*, retention_*, snapshot_path, timeline_*) lived for one release
+// as [[deprecated]] reference aliases into the nested sub-structs.  That
+// release is over — this file is now the *removal* contract: the aliases are
+// gone from Config entirely (asserted via member-detection traits below),
+// Config is a plain copyable aggregate again, and the nested knobs are the
+// only spelling.
 #include <gtest/gtest.h>
 
-#include "common/config.hpp"
+#include <type_traits>
 
-// The whole point of this file is to use the deprecated names.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "common/config.hpp"
 
 namespace djvm {
 namespace {
 
-TEST(ConfigCompat, FlatAliasesReadAndWriteNestedKnobs) {
-  Config cfg;
-  // Defaults agree before any write.
-  EXPECT_EQ(cfg.governor_enabled, cfg.governor.enabled);
-  EXPECT_DOUBLE_EQ(cfg.governor_budget, cfg.governor.budget);
+// Member-detection idiom: HAS_MEMBER(name) yields a trait that is true iff
+// `Config` still has a member (field or alias) called `name`.
+#define HAS_MEMBER(member)                                          \
+  template <typename T, typename = void>                            \
+  struct has_##member : std::false_type {};                         \
+  template <typename T>                                             \
+  struct has_##member<T, std::void_t<decltype(std::declval<T&>().member)>> \
+      : std::true_type {}
 
-  // Old-name writes land in the nested struct...
-  cfg.governor_enabled = true;
-  cfg.governor_budget = 0.07;
-  cfg.governor_per_node = false;
-  cfg.governor_node_budget = 0.03;
-  cfg.retention_idle_epochs = 9;
-  cfg.retention_decay = 0.5;
-  cfg.retention_compact_period = 2;
-  cfg.snapshot_path = "/tmp/snap.bin";
-  cfg.timeline_path = "/tmp/tl.jsonl";
-  cfg.timeline_top_k = 11;
+HAS_MEMBER(governor_enabled);
+HAS_MEMBER(governor_budget);
+HAS_MEMBER(governor_per_node);
+HAS_MEMBER(governor_node_budget);
+HAS_MEMBER(retention_idle_epochs);
+HAS_MEMBER(retention_decay);
+HAS_MEMBER(retention_compact_period);
+HAS_MEMBER(snapshot_path);
+HAS_MEMBER(timeline_path);
+HAS_MEMBER(timeline_top_k);
+
+#undef HAS_MEMBER
+
+TEST(ConfigCompat, FlatAliasesAreGone) {
+  static_assert(!has_governor_enabled<Config>::value);
+  static_assert(!has_governor_budget<Config>::value);
+  static_assert(!has_governor_per_node<Config>::value);
+  static_assert(!has_governor_node_budget<Config>::value);
+  static_assert(!has_retention_idle_epochs<Config>::value);
+  static_assert(!has_retention_decay<Config>::value);
+  static_assert(!has_retention_compact_period<Config>::value);
+  static_assert(!has_snapshot_path<Config>::value);
+  static_assert(!has_timeline_path<Config>::value);
+  static_assert(!has_timeline_top_k<Config>::value);
+  SUCCEED() << "all flat aliases removed from Config";
+}
+
+TEST(ConfigCompat, NestedKnobsAreTheOnlySpelling) {
+  Config cfg;
+  cfg.governor.enabled = true;
+  cfg.governor.budget = 0.07;
+  cfg.governor.per_node = false;
+  cfg.governor.node_budget = 0.03;
+  cfg.retention.idle_epochs = 9;
+  cfg.retention.decay = 0.5;
+  cfg.retention.compact_period = 2;
+  cfg.export_.snapshot_path = "/tmp/snap.bin";
+  cfg.export_.timeline_path = "/tmp/tl.jsonl";
+  cfg.export_.timeline_top_k = 11;
   EXPECT_TRUE(cfg.governor.enabled);
   EXPECT_DOUBLE_EQ(cfg.governor.budget, 0.07);
   EXPECT_FALSE(cfg.governor.per_node);
@@ -41,42 +72,39 @@ TEST(ConfigCompat, FlatAliasesReadAndWriteNestedKnobs) {
   EXPECT_EQ(cfg.export_.snapshot_path, "/tmp/snap.bin");
   EXPECT_EQ(cfg.export_.timeline_path, "/tmp/tl.jsonl");
   EXPECT_EQ(cfg.export_.timeline_top_k, 11u);
-
-  // ...and nested writes are visible through the old names.
-  cfg.governor.budget = 0.01;
-  cfg.export_.timeline_top_k = 3;
-  EXPECT_DOUBLE_EQ(cfg.governor_budget, 0.01);
-  EXPECT_EQ(cfg.timeline_top_k, 3u);
 }
 
-TEST(ConfigCompat, CopyRebindsAliasesOntoTheNewInstance) {
+TEST(ConfigCompat, ConfigIsAPlainCopyableValueAgain) {
+  // With the reference aliases gone there is no custom copy machinery left:
+  // copies are member-wise and fully independent.
   Config a;
-  a.governor_enabled = true;
-  a.retention_idle_epochs = 4;
-  a.snapshot_path = "/tmp/a.bin";
+  a.governor.enabled = true;
+  a.retention.idle_epochs = 4;
+  a.export_.snapshot_path = "/tmp/a.bin";
+  a.faults.enabled = true;
+  a.faults.drop_oal = 0.25;
 
-  Config b(a);  // copy ctor forwards to ConfigData; aliases re-bind
+  Config b(a);
   EXPECT_TRUE(b.governor.enabled);
   EXPECT_EQ(b.retention.idle_epochs, 4u);
   EXPECT_EQ(b.export_.snapshot_path, "/tmp/a.bin");
+  EXPECT_TRUE(b.faults.enabled);
+  EXPECT_DOUBLE_EQ(b.faults.drop_oal, 0.25);
 
-  // The copies are independent: mutating b (via either name) leaves a alone.
-  b.governor_enabled = false;
+  b.governor.enabled = false;
   b.retention.idle_epochs = 7;
+  b.faults.drop_oal = 0.0;
   EXPECT_TRUE(a.governor.enabled);
-  EXPECT_EQ(a.retention_idle_epochs, 4u);
-  EXPECT_FALSE(b.governor_enabled);
-  EXPECT_EQ(b.retention_idle_epochs, 7u);
+  EXPECT_EQ(a.retention.idle_epochs, 4u);
+  EXPECT_DOUBLE_EQ(a.faults.drop_oal, 0.25);
 
   Config c;
   c = a;  // assignment path
-  EXPECT_TRUE(c.governor_enabled);
+  EXPECT_TRUE(c.governor.enabled);
   EXPECT_EQ(c.export_.snapshot_path, "/tmp/a.bin");
   c.governor.enabled = false;
-  EXPECT_TRUE(a.governor_enabled);
+  EXPECT_TRUE(a.governor.enabled);
 }
 
 }  // namespace
 }  // namespace djvm
-
-#pragma GCC diagnostic pop

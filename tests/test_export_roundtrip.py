@@ -51,18 +51,21 @@ def main():
             print("standalone conversion produced an empty profile")
             return 1
 
-        # Corruption probes: truncated and garbage inputs must fail cleanly.
+        # Corruption probes: each failure class must map to its own exit
+        # code (1 usage, 2 unreadable input, 3 corrupt snapshot) so restart
+        # tooling can tell "retry another candidate" from "fix the CLI".
         with open(os.path.join(outdir, "snapshot.bin"), "rb") as f:
             blob = f.read()
         trunc = os.path.join(outdir, "trunc.bin")
         with open(trunc, "wb") as f:
             f.write(blob[:len(blob) // 2])
-        run([exporter, trunc], expect=1)
+        run([exporter, trunc], expect=3)
         garbage = os.path.join(outdir, "garbage.bin")
         with open(garbage, "wb") as f:
             f.write(b"\x00" * 64)
-        run([exporter, garbage], expect=1)
-        run([exporter, os.path.join(outdir, "missing.bin")], expect=1)
+        run([exporter, garbage], expect=3)
+        run([exporter, os.path.join(outdir, "missing.bin")], expect=2)
+        run([exporter], expect=1)
 
     print("export round trip OK")
     return 0

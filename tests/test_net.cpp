@@ -79,6 +79,53 @@ TEST(Network, BiggerPayloadTakesLonger) {
   EXPECT_GT(big, small);
 }
 
+TEST(Network, RoundTripBillsEachDirectionToItsSourceNode) {
+  Network net(costs());
+  net.round_trip(0, 1, MsgCategory::kObjectData, 32, 4096);
+  // Request: node 0 sent 32 + header; reply: node 1 sent 4096 + header.
+  const auto idx = static_cast<std::size_t>(MsgCategory::kObjectData);
+  EXPECT_EQ(net.node_traffic(0).bytes[idx], 32u + kMessageHeaderBytes);
+  EXPECT_EQ(net.node_traffic(0).messages[idx], 1u);
+  EXPECT_EQ(net.node_traffic(1).bytes[idx], 4096u + kMessageHeaderBytes);
+  EXPECT_EQ(net.node_traffic(1).messages[idx], 1u);
+  // Each node's send_ns matches what a lone send of its direction costs.
+  Network solo(costs());
+  const SimTime req = solo.send({0, 1, MsgCategory::kObjectData, 32, false});
+  const SimTime rep = solo.send({1, 0, MsgCategory::kObjectData, 4096, false});
+  EXPECT_EQ(net.node_traffic(0).send_ns[idx], static_cast<std::uint64_t>(req));
+  EXPECT_EQ(net.node_traffic(1).send_ns[idx], static_cast<std::uint64_t>(rep));
+}
+
+TEST(Network, FaultFreeTransportCountsNoDropsOrRetries) {
+  Network net(costs());
+  const SendOutcome one = net.try_send({0, 1, MsgCategory::kOal, 100, false});
+  EXPECT_TRUE(one.delivered);
+  EXPECT_EQ(one.attempts, 1u);
+  const SendOutcome rel = net.send_reliable({0, 1, MsgCategory::kOal, 100, false});
+  EXPECT_TRUE(rel.delivered);
+  EXPECT_EQ(rel.attempts, 1u);
+  bool ok = false;
+  net.round_trip(0, 1, MsgCategory::kControl, 8, 8, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(net.stats().total_dropped(), 0u);
+  EXPECT_EQ(net.stats().total_retries(), 0u);
+  EXPECT_EQ(net.stats().total_backoff_ns(), 0u);
+  EXPECT_EQ(net.node_traffic(0).dropped[static_cast<std::size_t>(MsgCategory::kOal)], 0u);
+  EXPECT_EQ(net.node_traffic(0).retries[static_cast<std::size_t>(MsgCategory::kOal)], 0u);
+}
+
+TEST(Network, NodeCountersSumToClusterCounters) {
+  Network net(costs());
+  net.send({0, 1, MsgCategory::kOal, 100, false});
+  net.send({1, 0, MsgCategory::kOal, 200, false});
+  net.send({2, 0, MsgCategory::kControl, 50, false});
+  const auto oal = static_cast<std::size_t>(MsgCategory::kOal);
+  const auto ctl = static_cast<std::size_t>(MsgCategory::kControl);
+  EXPECT_EQ(net.node_traffic(0).bytes[oal] + net.node_traffic(1).bytes[oal],
+            net.stats().bytes[oal]);
+  EXPECT_EQ(net.node_traffic(2).bytes[ctl], net.stats().bytes[ctl]);
+}
+
 TEST(MsgCategory, Names) {
   EXPECT_STREQ(to_string(MsgCategory::kObjectData), "object-data");
   EXPECT_STREQ(to_string(MsgCategory::kOal), "oal");

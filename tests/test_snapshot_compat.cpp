@@ -1,13 +1,18 @@
-// Snapshot format compatibility: v1 through v4 fixtures (hand-built from
-// their documented layouts) still load into a v5 reader, new snapshots are
-// written as v5 with the influence table and executed-migration history, and
-// a warm start resamples only what actually changed — no full resample storm.
+// Snapshot format compatibility: v1 through v5 fixtures (hand-built from
+// their documented layouts) still load into a v6 reader, new snapshots are
+// written as v6 with a CRC32 integrity footer, a warm start resamples only
+// what actually changed — no full resample storm — and the crash-recovery
+// helpers skip corrupt snapshots and tolerate a torn final timeline line.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "balance/balancer_feedback.hpp"
+#include "common/crc32.hpp"
 #include "governor/governor.hpp"
 #include "governor/snapshot.hpp"
 
@@ -130,6 +135,9 @@ class SnapshotCompatTest : public ::testing::Test {
     }
     put(std::uint64_t{2});  // tcm dimension
     for (int i = 0; i < 4; ++i) put(double{0.5});
+    if (spec.version >= kSnapshotVersionV6) {
+      put(crc32(bytes.data(), bytes.size()));  // integrity footer [v6]
+    }
     return bytes;
   }
 
@@ -460,6 +468,120 @@ TEST_F(SnapshotCompatTest, CorruptCopySummaryIsRejected) {
   SquareMatrix out;
   EXPECT_FALSE(decode_snapshot(bad, gov2, out));
   EXPECT_TRUE(decode_snapshot(bytes, gov2, out));
+}
+
+TEST_F(SnapshotCompatTest, V6RoundTripCarriesValidCrcFooter) {
+  Governor gov(plan);
+  SquareMatrix tcm(2);
+  tcm.at(0, 1) = 42.0;
+  const std::vector<std::uint8_t> bytes = encode_snapshot(gov, tcm);
+
+  // The footer is the CRC32 of every preceding byte.
+  ASSERT_GT(bytes.size(), 4u);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - 4, sizeof(stored));
+  EXPECT_EQ(stored, crc32(bytes.data(), bytes.size() - 4));
+
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  EXPECT_EQ(version, kSnapshotVersionV6);
+
+  Governor gov2(plan);
+  SquareMatrix out;
+  EXPECT_TRUE(decode_snapshot(bytes, gov2, out));
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 42.0);
+  SnapshotInfo info;
+  EXPECT_TRUE(parse_snapshot(bytes, info));
+  EXPECT_EQ(info.version, kSnapshotVersionV6);
+}
+
+TEST_F(SnapshotCompatTest, TruncatedOrBitFlippedV6IsRejected) {
+  Governor gov(plan);
+  SquareMatrix tcm(2);
+  const std::vector<std::uint8_t> bytes = encode_snapshot(gov, tcm);
+  SnapshotInfo info;
+
+  // Truncation anywhere (even mid-footer) fails the checksum or the size
+  // floor before any structural read.
+  for (const std::size_t keep : {bytes.size() - 1, bytes.size() - 4,
+                                 bytes.size() / 2, std::size_t{9}}) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + keep);
+    Governor g(plan);
+    SquareMatrix out;
+    EXPECT_FALSE(decode_snapshot(cut, g, out)) << "kept " << keep;
+    EXPECT_FALSE(parse_snapshot(cut, info)) << "kept " << keep;
+  }
+
+  // A single flipped bit anywhere in the payload fails the footer check —
+  // including in fields a structural parse would happily accept.
+  for (const std::size_t at : {std::size_t{12}, bytes.size() / 2, bytes.size() - 5}) {
+    std::vector<std::uint8_t> flipped = bytes;
+    flipped[at] ^= 0x01;
+    Governor g(plan);
+    SquareMatrix out;
+    EXPECT_FALSE(decode_snapshot(flipped, g, out)) << "flipped byte " << at;
+    EXPECT_FALSE(parse_snapshot(flipped, info)) << "flipped byte " << at;
+  }
+}
+
+TEST_F(SnapshotCompatTest, RecoverSnapshotSkipsCorruptCandidates) {
+  Governor gov(plan);
+  SquareMatrix tcm(2);
+  tcm.at(0, 1) = 7.0;
+  ASSERT_TRUE(save_snapshot("/tmp/djvm_recover_good.snap", gov, tcm));
+
+  // A corrupt "newest" snapshot: the good bytes with one bit flipped.
+  std::vector<std::uint8_t> bad = encode_snapshot(gov, tcm);
+  bad[bad.size() / 2] ^= 0x40;
+  {
+    std::ofstream f("/tmp/djvm_recover_bad.snap", std::ios::binary);
+    f.write(reinterpret_cast<const char*>(bad.data()),
+            static_cast<std::streamsize>(bad.size()));
+  }
+
+  // Recovery walks newest-first: the torn file is skipped, the older valid
+  // one loads, and the chosen index is reported.
+  Governor gov2(plan);
+  SquareMatrix out;
+  const auto picked = recover_snapshot(
+      {"/tmp/djvm_recover_missing.snap", "/tmp/djvm_recover_bad.snap",
+       "/tmp/djvm_recover_good.snap"},
+      gov2, out);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(*picked, 2u);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 7.0);
+
+  // No valid candidate at all: recovery reports failure, state untouched.
+  Governor gov3(plan);
+  SquareMatrix out3;
+  EXPECT_FALSE(recover_snapshot({"/tmp/djvm_recover_bad.snap"}, gov3, out3)
+                   .has_value());
+  std::remove("/tmp/djvm_recover_good.snap");
+  std::remove("/tmp/djvm_recover_bad.snap");
+}
+
+TEST_F(SnapshotCompatTest, RecoverTimelineDropsTornFinalLine) {
+  const std::string path = "/tmp/djvm_recover_timeline.jsonl";
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << "{\"epoch\":0}\n{\"epoch\":1}\n{\"epoch\":2,\"trunc";  // torn tail
+  }
+  bool torn = false;
+  std::vector<std::string> lines = recover_timeline(path, &torn);
+  EXPECT_TRUE(torn);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"epoch\":0}");
+  EXPECT_EQ(lines[1], "{\"epoch\":1}");
+
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << "{\"epoch\":0}\n{\"epoch\":1}\n";
+  }
+  torn = true;
+  lines = recover_timeline(path, &torn);
+  EXPECT_FALSE(torn);
+  EXPECT_EQ(lines.size(), 2u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,4 +1,4 @@
-// Offline snapshot converter: any v1-v5 governor snapshot -> pprof /
+// Offline snapshot converter: any v1-v6 governor snapshot -> pprof /
 // flamegraph-collapsed / JSON, without reconstructing the run.
 //
 //   djvm_export <snapshot.bin> [--pprof P] [--collapsed C] [--json J]
@@ -14,7 +14,10 @@
 //       then converts the snapshot with the live registry's class names.
 //       CI's exporter-smoke job drives this end to end.
 //
-// Exit status: 0 on success, 1 on usage/parse/IO failure.
+// Exit status (distinct codes so scripts can tell the failure classes
+// apart): 0 success, 1 bad CLI arguments, 2 unreadable input or failed
+// output write, 3 corrupt snapshot (bad structure or failed v6 checksum).
+// The reason always goes to stderr.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -33,6 +36,11 @@
 using namespace djvm;
 
 namespace {
+
+// Exit codes (see file header).
+constexpr int kExitUsage = 1;
+constexpr int kExitIo = 2;
+constexpr int kExitCorrupt = 3;
 
 bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
   std::ifstream f(path, std::ios::binary);
@@ -68,13 +76,14 @@ int convert(const std::string& input, const std::string& pprof_path,
   std::vector<std::uint8_t> bytes;
   if (!read_file(input, bytes)) {
     std::cerr << "djvm_export: cannot read " << input << "\n";
-    return 1;
+    return kExitIo;
   }
   SnapshotInfo info;
   if (!parse_snapshot(bytes, info)) {
     std::cerr << "djvm_export: " << input
-              << " is not a valid DJGV snapshot (corrupt or truncated)\n";
-    return 1;
+              << " is not a valid DJGV snapshot (corrupt, truncated, or "
+                 "failed its checksum)\n";
+    return kExitCorrupt;
   }
   std::cout << "parsed " << input << ": v" << info.version << ", "
             << info.classes.size() << " classes, TCM " << info.tcm.size()
@@ -86,7 +95,7 @@ int convert(const std::string& input, const std::string& pprof_path,
     const std::vector<std::uint8_t> pb = export_pprof(info, names, &stats);
     if (!write_file(pprof_path, pb.data(), pb.size())) {
       std::cerr << "djvm_export: cannot write " << pprof_path << "\n";
-      return 1;
+      return kExitIo;
     }
     std::cout << "wrote " << pprof_path << " (" << pb.size() << " bytes, "
               << stats.pair_samples << " pair + " << stats.class_samples
@@ -96,7 +105,7 @@ int convert(const std::string& input, const std::string& pprof_path,
     const std::string folded = export_collapsed(info, names);
     if (!write_file(collapsed_path, folded.data(), folded.size())) {
       std::cerr << "djvm_export: cannot write " << collapsed_path << "\n";
-      return 1;
+      return kExitIo;
     }
     std::cout << "wrote " << collapsed_path << "\n";
   }
@@ -104,7 +113,7 @@ int convert(const std::string& input, const std::string& pprof_path,
     const std::string json = export_snapshot_json(info, names);
     if (!write_file(json_path, json.data(), json.size())) {
       std::cerr << "djvm_export: cannot write " << json_path << "\n";
-      return 1;
+      return kExitIo;
     }
     std::cout << "wrote " << json_path << "\n";
   }
@@ -119,7 +128,7 @@ int demo(const std::string& outdir) {
   if (ec) {
     std::cerr << "djvm_export: cannot create " << outdir << ": " << ec.message()
               << "\n";
-    return 1;
+    return kExitIo;
   }
 
   constexpr std::uint32_t kNodes = 4;
@@ -190,7 +199,7 @@ int demo(const std::string& outdir) {
     if (!w->all_ok()) {
       std::cerr << "djvm_export: snapshot/timeline writes failed under "
                 << outdir << "\n";
-      return 1;
+      return kExitIo;
     }
   }
   std::cout << "demo run complete: " << cfg.export_.snapshot_path << ", "
@@ -210,7 +219,7 @@ int usage() {
       << "usage: djvm_export <snapshot.bin> [--pprof P] [--collapsed C]\n"
          "                   [--json J] [--names a,b,c]\n"
          "       djvm_export demo <outdir>\n";
-  return 1;
+  return kExitUsage;
 }
 
 }  // namespace
