@@ -20,6 +20,9 @@ int main() {
   cfg.threads = 3;
   cfg.oal_transfer = OalTransfer::kLocalOnly;
   Djvm djvm(cfg);
+  // Observational record tap: the naive-replay column below rewrites the
+  // logged entries, which needs materialized records alongside the fold.
+  djvm.gos().set_record_tap(true);
   djvm.spawn_threads_round_robin(cfg.threads);
 
   auto& reg = djvm.registry();
@@ -42,13 +45,13 @@ int main() {
 
   // Amortized (the paper's scheme): entry bytes = sampled elements x size,
   // HT-weighted back to the true array sizes.
-  const SquareMatrix amortized = djvm.daemon().build_full(/*weighted=*/true);
+  const SquareMatrix amortized = djvm.daemon().build_full();
 
   // Naive whole-array logging: replay the same records but substitute each
   // array's FULL size as the logged bytes, unweighted (what a scheme without
   // amortization would accrue).
   std::vector<IntervalRecord> naive_records;
-  for (const IntervalRecord& r : djvm.daemon().history()) {
+  for (const IntervalRecord& r : djvm.gos().drain_records()) {
     IntervalRecord n = r;
     for (OalEntry& e : n.entries) {
       e.bytes = djvm.heap().meta(e.obj).size_bytes;

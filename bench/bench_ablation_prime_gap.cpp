@@ -49,7 +49,7 @@ SquareMatrix run_cyclic_tcm(std::uint32_t gap_override, bool use_prime) {
 
   w.run(djvm);
   djvm.pump_daemon();
-  return djvm.daemon().build_full(/*weighted=*/true);
+  return djvm.daemon().build_full();
 }
 
 SquareMatrix run_cyclic_ground_truth() {
@@ -69,7 +69,7 @@ SquareMatrix run_cyclic_ground_truth() {
   w.build(djvm);
   w.run(djvm);
   djvm.pump_daemon();
-  return djvm.daemon().build_full(/*weighted=*/true);
+  return djvm.daemon().build_full();
 }
 
 }  // namespace

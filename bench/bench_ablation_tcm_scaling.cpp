@@ -77,7 +77,7 @@ int main() {
     RunOutput out = run_once(cfg, barnes_hut_spec(2048, 2).make);
     out.djvm->pump_daemon();
     const auto t0 = std::chrono::steady_clock::now();
-    out.djvm->daemon().build_full(/*weighted=*/true);
+    out.djvm->daemon().build_full();
     const double dt =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     ts.add_row({rate == 0 ? "Full" : std::to_string(rate) + "X",

@@ -44,7 +44,7 @@ int main() {
   cfg.oal_transfer = OalTransfer::kLocalOnly;
   RunOutput prof = run_once(cfg, barnes_hut_spec(2048, 3).make);
   prof.djvm->pump_daemon();
-  const SquareMatrix tcm = prof.djvm->daemon().build_full(/*weighted=*/true);
+  const SquareMatrix tcm = prof.djvm->daemon().build_full();
 
   // Phase 2: placements.
   const Placement rr = round_robin_placement(cfg.threads, cfg.nodes);

@@ -33,12 +33,16 @@ int main() {
   cfg.nodes = 8;
   cfg.threads = 32;
   cfg.oal_transfer = OalTransfer::kLocalOnly;
-  RunOutput out = run_once(cfg, barnes_hut_spec(4096, 3).make);
+  RunOutput out;
+  out.djvm = std::make_unique<Djvm>(cfg);
+  // Observational record tap: the reduction pipeline consumes materialized
+  // IntervalRecords, which the arena ingest path no longer produces.
+  out.djvm->gos().set_record_tap(true);
+  out.djvm->spawn_threads_round_robin(cfg.threads);
+  out.workload = barnes_hut_spec(4096, 3).make();
+  out.metrics = execute_workload(*out.djvm, *out.workload);
   out.djvm->pump_daemon();
-  const auto& records = [&]() -> const std::vector<IntervalRecord>& {
-    out.djvm->daemon().build_full();  // folds pending into history
-    return out.djvm->daemon().history();
-  }();
+  const std::vector<IntervalRecord> records = out.djvm->gos().drain_records();
 
   std::uint64_t raw_oal_bytes = 0;
   std::size_t entries = 0;

@@ -14,15 +14,15 @@
 //                transient stalls, and a timed kill of node 2 mid-run:
 //                the TCM restricted to surviving threads must stay within
 //                a fixed band of clean (the killed node's un-shipped
-//                records die with it on the legacy submit path these
-//                columns use), and the post-kill fault spike must decay
-//                back to the steady state within the epoch bound;
+//                arena slices die with it — the daemon's node filter
+//                drops them at ingest), and the post-kill fault spike
+//                must decay back to the steady state within the epoch
+//                bound; the survivors' `entries_published ==
+//                entries_drained` ring invariant is checked on this same
+//                run (ingest is the only delivery path now);
 //   faulty×2   — the identical faulty config re-run: the schedule hash,
 //                wall-clock, and full map must match bit for bit (a
 //                failure found in CI replays locally from the seed);
-//   ring       — the faulty plan once more with the lock-free ingest path
-//                on: the survivors' `entries_published == entries_drained`
-//                ring invariant must hold through the kill;
 //   partition  — a two-epoch partition window across the node cut instead
 //                of a kill: cross-cut sends drop and retry, the run
 //                completes, and the map still lands inside the band.
@@ -115,17 +115,16 @@ struct Outcome {
   std::vector<std::uint64_t> fault_delta; // per-epoch object faults
 };
 
-/// The accuracy columns run the legacy submit path (ingest off): a dead
-/// node's un-shipped interval records die with it there, so the kill costs
-/// real map mass and the survivor band measures something.  The ring column
-/// re-runs the faulty plan with the lock-free ingest path on, where the
-/// published/drained invariant is the acceptance.
-Outcome run(Mode mode, bool ingest = false) {
+/// Every column rides the arena ingest path (the only delivery path): a
+/// dead node's un-shipped slices die with it at the daemon's node filter,
+/// so the kill costs real map mass and the survivor band measures
+/// something, while the published/drained ring invariant holds on the very
+/// same run — drained counts slices the consumer saw, filtered or not.
+Outcome run(Mode mode) {
   Config cfg;
   cfg.nodes = kNodes;
   cfg.threads = kThreads;
   cfg.oal_transfer = OalTransfer::kSend;
-  cfg.ingest.enabled = ingest;
   cfg.faults = plan_for(mode);
 
   Djvm djvm(cfg);
@@ -180,7 +179,7 @@ Outcome run(Mode mode, bool ingest = false) {
   }
 
   djvm.pump_daemon();
-  out.map = djvm.daemon().build_full(/*weighted=*/true);
+  out.map = djvm.daemon().build_full();
   for (ThreadId t = 0; t < kThreads; ++t) {
     out.wall = std::max(out.wall, djvm.gos().clock(t).now());
   }
@@ -260,7 +259,6 @@ int main() {
   const Outcome quiet = run(Mode::kQuiet);
   const Outcome faulty = run(Mode::kFaulty);
   const Outcome replay = run(Mode::kFaulty);
-  const Outcome ring = run(Mode::kFaulty, /*ingest=*/true);
   Outcome part;
   if (!skip_partition) part = run(Mode::kPartition);
 
@@ -270,7 +268,7 @@ int main() {
   const double part_err =
       skip_partition ? 0.0 : absolute_error(part.map, clean.map);
   const std::uint32_t recovery = recovery_epochs(faulty);
-  const std::uint64_t ring_lost = ring.ring_published - ring.ring_drained;
+  const std::uint64_t ring_lost = faulty.ring_published - faulty.ring_drained;
   const double fault_tax =
       clean.wall > 0
           ? static_cast<double>(faulty.wall) / static_cast<double>(clean.wall)
@@ -291,7 +289,6 @@ int main() {
   row("Armed, zero plan", quiet, absolute_error(quiet.map, clean.map));
   row("Faulty + kill", faulty, full_err);
   row("Faulty replay", replay, absolute_error(replay.map, clean.map));
-  row("Faulty + ring ingest", ring, 0.0);
   if (!skip_partition) row("Partition window", part, part_err);
   t.print(std::cout);
 
@@ -341,7 +338,7 @@ int main() {
   report.check(
       "survivor ring invariant holds under drops + kill (published == "
       "drained, entries flowed)",
-      ring_lost == 0 && ring.ring_published > 0,
+      ring_lost == 0 && faulty.ring_published > 0,
       static_cast<double>(ring_lost), 0.0, "<=");
   report.check("surviving-thread map accuracy stays within the fixed band "
                "of the fault-free run",

@@ -61,7 +61,7 @@ int main() {
   execute_workload(djvm, w);
   djvm.pump_daemon();
 
-  const SquareMatrix inherent = djvm.daemon().build_full(/*weighted=*/true);
+  const SquareMatrix inherent = djvm.daemon().build_full();
   const SquareMatrix induced = pages.build_tcm();
 
   print_heatmap(std::cout, inherent, "(a) Inherent pattern — object-grain TCM");

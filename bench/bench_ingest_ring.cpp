@@ -20,9 +20,11 @@
 // come out the consumer end, counted — the ring path has no drop branch,
 // and backpressure shows up in the counters instead of in missing entries.
 //
-// A separate correctness phase drives the same interval stream through
-// CorrelationDaemon::submit() and through IngestHub + daemon.ingest() and
-// requires identical full-run maps (<= 1e-9).
+// A separate correctness phase drives the same interval stream through two
+// hubs at opposite arena geometries — roomy arenas that never split vs tiny
+// ones that split constantly under shallow-ring backpressure — and requires
+// identical full-run maps (<= 1e-9): the transport chunking must be
+// invisible to the fold.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -77,7 +79,8 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Legacy transport: materialize a record per interval, lock, push.
+/// Legacy transport (kept as the bench baseline after submit()'s
+/// retirement): materialize a record per interval, lock, push.
 double run_legacy(const Shape& shape, std::uint64_t& entries_out) {
   std::mutex mu;
   std::vector<IntervalRecord> shared;
@@ -208,7 +211,7 @@ PointResult run_point(const Shape& shape) {
   return out;
 }
 
-/// Correctness: the same stream through submit() and through the hub must
+/// Correctness: the same stream through opposite arena geometries must
 /// yield the same full-run map.
 double map_error() {
   KlassRegistry reg;
@@ -217,13 +220,16 @@ double map_error() {
   const ClassId klass = reg.register_class("X", 64);
 
   constexpr std::uint32_t kThreads = 8;
-  CorrelationDaemon via_submit(plan, kThreads);
-  CorrelationDaemon via_ring(plan, kThreads);
-  IngestConfig cfg;
-  cfg.arena_entries = 64;  // force splits and many arenas
-  cfg.ring_depth = 2;
-  IngestHub hub(cfg);
-  hub.ensure_lanes(kThreads);
+  CorrelationDaemon via_roomy(plan, kThreads);
+  CorrelationDaemon via_splitty(plan, kThreads);
+  IngestConfig roomy;  // default 4096-entry arenas: no interval ever splits
+  IngestConfig splitty;
+  splitty.arena_entries = 64;  // force splits and many arenas
+  splitty.ring_depth = 2;
+  IngestHub roomy_hub(roomy);
+  IngestHub splitty_hub(splitty);
+  roomy_hub.ensure_lanes(kThreads);
+  splitty_hub.ensure_lanes(kThreads);
 
   for (std::uint64_t epoch = 0; epoch < 4; ++epoch) {
     std::vector<IntervalRecord> batch;
@@ -241,15 +247,17 @@ double map_error() {
       }
     }
     for (const IntervalRecord& r : batch) {
-      hub.append(r.thread, r.thread, r.interval, r.node, r.start_pc, r.end_pc,
-                 r.entries);
+      roomy_hub.append(r.thread, r.thread, r.interval, r.node, r.start_pc,
+                       r.end_pc, r.entries);
+      splitty_hub.append(r.thread, r.thread, r.interval, r.node, r.start_pc,
+                         r.end_pc, r.entries);
     }
-    via_ring.ingest(hub);
-    via_submit.submit(std::move(batch));
-    via_ring.run_epoch();
-    via_submit.run_epoch();
+    via_roomy.ingest(roomy_hub);
+    via_splitty.ingest(splitty_hub);
+    via_roomy.run_epoch();
+    via_splitty.run_epoch();
   }
-  return absolute_error(via_ring.build_full(true), via_submit.build_full(true));
+  return absolute_error(via_splitty.build_full(), via_roomy.build_full());
 }
 
 }  // namespace
@@ -298,7 +306,7 @@ int main() {
   report.check("no path loses entries (published == drained, counts exact)",
                lost_total == 0 && counts_ok, static_cast<double>(lost_total),
                0.0, "==");
-  report.check("submit() and ingest() full-run maps agree within 1e-9",
+  report.check("full-run maps agree across arena geometries within 1e-9",
                err <= 1e-9, err, 1e-9, "<=");
   return report.finish();
 }

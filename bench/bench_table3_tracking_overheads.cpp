@@ -73,7 +73,7 @@ int main() {
       c.oal_share = gos_bytes_kb > 0 ? c.oal_kb / gos_bytes_kb : 0.0;
       // O3: central TCM construction time over the whole run's records.
       out.djvm->pump_daemon();
-      out.djvm->daemon().build_full(/*weighted=*/true);
+      out.djvm->daemon().build_full();
       c.tcm_ms = out.djvm->daemon().total_build_seconds() * 1e3;
     }
 

@@ -127,7 +127,7 @@ inline SquareMatrix run_tcm(Config cfg, const WorkloadFactory& make) {
                          : cfg.oal_transfer;
   RunOutput out = run_once(cfg, make);
   out.djvm->pump_daemon();
-  return out.djvm->daemon().build_full(/*weighted=*/true);
+  return out.djvm->daemon().build_full();
 }
 
 /// True when rate `rate_x` degenerates to (effectively) full sampling for

@@ -1,0 +1,142 @@
+#include "apps/request_serving.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace djvm {
+
+namespace {
+constexpr MethodId kMethodServe = 40;
+constexpr MethodId kMethodSession = 41;
+}  // namespace
+
+WorkloadInfo RequestServingApp::info() const {
+  return WorkloadInfo{
+      .name = "RequestServing",
+      .dataset = std::to_string(p_.request_classes) + " classes / " +
+                 std::to_string(p_.hot_objects) + " hot objects",
+      .rounds = p_.epochs,
+      .granularity = "Fine",
+      .object_size_desc = std::to_string(p_.object_size) + " bytes each",
+  };
+}
+
+std::uint32_t RequestServingApp::sample_rank(double u) const {
+  // Binary search the precomputed Zipf CDF; ranks are dense and small.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = static_cast<std::uint32_t>(zipf_cdf_.size()) - 1;
+  while (lo < hi) {
+    const std::uint32_t mid = (lo + hi) / 2;
+    if (u < zipf_cdf_[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+void RequestServingApp::build(Djvm& djvm) {
+  assert(p_.request_classes > 0 && p_.hot_objects >= p_.request_classes);
+  auto& reg = djvm.registry();
+  hot_class_ = reg.find("ReqHotState").value_or(kInvalidClass);
+  if (hot_class_ == kInvalidClass) {
+    hot_class_ = reg.register_class("ReqHotState", p_.object_size, 0);
+  }
+  scratch_class_ = reg.find("ReqSession").value_or(kInvalidClass);
+  if (scratch_class_ == kInvalidClass) {
+    scratch_class_ = reg.register_class("ReqSession", p_.object_size, 0);
+  }
+
+  const std::uint32_t threads = djvm.thread_count();
+  assert(threads > 0);
+
+  // Hot state: class k's slice is homed round-robin so every node serves a
+  // share of every request class (the co-location the balancer can improve).
+  hot_pool_.reserve(p_.hot_objects);
+  for (std::uint32_t i = 0; i < p_.hot_objects; ++i) {
+    const NodeId home =
+        djvm.gos().thread_node(static_cast<ThreadId>(i % threads));
+    hot_pool_.push_back(djvm.gos().alloc(hot_class_, home));
+  }
+  // Session scratch: a small recycled pool per thread (sessions are too
+  // short-lived to allocate fresh objects per arrival; a server reuses its
+  // arena the same way).
+  scratch_.assign(threads, {});
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const NodeId home = djvm.gos().thread_node(static_cast<ThreadId>(t));
+    for (std::uint32_t i = 0; i < p_.scratch_per_thread; ++i) {
+      scratch_[t].push_back(djvm.gos().alloc(scratch_class_, home));
+    }
+  }
+
+  // Zipf CDF over popularity ranks: P(rank r) ~ 1 / (r + 1)^s.
+  zipf_cdf_.assign(p_.request_classes, 0.0);
+  double mass = 0.0;
+  for (std::uint32_t r = 0; r < p_.request_classes; ++r) {
+    mass += 1.0 / std::pow(static_cast<double>(r + 1), p_.zipf_s);
+    zipf_cdf_[r] = mass;
+  }
+  for (double& c : zipf_cdf_) c /= mass;
+}
+
+void RequestServingApp::serve_epoch(Djvm& djvm) {
+  const std::uint32_t threads = djvm.thread_count();
+  Gos& gos = djvm.gos();
+  const std::uint32_t slice =
+      std::max(1u, p_.hot_objects / p_.request_classes);
+  // The diurnal schedule rotates which *actual* class each popularity rank
+  // maps to: rank r serves class (r + phase) mod classes, so every
+  // phase_period epochs the hot slice of the pool shifts wholesale.
+  const std::uint32_t rotation = phase() % p_.request_classes;
+  for (ThreadId t = 0; t < threads; ++t) gos.set_phase(t, epoch_);
+
+  for (std::uint32_t i = 0; i < p_.sessions_per_epoch; ++i) {
+    const auto t = static_cast<ThreadId>(i % threads);
+    // Per-session stream: seeded by global session ordinal, not by epoch
+    // wall state, so the arrival sequence is reproducible across hosts.
+    SplitMix64 rng(p_.seed ^ (sessions_ * 0x9E3779B97F4A7C15ULL + 1));
+    const std::uint32_t rank = sample_rank(rng.next_double());
+    const std::uint32_t klass = (rank + rotation) % p_.request_classes;
+    const std::uint32_t base = klass * slice;
+
+    FrameGuard serve(djvm.stack(t), kMethodServe, 1);
+    FrameGuard session(djvm.stack(t), kMethodSession, 2);
+    const std::vector<ObjectId>& scratch = scratch_[t];
+    session.set_ref(0, scratch[static_cast<std::size_t>(
+                           rng.next_below(scratch.size()))]);
+    for (std::uint32_t op = 0; op < p_.session_ops; ++op) {
+      const ObjectId obj =
+          hot_pool_[base + static_cast<std::uint32_t>(
+                               rng.next_below(slice))];
+      session.set_ref(1, obj);
+      // Server mix: mostly reads of hot state, occasional writes (session
+      // commits), plus a scratch touch every few ops.
+      if ((op & 7u) == 7u) {
+        gos.write(t, obj);
+      } else {
+        gos.read(t, obj);
+      }
+      if ((op & 3u) == 3u) {
+        const ObjectId sc = scratch[static_cast<std::size_t>(
+            rng.next_below(scratch.size()))];
+        gos.write(t, sc);
+      }
+      checksum_ += static_cast<double>(rng.next() & 0xFF);
+      gos.clock(t).advance(20 * djvm.config().costs.compute_per_flop);
+    }
+    ++sessions_;
+  }
+  // One serving epoch per governor epoch: the barrier is the sync point
+  // where every thread's pending OAL ships.
+  gos.barrier_all();
+  ++epoch_;
+}
+
+void RequestServingApp::run(Djvm& djvm) {
+  for (std::uint32_t e = 0; e < p_.epochs; ++e) serve_epoch(djvm);
+}
+
+}  // namespace djvm

@@ -1,0 +1,84 @@
+// Request-serving workload: the multi-tenant host's application shape.
+//
+// Unlike the BSP SPLASH-2 ports, this models a server JVM: thousands of
+// short-lived sessions arrive, each picks a *request class* from a
+// Zipf-skewed popularity distribution, touches that class's slice of a
+// shared hot-state pool plus a few session-scratch objects, and retires.
+// The popularity ranking rotates on a seeded *diurnal schedule* — every
+// `phase_period` epochs the hot request classes shift, which is exactly the
+// phase change a profiling governor's sentinel must catch and a cluster
+// arbiter must re-budget around (a tenant whose traffic wakes up stops
+// lending and reclaims its fair share).
+//
+// Deterministic: all arrival and access randomness comes from SplitMix64
+// streams seeded from the params, so two runs (or two transport configs)
+// serve byte-identical access sequences.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace djvm {
+
+struct RequestServingParams {
+  std::uint32_t request_classes = 8;  ///< distinct request types (Zipf-ranked)
+  double zipf_s = 1.1;                ///< Zipf exponent (higher = more skew)
+  std::uint32_t hot_objects = 2048;   ///< shared hot-state pool, split per class
+  std::uint32_t object_size = 64;
+  std::uint32_t scratch_per_thread = 8;   ///< recycled session-scratch objects
+  std::uint32_t session_ops = 32;         ///< hot-state accesses per session
+  std::uint32_t sessions_per_epoch = 512; ///< across all threads, per epoch
+  std::uint32_t epochs = 8;               ///< rounds served by run()
+  std::uint32_t phase_period = 16;        ///< epochs between diurnal shifts
+  std::uint64_t seed = 42;
+};
+
+class RequestServingApp final : public Workload {
+ public:
+  explicit RequestServingApp(RequestServingParams p = {}) : p_(p) {}
+
+  [[nodiscard]] WorkloadInfo info() const override;
+  void build(Djvm& djvm) override;
+  /// Serves run-phase epochs back to back (hosts that pump the governor per
+  /// epoch call serve_epoch directly instead).
+  void run(Djvm& djvm) override;
+  [[nodiscard]] double checksum() const override { return checksum_; }
+
+  /// Serves one epoch's worth of sessions, round-robin across the spawned
+  /// threads, and closes it with a cluster barrier (the epoch's sync point —
+  /// pending OALs ship there).  Advances the diurnal schedule.
+  void serve_epoch(Djvm& djvm);
+
+  /// Epochs served so far.
+  [[nodiscard]] std::uint32_t epochs_served() const noexcept { return epoch_; }
+  /// Current diurnal phase (rotation applied to the popularity ranking).
+  [[nodiscard]] std::uint32_t phase() const noexcept {
+    return p_.phase_period == 0 ? 0 : epoch_ / p_.phase_period;
+  }
+  /// Sessions retired so far.
+  [[nodiscard]] std::uint64_t sessions_served() const noexcept {
+    return sessions_;
+  }
+  /// The request class the diurnal schedule currently ranks hottest.
+  [[nodiscard]] std::uint32_t hottest_class() const noexcept {
+    return phase() % p_.request_classes;
+  }
+
+ private:
+  /// Zipf-sample a popularity rank from `u` in [0, 1).
+  [[nodiscard]] std::uint32_t sample_rank(double u) const;
+
+  RequestServingParams p_;
+  ClassId hot_class_ = kInvalidClass;
+  ClassId scratch_class_ = kInvalidClass;
+  std::vector<ObjectId> hot_pool_;                 ///< class k owns its slice
+  std::vector<std::vector<ObjectId>> scratch_;     ///< per thread, recycled
+  std::vector<double> zipf_cdf_;                   ///< by popularity rank
+  std::uint32_t epoch_ = 0;
+  std::uint64_t sessions_ = 0;
+  double checksum_ = 0.0;
+};
+
+}  // namespace djvm

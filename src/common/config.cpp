@@ -35,8 +35,12 @@ std::string Config::summary() const {
       }
     }
   }
-  if (ingest.enabled) {
-    os << " ingest=arena" << ingest.arena_entries << "x" << ingest.ring_depth;
+  os << " ingest=arena" << ingest.arena_entries << "x" << ingest.ring_depth;
+  if (tenant.id != 0 || !tenant.name.empty()) {
+    os << " tenant=" << (tenant.name.empty()
+                             ? "tenant-" + std::to_string(tenant.id)
+                             : tenant.name)
+       << "/tier" << tenant.tier;
   }
   if (balance.max_migrations_per_epoch > 0) {
     os << " balance=" << balance.max_migrations_per_epoch << "/epoch";

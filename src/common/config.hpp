@@ -182,14 +182,52 @@ struct FaultKnobs {
 };
 
 /// Lock-free OAL ingest knobs (Config::ingest; see profiling/ingest.hpp).
+/// The arena transport is the only ingest path now — the legacy `enabled`
+/// toggle (and the record-vector submit() hand-off it selected) retired with
+/// CorrelationDaemon::submit().
 struct IngestKnobs {
-  /// Route interval OALs through per-thread arenas and SPSC rings into the
-  /// daemon instead of the legacy record-vector submit() path.
-  bool enabled = false;
   /// Entries per log arena.
   std::uint32_t arena_entries = 4096;
   /// Arenas per ring (rounded up to a power of two).
   std::uint32_t ring_depth = 8;
+};
+
+/// Tenant identity knobs (Config::tenant): how this Djvm instance presents
+/// itself to a cluster-level budget arbiter.  Defaults describe a standalone
+/// single-tenant run; the ClusterCoordinator fills them in per tenant.
+struct TenantKnobs {
+  /// Tenant identifier; 0 for standalone runs.
+  TenantId id = 0;
+  /// Human-readable name for timelines and logs (empty = "tenant-<id>").
+  std::string name;
+  /// Priority tier for budget arbitration: lower tiers borrow first and are
+  /// reclaimed from last (0 = most important).
+  std::uint32_t tier = 0;
+  /// Fair-share weight within the arbiter's global budget (relative to the
+  /// other registered tenants' weights).
+  double weight = 1.0;
+};
+
+/// Cluster budget-arbitration knobs (ArbiterKnobs; see governor/arbiter.hpp).
+/// Not nested in Config — one arbiter spans many tenant Configs.
+struct ArbiterKnobs {
+  /// Global overhead ceiling across all tenants, as a fraction of cluster
+  /// application time (the sum of per-tenant grants never exceeds this).
+  double global_budget = 0.02;
+  /// Guaranteed floor as a fraction of a tenant's fair share: even a maximal
+  /// borrower cannot push a tenant below floor_share * fair.  Prevents
+  /// priority-tier starvation.
+  double floor_share = 0.25;
+  /// Cap on any tenant's grant as a multiple of its fair share (bounds how
+  /// much one hot tenant can absorb from the lending pool).
+  double max_boost = 4.0;
+  /// A tenant lends budget when its rolling overhead uses less than this
+  /// fraction of its fair share; at or above the same line it qualifies as
+  /// hot and may borrow from the pool.
+  double lend_threshold = 0.60;
+  /// Fraction of a lender's idle headroom actually offered to the pool per
+  /// epoch (the rest is kept as slack so a waking tenant reclaims smoothly).
+  double lend_ratio = 0.75;
 };
 
 /// The configuration state; Config derives from this.  Everything in the
@@ -233,6 +271,9 @@ struct ConfigData {
 
   // --- OAL ingest path -----------------------------------------------------
   IngestKnobs ingest{};
+
+  // --- multi-tenant identity -----------------------------------------------
+  TenantKnobs tenant{};
 
   // --- fault injection / reliable transport --------------------------------
   FaultKnobs faults{};

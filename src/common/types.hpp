@@ -34,11 +34,17 @@ using LockId = std::uint32_t;
 /// frames can be distinguished from fresh frames at the same depth).
 using FrameId = std::uint64_t;
 
+/// Identifier of a tenant: one governed workload sharing the cluster with
+/// others under the budget arbiter (see governor/arbiter.hpp).  Single-tenant
+/// runs use tenant 0 throughout.
+using TenantId = std::uint32_t;
+
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 inline constexpr ThreadId kInvalidThread = std::numeric_limits<ThreadId>::max();
 inline constexpr ClassId kInvalidClass = std::numeric_limits<ClassId>::max();
 inline constexpr ObjectId kInvalidObject = std::numeric_limits<ObjectId>::max();
 inline constexpr FrameId kInvalidFrame = std::numeric_limits<FrameId>::max();
+inline constexpr TenantId kInvalidTenant = std::numeric_limits<TenantId>::max();
 
 /// Size of a virtual-memory page; the paper expresses sampling rates as
 /// "nX" = n sampled objects per page of this size.

@@ -32,7 +32,7 @@ Djvm::Djvm(Config cfg)
       daemon_(plan_, cfg.threads),
       migration_(*gos_) {
   gos_->set_hooks(this);
-  if (cfg_.ingest.enabled) {
+  {
     IngestConfig icfg;
     icfg.arena_entries = cfg_.ingest.arena_entries;
     icfg.ring_depth = cfg_.ingest.ring_depth;
@@ -106,23 +106,19 @@ void Djvm::apply_profiling_config() {
 }
 
 void Djvm::pump_daemon() {
-  if (ingest_hub_) {
-    // The simulator's producers run on this thread, so the hub is quiesced
-    // by construction: the drain may collect open and parked arenas too.
-    daemon_.ingest(*ingest_hub_);
-  }
-  std::vector<IntervalRecord> records = gos_->drain_records();
-  if (fault_injector_ && !records.empty()) {
-    // A dead node's un-shipped interval records died with it: the epoch's
+  if (fault_injector_ && !node_filter_installed_) {
+    // A dead node's un-shipped interval slices died with it: the epoch's
     // map is then incomplete (missing that node's contribution), not wrong.
-    std::erase_if(records, [&](const IntervalRecord& r) {
-      return fault_injector_->node_dead(r.node);
-    });
+    daemon_.set_node_filter(
+        [this](NodeId n) { return !fault_injector_->node_dead(n); });
+    node_filter_installed_ = true;
   }
-  if (!records.empty()) daemon_.submit(std::move(records));
+  // The simulator's producers run on this thread, so the hub is quiesced
+  // by construction: the drain may collect open and parked arenas too.
+  daemon_.ingest(*ingest_hub_);
 }
 
-EpochResult Djvm::run_governed_epoch() {
+EpochResult Djvm::run_epoch(const EpochRequest& request) {
   if (fault_injector_) {
     // The fault schedule's epoch advances with the governor's: timed kills
     // fire here, stall/partition windows key off the new value.
@@ -187,13 +183,17 @@ EpochResult Djvm::run_governed_epoch() {
 
   OverheadSample s;
   s.measured = true;
+  s.tenant = cfg_.tenant.id;
   // Last epoch's balancer-feedback run (attribution consumer + migration
   // planner) and execution stage (sticky resolution, prefetch, home-move
   // bookkeeping) are coordinator work; the daemon adds this epoch's map
   // construction on top (OverheadSample::build_seconds is additive).  The
   // migration bucket is what lets the governor veto the next batch when
-  // executing migrations itself pushes the budget.
-  s.build_seconds = planner_carry_seconds_ + migration_carry_seconds_;
+  // executing migrations itself pushes the budget.  The request's billed
+  // coordinator share (a cluster arbiter's decision time) rides the same
+  // bucket.
+  s.build_seconds = planner_carry_seconds_ + migration_carry_seconds_ +
+                    request.coordinator_seconds;
   planner_carry_seconds_ = 0.0;
   migration_carry_seconds_ = 0.0;
   // Worker CPU the GOS charged to thread clocks for profiling this epoch:
@@ -369,20 +369,23 @@ EpochResult Djvm::run_governed_epoch() {
         result.migration_seconds;
   }
 
-  if (snapshot_writer_ && !cfg_.export_.snapshot_path.empty()) {
+  if (request.export_outputs && snapshot_writer_ &&
+      !cfg_.export_.snapshot_path.empty()) {
     // Every epoch snapshots for crash recovery; the encode runs here (state
     // is ours to read synchronously), the file write on the background
     // thread, and a still-queued older snapshot is simply replaced.
     snapshot_writer_->save_async(cfg_.export_.snapshot_path, daemon_.governor(),
                                  daemon_.latest());
   }
-  if (snapshot_writer_ && !cfg_.export_.timeline_path.empty()) {
+  if (request.export_outputs && snapshot_writer_ &&
+      !cfg_.export_.timeline_path.empty()) {
     // The line renders here (epoch state is ours to read synchronously);
     // the append happens on the background thread, batched under disk
     // pressure, never coalesced away.
     snapshot_writer_->append_async(
-        cfg_.export_.timeline_path, timeline_line(result, daemon_.governor(),
-                                          registry_, cfg_.export_.timeline_top_k));
+        cfg_.export_.timeline_path,
+        timeline_line(result, daemon_.governor(), registry_,
+                      cfg_.export_.timeline_top_k, cfg_.tenant.id));
   }
   return result;
 }

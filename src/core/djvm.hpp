@@ -42,6 +42,32 @@ using AccessObserver = std::function<void(ThreadId, ObjectId, bool /*write*/)>;
 /// Observer of interval closes.
 using IntervalObserver = std::function<void(ThreadId)>;
 
+/// One governed epoch's request — the parameter surface run_governed_epoch()
+/// had accreted implicitly, made explicit as a small builder.  The default
+/// request reproduces the legacy entry point exactly, so a quiet
+/// single-tenant run through the tenant API is bit-identical to the old one.
+struct EpochRequest {
+  /// Coordinator seconds spent outside the facade on this tenant's behalf
+  /// this epoch (e.g. the cluster arbiter's billed decision share); folded
+  /// into the sample's coordinator bucket exactly like the planner carry.
+  double coordinator_seconds = 0.0;
+  /// When false, skip this epoch's snapshot/timeline export even when the
+  /// Config enables it (a cluster coordinator exporting its own merged
+  /// arbitration view per epoch turns the per-tenant lines off).
+  bool export_outputs = true;
+
+  EpochRequest& bill_coordinator(double seconds) {
+    coordinator_seconds += seconds;
+    return *this;
+  }
+  EpochRequest& without_exports() {
+    export_outputs = false;
+    return *this;
+  }
+};
+
+class TenantContext;
+
 /// The whole distributed JVM.
 class Djvm final : public Gos::Hooks {
  public:
@@ -87,22 +113,24 @@ class Djvm final : public Gos::Hooks {
   /// stack sampling, footprinting) to the live system.
   void apply_profiling_config();
 
-  /// Drains pending OALs into the correlation daemon: published ingest
-  /// arenas when the lock-free ingest path is on (Config::ingest.enabled),
-  /// plus any legacy interval records the GOS still buffers.
+  /// Drains published ingest arenas into the correlation daemon.  With a
+  /// fault injector attached, a dead node's un-shipped slices are dropped at
+  /// ingest (they died with the node).
   void pump_daemon();
 
   /// The lock-free ingest hub routing interval OALs from worker threads to
-  /// the daemon (nullptr unless Config::ingest.enabled).
+  /// the daemon (always present: the arena transport is the only path).
   [[nodiscard]] IngestHub* ingest_hub() noexcept { return ingest_hub_.get(); }
 
-  /// The per-epoch governor pump: drains records, assembles the epoch's
-  /// overhead sample — cluster aggregate plus one per-node slice per worker
-  /// node, from per-node GOS counters, per-source network accounting, and
-  /// per-node thread-clock deltas since the previous pump — and runs one
-  /// daemon epoch under the governor.  Call once per epoch (e.g. after each
-  /// barrier round).  With Config::export_.snapshot_path set, the epoch's governor
-  /// state + TCM are handed to the async snapshot writer afterwards.
+  /// The per-epoch governor pump: drains the ingest lanes, assembles the
+  /// epoch's overhead sample — cluster aggregate plus one per-node slice per
+  /// worker node, from per-node GOS counters, per-source network accounting,
+  /// and per-node thread-clock deltas since the previous pump, stamped with
+  /// this Config's tenant id — and runs one daemon epoch under the governor.
+  /// Call once per epoch (e.g. after each barrier round).  With
+  /// Config::export_.snapshot_path set (and the request's exports on), the
+  /// epoch's governor state + TCM are handed to the async snapshot writer
+  /// afterwards.
   ///
   /// With Config::balance.max_migrations_per_epoch > 0 the pump closes the
   /// plan→execute→re-key→refeed loop: after the migration planner runs, the
@@ -112,7 +140,17 @@ class Djvm final : public Gos::Hooks {
   /// cooldown-filtered, and vetoed entirely while the governor is over its
   /// back-off band.  Deferred moves persist as the *intended* placement the
   /// next epoch's attribution and planning score.
-  EpochResult run_governed_epoch();
+  EpochResult run_epoch(const EpochRequest& request = {});
+
+  /// Deprecated legacy entry point, kept as a thin forwarding wrapper over
+  /// run_epoch() with the default request (identical behavior).  New code —
+  /// and anything multi-tenant — goes through TenantContext::run_epoch or
+  /// run_epoch(EpochRequest) directly.
+  EpochResult run_governed_epoch() { return run_epoch(); }
+
+  /// The tenant session handle bound to this VM (identity from
+  /// Config::tenant).  Cheap to construct; see TenantContext below.
+  [[nodiscard]] TenantContext tenant() noexcept;
 
   /// Live thread→node walk (the balancer's current co-location partition).
   [[nodiscard]] std::vector<NodeId> live_thread_nodes() const;
@@ -192,6 +230,10 @@ class Djvm final : public Gos::Hooks {
   MigrationEngine migration_;
   std::unique_ptr<SnapshotWriter> snapshot_writer_;
   std::unique_ptr<FaultInjector> fault_injector_;
+  /// True once pump_daemon wired the daemon's dead-node slice filter to the
+  /// fault injector (installed lazily: fail_node can create the injector
+  /// mid-run).
+  bool node_filter_installed_ = false;
 
   /// One admitted-but-deferred migration (per-epoch cap or governor veto):
   /// overrides the influence placement as the intended post-migration spot
@@ -250,5 +292,49 @@ class Djvm final : public Gos::Hooks {
     std::uint64_t backoff_ns = 0;
   } pump_snapshot_;
 };
+
+/// A tenant's session handle over one Djvm: the first-class surface a
+/// multi-tenant host programs against.  It names the tenant (identity comes
+/// from Config::tenant, stamped into every overhead sample and timeline
+/// line), runs governed epochs via EpochRequest, and carries the budget
+/// handshake with a cluster arbiter (adopt_lease / lease).  The handle is a
+/// non-owning view — copy it freely; the Djvm must outlive it.
+class TenantContext {
+ public:
+  explicit TenantContext(Djvm& vm) noexcept : vm_(&vm) {}
+
+  [[nodiscard]] TenantId id() const noexcept { return vm_->config().tenant.id; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return vm_->config().tenant.name;
+  }
+  [[nodiscard]] std::uint32_t tier() const noexcept {
+    return vm_->config().tenant.tier;
+  }
+  [[nodiscard]] double weight() const noexcept {
+    return vm_->config().tenant.weight;
+  }
+
+  [[nodiscard]] Djvm& vm() noexcept { return *vm_; }
+  [[nodiscard]] Governor& governor() noexcept { return vm_->governor(); }
+
+  /// Runs one governed epoch for this tenant (see Djvm::run_epoch).
+  EpochResult run_epoch(const EpochRequest& request = {}) {
+    return vm_->run_epoch(request);
+  }
+
+  /// Adopts an arbiter-granted budget lease: the governor's budget follows
+  /// the grant and the lease is carried into snapshots (v7 section).
+  void adopt_lease(const Governor::TenantLease& lease) {
+    vm_->governor().adopt_lease(lease);
+  }
+  [[nodiscard]] const std::optional<Governor::TenantLease>& lease() const noexcept {
+    return vm_->governor().lease();
+  }
+
+ private:
+  Djvm* vm_;
+};
+
+inline TenantContext Djvm::tenant() noexcept { return TenantContext(*this); }
 
 }  // namespace djvm

@@ -306,7 +306,19 @@ void Gos::close_interval(ThreadId t, NodeId sync_dest) {
     }
     if (ingest_ != nullptr) {
       // Lock-free hand-off: the OAL goes straight into this thread's lane
-      // arena (lane index == thread id), no IntervalRecord materialized.
+      // arena (lane index == thread id), no IntervalRecord materialized —
+      // unless the observational record tap is on, which ALSO materializes
+      // a record for offline consumers (never fed to the daemon).
+      if (record_tap_) {
+        IntervalRecord rec;
+        rec.thread = t;
+        rec.interval = ts.interval_id;
+        rec.node = ts.node;
+        rec.start_pc = ts.interval_start_pc;
+        rec.end_pc = ts.phase_pc;
+        rec.entries = ts.oal;
+        records_.push_back(std::move(rec));
+      }
       ingest_->append(t, t, ts.interval_id, ts.node, ts.interval_start_pc,
                       ts.phase_pc, ts.oal);
       ts.oal.clear();

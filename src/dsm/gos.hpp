@@ -159,6 +159,15 @@ class Gos : public CopySetView {
   void attach_ingest(IngestHub* hub);
   [[nodiscard]] IngestHub* ingest() const noexcept { return ingest_; }
 
+  /// Observational record tap: with a hub attached, each interval close
+  /// ALSO materializes an IntervalRecord into the drain_records() stream
+  /// (a copy of what went into the lane arena).  For offline consumers —
+  /// ablation benches, reducer comparisons — that need per-record views the
+  /// arena transport no longer materializes; the tapped records are never
+  /// fed to the daemon.  Off by default so nothing accumulates.
+  void set_record_tap(bool on) noexcept { record_tap_ = on; }
+  [[nodiscard]] bool record_tap() const noexcept { return record_tap_; }
+
   // --- profiling outputs -------------------------------------------------------
   /// Interval records delivered to the coordinator so far (moves them out).
   std::vector<IntervalRecord> drain_records();
@@ -273,6 +282,7 @@ class Gos : public CopySetView {
   OalTransfer tracking_ = OalTransfer::kDisabled;
   NodeId coordinator_ = 0;
   IngestHub* ingest_ = nullptr;
+  bool record_tap_ = false;
   Hooks* hooks_ = nullptr;
   bool observe_ = false;
   /// Mask inherited by freshly spawned threads (refresh_dispatch keeps the

@@ -34,10 +34,26 @@ void escape_into(std::string& out, std::string_view s) {
 
 }  // namespace
 
+namespace {
+void lease_into(std::string& out, const Governor::TenantLease& l) {
+  out += "{\"tenant\":" + std::to_string(l.tenant);
+  out += ",\"tier\":" + std::to_string(l.tier);
+  out += ",\"weight\":" + num(l.weight);
+  out += ",\"granted\":" + num(l.granted_budget);
+  out += ",\"fair_share\":" + num(l.fair_share);
+  out += ",\"floor\":" + num(l.floor);
+  out += ",\"borrowed_epochs\":" + std::to_string(l.borrowed_epochs);
+  out += ",\"lent_epochs\":" + std::to_string(l.lent_epochs);
+  out += '}';
+}
+}  // namespace
+
 std::string timeline_line(const EpochResult& epoch, const Governor& governor,
-                          const KlassRegistry& registry, std::size_t top_k) {
+                          const KlassRegistry& registry, std::size_t top_k,
+                          TenantId tenant) {
   std::string out = "{";
   out += "\"epoch\":" + std::to_string(epoch.epoch);
+  out += ",\"tenant\":" + std::to_string(tenant);
   out += ",\"state\":\"";
   out += to_string(governor.state());
   out += "\",\"action\":\"";
@@ -131,6 +147,14 @@ std::string timeline_line(const EpochResult& epoch, const Governor& governor,
   }
   out += ']';
 
+  // Budget lease, when a cluster arbiter governs this tenant.
+  out += ",\"lease\":";
+  if (governor.lease().has_value()) {
+    lease_into(out, *governor.lease());
+  } else {
+    out += "null";
+  }
+
   // Influence top-k: the classes whose correlation mass placement decisions
   // act on most, by the governor's decayed share.
   std::vector<std::pair<double, ClassId>> shares;
@@ -148,6 +172,25 @@ std::string timeline_line(const EpochResult& epoch, const Governor& governor,
     out += "{\"class\":\"";
     escape_into(out, registry.at(shares[i].second).name);
     out += "\",\"share\":" + num(shares[i].first) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string arbitration_line(const ArbitrationOutcome& round,
+                             double cluster_overhead) {
+  std::string out = "{";
+  out += "\"epoch\":" + std::to_string(round.epoch);
+  out += ",\"global_budget\":" + num(round.global_budget);
+  out += ",\"granted_total\":" + num(round.granted_total);
+  out += ",\"lenders\":" + std::to_string(round.lenders);
+  out += ",\"borrowers\":" + std::to_string(round.borrowers);
+  out += ",\"decision_seconds\":" + num(round.decision_seconds);
+  out += ",\"cluster_overhead\":" + num(cluster_overhead);
+  out += ",\"leases\":[";
+  for (std::size_t i = 0; i < round.leases.size(); ++i) {
+    if (i != 0) out += ',';
+    lease_into(out, round.leases[i]);
   }
   out += "]}\n";
   return out;

@@ -5,7 +5,7 @@
 // (jq, pandas, grafana-agent tailing) instead of state that died with the
 // process.  Schema (stable keys; consumers must ignore unknown keys):
 //
-//   {"epoch":N, "state":"sentinel", "action":"none",
+//   {"epoch":N, "tenant":T, "state":"sentinel", "action":"none",
 //    "overhead":0.018, "offender":2, "offender_overhead":0.031,
 //    "node_overhead":[...], "densify_seconds":..., "build_seconds":...,
 //    "intervals":N, "entries":N, "rel_distance":0.04|null,
@@ -19,11 +19,21 @@
 //    "migration_seconds":..., "migrations":[{"thread":T, "from":N, "to":N,
 //      "gain_bytes":B, "score":S, "sim_cost":NS, "prefetched_bytes":B,
 //      "homes_migrated":N, "executed":bool}, ...],
+//    "lease":null|{"tenant":T, "tier":N, "weight":W, "granted":G,
+//      "fair_share":F, "floor":F, "borrowed_epochs":N, "lent_epochs":N},
 //    "influence_top":[{"class":"name","share":0.4}, ...]}
+//
+// A multi-tenant cluster coordinator additionally appends one arbitration
+// line per round to its own JSONL log:
+//
+//   {"epoch":N, "global_budget":G, "granted_total":T, "lenders":N,
+//    "borrowers":N, "decision_seconds":S, "cluster_overhead":O,
+//    "leases":[{lease object as above}, ...]}
 #pragma once
 
 #include <string>
 
+#include "governor/arbiter.hpp"
 #include "profiling/correlation_daemon.hpp"
 #include "runtime/klass.hpp"
 
@@ -31,10 +41,18 @@ namespace djvm {
 
 /// Renders one epoch as a single JSON line (trailing '\n' included).
 /// `top_k` bounds the influence_top array; the registry supplies class
-/// names for it.
+/// names for it.  `tenant` stamps the line (0 for standalone runs — the
+/// pre-tenant schema plus one key; consumers ignore unknown keys).
 [[nodiscard]] std::string timeline_line(const EpochResult& epoch,
                                         const Governor& governor,
                                         const KlassRegistry& registry,
-                                        std::size_t top_k);
+                                        std::size_t top_k,
+                                        TenantId tenant = 0);
+
+/// Renders one arbitration round as a single JSON line (trailing '\n'
+/// included); `cluster_overhead` is the shared meter's aggregate rolling
+/// fraction after the round.
+[[nodiscard]] std::string arbitration_line(const ArbitrationOutcome& round,
+                                           double cluster_overhead);
 
 }  // namespace djvm

@@ -267,6 +267,41 @@ class Governor {
   /// Disarmed and legacy governors never veto.
   [[nodiscard]] bool allow_migration_work() const noexcept;
 
+  // --- tenant budget handshake ------------------------------------------------
+  /// One tenant's lease from the cluster budget arbiter: identity, the grant
+  /// currently governing this instance, and the arbitration bookkeeping that
+  /// explains it (fair share, starvation floor, borrow/lend history).
+  /// Persisted in snapshots (v7) so a recovered tenant resumes under its
+  /// last grant instead of snapping back to the static config budget.
+  struct TenantLease {
+    TenantId tenant = 0;
+    std::uint32_t tier = 0;       ///< priority tier (0 = most important)
+    double weight = 1.0;          ///< fair-share weight at registration
+    double granted_budget = 0.0;  ///< the arbiter's current grant (fraction)
+    double fair_share = 0.0;      ///< weight-proportional slice of the ceiling
+    double floor = 0.0;           ///< guaranteed minimum grant
+    std::uint64_t borrowed_epochs = 0;  ///< epochs granted above fair share
+    std::uint64_t lent_epochs = 0;      ///< epochs granted below fair share
+  };
+
+  /// Applies an arbiter grant: swaps the overhead budget the controller
+  /// enforces *without* resetting controller state — a per-epoch grant
+  /// change must not wipe convergence progress or restart the meter the way
+  /// re-arming does.  The hysteresis bands, per-node inheritance
+  /// (node_budget == 0), and migration admission all follow the new budget
+  /// from the next on_epoch.
+  void set_budget(double overhead_budget) noexcept {
+    cfg_.overhead_budget = overhead_budget;
+  }
+  /// Installs/updates the arbiter lease (also applies its granted budget).
+  void adopt_lease(const TenantLease& lease) {
+    lease_ = lease;
+    if (lease.granted_budget > 0.0) set_budget(lease.granted_budget);
+  }
+  [[nodiscard]] const std::optional<TenantLease>& lease() const noexcept {
+    return lease_;
+  }
+
   // --- degraded mode ----------------------------------------------------------
   /// Quarantines a failed node: it no longer competes for worst-offender
   /// back-off (its overhead fraction is a ghost of pre-failure samples) and
@@ -375,6 +410,8 @@ class Governor {
   /// Failed nodes excluded from offender scoring and the tighten quorum
   /// (small sorted-insert list; clusters are tens of nodes).
   std::vector<NodeId> quarantined_;
+  /// Arbiter lease (nullopt when standalone); persisted in snapshot v7.
+  std::optional<TenantLease> lease_;
 };
 
 }  // namespace djvm

@@ -5,9 +5,7 @@
 namespace djvm {
 
 OverheadMeter::OverheadMeter(OverheadCosts costs, std::size_t window)
-    : costs_(costs), window_(std::max<std::size_t>(1, window)) {
-  ring_.resize(window_);
-}
+    : costs_(costs), window_(std::max<std::size_t>(1, window)) {}
 
 namespace {
 double reducible_seconds(const OverheadSample& sample, const OverheadCosts& costs) {
@@ -24,25 +22,36 @@ double OverheadMeter::profiling_seconds(const OverheadSample& sample) const {
 }
 
 void OverheadMeter::record(const OverheadSample& sample) {
-  Entry& e = ring_[next_];
+  if (tenants_.size() <= sample.tenant) {
+    tenants_.resize(sample.tenant + 1);
+    for (TenantWindow& tw : tenants_) {
+      if (tw.ring.empty()) tw.ring.resize(window_);
+    }
+  }
+  TenantWindow& tw = tenants_[sample.tenant];
+  last_tenant_ = sample.tenant;
+
+  Entry& e = tw.ring[tw.next];
   e.app_seconds = sample.app_seconds;
   e.reducible_seconds = reducible_seconds(sample, costs_);
   e.fixed_seconds = sample.fixed_seconds;
   e.build_seconds = sample.build_seconds;
   e.signal = sample.app_seconds > 0.0;
 
-  // Grow the node table first so every known node gets a slot this epoch
-  // (zeros mean "no cost observed here"), keeping the windows aligned.
+  // Grow this tenant's node table first so every node it has ever reported
+  // gets a slot this epoch (zeros mean "no cost observed here"), keeping the
+  // tenant's windows aligned.  Other tenants' rings are untouched: a peer's
+  // idle epoch must not consume the window slot a busy tenant just filled.
   for (const NodeOverheadSample& ns : sample.nodes) {
     if (ns.node == kInvalidNode) continue;
-    if (node_rings_.size() <= ns.node) {
-      node_rings_.resize(ns.node + 1, std::vector<Entry>(window_));
+    if (tw.node_rings.size() <= ns.node) {
+      tw.node_rings.resize(ns.node + 1, std::vector<Entry>(window_));
     }
   }
-  for (auto& ring : node_rings_) ring[next_] = Entry{};
+  for (auto& ring : tw.node_rings) ring[tw.next] = Entry{};
   for (const NodeOverheadSample& ns : sample.nodes) {
     if (ns.node == kInvalidNode) continue;
-    Entry& ne = node_rings_[ns.node][next_];
+    Entry& ne = tw.node_rings[ns.node][tw.next];
     ne.app_seconds += ns.app_seconds;
     ne.reducible_seconds +=
         ns.access_check_seconds +
@@ -53,9 +62,15 @@ void OverheadMeter::record(const OverheadSample& sample) {
     ne.signal = ne.signal || ns.app_seconds > 0.0;
   }
 
-  next_ = (next_ + 1) % window_;
-  filled_ = std::min(filled_ + 1, window_);
+  tw.next = (tw.next + 1) % window_;
+  tw.filled = std::min(tw.filled + 1, window_);
   ++epochs_;
+}
+
+const OverheadMeter::TenantWindow* OverheadMeter::window_for(
+    TenantId tenant) const {
+  if (tenant >= tenants_.size()) return nullptr;
+  return &tenants_[tenant];
 }
 
 // An epoch that made no application progress carries no rate signal: a cost
@@ -63,13 +78,6 @@ void OverheadMeter::record(const OverheadSample& sample) {
 // a node that sat the epoch out) used to read as an infinite fraction, so
 // worst_node() elected an idle node and the governor backed off a node that
 // ran nothing.  Such epochs are skipped; a window with no signal reads 0.
-
-double OverheadMeter::epoch_fraction() const {
-  if (filled_ == 0) return 0.0;
-  const Entry& e = ring_[(next_ + window_ - 1) % window_];
-  if (!e.signal) return 0.0;
-  return (e.reducible_seconds + e.fixed_seconds) / e.app_seconds;
-}
 
 namespace {
 /// Sums prof/app over the signal-carrying entries of one window and divides;
@@ -87,40 +95,135 @@ double window_fraction(const std::vector<OverheadMeter::Entry>& ring,
   }
   return any && app > 0.0 ? prof / app : 0.0;
 }
+
+/// Accumulates prof/app over the signal slots of one window (for the
+/// cross-tenant aggregates, which divide once at the end).
+template <typename Pick>
+void window_sums(const std::vector<OverheadMeter::Entry>& ring,
+                 std::size_t filled, Pick pick, double& prof, double& app,
+                 bool& any) {
+  for (std::size_t i = 0; i < filled; ++i) {
+    if (!ring[i].signal) continue;
+    any = true;
+    prof += pick(ring[i]);
+    app += ring[i].app_seconds;
+  }
+}
 }  // namespace
 
+double OverheadMeter::epoch_fraction() const {
+  return epoch_fraction(last_tenant_);
+}
+
+double OverheadMeter::epoch_fraction(TenantId tenant) const {
+  const TenantWindow* tw = window_for(tenant);
+  if (tw == nullptr || tw->filled == 0) return 0.0;
+  const Entry& e = tw->ring[(tw->next + window_ - 1) % window_];
+  if (!e.signal) return 0.0;
+  return (e.reducible_seconds + e.fixed_seconds) / e.app_seconds;
+}
+
 double OverheadMeter::rolling_fraction() const {
-  return window_fraction(ring_, filled_, [](const Entry& e) {
-    return e.reducible_seconds + e.fixed_seconds;
-  });
+  double prof = 0.0, app = 0.0;
+  bool any = false;
+  for (const TenantWindow& tw : tenants_) {
+    window_sums(
+        tw.ring, tw.filled,
+        [](const Entry& e) { return e.reducible_seconds + e.fixed_seconds; },
+        prof, app, any);
+  }
+  return any && app > 0.0 ? prof / app : 0.0;
 }
 
 double OverheadMeter::rolling_reducible_fraction() const {
-  return window_fraction(ring_, filled_,
-                         [](const Entry& e) { return e.reducible_seconds; });
+  double prof = 0.0, app = 0.0;
+  bool any = false;
+  for (const TenantWindow& tw : tenants_) {
+    window_sums(tw.ring, tw.filled,
+                [](const Entry& e) { return e.reducible_seconds; }, prof, app,
+                any);
+  }
+  return any && app > 0.0 ? prof / app : 0.0;
 }
 
 double OverheadMeter::coordinator_fraction() const {
-  return window_fraction(ring_, filled_,
-                         [](const Entry& e) { return e.build_seconds; });
+  double prof = 0.0, app = 0.0;
+  bool any = false;
+  for (const TenantWindow& tw : tenants_) {
+    window_sums(tw.ring, tw.filled,
+                [](const Entry& e) { return e.build_seconds; }, prof, app,
+                any);
+  }
+  return any && app > 0.0 ? prof / app : 0.0;
 }
 
-double OverheadMeter::node_rolling_fraction(NodeId node) const {
-  if (node >= node_rings_.size()) return 0.0;
-  return window_fraction(node_rings_[node], filled_, [](const Entry& e) {
+double OverheadMeter::rolling_fraction(TenantId tenant) const {
+  const TenantWindow* tw = window_for(tenant);
+  if (tw == nullptr) return 0.0;
+  return window_fraction(tw->ring, tw->filled, [](const Entry& e) {
     return e.reducible_seconds + e.fixed_seconds;
   });
 }
 
-double OverheadMeter::node_rolling_reducible_fraction(NodeId node) const {
-  if (node >= node_rings_.size()) return 0.0;
-  return window_fraction(node_rings_[node], filled_,
+double OverheadMeter::rolling_reducible_fraction(TenantId tenant) const {
+  const TenantWindow* tw = window_for(tenant);
+  if (tw == nullptr) return 0.0;
+  return window_fraction(tw->ring, tw->filled,
                          [](const Entry& e) { return e.reducible_seconds; });
 }
 
+std::size_t OverheadMeter::node_count() const noexcept {
+  std::size_t count = 0;
+  for (const TenantWindow& tw : tenants_) {
+    count = std::max(count, tw.node_rings.size());
+  }
+  return count;
+}
+
+double OverheadMeter::node_rolling_fraction(NodeId node) const {
+  double prof = 0.0, app = 0.0;
+  bool any = false;
+  for (const TenantWindow& tw : tenants_) {
+    if (node >= tw.node_rings.size()) continue;
+    window_sums(
+        tw.node_rings[node], tw.filled,
+        [](const Entry& e) { return e.reducible_seconds + e.fixed_seconds; },
+        prof, app, any);
+  }
+  return any && app > 0.0 ? prof / app : 0.0;
+}
+
+double OverheadMeter::node_rolling_reducible_fraction(NodeId node) const {
+  double prof = 0.0, app = 0.0;
+  bool any = false;
+  for (const TenantWindow& tw : tenants_) {
+    if (node >= tw.node_rings.size()) continue;
+    window_sums(tw.node_rings[node], tw.filled,
+                [](const Entry& e) { return e.reducible_seconds; }, prof, app,
+                any);
+  }
+  return any && app > 0.0 ? prof / app : 0.0;
+}
+
 double OverheadMeter::node_epoch_fraction(NodeId node) const {
-  if (node >= node_rings_.size() || filled_ == 0) return 0.0;
-  const Entry& e = node_rings_[node][(next_ + window_ - 1) % window_];
+  return node_epoch_fraction(last_tenant_, node);
+}
+
+double OverheadMeter::node_rolling_fraction(TenantId tenant,
+                                            NodeId node) const {
+  const TenantWindow* tw = window_for(tenant);
+  if (tw == nullptr || node >= tw->node_rings.size()) return 0.0;
+  return window_fraction(tw->node_rings[node], tw->filled, [](const Entry& e) {
+    return e.reducible_seconds + e.fixed_seconds;
+  });
+}
+
+double OverheadMeter::node_epoch_fraction(TenantId tenant, NodeId node) const {
+  const TenantWindow* tw = window_for(tenant);
+  if (tw == nullptr || node >= tw->node_rings.size() || tw->filled == 0) {
+    return 0.0;
+  }
+  const Entry& e = tw->node_rings[node][(tw->next + window_ - 1) % window_];
   if (!e.signal) return 0.0;
   return (e.reducible_seconds + e.fixed_seconds) / e.app_seconds;
 }
@@ -128,8 +231,24 @@ double OverheadMeter::node_epoch_fraction(NodeId node) const {
 std::optional<NodeId> OverheadMeter::worst_node() const {
   std::optional<NodeId> worst;
   double worst_frac = -1.0;
-  for (std::size_t n = 0; n < node_rings_.size(); ++n) {
+  const std::size_t nodes = node_count();
+  for (std::size_t n = 0; n < nodes; ++n) {
     const double f = node_rolling_fraction(static_cast<NodeId>(n));
+    if (f > worst_frac) {
+      worst_frac = f;
+      worst = static_cast<NodeId>(n);
+    }
+  }
+  return worst;
+}
+
+std::optional<NodeId> OverheadMeter::worst_node(TenantId tenant) const {
+  const TenantWindow* tw = window_for(tenant);
+  if (tw == nullptr) return std::nullopt;
+  std::optional<NodeId> worst;
+  double worst_frac = -1.0;
+  for (std::size_t n = 0; n < tw->node_rings.size(); ++n) {
+    const double f = node_rolling_fraction(tenant, static_cast<NodeId>(n));
     if (f > worst_frac) {
       worst_frac = f;
       worst = static_cast<NodeId>(n);

@@ -56,6 +56,11 @@ struct OverheadSample {
   /// records; such samples are observational only — with no measured app
   /// time the governor suspends budget enforcement on them.
   bool measured = false;
+  /// Tenant the epoch belongs to.  Meters namespace their window state per
+  /// (tenant, node): a shared cluster meter fed by several tenants must not
+  /// let one tenant's idle epoch overwrite the signal another tenant just
+  /// recorded for the same node.  Standalone runs leave this 0.
+  TenantId tenant = 0;
   /// Application progress this epoch: summed per-thread simulated seconds,
   /// with the profiling costs charged to thread clocks subtracted back out
   /// (so the fraction is profiling per *application* second, not
@@ -131,18 +136,41 @@ class OverheadMeter {
   // --- per-node views --------------------------------------------------------
   /// Number of nodes that have appeared in recorded samples (node ids are
   /// dense; a node that never appeared reads as zero overhead).
-  [[nodiscard]] std::size_t node_count() const noexcept { return node_rings_.size(); }
+  [[nodiscard]] std::size_t node_count() const noexcept;
   /// Rolling overhead fraction of one node: its profiling seconds over its
   /// own app seconds (same no-signal skipping as rolling_fraction, so an
   /// idle node never reads as the worst offender).
   [[nodiscard]] double node_rolling_fraction(NodeId node) const;
   /// The rate-dependent share of node_rolling_fraction.
   [[nodiscard]] double node_rolling_reducible_fraction(NodeId node) const;
-  /// One node's most recent epoch alone.
+  /// One node's most recent epoch alone (the most recently recorded
+  /// tenant's slot — exactly the pre-tenant behavior for a meter fed by a
+  /// single tenant; multi-tenant callers use the tenant-qualified overload).
   [[nodiscard]] double node_epoch_fraction(NodeId node) const;
   /// Node with the highest rolling fraction (ties break toward the lowest
   /// id); nullopt when no per-node samples were ever recorded.
   [[nodiscard]] std::optional<NodeId> worst_node() const;
+
+  // --- per-tenant views ------------------------------------------------------
+  // Window state is namespaced per (tenant, node): each tenant's samples
+  // advance only that tenant's rings, so an idle tenant's zero-app epochs
+  // can never mark a shared node as no-signal for a busy one.  The
+  // unqualified queries above aggregate across tenants (identical to the
+  // old behavior when all samples carry one tenant id).
+  /// Number of tenants that have appeared in recorded samples.
+  [[nodiscard]] std::size_t tenant_count() const noexcept { return tenants_.size(); }
+  /// One tenant's rolling overhead fraction over its own window.
+  [[nodiscard]] double rolling_fraction(TenantId tenant) const;
+  /// The rate-dependent share of rolling_fraction(tenant).
+  [[nodiscard]] double rolling_reducible_fraction(TenantId tenant) const;
+  /// One tenant's most recent epoch alone.
+  [[nodiscard]] double epoch_fraction(TenantId tenant) const;
+  /// One (tenant, node) rolling fraction.
+  [[nodiscard]] double node_rolling_fraction(TenantId tenant, NodeId node) const;
+  /// One (tenant, node) most recent epoch alone.
+  [[nodiscard]] double node_epoch_fraction(TenantId tenant, NodeId node) const;
+  /// The tenant's worst node by rolling fraction.
+  [[nodiscard]] std::optional<NodeId> worst_node(TenantId tenant) const;
 
   [[nodiscard]] std::size_t epochs() const noexcept { return epochs_; }
   [[nodiscard]] std::size_t window() const noexcept { return window_; }
@@ -160,15 +188,26 @@ class OverheadMeter {
   };
 
  private:
+  /// One tenant's rolling window: a cluster ring plus per-node rings that
+  /// share this tenant's next/filled so its windows stay epoch-aligned.
+  /// Another tenant recording an epoch never touches these.
+  struct TenantWindow {
+    std::vector<Entry> ring;
+    std::vector<std::vector<Entry>> node_rings;
+    std::size_t next = 0;
+    std::size_t filled = 0;
+  };
+
+  [[nodiscard]] const TenantWindow* window_for(TenantId tenant) const;
+
   OverheadCosts costs_;
   std::size_t window_;
-  std::vector<Entry> ring_;
-  /// Per-node rings share next_/filled_ with the cluster ring: every record()
-  /// writes one slot in each (zeros for nodes absent from the sample), so the
-  /// windows stay epoch-aligned.
-  std::vector<std::vector<Entry>> node_rings_;
-  std::size_t next_ = 0;
-  std::size_t filled_ = 0;
+  /// Dense per-tenant windows (tenant ids are small and dense; standalone
+  /// meters hold exactly one entry for tenant 0).
+  std::vector<TenantWindow> tenants_;
+  /// Tenant of the most recent record(): epoch_fraction() and
+  /// node_epoch_fraction(node) keep their "latest recorded epoch" meaning.
+  TenantId last_tenant_ = 0;
   std::size_t epochs_ = 0;
 };
 

@@ -201,6 +201,22 @@ struct SnapshotAccess {
       put<std::uint64_t>(out, m.prefetched_bytes);
     }
 
+    // v7: tenant budget lease (absent for standalone governors).  The grant
+    // itself already lives in the encoded overhead_budget (set_budget writes
+    // through cfg_); the lease records the arbitration context behind it.
+    put<std::uint8_t>(out, gov.lease_.has_value() ? 1u : 0u);
+    if (gov.lease_.has_value()) {
+      const Governor::TenantLease& l = *gov.lease_;
+      put<std::uint32_t>(out, l.tenant);
+      put<std::uint32_t>(out, l.tier);
+      put<double>(out, l.weight);
+      put<double>(out, l.granted_budget);
+      put<double>(out, l.fair_share);
+      put<double>(out, l.floor);
+      put<std::uint64_t>(out, l.borrowed_epochs);
+      put<std::uint64_t>(out, l.lent_epochs);
+    }
+
     put<std::uint64_t>(out, tcm.size());
     for (double v : tcm.raw()) put<double>(out, v);
 
@@ -440,6 +456,38 @@ struct SnapshotAccess {
       }
     }
 
+    // v7: tenant budget lease.  Pre-v7 files have no opinion on tenancy, so
+    // the live governor keeps whatever lease it already holds.
+    bool have_v7 = false;
+    bool has_lease = false;
+    Governor::TenantLease lease;
+    if (version >= kSnapshotVersionV7) {
+      have_v7 = true;
+      std::uint8_t lease_flag = 0;
+      if (!r.get(lease_flag)) return false;
+      if (lease_flag > 1u) return false;
+      has_lease = lease_flag != 0;
+      if (has_lease) {
+        if (!r.get(lease.tenant) || !r.get(lease.tier) ||
+            !r.get(lease.weight) || !r.get(lease.granted_budget) ||
+            !r.get(lease.fair_share) || !r.get(lease.floor) ||
+            !r.get(lease.borrowed_epochs) || !r.get(lease.lent_epochs)) {
+          return false;
+        }
+        // A lease with a non-positive weight or a NaN grant would wedge the
+        // next arbitration round the same way a NaN budget wedges the
+        // controller: corruption, reject.
+        if (!std::isfinite(lease.weight) || lease.weight <= 0.0) return false;
+        if (!sane(lease.granted_budget) || !sane(lease.fair_share) ||
+            !sane(lease.floor)) {
+          return false;
+        }
+        if (lease.floor > lease.granted_budget && lease.granted_budget > 0.0) {
+          return false;  // the arbiter never grants below the floor
+        }
+      }
+    }
+
     std::uint64_t n = 0;
     if (!r.get(n)) return false;
     if (n != 0 && (n > r.remaining() / sizeof(double) / n)) return false;
@@ -480,6 +528,9 @@ struct SnapshotAccess {
         }
         gov.last_migration_epoch_[m.thread] = m.epoch;
       }
+    }
+    if (have_v7) {
+      gov.lease_ = has_lease ? std::optional(lease) : std::nullopt;
     }
     gov.converged_gaps_.assign(reg.size(), 0);  // 0 = not captured
     // Only classes whose gaps or shifts actually move need the paper's
@@ -782,6 +833,30 @@ bool parse_snapshot(const std::vector<std::uint8_t>& bytes, SnapshotInfo& out) {
       }
       if (!std::isfinite(m.gain_bytes) || m.gain_bytes <= 0.0) return false;
       if (!std::isfinite(m.sim_cost_seconds) || m.sim_cost_seconds < 0.0) {
+        return false;
+      }
+    }
+  }
+
+  out.has_lease = false;
+  out.lease = {};
+  if (out.version >= kSnapshotVersionV7) {
+    std::uint8_t lease_flag = 0;
+    if (!r.get(lease_flag)) return false;
+    if (lease_flag > 1u) return false;
+    out.has_lease = lease_flag != 0;
+    if (out.has_lease) {
+      if (!r.get(out.lease.tenant) || !r.get(out.lease.tier) ||
+          !r.get(out.lease.weight) || !r.get(out.lease.granted_budget) ||
+          !r.get(out.lease.fair_share) || !r.get(out.lease.floor) ||
+          !r.get(out.lease.borrowed_epochs) || !r.get(out.lease.lent_epochs)) {
+        return false;
+      }
+      if (!std::isfinite(out.lease.weight) || out.lease.weight <= 0.0) {
+        return false;
+      }
+      if (!sane(out.lease.granted_budget) || !sane(out.lease.fair_share) ||
+          !sane(out.lease.floor)) {
         return false;
       }
     }

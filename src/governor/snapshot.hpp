@@ -7,7 +7,7 @@
 // converged TCM, the distributed analog of a single-process profiler's
 // `sample.prof` dump.
 //
-// Format v6, host-endian, fixed-width fields (round-trips bit-exactly on
+// Format v7, host-endian, fixed-width fields (round-trips bit-exactly on
 // the writing host; a foreign-endian reader rejects the file at the magic
 // check and cold-starts rather than misreading it):
 //   u32 magic 'DJGV'   u32 version
@@ -39,6 +39,11 @@
 //                         u16 from_node, u16 to_node,
 //                         f64 gain_bytes, f64 sim_cost_seconds,
 //                         u64 prefetched_bytes }
+//   u8 has_lease (0/1)                                      [v7]
+//     if has_lease: { u32 tenant, u32 tier,                  [v7]
+//                     f64 weight, f64 granted_budget,
+//                     f64 fair_share, f64 floor,
+//                     u64 borrowed_epochs, u64 lent_epochs }
 //   u64 tcm_dimension
 //     dimension^2 x f64 (row-major)
 //   u32 crc32 over every preceding byte                      [v6]
@@ -76,7 +81,12 @@
 // keep the live governor's machine-local scoring mode and influence table
 // (pre-v4 snapshots have no opinion on either), and v4 files keep the
 // history the live governor has already accumulated (pre-v5 snapshots
-// carry no migration log).  Loading resamples only the classes whose gaps
+// carry no migration log).  The v7 tenant lease persists the arbiter grant
+// governing the instance (identity, granted budget, fair share, floor,
+// borrow/lend epoch counters) so a recovered tenant resumes under its last
+// grant instead of snapping back to the static config budget; pre-v7 files
+// leave the live governor's lease untouched.  Loading resamples only the
+// classes whose gaps
 // or shifts actually differ from the live plan, so restoring a snapshot
 // into an already-warm world is not a full resample storm.
 #pragma once
@@ -96,8 +106,8 @@ namespace djvm {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x56474A44;  // "DJGV"
 /// Version written by encode_snapshot; decode also accepts the older
-/// kSnapshotVersionV1..V5 layouts (read compatibility).
-inline constexpr std::uint32_t kSnapshotVersion = 6;
+/// kSnapshotVersionV1..V6 layouts (read compatibility).
+inline constexpr std::uint32_t kSnapshotVersion = 7;
 inline constexpr std::uint32_t kSnapshotVersionV1 = 1;
 inline constexpr std::uint32_t kSnapshotVersionV2 = 2;
 inline constexpr std::uint32_t kSnapshotVersionV3 = 3;
@@ -108,6 +118,8 @@ inline constexpr std::uint32_t kSnapshotVersionV4 = 4;
 inline constexpr std::uint32_t kSnapshotVersionV5 = 5;
 /// First version carrying the CRC32 integrity footer.
 inline constexpr std::uint32_t kSnapshotVersionV6 = 6;
+/// First version carrying the tenant budget lease.
+inline constexpr std::uint32_t kSnapshotVersionV7 = 7;
 
 /// Serializes the governor's state, the plan's per-class gaps, and `tcm`
 /// (pass the daemon's latest converged map).
@@ -152,7 +164,7 @@ inline constexpr std::uint32_t kSnapshotVersionV6 = 6;
 /// Registry-independent view of one decoded snapshot, for offline tooling
 /// (src/export/ and tools/djvm_export).  decode_snapshot applies a file to a
 /// *live* governor and validates class ids against the live registry;
-/// parse_snapshot checks structure only, so any v1–v6 file from any run can
+/// parse_snapshot checks structure only, so any v1–v7 file from any run can
 /// be converted to pprof/flamegraph/JSON without reconstructing the run.
 /// Kept next to the encoder because this file owns the format: a layout
 /// change must update encode, decode, and parse together.
@@ -207,6 +219,19 @@ struct SnapshotInfo {
     std::uint64_t prefetched_bytes = 0;
   };
   std::vector<Migration> migrations;  ///< v5+ history, chronological
+
+  bool has_lease = false;  ///< v7+ tenant budget lease present
+  struct Lease {
+    std::uint32_t tenant = 0;
+    std::uint32_t tier = 0;
+    double weight = 0.0;
+    double granted_budget = 0.0;
+    double fair_share = 0.0;
+    double floor = 0.0;
+    std::uint64_t borrowed_epochs = 0;
+    std::uint64_t lent_epochs = 0;
+  };
+  Lease lease;  ///< meaningful only when has_lease
 
   SquareMatrix tcm;
 

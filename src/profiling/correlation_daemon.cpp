@@ -36,39 +36,34 @@ void CorrelationDaemon::fold_arena(OalArena& arena) {
   total_entries_ += arena.entries.size();
 }
 
-void CorrelationDaemon::submit(std::vector<IntervalRecord> records) {
-  // Compatibility wrapper: pack the batch into the staging arena (one slice
-  // per record) and fold that, so the legacy path exercises exactly the
-  // machinery the ring path uses.  The sanitize walk inside fold_arena is
-  // per-entry coordinator work like the fold itself: timed into the same
-  // bucket.
-  const auto t0 = std::chrono::steady_clock::now();
-  // Sanitize the records first (pending_/history_ walks must see the same
-  // class tags the accumulator does), then pack; fold_arena's own sanitize
-  // pass is then a no-op.
-  const std::size_t classes = plan_.heap().registry().size();
-  for (IntervalRecord& r : records) {
-    for (OalEntry& e : r.entries) {
-      if (e.klass != kInvalidClass && e.klass >= classes) {
-        e.klass = kInvalidClass;
-      }
+void CorrelationDaemon::filter_arena(OalArena& arena) const {
+  if (!node_filter_) return;
+  bool any_dead = false;
+  for (const ArenaInterval& iv : arena.intervals) {
+    if (!node_filter_(iv.node)) {
+      any_dead = true;
+      break;
     }
   }
-  staging_.clear();
-  for (const IntervalRecord& r : records) {
-    const auto begin = static_cast<std::uint32_t>(staging_.entries.size());
-    staging_.entries.insert(staging_.entries.end(), r.entries.begin(),
-                            r.entries.end());
-    staging_.intervals.push_back(ArenaInterval{
-        r.thread, r.interval, r.node, r.start_pc, r.end_pc, begin,
-        static_cast<std::uint32_t>(staging_.entries.size())});
+  if (!any_dead) return;
+  // Compact in place: the arena is recycled (and cleared) after the epoch
+  // anyway, so dropping a dead node's slices here loses exactly the
+  // un-shipped intervals that would have died with the node.
+  std::vector<OalEntry> entries;
+  entries.reserve(arena.entries.size());
+  std::vector<ArenaInterval> intervals;
+  intervals.reserve(arena.intervals.size());
+  for (const ArenaInterval& iv : arena.intervals) {
+    if (!node_filter_(iv.node)) continue;
+    ArenaInterval kept = iv;
+    kept.begin = static_cast<std::uint32_t>(entries.size());
+    entries.insert(entries.end(), arena.entries.begin() + iv.begin,
+                   arena.entries.begin() + iv.end);
+    kept.end = static_cast<std::uint32_t>(entries.size());
+    intervals.push_back(kept);
   }
-  fold_arena(staging_);
-  staging_.clear();
-  window_fold_seconds_ += seconds_since(t0);
-  for (IntervalRecord& r : records) {
-    pending_.push_back(std::move(r));
-  }
+  arena.entries = std::move(entries);
+  arena.intervals = std::move(intervals);
 }
 
 std::size_t CorrelationDaemon::ingest(IngestHub& hub, bool quiesced) {
@@ -77,9 +72,9 @@ std::size_t CorrelationDaemon::ingest(IngestHub& hub, bool quiesced) {
     hub_ = &hub;
     ring_snapshot_ = IngestCounters{};  // deltas restart against the new hub
   }
-  arena_mode_ = true;
   std::size_t consumed = 0;
   const auto consume = [&](OalArena* a) {
+    filter_arena(*a);
     fold_arena(*a);
     pending_slices_ += a->intervals.size();
     pending_arenas_.push_back(a);
@@ -95,7 +90,7 @@ std::size_t CorrelationDaemon::ingest(IngestHub& hub, bool quiesced) {
 
 EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   EpochResult out;
-  out.intervals = pending_.size() + pending_slices_;
+  out.intervals = pending_slices_;
   std::uint64_t wire_bytes = 0;
   // Per-class benefit/cost stats feed only the closed-loop back-off; the
   // legacy and disarmed paths skip the per-entry pass.  Each entry is also
@@ -106,30 +101,10 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   std::vector<double> home_mass;
   if (class_stats) plan_.begin_epoch_stats();
   const Heap& heap = plan_.heap();
-  for (const IntervalRecord& r : pending_) {
-    out.entries += r.entries.size();
-    wire_bytes += r.wire_bytes();
-    if (class_stats || want_cells) {
-      for (const OalEntry& e : r.entries) {
-        if (class_stats) {
-          plan_.note_epoch_entry(e.klass, e.bytes, e.gap);
-          plan_.note_epoch_node_entry(r.node, e.klass, e.bytes, e.gap);
-        }
-        // Thread-home-affinity mass: HT-weighted bytes the logging node
-        // accessed on objects homed elsewhere — cells the balancer's
-        // home-aware planner acts on even without a co-located peer.
-        if (want_cells && r.node != kInvalidNode &&
-            e.klass != kInvalidClass && e.obj < heap.object_count() &&
-            heap.meta(e.obj).home != r.node) {
-          if (home_mass.size() <= e.klass) home_mass.resize(e.klass + 1, 0.0);
-          home_mass[e.klass] +=
-              static_cast<double>(e.bytes) * static_cast<double>(e.gap);
-        }
-      }
-    }
-  }
-  // The same walk over drained arena slices (the ring path's records): each
-  // slice carries the interval header context a record would have.
+  // Walk the drained arena slices (each carries the interval header context
+  // a record would have).  Thread-home-affinity mass: HT-weighted bytes the
+  // logging node accessed on objects homed elsewhere — cells the balancer's
+  // home-aware planner acts on even without a co-located peer.
   for (const OalArena* a : pending_arenas_) {
     out.entries += a->entries.size();
     wire_bytes += a->wire_bytes();
@@ -166,7 +141,7 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
     attribution_seconds = seconds_since(ta);
   }
 
-  // The window's folds already ran at submit() time; the epoch boundary only
+  // The window's folds already ran at ingest() time; the epoch boundary only
   // densifies the sparse accumulator.  build_seconds keeps its meaning (full
   // construction cost of this window's map) so the governor's budget model
   // is unchanged; densify_seconds is the part the master stalls on here.
@@ -174,38 +149,26 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   out.tcm = window_.dense();
   out.densify_seconds = seconds_since(t0);
 
-  // Retention: merge the consumed window into the bounded whole-run
-  // accumulator (cheaper than re-folding records: the window is already
-  // deduplicated per object) and periodically evict stale objects.  This
-  // replaces keeping the raw records in `history_` below.  Coordinator map
-  // work like the folds, so it is timed into build_seconds.
+  // Merge the consumed window into the whole-run accumulator (ingested
+  // entries have no raw records to re-fold later, so build_full's map is fed
+  // eagerly here); under retention, periodically evict stale objects too.
+  // Coordinator map work like the folds, so it is timed into build_seconds.
   double retention_seconds = 0.0;
-  if (retention_.active()) {
+  {
     const auto tr = std::chrono::steady_clock::now();
     full_.merge(window_);
-    full_.advance_epoch();
-    if (retention_.compact_period != 0 &&
-        full_.epoch() % retention_.compact_period == 0) {
-      dropped_objects_ +=
-          full_.compact(retention_.idle_epochs, retention_.decay)
-              .dropped_objects;
+    if (retention_.active()) {
+      full_.advance_epoch();
+      if (retention_.compact_period != 0 &&
+          full_.epoch() % retention_.compact_period == 0) {
+        dropped_objects_ +=
+            full_.compact(retention_.idle_epochs, retention_.decay)
+                .dropped_objects;
+      }
+      out.retained_objects = full_.objects_tracked();
+      out.retained_readers = full_.reader_entries();
+      out.dropped_objects = dropped_objects_;
     }
-    out.retained_objects = full_.objects_tracked();
-    out.retained_readers = full_.reader_entries();
-    out.dropped_objects = dropped_objects_;
-    retention_seconds = seconds_since(tr);
-  } else if (arena_mode_) {
-    // Arena mode without retention: ingested entries have no raw records to
-    // re-fold later, so the whole-run accumulator is fed eagerly from the
-    // consumed window.  Legacy records submitted before the first ingest()
-    // sit in `history_` past full_mark_ and are folded in first (the window
-    // that held them was already consumed by earlier epochs).
-    const auto tr = std::chrono::steady_clock::now();
-    if (full_mark_ < history_.size()) {
-      full_.add(std::span<const IntervalRecord>(history_).subspan(full_mark_));
-      full_mark_ = history_.size();
-    }
-    full_.merge(window_);
     retention_seconds = seconds_since(tr);
   }
 
@@ -245,9 +208,6 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
         }
         it->wire_bytes += bytes;
       };
-      for (const IntervalRecord& r : pending_) {
-        bill_node(r.node, r.wire_bytes());
-      }
       for (const OalArena* a : pending_arenas_) {
         for (const ArenaInterval& iv : a->intervals) {
           bill_node(iv.node, kIntervalHeaderWireBytes +
@@ -286,6 +246,7 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
   }
   const Governor::EpochOutcome decision =
       governor_.on_epoch(out.rel_distance, sample);
+  out.sample = sample;
   out.rate_changed = decision.rate_changed;
   out.resampled_objects = decision.resampled_objects;
   out.action = decision.action;
@@ -302,16 +263,7 @@ EpochResult CorrelationDaemon::run_epoch(OverheadSample sample) {
 
   latest_ = out.tcm;
   have_latest_ = true;
-  intervals_seen_ += pending_.size() + pending_slices_;
-  if (!retention_.active()) {
-    for (IntervalRecord& r : pending_) history_.push_back(std::move(r));
-    if (arena_mode_) {
-      // These records were folded into full_ via the window merge above;
-      // build_full must not re-fold them from history.
-      full_mark_ = history_.size();
-    }
-  }
-  pending_.clear();
+  intervals_seen_ += pending_slices_;
   release_pending_arenas();
   return out;
 }
@@ -324,67 +276,18 @@ void CorrelationDaemon::release_pending_arenas() {
   pending_slices_ = 0;
 }
 
-SquareMatrix CorrelationDaemon::build_full(bool weighted) {
-  if (retention_.active() || arena_mode_) {
-    // Under retention — and in arena mode, where ingested entries never had
-    // raw records — the whole-run map *is* the whole-run accumulator plus
-    // whatever sits in the unconsumed window.  The unweighted variant is
-    // unavailable (set_retention and ingest document it) — the accumulated
-    // state carries HT-weighted bytes only.
-    intervals_seen_ += pending_.size() + pending_slices_;
-    const auto tr = std::chrono::steady_clock::now();
-    if (!retention_.active()) {
-      // Arena mode keeps legacy records in history for the history() API;
-      // fold any not yet in full_ before adopting the window.
-      if (full_mark_ < history_.size()) {
-        full_.add(
-            std::span<const IntervalRecord>(history_).subspan(full_mark_));
-      }
-      for (IntervalRecord& r : pending_) history_.push_back(std::move(r));
-      full_mark_ = history_.size();
-    }
-    pending_.clear();
-    release_pending_arenas();
-    full_.merge(window_);
-    window_.reset();
-    SquareMatrix tcm = full_.dense();
-    build_seconds_ += window_fold_seconds_ + seconds_since(tr);
-    window_fold_seconds_ = 0.0;
-    latest_ = tcm;
-    have_latest_ = true;
-    return tcm;
-  }
-  // build_full *consumes* the current window, exactly as the pre-incremental
-  // daemon did when it drained pending into history: an epoch run afterwards
-  // starts from an empty window (zero map, zero counts), instead of handing
-  // the governor a window map whose records were already reported here.
-  const bool window_is_whole_run = history_.empty() && full_mark_ == 0;
-  intervals_seen_ += pending_.size();
-  for (IntervalRecord& r : pending_) history_.push_back(std::move(r));
-  pending_.clear();
-  const auto t0 = std::chrono::steady_clock::now();
-  SquareMatrix tcm;
-  if (weighted) {
-    if (window_is_whole_run) {
-      // The window accumulator already holds exactly the whole run (no
-      // epochs consumed, nothing folded into full_ yet): adopt it instead
-      // of re-folding, so the common profile-then-one-map path pays a
-      // single fold total.
-      full_ = std::move(window_);
-      window_ = TcmAccumulator(threads_, /*weighted=*/true);
-    } else if (full_mark_ < history_.size()) {
-      // Incremental: only the records that arrived since the last
-      // build_full are folded into the persistent whole-run accumulator.
-      full_.add(std::span<const IntervalRecord>(history_).subspan(full_mark_));
-    }
-    full_mark_ = history_.size();
-    tcm = full_.dense();
-  } else {
-    tcm = TcmBuilder::build(history_, threads_, /*weighted=*/false);
-  }
+SquareMatrix CorrelationDaemon::build_full() {
+  // The whole-run map *is* the whole-run accumulator (fed eagerly by every
+  // run_epoch's window merge) plus whatever sits in the unconsumed window.
+  // The accumulated state carries HT-weighted bytes only — ingested entries
+  // never had raw records to re-weigh.
+  intervals_seen_ += pending_slices_;
+  const auto tr = std::chrono::steady_clock::now();
+  release_pending_arenas();
+  full_.merge(window_);
   window_.reset();
-  // The consumed window's fold time is construction cost this build reaped.
-  build_seconds_ += window_fold_seconds_ + seconds_since(t0);
+  SquareMatrix tcm = full_.dense();
+  build_seconds_ += window_fold_seconds_ + seconds_since(tr);
   window_fold_seconds_ = 0.0;
   latest_ = tcm;
   have_latest_ = true;
@@ -392,17 +295,12 @@ SquareMatrix CorrelationDaemon::build_full(bool weighted) {
 }
 
 void CorrelationDaemon::clear() {
-  pending_.clear();
   release_pending_arenas();
   hub_ = nullptr;
-  arena_mode_ = false;
   ring_snapshot_ = IngestCounters{};
-  staging_.clear();
-  history_.clear();
   window_.reset();
   window_fold_seconds_ = 0.0;
   full_.reset();
-  full_mark_ = 0;
   latest_ = SquareMatrix(threads_);
   have_latest_ = false;
   governor_.reset();  // clearing discards convergence progress too

@@ -7,13 +7,14 @@
 // which owns all rate decisions: the paper's Section II.B.2 convergence loop
 // in legacy mode, or the budgeted bidirectional controller with phase
 // detection in closed-loop mode (see governor/governor.hpp).  Folding at
-// submit() time amortizes the old from-scratch O(MN^2) epoch rebuild across
+// ingest() time amortizes the old from-scratch O(MN^2) epoch rebuild across
 // deliveries: the epoch boundary pays only the cheap densify.
 #pragma once
 
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -39,7 +40,7 @@ struct EpochResult {
   std::size_t intervals = 0;
   std::size_t entries = 0;
   /// Real CPU time of this window's TCM construction: the incremental folds
-  /// paid at submit() time plus the epoch-boundary densify.
+  /// paid at ingest() time plus the epoch-boundary densify.
   double build_seconds = 0.0;
   /// The epoch-boundary share of build_seconds alone (what the master
   /// actually stalls on at the epoch tick now that folding is incremental).
@@ -80,8 +81,8 @@ struct EpochResult {
   std::size_t retained_objects = 0;
   std::size_t retained_readers = 0;
   std::size_t dropped_objects = 0;
-  /// Ingest-ring telemetry over this epoch (all zero when the daemon runs on
-  /// the legacy submit() path): arenas published and entries carried by the
+  /// Ingest-ring telemetry over this epoch (all zero before the first
+  /// ingest()): arenas published and entries carried by the
   /// lanes, and publishes that found their outbound ring full (the arena is
   /// then parked producer-side and re-offered — a counted stall).
   /// ring_dropped exists to prove the invariant the bench gate checks: the
@@ -117,6 +118,12 @@ struct EpochResult {
   CategoryBytes dropped_msgs{};
   CategoryBytes retries{};
   std::uint64_t backoff_ns = 0;
+  /// The fully assembled overhead sample this epoch's decision ran on (the
+  /// caller's measured costs plus the daemon's fills: build time, wire
+  /// bytes, resampling carry).  A cluster coordinator re-records it into a
+  /// shared multi-tenant meter — the sample carries its tenant id, so the
+  /// shared meter's per-(tenant, node) windows stay namespaced.
+  OverheadSample sample;
   /// Degraded-mode marker: true when at least one node's profiling partials
   /// were lost this epoch (node dead, partitioned, or its reduction-tree
   /// exchange exhausted its retries), with the nodes named in `lost_nodes`.
@@ -147,16 +154,7 @@ class CorrelationDaemon {
  public:
   CorrelationDaemon(SamplingPlan& plan, std::uint32_t threads);
 
-  /// Legacy delivery path, kept as a thin compatibility wrapper over the
-  /// arena fold: packs the batch into one staging OalArena (one slice per
-  /// record) and folds that, so both ingest paths exercise identical map
-  /// machinery.  The records themselves still land in `pending_` for the
-  /// epoch statistics and `history`.  Fold time is charged to the next
-  /// epoch's build_seconds.  New callers should publish through an IngestHub
-  /// and drain with ingest() instead.
-  void submit(std::vector<IntervalRecord> records);
-
-  /// Lock-free delivery path: drains every published arena out of `hub`
+  /// The only delivery path: drains every published arena out of `hub`
   /// (round-robin across lanes) and folds each into the window accumulator.
   /// With `quiesced` (the default — the simulator's producers run on this
   /// same thread) it also collects parked and still-open arenas via
@@ -164,26 +162,32 @@ class CorrelationDaemon {
   /// Pass false only when producer threads are still appending concurrently.
   /// Drained arenas are recycled back to their lanes at the next run_epoch
   /// (their slices back the epoch's statistics until then).  Returns the
-  /// number of arenas consumed.  Switches the daemon into arena mode: raw
-  /// records no longer exist for ingested entries, so `history()` stays
-  /// empty of them and build_full folds through the whole-run accumulator
-  /// (weighted only), as under retention.
+  /// number of arenas consumed.  Raw IntervalRecords never reach the daemon:
+  /// the old submit() compatibility wrapper (and the record history it kept
+  /// alive) is gone, and build_full folds through the whole-run accumulator
+  /// (weighted only).
   std::size_t ingest(IngestHub& hub, bool quiesced = true);
 
-  /// Interval deliveries waiting for the next epoch (legacy records plus
-  /// ingested arena slices).
-  [[nodiscard]] std::size_t pending() const noexcept {
-    return pending_.size() + pending_slices_;
+  /// Installs a liveness predicate consulted at ingest() time: arena slices
+  /// whose logging node fails it are dropped before the fold, so a killed
+  /// node's un-shipped intervals die with it exactly as they did when the
+  /// pump erased its raw records.  An empty function (the default) keeps
+  /// everything and costs nothing.
+  void set_node_filter(std::function<bool(NodeId)> alive) {
+    node_filter_ = std::move(alive);
   }
+
+  /// Ingested arena slices waiting for the next epoch.
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_slices_; }
 
   /// Densifies the window accumulator into this epoch's TCM, compares with
   /// the previous epoch's map, refreshes the plan's per-class epoch stats,
   /// and delegates the rate decision to the governor.  `sample` carries the
   /// epoch's measured costs (the Djvm pump hook assembles it from
-  /// GOS/network deltas); fields left zero are filled in from the records
-  /// themselves (entries, wire bytes) and the build timers.  Clears the
-  /// pending buffer and window accumulator (records are kept in `history`
-  /// for offline analysis).
+  /// GOS/network deltas); fields left zero are filled in from the slices
+  /// themselves (entries, wire bytes) and the build timers.  Consumes the
+  /// pending arenas and window accumulator, merging the window into the
+  /// whole-run accumulator behind build_full().
   EpochResult run_epoch(OverheadSample sample = {});
 
   /// Hands the daemon the balancer's current thread-to-node placement; the
@@ -202,13 +206,11 @@ class CorrelationDaemon {
   [[nodiscard]] Governor& governor() noexcept { return governor_; }
   [[nodiscard]] const Governor& governor() const noexcept { return governor_; }
 
-  /// Installs the long-haul retention policy.  With retention active each
-  /// epoch's window is merged into the bounded whole-run accumulator instead
-  /// of being kept as raw records: `history()` stays empty, build_full()
-  /// returns the retained (weighted) map, and the unweighted build_full
-  /// variant is unavailable (records no longer exist to re-weigh).  Set it
-  /// before the first epoch; switching mid-run only bounds records from that
-  /// point on.
+  /// Installs the long-haul retention policy.  Without it the whole-run
+  /// accumulator grows with every object the workload ever touches; with
+  /// retention active each epoch's merge is followed by periodic compaction
+  /// that evicts stale objects.  Set it before the first epoch; switching
+  /// mid-run only bounds growth from that point on.
   void set_retention(RetentionPolicy policy) noexcept { retention_ = policy; }
   [[nodiscard]] const RetentionPolicy& retention() const noexcept {
     return retention_;
@@ -234,72 +236,61 @@ class CorrelationDaemon {
   /// Latest epoch's TCM (empty matrix before the first epoch).
   [[nodiscard]] const SquareMatrix& latest() const noexcept { return latest_; }
 
-  /// Builds one TCM over *all* records ever submitted (used by benches that
-  /// want a whole-run map); also accumulates build-time statistics.  The
-  /// weighted map folds incrementally: a persistent whole-run accumulator
-  /// tracks a high-water mark into `history`, so repeated calls pay only for
-  /// records that arrived since the last one instead of re-accruing the
-  /// whole run from scratch (the unweighted variant, which nothing in the
-  /// tree requests repeatedly, stays a from-scratch build).  In arena mode
-  /// (after ingest()) raw records never existed for ingested entries, so the
-  /// whole-run map is the accumulator itself and, as under retention, only
-  /// the weighted variant is available.
-  SquareMatrix build_full(bool weighted = true);
+  /// Builds one HT-weighted TCM over *all* entries ever ingested (used by
+  /// benches that want a whole-run map); also accumulates build-time
+  /// statistics.  The whole-run accumulator is fed incrementally by every
+  /// run_epoch, so this only merges the unconsumed window in and densifies —
+  /// repeated calls pay nothing for already-consumed epochs.  Raw records
+  /// never existed for ingested entries, so an unweighted variant is not
+  /// available (benches that need per-record views tap the Gos record stream
+  /// instead — see Gos::set_record_tap).
+  SquareMatrix build_full();
 
   /// Total real seconds spent in TCM construction (Table III's rightmost
   /// column; the paper runs this on a dedicated machine so it does not add
   /// to execution time).
   [[nodiscard]] double total_build_seconds() const noexcept { return build_seconds_; }
   [[nodiscard]] std::size_t total_entries() const noexcept { return total_entries_; }
-  /// Interval records consumed over the run (== history().size() when
-  /// retention is off; under retention the records themselves are gone but
-  /// the count survives).
+  /// Interval slices consumed over the run (the records themselves never
+  /// reach the daemon, but the count survives).
   [[nodiscard]] std::size_t total_intervals() const noexcept {
     return intervals_seen_;
   }
   [[nodiscard]] std::size_t epochs_run() const noexcept { return epochs_; }
 
-  /// Raw records of every consumed epoch — empty under retention (bounding
-  /// memory is the whole point of the policy).
-  [[nodiscard]] const std::vector<IntervalRecord>& history() const noexcept {
-    return history_;
-  }
   void clear();
 
  private:
   /// Sanitizes one arena's entries (class ids beyond the registry untag) and
-  /// folds it into the window; shared by ingest() and the submit() wrapper.
+  /// folds it into the window.
   void fold_arena(OalArena& arena);
+  /// Compacts one arena in place, dropping slices whose node fails the
+  /// installed liveness predicate (no-op without one).
+  void filter_arena(OalArena& arena) const;
   /// Recycles consumed pending arenas back to their lanes.
   void release_pending_arenas();
 
   SamplingPlan& plan_;
   std::uint32_t threads_;
   Governor governor_;
-  std::vector<IntervalRecord> pending_;
-  std::vector<IntervalRecord> history_;
-  /// Arena-mode state: the hub ingest() last drained (arenas are recycled to
+  /// Ingest state: the hub ingest() last drained (arenas are recycled to
   /// it), the drained-but-unconsumed arenas backing the next epoch's stats,
   /// and the ring-counter snapshot per-epoch telemetry deltas against.
   IngestHub* hub_ = nullptr;
-  bool arena_mode_ = false;
   std::vector<OalArena*> pending_arenas_;
   std::size_t pending_slices_ = 0;
   IngestCounters ring_snapshot_;
-  /// Staging arena behind the submit() compatibility wrapper (reused across
-  /// calls; never touches a hub).
-  OalArena staging_;
-  /// Incremental sparse accumulator over the current window: every submit()
-  /// folds its batch in, so the epoch boundary only densifies.
+  /// Liveness predicate applied to arena slices at ingest() (empty = keep all).
+  std::function<bool(NodeId)> node_filter_;
+  /// Incremental sparse accumulator over the current window: every ingest()
+  /// folds its arenas in, so the epoch boundary only densifies.
   TcmAccumulator window_;
-  /// Fold time already paid for the current window (submit-side share of the
+  /// Fold time already paid for the current window (ingest-side share of the
   /// next epoch's build_seconds).
   double window_fold_seconds_ = 0.0;
-  /// Whole-run accumulator behind build_full(weighted=true), fed lazily from
-  /// `history` + `pending` up to full_mark_ records at each call — or, under
-  /// retention, fed eagerly by every run_epoch and bounded by compact().
+  /// Whole-run accumulator behind build_full(), fed eagerly by every
+  /// run_epoch's window merge and, under retention, bounded by compact().
   TcmAccumulator full_;
-  std::size_t full_mark_ = 0;
   RetentionPolicy retention_;
   std::size_t intervals_seen_ = 0;   ///< records consumed (backs total_intervals)
   std::size_t dropped_objects_ = 0;  ///< cumulative retention evictions

@@ -1,0 +1,43 @@
+// Test helper: feed hand-built IntervalRecords to a CorrelationDaemon
+// through the arena ingest path (the only delivery path since submit()'s
+// retirement).  Declare the feeder BEFORE the daemon uses it each epoch —
+// the daemon recycles drained arenas back into the feeder's hub at its next
+// run_epoch/build_full, so the hub must outlive those calls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "profiling/correlation_daemon.hpp"
+#include "profiling/ingest.hpp"
+#include "profiling/oal.hpp"
+
+namespace djvm {
+
+class RecordFeeder {
+ public:
+  explicit RecordFeeder(IngestConfig cfg = {}) : hub_(cfg) {}
+
+  /// Publishes `records` through the hub (one lane per thread id, one slice
+  /// per record) and drains them into `daemon` via ingest().
+  void feed(CorrelationDaemon& daemon, std::vector<IntervalRecord> records) {
+    std::uint32_t lanes = 1;
+    for (const IntervalRecord& r : records) {
+      if (r.thread + 1u > lanes) lanes = r.thread + 1u;
+    }
+    hub_.ensure_lanes(lanes);
+    for (const IntervalRecord& r : records) {
+      hub_.append(r.thread, r.thread, r.interval, r.node, r.start_pc, r.end_pc,
+                  r.entries);
+    }
+    for (std::uint32_t lane = 0; lane < lanes; ++lane) hub_.flush(lane);
+    daemon.ingest(hub_);
+  }
+
+  [[nodiscard]] IngestHub& hub() noexcept { return hub_; }
+
+ private:
+  IngestHub hub_;
+};
+
+}  // namespace djvm

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "balance/balancer_feedback.hpp"
+
+#include "ingest_helpers.hpp"
 #include "core/djvm.hpp"
 #include "profiling/tcm.hpp"
 
@@ -163,6 +165,9 @@ class DaemonAttributionTest : public ::testing::Test {
   KlassRegistry reg;
   Heap heap;
   SamplingPlan plan;
+  /// Declared before the daemon: drained arenas recycle into the feeder's
+  /// hub at the daemon's next run_epoch, so the hub must be destroyed last.
+  RecordFeeder feeder;
   CorrelationDaemon daemon;
   ClassId shared = kInvalidClass;
   ClassId local = kInvalidClass;
@@ -177,8 +182,8 @@ TEST_F(DaemonAttributionTest, RunEpochAttributesCellsAgainstPlacement) {
   // Threads 0 (node 0) and 1 (node 1) both read `a` (cross pair) and thread
   // 1 alone reads `b` (no pair at all).  Thread 1 logs `a` remotely from its
   // home -> home mass.
-  daemon.submit({record(0, 0, {{a, shared, 64, 1}}),
-                 record(1, 1, {{a, shared, 64, 1}, {b, local, 64, 1}})});
+  feeder.feed(daemon, {record(0, 0, {{a, shared, 64, 1}}),
+                       record(1, 1, {{a, shared, 64, 1}, {b, local, 64, 1}})});
   const EpochResult out = daemon.run_epoch();
   ASSERT_FALSE(out.cells.empty());
   EXPECT_DOUBLE_EQ(out.cells.cut_bytes[shared], 64.0);
@@ -191,7 +196,7 @@ TEST_F(DaemonAttributionTest, RunEpochAttributesCellsAgainstPlacement) {
 
   // Attribution off without a placement.
   daemon.set_influence_placement({});
-  daemon.submit({record(0, 0, {{a, shared, 64, 1}})});
+  feeder.feed(daemon, {record(0, 0, {{a, shared, 64, 1}})});
   EXPECT_TRUE(daemon.run_epoch().cells.empty());
 }
 
@@ -203,8 +208,8 @@ TEST_F(DaemonAttributionTest, OutOfRegistryClassIdsAreUntaggedNotTrusted) {
   plan.on_alloc(a);
   daemon.set_influence_placement({0, 1});
   const ClassId bogus = 0x7FFFFFFE;
-  daemon.submit({record(0, 0, {{a, bogus, 64, 1}}),
-                 record(1, 1, {{a, bogus, 64, 1}})});
+  feeder.feed(daemon, {record(0, 0, {{a, bogus, 64, 1}}),
+                       record(1, 1, {{a, bogus, 64, 1}})});
   const EpochResult out = daemon.run_epoch();
   // The pair mass reached the map but no attribution vector was sized by
   // the bogus id (registry has 2 classes).

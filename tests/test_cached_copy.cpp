@@ -21,6 +21,9 @@ struct World {
     cfg.oal_transfer = OalTransfer::kLocalOnly;
     cfg.cost_attribution = attr;
     djvm = std::make_unique<Djvm>(cfg);
+    // These tests inspect per-entry gaps via drain_records(), which only
+    // materializes records when the observational tap is on.
+    djvm->gos().set_record_tap(true);
     djvm->spawn_threads_round_robin(2);
     hot = djvm->registry().register_class("Hot", 64);
     for (std::uint32_t i = 0; i < count; ++i) {

@@ -3,6 +3,8 @@
 
 #include "profiling/correlation_daemon.hpp"
 
+#include "ingest_helpers.hpp"
+
 namespace djvm {
 namespace {
 
@@ -25,13 +27,16 @@ class DaemonTest : public ::testing::Test {
   SamplingPlan plan;
   ClassId klass;
   IntervalId next_interval_ = 0;
+  /// Outlives every test-local daemon (drained arenas are recycled back
+  /// into its hub at the daemon's next run_epoch/build_full).
+  RecordFeeder feeder;
 };
 
-TEST_F(DaemonTest, SubmitAccumulatesPending) {
+TEST_F(DaemonTest, IngestAccumulatesPending) {
   CorrelationDaemon daemon(plan, 2);
   std::vector<IntervalRecord> rs;
   rs.push_back(rec(0, {{1, klass, 64, 1}}));
-  daemon.submit(std::move(rs));
+  feeder.feed(daemon, std::move(rs));
   EXPECT_EQ(daemon.pending(), 1u);
   EXPECT_EQ(daemon.total_entries(), 1u);
 }
@@ -41,7 +46,7 @@ TEST_F(DaemonTest, EpochBuildsTcmAndClearsPending) {
   std::vector<IntervalRecord> rs;
   rs.push_back(rec(0, {{1, klass, 64, 1}}));
   rs.push_back(rec(1, {{1, klass, 64, 1}}));
-  daemon.submit(std::move(rs));
+  feeder.feed(daemon, std::move(rs));
   const EpochResult e = daemon.run_epoch();
   EXPECT_EQ(e.intervals, 2u);
   EXPECT_EQ(e.entries, 2u);
@@ -56,12 +61,12 @@ TEST_F(DaemonTest, SecondEpochReportsDistance) {
   std::vector<IntervalRecord> rs1;
   rs1.push_back(rec(0, {{1, klass, 64, 1}}));
   rs1.push_back(rec(1, {{1, klass, 64, 1}}));
-  daemon.submit(std::move(rs1));
+  feeder.feed(daemon, std::move(rs1));
   daemon.run_epoch();
   std::vector<IntervalRecord> rs2;
   rs2.push_back(rec(0, {{1, klass, 64, 1}}));
   rs2.push_back(rec(1, {{1, klass, 64, 1}}));
-  daemon.submit(std::move(rs2));
+  feeder.feed(daemon, std::move(rs2));
   const EpochResult e2 = daemon.run_epoch();
   ASSERT_TRUE(e2.rel_distance.has_value());
   EXPECT_DOUBLE_EQ(*e2.rel_distance, 0.0);  // identical sharing
@@ -78,13 +83,13 @@ TEST_F(DaemonTest, AdaptationTightensGapsUntilConverged) {
   std::vector<IntervalRecord> rs1;
   rs1.push_back(rec(0, {{1, klass, 64, gap_before}}));
   rs1.push_back(rec(1, {{1, klass, 64, gap_before}}));
-  daemon.submit(std::move(rs1));
+  feeder.feed(daemon, std::move(rs1));
   daemon.run_epoch();
   // Epoch 2: very different sharing -> distance above threshold -> tighten.
   std::vector<IntervalRecord> rs2;
   rs2.push_back(rec(0, {{2, klass, 64, gap_before}}));
   rs2.push_back(rec(1, {{3, klass, 64, gap_before}}));
-  daemon.submit(std::move(rs2));
+  feeder.feed(daemon, std::move(rs2));
   const EpochResult e2 = daemon.run_epoch();
   EXPECT_TRUE(e2.rate_changed);
   EXPECT_LT(plan.real_gap(klass), gap_before);
@@ -100,7 +105,7 @@ TEST_F(DaemonTest, AdaptationConvergesOnStableSharing) {
     std::vector<IntervalRecord> rs;
     rs.push_back(rec(0, {{1, klass, 64, 67}}));
     rs.push_back(rec(1, {{1, klass, 64, 67}}));
-    daemon.submit(std::move(rs));
+    feeder.feed(daemon, std::move(rs));
     daemon.run_epoch();
   }
   EXPECT_TRUE(daemon.converged());
@@ -115,24 +120,24 @@ TEST_F(DaemonTest, AdaptationAtFullSamplingConvergesTrivially) {
     std::vector<IntervalRecord> rs;
     rs.push_back(rec(0, {{static_cast<ObjectId>(epoch), klass, 64, 1}}));
     rs.push_back(rec(1, {{static_cast<ObjectId>(epoch), klass, 64, 1}}));
-    daemon.submit(std::move(rs));
+    feeder.feed(daemon, std::move(rs));
     daemon.run_epoch();
   }
   // Nothing left to tighten: the daemon declares convergence.
   EXPECT_TRUE(daemon.converged());
 }
 
-TEST_F(DaemonTest, BuildFullCoversHistoryAndPending) {
+TEST_F(DaemonTest, BuildFullCoversConsumedEpochsAndPending) {
   CorrelationDaemon daemon(plan, 2);
   std::vector<IntervalRecord> rs1;
   rs1.push_back(rec(0, {{1, klass, 64, 1}}));
   rs1.push_back(rec(1, {{1, klass, 64, 1}}));
-  daemon.submit(std::move(rs1));
+  feeder.feed(daemon, std::move(rs1));
   daemon.run_epoch();
   std::vector<IntervalRecord> rs2;
   rs2.push_back(rec(0, {{2, klass, 32, 1}}));
   rs2.push_back(rec(1, {{2, klass, 32, 1}}));
-  daemon.submit(std::move(rs2));
+  feeder.feed(daemon, std::move(rs2));
   const SquareMatrix full = daemon.build_full();
   EXPECT_DOUBLE_EQ(full.at(0, 1), 64.0 + 32.0);
   EXPECT_GT(daemon.total_build_seconds(), 0.0);
@@ -142,7 +147,7 @@ TEST_F(DaemonTest, ClearResets) {
   CorrelationDaemon daemon(plan, 2);
   std::vector<IntervalRecord> rs;
   rs.push_back(rec(0, {{1, klass, 64, 1}}));
-  daemon.submit(std::move(rs));
+  feeder.feed(daemon, std::move(rs));
   daemon.run_epoch();
   daemon.clear();
   EXPECT_EQ(daemon.pending(), 0u);

@@ -13,6 +13,8 @@
 #include "governor/snapshot.hpp"
 #include "profiling/correlation_daemon.hpp"
 
+#include "ingest_helpers.hpp"
+
 namespace djvm {
 namespace {
 
@@ -762,6 +764,7 @@ TEST_F(GovernorTest, SnapshotFileRoundTrip) {
 TEST_F(GovernorTest, DaemonDelegatesToGovernorAndWarmStarts) {
   plan.set_nominal_gap(hot, 16);
   plan.set_nominal_gap(bulky, 16);
+  RecordFeeder feeder;
   CorrelationDaemon daemon(plan, 2);
   GovernorConfig cfg = config();
   daemon.governor().arm(cfg);
@@ -777,7 +780,7 @@ TEST_F(GovernorTest, DaemonDelegatesToGovernorAndWarmStarts) {
     std::vector<IntervalRecord> rs;
     rs.push_back(rec(0, 1));
     rs.push_back(rec(1, 1));
-    daemon.submit(std::move(rs));
+    feeder.feed(daemon, std::move(rs));
     OverheadSample s;
     s.measured = true;
     s.app_seconds = 1.0;
@@ -1144,6 +1147,7 @@ TEST_F(PerNodeGovernorTest, SnapshotV1LoadsWithNodesSeededFromClusterView) {
 TEST_F(PerNodeGovernorTest, DaemonAttributesEpochStatsAndResamplesPerNode) {
   plan.set_nominal_gap(hot, 8);
   plan.set_nominal_gap(bulky, 8);
+  RecordFeeder feeder;
   CorrelationDaemon daemon(plan, 2);
   daemon.governor().arm(config(/*per_node=*/true));
 
@@ -1160,7 +1164,7 @@ TEST_F(PerNodeGovernorTest, DaemonAttributesEpochStatsAndResamplesPerNode) {
     r1.entries.push_back({static_cast<ObjectId>(i), hot, 16, plan.real_gap(hot)});
   }
   rs.push_back(r1);
-  daemon.submit(std::move(rs));
+  feeder.feed(daemon, std::move(rs));
   daemon.run_epoch(skewed_sample(0.10));
 
   const auto& by_node = plan.node_epoch_stats();

@@ -1,8 +1,10 @@
 // Lock-free OAL ingest: SPSC ring wrap-around and full-ring rejection,
 // arena backpressure with the zero-loss invariant, stranded-arena collection
 // at producer exit, destructor drain ordering, a real-thread stress run (the
-// TSan CI lane executes this file), and equivalence of the arena path with
-// the legacy record path at both the daemon and the GOS level.
+// TSan CI lane executes this file), and arena-geometry invariance of the
+// fold: the same record stream must produce the same map whether it rides
+// big arenas or tiny ones that split every interval, at both the daemon and
+// the GOS level.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -321,57 +323,74 @@ class IngestDaemonTest : public ::testing::Test {
   ClassId klass;
 };
 
-TEST_F(IngestDaemonTest, ArenaEpochMatchesSubmitEpoch) {
+TEST_F(IngestDaemonTest, EpochInvariantAcrossArenaGeometry) {
   constexpr std::uint32_t kThreads = 4;
-  CorrelationDaemon legacy(plan, kThreads);
-  CorrelationDaemon arena(plan, kThreads);
-  IngestHub hub;
-  hub.ensure_lanes(kThreads);
+  CorrelationDaemon big(plan, kThreads);
+  CorrelationDaemon tiny(plan, kThreads);
+  IngestHub big_hub;  // default geometry: whole batches fit one arena
+  IngestConfig tiny_cfg;
+  tiny_cfg.arena_entries = 4;  // forces per-interval splits
+  tiny_cfg.ring_depth = 2;     // and backpressure parking
+  IngestHub tiny_hub(tiny_cfg);
+  big_hub.ensure_lanes(kThreads);
+  tiny_hub.ensure_lanes(kThreads);
 
   for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
     const std::vector<IntervalRecord> batch = make_batch(kThreads, 5, epoch);
-    legacy.submit(std::vector<IntervalRecord>(batch));
-    feed(hub, batch);
-    ASSERT_GT(arena.ingest(hub), 0u);
+    feed(big_hub, batch);
+    feed(tiny_hub, batch);
+    ASSERT_GT(big.ingest(big_hub), 0u);
+    ASSERT_GT(tiny.ingest(tiny_hub), 0u);
 
-    const EpochResult el = legacy.run_epoch();
-    const EpochResult ea = arena.run_epoch();
-    EXPECT_EQ(ea.tcm, el.tcm) << "epoch " << epoch;
-    EXPECT_EQ(ea.entries, el.entries);
-    EXPECT_EQ(ea.intervals, el.intervals);  // default arenas never split here
-    EXPECT_EQ(ea.rel_distance.has_value(), el.rel_distance.has_value());
-    if (ea.rel_distance.has_value()) {
-      EXPECT_DOUBLE_EQ(*ea.rel_distance, *el.rel_distance);
+    const EpochResult eb = big.run_epoch();
+    const EpochResult et = tiny.run_epoch();
+    EXPECT_EQ(et.tcm, eb.tcm) << "epoch " << epoch;
+    EXPECT_EQ(et.entries, eb.entries);
+    // Splits repeat interval headers: the tiny side sees more slices, never
+    // fewer, and the map is blind to the difference.
+    EXPECT_GE(et.intervals, eb.intervals);
+    EXPECT_EQ(et.rel_distance.has_value(), eb.rel_distance.has_value());
+    if (et.rel_distance.has_value()) {
+      EXPECT_DOUBLE_EQ(*et.rel_distance, *eb.rel_distance);
     }
-    // Ring telemetry flows only on the arena side, and nothing ever drops.
-    EXPECT_GT(ea.ring_entries, 0u);
-    EXPECT_EQ(ea.ring_dropped, 0u);
-    EXPECT_EQ(el.ring_entries, 0u);
+    // Ring telemetry flows on both sides, and nothing ever drops.
+    EXPECT_GT(eb.ring_entries, 0u);
+    EXPECT_EQ(eb.ring_entries, et.ring_entries);
+    EXPECT_EQ(eb.ring_dropped, 0u);
+    EXPECT_EQ(et.ring_dropped, 0u);
   }
-  EXPECT_EQ(arena.build_full(true), legacy.build_full(true));
+  EXPECT_EQ(tiny.build_full(), big.build_full());
 }
 
 TEST_F(IngestDaemonTest, BuildFullCoversPendingArenas) {
-  CorrelationDaemon legacy(plan, 4);
-  CorrelationDaemon arena(plan, 4);
-  IngestHub hub;
-  hub.ensure_lanes(4);
+  CorrelationDaemon big(plan, 4);
+  CorrelationDaemon tiny(plan, 4);
+  IngestHub big_hub;
+  IngestConfig tiny_cfg;
+  tiny_cfg.arena_entries = 4;
+  tiny_cfg.ring_depth = 2;
+  IngestHub tiny_hub(tiny_cfg);
+  big_hub.ensure_lanes(4);
+  tiny_hub.ensure_lanes(4);
 
   // One folded epoch plus a pending (never-epoch'd) tail on both sides.
   const std::vector<IntervalRecord> first = make_batch(4, 4, 1);
-  legacy.submit(std::vector<IntervalRecord>(first));
-  feed(hub, first);
-  arena.ingest(hub);
-  legacy.run_epoch();
-  arena.run_epoch();
+  feed(big_hub, first);
+  feed(tiny_hub, first);
+  big.ingest(big_hub);
+  tiny.ingest(tiny_hub);
+  big.run_epoch();
+  tiny.run_epoch();
 
   const std::vector<IntervalRecord> tail = make_batch(4, 2, 2);
-  legacy.submit(std::vector<IntervalRecord>(tail));
-  feed(hub, tail);
-  arena.ingest(hub);
-  EXPECT_GT(arena.pending(), 0u);
+  feed(big_hub, tail);
+  feed(tiny_hub, tail);
+  big.ingest(big_hub);
+  tiny.ingest(tiny_hub);
+  EXPECT_GT(big.pending(), 0u);
+  EXPECT_GT(tiny.pending(), 0u);
 
-  EXPECT_EQ(arena.build_full(true), legacy.build_full(true));
+  EXPECT_EQ(tiny.build_full(), big.build_full());
 }
 
 // --- end-to-end through the GOS ---------------------------------------------
@@ -384,14 +403,12 @@ struct EndToEnd {
   std::uint64_t intervals_closed = 0;
 };
 
-EndToEnd run_end_to_end(bool ingest_on) {
+EndToEnd run_end_to_end(const IngestKnobs& ingest) {
   Config cfg;
   cfg.nodes = 2;
   cfg.threads = 4;
   cfg.oal_transfer = OalTransfer::kSend;
-  cfg.ingest.enabled = ingest_on;
-  cfg.ingest.arena_entries = 8;  // force splits and multi-arena hand-off
-  cfg.ingest.ring_depth = 2;
+  cfg.ingest = ingest;
   Djvm djvm(cfg);
   djvm.spawn_threads_round_robin(cfg.threads);
   const ClassId k = djvm.registry().register_class("Shared", 64);
@@ -408,9 +425,9 @@ EndToEnd run_end_to_end(bool ingest_on) {
     djvm.barrier_all();
     djvm.pump_daemon();
   }
-  EXPECT_EQ(djvm.ingest_hub() != nullptr, ingest_on);
+  EXPECT_NE(djvm.ingest_hub(), nullptr);
   EndToEnd r;
-  r.tcm = djvm.daemon().build_full(/*weighted=*/true);
+  r.tcm = djvm.daemon().build_full();
   r.oal_messages = djvm.gos().stats().oal_messages;
   r.oal_send_ns = djvm.gos().stats().oal_send_ns;
   r.oal_wire_bytes = djvm.net().stats().bytes_of(MsgCategory::kOal);
@@ -422,14 +439,12 @@ EndToEnd run_end_to_end(bool ingest_on) {
 /// thread 0's ingest lane still holds a non-empty *open* (unpublished) arena
 /// from the previous interval close: re-keying must not disturb, drop, or
 /// double-count anything the lane already buffered.
-EndToEnd run_with_mid_run_home_migration(bool ingest_on) {
+EndToEnd run_with_mid_run_home_migration(const IngestKnobs& ingest) {
   Config cfg;
   cfg.nodes = 2;
   cfg.threads = 4;
   cfg.oal_transfer = OalTransfer::kSend;
-  cfg.ingest.enabled = ingest_on;
-  cfg.ingest.arena_entries = 8;  // 6-entry intervals never fill one: stays open
-  cfg.ingest.ring_depth = 2;
+  cfg.ingest = ingest;
   Djvm djvm(cfg);
   djvm.spawn_threads_round_robin(cfg.threads);
   const ClassId k = djvm.registry().register_class("Shared", 64);
@@ -453,38 +468,49 @@ EndToEnd run_with_mid_run_home_migration(bool ingest_on) {
     djvm.pump_daemon();
   }
   EndToEnd r;
-  r.tcm = djvm.daemon().build_full(/*weighted=*/true);
+  r.tcm = djvm.daemon().build_full();
   r.oal_messages = djvm.gos().stats().oal_messages;
   r.intervals_closed = djvm.gos().stats().intervals_closed;
   return r;
 }
 
-TEST(GosIngest, HomeMigrationOverOpenArenaMatchesRecordPath) {
-  const EndToEnd legacy = run_with_mid_run_home_migration(false);
-  const EndToEnd arena = run_with_mid_run_home_migration(true);
-  ASSERT_GT(legacy.tcm.total(), 0.0);
-  ASSERT_EQ(arena.tcm.size(), legacy.tcm.size());
-  for (std::size_t i = 0; i < legacy.tcm.size(); ++i) {
-    for (std::size_t j = 0; j < legacy.tcm.size(); ++j) {
-      EXPECT_NEAR(arena.tcm.at(i, j), legacy.tcm.at(i, j), 1e-9)
+/// Roomy arenas (nothing ever splits) vs the split-everything geometry.
+IngestKnobs roomy_geometry() { return IngestKnobs{}; }
+IngestKnobs splitty_geometry() {
+  IngestKnobs cfg;
+  cfg.arena_entries = 8;  // 6-entry intervals fill one fast: constant turnover
+  cfg.ring_depth = 2;     // shallow rings: backpressure parking mid-run
+  return cfg;
+}
+
+TEST(GosIngest, HomeMigrationOverOpenArenaIsGeometryInvariant) {
+  const EndToEnd roomy = run_with_mid_run_home_migration(roomy_geometry());
+  const EndToEnd splitty = run_with_mid_run_home_migration(splitty_geometry());
+  ASSERT_GT(roomy.tcm.total(), 0.0);
+  ASSERT_EQ(splitty.tcm.size(), roomy.tcm.size());
+  for (std::size_t i = 0; i < roomy.tcm.size(); ++i) {
+    for (std::size_t j = 0; j < roomy.tcm.size(); ++j) {
+      EXPECT_NEAR(splitty.tcm.at(i, j), roomy.tcm.at(i, j), 1e-9)
           << "cell (" << i << "," << j << ")";
     }
   }
-  EXPECT_EQ(arena.intervals_closed, legacy.intervals_closed);
-  EXPECT_EQ(arena.oal_messages, legacy.oal_messages);
+  EXPECT_EQ(splitty.intervals_closed, roomy.intervals_closed);
+  EXPECT_EQ(splitty.oal_messages, roomy.oal_messages);
 }
 
-TEST(GosIngest, ArenaPathMatchesRecordPathEndToEnd) {
-  const EndToEnd legacy = run_end_to_end(false);
-  const EndToEnd arena = run_end_to_end(true);
-  ASSERT_GT(legacy.tcm.total(), 0.0);
-  // Identical map, identical wire accounting: the representation of the
-  // hand-off is the only thing the ingest path changes.
-  EXPECT_EQ(arena.tcm, legacy.tcm);
-  EXPECT_EQ(arena.oal_messages, legacy.oal_messages);
-  EXPECT_EQ(arena.oal_send_ns, legacy.oal_send_ns);
-  EXPECT_EQ(arena.oal_wire_bytes, legacy.oal_wire_bytes);
-  EXPECT_EQ(arena.intervals_closed, legacy.intervals_closed);
+TEST(GosIngest, FoldIsGeometryInvariantEndToEnd) {
+  const EndToEnd roomy = run_end_to_end(roomy_geometry());
+  const EndToEnd splitty = run_end_to_end(splitty_geometry());
+  ASSERT_GT(roomy.tcm.total(), 0.0);
+  // Identical map and interval stream: arena geometry only changes how the
+  // hand-off is chunked, never what the daemon folds.
+  EXPECT_EQ(splitty.tcm, roomy.tcm);
+  EXPECT_EQ(splitty.oal_messages, roomy.oal_messages);
+  EXPECT_EQ(splitty.oal_send_ns, roomy.oal_send_ns);
+  EXPECT_EQ(splitty.intervals_closed, roomy.intervals_closed);
+  // Splits repeat interval headers on the wire: the splitty run ships at
+  // least as many header bytes, never fewer.
+  EXPECT_GE(splitty.oal_wire_bytes, roomy.oal_wire_bytes);
 }
 
 }  // namespace

@@ -27,7 +27,7 @@ SquareMatrix run_bh_tcm(std::uint32_t rate_x, std::uint32_t threads = 8) {
   BarnesHutWorkload w(p);
   execute_workload(djvm, w);
   djvm.pump_daemon();
-  return djvm.daemon().build_full(/*weighted=*/true);
+  return djvm.daemon().build_full();
 }
 
 TEST(Integration, SampledTcmApproximatesFullSampling) {

@@ -1,8 +1,9 @@
-// Snapshot format compatibility: v1 through v5 fixtures (hand-built from
-// their documented layouts) still load into a v6 reader, new snapshots are
-// written as v6 with a CRC32 integrity footer, a warm start resamples only
-// what actually changed — no full resample storm — and the crash-recovery
-// helpers skip corrupt snapshots and tolerate a torn final timeline line.
+// Snapshot format compatibility: v1 through v6 fixtures (hand-built from
+// their documented layouts) still load into a v7 reader, new snapshots are
+// written as v7 with the tenant lease section and a CRC32 integrity footer,
+// a warm start resamples only what actually changed — no full resample
+// storm — and the crash-recovery helpers skip corrupt snapshots and
+// tolerate a torn final timeline line.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -55,6 +56,12 @@ class SnapshotCompatTest : public ::testing::Test {
     };
     std::uint64_t migrations_executed = 0;
     std::vector<FixtureMigration> migrations;
+    // v7: tenant budget lease (has_lease = 0 -> no lease payload).
+    std::uint8_t has_lease = 0;
+    std::uint32_t lease_tenant = 3, lease_tier = 1;
+    double lease_weight = 2.0, lease_granted = 0.015;
+    double lease_fair = 0.01, lease_floor = 0.0025;
+    std::uint64_t lease_borrowed = 4, lease_lent = 2;
   };
 
   /// Hand-builds a v1..v4 snapshot from the documented layout.
@@ -131,6 +138,19 @@ class SnapshotCompatTest : public ::testing::Test {
         put(m.gain_bytes);
         put(m.sim_cost_seconds);
         put(m.prefetched_bytes);
+      }
+    }
+    if (spec.version >= kSnapshotVersionV7) {
+      bytes.push_back(spec.has_lease);         // tenant lease      [v7]
+      if (spec.has_lease != 0) {
+        put(spec.lease_tenant);
+        put(spec.lease_tier);
+        put(spec.lease_weight);
+        put(spec.lease_granted);
+        put(spec.lease_fair);
+        put(spec.lease_floor);
+        put(spec.lease_borrowed);
+        put(spec.lease_lent);
       }
     }
     put(std::uint64_t{2});  // tcm dimension
@@ -470,7 +490,7 @@ TEST_F(SnapshotCompatTest, CorruptCopySummaryIsRejected) {
   EXPECT_TRUE(decode_snapshot(bytes, gov2, out));
 }
 
-TEST_F(SnapshotCompatTest, V6RoundTripCarriesValidCrcFooter) {
+TEST_F(SnapshotCompatTest, V7RoundTripCarriesValidCrcFooter) {
   Governor gov(plan);
   SquareMatrix tcm(2);
   tcm.at(0, 1) = 42.0;
@@ -484,7 +504,7 @@ TEST_F(SnapshotCompatTest, V6RoundTripCarriesValidCrcFooter) {
 
   std::uint32_t version = 0;
   std::memcpy(&version, bytes.data() + 4, sizeof(version));
-  EXPECT_EQ(version, kSnapshotVersionV6);
+  EXPECT_EQ(version, kSnapshotVersion);
 
   Governor gov2(plan);
   SquareMatrix out;
@@ -492,7 +512,86 @@ TEST_F(SnapshotCompatTest, V6RoundTripCarriesValidCrcFooter) {
   EXPECT_DOUBLE_EQ(out.at(0, 1), 42.0);
   SnapshotInfo info;
   EXPECT_TRUE(parse_snapshot(bytes, info));
-  EXPECT_EQ(info.version, kSnapshotVersionV6);
+  EXPECT_EQ(info.version, kSnapshotVersion);
+}
+
+TEST_F(SnapshotCompatTest, V6FixtureStillLoadsWithoutALease) {
+  // A v6 file predates tenancy: it must load cleanly and leave the live
+  // governor's lease untouched.
+  FixtureSpec spec;
+  spec.version = kSnapshotVersionV6;
+  Governor gov(plan);
+  SquareMatrix tcm;
+  ASSERT_TRUE(decode_snapshot(build_fixture(spec), gov, tcm));
+  EXPECT_FALSE(gov.lease().has_value());
+  EXPECT_EQ(tcm.size(), 2u);
+}
+
+TEST_F(SnapshotCompatTest, V7LeaseRoundTripsAndRestoresTheGrant) {
+  Governor gov(plan);
+  Governor::TenantLease lease;
+  lease.tenant = 5;
+  lease.tier = 2;
+  lease.weight = 3.0;
+  lease.granted_budget = 0.012;
+  lease.fair_share = 0.01;
+  lease.floor = 0.0025;
+  lease.borrowed_epochs = 9;
+  lease.lent_epochs = 1;
+  gov.adopt_lease(lease);
+  SquareMatrix tcm(2);
+  const std::vector<std::uint8_t> bytes = encode_snapshot(gov, tcm);
+
+  Governor gov2(plan);
+  SquareMatrix out;
+  ASSERT_TRUE(decode_snapshot(bytes, gov2, out));
+  ASSERT_TRUE(gov2.lease().has_value());
+  const Governor::TenantLease& back = *gov2.lease();
+  EXPECT_EQ(back.tenant, 5u);
+  EXPECT_EQ(back.tier, 2u);
+  EXPECT_DOUBLE_EQ(back.weight, 3.0);
+  EXPECT_DOUBLE_EQ(back.granted_budget, 0.012);
+  EXPECT_DOUBLE_EQ(back.fair_share, 0.01);
+  EXPECT_DOUBLE_EQ(back.floor, 0.0025);
+  EXPECT_EQ(back.borrowed_epochs, 9u);
+  EXPECT_EQ(back.lent_epochs, 1u);
+  // The grant is live again: the recovered tenant resumes under its lease,
+  // not the static config budget.
+  EXPECT_DOUBLE_EQ(gov2.config().overhead_budget, 0.012);
+  // ...and re-encoding is bit-exact.
+  EXPECT_EQ(encode_snapshot(gov2, out), bytes);
+}
+
+TEST_F(SnapshotCompatTest, CorruptV7LeaseSectionIsRejected) {
+  Governor gov(plan);
+  SquareMatrix tcm;
+
+  FixtureSpec bad;
+  bad.version = kSnapshotVersion;
+  bad.has_lease = 2;  // flag must be 0/1
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+
+  bad = FixtureSpec{};
+  bad.version = kSnapshotVersion;
+  bad.has_lease = 1;
+  bad.lease_weight = 0.0;  // non-positive weight wedges arbitration
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+
+  bad = FixtureSpec{};
+  bad.version = kSnapshotVersion;
+  bad.has_lease = 1;
+  bad.lease_floor = 0.02;  // floor above the grant: never emitted
+  bad.lease_granted = 0.01;
+  EXPECT_FALSE(decode_snapshot(build_fixture(bad), gov, tcm));
+
+  // The matching well-formed lease fixture still loads.
+  FixtureSpec good;
+  good.version = kSnapshotVersion;
+  good.has_lease = 1;
+  EXPECT_TRUE(decode_snapshot(build_fixture(good), gov, tcm));
+  ASSERT_TRUE(gov.lease().has_value());
+  EXPECT_EQ(gov.lease()->tenant, 3u);
+  EXPECT_DOUBLE_EQ(gov.lease()->granted_budget, 0.015);
 }
 
 TEST_F(SnapshotCompatTest, TruncatedOrBitFlippedV6IsRejected) {

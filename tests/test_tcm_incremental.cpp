@@ -1,7 +1,7 @@
 // Incremental sparse TCM pipeline: equivalence with the dense-from-scratch
-// reference over randomized record streams (arbitrary submit splits,
+// reference over randomized record streams (arbitrary ingest splits,
 // mid-stream resets), arena reorganization, accumulator merges, and the
-// daemon's fold-at-submit path.
+// daemon's fold-at-ingest path.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,6 +10,8 @@
 #include "profiling/accuracy.hpp"
 #include "profiling/correlation_daemon.hpp"
 #include "profiling/tcm.hpp"
+
+#include "ingest_helpers.hpp"
 
 namespace djvm {
 namespace {
@@ -237,31 +239,32 @@ TEST(UpperTriangle, IndexingAndDensify) {
   EXPECT_EQ(ut.cell_count(), 6u);
 }
 
-// --- daemon fold-at-submit ----------------------------------------------------
+// --- daemon fold-at-ingest ----------------------------------------------------
 
-TEST(DaemonIncremental, EpochTcmMatchesReferenceAcrossSubmitSplits) {
+TEST(DaemonIncremental, EpochTcmMatchesReferenceAcrossIngestSplits) {
   KlassRegistry reg;
   Heap heap(reg, 1);
   SamplingPlan plan(heap);
   reg.register_class("X", 64);
+  RecordFeeder feeder;
   CorrelationDaemon daemon(plan, 12);
 
   const auto rs = random_stream(21, 12, 256, 120, 24);
   const SquareMatrix ref = TcmBuilder::build_reference(rs, 12, true);
 
-  // Deliver in three uneven submit batches within one epoch.
+  // Deliver in three uneven ingest batches within one epoch.
   const std::size_t cut1 = rs.size() / 5;
   const std::size_t cut2 = rs.size() / 2;
-  daemon.submit({rs.begin(), rs.begin() + cut1});
-  daemon.submit({rs.begin() + cut1, rs.begin() + cut2});
-  daemon.submit({rs.begin() + cut2, rs.end()});
+  feeder.feed(daemon, {rs.begin(), rs.begin() + cut1});
+  feeder.feed(daemon, {rs.begin() + cut1, rs.begin() + cut2});
+  feeder.feed(daemon, {rs.begin() + cut2, rs.end()});
   const EpochResult e = daemon.run_epoch();
-  expect_maps_equal(e.tcm, ref, "epoch over split submits");
+  expect_maps_equal(e.tcm, ref, "epoch over split ingests");
   EXPECT_GE(e.build_seconds, e.densify_seconds);
 
   // The next epoch starts a fresh window (mid-stream reset semantics).
   const auto rs2 = random_stream(22, 12, 256, 60, 24);
-  daemon.submit(rs2);
+  feeder.feed(daemon, rs2);
   const EpochResult e2 = daemon.run_epoch();
   expect_maps_equal(e2.tcm, TcmBuilder::build_reference(rs2, 12, true),
                     "second window");
@@ -272,14 +275,15 @@ TEST(DaemonIncremental, BuildFullIsIncrementalAcrossCalls) {
   Heap heap(reg, 1);
   SamplingPlan plan(heap);
   reg.register_class("X", 64);
+  RecordFeeder feeder;
   CorrelationDaemon daemon(plan, 8);
 
   const auto a = random_stream(31, 8, 128, 50, 16);
   const auto b = random_stream(32, 8, 128, 50, 16);
-  daemon.submit(a);
+  feeder.feed(daemon, a);
   expect_maps_equal(daemon.build_full(), TcmBuilder::build_reference(a, 8, true),
                     "first build_full");
-  daemon.submit(b);
+  feeder.feed(daemon, b);
   std::vector<IntervalRecord> both = a;
   both.insert(both.end(), b.begin(), b.end());
   expect_maps_equal(daemon.build_full(),
@@ -287,7 +291,7 @@ TEST(DaemonIncremental, BuildFullIsIncrementalAcrossCalls) {
                     "second build_full folds only the delta");
   // A clear() discards the whole-run accumulator too.
   daemon.clear();
-  daemon.submit(b);
+  feeder.feed(daemon, b);
   expect_maps_equal(daemon.build_full(), TcmBuilder::build_reference(b, 8, true),
                     "build_full after clear");
 }
@@ -301,10 +305,11 @@ TEST(DaemonIncremental, BuildFullConsumesTheWindow) {
   Heap heap(reg, 1);
   SamplingPlan plan(heap);
   reg.register_class("X", 64);
+  RecordFeeder feeder;
   CorrelationDaemon daemon(plan, 8);
 
   const auto a = random_stream(41, 8, 128, 40, 16);
-  daemon.submit(a);
+  feeder.feed(daemon, a);
   (void)daemon.build_full();
   const EpochResult drained = daemon.run_epoch();
   EXPECT_EQ(drained.intervals, 0u);
@@ -312,7 +317,7 @@ TEST(DaemonIncremental, BuildFullConsumesTheWindow) {
 
   // The next real window is unaffected.
   const auto b = random_stream(42, 8, 128, 40, 16);
-  daemon.submit(b);
+  feeder.feed(daemon, b);
   expect_maps_equal(daemon.run_epoch().tcm,
                     TcmBuilder::build_reference(b, 8, true),
                     "window after a build_full");
